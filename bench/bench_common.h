@@ -1,0 +1,76 @@
+/// \file bench_common.h
+/// \brief Shared command-line plumbing for the figure-reproduction benches.
+///
+/// Every figure binary accepts:
+///   --runs=N    replicates per data point (default 61, the paper's count)
+///   --slots=N   simulation horizon in quanta (default 1000)
+///   --seed=N    base RNG seed (default 2005)
+///   --threads=N worker threads (default: hardware concurrency)
+///   --quick     shorthand for --runs=5 --slots=300 (smoke mode)
+///   --csv=PATH  also write the table as CSV
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "exp/figures.h"
+#include "util/cli.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+
+namespace pfr::bench {
+
+struct BenchArgs {
+  exp::Fig11Config fig;
+  std::string csv_path;
+  std::size_t threads{0};
+};
+
+/// Parses flags; exits with a message on errors or unknown flags.
+inline BenchArgs parse_args(int argc, char** argv) {
+  const CliArgs cli{argc, argv};
+  BenchArgs out;
+  out.fig = exp::default_fig11_config();
+  if (cli.get_bool("quick")) {
+    out.fig.base.runs = 5;
+    out.fig.base.slots = 300;
+  }
+  out.fig.base.runs = static_cast<int>(cli.get_int("runs", out.fig.base.runs));
+  out.fig.base.slots = cli.get_int("slots", out.fig.base.slots);
+  out.fig.base.seed = static_cast<std::uint64_t>(
+      cli.get_int("seed", static_cast<std::int64_t>(out.fig.base.seed)));
+  out.threads = static_cast<std::size_t>(cli.get_int("threads", 0));
+  out.csv_path = cli.get_string("csv", "");
+  if (cli.error()) {
+    std::cerr << "argument error: " << *cli.error() << "\n";
+    std::exit(2);
+  }
+  const auto unknown = cli.unknown_flags();
+  if (!unknown.empty()) {
+    std::cerr << "unknown flag: --" << unknown.front() << "\n";
+    std::exit(2);
+  }
+  return out;
+}
+
+/// Prints the table (and optionally CSV) with a title block.
+inline void emit(const std::string& title, const TextTable& table,
+                 const BenchArgs& args) {
+  std::cout << "# " << title << "\n"
+            << "# runs=" << args.fig.base.runs
+            << " slots=" << args.fig.base.slots
+            << " seed=" << args.fig.base.seed
+            << " M=" << args.fig.base.engine.processors
+            << " (98% Student-t confidence intervals)\n\n"
+            << table.render() << "\n";
+  if (!args.csv_path.empty()) {
+    if (!table.write_csv(args.csv_path)) {
+      std::cerr << "failed to write " << args.csv_path << "\n";
+      std::exit(1);
+    }
+    std::cout << "csv written to " << args.csv_path << "\n";
+  }
+}
+
+}  // namespace pfr::bench

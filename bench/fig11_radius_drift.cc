@@ -1,0 +1,13 @@
+/// Reproduces Fig. 11(c): maximum drift at time 1,000 as a function of the
+/// orbit radius (10-50 cm) at 2.9 m/s.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  pfr::bench::BenchArgs args = pfr::bench::parse_args(argc, argv);
+  pfr::ThreadPool pool{args.threads};
+  const pfr::TextTable table = pfr::exp::fig11c(args.fig, pool);
+  pfr::bench::emit(
+      "Fig. 11(c): max drift (quanta) vs radius of rotation, speed = 2.9 m/s",
+      table, args);
+  return 0;
+}

@@ -1,0 +1,14 @@
+/// Reproduces Fig. 11(b): per-task average computation completed by time
+/// 1,000 as a percentage of the I_PS allocation, vs object speed.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  pfr::bench::BenchArgs args = pfr::bench::parse_args(argc, argv);
+  pfr::ThreadPool pool{args.threads};
+  const pfr::TextTable table = pfr::exp::fig11b(args.fig, pool);
+  pfr::bench::emit(
+      "Fig. 11(b): % of ideal (I_PS) allocation vs object speed, "
+      "radius = 25 cm",
+      table, args);
+  return 0;
+}

@@ -1,0 +1,14 @@
+/// Reproduces Fig. 11(a): maximum drift at time 1,000 as a function of
+/// object speed (0.5-3.5 m/s) at a 25 cm orbit radius, for PD2-LJ and
+/// PD2-OI with and without occlusions.
+#include "bench_common.h"
+
+int main(int argc, char** argv) {
+  pfr::bench::BenchArgs args = pfr::bench::parse_args(argc, argv);
+  pfr::ThreadPool pool{args.threads};
+  const pfr::TextTable table = pfr::exp::fig11a(args.fig, pool);
+  pfr::bench::emit(
+      "Fig. 11(a): max drift (quanta) vs object speed, radius = 25 cm",
+      table, args);
+  return 0;
+}

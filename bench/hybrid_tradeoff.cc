@@ -1,0 +1,114 @@
+/// Efficiency versus accuracy (the WPDRTS'05 companion paper's axis):
+/// hybrids of PD2-OI and PD2-LJ trade reweighting responsiveness (drift, %
+/// of ideal allocation) against the number of expensive OI reweight
+/// operations.  Sweeps the magnitude threshold of the HybridMagnitude
+/// policy and the per-slot budget of the HybridBudget policy on the Whisper
+/// workload, with the pure schemes as endpoints.
+#include <iostream>
+#include <vector>
+
+#include "exp/experiment.h"
+#include "util/cli.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using namespace pfr;
+using namespace pfr::exp;
+
+struct HybridPoint {
+  std::string label;
+  pfair::ReweightPolicy policy;
+  double magnitude_threshold{2.0};
+  int budget{1};
+};
+
+struct Row {
+  double drift_mean, drift_hw;
+  double pct_mean, pct_hw;
+  double oi_fraction;
+  double misses;
+};
+
+Row measure(const ExperimentConfig& base, const HybridPoint& p,
+            ThreadPool& pool) {
+  ExperimentConfig cfg = base;
+  cfg.engine.policy = p.policy;
+  cfg.engine.hybrid_magnitude_threshold = p.magnitude_threshold;
+  cfg.engine.hybrid_budget_per_slot = p.budget;
+  const BatchResult b = run_whisper_batch(cfg, pool);
+
+  // Count OI vs LJ events across one replicate for the efficiency column.
+  const RunResult one = run_whisper_once(cfg, 0);
+  const double total = static_cast<double>(one.oi_events + one.lj_events);
+  Row r{};
+  r.drift_mean = b.max_abs_drift.mean();
+  r.drift_hw = b.max_abs_drift.confidence_half_width(base.confidence);
+  r.pct_mean = b.avg_pct_of_ideal.mean();
+  r.pct_hw = b.avg_pct_of_ideal.confidence_half_width(base.confidence);
+  r.oi_fraction = total > 0 ? static_cast<double>(one.oi_events) / total : 0;
+  r.misses = b.misses.mean();
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs cli{argc, argv};
+  ExperimentConfig base;
+  base.engine.processors = 4;
+  base.slots = cli.get_int("slots", 1000);
+  base.runs = static_cast<int>(cli.get_int("runs", 31));
+  base.seed = static_cast<std::uint64_t>(cli.get_int("seed", 2005));
+  base.workload.scenario.speed = cli.get_double("speed", 2.0);
+  base.workload.scenario.orbit_radius = cli.get_double("radius", 0.25);
+  if (cli.get_bool("quick")) {
+    base.runs = 5;
+    base.slots = 300;
+  }
+  const std::string csv = cli.get_string("csv", "");
+  if (!cli.unknown_flags().empty()) {
+    std::cerr << "unknown flag: --" << cli.unknown_flags().front() << "\n";
+    return 2;
+  }
+
+  std::vector<HybridPoint> points = {
+      {"pure PD2-LJ", pfair::ReweightPolicy::kLeaveJoin, 0, 0},
+      {"hybrid mag>=8", pfair::ReweightPolicy::kHybridMagnitude, 8.0, 0},
+      {"hybrid mag>=2", pfair::ReweightPolicy::kHybridMagnitude, 2.0, 0},
+      {"hybrid mag>=1.2", pfair::ReweightPolicy::kHybridMagnitude, 1.2, 0},
+      {"hybrid mag>=1.1", pfair::ReweightPolicy::kHybridMagnitude, 1.1, 0},
+      {"hybrid mag>=1.02", pfair::ReweightPolicy::kHybridMagnitude, 1.02, 0},
+      {"hybrid budget=1/slot", pfair::ReweightPolicy::kHybridBudget, 0, 1},
+      {"hybrid budget=2/slot", pfair::ReweightPolicy::kHybridBudget, 0, 2},
+      {"hybrid budget=4/slot", pfair::ReweightPolicy::kHybridBudget, 0, 4},
+      {"pure PD2-OI", pfair::ReweightPolicy::kOmissionIdeal, 0, 0},
+  };
+
+  ThreadPool pool;
+  TextTable table{{"scheme", "max drift", "% of ideal", "OI event fraction",
+                   "misses"}};
+  for (const HybridPoint& p : points) {
+    const Row r = measure(base, p, pool);
+    table.begin_row();
+    table.add(p.label);
+    table.add_ci(r.drift_mean, r.drift_hw, 3);
+    table.add_ci(r.pct_mean, r.pct_hw, 2);
+    table.add_double(r.oi_fraction, 3);
+    table.add_double(r.misses, 1);
+  }
+
+  std::cout << "# Hybrid OI/LJ reweighting: accuracy vs reweighting cost\n"
+            << "# Whisper workload, M=4, speed=" << base.workload.scenario.speed
+            << " m/s, radius=" << base.workload.scenario.orbit_radius
+            << " m, runs=" << base.runs << ", slots=" << base.slots << "\n"
+            << "# 'OI event fraction' = share of initiations handled by the\n"
+            << "# expensive fine-grained rules (rest fall back to leave/join)\n\n"
+            << table.render() << "\n";
+  if (!csv.empty() && !table.write_csv(csv)) {
+    std::cerr << "failed to write " << csv << "\n";
+    return 1;
+  }
+  return 0;
+}

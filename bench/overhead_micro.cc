@@ -1,0 +1,162 @@
+/// Scheduling-overhead microbenchmarks (google-benchmark), mirroring the
+/// paper's measurements on its 2.7 GHz testbed:
+///   * per-slot PD2 scheduling decisions vs task count N (the paper
+///     measured ~5 us per slot for the Whisper-sized systems);
+///   * cost of one reweight initiation+enactment under PD2-LJ vs PD2-OI;
+///   * N simultaneous reweights (the Omega(max(N, M log N)) regime of
+///     Sec. 6);
+///   * the Whisper accumulate-and-multiply correlation kernel that the cost
+///     model is calibrated against.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "pfair/pfair.h"
+#include "pfair/ready_queue.h"
+#include "util/rng.h"
+#include "whisper/cost_model.h"
+
+namespace {
+
+using namespace pfr;
+using namespace pfr::pfair;
+
+/// Builds a system of n tasks with total weight <= 0.9*M on M processors.
+Engine make_system(int n, int m, ReweightPolicy policy) {
+  EngineConfig cfg;
+  cfg.processors = m;
+  cfg.policy = policy;
+  cfg.record_slot_trace = false;
+  Engine eng{cfg};
+  const Rational w = min(rat(1, 3), Rational{9 * m, 10 * n});
+  for (int i = 0; i < n; ++i) eng.add_task(w);
+  return eng;
+}
+
+void BM_SlotDecision(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Engine eng = make_system(n, 4, ReweightPolicy::kOmissionIdeal);
+  for (auto _ : state) {
+    eng.step();
+    benchmark::DoNotOptimize(eng.now());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["tasks"] = n;
+}
+BENCHMARK(BM_SlotDecision)->Arg(12)->Arg(32)->Arg(128)->Arg(512)->Iterations(20000);
+
+void BM_ReweightOnce(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const auto policy = static_cast<ReweightPolicy>(state.range(1));
+  Xoshiro256 rng{7};
+  Engine eng = make_system(n, 4, policy);
+  eng.run_until(16);
+  Slot t = 16;
+  std::int64_t den = 10 * n;
+  for (auto _ : state) {
+    const TaskId id = static_cast<TaskId>(rng.uniform_int(0, n - 1));
+    const Rational w{rng.uniform_int(1, std::max<std::int64_t>(9 * 4 / 10, 1)),
+                     den};
+    eng.request_weight_change(id, min(w, rat(1, 3)), t);
+    eng.step();
+    ++t;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReweightOnce)
+    ->Iterations(20000)
+    ->Args({12, static_cast<int>(ReweightPolicy::kLeaveJoin)})
+    ->Args({12, static_cast<int>(ReweightPolicy::kOmissionIdeal)})
+    ->Args({128, static_cast<int>(ReweightPolicy::kLeaveJoin)})
+    ->Args({128, static_cast<int>(ReweightPolicy::kOmissionIdeal)});
+
+void BM_SimultaneousReweights(benchmark::State& state) {
+  // All N tasks reweight in the same slot: the Omega(max(N, M log N)) case.
+  const int n = static_cast<int>(state.range(0));
+  const auto policy = static_cast<ReweightPolicy>(state.range(1));
+  for (auto _ : state) {
+    state.PauseTiming();
+    Engine eng = make_system(n, 4, policy);
+    eng.run_until(8);
+    for (int i = 0; i < n; ++i) {
+      eng.request_weight_change(static_cast<TaskId>(i),
+                                Rational{1, 2 * n}, 8);
+    }
+    state.ResumeTiming();
+    eng.step();  // processes all N initiations
+    benchmark::DoNotOptimize(eng.stats().initiations);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_SimultaneousReweights)
+    ->Args({16, static_cast<int>(ReweightPolicy::kLeaveJoin)})
+    ->Args({16, static_cast<int>(ReweightPolicy::kOmissionIdeal)})
+    ->Args({256, static_cast<int>(ReweightPolicy::kLeaveJoin)})
+    ->Args({256, static_cast<int>(ReweightPolicy::kOmissionIdeal)});
+
+void BM_WhisperSlot(benchmark::State& state) {
+  // A full Whisper-sized system (12 tasks, M = 4): the configuration whose
+  // per-slot decisions the paper timed at ~5 us.
+  Engine eng = make_system(12, 4, ReweightPolicy::kOmissionIdeal);
+  for (auto _ : state) {
+    eng.step();
+    benchmark::DoNotOptimize(eng.now());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WhisperSlot)->Iterations(20000);
+
+void BM_ReadyQueuePushPop(benchmark::State& state) {
+  // O(log N) queue operations backing the paper's complexity claims:
+  // a slot's worth of work = M pops + M re-pushes on an N-deep queue.
+  const int n = static_cast<int>(state.range(0));
+  Xoshiro256 rng{11};
+  ReadyQueue<int> q;
+  std::vector<std::pair<Pd2Priority, int>> initial;
+  initial.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    initial.emplace_back(
+        Pd2Priority{rng.uniform_int(0, 1000),
+                    static_cast<int>(rng.uniform_int(0, 1)), 0, 0,
+                    static_cast<TaskId>(i)},
+        i);
+  }
+  q.assign(std::move(initial));
+  constexpr int kM = 4;
+  for (auto _ : state) {
+    int popped[kM];
+    Pd2Priority prios[kM];
+    for (int k = 0; k < kM; ++k) {
+      prios[k] = q.top().first;
+      popped[k] = q.pop();
+    }
+    for (int k = 0; k < kM; ++k) {
+      prios[k].deadline += rng.uniform_int(1, 16);  // next window
+      q.push(prios[k], popped[k]);
+    }
+    benchmark::DoNotOptimize(q.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * kM);
+}
+BENCHMARK(BM_ReadyQueuePushPop)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_CorrelationKernel(benchmark::State& state) {
+  // The accumulate-and-multiply operation the paper timed to derive the
+  // weight ranges; `shifts` models the search window at a given distance.
+  const std::int64_t shifts = state.range(0);
+  const whisper::CostModelConfig cfg;
+  Xoshiro256 rng{3};
+  std::vector<float> ref(static_cast<std::size_t>(cfg.corr_taps));
+  for (auto& v : ref) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  std::vector<float> sig(ref.size() + static_cast<std::size_t>(shifts));
+  for (auto& v : sig) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(whisper::correlate(ref, sig, shifts));
+  }
+  state.SetItemsProcessed(state.iterations() * shifts * cfg.corr_taps);
+}
+BENCHMARK(BM_CorrelationKernel)->Arg(72)->Arg(284)->Arg(1136);
+
+}  // namespace
+
+BENCHMARK_MAIN();

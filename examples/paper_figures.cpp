@@ -1,0 +1,114 @@
+/// \file paper_figures.cpp
+/// \brief Interactive tour of the paper's worked examples: renders the
+/// window diagrams and ideal allocations of Figs. 1, 3, 4 and 8 from the
+/// live engine, with the paper's values annotated.  Useful for studying
+/// how the reweighting rules move windows around.
+///
+///   ./examples/paper_figures
+#include <iostream>
+
+#include "pfair/pfair.h"
+#include "pfair/theory_checks.h"
+
+namespace {
+
+using namespace pfr;
+using namespace pfr::pfair;
+
+void heading(const char* text) {
+  std::cout << "\n=== " << text << " ===\n";
+}
+
+void show_windows(const Engine& eng, TaskId id) {
+  const TaskState& t = eng.task(id);
+  for (const Subtask& s : t.subtasks) {
+    std::cout << "  " << t.name << "_" << s.index << ": window [" << s.release
+              << ", " << s.deadline << ")  b=" << s.b;
+    if (s.halted()) std::cout << "  HALTED at " << s.halted_at;
+    if (!s.present) std::cout << "  ABSENT";
+    if (s.scheduled()) std::cout << "  ran in slot " << s.scheduled_at;
+    std::cout << "\n";
+  }
+}
+
+}  // namespace
+
+int main() {
+  {
+    heading("Fig. 1(a): periodic task of weight 5/16");
+    EngineConfig cfg;
+    cfg.processors = 1;
+    Engine eng{cfg};
+    const TaskId t = eng.add_task(rat(5, 16), 0, "T");
+    eng.run_until(16);
+    show_windows(eng, t);
+    std::cout << "(paper: windows [0,4) [3,7) [6,10) [9,13) [12,16), "
+                 "b = 1,1,1,1,0)\n\n"
+              << render_allocation_grid(eng.task(t), 16);
+  }
+  {
+    heading("Fig. 1(b): IS task, T_2 delayed 2, T_3 delayed 1 more");
+    EngineConfig cfg;
+    cfg.processors = 1;
+    Engine eng{cfg};
+    const TaskId t = eng.add_task(rat(5, 16), 0, "T");
+    eng.add_separation(t, 2, 2);
+    eng.add_separation(t, 3, 1);
+    eng.run_until(19);
+    show_windows(eng, t);
+    std::cout << "(the task is active in every slot except slot 4)\n";
+  }
+  {
+    heading("Fig. 3(b)/Fig. 7: X reweights 3/19 -> 2/5 at 8 via rule I");
+    EngineConfig cfg;
+    cfg.processors = 1;
+    Engine eng{cfg};
+    const TaskId x = eng.add_task(rat(3, 19), 0, "X");
+    eng.request_weight_change(x, rat(2, 5), 8);
+    eng.run_until(16);
+    show_windows(eng, x);
+    std::cout << '\n' << render_allocation_grid(eng.task(x), 16) << '\n';
+    std::cout << "X_2 completes in I_SW at "
+              << eng.task(x).sub(2).nominal_complete_at
+              << " (paper: 10); its last ideal slot gets "
+              << eng.task(x).sub(2).nominal_last_slot_alloc.to_string()
+              << " (paper: 32/95)\n";
+  }
+  {
+    heading("Fig. 4: one processor, U reweights 2/5 -> 1/2 at 3 via rule O");
+    EngineConfig cfg;
+    cfg.processors = 1;
+    Engine eng{cfg};
+    const TaskId t = eng.add_task(rat(2, 5), 0, "T");
+    const TaskId u = eng.add_task(rat(2, 5), 0, "U");
+    eng.set_tie_rank(t, 0);
+    eng.set_tie_rank(u, 1);
+    eng.request_weight_change(u, rat(1, 2), 3);
+    eng.run_until(10);
+    std::cout << render_schedule(eng, 0, 10);
+    show_windows(eng, u);
+  }
+  {
+    heading("Fig. 8: why leave/join is coarse-grained");
+    for (const auto policy :
+         {ReweightPolicy::kLeaveJoin, ReweightPolicy::kOmissionIdeal}) {
+      EngineConfig cfg;
+      cfg.processors = 4;
+      cfg.policy = policy;
+      Engine eng{cfg};
+      for (int i = 0; i < 35; ++i) eng.add_task(rat(1, 10));
+      const TaskId t = eng.add_task(rat(1, 10), 0, "T");
+      eng.request_weight_change(t, rat(1, 2), 4);
+      eng.run_until(20);
+      std::cout << "  " << to_string(policy)
+                << ": drift(T) = " << eng.drift(t).to_string()
+                << (policy == ReweightPolicy::kLeaveJoin
+                        ? "  (paper: 24/10 -- grows without bound)"
+                        : "  (bounded by 2, Theorem 5)")
+                << "\n";
+    }
+  }
+  std::cout << "\nAll values above are computed live by the engine; the "
+               "same numbers are\nasserted exactly in tests/*.cc.\n";
+  return 0;
+}

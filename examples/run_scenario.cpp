@@ -1,0 +1,99 @@
+/// \file run_scenario.cpp
+/// \brief Runs a scenario described in the text format of scenario_io.h,
+/// prints the schedule and per-task summaries, and optionally exports a
+/// per-slot metrics CSV.
+///
+///   ./examples/run_scenario --file=scenario.txt [--csv=metrics.csv]
+///   ./examples/run_scenario            # runs a built-in demo (Fig. 6(b))
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "pfair/scenario_io.h"
+#include "pfair/timeseries.h"
+#include "pfair/trace.h"
+#include "util/cli.h"
+
+namespace {
+
+constexpr const char* kDemoScenario = R"(# Fig. 6(b): rule O on four processors
+processors 4
+policy oi
+task C0 3/20 rank=0
+task C1 3/20 rank=0
+task C2 3/20 rank=0
+task C3 3/20 rank=0
+task C4 3/20 rank=0
+task C5 3/20 rank=0
+task C6 3/20 rank=0
+task C7 3/20 rank=0
+task C8 3/20 rank=0
+task C9 3/20 rank=0
+task C10 3/20 rank=0
+task C11 3/20 rank=0
+task C12 3/20 rank=0
+task C13 3/20 rank=0
+task C14 3/20 rank=0
+task C15 3/20 rank=0
+task C16 3/20 rank=0
+task C17 3/20 rank=0
+task C18 3/20 rank=0
+task T 3/20 rank=1
+reweight T 1/2 at=10
+horizon 20
+)";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pfr;
+  using namespace pfr::pfair;
+
+  const CliArgs cli{argc, argv};
+  const std::string file = cli.get_string("file", "");
+  const std::string csv = cli.get_string("csv", "");
+  if (!cli.unknown_flags().empty()) {
+    std::cerr << "unknown flag: --" << cli.unknown_flags().front() << "\n";
+    return 2;
+  }
+
+  ScenarioSpec spec;
+  try {
+    if (file.empty()) {
+      std::cout << "(no --file given; running the built-in Fig. 6(b) demo)\n\n";
+      spec = parse_scenario_string(kDemoScenario);
+    } else {
+      std::ifstream in{file};
+      if (!in) {
+        std::cerr << "cannot open " << file << "\n";
+        return 1;
+      }
+      spec = parse_scenario(in);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "parse error: " << e.what() << "\n";
+    return 1;
+  }
+
+  BuiltScenario built = build_scenario(spec);
+  Engine& eng = *built.engine;
+  const MetricsRecorder rec = MetricsRecorder::record_run(eng, built.horizon);
+
+  std::cout << render_schedule(eng, 0, eng.now()) << "\n";
+  for (const auto& [name, id] : built.ids) {
+    std::cout << summarize_task(eng, id) << "\n";
+  }
+  std::cout << "\nmisses: " << eng.misses().size()
+            << ", enactments: " << eng.stats().enactments << "\n";
+
+  if (!csv.empty()) {
+    std::ofstream out{csv};
+    if (!out) {
+      std::cerr << "cannot write " << csv << "\n";
+      return 1;
+    }
+    out << rec.to_csv(eng);
+    std::cout << "per-slot metrics written to " << csv << "\n";
+  }
+  return 0;
+}

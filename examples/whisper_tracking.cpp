@@ -1,0 +1,79 @@
+/// \file whisper_tracking.cpp
+/// \brief End-to-end Whisper simulation: three speakers orbit the pole, the
+/// correlation cost model drives per-pair task weights, and PD2-OI tracks
+/// the share changes.  Prints a timeline of one pair's weight trajectory
+/// and the run's headline metrics for both reweighting schemes.
+///
+///   ./examples/whisper_tracking [--speed=2.0] [--radius=0.25]
+///                               [--slots=1000] [--seed=2005]
+#include <iostream>
+
+#include "exp/experiment.h"
+#include "util/cli.h"
+#include "whisper/workload.h"
+
+int main(int argc, char** argv) {
+  using namespace pfr;
+  using namespace pfr::pfair;
+
+  const CliArgs cli{argc, argv};
+  whisper::WorkloadConfig wcfg;
+  wcfg.scenario.speed = cli.get_double("speed", 2.0);
+  wcfg.scenario.orbit_radius = cli.get_double("radius", 0.25);
+  const Slot slots = cli.get_int("slots", 1000);
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 2005));
+  if (!cli.unknown_flags().empty()) {
+    std::cerr << "unknown flag: --" << cli.unknown_flags().front() << "\n";
+    return 2;
+  }
+
+  const whisper::Workload workload =
+      whisper::generate_workload(wcfg, seed, 0, slots);
+
+  std::cout << "Whisper: 3 speakers x 4 microphones = "
+            << workload.tasks.size() << " tracking tasks, "
+            << workload.total_events << " weight-change initiations over "
+            << slots << " ms\n\n";
+
+  const whisper::TaskTrace& pair = workload.tasks.front();
+  std::cout << "weight trajectory of speaker " << pair.speaker
+            << " / microphone " << pair.microphone << ":\n  t=0: "
+            << pair.initial_weight.to_string();
+  std::size_t shown = 0;
+  for (const auto& [slot, weight] : pair.events) {
+    std::cout << "  t=" << slot << ": " << weight.to_string();
+    if (++shown == 12) {
+      std::cout << "  ... (" << pair.events.size() - shown << " more)";
+      break;
+    }
+  }
+  std::cout << "\n\n";
+
+  for (const ReweightPolicy policy :
+       {ReweightPolicy::kOmissionIdeal, ReweightPolicy::kLeaveJoin}) {
+    EngineConfig ecfg;
+    ecfg.processors = 4;
+    ecfg.policy = policy;
+    Engine eng{ecfg};
+    const auto ids = whisper::install_workload(eng, workload);
+    eng.run_until(slots);
+
+    Rational worst;
+    double pct_sum = 0.0;
+    for (const TaskId id : ids) {
+      worst = max(worst, eng.drift(id).abs());
+      const TaskState& t = eng.task(id);
+      pct_sum += 100.0 * static_cast<double>(t.scheduled_count) /
+                 t.cum_ips.to_double();
+    }
+    std::cout << to_string(policy) << ":  max |drift| = "
+              << worst.to_string() << " quanta, avg % of ideal allocation = "
+              << pct_sum / static_cast<double>(ids.size())
+              << ", misses = " << eng.misses().size()
+              << ", enactments = " << eng.stats().enactments << "\n";
+  }
+  std::cout << "\nPD2-OI enacts weight changes within two quanta; PD2-LJ\n"
+               "waits out each old window, so its drift grows with every\n"
+               "occlusion-driven share spike.\n";
+  return 0;
+}

@@ -1,0 +1,73 @@
+#include "exp/experiment.h"
+
+#include <algorithm>
+#include <cmath>
+#include <mutex>
+
+namespace pfr::exp {
+
+RunResult run_whisper_once(const ExperimentConfig& cfg,
+                           std::uint64_t run_index) {
+  const whisper::Workload workload =
+      whisper::generate_workload(cfg.workload, cfg.seed, run_index, cfg.slots);
+
+  pfair::EngineConfig ecfg = cfg.engine;
+  ecfg.record_slot_trace = false;  // not needed for metrics; saves memory
+  pfair::Engine engine{ecfg};
+  const std::vector<pfair::TaskId> ids =
+      whisper::install_workload(engine, workload);
+  engine.run_until(cfg.slots);
+
+  RunResult r;
+  bool first = true;
+  double pct_sum = 0.0;
+  for (const pfair::TaskId id : ids) {
+    const pfair::TaskState& t = engine.task(id);
+    const double drift = t.drift.to_double();
+    r.max_abs_drift = std::max(r.max_abs_drift, std::fabs(drift));
+    if (first) {
+      r.max_drift_signed = drift;
+      r.min_drift_signed = drift;
+    } else {
+      r.max_drift_signed = std::max(r.max_drift_signed, drift);
+      r.min_drift_signed = std::min(r.min_drift_signed, drift);
+    }
+    const double ideal = t.cum_ips.to_double();
+    const double pct =
+        ideal > 0.0 ? 100.0 * static_cast<double>(t.scheduled_count) / ideal
+                    : 100.0;
+    pct_sum += pct;
+    r.min_pct_of_ideal = first ? pct : std::min(r.min_pct_of_ideal, pct);
+    first = false;
+  }
+  r.avg_pct_of_ideal = pct_sum / static_cast<double>(ids.size());
+  r.misses = static_cast<std::int64_t>(engine.misses().size());
+  r.initiations = engine.stats().initiations;
+  r.enactments = engine.stats().enactments;
+  r.oi_events = engine.stats().oi_events;
+  r.lj_events = engine.stats().lj_events;
+  return r;
+}
+
+BatchResult run_whisper_batch(const ExperimentConfig& cfg, ThreadPool& pool) {
+  std::vector<RunResult> results(static_cast<std::size_t>(cfg.runs));
+  parallel_for(pool, results.size(), [&cfg, &results](std::size_t i) {
+    results[i] = run_whisper_once(cfg, i);
+  });
+
+  BatchResult b;
+  bool first = true;
+  for (const RunResult& r : results) {
+    b.max_abs_drift.add(r.max_abs_drift);
+    b.avg_pct_of_ideal.add(r.avg_pct_of_ideal);
+    b.misses.add(static_cast<double>(r.misses));
+    b.enactments.add(static_cast<double>(r.enactments));
+    b.worst_pct_of_ideal = first ? r.min_pct_of_ideal
+                                 : std::min(b.worst_pct_of_ideal,
+                                            r.min_pct_of_ideal);
+    first = false;
+  }
+  return b;
+}
+
+}  // namespace pfr::exp

@@ -1,0 +1,60 @@
+/// \file experiment.h
+/// \brief Replicated Whisper experiments: one run, a batch with CIs, sweeps.
+///
+/// Reproduces the paper's protocol: each data point is the mean of `runs`
+/// (61 in the paper) independent simulations with random speaker phases,
+/// reported with a 98% Student-t confidence interval; each run simulates
+/// 1,000 slots (1 ms quantum) on M = 4 processors.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pfair/engine.h"
+#include "util/stats.h"
+#include "util/thread_pool.h"
+#include "whisper/workload.h"
+
+namespace pfr::exp {
+
+/// Everything a single simulated run of Whisper produces.
+struct RunResult {
+  double max_abs_drift{0.0};     ///< max over tasks of |drift(T, horizon)|
+  double max_drift_signed{0.0};  ///< max over tasks (signed)
+  double min_drift_signed{0.0};  ///< min over tasks (signed)
+  double avg_pct_of_ideal{0.0};  ///< mean over tasks of 100*A(S)/A(I_PS)
+  double min_pct_of_ideal{0.0};
+  std::int64_t misses{0};
+  std::int64_t initiations{0};
+  std::int64_t enactments{0};
+  std::int64_t oi_events{0};
+  std::int64_t lj_events{0};
+};
+
+struct ExperimentConfig {
+  whisper::WorkloadConfig workload;
+  pfair::EngineConfig engine;  ///< processors/policy/policing/hybrid knobs
+  pfair::Slot slots{1000};
+  std::uint64_t seed{2005};
+  int runs{61};
+  double confidence{0.98};
+};
+
+/// Simulates one replicate (deterministic in (cfg.seed, run_index)).
+[[nodiscard]] RunResult run_whisper_once(const ExperimentConfig& cfg,
+                                         std::uint64_t run_index);
+
+/// Aggregated statistics over the replicates of one configuration.
+struct BatchResult {
+  RunningStats max_abs_drift;
+  RunningStats avg_pct_of_ideal;
+  RunningStats misses;
+  RunningStats enactments;
+  double worst_pct_of_ideal{0.0};  ///< min over runs of min-over-tasks %
+};
+
+/// Runs cfg.runs replicates on the pool and aggregates.
+[[nodiscard]] BatchResult run_whisper_batch(const ExperimentConfig& cfg,
+                                            ThreadPool& pool);
+
+}  // namespace pfr::exp

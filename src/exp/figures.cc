@@ -1,0 +1,55 @@
+#include "exp/figures.h"
+
+#include <string>
+
+namespace pfr::exp {
+
+Fig11Config default_fig11_config() {
+  Fig11Config cfg;
+  cfg.base.engine.processors = 4;
+  cfg.base.engine.policing = pfair::PolicingMode::kClamp;
+  cfg.base.slots = 1000;
+  cfg.base.runs = 61;
+  cfg.base.seed = 2005;
+  cfg.base.workload.scenario.speakers = 3;
+  cfg.base.workload.scenario.quantum_seconds = 1e-3;
+  return cfg;
+}
+
+TextTable fig11_table(const Fig11Config& cfg, Axis axis, Metric metric,
+                      ThreadPool& pool) {
+  const std::string x_name = axis == Axis::kSpeed ? "speed_m_s" : "radius_m";
+  TextTable table{{x_name, "PD2-LJ occl", "PD2-LJ no-occl", "PD2-OI occl",
+                   "PD2-OI no-occl"}};
+
+  const std::vector<double>& xs =
+      axis == Axis::kSpeed ? cfg.speeds : cfg.radii;
+  for (const double x : xs) {
+    table.begin_row();
+    table.add_double(x, 2);
+    for (const pfair::ReweightPolicy policy :
+         {pfair::ReweightPolicy::kLeaveJoin,
+          pfair::ReweightPolicy::kOmissionIdeal}) {
+      for (const bool occlusions : {true, false}) {
+        ExperimentConfig e = cfg.base;
+        e.engine.policy = policy;
+        if (axis == Axis::kSpeed) {
+          e.workload.scenario.speed = x;
+          e.workload.scenario.orbit_radius = cfg.fixed_radius;
+        } else {
+          e.workload.scenario.orbit_radius = x;
+          e.workload.scenario.speed = cfg.fixed_speed;
+        }
+        e.workload.scenario.occlusions = occlusions;
+        const BatchResult b = run_whisper_batch(e, pool);
+        const RunningStats& s = metric == Metric::kMaxDrift
+                                    ? b.max_abs_drift
+                                    : b.avg_pct_of_ideal;
+        table.add_ci(s.mean(), s.confidence_half_width(cfg.base.confidence), 3);
+      }
+    }
+  }
+  return table;
+}
+
+}  // namespace pfr::exp

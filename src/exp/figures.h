@@ -1,0 +1,55 @@
+/// \file figures.h
+/// \brief Exact reproductions of the paper's Fig. 11 series.
+///
+/// Each function returns a TextTable whose rows are the x-axis points of the
+/// corresponding inset and whose columns are the four curves the paper
+/// plots: {PD2-LJ, PD2-OI} x {occlusions, no occlusions}, each as
+/// "mean +/- 98% CI" over the replicates.
+#pragma once
+
+#include <vector>
+
+#include "exp/experiment.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+
+namespace pfr::exp {
+
+/// Shared knobs for all four insets.
+struct Fig11Config {
+  ExperimentConfig base;  ///< engine/workload defaults; speed/radius swept
+  std::vector<double> speeds{0.5, 1.0, 1.5, 2.0, 2.5, 2.9, 3.5};  ///< m/s
+  std::vector<double> radii{0.10, 0.20, 0.25, 0.30, 0.40, 0.50};  ///< m
+  double fixed_radius{0.25};  ///< insets (a)/(b)
+  double fixed_speed{2.9};    ///< insets (c)/(d)
+};
+
+/// Returns the paper's default experiment setup: M = 4, 1 ms quantum,
+/// 1,000 slots, 61 runs, clamp policing.
+[[nodiscard]] Fig11Config default_fig11_config();
+
+enum class Metric { kMaxDrift, kPctOfIdeal };
+enum class Axis { kSpeed, kRadius };
+
+/// Generic emitter: sweeps `axis`, measures `metric`, four curves.
+[[nodiscard]] TextTable fig11_table(const Fig11Config& cfg, Axis axis,
+                                    Metric metric, ThreadPool& pool);
+
+/// Fig. 11(a): max drift vs speed (radius fixed at cfg.fixed_radius).
+[[nodiscard]] inline TextTable fig11a(const Fig11Config& cfg, ThreadPool& p) {
+  return fig11_table(cfg, Axis::kSpeed, Metric::kMaxDrift, p);
+}
+/// Fig. 11(b): % of ideal allocation vs speed.
+[[nodiscard]] inline TextTable fig11b(const Fig11Config& cfg, ThreadPool& p) {
+  return fig11_table(cfg, Axis::kSpeed, Metric::kPctOfIdeal, p);
+}
+/// Fig. 11(c): max drift vs radius (speed fixed at cfg.fixed_speed).
+[[nodiscard]] inline TextTable fig11c(const Fig11Config& cfg, ThreadPool& p) {
+  return fig11_table(cfg, Axis::kRadius, Metric::kMaxDrift, p);
+}
+/// Fig. 11(d): % of ideal allocation vs radius.
+[[nodiscard]] inline TextTable fig11d(const Fig11Config& cfg, ThreadPool& p) {
+  return fig11_table(cfg, Axis::kRadius, Metric::kPctOfIdeal, p);
+}
+
+}  // namespace pfr::exp

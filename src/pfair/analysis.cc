@@ -1,0 +1,88 @@
+#include "pfair/analysis.h"
+
+#include <numeric>
+
+#include "pfair/weight.h"
+#include "pfair/windows.h"
+
+namespace pfr::pfair {
+
+WindowStats analyze_windows(const Rational& weight,
+                            SubtaskIndex horizon_subtasks) {
+  WindowStats out;
+  out.weight = weight;
+  out.period = weight.den();
+  if (horizon_subtasks <= 0) horizon_subtasks = weight.num();  // one period
+  Slot total = 0;
+  std::int64_t b_ones = 0;
+  for (SubtaskIndex q = 1; q <= horizon_subtasks; ++q) {
+    const Slot len = window_length(q, weight);
+    if (q == 1 || len < out.min_length) out.min_length = len;
+    if (len > out.max_length) out.max_length = len;
+    total += len;
+    b_ones += b_bit(q, weight);
+  }
+  out.mean_length =
+      static_cast<double>(total) / static_cast<double>(horizon_subtasks);
+  out.b_bit_fraction =
+      static_cast<double>(b_ones) / static_cast<double>(horizon_subtasks);
+  return out;
+}
+
+AdmissionReport check_admission(const std::vector<Rational>& weights,
+                                int processors) {
+  AdmissionReport out;
+  if (processors < 1) {
+    out.problems.push_back("processor count must be at least 1");
+    return out;
+  }
+  bool valid = true;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    const Rational& w = weights[i];
+    if (!(w > 0) || w > 1) {
+      out.problems.push_back("task " + std::to_string(i) + " weight " +
+                             w.to_string() + " outside (0, 1]");
+      valid = false;
+      continue;
+    }
+    if (w > kMaxWeight) {
+      out.all_light = false;
+      out.problems.push_back("task " + std::to_string(i) + " is heavy (" +
+                             w.to_string() +
+                             "): schedulable statically, not reweightable");
+    }
+    out.total_weight += w;
+    out.largest_weight = max(out.largest_weight, w);
+  }
+  out.headroom = Rational{processors} - out.total_weight;
+  if (out.headroom < 0) {
+    out.problems.push_back("total weight " + out.total_weight.to_string() +
+                           " exceeds " + std::to_string(processors) +
+                           " processors");
+  }
+  out.schedulable = valid && out.headroom >= 0;
+  return out;
+}
+
+Rational max_grantable_weight(const std::vector<Rational>& other_weights,
+                              int processors) {
+  Rational others;
+  for (const Rational& w : other_weights) others += w;
+  const Rational avail = Rational{processors} - others;
+  if (avail <= 0) return Rational{};
+  return min(avail, kMaxWeight);
+}
+
+Slot hyperperiod(const std::vector<Rational>& weights) {
+  Slot l = 1;
+  for (const Rational& w : weights) {
+    const Slot den = w.den();
+    const Slot g = std::gcd(l, den);
+    // Overflow-guarded lcm.
+    if (l / g > kNever / den) return 0;
+    l = l / g * den;
+  }
+  return l;
+}
+
+}  // namespace pfr::pfair

@@ -1,0 +1,56 @@
+/// \file analysis.h
+/// \brief Offline task-set analysis: admission, utilization, window shape.
+///
+/// Everything PD2 guarantees follows from one admission condition -- total
+/// weight at most M (property (W)) -- but a downstream adopter still wants
+/// to ask "does this set fit?", "how much headroom do I have for
+/// reweighting?", and "how long are the windows my tasks will see?" before
+/// running anything.  These helpers answer those questions from weights
+/// alone, without building an Engine.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pfair/types.h"
+#include "rational/rational.h"
+
+namespace pfr::pfair {
+
+/// Shape statistics of the first `horizon_subtasks` windows of a stream of
+/// weight w.
+struct WindowStats {
+  Rational weight;
+  Slot min_length{0};
+  Slot max_length{0};
+  double mean_length{0.0};
+  double b_bit_fraction{0.0};  ///< fraction of subtasks with b = 1
+  Slot period{0};              ///< w.den(): the window pattern's cycle
+};
+
+[[nodiscard]] WindowStats analyze_windows(const Rational& weight,
+                                          SubtaskIndex horizon_subtasks = 0);
+
+/// Admission report for a prospective task set on M processors.
+struct AdmissionReport {
+  bool schedulable{false};     ///< total weight <= M and weights valid
+  bool all_light{true};        ///< every weight <= 1/2 (reweighting allowed)
+  Rational total_weight;
+  Rational headroom;           ///< M - total (negative if over-subscribed)
+  Rational largest_weight;
+  std::vector<std::string> problems;  ///< human-readable findings
+};
+
+[[nodiscard]] AdmissionReport check_admission(
+    const std::vector<Rational>& weights, int processors);
+
+/// Largest weight `v` a task of current weight `w` could be granted under
+/// clamp policing, given the other tasks' weights: min(1/2, M - sum_others).
+[[nodiscard]] Rational max_grantable_weight(
+    const std::vector<Rational>& other_weights, int processors);
+
+/// Hyperperiod (lcm of weight denominators), after which the combined
+/// window pattern of a static set repeats.  Returns 0 on overflow.
+[[nodiscard]] Slot hyperperiod(const std::vector<Rational>& weights);
+
+}  // namespace pfr::pfair

@@ -1,0 +1,202 @@
+#include "pfair/engine.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "pfair/windows.h"
+
+namespace pfr::pfair {
+
+Engine::Engine(EngineConfig cfg) : cfg_(cfg) {
+  if (cfg_.processors < 1) {
+    throw std::invalid_argument("Engine: processors must be >= 1");
+  }
+}
+
+TaskId Engine::add_task(Rational weight, Slot join_time, std::string name) {
+  if (cfg_.allow_heavy) {
+    if (!(weight > 0) || weight > 1) throw InvalidWeight{weight};
+  } else {
+    check_weight(weight);
+  }
+  if (join_time < now_) {
+    throw std::invalid_argument("Engine::add_task: join time in the past");
+  }
+  TaskState t;
+  t.id = static_cast<TaskId>(tasks_.size());
+  t.name = name.empty() ? "T" + std::to_string(t.id) : std::move(name);
+  t.join_time = join_time;
+  t.wt = weight;
+  t.swt = weight;
+  t.swt_history.emplace_back(join_time, weight);
+  t.next_release = join_time;
+  tasks_.push_back(std::move(t));
+  return tasks_.back().id;
+}
+
+void Engine::set_tie_rank(TaskId id, int rank) {
+  tasks_.at(static_cast<std::size_t>(id)).tie_rank = rank;
+}
+
+void Engine::add_separation(TaskId id, SubtaskIndex j, Slot delay) {
+  TaskState& t = tasks_.at(static_cast<std::size_t>(id));
+  if (t.next_index > j) {
+    throw std::invalid_argument("add_separation: T_j already released");
+  }
+  if (delay < 0) throw std::invalid_argument("add_separation: negative delay");
+  t.separations[j] = delay;
+}
+
+void Engine::mark_absent(TaskId id, SubtaskIndex j) {
+  TaskState& t = tasks_.at(static_cast<std::size_t>(id));
+  if (t.next_index > j) {
+    throw std::invalid_argument("mark_absent: T_j already released");
+  }
+  t.absent_indices.insert(j);
+}
+
+void Engine::request_weight_change(TaskId id, Rational new_weight, Slot at) {
+  if (at < now_) {
+    throw std::invalid_argument("request_weight_change: time in the past");
+  }
+  check_weight(new_weight);
+  event_queue_.push_back(QueuedEvent{at, id, new_weight, /*is_leave=*/false});
+  events_dirty_ = true;
+}
+
+void Engine::request_leave(TaskId id, Slot at) {
+  if (at < now_) {
+    throw std::invalid_argument("request_leave: time in the past");
+  }
+  event_queue_.push_back(QueuedEvent{at, id, Rational{}, /*is_leave=*/true});
+  events_dirty_ = true;
+}
+
+void Engine::run_until(Slot horizon) {
+  while (now_ < horizon) step();
+}
+
+void Engine::step() {
+  const Slot t = now_;
+  oi_budget_used_this_slot_ = 0;
+  process_joins(t);
+  process_pending_enactments(t);
+  process_due_releases(t);
+  process_due_events(t);
+  accrue_ideal(t);
+  dispatch(t);
+  if (cfg_.validate) validate_slot(t);
+  ++now_;
+  ++stats_.slots;
+  detect_misses(now_);
+}
+
+void Engine::process_joins(Slot t) {
+  for (TaskState& task : tasks_) {
+    if (!task.joined && task.join_time == t) {
+      task.joined = true;
+    }
+  }
+}
+
+void Engine::process_due_releases(Slot t) {
+  for (TaskState& task : tasks_) {
+    if (!task.joined || task.chain_frozen) continue;
+    if (task.leave_requested_at <= t) continue;
+    if (task.next_release == t) release_subtask(task, t);
+  }
+}
+
+void Engine::release_subtask(TaskState& task, Slot at) {
+  const SubtaskIndex j = task.next_index;
+  const SubtaskIndex q = j - task.gen_base;
+  Subtask s;
+  s.index = j;
+  s.gen_base = task.gen_base;
+  s.release = at;
+  s.deadline = deadline_from_release(at, q, task.swt);
+  s.b = b_bit(q, task.swt);
+  if (task.swt > kMaxWeight) {
+    // Heavy task: the third PD2 tie-break.  Offsets are relative to the
+    // generation's start, recovered from this subtask's own release offset.
+    const Slot gen_start = at - release_offset(q, task.swt);
+    s.group_deadline = gen_start + group_deadline_offset(q, task.swt);
+  }
+  s.swt_at_release = task.swt;
+  s.present = task.absent_indices.count(j) == 0;
+
+  if (cfg_.validate && !task.subtasks.empty()) {
+    // Property (V): if the new window starts before d(T_i) - b(T_i) of the
+    // predecessor, the predecessor must already be complete in both I_CSW
+    // and the PD2 schedule.
+    const Subtask& prev = task.subtasks.back();
+    if (prev.deadline - prev.b > at) {
+      if (!(prev.icsw_complete_at() <= at && prev.complete_in_s_by(at))) {
+        throw std::logic_error("property (V) violated at release of " +
+                               task.name + "_" + std::to_string(j));
+      }
+    }
+  }
+
+  task.subtasks.push_back(s);
+  task.next_index = j + 1;
+  if (TaskState::gen_first(task.subtasks.back())) sample_drift(task, at);
+  schedule_next_normal_release(task);
+}
+
+void Engine::schedule_next_normal_release(TaskState& task) {
+  const Subtask& last = task.subtasks.back();
+  Slot sep = 0;
+  const auto it = task.separations.find(task.next_index);
+  if (it != task.separations.end()) sep = it->second;
+  task.next_release = last.deadline - last.b + sep;  // Eqn. (4)
+}
+
+void Engine::detect_misses(Slot boundary) {
+  for (TaskState& task : tasks_) {
+    for (std::size_t k = task.dispatch_cursor; k < task.subtasks.size(); ++k) {
+      Subtask& s = task.subtasks[k];
+      if (s.release >= boundary) break;
+      if (!s.present || s.halted() || s.scheduled()) continue;
+      if (s.deadline == boundary) {
+        misses_.push_back(MissRecord{task.id, s.index, s.deadline});
+      }
+    }
+  }
+}
+
+void Engine::validate_slot(Slot /*t*/) {
+  // Property (W): total scheduling weight never exceeds M, unless policing
+  // is deliberately off (overload experiments).
+  if (cfg_.policing != PolicingMode::kOff) {
+    if (total_scheduling_weight() > Rational{cfg_.processors}) {
+      throw std::logic_error("property (W) violated: sum swt > M");
+    }
+  }
+}
+
+Rational Engine::total_lag_icsw() const {
+  Rational sum;
+  for (const TaskState& t : tasks_) {
+    sum += t.cum_icsw - Rational{t.scheduled_count};
+  }
+  return sum;
+}
+
+Rational Engine::total_scheduling_weight() const {
+  Rational sum;
+  for (const TaskState& t : tasks_) {
+    if (t.active_member(now_)) sum += t.swt;
+  }
+  return sum;
+}
+
+void Engine::sample_drift(TaskState& task, Slot u) {
+  const Rational d = task.cum_ips - task.cum_icsw;
+  task.drift = d;
+  task.drift_history.push_back(
+      TaskState::DriftPoint{u, d, task.initiations_since_enactment});
+  task.initiations_since_enactment = 0;
+}
+
+}  // namespace pfr::pfair

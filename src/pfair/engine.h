@@ -1,0 +1,211 @@
+/// \file engine.h
+/// \brief The PD2 scheduling engine with online reweighting.
+///
+/// Engine simulates a PD2-scheduled M-processor system slot by slot, applies
+/// one of the reweighting schemes (PD2-OI, PD2-LJ, or a hybrid), maintains
+/// the three ideal schedules the paper compares against (I_SW, I_CSW, I_PS),
+/// and records drift, lag, misses, and a full schedule trace.
+///
+/// Per-slot processing order at boundary t (each step may enable the next):
+///   1. joins due at t start a task's release chain;
+///   2. pending reweight enactments whose gate time has arrived fire:
+///      scheduling weight switches, a new generation's first subtask is
+///      released, drift is sampled (Eqn. (5));
+///   3. normal chain releases due at t happen (Eqns. (2)-(4));
+///   4. externally queued weight-change initiations and leave requests at t
+///      are processed (rules O/I or L/J decide halt/enactment gating);
+///   5. ideal per-slot allocations for slot t are accrued (Fig. 5 recursion
+///      for I_SW/I_CSW; wt(T, t) for I_PS);
+///   6. PD2 dispatches up to M subtasks for slot t (EPDF, b-bit tie-break,
+///      then the configurable final tie-break);
+///   7. deadline misses at t+1 are detected.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "pfair/priority.h"
+#include "pfair/task.h"
+#include "pfair/types.h"
+#include "pfair/weight.h"
+#include "rational/rational.h"
+
+namespace pfr::pfair {
+
+/// Static engine configuration.
+struct EngineConfig {
+  int processors{1};                 ///< M
+  ReweightPolicy policy{ReweightPolicy::kOmissionIdeal};
+  PolicingMode policing{PolicingMode::kClamp};
+  /// kHybridMagnitude: use OI when max(v/w, w/v) >= this ratio, else LJ.
+  double hybrid_magnitude_threshold{2.0};
+  /// kHybridBudget: at most this many OI initiations per slot; rest use LJ.
+  int hybrid_budget_per_slot{1};
+  bool record_slot_trace{true};
+  /// Run per-slot invariant checks (AF1, (W), window sanity).  Throws
+  /// std::logic_error on violation.  Intended for tests.
+  bool validate{false};
+  /// Admit *static* heavy tasks (1/2 < w <= 1): PD2 then uses the full
+  /// three-level tie-break (deadline, b-bit, group deadline).  Reweighting
+  /// heavy tasks stays unsupported -- the paper defers those rules to
+  /// Block's dissertation -- and such initiations throw.
+  bool allow_heavy{false};
+  /// Dispatch via the binary-heap ReadyQueue (O(N + M log N) per slot)
+  /// instead of partial sort.  Produces bit-identical schedules -- the
+  /// cross-validation tests assert this -- and exists to exercise the
+  /// production queue on real workloads.
+  bool use_ready_queue{false};
+};
+
+/// Per-slot record of which tasks ran.
+struct SlotRecord {
+  std::vector<TaskId> scheduled;  ///< tasks given the slot, unordered
+  int holes{0};                   ///< idle processors in this slot
+};
+
+/// Aggregate counters across the run.
+struct EngineStats {
+  std::int64_t slots{0};
+  std::int64_t dispatched{0};
+  std::int64_t holes{0};
+  int initiations{0};
+  int enactments{0};
+  int halts{0};
+  int oi_events{0};      ///< initiations handled by rules O/I
+  int lj_events{0};      ///< initiations handled by leave/join
+  int clamped_requests{0};
+  int rejected_requests{0};
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineConfig cfg);
+
+  // ----- task-set construction (allowed before and during the run) -----
+
+  /// Adds a task of the given weight joining at `join_time` (>= now).
+  /// Throws InvalidWeight unless 0 < weight <= 1/2.
+  TaskId add_task(Rational weight, Slot join_time = 0, std::string name = {});
+
+  /// Lower rank = favored when deadline and b-bit both tie (the paper's
+  /// figures fix specific tie orders; default rank 0, then lowest TaskId).
+  void set_tie_rank(TaskId id, int rank);
+
+  /// IS separation: delays the release of T_j by `delay` slots beyond
+  /// d(T_{j-1}) - b(T_{j-1}).  Must be set before T_j is released.
+  void add_separation(TaskId id, SubtaskIndex j, Slot delay);
+
+  /// AGIS: declares T_j absent (never scheduled, zero allocations, complete
+  /// at its release).  Must be set before T_j is released.
+  void mark_absent(TaskId id, SubtaskIndex j);
+
+  // ----- dynamic behavior -----
+
+  /// Queues a weight-change initiation for time `at` (>= now).  The engine's
+  /// policy decides the rule; policing may clamp or reject the target.
+  void request_weight_change(TaskId id, Rational new_weight, Slot at);
+
+  /// Queues a leave request: the task stops releasing subtasks at `at` and
+  /// leaves per rule L once its last released subtask's window closes.
+  void request_leave(TaskId id, Slot at);
+
+  // ----- execution -----
+
+  void step();                 ///< simulate one slot
+  void run_until(Slot horizon);///< simulate slots [now, horizon)
+  [[nodiscard]] Slot now() const noexcept { return now_; }
+
+  // ----- queries -----
+
+  [[nodiscard]] int processors() const noexcept { return cfg_.processors; }
+  [[nodiscard]] const EngineConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] std::size_t task_count() const noexcept { return tasks_.size(); }
+  [[nodiscard]] const TaskState& task(TaskId id) const {
+    return tasks_.at(static_cast<std::size_t>(id));
+  }
+  [[nodiscard]] const std::vector<MissRecord>& misses() const noexcept {
+    return misses_;
+  }
+  [[nodiscard]] const std::vector<SlotRecord>& trace() const noexcept {
+    return trace_;
+  }
+  [[nodiscard]] const EngineStats& stats() const noexcept { return stats_; }
+
+  /// drift(T, now) per Eqn. (5).
+  [[nodiscard]] Rational drift(TaskId id) const { return task(id).drift; }
+
+  /// lag(S, I_CSW, T, now) = A(I_CSW,T,0,now) - A(S,T,0,now).
+  [[nodiscard]] Rational lag_icsw(TaskId id) const {
+    const TaskState& t = task(id);
+    return t.cum_icsw - Rational{t.scheduled_count};
+  }
+
+  /// LAG(S, I_CSW, tau, now): sum of lag_icsw over all tasks.
+  [[nodiscard]] Rational total_lag_icsw() const;
+
+  /// Sum of current scheduling weights (property (W) left-hand side).
+  [[nodiscard]] Rational total_scheduling_weight() const;
+
+ private:
+  // engine.cc
+  void process_joins(Slot t);
+  void process_due_releases(Slot t);
+  void release_subtask(TaskState& task, Slot at);
+  void schedule_next_normal_release(TaskState& task);
+  void detect_misses(Slot boundary);
+  void validate_slot(Slot t);
+
+  // ideal.cc
+  void accrue_ideal(Slot t);
+  void accrue_task_ideal(TaskState& task, Slot t);
+
+  // scheduler.cc
+  void dispatch(Slot t);
+  [[nodiscard]] const Subtask* eligible_candidate(TaskState& task, Slot t);
+
+  // reweight.cc
+  void process_due_events(Slot t);
+  void process_pending_enactments(Slot t);
+  void initiate_weight_change(TaskState& task, Rational target, Slot t);
+  void initiate_leave(TaskState& task, Slot t);
+  void enact(TaskState& task, Rational target, Slot t);
+  void apply_rule_oi(TaskState& task, Rational target, Slot t);
+  void apply_rule_lj(TaskState& task, Rational target, Slot t);
+  [[nodiscard]] bool use_oi_rules(const TaskState& task, const Rational& target,
+                                  Slot t);
+  [[nodiscard]] Rational police(const TaskState& task, Rational target);
+  void sample_drift(TaskState& task, Slot u);
+
+  EngineConfig cfg_;
+  Slot now_{0};
+  std::vector<TaskState> tasks_;
+  std::vector<MissRecord> misses_;
+  std::vector<SlotRecord> trace_;
+  EngineStats stats_;
+
+  struct QueuedEvent {
+    Slot at;
+    TaskId task;
+    Rational target;  ///< weight, or unused for leaves
+    bool is_leave;
+  };
+  /// Events queued by request_*; the unprocessed suffix is stably sorted by
+  /// time on demand (events_dirty_).
+  std::vector<QueuedEvent> event_queue_;
+  std::size_t next_event_{0};
+  bool events_dirty_{false};
+
+  int oi_budget_used_this_slot_{0};
+
+  /// Scratch for dispatch(): (task, subtask) candidates.
+  struct Candidate {
+    TaskId task;
+    const Subtask* sub;
+  };
+  std::vector<Candidate> candidates_;
+  /// Scratch heap for the use_ready_queue dispatch mode.
+  std::vector<std::pair<Pd2Priority, Candidate>> heap_scratch_;
+};
+
+}  // namespace pfr::pfair

@@ -1,0 +1,84 @@
+/// \file epdf_projected.h
+/// \brief Clairvoyance-free EPDF with projected deadlines (Theorem 4 setup).
+///
+/// Theorem 4 shows that *any* EPDF scheduler incurs non-zero drift per
+/// reweighting event.  The proof's construction (Fig. 9) considers the only
+/// drift-free alternative: define each pending subtask's deadline as the
+/// *projection* of when the task's I_PS allocation will reach the next whole
+/// quantum under the current weight, recompute projections when weights
+/// change, and schedule EPDF on those fluid deadlines.  This tiny simulator
+/// implements exactly that scheduler so the benchmark/tests can observe the
+/// deadline miss the theorem predicts.  It is intentionally independent of
+/// the PD2 engine: no b-bits, no windows, no reweighting rules.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pfair/types.h"
+#include "rational/rational.h"
+
+namespace pfr::pfair {
+
+/// EPDF on projected-I_PS deadlines.  Weight changes are enacted instantly
+/// (the zero-drift policy Theorem 4 rules out).
+class ProjectedEpdfSim {
+ public:
+  explicit ProjectedEpdfSim(int processors);
+
+  /// Adds a task; it joins at `join` and leaves at `leave` (kNever = stays).
+  TaskId add_task(Rational weight, Slot join = 0, Slot leave = kNever,
+                  std::string name = {});
+
+  /// Instantaneously changes the task's weight at time `at`.
+  void change_weight(TaskId id, Rational weight, Slot at);
+
+  void run_until(Slot horizon);
+  [[nodiscard]] Slot now() const noexcept { return now_; }
+
+  struct Miss {
+    TaskId task;
+    Slot deadline;
+  };
+  [[nodiscard]] const std::vector<Miss>& misses() const noexcept {
+    return misses_;
+  }
+
+  /// Completed quanta of a task so far.
+  [[nodiscard]] std::int64_t completed(TaskId id) const {
+    return tasks_.at(static_cast<std::size_t>(id)).completed;
+  }
+
+  /// The task's current projected deadline (kNever if no pending quantum).
+  [[nodiscard]] Slot projected_deadline(TaskId id) const {
+    return tasks_.at(static_cast<std::size_t>(id)).deadline;
+  }
+
+ private:
+  struct Task {
+    std::string name;
+    Rational weight;
+    Slot join{0};
+    Slot leave{kNever};
+    Rational ips_cum;        ///< A(I_PS, T, 0, now)
+    std::int64_t completed{0};
+    Slot deadline{kNever};   ///< projection for quantum completed+1
+    bool missed{false};
+  };
+
+  struct WeightEvent {
+    Slot at;
+    TaskId task;
+    Rational weight;
+  };
+
+  void recompute_deadline(Task& t, Slot now);
+
+  int processors_;
+  Slot now_{0};
+  std::vector<Task> tasks_;
+  std::vector<WeightEvent> events_;
+  std::vector<Miss> misses_;
+};
+
+}  // namespace pfr::pfair

@@ -1,0 +1,86 @@
+/// \file ideal.cc
+/// \brief Per-slot ideal-schedule accrual: I_SW / I_CSW (Fig. 5) and I_PS.
+///
+/// The Fig. 5 recursion is evaluated *nominally* -- as if every subtask were
+/// present and never halted -- because a successor's release-slot allocation
+/// (line 7) and the completion gating of the reweighting rules are defined
+/// on those nominal values (see the AGIS discussion around Fig. 12 in the
+/// appendix).  Task totals then mask the nominal values:
+///   * I_SW zeroes a halted subtask's allocations from its halt time on, and
+///     zeroes absent subtasks entirely;
+///   * I_CSW ("clairvoyant") zeroes halted subtasks in *all* slots -- on a
+///     halt the subtask's accrued-so-far contribution is retroactively
+///     removed from the task's cumulative I_CSW total (reweight.cc).
+#include <stdexcept>
+
+#include "pfair/engine.h"
+
+namespace pfr::pfair {
+
+void Engine::accrue_ideal(Slot t) {
+  for (TaskState& task : tasks_) {
+    if (task.active_member(t)) task.cum_ips += task.wt;
+    accrue_task_ideal(task, t);
+  }
+}
+
+void Engine::accrue_task_ideal(TaskState& task, Slot t) {
+  Rational isw_sum;
+  Rational icsw_sum;
+  for (std::size_t k = task.accrual_cursor; k < task.subtasks.size(); ++k) {
+    Subtask& s = task.subtasks[k];
+    if (t < s.release) break;  // releases are monotone in index
+
+    const bool closed =
+        s.nominal_complete_at != kNever || (s.halted() && s.halted_at <= t);
+    if (closed) {
+      if (k == task.accrual_cursor) ++task.accrual_cursor;
+      continue;
+    }
+
+    Rational a;
+    if (t == s.release) {
+      // Fig. 5 lines 3-8: the release-slot allocation pairs with the
+      // predecessor's final-slot allocation when the b-bit links them.
+      const Subtask* pred =
+          s.index >= 2 ? &task.sub(s.index - 1) : nullptr;
+      if (TaskState::gen_first(s) || (pred != nullptr && pred->b == 0)) {
+        a = task.swt;
+      } else {
+        a = task.swt - pred->nominal_last_slot_alloc;
+      }
+    } else {
+      // Fig. 5 line 10.
+      a = min(task.swt, Rational{1} - s.nominal_cum);
+    }
+    if (a < 0) {
+      throw std::logic_error("ideal allocation negative for " + task.name +
+                             "_" + std::to_string(s.index));
+    }
+
+    s.nominal_cum += a;
+    if (s.nominal_cum == Rational{1}) {
+      s.nominal_complete_at = t + 1;
+      s.nominal_last_slot_alloc = a;
+    } else if (s.nominal_cum > Rational{1}) {
+      throw std::logic_error("ideal allocation exceeds one quantum for " +
+                             task.name + "_" + std::to_string(s.index));
+    }
+
+    const bool halted_by_t = s.halted() && s.halted_at <= t;
+    if (s.present && !halted_by_t) isw_sum += a;
+    if (s.present && !s.halted()) icsw_sum += a;
+  }
+
+  if (cfg_.validate && isw_sum > task.swt) {
+    // Per-slot analogue of (AF1): a task never accrues more than its
+    // scheduling weight in any slot of I_SW (hence also of I_CSW).
+    throw std::logic_error("per-slot I_SW allocation exceeds swt for " +
+                           task.name);
+  }
+
+  task.cum_isw += isw_sum;
+  task.cum_icsw += icsw_sum;
+}
+
+}  // namespace pfr::pfair

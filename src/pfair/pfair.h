@@ -1,0 +1,31 @@
+/// \file pfair.h
+/// \brief Umbrella header for the PD2 reweighting library.
+///
+/// Quickstart:
+/// \code
+///   pfr::pfair::EngineConfig cfg;
+///   cfg.processors = 4;
+///   cfg.policy = pfr::pfair::ReweightPolicy::kOmissionIdeal;
+///   pfr::pfair::Engine eng{cfg};
+///   auto a = eng.add_task(pfr::rat(3, 19), 0, "A");
+///   eng.request_weight_change(a, pfr::rat(2, 5), 8);
+///   eng.run_until(100);
+///   // eng.misses().empty(), eng.drift(a), eng.task(a)...
+/// \endcode
+#pragma once
+
+#include "pfair/analysis.h"        // IWYU pragma: export
+#include "pfair/engine.h"          // IWYU pragma: export
+#include "pfair/epdf_projected.h"  // IWYU pragma: export
+#include "pfair/priority.h"        // IWYU pragma: export
+#include "pfair/ready_queue.h"     // IWYU pragma: export
+#include "pfair/scenario_io.h"     // IWYU pragma: export
+#include "pfair/subtask.h"         // IWYU pragma: export
+#include "pfair/theory_checks.h"   // IWYU pragma: export
+#include "pfair/timeseries.h"      // IWYU pragma: export
+#include "pfair/task.h"            // IWYU pragma: export
+#include "pfair/trace.h"           // IWYU pragma: export
+#include "pfair/types.h"           // IWYU pragma: export
+#include "pfair/verify.h"          // IWYU pragma: export
+#include "pfair/weight.h"          // IWYU pragma: export
+#include "pfair/windows.h"         // IWYU pragma: export

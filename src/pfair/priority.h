@@ -1,0 +1,40 @@
+/// \file priority.h
+/// \brief The PD2 priority order as a reusable value type.
+///
+/// PD2 prioritizes subtasks by (1) earlier deadline, (2) b-bit 1 over 0,
+/// (3) *later* group deadline (heavy tasks only; 0 for light tasks), then
+/// breaks remaining ties arbitrarily -- here by a configurable rank and the
+/// task id, which makes the order total and deterministic.
+#pragma once
+
+#include "pfair/types.h"
+
+namespace pfr::pfair {
+
+struct Pd2Priority {
+  Slot deadline{0};
+  int b{0};
+  Slot group_deadline{0};
+  int tie_rank{0};
+  TaskId task{0};
+
+  /// True iff *this has strictly higher PD2 priority than `o`.
+  [[nodiscard]] constexpr bool higher_than(const Pd2Priority& o) const noexcept {
+    if (deadline != o.deadline) return deadline < o.deadline;
+    if (b != o.b) return b > o.b;
+    if (group_deadline != o.group_deadline) {
+      return group_deadline > o.group_deadline;
+    }
+    if (tie_rank != o.tie_rank) return tie_rank < o.tie_rank;
+    return task < o.task;
+  }
+
+  friend constexpr bool operator==(const Pd2Priority& a,
+                                   const Pd2Priority& b2) noexcept {
+    return a.deadline == b2.deadline && a.b == b2.b &&
+           a.group_deadline == b2.group_deadline &&
+           a.tie_rank == b2.tie_rank && a.task == b2.task;
+  }
+};
+
+}  // namespace pfr::pfair

@@ -1,0 +1,88 @@
+/// \file ready_queue.h
+/// \brief Binary-heap ready queue ordered by PD2 priority.
+///
+/// The engine's per-slot dispatch scans its (small) task table, which is
+/// simplest and fast enough for simulation studies.  A production scheduler
+/// serving the paper's complexity claims -- O(M log N) per slot, O(log N)
+/// per reweight -- needs a priority queue; this is that structure, kept
+/// separate so it can be unit-tested and micro-benchmarked on its own
+/// (bench/overhead_micro.cc compares it against the scan).
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "pfair/priority.h"
+
+namespace pfr::pfair {
+
+/// Max-priority binary heap of (Pd2Priority, payload) pairs.
+/// Not stable beyond the total order -- Pd2Priority already totals via
+/// (rank, task id), so equal keys cannot occur for distinct tasks.
+template <typename Payload>
+class ReadyQueue {
+ public:
+  void clear() noexcept { heap_.clear(); }
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+
+  void push(const Pd2Priority& priority, Payload payload) {
+    heap_.emplace_back(priority, std::move(payload));
+    sift_up(heap_.size() - 1);
+  }
+
+  /// Highest-priority entry; undefined when empty.
+  [[nodiscard]] const std::pair<Pd2Priority, Payload>& top() const {
+    return heap_.front();
+  }
+
+  /// Removes and returns the highest-priority payload.
+  Payload pop() {
+    Payload out = std::move(heap_.front().second);
+    heap_.front() = std::move(heap_.back());
+    heap_.pop_back();
+    if (!heap_.empty()) sift_down(0);
+    return out;
+  }
+
+  /// Heapifies `items` in O(n) (bulk rebuild, as done once per slot).
+  void assign(std::vector<std::pair<Pd2Priority, Payload>> items) {
+    heap_ = std::move(items);
+    if (heap_.size() < 2) return;
+    for (std::size_t i = heap_.size() / 2; i-- > 0;) sift_down(i);
+  }
+
+ private:
+  void sift_up(std::size_t i) {
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!heap_[i].first.higher_than(heap_[parent].first)) break;
+      std::swap(heap_[i], heap_[parent]);
+      i = parent;
+    }
+  }
+
+  void sift_down(std::size_t i) {
+    for (;;) {
+      const std::size_t left = 2 * i + 1;
+      const std::size_t right = 2 * i + 2;
+      std::size_t best = i;
+      if (left < heap_.size() &&
+          heap_[left].first.higher_than(heap_[best].first)) {
+        best = left;
+      }
+      if (right < heap_.size() &&
+          heap_[right].first.higher_than(heap_[best].first)) {
+        best = right;
+      }
+      if (best == i) return;
+      std::swap(heap_[i], heap_[best]);
+      i = best;
+    }
+  }
+
+  std::vector<std::pair<Pd2Priority, Payload>> heap_;
+};
+
+}  // namespace pfr::pfair

@@ -1,0 +1,278 @@
+/// \file reweight.cc
+/// \brief The reweighting rules: O and I (PD2-OI), L and J (PD2-LJ), the
+/// between-windows case, hybrid policy selection, and property-(W) policing.
+///
+/// Terminology (Sec. 3.2 of the paper).  A weight change is *initiated* at a
+/// user-chosen time t_c and *enacted* at a rule-determined time t_e.  Let
+/// T_j be the last-released subtask of T at t_c.
+///   * No T_j, or !joined:            enact immediately.
+///   * d(T_j) <= t_c (between):       enact at max(t_c, d(T_j) + b(T_j)).
+///   * T_j scheduled before t_c       ("ideal-changeable", rule I):
+///       increase: swt switches at t_c; the next subtask is released (and
+///                 the generation boundary placed) at D(I_SW,T_j) + b(T_j);
+///       decrease: everything happens at D(I_SW,T_j) + b(T_j).
+///   * T_j not yet scheduled          ("omission-changeable", rule O):
+///       T_j is halted at t_c; enact at
+///       max(t_c, D(I_SW,T_{j-1}) + b(T_{j-1})) (immediately if j = 1).
+///   * PD2-LJ instead enacts at max(t_c, d(T_j) + b(T_j)) without halting.
+/// A new initiation before the pending enactment replaces ("skips") it; by
+/// property (C) this never delays the enactment.
+#include <algorithm>
+#include <stdexcept>
+
+#include "pfair/engine.h"
+#include "pfair/windows.h"
+
+namespace pfr::pfair {
+namespace {
+
+/// Enactment time of a pending event, or kNever if its gate (an I_SW
+/// completion) is not yet known.
+Slot gate_time(const TaskState& task, const PendingReweight& p) {
+  if (p.gate == PendingReweight::Gate::kFixedTime) return p.fixed_time;
+  const Subtask& anchor = task.sub(p.anchor);
+  const Slot d_isw = anchor.isw_complete_at();
+  if (d_isw == kNever) return kNever;
+  return std::max(p.initiated_at, d_isw + anchor.b);
+}
+
+void halt_subtask(TaskState& task, Subtask& s, Slot t, EngineStats& stats) {
+  if (s.halted()) return;  // repeat rule-O events keep the original halt time
+  s.halted_at = t;
+  ++task.halt_count;
+  ++stats.halts;
+  // I_CSW is clairvoyant: it never allocated to this subtask, so remove the
+  // contribution credited while the halt was unknown.  (Absent subtasks were
+  // never credited in the first place.)
+  if (s.present) task.cum_icsw -= s.nominal_cum;
+}
+
+}  // namespace
+
+void Engine::process_due_events(Slot t) {
+  if (events_dirty_) {
+    std::stable_sort(
+        event_queue_.begin() + static_cast<std::ptrdiff_t>(next_event_),
+        event_queue_.end(),
+        [](const QueuedEvent& a, const QueuedEvent& b) { return a.at < b.at; });
+    events_dirty_ = false;
+  }
+  while (next_event_ < event_queue_.size() &&
+         event_queue_[next_event_].at == t) {
+    const QueuedEvent& ev = event_queue_[next_event_++];
+    TaskState& task = tasks_.at(static_cast<std::size_t>(ev.task));
+    if (ev.is_leave) {
+      initiate_leave(task, t);
+    } else {
+      initiate_weight_change(task, ev.target, t);
+    }
+  }
+}
+
+void Engine::process_pending_enactments(Slot t) {
+  for (TaskState& task : tasks_) {
+    if (!task.pending) continue;
+    const Slot te = gate_time(task, *task.pending);
+    if (te <= t) enact(task, task.pending->target, t);
+  }
+}
+
+void Engine::initiate_weight_change(TaskState& task, Rational target, Slot t) {
+  if (task.leave_requested_at <= t || task.left_at <= t) return;
+  if (task.swt > kMaxWeight) {
+    // The paper's reweighting rules cover light tasks only; heavy-task
+    // reweighting needs the cascade-correction machinery it defers.
+    throw std::logic_error("reweighting a heavy task is not supported");
+  }
+
+  target = police(task, target);
+  if (target.is_zero()) return;  // rejected by admission control
+
+  if (!task.joined || task.subtasks.empty()) {
+    // Nothing released yet: the change is enacted immediately; the first
+    // subtask (still pending at join/next_release) will use the new weight.
+    task.wt = target;
+    task.swt = target;
+    task.swt_history.emplace_back(std::max(t, task.join_time), target);
+    ++task.initiation_count;
+    ++task.enactment_count;
+    ++stats_.initiations;
+    ++stats_.enactments;
+    return;
+  }
+
+  if (target == task.wt && !task.pending && target == task.swt) {
+    return;  // true no-op
+  }
+
+  task.wt = target;  // the *actual* weight (I_PS) changes at initiation
+  ++task.initiation_count;
+  ++task.initiations_since_enactment;
+  ++stats_.initiations;
+  task.pending.reset();  // a newer initiation skips the pending event
+
+  const Subtask& tj = *task.last_released();
+  PendingReweight p;
+  p.target = target;
+  p.initiated_at = t;
+
+  if (tj.deadline <= t) {
+    // Between windows: T "left" when T_j's window closed; rejoin now.
+    p.rule = RuleApplied::kBetween;
+    p.gate = PendingReweight::Gate::kFixedTime;
+    p.fixed_time = std::max(t, tj.deadline + tj.b);
+    task.pending = p;
+    task.chain_frozen = true;
+    if (p.fixed_time <= t) enact(task, target, t);
+    return;
+  }
+
+  // r(T_j) <= t < d(T_j): omission- or ideal-changeable (property (RW)).
+  if (use_oi_rules(task, target, t)) {
+    ++stats_.oi_events;
+    apply_rule_oi(task, target, t);
+  } else {
+    ++stats_.lj_events;
+    apply_rule_lj(task, target, t);
+  }
+}
+
+void Engine::apply_rule_oi(TaskState& task, Rational target, Slot t) {
+  Subtask& tj = *task.last_released();
+  PendingReweight p;
+  p.target = target;
+  p.initiated_at = t;
+
+  const bool scheduled_before_tc = tj.scheduled();  // scheduled_at < t always
+  if (!scheduled_before_tc) {
+    // Rule O: halt T_j; enact at max(t_c, D(I_SW, T_{j-1}) + b(T_{j-1})),
+    // or immediately when T_j is the task's first subtask.
+    p.rule = RuleApplied::kRuleO;
+    halt_subtask(task, tj, t, stats_);
+    if (tj.index == 1) {
+      p.gate = PendingReweight::Gate::kFixedTime;
+      p.fixed_time = t;
+    } else {
+      p.gate = PendingReweight::Gate::kAnchorIdealComplete;
+      p.anchor = tj.index - 1;
+    }
+  } else if (target > task.swt) {
+    // Rule I(i): increasing -- enact (switch swt) immediately, which speeds
+    // up T_j's remaining I_SW accrual; release the next subtask at
+    // D(I_SW, T_j) + b(T_j).
+    p.rule = RuleApplied::kRuleIIncrease;
+    p.gate = PendingReweight::Gate::kAnchorIdealComplete;
+    p.anchor = tj.index;
+    p.swt_enacted_early = true;
+    task.swt = target;
+    task.swt_history.emplace_back(t, target);
+  } else {
+    // Rule I(ii): decreasing -- enact at D(I_SW, T_j) + b(T_j).
+    p.rule = RuleApplied::kRuleIDecrease;
+    p.gate = PendingReweight::Gate::kAnchorIdealComplete;
+    p.anchor = tj.index;
+  }
+
+  task.rule_counts[static_cast<int>(p.rule)]++;
+  task.pending = p;
+  task.chain_frozen = true;
+  const Slot te = gate_time(task, *task.pending);
+  if (te != kNever && te <= t) enact(task, target, t);
+}
+
+void Engine::apply_rule_lj(TaskState& task, Rational target, Slot t) {
+  const Subtask& tj = *task.last_released();
+  PendingReweight p;
+  p.target = target;
+  p.initiated_at = t;
+  p.rule = RuleApplied::kLeaveJoin;
+  // Rule L: T may leave once t >= d(T_j) + b(T_j) for its last (eventually
+  // scheduled) subtask; it rejoins with the new weight immediately (rule J;
+  // admission was reserved at initiation by police()).
+  p.gate = PendingReweight::Gate::kFixedTime;
+  p.fixed_time = std::max(t, tj.deadline + tj.b);
+  task.rule_counts[static_cast<int>(p.rule)]++;
+  task.pending = p;
+  task.chain_frozen = true;
+  if (p.fixed_time <= t) enact(task, target, t);
+}
+
+void Engine::enact(TaskState& task, Rational target, Slot t) {
+  const PendingReweight p = *task.pending;
+  task.pending.reset();
+  task.chain_frozen = false;
+  if (!p.swt_enacted_early) {
+    task.swt = target;
+    task.swt_history.emplace_back(t, target);
+  }
+  ++task.enactment_count;
+  ++stats_.enactments;
+
+  // The next subtask starts a new generation: releases/deadlines/b-bits
+  // restart as though a task of the new weight joined now (Id = j+1), and
+  // drift is sampled at this release (Eqn. (5)) -- see release_subtask().
+  task.gen_base = static_cast<SubtaskIndex>(task.subtasks.size());
+  release_subtask(task, t);
+}
+
+void Engine::initiate_leave(TaskState& task, Slot t) {
+  if (task.leave_requested_at != kNever) return;
+  task.leave_requested_at = t;
+  task.pending.reset();
+  task.chain_frozen = true;
+  const Subtask* tj = task.last_released();
+  // Rule L: the leave takes effect at d(T_j) + b(T_j) of the last released
+  // subtask (which is scheduled by then), or immediately if none.
+  task.left_at = tj == nullptr ? t : std::max(t, tj->deadline + tj->b);
+}
+
+bool Engine::use_oi_rules(const TaskState& task, const Rational& target,
+                          Slot /*t*/) {
+  switch (cfg_.policy) {
+    case ReweightPolicy::kOmissionIdeal:
+      return true;
+    case ReweightPolicy::kLeaveJoin:
+      return false;
+    case ReweightPolicy::kHybridMagnitude: {
+      const double ratio = target > task.swt
+                               ? (target / task.swt).to_double()
+                               : (task.swt / target).to_double();
+      return ratio >= cfg_.hybrid_magnitude_threshold;
+    }
+    case ReweightPolicy::kHybridBudget: {
+      if (oi_budget_used_this_slot_ < cfg_.hybrid_budget_per_slot) {
+        ++oi_budget_used_this_slot_;
+        return true;
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+Rational Engine::police(const TaskState& task, Rational target) {
+  if (cfg_.policing == PolicingMode::kOff) return target;
+  if (target <= task.reserved_weight()) return target;  // never adds load
+  Rational others;
+  for (const TaskState& u : tasks_) {
+    if (u.id == task.id) continue;
+    if (u.left_at <= now_) continue;
+    others += u.reserved_weight();
+  }
+  const Rational avail = Rational{cfg_.processors} - others;
+  if (target <= avail) return target;
+  if (cfg_.policing == PolicingMode::kReject) {
+    ++stats_.rejected_requests;
+    return Rational{};  // signals rejection
+  }
+  ++stats_.clamped_requests;
+  Rational clamped = min(target, avail);
+  clamped = min(clamped, kMaxWeight);
+  if (clamped <= 0) {
+    ++stats_.rejected_requests;
+    return Rational{};
+  }
+  return clamped;
+}
+
+}  // namespace pfr::pfair

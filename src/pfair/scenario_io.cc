@@ -1,0 +1,176 @@
+#include "pfair/scenario_io.h"
+
+#include <charconv>
+#include <istream>
+#include <sstream>
+#include <stdexcept>
+
+namespace pfr::pfair {
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& what) {
+  throw std::invalid_argument("scenario line " + std::to_string(line) + ": " +
+                              what);
+}
+
+std::int64_t parse_int(const std::string& tok, int line) {
+  std::int64_t v = 0;
+  const auto [ptr, ec] =
+      std::from_chars(tok.data(), tok.data() + tok.size(), v);
+  if (ec != std::errc{} || ptr != tok.data() + tok.size()) {
+    fail(line, "expected integer, got '" + tok + "'");
+  }
+  return v;
+}
+
+/// "num/den" or "num".
+Rational parse_rational(const std::string& tok, int line) {
+  const auto slash = tok.find('/');
+  if (slash == std::string::npos) return Rational{parse_int(tok, line)};
+  return Rational{parse_int(tok.substr(0, slash), line),
+                  parse_int(tok.substr(slash + 1), line)};
+}
+
+/// "key=value" -> value for a required key.
+std::int64_t parse_kv(const std::string& tok, const std::string& key,
+                      int line) {
+  const std::string prefix = key + "=";
+  if (tok.rfind(prefix, 0) != 0) {
+    fail(line, "expected " + prefix + "<value>, got '" + tok + "'");
+  }
+  return parse_int(tok.substr(prefix.size()), line);
+}
+
+ScenarioSpec::TaskSpec* find_task(ScenarioSpec& spec, const std::string& name,
+                                  int line) {
+  for (auto& t : spec.tasks) {
+    if (t.name == name) return &t;
+  }
+  fail(line, "unknown task '" + name + "'");
+}
+
+}  // namespace
+
+ScenarioSpec parse_scenario(std::istream& in) {
+  ScenarioSpec spec;
+  std::string line_text;
+  int line = 0;
+  while (std::getline(in, line_text)) {
+    ++line;
+    const auto hash = line_text.find('#');
+    if (hash != std::string::npos) line_text.erase(hash);
+    std::istringstream ls{line_text};
+    std::vector<std::string> tok;
+    for (std::string t; ls >> t;) tok.push_back(t);
+    if (tok.empty()) continue;
+    const std::string& head = tok[0];
+
+    if (head == "processors" && tok.size() == 2) {
+      spec.config.processors = static_cast<int>(parse_int(tok[1], line));
+    } else if (head == "policy" && tok.size() == 2) {
+      const std::string& p = tok[1];
+      if (p == "oi") {
+        spec.config.policy = ReweightPolicy::kOmissionIdeal;
+      } else if (p == "lj") {
+        spec.config.policy = ReweightPolicy::kLeaveJoin;
+      } else if (p.rfind("hybrid-mag:", 0) == 0) {
+        spec.config.policy = ReweightPolicy::kHybridMagnitude;
+        spec.config.hybrid_magnitude_threshold = std::stod(p.substr(11));
+      } else if (p.rfind("hybrid-budget:", 0) == 0) {
+        spec.config.policy = ReweightPolicy::kHybridBudget;
+        spec.config.hybrid_budget_per_slot =
+            static_cast<int>(parse_int(p.substr(14), line));
+      } else {
+        fail(line, "unknown policy '" + p + "'");
+      }
+    } else if (head == "policing" && tok.size() == 2) {
+      if (tok[1] == "clamp") {
+        spec.config.policing = PolicingMode::kClamp;
+      } else if (tok[1] == "reject") {
+        spec.config.policing = PolicingMode::kReject;
+      } else if (tok[1] == "off") {
+        spec.config.policing = PolicingMode::kOff;
+      } else {
+        fail(line, "unknown policing mode '" + tok[1] + "'");
+      }
+    } else if (head == "heavy" && tok.size() == 2) {
+      spec.config.allow_heavy = tok[1] == "on";
+    } else if (head == "task" && tok.size() >= 3) {
+      ScenarioSpec::TaskSpec t;
+      t.name = tok[1];
+      t.weight = parse_rational(tok[2], line);
+      for (std::size_t k = 3; k < tok.size(); ++k) {
+        if (tok[k].rfind("join=", 0) == 0) {
+          t.join = parse_kv(tok[k], "join", line);
+        } else if (tok[k].rfind("rank=", 0) == 0) {
+          t.rank = static_cast<int>(parse_kv(tok[k], "rank", line));
+        } else {
+          fail(line, "unknown task attribute '" + tok[k] + "'");
+        }
+      }
+      spec.tasks.push_back(std::move(t));
+    } else if (head == "separation" && tok.size() == 4) {
+      find_task(spec, tok[1], line)
+          ->separations.emplace_back(parse_int(tok[2], line),
+                                     parse_int(tok[3], line));
+    } else if (head == "absent" && tok.size() == 3) {
+      find_task(spec, tok[1], line)
+          ->absences.push_back(parse_int(tok[2], line));
+    } else if (head == "reweight" && tok.size() == 4) {
+      find_task(spec, tok[1], line);  // existence check
+      ScenarioSpec::EventSpec ev;
+      ev.task = tok[1];
+      ev.weight = parse_rational(tok[2], line);
+      ev.at = parse_kv(tok[3], "at", line);
+      spec.events.push_back(std::move(ev));
+    } else if (head == "leave" && tok.size() == 3) {
+      find_task(spec, tok[1], line);
+      ScenarioSpec::EventSpec ev;
+      ev.task = tok[1];
+      ev.at = parse_kv(tok[2], "at", line);
+      ev.is_leave = true;
+      spec.events.push_back(std::move(ev));
+    } else if (head == "horizon" && tok.size() == 2) {
+      spec.horizon = parse_int(tok[1], line);
+    } else {
+      fail(line, "unrecognized directive '" + head + "'");
+    }
+  }
+  return spec;
+}
+
+ScenarioSpec parse_scenario_string(const std::string& text) {
+  std::istringstream in{text};
+  return parse_scenario(in);
+}
+
+BuiltScenario build_scenario(const ScenarioSpec& spec) {
+  BuiltScenario out;
+  out.engine = std::make_unique<Engine>(spec.config);
+  out.horizon = spec.horizon;
+  for (const auto& t : spec.tasks) {
+    if (out.ids.count(t.name)) {
+      throw std::invalid_argument("duplicate task name '" + t.name + "'");
+    }
+    const TaskId id = out.engine->add_task(t.weight, t.join, t.name);
+    out.engine->set_tie_rank(id, t.rank);
+    for (const auto& [index, delay] : t.separations) {
+      out.engine->add_separation(id, index, delay);
+    }
+    for (const SubtaskIndex index : t.absences) {
+      out.engine->mark_absent(id, index);
+    }
+    out.ids[t.name] = id;
+  }
+  for (const auto& ev : spec.events) {
+    const TaskId id = out.ids.at(ev.task);
+    if (ev.is_leave) {
+      out.engine->request_leave(id, ev.at);
+    } else {
+      out.engine->request_weight_change(id, ev.weight, ev.at);
+    }
+  }
+  return out;
+}
+
+}  // namespace pfr::pfair

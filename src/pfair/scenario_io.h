@@ -1,0 +1,74 @@
+/// \file scenario_io.h
+/// \brief Text scenario format: describe a task system and its reweighting
+/// events in a small line-oriented language, then build an Engine from it.
+///
+/// Grammar (one directive per line, '#' comments, blank lines ignored):
+///
+///   processors 4
+///   policy oi | lj | hybrid-mag:<ratio> | hybrid-budget:<n>
+///   policing clamp | reject | off
+///   heavy on | off
+///   task <name> <num>/<den> [join=<t>] [rank=<r>]
+///   separation <name> <subtask-index> <delay>
+///   absent <name> <subtask-index>
+///   reweight <name> <num>/<den> at=<t>
+///   leave <name> at=<t>
+///   horizon <slots>
+///
+/// Example (the paper's Fig. 4):
+///
+///   processors 1
+///   task T 2/5 rank=0
+///   task U 2/5 rank=1
+///   reweight U 1/2 at=3
+///   horizon 10
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "pfair/engine.h"
+
+namespace pfr::pfair {
+
+/// Parsed scenario: engine configuration plus the construction script.
+struct ScenarioSpec {
+  EngineConfig config;
+  Slot horizon{100};
+
+  struct TaskSpec {
+    std::string name;
+    Rational weight;
+    Slot join{0};
+    int rank{0};
+    std::vector<std::pair<SubtaskIndex, Slot>> separations;
+    std::vector<SubtaskIndex> absences;
+  };
+  struct EventSpec {
+    std::string task;
+    Rational weight;  ///< unused for leaves
+    Slot at{0};
+    bool is_leave{false};
+  };
+  std::vector<TaskSpec> tasks;
+  std::vector<EventSpec> events;
+};
+
+/// Parses the scenario language.  Throws std::invalid_argument with a
+/// line-numbered message on malformed input.
+[[nodiscard]] ScenarioSpec parse_scenario(std::istream& in);
+[[nodiscard]] ScenarioSpec parse_scenario_string(const std::string& text);
+
+/// Builds an engine from a spec (tasks added, events queued).  The returned
+/// map resolves scenario task names to engine ids.
+struct BuiltScenario {
+  std::unique_ptr<Engine> engine;
+  std::map<std::string, TaskId> ids;
+  Slot horizon{0};
+};
+[[nodiscard]] BuiltScenario build_scenario(const ScenarioSpec& spec);
+
+}  // namespace pfr::pfair

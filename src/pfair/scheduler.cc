@@ -1,0 +1,88 @@
+/// \file scheduler.cc
+/// \brief PD2 dispatch: EPDF with the b-bit tie-break.
+///
+/// Each task offers at most one candidate subtask per slot (tasks execute
+/// sequentially); the M highest-priority candidates run.  Priority order:
+/// earlier deadline first; on a tie, b-bit 1 beats b-bit 0; remaining ties
+/// go to the lower tie-rank, then the lower TaskId (the paper breaks such
+/// ties arbitrarily -- the figures fix specific orders via set_tie_rank).
+#include <algorithm>
+
+#include "pfair/engine.h"
+#include "pfair/priority.h"
+#include "pfair/ready_queue.h"
+
+namespace pfr::pfair {
+
+const Subtask* Engine::eligible_candidate(TaskState& task, Slot t) {
+  auto& subs = task.subtasks;
+  while (task.dispatch_cursor < subs.size()) {
+    const Subtask& s = subs[task.dispatch_cursor];
+    const bool skip = (!s.present && s.release <= t) ||
+                      (s.halted() && s.halted_at <= t) || s.scheduled();
+    if (!skip) break;
+    ++task.dispatch_cursor;
+  }
+  if (task.dispatch_cursor >= subs.size()) return nullptr;
+  const Subtask& s = subs[task.dispatch_cursor];
+  if (s.release > t || !s.present) return nullptr;
+  if (s.halted() && s.halted_at <= t) return nullptr;
+  // Sequential execution: the predecessor, if any, is complete in S by t
+  // (that is what advanced the cursor past it), and it was scheduled in a
+  // slot strictly before t, so running s in slot t is legal.
+  return &s;
+}
+
+void Engine::dispatch(Slot t) {
+  candidates_.clear();
+  for (TaskState& task : tasks_) {
+    const Subtask* c = eligible_candidate(task, t);
+    if (c != nullptr) candidates_.push_back(Candidate{task.id, c});
+  }
+
+  const auto m = static_cast<std::size_t>(cfg_.processors);
+  const auto priority_of = [this](const Candidate& c) {
+    return Pd2Priority{c.sub->deadline, c.sub->b, c.sub->group_deadline,
+                       tasks_[static_cast<std::size_t>(c.task)].tie_rank,
+                       c.task};
+  };
+  const auto better = [&priority_of](const Candidate& x, const Candidate& y) {
+    return priority_of(x).higher_than(priority_of(y));
+  };
+  if (cfg_.use_ready_queue) {
+    // Production path: O(N) heapify + M * O(log N) pops.
+    heap_scratch_.clear();
+    heap_scratch_.reserve(candidates_.size());
+    for (const Candidate& c : candidates_) {
+      heap_scratch_.emplace_back(priority_of(c), c);
+    }
+    ReadyQueue<Candidate> queue;
+    queue.assign(std::move(heap_scratch_));
+    candidates_.clear();
+    while (!queue.empty() && candidates_.size() < m) {
+      candidates_.push_back(queue.pop());
+    }
+  } else if (candidates_.size() > m) {
+    std::partial_sort(candidates_.begin(),
+                      candidates_.begin() + static_cast<std::ptrdiff_t>(m),
+                      candidates_.end(), better);
+    candidates_.resize(m);
+  } else {
+    std::sort(candidates_.begin(), candidates_.end(), better);
+  }
+
+  SlotRecord rec;
+  rec.scheduled.reserve(candidates_.size());
+  for (const Candidate& c : candidates_) {
+    TaskState& task = tasks_[static_cast<std::size_t>(c.task)];
+    task.subtasks[task.dispatch_cursor].scheduled_at = t;
+    ++task.scheduled_count;
+    ++stats_.dispatched;
+    rec.scheduled.push_back(c.task);
+  }
+  rec.holes = cfg_.processors - static_cast<int>(candidates_.size());
+  stats_.holes += rec.holes;
+  if (cfg_.record_slot_trace) trace_.push_back(std::move(rec));
+}
+
+}  // namespace pfr::pfair

@@ -1,0 +1,62 @@
+/// \file subtask.h
+/// \brief Per-subtask record: frozen window parameters plus live bookkeeping.
+#pragma once
+
+#include "pfair/types.h"
+#include "rational/rational.h"
+
+namespace pfr::pfair {
+
+/// One released subtask T_j.  Window parameters (release, deadline, b-bit)
+/// are frozen at release time -- the paper is explicit that d(T_j) "does not
+/// change once T_j has been released" even if the task reweights afterwards.
+/// The ideal-schedule fields track the subtask's allocation in I_SW (and the
+/// *nominal* allocation, i.e. the value the Fig. 5 recursion produces while
+/// ignoring halting/absence -- successors' release-slot allocations and
+/// completion gating use nominal values; task totals mask them).
+struct Subtask {
+  SubtaskIndex index{0};     ///< global 1-based j
+  SubtaskIndex gen_base{0};  ///< z = Id(T_j) - 1 at release
+  Slot release{0};           ///< r(T_j)
+  Slot deadline{0};          ///< d(T_j), frozen (PD2 priority)
+  int b{0};                  ///< b(T_j), frozen (PD2 tie-break)
+  Slot group_deadline{0};    ///< D(T_j), frozen; 0 for light tasks
+  Rational swt_at_release;   ///< swt(T, r(T_j)); the generation weight
+
+  bool present{true};        ///< AGIS: absent subtasks are never scheduled
+  Slot halted_at{kNever};    ///< H(T_j); kNever if never halted
+  Slot scheduled_at{kNever}; ///< slot where PD2 ran it; kNever if not yet
+
+  // --- nominal I_SW accrual (Fig. 5 recursion, halting/absence ignored) ---
+  Rational nominal_cum;            ///< cumulative nominal allocation so far
+  Slot nominal_complete_at{kNever};///< first t with cumulative == 1
+  Rational nominal_last_slot_alloc;///< allocation in slot nominal_complete-1
+
+  /// D(I_SW, T_j): completion per Def. 2 -- one quantum accrued, or halted.
+  [[nodiscard]] Slot isw_complete_at() const noexcept {
+    if (!present) return release;  // AGIS amendment: absent complete at r
+    return halted_at < nominal_complete_at ? halted_at : nominal_complete_at;
+  }
+
+  /// D(I_CSW, T_j): as I_SW, but halted subtasks complete at their release
+  /// (the clairvoyant schedule never allocates to them).
+  [[nodiscard]] Slot icsw_complete_at() const noexcept {
+    if (!present || halted_at != kNever) return release;
+    return nominal_complete_at;
+  }
+
+  [[nodiscard]] bool halted() const noexcept { return halted_at != kNever; }
+  [[nodiscard]] bool scheduled() const noexcept {
+    return scheduled_at != kNever;
+  }
+
+  /// Complete in the PD2 schedule S by time t (Def. 2): scheduled in an
+  /// earlier slot, halted by t, or absent and released.
+  [[nodiscard]] bool complete_in_s_by(Slot t) const noexcept {
+    if (!present) return release <= t;
+    if (scheduled_at != kNever && scheduled_at < t) return true;
+    return halted_at != kNever && halted_at <= t;
+  }
+};
+
+}  // namespace pfr::pfair

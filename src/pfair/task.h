@@ -1,0 +1,145 @@
+/// \file task.h
+/// \brief Mutable per-task scheduling state for the adaptable IS task model.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "pfair/subtask.h"
+#include "pfair/types.h"
+#include "rational/rational.h"
+
+namespace pfr::pfair {
+
+/// A weight-change event that has been initiated but not yet (fully)
+/// enacted.  Exactly one may be pending per task; a newer initiation
+/// replaces ("skips") it, which by property (C) never delays enactment.
+struct PendingReweight {
+  Rational target;                ///< v, the requested new weight
+  Slot initiated_at{kNever};      ///< t_c
+  RuleApplied rule{RuleApplied::kNone};
+
+  /// How the enactment time is determined.
+  enum class Gate : std::uint8_t {
+    kFixedTime,            ///< enact at `fixed_time` (between-windows, LJ, O j=1)
+    kAnchorIdealComplete,  ///< enact at max(initiated_at,
+                           ///<   D(I_SW, anchor) + b(anchor))
+  };
+  Gate gate{Gate::kFixedTime};
+  Slot fixed_time{kNever};
+  SubtaskIndex anchor{0};
+
+  /// Rule I(i): the scheduling weight was already switched at t_c; only the
+  /// release of the next subtask (and the generation boundary) is pending.
+  bool swt_enacted_early{false};
+};
+
+/// Full state of one task inside the engine.  Treat as read-only outside
+/// src/pfair (the engine mutates it; tests and metrics inspect it).
+struct TaskState {
+  TaskId id{-1};
+  std::string name;
+
+  // --- membership ---
+  Slot join_time{0};
+  bool joined{false};            ///< chain started (join processed)
+  Slot leave_requested_at{kNever};
+  Slot left_at{kNever};          ///< rule-L leave time, once determined
+
+  // --- weights ---
+  Rational wt;   ///< actual weight wt(T, now): changes at *initiation*
+  Rational swt;  ///< scheduling weight swt(T, now): changes at *enactment*
+  /// Every scheduling-weight switch as (slot, new value); the first entry
+  /// is the join.  Enables offline recomputation of I_SW/I_CSW
+  /// (theory_checks.h) and post-hoc inspection of enactment timing.
+  std::vector<std::pair<Slot, Rational>> swt_history;
+
+  // --- subtask stream ---
+  std::vector<Subtask> subtasks;     ///< subtasks[j-1] is T_j
+  SubtaskIndex gen_base{0};          ///< z for the next released subtask
+  SubtaskIndex next_index{1};        ///< j of the next subtask to release
+  Slot next_release{kNever};         ///< due time of the next normal release
+  bool chain_frozen{false};          ///< releases suspended by pending event
+  std::map<SubtaskIndex, Slot> separations;  ///< IS delays before T_j
+  std::set<SubtaskIndex> absent_indices;     ///< AGIS: pre-declared absences
+
+  std::optional<PendingReweight> pending;
+
+  // --- ideal-schedule accrual cursor ---
+  std::size_t accrual_cursor{0};  ///< first subtask still accruing nominally
+
+  // --- scheduling cursor ---
+  std::size_t dispatch_cursor{0};  ///< first subtask not complete in S
+
+  // --- cumulative allocations (all over [0, now)) ---
+  Rational cum_ips;    ///< A(I_PS, T, 0, now)
+  Rational cum_isw;    ///< A(I_SW, T, 0, now)
+  Rational cum_icsw;   ///< A(I_CSW, T, 0, now)
+  std::int64_t scheduled_count{0};  ///< A(S, T, 0, now)
+
+  // --- drift (Eqn. (5)) ---
+  Rational drift;  ///< value at the last generation start u <= now
+  /// (u, drift(u), initiations folded into this enactment) per generation.
+  struct DriftPoint {
+    Slot at;
+    Rational value;
+    int events_folded;
+  };
+  std::vector<DriftPoint> drift_history;
+  int initiations_since_enactment{0};
+
+  // --- statistics ---
+  int initiation_count{0};
+  int enactment_count{0};
+  int halt_count{0};
+  int rule_counts[6]{};  ///< indexed by RuleApplied
+
+  int tie_rank{0};  ///< lower rank wins the final PD2 tie-break
+
+  /// T_j for the last released subtask, or nullptr if none released.
+  [[nodiscard]] const Subtask* last_released() const noexcept {
+    return subtasks.empty() ? nullptr : &subtasks.back();
+  }
+  [[nodiscard]] Subtask* last_released() noexcept {
+    return subtasks.empty() ? nullptr : &subtasks.back();
+  }
+
+  /// subtasks[j-1], checked.
+  [[nodiscard]] const Subtask& sub(SubtaskIndex j) const {
+    return subtasks.at(static_cast<std::size_t>(j - 1));
+  }
+  [[nodiscard]] Subtask& sub(SubtaskIndex j) {
+    return subtasks.at(static_cast<std::size_t>(j - 1));
+  }
+
+  /// True if T_j is the first subtask of its generation (Id(T_j) = j).
+  [[nodiscard]] static bool gen_first(const Subtask& s) noexcept {
+    return s.index == s.gen_base + 1;
+  }
+
+  /// Effective weight for property-(W) reservation: the scheduling weight,
+  /// or the pending target if that is larger (increases reserve capacity at
+  /// initiation so that concurrent requests cannot overcommit).
+  [[nodiscard]] Rational reserved_weight() const {
+    if (pending && pending->target > swt) return pending->target;
+    return swt;
+  }
+
+  [[nodiscard]] bool active_member(Slot t) const noexcept {
+    return joined && left_at > t;
+  }
+};
+
+/// One missed deadline (should never occur under PD2-OI with policing on;
+/// recorded rather than thrown so counterexample experiments can observe
+/// them).
+struct MissRecord {
+  TaskId task;
+  SubtaskIndex index;
+  Slot deadline;
+};
+
+}  // namespace pfr::pfair

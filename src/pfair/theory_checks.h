@@ -1,0 +1,57 @@
+/// \file theory_checks.h
+/// \brief Independent offline recomputation of the ideal schedules.
+///
+/// ideal.cc accrues I_SW/I_CSW *online* inside the engine's slot loop.
+/// This module re-derives the same quantities *offline*, from nothing but a
+/// finished task's records (subtask windows, halting/absence marks, and the
+/// scheduling-weight history): a from-scratch second implementation of the
+/// Fig. 5 recursion that the differential tests compare against the
+/// engine's totals, plus checks of the appendix properties (AF1)-(AF4) on
+/// the recomputed values.  Disagreement in a single slot of a single run
+/// fails a test -- this is the strongest oracle in the suite.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pfair/task.h"
+#include "pfair/types.h"
+#include "rational/rational.h"
+
+namespace pfr::pfair {
+
+/// Offline recomputation result for one task over [0, horizon).
+struct IdealRecomputation {
+  Rational cum_isw;
+  Rational cum_icsw;
+  /// Recomputed per-subtask nominal completion times and final-slot
+  /// allocations (parallel to task.subtasks).
+  std::vector<Slot> nominal_complete;
+  std::vector<Rational> last_slot_alloc;
+  /// Per-slot task-level I_SW allocations (index = slot).
+  std::vector<Rational> isw_per_slot;
+};
+
+/// swt(T, t) reconstructed from the recorded switch history.
+[[nodiscard]] Rational swt_at(const TaskState& task, Slot t);
+
+/// Recomputes the ideal allocations of `task` over [0, horizon) from its
+/// records alone (no engine state).
+[[nodiscard]] IdealRecomputation recompute_ideal(const TaskState& task,
+                                                 Slot horizon);
+
+/// Renders the Fig. 1/3/7/12-style allocation grid: one row per subtask,
+/// one column per slot, each cell the subtask's nominal I_SW allocation in
+/// that slot (exact fractions), with halt/absence annotations.
+[[nodiscard]] std::string render_allocation_grid(const TaskState& task,
+                                                 Slot horizon);
+
+/// Checks the appendix allocation properties on the recomputation:
+///   (AF1) per-slot task allocation <= swt(T, t);
+///   (AF3) D(I_CSW, T_i) <= d(T_i);
+///   (AF4) no allocation outside [r(T_i), D(I_SW, T_i)).
+/// Returns human-readable violations (empty = all hold).
+[[nodiscard]] std::vector<std::string> check_allocation_properties(
+    const TaskState& task, Slot horizon);
+
+}  // namespace pfr::pfair

@@ -1,0 +1,50 @@
+#include "pfair/timeseries.h"
+
+#include <sstream>
+
+namespace pfr::pfair {
+
+MetricsRecorder::MetricsRecorder(std::vector<TaskId> tasks)
+    : tasks_(std::move(tasks)) {}
+
+void MetricsRecorder::sample(const Engine& engine) {
+  const Slot t = engine.now();
+  const auto record = [this, &engine, t](TaskId id) {
+    const TaskState& task = engine.task(id);
+    samples_.push_back(Sample{t, id, task.drift.to_double(),
+                              engine.lag_icsw(id).to_double(),
+                              task.cum_ips.to_double(),
+                              task.cum_icsw.to_double(),
+                              task.scheduled_count});
+  };
+  if (tasks_.empty()) {
+    for (std::size_t i = 0; i < engine.task_count(); ++i) {
+      record(static_cast<TaskId>(i));
+    }
+  } else {
+    for (const TaskId id : tasks_) record(id);
+  }
+}
+
+std::string MetricsRecorder::to_csv(const Engine& engine) const {
+  std::ostringstream os;
+  os << "slot,task,name,drift,lag,cum_ips,cum_icsw,scheduled\n";
+  for (const Sample& s : samples_) {
+    os << s.slot << ',' << s.task << ',' << engine.task(s.task).name << ','
+       << s.drift << ',' << s.lag << ',' << s.cum_ips << ',' << s.cum_icsw
+       << ',' << s.scheduled << '\n';
+  }
+  return os.str();
+}
+
+MetricsRecorder MetricsRecorder::record_run(Engine& engine, Slot horizon,
+                                            std::vector<TaskId> tasks) {
+  MetricsRecorder rec{std::move(tasks)};
+  while (engine.now() < horizon) {
+    engine.step();
+    rec.sample(engine);
+  }
+  return rec;
+}
+
+}  // namespace pfr::pfair

@@ -1,0 +1,49 @@
+/// \file timeseries.h
+/// \brief Per-slot metric recording for plotting and offline analysis.
+///
+/// Samples drift, lag and allocation progress for selected tasks after each
+/// engine step and exports tidy CSV (one row per slot-task pair) -- the
+/// format the paper's Fig. 11-style plots are made from.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pfair/engine.h"
+
+namespace pfr::pfair {
+
+class MetricsRecorder {
+ public:
+  /// Records the given tasks (all tasks if empty).
+  explicit MetricsRecorder(std::vector<TaskId> tasks = {});
+
+  /// Samples the engine's state at its current time; call once per step.
+  void sample(const Engine& engine);
+
+  struct Sample {
+    Slot slot;
+    TaskId task;
+    double drift;
+    double lag;
+    double cum_ips;
+    double cum_icsw;
+    std::int64_t scheduled;
+  };
+  [[nodiscard]] const std::vector<Sample>& samples() const noexcept {
+    return samples_;
+  }
+
+  /// Tidy CSV: slot,task,name,drift,lag,cum_ips,cum_icsw,scheduled.
+  [[nodiscard]] std::string to_csv(const Engine& engine) const;
+
+  /// Convenience: steps the engine to `horizon`, sampling each slot.
+  static MetricsRecorder record_run(Engine& engine, Slot horizon,
+                                    std::vector<TaskId> tasks = {});
+
+ private:
+  std::vector<TaskId> tasks_;
+  std::vector<Sample> samples_;
+};
+
+}  // namespace pfr::pfair

@@ -1,0 +1,70 @@
+#include "pfair/trace.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace pfr::pfair {
+
+std::string render_schedule(const Engine& engine, Slot from, Slot to) {
+  std::ostringstream os;
+  to = std::min(to, engine.now());
+  if (from >= to) return {};
+
+  // Header: label every 5th slot.
+  std::size_t name_width = 4;
+  for (std::size_t i = 0; i < engine.task_count(); ++i) {
+    name_width =
+        std::max(name_width, engine.task(static_cast<TaskId>(i)).name.size());
+  }
+  os << std::string(name_width + 2, ' ');
+  for (Slot t = from; t < to; ++t) {
+    if (t % 5 == 0) {
+      std::string label = std::to_string(t);
+      os << label;
+      t += static_cast<Slot>(label.size()) - 1;
+    } else {
+      os << ' ';
+    }
+  }
+  os << '\n';
+
+  for (std::size_t i = 0; i < engine.task_count(); ++i) {
+    const TaskState& task = engine.task(static_cast<TaskId>(i));
+    os << task.name << std::string(name_width - task.name.size() + 2, ' ');
+    for (Slot t = from; t < to; ++t) {
+      char c = ' ';
+      for (const Subtask& s : task.subtasks) {
+        if (s.release > t) break;
+        if (s.scheduled_at == t) {
+          c = '#';
+          break;
+        }
+        if (s.halted_at == t) {
+          c = 'x';
+          break;
+        }
+        const Slot window_end = s.halted() ? s.halted_at : s.deadline;
+        if (s.present && t < window_end && !s.scheduled() && c == ' ') c = '.';
+        if (s.present && t < window_end && s.scheduled() && s.scheduled_at > t &&
+            c == ' ') {
+          c = '.';
+        }
+      }
+      os << c;
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string summarize_task(const Engine& engine, TaskId id) {
+  const TaskState& t = engine.task(id);
+  std::ostringstream os;
+  os << t.name << ": wt=" << t.wt << " swt=" << t.swt
+     << " subtasks=" << t.subtasks.size() << " scheduled=" << t.scheduled_count
+     << " A(I_PS)=" << t.cum_ips << " A(I_CSW)=" << t.cum_icsw
+     << " drift=" << t.drift << " reweights=" << t.enactment_count;
+  return os.str();
+}
+
+}  // namespace pfr::pfair

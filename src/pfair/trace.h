@@ -1,0 +1,26 @@
+/// \file trace.h
+/// \brief Human-readable rendering of schedules and task timelines.
+///
+/// Used by the examples to draw the kind of window/schedule diagrams the
+/// paper's figures show: one row per task, one column per slot.
+#pragma once
+
+#include <string>
+
+#include "pfair/engine.h"
+
+namespace pfr::pfair {
+
+/// Renders slots [from, to) of the engine's history, one row per task:
+///   '#' the task was scheduled in the slot,
+///   '.' an unscheduled slot inside some released subtask's window,
+///   'x' the slot of a halt,
+///   ' ' otherwise.
+/// A header row labels every fifth slot.
+[[nodiscard]] std::string render_schedule(const Engine& engine, Slot from,
+                                          Slot to);
+
+/// One-line summary of a task: name, weight, drift, allocation counters.
+[[nodiscard]] std::string summarize_task(const Engine& engine, TaskId id);
+
+}  // namespace pfr::pfair

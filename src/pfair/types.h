@@ -1,0 +1,83 @@
+/// \file types.h
+/// \brief Fundamental vocabulary types for the Pfair scheduling library.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "rational/rational.h"
+
+namespace pfr::pfair {
+
+/// Discrete time.  Slot t is the real interval [t, t+1); "time t" is the
+/// beginning of slot t.  All scheduling happens at slot boundaries.
+using Slot = std::int64_t;
+
+/// 1-based index i of subtask T_i within its task.
+using SubtaskIndex = std::int64_t;
+
+/// Dense task identifier (index into the engine's task table).
+using TaskId = std::int32_t;
+
+/// Sentinel for "never happens / not yet known".
+inline constexpr Slot kNever = std::numeric_limits<Slot>::max() / 4;
+
+/// Reweighting scheme selector (see reweight.h for the rule definitions).
+enum class ReweightPolicy : std::uint8_t {
+  /// PD2-LJ: leave with the old weight (rule L), rejoin with the new (rule J).
+  /// Coarse-grained: per-event drift is unbounded (Theorem 3).
+  kLeaveJoin,
+  /// PD2-OI: rules O and I.  Fine-grained: per-event drift <= 2 (Theorem 5).
+  kOmissionIdeal,
+  /// Use OI only when the weight changes by at least a configured magnitude
+  /// ratio; small changes fall back to LJ (efficiency-versus-accuracy
+  /// hybrid, per Block & Anderson WPDRTS'05).
+  kHybridMagnitude,
+  /// Use OI for at most a configured number of events per slot; excess
+  /// events in the same slot fall back to LJ.
+  kHybridBudget,
+};
+
+/// Which mechanism actually handled a weight-change initiation.
+enum class RuleApplied : std::uint8_t {
+  kNone,            ///< no subtask released yet: enacted immediately
+  kBetween,         ///< between windows (d(T_j) <= t_c): enact at max(t_c, d+b)
+  kRuleO,           ///< omission-changeable: halt + enact via rule O
+  kRuleIIncrease,   ///< ideal-changeable increase: enact now, release at D+b
+  kRuleIDecrease,   ///< ideal-changeable decrease: enact at D+b
+  kLeaveJoin,       ///< rule L/J: rejoin at max(t_c, d(T_j)+b(T_j))
+};
+
+/// Admission control for property (W): sum of scheduling weights <= M.
+enum class PolicingMode : std::uint8_t {
+  /// Grant the largest weight <= request that keeps the reserved total <= M.
+  kClamp,
+  /// Refuse (ignore) requests that would exceed M.
+  kReject,
+  /// No policing.  Only for tests that deliberately overload the system.
+  kOff,
+};
+
+[[nodiscard]] constexpr const char* to_string(ReweightPolicy p) noexcept {
+  switch (p) {
+    case ReweightPolicy::kLeaveJoin: return "PD2-LJ";
+    case ReweightPolicy::kOmissionIdeal: return "PD2-OI";
+    case ReweightPolicy::kHybridMagnitude: return "PD2-Hybrid(mag)";
+    case ReweightPolicy::kHybridBudget: return "PD2-Hybrid(budget)";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr const char* to_string(RuleApplied r) noexcept {
+  switch (r) {
+    case RuleApplied::kNone: return "immediate";
+    case RuleApplied::kBetween: return "between";
+    case RuleApplied::kRuleO: return "rule-O";
+    case RuleApplied::kRuleIIncrease: return "rule-I(inc)";
+    case RuleApplied::kRuleIDecrease: return "rule-I(dec)";
+    case RuleApplied::kLeaveJoin: return "leave/join";
+  }
+  return "?";
+}
+
+}  // namespace pfr::pfair

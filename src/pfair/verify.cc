@@ -1,0 +1,122 @@
+#include "pfair/verify.h"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace pfr::pfair {
+namespace {
+
+void report(std::vector<Violation>& out, const std::string& what) {
+  out.push_back(Violation{what});
+}
+
+std::string sub_name(const TaskState& task, const Subtask& s) {
+  std::ostringstream os;
+  os << task.name << "_" << s.index;
+  return os.str();
+}
+
+}  // namespace
+
+std::vector<Violation> verify_schedule(const Engine& engine) {
+  std::vector<Violation> out;
+  const auto& trace = engine.trace();
+  const auto m = static_cast<std::size_t>(engine.processors());
+
+  // Slot-level checks from the trace.
+  for (std::size_t t = 0; t < trace.size(); ++t) {
+    const SlotRecord& rec = trace[t];
+    if (rec.scheduled.size() > m) {
+      report(out, "slot " + std::to_string(t) + " schedules " +
+                      std::to_string(rec.scheduled.size()) + " > M tasks");
+    }
+    std::set<TaskId> seen;
+    for (const TaskId id : rec.scheduled) {
+      if (!seen.insert(id).second) {
+        report(out, "slot " + std::to_string(t) + " schedules task " +
+                        std::to_string(id) + " twice");
+      }
+    }
+    if (rec.holes != engine.processors() -
+                         static_cast<int>(rec.scheduled.size())) {
+      report(out, "slot " + std::to_string(t) + " has inconsistent holes");
+    }
+  }
+
+  // Collect recorded misses for cross-checking window containment.
+  std::set<std::pair<TaskId, SubtaskIndex>> missed;
+  for (const MissRecord& miss : engine.misses()) {
+    missed.insert({miss.task, miss.index});
+  }
+
+  // Per-task subtask checks.
+  for (std::size_t i = 0; i < engine.task_count(); ++i) {
+    const TaskState& task = engine.task(static_cast<TaskId>(i));
+    Slot prev_slot = -1;
+    SubtaskIndex prev_index = 0;
+    for (const Subtask& s : task.subtasks) {
+      if (s.index != prev_index + 1) {
+        report(out, sub_name(task, s) + " has non-consecutive index");
+      }
+      prev_index = s.index;
+      if (!s.scheduled()) continue;
+      if (!s.present) {
+        report(out, "absent " + sub_name(task, s) + " was scheduled");
+      }
+      if (s.halted() && s.halted_at <= s.scheduled_at) {
+        report(out, "halted " + sub_name(task, s) + " was scheduled");
+      }
+      if (s.scheduled_at < s.release) {
+        report(out, sub_name(task, s) + " scheduled before its release");
+      }
+      if (s.scheduled_at >= s.deadline &&
+          missed.count({task.id, s.index}) == 0) {
+        report(out, sub_name(task, s) + " scheduled at " +
+                        std::to_string(s.scheduled_at) +
+                        " past its deadline " + std::to_string(s.deadline) +
+                        " without a recorded miss");
+      }
+      if (s.scheduled_at <= prev_slot) {
+        report(out, sub_name(task, s) +
+                        " violates sequential execution (ran at " +
+                        std::to_string(s.scheduled_at) + " <= predecessor)");
+      }
+      prev_slot = s.scheduled_at;
+      // Cross-check against the slot trace.
+      if (static_cast<std::size_t>(s.scheduled_at) < trace.size()) {
+        const SlotRecord& rec =
+            trace[static_cast<std::size_t>(s.scheduled_at)];
+        bool found = false;
+        for (const TaskId id : rec.scheduled) found = found || id == task.id;
+        if (!found) {
+          report(out, sub_name(task, s) + " not present in the slot trace");
+        }
+      }
+    }
+    // Window sanity: deadlines after releases, monotone releases.
+    Slot prev_release = -1;
+    for (const Subtask& s : task.subtasks) {
+      if (s.deadline <= s.release) {
+        report(out, sub_name(task, s) + " has an empty window");
+      }
+      if (s.release < prev_release) {
+        report(out, sub_name(task, s) + " released before its predecessor");
+      }
+      prev_release = s.release;
+    }
+  }
+
+  // Theorem 2: a policed PD2-OI run never misses.
+  if (engine.config().policy == ReweightPolicy::kOmissionIdeal &&
+      engine.config().policing != PolicingMode::kOff &&
+      !engine.misses().empty()) {
+    report(out, "PD2-OI with policing recorded " +
+                    std::to_string(engine.misses().size()) +
+                    " missed deadlines (Theorem 2 violated)");
+  }
+
+  return out;
+}
+
+}  // namespace pfr::pfair

@@ -1,0 +1,35 @@
+/// \file verify.h
+/// \brief Independent post-hoc verification of a recorded schedule.
+///
+/// The engine asserts invariants online; this module re-derives the
+/// correctness conditions from the recorded trace and subtask records alone,
+/// giving the test suite an implementation-independent oracle:
+///   * at most M subtasks per slot, at most one per task per slot;
+///   * every scheduled subtask ran inside [r, d) unless a miss was recorded;
+///   * subtasks of a task ran in index order in distinct slots;
+///   * halted or absent subtasks never ran;
+///   * per Theorem 2, a policed PD2-OI run has no misses at all.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pfair/engine.h"
+
+namespace pfr::pfair {
+
+/// One violated condition found by verify_schedule().
+struct Violation {
+  std::string what;
+};
+
+/// Re-checks the engine's recorded history (requires record_slot_trace).
+/// Returns all violations found (empty = verified).
+[[nodiscard]] std::vector<Violation> verify_schedule(const Engine& engine);
+
+/// Convenience: true iff verify_schedule() found nothing.
+[[nodiscard]] inline bool schedule_ok(const Engine& engine) {
+  return verify_schedule(engine).empty();
+}
+
+}  // namespace pfr::pfair

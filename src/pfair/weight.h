@@ -1,0 +1,39 @@
+/// \file weight.h
+/// \brief Task-weight validation.
+///
+/// The paper restricts attention to "light" tasks: 0 < wt(T) <= 1/2 (heavy
+/// tasks need extra machinery deferred to Block's dissertation).  Whisper
+/// additionally needs weights <= 1/3.  The engine enforces the 1/2 bound on
+/// every join and every reweight request.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "rational/rational.h"
+
+namespace pfr::pfair {
+
+/// Maximum task weight supported by this library (the paper's "light task"
+/// restriction).
+inline const Rational kMaxWeight{1, 2};
+
+/// True iff 0 < w <= 1/2.
+[[nodiscard]] inline bool is_valid_weight(const Rational& w) {
+  return w > 0 && w <= kMaxWeight;
+}
+
+/// Thrown when a join or reweight requests a weight outside (0, 1/2].
+class InvalidWeight : public std::invalid_argument {
+ public:
+  explicit InvalidWeight(const Rational& w)
+      : std::invalid_argument("task weight " + w.to_string() +
+                              " outside (0, 1/2]") {}
+};
+
+/// Validates or throws.
+inline void check_weight(const Rational& w) {
+  if (!is_valid_weight(w)) throw InvalidWeight{w};
+}
+
+}  // namespace pfr::pfair

@@ -1,0 +1,68 @@
+/// \file windows.h
+/// \brief Pfair window arithmetic: pseudo-releases, pseudo-deadlines, b-bits.
+///
+/// For a (sub)task stream of weight w, the i-th subtask of a periodic task
+/// has r(T_i) = floor((i-1)/w), d(T_i) = ceil(i/w) and b-bit
+/// b(T_i) = ceil(i/w) - floor(i/w) (Sec. 2 of the paper).  The adaptable
+/// (AIS) generalization, Eqns. (2)-(4), evaluates the same expressions with
+/// the *local* index q = j - z inside the current generation (z = Id(T_j)-1)
+/// and the task's *scheduling weight* at the release of T_j.  These helpers
+/// are pure functions of (q, w); generation/offset bookkeeping lives in
+/// task.h.
+#pragma once
+
+#include "pfair/types.h"
+#include "rational/rational.h"
+
+namespace pfr::pfair {
+
+/// floor((q-1)/w): release offset of the q-th subtask (q >= 1) of a stream
+/// of weight w, relative to the stream's start.
+[[nodiscard]] inline Slot release_offset(SubtaskIndex q, const Rational& w) {
+  return floor_div(q - 1, w);
+}
+
+/// ceil(q/w): deadline offset of the q-th subtask relative to the stream's
+/// start.
+[[nodiscard]] inline Slot deadline_offset(SubtaskIndex q, const Rational& w) {
+  return ceil_div(q, w);
+}
+
+/// b-bit of the q-th subtask: ceil(q/w) - floor(q/w); 1 iff the window of
+/// subtask q overlaps the window of subtask q+1 (Eqn. (3)).
+[[nodiscard]] inline int b_bit(SubtaskIndex q, const Rational& w) {
+  return static_cast<int>(ceil_div(q, w) - floor_div(q, w));
+}
+
+/// Window length of the q-th subtask: ceil(q/w) - floor((q-1)/w).
+/// For w <= 1/2 this is always >= 2, and >= 3 whenever the b-bit is 1
+/// (facts used throughout the correctness proof).
+[[nodiscard]] inline Slot window_length(SubtaskIndex q, const Rational& w) {
+  return deadline_offset(q, w) - release_offset(q, w);
+}
+
+/// Group deadline offset of the q-th subtask of a stream of weight w,
+/// relative to the stream's start (the third PD2 tie-break, needed only for
+/// heavy tasks: w > 1/2).  Definition (Anderson & Srinivasan): the earliest
+/// time t >= d(T_q) such that t = d(T_j) with b(T_j) = 0, or t = d(T_j) - 1
+/// with |w(T_j)| = 3, for some j >= q -- the end of the cascade of
+/// length-two windows that a late scheduling of T_q could trigger.  Light
+/// tasks have no cascade; 0 is returned for them.
+[[nodiscard]] inline Slot group_deadline_offset(SubtaskIndex q,
+                                                const Rational& w) {
+  if (w <= Rational{1, 2}) return 0;
+  for (SubtaskIndex j = q;; ++j) {
+    if (j > q && window_length(j, w) >= 3) return deadline_offset(j, w) - 1;
+    if (b_bit(j, w) == 0) return deadline_offset(j, w);
+  }
+}
+
+/// Deadline of subtask T_j given its release and Eqn. (2):
+/// d = r + ceil(q/w) - floor((q-1)/w), where q = j - z is the local index
+/// within the generation and w the scheduling weight at the release.
+[[nodiscard]] inline Slot deadline_from_release(Slot release, SubtaskIndex q,
+                                                const Rational& w) {
+  return release + window_length(q, w);
+}
+
+}  // namespace pfr::pfair

@@ -1,0 +1,16 @@
+#include "rational/rational.h"
+
+#include <ostream>
+
+namespace pfr {
+
+std::string Rational::to_string() const {
+  if (den_ == 1) return std::to_string(num_);
+  return std::to_string(num_) + "/" + std::to_string(den_);
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& r) {
+  return os << r.to_string();
+}
+
+}  // namespace pfr

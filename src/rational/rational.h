@@ -1,0 +1,220 @@
+/// \file rational.h
+/// \brief Exact rational arithmetic on checked 64-bit integers.
+///
+/// Pfair scheduling theory is stated entirely in exact fractions: task
+/// weights such as 3/19, per-slot ideal allocations such as 32/95, lag and
+/// drift values such as -3/20.  Reproducing the paper's worked examples and
+/// proving invariants in tests requires *exact* arithmetic -- floating point
+/// would accumulate error over thousands of slots.  This class provides a
+/// canonical (normalized) rational with __int128 intermediates and overflow
+/// checks, throwing pfr::RationalOverflow when a value leaves the 64-bit
+/// range after normalization.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <iosfwd>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+
+namespace pfr {
+
+/// Thrown when a rational operation overflows the canonical 64-bit range.
+class RationalOverflow : public std::overflow_error {
+ public:
+  RationalOverflow() : std::overflow_error("pfr::Rational overflow") {}
+};
+
+/// Thrown on construction or division with a zero denominator.
+class RationalDivideByZero : public std::domain_error {
+ public:
+  RationalDivideByZero() : std::domain_error("pfr::Rational divide by zero") {}
+};
+
+/// A canonical rational number num/den with den > 0 and gcd(|num|, den) = 1.
+///
+/// All operations are exact; intermediates use 128-bit arithmetic and the
+/// normalized result is range-checked.  The class is a regular value type
+/// (trivially copyable, totally ordered, hashable via num()/den()).
+class Rational {
+ public:
+  /// Zero.
+  constexpr Rational() = default;
+
+  /// Implicit conversion from an integer: n/1.  Implicit by design so that
+  /// expressions like `alloc < 1` read like the paper.
+  constexpr Rational(std::int64_t n) : num_(n), den_(1) {}  // NOLINT
+
+  /// n/d, normalized.  Throws RationalDivideByZero if d == 0.
+  constexpr Rational(std::int64_t n, std::int64_t d) : num_(n), den_(d) {
+    if (den_ == 0) throw RationalDivideByZero{};
+    if (den_ < 0) {
+      num_ = -num_;
+      den_ = -den_;
+    }
+    const std::int64_t g = std::gcd(num_, den_);
+    if (g > 1) {
+      num_ /= g;
+      den_ /= g;
+    }
+  }
+
+  [[nodiscard]] constexpr std::int64_t num() const noexcept { return num_; }
+  [[nodiscard]] constexpr std::int64_t den() const noexcept { return den_; }
+
+  [[nodiscard]] constexpr bool is_zero() const noexcept { return num_ == 0; }
+  [[nodiscard]] constexpr bool is_integer() const noexcept { return den_ == 1; }
+
+  /// Sign: -1, 0, or +1.
+  [[nodiscard]] constexpr int sign() const noexcept {
+    return (num_ > 0) - (num_ < 0);
+  }
+
+  [[nodiscard]] constexpr Rational abs() const noexcept {
+    Rational r = *this;
+    if (r.num_ < 0) r.num_ = -r.num_;
+    return r;
+  }
+
+  /// floor(num/den) as an integer (mathematical floor, correct for negatives).
+  [[nodiscard]] constexpr std::int64_t floor() const noexcept {
+    std::int64_t q = num_ / den_;
+    if (num_ % den_ != 0 && num_ < 0) --q;
+    return q;
+  }
+
+  /// ceil(num/den) as an integer (mathematical ceiling).
+  [[nodiscard]] constexpr std::int64_t ceil() const noexcept {
+    std::int64_t q = num_ / den_;
+    if (num_ % den_ != 0 && num_ > 0) ++q;
+    return q;
+  }
+
+  /// Lossy conversion for reporting only; never used in scheduling decisions.
+  [[nodiscard]] constexpr double to_double() const noexcept {
+    return static_cast<double>(num_) / static_cast<double>(den_);
+  }
+
+  /// Reciprocal.  Throws RationalDivideByZero when zero.
+  [[nodiscard]] constexpr Rational inverse() const {
+    if (num_ == 0) throw RationalDivideByZero{};
+    Rational r;
+    r.num_ = den_;
+    r.den_ = num_;
+    if (r.den_ < 0) {
+      r.num_ = -r.num_;
+      r.den_ = -r.den_;
+    }
+    return r;
+  }
+
+  friend constexpr Rational operator+(const Rational& a, const Rational& b) {
+    const I128 n = I128{a.num_} * b.den_ + I128{b.num_} * a.den_;
+    const I128 d = I128{a.den_} * b.den_;
+    return make_checked(n, d);
+  }
+  friend constexpr Rational operator-(const Rational& a, const Rational& b) {
+    const I128 n = I128{a.num_} * b.den_ - I128{b.num_} * a.den_;
+    const I128 d = I128{a.den_} * b.den_;
+    return make_checked(n, d);
+  }
+  friend constexpr Rational operator*(const Rational& a, const Rational& b) {
+    return make_checked(I128{a.num_} * b.num_, I128{a.den_} * b.den_);
+  }
+  friend constexpr Rational operator/(const Rational& a, const Rational& b) {
+    if (b.num_ == 0) throw RationalDivideByZero{};
+    return make_checked(I128{a.num_} * b.den_, I128{a.den_} * b.num_);
+  }
+  constexpr Rational operator-() const noexcept {
+    Rational r = *this;
+    r.num_ = -r.num_;
+    return r;
+  }
+
+  constexpr Rational& operator+=(const Rational& o) { return *this = *this + o; }
+  constexpr Rational& operator-=(const Rational& o) { return *this = *this - o; }
+  constexpr Rational& operator*=(const Rational& o) { return *this = *this * o; }
+  constexpr Rational& operator/=(const Rational& o) { return *this = *this / o; }
+
+  friend constexpr bool operator==(const Rational& a, const Rational& b) noexcept {
+    return a.num_ == b.num_ && a.den_ == b.den_;
+  }
+  friend constexpr std::strong_ordering operator<=>(const Rational& a,
+                                                    const Rational& b) noexcept {
+    const I128 lhs = I128{a.num_} * b.den_;
+    const I128 rhs = I128{b.num_} * a.den_;
+    if (lhs < rhs) return std::strong_ordering::less;
+    if (lhs > rhs) return std::strong_ordering::greater;
+    return std::strong_ordering::equal;
+  }
+
+  /// "num/den", or just "num" for integers.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wpedantic"
+  using I128 = __int128;  // GCC/Clang extension; fine for our toolchains
+#pragma GCC diagnostic pop
+
+  static constexpr Rational make_checked(I128 n, I128 d) {
+    if (d == 0) throw RationalDivideByZero{};
+    if (d < 0) {
+      n = -n;
+      d = -d;
+    }
+    const I128 g = gcd128(n < 0 ? -n : n, d);
+    if (g > 1) {
+      n /= g;
+      d /= g;
+    }
+    constexpr I128 kMax = INT64_MAX;
+    constexpr I128 kMin = INT64_MIN;
+    if (n > kMax || n < kMin || d > kMax) throw RationalOverflow{};
+    Rational r;
+    r.num_ = static_cast<std::int64_t>(n);
+    r.den_ = static_cast<std::int64_t>(d);
+    return r;
+  }
+
+  static constexpr I128 gcd128(I128 a, I128 b) noexcept {
+    while (b != 0) {
+      const I128 t = a % b;
+      a = b;
+      b = t;
+    }
+    return a == 0 ? 1 : a;
+  }
+
+  std::int64_t num_{0};
+  std::int64_t den_{1};
+};
+
+/// Convenience factory mirroring the paper's "e/p" weight notation.
+[[nodiscard]] constexpr Rational rat(std::int64_t num, std::int64_t den = 1) {
+  return Rational{num, den};
+}
+
+[[nodiscard]] constexpr Rational min(const Rational& a, const Rational& b) {
+  return b < a ? b : a;
+}
+[[nodiscard]] constexpr Rational max(const Rational& a, const Rational& b) {
+  return a < b ? b : a;
+}
+
+/// floor(k / w) for integer k and rational w, as used by the window formulas
+/// floor((i-1)/wt(T)); exact (never goes through division of rationals that
+/// could overflow for large k).
+[[nodiscard]] constexpr std::int64_t floor_div(std::int64_t k, const Rational& w) {
+  return (Rational{k} / w).floor();
+}
+
+/// ceil(k / w) for integer k and rational w, as used by ceil(i/wt(T)).
+[[nodiscard]] constexpr std::int64_t ceil_div(std::int64_t k, const Rational& w) {
+  return (Rational{k} / w).ceil();
+}
+
+std::ostream& operator<<(std::ostream& os, const Rational& r);
+
+}  // namespace pfr

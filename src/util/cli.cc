@@ -1,0 +1,66 @@
+#include "util/cli.h"
+
+#include <cstdlib>
+
+namespace pfr {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      error_ = "positional argument not supported: " + arg;
+      return;
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string{argv[i + 1]}.rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";  // bare flag
+    }
+  }
+}
+
+std::int64_t CliArgs::get_int(const std::string& name, std::int64_t def) const {
+  queried_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  return std::strtoll(it->second.c_str(), nullptr, 10);
+}
+
+double CliArgs::get_double(const std::string& name, double def) const {
+  queried_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  return std::strtod(it->second.c_str(), nullptr);
+}
+
+std::string CliArgs::get_string(const std::string& name, std::string def) const {
+  queried_[name] = true;
+  const auto it = values_.find(name);
+  return it == values_.end() ? def : it->second;
+}
+
+bool CliArgs::get_bool(const std::string& name, bool def) const {
+  queried_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+bool CliArgs::has(const std::string& name) const {
+  queried_[name] = true;
+  return values_.count(name) > 0;
+}
+
+std::vector<std::string> CliArgs::unknown_flags() const {
+  std::vector<std::string> out;
+  for (const auto& [name, _] : values_) {
+    if (!queried_.count(name)) out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace pfr

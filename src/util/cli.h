@@ -1,0 +1,48 @@
+/// \file cli.h
+/// \brief Minimal --flag=value command-line parsing for examples and benches.
+///
+/// Every figure-reproducing binary accepts --runs, --slots, --seed, --csv;
+/// this parser keeps those binaries free of argument-handling boilerplate.
+/// Unknown flags are an error (catches typos in sweep scripts).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace pfr {
+
+/// Parses `--name=value` / `--name value` / bare `--flag` arguments.
+class CliArgs {
+ public:
+  /// Parses argv; on malformed input records an error retrievable via
+  /// error().  Flags may be declared with defaults through the getters.
+  CliArgs(int argc, const char* const* argv);
+
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t def) const;
+  [[nodiscard]] double get_double(const std::string& name, double def) const;
+  [[nodiscard]] std::string get_string(const std::string& name,
+                                       std::string def) const;
+  [[nodiscard]] bool get_bool(const std::string& name, bool def = false) const;
+
+  /// True if the flag appeared on the command line.
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  /// Flags present on the command line that were never queried; call after
+  /// all get_* calls to reject typos.
+  [[nodiscard]] std::vector<std::string> unknown_flags() const;
+
+  [[nodiscard]] const std::optional<std::string>& error() const noexcept {
+    return error_;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> queried_;
+  std::optional<std::string> error_;
+};
+
+}  // namespace pfr

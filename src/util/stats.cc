@@ -1,0 +1,103 @@
+#include "util/stats.h"
+
+#include <cmath>
+
+namespace pfr {
+namespace {
+
+/// Continued-fraction core for the incomplete beta function (Numerical
+/// Recipes' betacf structure, reimplemented).
+double beta_cf(double a, double b, double x) noexcept {
+  constexpr int kMaxIter = 300;
+  constexpr double kEps = 3e-14;
+  constexpr double kFpMin = 1e-300;
+
+  const double qab = a + b;
+  const double qap = a + 1.0;
+  const double qam = a - 1.0;
+  double c = 1.0;
+  double d = 1.0 - qab * x / qap;
+  if (std::fabs(d) < kFpMin) d = kFpMin;
+  d = 1.0 / d;
+  double h = d;
+  for (int m = 1; m <= kMaxIter; ++m) {
+    const double m2 = 2.0 * m;
+    double aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    h *= d * c;
+    aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+    d = 1.0 + aa * d;
+    if (std::fabs(d) < kFpMin) d = kFpMin;
+    c = 1.0 + aa / c;
+    if (std::fabs(c) < kFpMin) c = kFpMin;
+    d = 1.0 / d;
+    const double del = d * c;
+    h *= del;
+    if (std::fabs(del - 1.0) < kEps) break;
+  }
+  return h;
+}
+
+/// CDF of the Student-t distribution with df degrees of freedom.
+double student_t_cdf(double t, double df) noexcept {
+  const double x = df / (df + t * t);
+  const double p = 0.5 * regularized_incomplete_beta(df / 2.0, 0.5, x);
+  return t > 0 ? 1.0 - p : p;
+}
+
+}  // namespace
+
+double regularized_incomplete_beta(double a, double b, double x) noexcept {
+  if (x <= 0.0) return 0.0;
+  if (x >= 1.0) return 1.0;
+  const double ln_front = std::lgamma(a + b) - std::lgamma(a) - std::lgamma(b) +
+                          a * std::log(x) + b * std::log1p(-x);
+  const double front = std::exp(ln_front);
+  if (x < (a + 1.0) / (a + b + 2.0)) {
+    return front * beta_cf(a, b, x) / a;
+  }
+  return 1.0 - std::exp(std::lgamma(a + b) - std::lgamma(b) - std::lgamma(a) +
+                        b * std::log1p(-x) + a * std::log(x)) *
+                   beta_cf(b, a, 1.0 - x) / b;
+}
+
+double student_t_critical(std::size_t df, double confidence) noexcept {
+  if (df == 0 || confidence <= 0.0) return 0.0;
+  if (confidence >= 1.0) return INFINITY;
+  const double target = 0.5 + confidence / 2.0;  // upper-tail quantile
+  // Bisection on the CDF; t* for any practical confidence lies in [0, 1e4].
+  double lo = 0.0;
+  double hi = 1e4;
+  const double dfd = static_cast<double>(df);
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (student_t_cdf(mid, dfd) < target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo < 1e-12) break;
+  }
+  return 0.5 * (lo + hi);
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double RunningStats::confidence_half_width(double confidence) const noexcept {
+  if (n_ < 2) return 0.0;
+  const double t = student_t_critical(n_ - 1, confidence);
+  return t * stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+double mean_of(const std::vector<double>& xs) noexcept {
+  if (xs.empty()) return 0.0;
+  double s = 0.0;
+  for (const double x : xs) s += x;
+  return s / static_cast<double>(xs.size());
+}
+
+}  // namespace pfr

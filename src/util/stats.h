@@ -1,0 +1,63 @@
+/// \file stats.h
+/// \brief Running statistics and Student-t confidence intervals.
+///
+/// The paper reports each Whisper data point as the mean of 61 runs with a
+/// 98% confidence interval.  RunningStats implements Welford's numerically
+/// stable online mean/variance; confidence_half_width() computes the exact
+/// Student-t interval by inverting the t CDF (regularized incomplete beta
+/// function, no lookup tables).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace pfr {
+
+/// Welford online accumulator for mean and sample variance.
+class RunningStats {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (n_ == 1 || x < min_) min_ = x;
+    if (n_ == 1 || x > max_) max_ = x;
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return mean_; }
+  [[nodiscard]] double min() const noexcept { return min_; }
+  [[nodiscard]] double max() const noexcept { return max_; }
+
+  /// Unbiased sample variance; 0 for fewer than two samples.
+  [[nodiscard]] double variance() const noexcept {
+    return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+  }
+  [[nodiscard]] double stddev() const noexcept;
+
+  /// Half-width of the two-sided `confidence` (e.g. 0.98) Student-t interval
+  /// around the mean; 0 for fewer than two samples.
+  [[nodiscard]] double confidence_half_width(double confidence) const noexcept;
+
+ private:
+  std::size_t n_{0};
+  double mean_{0.0};
+  double m2_{0.0};
+  double min_{0.0};
+  double max_{0.0};
+};
+
+/// Regularized incomplete beta function I_x(a, b) via Lentz continued
+/// fractions.  Exposed for testing.
+[[nodiscard]] double regularized_incomplete_beta(double a, double b, double x) noexcept;
+
+/// Two-sided Student-t critical value t* with `df` degrees of freedom such
+/// that P(|T| <= t*) = confidence.  Exposed for testing (e.g. df=60,
+/// confidence=0.98 -> 2.390).
+[[nodiscard]] double student_t_critical(std::size_t df, double confidence) noexcept;
+
+/// Convenience: mean of a vector (0 for empty).
+[[nodiscard]] double mean_of(const std::vector<double>& xs) noexcept;
+
+}  // namespace pfr

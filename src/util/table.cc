@@ -1,0 +1,86 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace pfr {
+namespace {
+
+std::string format_double(double v, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::begin_row() { rows_.emplace_back(); }
+
+void TextTable::add(std::string cell) {
+  if (rows_.empty()) rows_.emplace_back();
+  rows_.back().push_back(std::move(cell));
+}
+
+void TextTable::add_double(double v, int precision) {
+  add(format_double(v, precision));
+}
+
+void TextTable::add_ci(double mean, double half_width, int precision) {
+  add(format_double(mean, precision) + " +/- " +
+      format_double(half_width, precision));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      os << cell << std::string(widths[c] - cell.size() + 2, ' ');
+    }
+    os << '\n';
+  };
+  emit_row(header_);
+  std::size_t total = 0;
+  for (const std::size_t w : widths) total += w + 2;
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+std::string TextTable::to_csv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << ',';
+      os << row[c];
+    }
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+bool TextTable::write_csv(const std::string& path) const {
+  std::ofstream f{path};
+  if (!f) return false;
+  f << to_csv();
+  return static_cast<bool>(f);
+}
+
+}  // namespace pfr

@@ -1,0 +1,43 @@
+/// \file table.h
+/// \brief Aligned plain-text tables and CSV emission for benchmark output.
+///
+/// Every figure-reproducing benchmark prints one of these tables: a header
+/// row plus one row per x-axis point, matching the series the paper plots.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace pfr {
+
+/// A simple column-aligned table.  Cells are strings; numeric helpers format
+/// with fixed precision.  render() pads columns to their widest cell.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Starts a new row; subsequent add_* calls append cells to it.
+  void begin_row();
+  void add(std::string cell);
+  void add_double(double v, int precision = 4);
+  /// "mean ± hw" cell, as the paper's CI bars.
+  void add_ci(double mean, double half_width, int precision = 4);
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+  /// Aligned plain text, suitable for terminals and EXPERIMENTS.md.
+  [[nodiscard]] std::string render() const;
+
+  /// RFC-4180-ish CSV (no quoting needed for our numeric content).
+  [[nodiscard]] std::string to_csv() const;
+
+  /// Writes to_csv() to `path`; returns false on I/O failure.
+  bool write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pfr

@@ -1,0 +1,62 @@
+/// \file thread_pool.h
+/// \brief Fixed-size thread pool with a parallel_for helper.
+///
+/// The experiment harness runs 61 independent simulation replicates per data
+/// point and dozens of data points per figure; replicates are embarrassingly
+/// parallel.  This is a deliberately simple mutex/condvar pool (no work
+/// stealing): tasks here are multi-millisecond simulations, so queue
+/// contention is negligible and simplicity wins (C++ Core Guidelines CP.*:
+/// prefer the simplest correct concurrency structure).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace pfr {
+
+/// Fixed pool of worker threads executing void() jobs FIFO.
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (defaults to hardware concurrency, min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Drains outstanding work, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a job.  Jobs must not throw; exceptions terminate (jobs in this
+  /// codebase report failures through their captured state).
+  void submit(std::function<void()> job);
+
+  /// Blocks until every submitted job has finished executing.
+  void wait_idle();
+
+  [[nodiscard]] std::size_t thread_count() const noexcept {
+    return workers_.size();
+  }
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable cv_work_;
+  std::condition_variable cv_idle_;
+  std::queue<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t in_flight_{0};
+  bool stop_{false};
+};
+
+/// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+/// fn must be safe to invoke concurrently for distinct i.
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace pfr

@@ -1,0 +1,48 @@
+#include "whisper/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pfr::whisper {
+
+double correlation_ops_per_second(const CostModelConfig& cfg,
+                                  double distance_m, bool occluded) noexcept {
+  const double delay_samples =
+      distance_m / cfg.speed_of_sound * cfg.audio_rate;
+  double window = cfg.search_slack_samples + 2.0 * cfg.search_spread * delay_samples;
+  if (occluded) window *= cfg.occlusion_factor;
+  // Two ops (multiply + accumulate) per tap per candidate shift, per sample.
+  return window * cfg.corr_taps * 2.0 * cfg.track_rate;
+}
+
+Rational required_weight(const CostModelConfig& cfg, double distance_m,
+                         bool occluded) {
+  const double w_raw =
+      correlation_ops_per_second(cfg, distance_m, occluded) /
+      cfg.cpu_ops_per_second;
+  const double w = std::clamp(w_raw, cfg.min_weight, cfg.max_weight);
+  const auto num = static_cast<std::int64_t>(
+      std::lround(w * static_cast<double>(cfg.weight_denominator)));
+  return Rational{std::max<std::int64_t>(num, 1), cfg.weight_denominator};
+}
+
+std::int64_t correlate(std::span<const float> reference,
+                       std::span<const float> signal,
+                       std::int64_t shifts) noexcept {
+  const std::size_t taps = reference.size();
+  std::int64_t best_shift = 0;
+  float best_score = -1.0F;
+  for (std::int64_t s = 0; s < shifts; ++s) {
+    if (static_cast<std::size_t>(s) + taps > signal.size()) break;
+    float acc = 0.0F;
+    const float* sig = signal.data() + s;
+    for (std::size_t k = 0; k < taps; ++k) acc += reference[k] * sig[k];
+    if (acc > best_score) {
+      best_score = acc;
+      best_shift = s;
+    }
+  }
+  return best_shift;
+}
+
+}  // namespace pfr::whisper

@@ -1,0 +1,75 @@
+/// \file cost_model.h
+/// \brief Correlation-cost model: speaker-microphone geometry -> task weight.
+///
+/// Whisper localizes a speaker by correlating the emitted white-noise signal
+/// against each microphone's input.  The number of accumulate-and-multiply
+/// operations grows with the time-shift search window, which widens with the
+/// speaker-microphone distance (longer time of flight, larger prediction
+/// uncertainty) and widens sharply under occlusion (the diffracted path
+/// invalidates the predictor, forcing a larger search -- the paper notes the
+/// distance "is also lengthened when an occlusion is caused by the pole").
+///
+/// The paper derived each task's weight range by timing the correlation
+/// kernel on a 2.7 GHz testbed.  We substitute a parametric model with the
+/// same structure (DESIGN.md, substitution table):
+///
+///   delay_samples(d)  = d / c_sound * f_audio
+///   search_window(d)  = slack + 2 * spread * delay_samples(d)
+///                       (x occlusion_factor when the line of sight is cut)
+///   ops_per_second    = search_window * corr_taps * 2 * f_track
+///   weight            = ops_per_second / cpu_ops_per_second, clamped and
+///                       quantized to k / weight_denominator
+///
+/// The accumulate-and-multiply kernel itself is implemented in this module
+/// (correlate()) so the overhead benchmark can re-time it on the host, as
+/// the authors did on theirs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "rational/rational.h"
+
+namespace pfr::whisper {
+
+/// Parameters of the correlation-cost -> weight mapping.  Defaults are
+/// calibrated so that weights span roughly [1/100, 1/3] over the paper's
+/// geometry sweeps, matching "weight changes of one order of magnitude" and
+/// Whisper's stated 1/3 weight cap.
+struct CostModelConfig {
+  double speed_of_sound{343.0};        ///< m/s
+  double audio_rate{48'000.0};         ///< Hz, correlation sample rate
+  double track_rate{1'000.0};          ///< Hz, per-object sampling frequency
+  double search_slack_samples{8.0};    ///< base search window
+  double search_spread{0.5};           ///< window growth per delay sample
+  double occlusion_factor{8.0};        ///< search blow-up when occluded
+  int corr_taps{512};                  ///< correlation length
+  double cpu_ops_per_second{2.7e9};    ///< the paper's 2.7 GHz testbed
+  /// Weight bounds: Whisper tasks stay within (0, 1/3].
+  double min_weight{1.0 / 300.0};
+  double max_weight{1.0 / 3.0};
+  /// All weights are quantized to multiples of 1/weight_denominator so that
+  /// exact rational bookkeeping stays in small denominators.
+  std::int64_t weight_denominator{2520};
+};
+
+/// Accumulate-and-multiply operations per second needed to track one
+/// speaker/microphone pair at the given distance and occlusion state.
+[[nodiscard]] double correlation_ops_per_second(const CostModelConfig& cfg,
+                                                double distance_m,
+                                                bool occluded) noexcept;
+
+/// Task weight for the given geometry: ops / cpu rate, clamped to
+/// [min_weight, max_weight] and quantized to the configured denominator.
+[[nodiscard]] Rational required_weight(const CostModelConfig& cfg,
+                                       double distance_m, bool occluded);
+
+/// The basic Whisper computation: one accumulate-and-multiply correlation
+/// of `signal` against `reference` at `shifts` candidate offsets.  Returns
+/// the best-scoring shift.  Used by the overhead microbenchmark to re-time
+/// the kernel on the host CPU (the authors timed it on their testbed).
+[[nodiscard]] std::int64_t correlate(std::span<const float> reference,
+                                     std::span<const float> signal,
+                                     std::int64_t shifts) noexcept;
+
+}  // namespace pfr::whisper

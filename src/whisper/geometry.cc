@@ -1,0 +1,19 @@
+#include "whisper/geometry.h"
+
+#include <algorithm>
+
+namespace pfr::whisper {
+
+double point_segment_distance(Vec2 p, Vec2 a, Vec2 b) noexcept {
+  const Vec2 ab = b - a;
+  const double len2 = dot(ab, ab);
+  if (len2 == 0.0) return distance(p, a);
+  const double t = std::clamp(dot(p - a, ab) / len2, 0.0, 1.0);
+  return distance(p, a + t * ab);
+}
+
+bool segment_intersects_disc(Vec2 a, Vec2 b, Vec2 c, double r) noexcept {
+  return point_segment_distance(c, a, b) <= r;
+}
+
+}  // namespace pfr::whisper

@@ -1,0 +1,48 @@
+/// \file geometry.h
+/// \brief 2-D geometry for the simulated Whisper tracking room.
+///
+/// The paper's evaluation simulates three speakers revolving around a 5 cm
+/// pole at the center of a 1 m x 1 m room with a microphone in each corner
+/// (Fig. 10).  Motion is two-dimensional by assumption.  The only geometric
+/// predicate the workload needs is "does the speaker-to-microphone segment
+/// pass through the pole?" (an occlusion).
+#pragma once
+
+#include <cmath>
+
+namespace pfr::whisper {
+
+struct Vec2 {
+  double x{0.0};
+  double y{0.0};
+
+  friend constexpr Vec2 operator-(Vec2 a, Vec2 b) noexcept {
+    return Vec2{a.x - b.x, a.y - b.y};
+  }
+  friend constexpr Vec2 operator+(Vec2 a, Vec2 b) noexcept {
+    return Vec2{a.x + b.x, a.y + b.y};
+  }
+  friend constexpr Vec2 operator*(double s, Vec2 v) noexcept {
+    return Vec2{s * v.x, s * v.y};
+  }
+};
+
+[[nodiscard]] constexpr double dot(Vec2 a, Vec2 b) noexcept {
+  return a.x * b.x + a.y * b.y;
+}
+
+[[nodiscard]] inline double norm(Vec2 v) noexcept { return std::sqrt(dot(v, v)); }
+
+[[nodiscard]] inline double distance(Vec2 a, Vec2 b) noexcept {
+  return norm(a - b);
+}
+
+/// Distance from point p to the closed segment [a, b].
+[[nodiscard]] double point_segment_distance(Vec2 p, Vec2 a, Vec2 b) noexcept;
+
+/// True iff the segment [a, b] intersects the closed disc centered at c with
+/// radius r (i.e. the line of sight from a to b is occluded by the pole).
+[[nodiscard]] bool segment_intersects_disc(Vec2 a, Vec2 b, Vec2 c,
+                                           double r) noexcept;
+
+}  // namespace pfr::whisper

@@ -1,0 +1,45 @@
+#include "whisper/scenario.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace pfr::whisper {
+
+Scenario::Scenario(const ScenarioConfig& cfg, Xoshiro256& rng) : cfg_(cfg) {
+  if (cfg.orbit_radius <= cfg.pole_radius) {
+    throw std::invalid_argument("Scenario: speakers inside the pole");
+  }
+  // The paper sweeps the radius up to 50 cm in a 1 m room: speakers may
+  // graze the walls but not pass them.
+  if (cfg.orbit_radius > cfg.room_size / 2.0) {
+    throw std::invalid_argument("Scenario: speakers outside the room");
+  }
+  const double s = cfg.room_size;
+  center_ = Vec2{s / 2.0, s / 2.0};
+  mics_ = {Vec2{0.0, 0.0}, Vec2{s, 0.0}, Vec2{0.0, s}, Vec2{s, s}};
+  phases_.reserve(static_cast<std::size_t>(cfg.speakers));
+  for (int i = 0; i < cfg.speakers; ++i) {
+    phases_.push_back(rng.uniform(0.0, 2.0 * std::numbers::pi));
+  }
+  // Linear speed v at radius R -> angular speed v/R rad/s -> rad/slot.
+  omega_ = cfg.speed / cfg.orbit_radius * cfg.quantum_seconds;
+}
+
+Vec2 Scenario::speaker_position(int s, pfair::Slot t) const {
+  const double a =
+      phases_.at(static_cast<std::size_t>(s)) + omega_ * static_cast<double>(t);
+  return center_ + cfg_.orbit_radius * Vec2{std::cos(a), std::sin(a)};
+}
+
+double Scenario::pair_distance(int s, int m, pfair::Slot t) const {
+  return distance(speaker_position(s, t), microphone(m));
+}
+
+bool Scenario::pair_occluded(int s, int m, pfair::Slot t) const {
+  if (!cfg_.occlusions) return false;
+  return segment_intersects_disc(speaker_position(s, t), microphone(m),
+                                 center_, cfg_.pole_radius);
+}
+
+}  // namespace pfr::whisper

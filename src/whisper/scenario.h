@@ -1,0 +1,62 @@
+/// \file scenario.h
+/// \brief The simulated Whisper room: geometry and motion model.
+///
+/// Three speakers revolve at constant angular speed around the central pole,
+/// all at the same radius, with uniformly random initial phases (the paper
+/// places them "randomly around the pole, at an equal distance from the
+/// pole, and each rotating around the pole at the same speed").  Four
+/// microphones sit in the room corners.  All simplifying assumptions of
+/// Sec. 5 are honored: 2-D motion, constant rate, one task per
+/// speaker/microphone pair, omnidirectional transducers.
+#pragma once
+
+#include <vector>
+
+#include "pfair/types.h"
+#include "util/rng.h"
+#include "whisper/geometry.h"
+
+namespace pfr::whisper {
+
+struct ScenarioConfig {
+  double room_size{1.0};      ///< meters; the room is a square
+  double pole_radius{0.025};  ///< 5 cm pole
+  int speakers{3};
+  double orbit_radius{0.25};  ///< distance from room center, meters
+  double speed{1.0};          ///< linear speed of each speaker, m/s
+  double quantum_seconds{1e-3};  ///< 1 ms scheduling quantum
+  bool occlusions{true};      ///< false removes the pole (no-occlusion runs)
+};
+
+/// Immutable, per-run instantiation of the room (random phases drawn once).
+class Scenario {
+ public:
+  Scenario(const ScenarioConfig& cfg, Xoshiro256& rng);
+
+  [[nodiscard]] const ScenarioConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] int speaker_count() const noexcept { return cfg_.speakers; }
+  [[nodiscard]] int microphone_count() const noexcept {
+    return static_cast<int>(mics_.size());
+  }
+  [[nodiscard]] Vec2 microphone(int m) const {
+    return mics_.at(static_cast<std::size_t>(m));
+  }
+
+  /// Speaker position at the start of slot t.
+  [[nodiscard]] Vec2 speaker_position(int s, pfair::Slot t) const;
+
+  /// Speaker-to-microphone distance at the start of slot t.
+  [[nodiscard]] double pair_distance(int s, int m, pfair::Slot t) const;
+
+  /// True iff the pole occludes the speaker-microphone line of sight at t.
+  [[nodiscard]] bool pair_occluded(int s, int m, pfair::Slot t) const;
+
+ private:
+  ScenarioConfig cfg_;
+  Vec2 center_;
+  std::vector<Vec2> mics_;
+  std::vector<double> phases_;   ///< initial angle per speaker
+  double omega_;                 ///< angular speed, rad per slot
+};
+
+}  // namespace pfr::whisper

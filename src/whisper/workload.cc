@@ -1,0 +1,62 @@
+#include "whisper/workload.h"
+
+#include <cmath>
+#include <string>
+
+namespace pfr::whisper {
+
+Workload generate_workload(const WorkloadConfig& cfg, std::uint64_t seed,
+                           std::uint64_t run_index, pfair::Slot slots) {
+  Xoshiro256 rng = Xoshiro256::for_stream(seed, run_index);
+  const Scenario scenario{cfg.scenario, rng};
+
+  Workload out;
+  for (int s = 0; s < scenario.speaker_count(); ++s) {
+    for (int m = 0; m < scenario.microphone_count(); ++m) {
+      TaskTrace trace;
+      trace.speaker = s;
+      trace.microphone = m;
+
+      double ref_distance = scenario.pair_distance(s, m, 0);
+      bool ref_occluded = scenario.pair_occluded(s, m, 0);
+      Rational current = required_weight(cfg.cost, ref_distance, ref_occluded);
+      trace.initial_weight = current;
+
+      for (pfair::Slot t = 1; t < slots; ++t) {
+        const double d = scenario.pair_distance(s, m, t);
+        const bool occ = scenario.pair_occluded(s, m, t);
+        const bool distance_trigger =
+            std::fabs(d - ref_distance) >= cfg.reweight_distance_threshold;
+        const bool occlusion_trigger = occ != ref_occluded;
+        if (!distance_trigger && !occlusion_trigger) continue;
+        ref_distance = d;
+        ref_occluded = occ;
+        const Rational w = required_weight(cfg.cost, d, occ);
+        if (w == current) continue;
+        current = w;
+        trace.events.emplace_back(t, w);
+        ++out.total_events;
+      }
+      out.tasks.push_back(std::move(trace));
+    }
+  }
+  return out;
+}
+
+std::vector<pfair::TaskId> install_workload(pfair::Engine& engine,
+                                            const Workload& workload) {
+  std::vector<pfair::TaskId> ids;
+  ids.reserve(workload.tasks.size());
+  for (const TaskTrace& trace : workload.tasks) {
+    const std::string name = "s" + std::to_string(trace.speaker) + "m" +
+                             std::to_string(trace.microphone);
+    const pfair::TaskId id = engine.add_task(trace.initial_weight, 0, name);
+    for (const auto& [slot, weight] : trace.events) {
+      engine.request_weight_change(id, weight, slot);
+    }
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+}  // namespace pfr::whisper

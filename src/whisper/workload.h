@@ -1,0 +1,53 @@
+/// \file workload.h
+/// \brief Turns a Whisper scenario into a scheduler workload: initial task
+/// weights plus a trace of weight-change initiations.
+///
+/// One task per speaker/microphone pair (assumption 5 of Sec. 5).  A task
+/// initiates a weight change when its pair's distance has moved >= 5 cm
+/// since the last change (assumption 6) or when its occlusion state flips
+/// (occlusion events are the big, order-of-magnitude changes).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "pfair/engine.h"
+#include "whisper/cost_model.h"
+#include "whisper/scenario.h"
+
+namespace pfr::whisper {
+
+struct WorkloadConfig {
+  ScenarioConfig scenario;
+  CostModelConfig cost;
+  /// Initiate a reweight only after the pair distance changed this much (m).
+  double reweight_distance_threshold{0.05};
+};
+
+/// One task's weight trajectory.
+struct TaskTrace {
+  int speaker{0};
+  int microphone{0};
+  Rational initial_weight;
+  std::vector<std::pair<pfair::Slot, Rational>> events;  ///< initiations
+};
+
+struct Workload {
+  std::vector<TaskTrace> tasks;
+  std::int64_t total_events{0};
+};
+
+/// Samples the scenario over [0, slots) and produces the event trace.
+[[nodiscard]] Workload generate_workload(const WorkloadConfig& cfg,
+                                         std::uint64_t seed,
+                                         std::uint64_t run_index,
+                                         pfair::Slot slots);
+
+/// Installs the workload into an engine: adds one task per pair at slot 0
+/// and queues every initiation.  Returns the created task ids (parallel to
+/// workload.tasks).
+std::vector<pfair::TaskId> install_workload(pfair::Engine& engine,
+                                            const Workload& workload);
+
+}  // namespace pfr::whisper

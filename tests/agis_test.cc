@@ -1,0 +1,134 @@
+/// AGIS (absent subtasks) semantics: Fig. 12 and Fig. 13 of the appendix,
+/// including the amended completion times and the AF2 boundary sums.
+#include <gtest/gtest.h>
+
+#include "pfair/pfair.h"
+#include "test_util.h"
+
+namespace pfr::pfair {
+namespace {
+
+using test::icsw_series;
+
+/// Fig. 12: V of weight 5/16, V_3 absent, IS separations of 1 before V_2
+/// and 2 before V_5.
+Engine make_fig12() {
+  EngineConfig cfg;
+  cfg.processors = 1;
+  cfg.validate = true;
+  Engine eng{cfg};
+  const TaskId v = eng.add_task(rat(5, 16), 0, "V");
+  eng.add_separation(v, 2, 1);
+  eng.add_separation(v, 5, 2);
+  eng.mark_absent(v, 3);
+  return eng;
+}
+
+TEST(Agis, Fig12WindowsWithSeparations) {
+  Engine eng = make_fig12();
+  eng.run_until(20);
+  const TaskState& v = eng.task(0);
+  ASSERT_GE(v.subtasks.size(), 5U);
+  EXPECT_EQ(v.sub(1).release, 0);
+  EXPECT_EQ(v.sub(1).deadline, 4);
+  EXPECT_EQ(v.sub(2).release, 4);
+  EXPECT_EQ(v.sub(2).deadline, 8);
+  EXPECT_EQ(v.sub(3).release, 7);
+  EXPECT_EQ(v.sub(3).deadline, 11);
+  EXPECT_EQ(v.sub(4).release, 10);
+  EXPECT_EQ(v.sub(4).deadline, 14);
+  EXPECT_EQ(v.sub(5).release, 15);
+}
+
+TEST(Agis, Fig12AbsentSubtaskCompletesAtItsRelease) {
+  Engine eng = make_fig12();
+  eng.run_until(20);
+  const Subtask& v3 = eng.task(0).sub(3);
+  EXPECT_FALSE(v3.present);
+  // Paper: D(I_SW, V_3) = D(I_CSW, V_3) = r(V_3) = 7.
+  EXPECT_EQ(v3.isw_complete_at(), 7);
+  EXPECT_EQ(v3.icsw_complete_at(), 7);
+  EXPECT_FALSE(v3.scheduled());
+}
+
+TEST(Agis, Fig12NominalRecursionFeedsSuccessors) {
+  Engine eng = make_fig12();
+  eng.run_until(20);
+  const TaskState& v = eng.task(0);
+  // Nominal completions and final-slot allocations drive successors even
+  // across the absent V_3: V_2 last slot 2/16, V_3 (nominal) 3/16, V_4 gets
+  // 5/16 - 3/16 = 2/16 at its release and finishes with 4/16 at slot 13.
+  EXPECT_EQ(v.sub(2).nominal_complete_at, 8);
+  EXPECT_EQ(v.sub(2).nominal_last_slot_alloc, rat(2, 16));
+  EXPECT_EQ(v.sub(3).nominal_complete_at, 11);
+  EXPECT_EQ(v.sub(3).nominal_last_slot_alloc, rat(3, 16));
+  EXPECT_EQ(v.sub(4).nominal_complete_at, 14);
+  EXPECT_EQ(v.sub(4).nominal_last_slot_alloc, rat(4, 16));
+}
+
+TEST(Agis, Fig12Af2BoundarySums) {
+  Engine eng = make_fig12();
+  const TaskId v = 0;
+  const auto s = icsw_series(eng, v, 16);
+  // AF2 example 1: A(I_CSW, V, D(V_1)-1) + A(..., D(V_1)) = 1/16 + 4/16.
+  EXPECT_EQ(s[3], rat(1, 16));
+  EXPECT_EQ(s[4], rat(4, 16));
+  // AF2 example 2: A over {D(V_4)-1, D(V_4)} = {13, 14} = 4/16 + 0.
+  EXPECT_EQ(s[13], rat(4, 16));
+  EXPECT_EQ(s[14], Rational{});
+  // The absent V_3 contributes nothing anywhere: slots 8..9 carry only
+  // V_3's window, so the task total there is zero.
+  EXPECT_EQ(s[8], Rational{});
+  EXPECT_EQ(s[9], Rational{});
+}
+
+TEST(Agis, AbsentSubtaskIsNeverScheduledButUnblocksSuccessor) {
+  Engine eng = make_fig12();
+  eng.run_until(20);
+  const TaskState& v = eng.task(0);
+  EXPECT_FALSE(v.sub(3).scheduled());
+  // V_4 is schedulable despite the unscheduled V_3 (absent = complete).
+  EXPECT_TRUE(v.sub(4).scheduled());
+  EXPECT_TRUE(eng.misses().empty());
+}
+
+TEST(Agis, Fig13cAbsentLastSubtaskMakesTaskOmissionChangeable) {
+  // T of weight 3/19 with T_2 absent; reweight to 2/5 initiated at 8.
+  // The absent T_2 was never scheduled, so rule O applies: T_2 is halted
+  // (even though absent) and the change enacts at
+  // max(8, D(I_SW,T_1)+b(T_1)) = 8.
+  EngineConfig cfg;
+  cfg.processors = 1;
+  cfg.validate = true;
+  Engine eng{cfg};
+  const TaskId t = eng.add_task(rat(3, 19), 0, "T");
+  eng.mark_absent(t, 2);
+  eng.request_weight_change(t, rat(2, 5), 8);
+  eng.run_until(16);
+  const TaskState& task = eng.task(t);
+  EXPECT_FALSE(task.sub(2).present);
+  EXPECT_EQ(task.sub(2).halted_at, 8);
+  EXPECT_EQ(task.sub(3).release, 8);
+  EXPECT_EQ(task.sub(3).swt_at_release, rat(2, 5));
+  // I_CSW total: T_1's quantum only, plus the new generation; the absent
+  // T_2 contributed nothing before the halt, so nothing is retro-removed.
+  EXPECT_GE(task.cum_ips, task.cum_icsw);
+  EXPECT_EQ(eng.drift(t), rat(24, 19) - Rational{1});
+}
+
+TEST(Agis, ManyAbsencesStillConserveIdealTotals) {
+  // Every *present* completed subtask carries exactly one quantum in I_CSW.
+  EngineConfig cfg;
+  cfg.processors = 1;
+  Engine eng{cfg};
+  const TaskId t = eng.add_task(rat(3, 7), 0, "T");
+  eng.mark_absent(t, 2);
+  eng.mark_absent(t, 5);
+  eng.mark_absent(t, 6);
+  eng.run_until(7 * 4);  // 12 subtasks, 3 absent
+  EXPECT_EQ(eng.task(t).cum_icsw, Rational{9});
+  EXPECT_EQ(eng.task(t).scheduled_count, 9);
+}
+
+}  // namespace
+}  // namespace pfr::pfair

@@ -1,0 +1,88 @@
+/// Offline analysis helpers: admission, window statistics, hyperperiods.
+#include <gtest/gtest.h>
+
+#include "pfair/analysis.h"
+#include "pfair/windows.h"
+
+namespace pfr::pfair {
+namespace {
+
+TEST(Analysis, WindowStatsFiveSixteenths) {
+  // Fig. 1(a): windows of 5/16 have lengths 4,4,4,4,4 over one period and
+  // b-bits 1,1,1,1,0.
+  const WindowStats s = analyze_windows(rat(5, 16));
+  EXPECT_EQ(s.period, 16);
+  EXPECT_EQ(s.min_length, 4);
+  EXPECT_EQ(s.max_length, 4);
+  EXPECT_DOUBLE_EQ(s.b_bit_fraction, 4.0 / 5.0);
+}
+
+TEST(Analysis, WindowStatsTwoFifths) {
+  // Windows of 2/5: [0,3) and [2,5): lengths 3, 3; b-bits 1, 0.
+  const WindowStats s = analyze_windows(rat(2, 5));
+  EXPECT_EQ(s.min_length, 3);
+  EXPECT_EQ(s.max_length, 3);
+  EXPECT_DOUBLE_EQ(s.mean_length, 3.0);
+  EXPECT_DOUBLE_EQ(s.b_bit_fraction, 0.5);
+}
+
+TEST(Analysis, WindowStatsReciprocal) {
+  const WindowStats s = analyze_windows(rat(1, 10), 20);
+  EXPECT_EQ(s.min_length, 10);
+  EXPECT_EQ(s.max_length, 10);
+  EXPECT_DOUBLE_EQ(s.b_bit_fraction, 0.0);
+}
+
+TEST(Analysis, AdmissionAcceptsFeasibleSet) {
+  const AdmissionReport r =
+      check_admission({rat(1, 2), rat(1, 3), rat(1, 7), rat(1, 42)}, 1);
+  EXPECT_TRUE(r.schedulable);
+  EXPECT_TRUE(r.all_light);
+  EXPECT_EQ(r.total_weight, Rational{1});
+  EXPECT_EQ(r.headroom, Rational{});
+  EXPECT_EQ(r.largest_weight, rat(1, 2));
+  EXPECT_TRUE(r.problems.empty());
+}
+
+TEST(Analysis, AdmissionRejectsOverload) {
+  const AdmissionReport r = check_admission({rat(1, 2), rat(1, 2), rat(1, 3)}, 1);
+  EXPECT_FALSE(r.schedulable);
+  EXPECT_LT(r.headroom, Rational{});
+  EXPECT_FALSE(r.problems.empty());
+}
+
+TEST(Analysis, AdmissionFlagsHeavyTasks) {
+  const AdmissionReport r = check_admission({rat(3, 4), rat(1, 4)}, 1);
+  EXPECT_TRUE(r.schedulable);   // statically fine
+  EXPECT_FALSE(r.all_light);    // but not reweightable
+  EXPECT_EQ(r.problems.size(), 1U);
+}
+
+TEST(Analysis, AdmissionRejectsInvalidWeights) {
+  const AdmissionReport r = check_admission({Rational{}, rat(3, 2)}, 2);
+  EXPECT_FALSE(r.schedulable);
+  EXPECT_EQ(r.problems.size(), 2U);
+}
+
+TEST(Analysis, MaxGrantableWeight) {
+  EXPECT_EQ(max_grantable_weight({rat(2, 5), rat(2, 5)}, 1), rat(1, 5));
+  EXPECT_EQ(max_grantable_weight({rat(2, 5)}, 1), rat(1, 2));  // capped
+  EXPECT_EQ(max_grantable_weight({rat(1, 2), rat(1, 2)}, 1), Rational{});
+  EXPECT_EQ(max_grantable_weight({}, 4), rat(1, 2));
+}
+
+TEST(Analysis, Hyperperiod) {
+  EXPECT_EQ(hyperperiod({rat(1, 4), rat(1, 6)}), 12);
+  EXPECT_EQ(hyperperiod({rat(5, 16), rat(3, 19)}), 16 * 19);
+  EXPECT_EQ(hyperperiod({}), 1);
+  // Overflow: primes whose product exceeds the Slot range -> 0.
+  std::vector<Rational> huge;
+  for (std::int64_t p : {1000003, 1000033, 1000037, 1000039, 1000081,
+                         1000099, 1000117, 1000121, 1000133, 1000151}) {
+    huge.push_back(Rational{1, p});
+  }
+  EXPECT_EQ(hyperperiod(huge), 0);
+}
+
+}  // namespace
+}  // namespace pfr::pfair

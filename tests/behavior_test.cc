@@ -1,0 +1,211 @@
+/// Second-wave behavioral tests: reweighting storms on top of IS
+/// separations and absent subtasks, hybrid-policy mechanics, drift-history
+/// invariants, and leave/join edge cases.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "pfair/pfair.h"
+#include "util/rng.h"
+
+namespace pfr::pfair {
+namespace {
+
+TEST(Storms, WithIsSeparationsAndAbsencesStillNoMisses) {
+  Xoshiro256 rng{314};
+  for (int trial = 0; trial < 6; ++trial) {
+    EngineConfig cfg;
+    cfg.processors = 2;
+    cfg.validate = true;
+    Engine eng{cfg};
+    std::vector<TaskId> ids;
+    for (int i = 0; i < 8; ++i) {
+      const TaskId id = eng.add_task(Rational{rng.uniform_int(1, 10), 40});
+      // Sprinkle IS separations and AGIS absences over the first 30
+      // subtasks.
+      for (SubtaskIndex j = 2; j < 30; ++j) {
+        if (rng.bernoulli(0.08)) eng.add_separation(id, j, rng.uniform_int(1, 6));
+        if (rng.bernoulli(0.05)) eng.mark_absent(id, j);
+      }
+      ids.push_back(id);
+    }
+    for (Slot t = 1; t < 250; ++t) {
+      for (const TaskId id : ids) {
+        if (rng.bernoulli(0.02)) {
+          eng.request_weight_change(id, Rational{rng.uniform_int(1, 10), 40},
+                                    t);
+        }
+      }
+    }
+    eng.run_until(250);
+    EXPECT_TRUE(eng.misses().empty()) << "trial " << trial;
+    const auto violations = verify_schedule(eng);
+    EXPECT_TRUE(violations.empty())
+        << "trial " << trial << ": "
+        << (violations.empty() ? "" : violations.front().what);
+  }
+}
+
+TEST(Storms, MixedPoliciesAgreeOnIdealSchedules) {
+  // I_PS depends only on the requested weights, not on the scheme; two
+  // engines fed the same events must accrue identical cum_ips.
+  const auto build = [](ReweightPolicy policy) {
+    EngineConfig cfg;
+    cfg.processors = 2;
+    cfg.policy = policy;
+    cfg.policing = PolicingMode::kOff;  // avoid policy-dependent clamping
+    Engine eng{cfg};
+    const TaskId a = eng.add_task(rat(1, 4), 0, "a");
+    const TaskId b = eng.add_task(rat(1, 3), 0, "b");
+    eng.request_weight_change(a, rat(2, 5), 7);
+    eng.request_weight_change(b, rat(1, 8), 12);
+    eng.request_weight_change(a, rat(1, 10), 31);
+    eng.run_until(80);
+    return std::pair{eng.task(a).cum_ips, eng.task(b).cum_ips};
+  };
+  const auto oi = build(ReweightPolicy::kOmissionIdeal);
+  const auto lj = build(ReweightPolicy::kLeaveJoin);
+  EXPECT_EQ(oi.first, lj.first);
+  EXPECT_EQ(oi.second, lj.second);
+}
+
+TEST(Hybrid, BudgetPolicyFallsBackToLeaveJoinWhenExhausted) {
+  EngineConfig cfg;
+  cfg.processors = 2;
+  cfg.policy = ReweightPolicy::kHybridBudget;
+  cfg.hybrid_budget_per_slot = 1;
+  Engine eng{cfg};
+  const TaskId a = eng.add_task(rat(1, 4), 0, "a");
+  const TaskId b = eng.add_task(rat(1, 4), 0, "b");
+  const TaskId c = eng.add_task(rat(1, 4), 0, "c");
+  // Three initiations in the same slot: one gets the OI budget, two use LJ.
+  eng.request_weight_change(a, rat(1, 3), 5);
+  eng.request_weight_change(b, rat(1, 3), 5);
+  eng.request_weight_change(c, rat(1, 3), 5);
+  eng.run_until(30);
+  EXPECT_EQ(eng.stats().oi_events, 1);
+  EXPECT_EQ(eng.stats().lj_events, 2);
+  EXPECT_TRUE(eng.misses().empty());
+}
+
+TEST(Hybrid, BudgetResetsEachSlot) {
+  EngineConfig cfg;
+  cfg.processors = 2;
+  cfg.policy = ReweightPolicy::kHybridBudget;
+  cfg.hybrid_budget_per_slot = 1;
+  Engine eng{cfg};
+  const TaskId a = eng.add_task(rat(1, 4), 0, "a");
+  const TaskId b = eng.add_task(rat(1, 4), 0, "b");
+  eng.request_weight_change(a, rat(1, 3), 5);
+  eng.request_weight_change(b, rat(1, 3), 6);  // next slot: fresh budget
+  eng.run_until(30);
+  EXPECT_EQ(eng.stats().oi_events, 2);
+  EXPECT_EQ(eng.stats().lj_events, 0);
+}
+
+TEST(Hybrid, MagnitudePolicyRoutesByRatio) {
+  EngineConfig cfg;
+  cfg.processors = 2;
+  cfg.policy = ReweightPolicy::kHybridMagnitude;
+  cfg.hybrid_magnitude_threshold = 3.0;
+  Engine eng{cfg};
+  const TaskId a = eng.add_task(rat(1, 10), 0, "a");
+  const TaskId b = eng.add_task(rat(1, 10), 0, "b");
+  eng.request_weight_change(a, rat(1, 2), 5);    // ratio 5: OI
+  eng.request_weight_change(b, rat(3, 20), 5);   // ratio 1.5: LJ
+  eng.run_until(40);
+  EXPECT_EQ(eng.stats().oi_events, 1);
+  EXPECT_EQ(eng.stats().lj_events, 1);
+  // Decrease ratios count the same way (w/v).
+  eng.request_weight_change(a, rat(1, 10), eng.now());  // 1/2 -> 1/10: OI
+  eng.run_until(60);
+  EXPECT_EQ(eng.stats().oi_events, 2);
+}
+
+TEST(DriftHistory, ConstantBetweenGenerationBoundaries) {
+  EngineConfig cfg;
+  cfg.processors = 1;
+  Engine eng{cfg};
+  const TaskId t = eng.add_task(rat(2, 5));
+  eng.request_weight_change(t, rat(1, 5), 6);
+  Rational last_drift;
+  std::size_t boundaries_seen = 0;
+  for (Slot s = 0; s < 60; ++s) {
+    eng.step();
+    const TaskState& task = eng.task(t);
+    if (task.drift_history.size() != boundaries_seen) {
+      boundaries_seen = task.drift_history.size();
+      last_drift = task.drift;
+    } else {
+      EXPECT_EQ(eng.drift(t), last_drift) << "slot " << s;
+    }
+  }
+  EXPECT_GE(boundaries_seen, 2U);
+}
+
+TEST(DriftHistory, SamplePointsAreGenerationFirstReleases) {
+  EngineConfig cfg;
+  cfg.processors = 1;
+  Engine eng{cfg};
+  const TaskId t = eng.add_task(rat(5, 16));
+  eng.request_weight_change(t, rat(1, 4), 9);
+  eng.request_weight_change(t, rat(2, 5), 33);
+  eng.run_until(70);
+  const TaskState& task = eng.task(t);
+  for (const auto& point : task.drift_history) {
+    bool found = false;
+    for (const Subtask& s : task.subtasks) {
+      if (s.release == point.at && TaskState::gen_first(s)) found = true;
+    }
+    EXPECT_TRUE(found) << "sample at " << point.at;
+  }
+}
+
+TEST(LeaveJoin, BetweenWindowsRejoinsImmediately) {
+  // Under LJ, a change initiated after d(T_j) (task idle between windows
+  // due to an IS separation) rejoins at max(t_c, d + b) like OI's
+  // between-windows case.
+  EngineConfig cfg;
+  cfg.processors = 1;
+  cfg.policy = ReweightPolicy::kLeaveJoin;
+  Engine eng{cfg};
+  const TaskId t = eng.add_task(rat(1, 4));
+  eng.add_separation(t, 2, 12);
+  eng.request_weight_change(t, rat(1, 2), 7);  // d(T_1) = 4 <= 7
+  eng.run_until(20);
+  EXPECT_EQ(eng.task(t).sub(2).release, 7);
+  EXPECT_EQ(eng.task(t).sub(2).swt_at_release, rat(1, 2));
+}
+
+TEST(LeaveJoin, DecreaseAlsoWaitsForWindowEnd) {
+  EngineConfig cfg;
+  cfg.processors = 1;
+  cfg.policy = ReweightPolicy::kLeaveJoin;
+  Engine eng{cfg};
+  const TaskId t = eng.add_task(rat(2, 5));
+  eng.request_weight_change(t, rat(1, 10), 1);  // T_1 window [0,3), b=1
+  eng.run_until(20);
+  // Rejoin at d(T_1) + b(T_1) = 4 regardless of direction.
+  EXPECT_EQ(eng.task(t).sub(2).release, 4);
+  EXPECT_EQ(eng.task(t).sub(2).swt_at_release, rat(1, 10));
+  // Negative drift: the task kept its old (higher) scheduling weight while
+  // its actual weight had already dropped.
+  EXPECT_LT(eng.drift(t), Rational{});
+}
+
+TEST(Render, HaltMarkAppearsInScheduleArt) {
+  EngineConfig cfg;
+  cfg.processors = 1;
+  Engine eng{cfg};
+  const TaskId t = eng.add_task(rat(2, 5), 0, "T");
+  const TaskId u = eng.add_task(rat(2, 5), 0, "U");
+  eng.set_tie_rank(t, 0);
+  eng.set_tie_rank(u, 1);
+  eng.request_weight_change(u, rat(1, 2), 3);  // halts U_2 at 3 (Fig. 4)
+  eng.run_until(10);
+  const std::string art = render_schedule(eng, 0, 10);
+  EXPECT_NE(art.find('x'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pfr::pfair

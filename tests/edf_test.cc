@@ -1,0 +1,179 @@
+/// EDF baselines (companion papers [4] and [7]): global EDF reweights
+/// instantly but can miss deadlines; partitioned EDF cannot honor increases
+/// that overflow a processor without migrating.
+#include <gtest/gtest.h>
+
+#include "edf/edf.h"
+
+namespace pfr::edf {
+namespace {
+
+TEST(GlobalEdf, StaticLightSystemMeetsDeadlines) {
+  EdfConfig cfg;
+  cfg.processors = 2;
+  EdfSim sim{cfg};
+  for (int i = 0; i < 6; ++i) sim.add_task(rat(1, 4));
+  sim.run_until(200);
+  EXPECT_EQ(sim.total_misses(), 0);
+  for (std::size_t i = 0; i < sim.task_count(); ++i) {
+    // 200 slots at 1/4: exactly 50 quanta owed; EDF keeps up.
+    EXPECT_GE(sim.metrics(static_cast<TaskId>(i)).completed, 49);
+  }
+}
+
+TEST(GlobalEdf, ReweightEnactsInstantly) {
+  EdfConfig cfg;
+  cfg.processors = 2;
+  EdfSim sim{cfg};
+  const TaskId t = sim.add_task(rat(1, 10));
+  sim.request_weight_change(t, rat(1, 2), 5);
+  sim.run_until(6);
+  EXPECT_EQ(sim.metrics(t).granted_weight, rat(1, 2));
+  EXPECT_EQ(sim.metrics(t).denied_allocation, Rational{});
+  sim.run_until(25);
+  // Fluid accrual: 5 slots at 1/10 + 20 at 1/2 = 10.5 quanta owed.
+  EXPECT_EQ(sim.metrics(t).ips_granted, rat(21, 2));
+}
+
+TEST(GlobalEdf, Fig9ScenarioMissesUnderInstantReweighting) {
+  // The Theorem 4 counterexample expressed as a global-EDF workload:
+  // fine-grained (instant) reweighting under global EDF costs a miss.
+  EdfConfig cfg;
+  cfg.processors = 2;
+  EdfSim sim{cfg};
+  std::vector<TaskId> d;
+  for (int i = 0; i < 10; ++i) {
+    const TaskId id = sim.add_task(rat(1, 7));
+    sim.request_weight_change(id, rat(1, 1000), 7);  // "leaves" at 7
+  }
+  for (int i = 0; i < 2; ++i) {
+    const TaskId id = sim.add_task(rat(1, 6));
+    sim.request_weight_change(id, rat(1, 1000), 6);
+  }
+  for (int i = 0; i < 2; ++i) {
+    const TaskId id = sim.add_task(rat(1, 1000));  // C "joins" at 6
+    sim.request_weight_change(id, rat(1, 14), 6);
+  }
+  for (int i = 0; i < 5; ++i) {
+    const TaskId id = sim.add_task(rat(1, 21));
+    sim.request_weight_change(id, rat(1, 3), 7);
+    d.push_back(id);
+  }
+  sim.run_until(12);
+  EXPECT_GT(sim.total_misses(), 0);
+  std::int64_t d_misses = 0;
+  for (const TaskId id : d) d_misses += sim.metrics(id).misses;
+  EXPECT_GE(d_misses, 1);
+}
+
+TEST(PartitionedEdf, FirstFitDecreasingAssignsAllLightTasks) {
+  EdfConfig cfg;
+  cfg.processors = 2;
+  cfg.placement = Placement::kPartitioned;
+  EdfSim sim{cfg};
+  for (int i = 0; i < 6; ++i) sim.add_task(rat(3, 10));
+  sim.run_until(1);
+  Rational load[2];
+  for (std::size_t i = 0; i < 6; ++i) {
+    const auto& m = sim.metrics(static_cast<TaskId>(i));
+    ASSERT_GE(m.processor, 0);
+    ASSERT_LT(m.processor, 2);
+    load[m.processor] += m.granted_weight;
+    EXPECT_EQ(m.granted_weight, rat(3, 10));  // all fit
+  }
+  EXPECT_LE(load[0], Rational{1});
+  EXPECT_LE(load[1], Rational{1});
+}
+
+/// FFD on 2 processors places {A:1/2, B:2/5} on processor 0 (9/10) and
+/// {C:1/5, D:1/5} on processor 1 (2/5).  B's later request for 3/5 exceeds
+/// processor 0's spare (1/2) but fits processor 1.
+struct PartitionFixture {
+  EdfSim sim;
+  TaskId b;
+  explicit PartitionFixture(bool migration)
+      : sim([&] {
+          EdfConfig cfg;
+          cfg.processors = 2;
+          cfg.placement = Placement::kPartitioned;
+          cfg.allow_migration = migration;
+          return cfg;
+        }()) {
+    sim.add_task(rat(1, 2), "A");
+    b = sim.add_task(rat(2, 5), "B");
+    sim.add_task(rat(1, 5), "C");
+    sim.add_task(rat(1, 5), "D");
+  }
+};
+
+TEST(PartitionedEdf, OverflowingIncreaseIsClampedWithoutMigration) {
+  PartitionFixture f{/*migration=*/false};
+  f.sim.run_until(1);
+  const int home = f.sim.metrics(f.b).processor;
+  f.sim.request_weight_change(f.b, rat(3, 5), 2);
+  f.sim.run_until(20);
+  // Granted only the spare 1/2: denied allocation accumulates -- the
+  // provably-unavoidable drift of partitioned reweighting ([4]).
+  EXPECT_EQ(f.sim.metrics(f.b).processor, home);
+  EXPECT_EQ(f.sim.metrics(f.b).granted_weight, rat(1, 2));
+  EXPECT_EQ(f.sim.metrics(f.b).denied_allocation,
+            (rat(3, 5) - rat(1, 2)) * Rational{18});
+  EXPECT_EQ(f.sim.total_migrations(), 0);
+}
+
+TEST(PartitionedEdf, MigrationHonorsTheIncrease) {
+  PartitionFixture f{/*migration=*/true};
+  f.sim.run_until(1);
+  const int home_before = f.sim.metrics(f.b).processor;
+  f.sim.request_weight_change(f.b, rat(3, 5), 2);
+  f.sim.run_until(20);
+  EXPECT_EQ(f.sim.metrics(f.b).granted_weight, rat(3, 5));
+  EXPECT_NE(f.sim.metrics(f.b).processor, home_before);
+  EXPECT_EQ(f.sim.total_migrations(), 1);
+  EXPECT_EQ(f.sim.metrics(f.b).denied_allocation, Rational{});
+}
+
+TEST(PartitionedEdf, DecreasesAlwaysGranted) {
+  EdfConfig cfg;
+  cfg.processors = 1;
+  cfg.placement = Placement::kPartitioned;
+  EdfSim sim{cfg};
+  const TaskId t = sim.add_task(rat(1, 2));
+  sim.add_task(rat(2, 5));
+  sim.request_weight_change(t, rat(1, 5), 3);
+  sim.run_until(10);
+  EXPECT_EQ(sim.metrics(t).granted_weight, rat(1, 5));
+  EXPECT_EQ(sim.metrics(t).denied_allocation, Rational{});
+}
+
+TEST(EdfSim, ApiValidation) {
+  EdfSim sim{EdfConfig{}};
+  EXPECT_THROW(sim.add_task(Rational{}), std::invalid_argument);
+  EXPECT_THROW(sim.add_task(rat(3, 2)), std::invalid_argument);
+  const TaskId t = sim.add_task(rat(1, 4));
+  EXPECT_THROW(sim.request_weight_change(t, Rational{}, 1),
+               std::invalid_argument);
+  sim.run_until(5);
+  EXPECT_THROW(sim.request_weight_change(t, rat(1, 4), 2),
+               std::invalid_argument);
+  EXPECT_THROW(sim.add_task(rat(1, 4)), std::logic_error);
+  EXPECT_THROW((EdfSim{EdfConfig{0}}), std::invalid_argument);
+}
+
+TEST(EdfSim, DeterministicAcrossRuns) {
+  const auto run = [] {
+    EdfConfig cfg;
+    cfg.processors = 2;
+    EdfSim sim{cfg};
+    for (int i = 0; i < 5; ++i) {
+      const TaskId id = sim.add_task(Rational{i + 1, 12});
+      sim.request_weight_change(id, Rational{5 - i, 12}, 10 + i);
+    }
+    sim.run_until(100);
+    return sim.metrics(0).completed;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace pfr::edf

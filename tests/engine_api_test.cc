@@ -1,0 +1,171 @@
+/// Public-API contract tests: validation, policing modes, joins/leaves,
+/// trace recording, and error handling.
+#include <gtest/gtest.h>
+
+#include "pfair/pfair.h"
+
+namespace pfr::pfair {
+namespace {
+
+TEST(EngineApi, RejectsInvalidWeights) {
+  Engine eng{EngineConfig{}};
+  EXPECT_THROW(eng.add_task(Rational{}), InvalidWeight);
+  EXPECT_THROW(eng.add_task(rat(2, 3)), InvalidWeight);   // heavy task
+  EXPECT_THROW(eng.add_task(rat(-1, 4)), InvalidWeight);
+  EXPECT_NO_THROW(eng.add_task(rat(1, 2)));               // boundary ok
+}
+
+TEST(EngineApi, RejectsTimeTravel) {
+  Engine eng{EngineConfig{}};
+  const TaskId t = eng.add_task(rat(1, 4));
+  eng.run_until(10);
+  EXPECT_THROW(eng.add_task(rat(1, 4), 5), std::invalid_argument);
+  EXPECT_THROW(eng.request_weight_change(t, rat(1, 3), 5),
+               std::invalid_argument);
+  EXPECT_THROW(eng.request_leave(t, 5), std::invalid_argument);
+}
+
+TEST(EngineApi, RejectsInvalidProcessorCount) {
+  EngineConfig cfg;
+  cfg.processors = 0;
+  EXPECT_THROW(Engine{cfg}, std::invalid_argument);
+}
+
+TEST(EngineApi, SeparationAndAbsenceMustPrecedeRelease) {
+  Engine eng{EngineConfig{}};
+  const TaskId t = eng.add_task(rat(1, 4));
+  eng.run_until(5);  // T_1 (and possibly T_2) released
+  EXPECT_THROW(eng.add_separation(t, 1, 2), std::invalid_argument);
+  EXPECT_THROW(eng.mark_absent(t, 1), std::invalid_argument);
+  EXPECT_NO_THROW(eng.add_separation(t, 5, 2));
+  EXPECT_THROW(eng.add_separation(t, 5, -1), std::invalid_argument);
+}
+
+TEST(EngineApi, ClampPolicingGrantsLargestFeasibleWeight) {
+  EngineConfig cfg;
+  cfg.processors = 1;
+  cfg.policing = PolicingMode::kClamp;
+  Engine eng{cfg};
+  eng.add_task(rat(2, 5), 0, "A");
+  eng.add_task(rat(2, 5), 0, "B");
+  const TaskId c = eng.add_task(rat(1, 10), 0, "C");
+  // C asks for 1/2 but only 1 - 2/5 - 2/5 = 1/5 is free: clamped to 1/5.
+  eng.request_weight_change(c, rat(1, 2), 1);
+  eng.run_until(30);
+  EXPECT_EQ(eng.task(c).wt, rat(1, 5));
+  EXPECT_LE(eng.total_scheduling_weight(), Rational{1});
+  EXPECT_EQ(eng.stats().clamped_requests, 1);
+  EXPECT_TRUE(eng.misses().empty());
+}
+
+TEST(EngineApi, RejectPolicingDropsInfeasibleRequests) {
+  EngineConfig cfg;
+  cfg.processors = 1;
+  cfg.policing = PolicingMode::kReject;
+  Engine eng{cfg};
+  const TaskId a = eng.add_task(rat(2, 5), 0, "A");
+  eng.add_task(rat(1, 2), 0, "B");
+  eng.add_task(rat(1, 10), 0, "C");
+  eng.request_weight_change(a, rat(1, 2), 1);  // needs 11/10 total: rejected
+  eng.run_until(20);
+  EXPECT_EQ(eng.task(a).wt, rat(2, 5));  // unchanged
+  EXPECT_EQ(eng.stats().rejected_requests, 1);
+  EXPECT_EQ(eng.task(a).initiation_count, 0);
+}
+
+TEST(EngineApi, DecreasesAlwaysAdmitted) {
+  EngineConfig cfg;
+  cfg.processors = 1;
+  cfg.policing = PolicingMode::kReject;
+  Engine eng{cfg};
+  const TaskId a = eng.add_task(rat(1, 2), 0, "A");
+  eng.add_task(rat(1, 2), 0, "B");
+  eng.request_weight_change(a, rat(1, 4), 3);
+  eng.run_until(20);
+  EXPECT_EQ(eng.task(a).wt, rat(1, 4));
+  EXPECT_EQ(eng.stats().rejected_requests, 0);
+}
+
+TEST(EngineApi, LeaveStopsReleasesAndFreesCapacity) {
+  EngineConfig cfg;
+  cfg.processors = 1;
+  Engine eng{cfg};
+  const TaskId a = eng.add_task(rat(1, 2), 0, "A");
+  eng.add_task(rat(1, 2), 0, "B");
+  eng.request_leave(a, 3);
+  eng.run_until(20);
+  const TaskState& task = eng.task(a);
+  EXPECT_LE(task.left_at, 6);
+  const Slot last_release = task.subtasks.back().release;
+  EXPECT_LT(last_release, task.left_at);
+  // After the leave the engine stops counting A toward (W).
+  EXPECT_EQ(eng.total_scheduling_weight(), rat(1, 2));
+}
+
+TEST(EngineApi, NoOpReweightIsIgnored) {
+  Engine eng{EngineConfig{}};
+  const TaskId a = eng.add_task(rat(1, 4));
+  eng.request_weight_change(a, rat(1, 4), 2);
+  eng.run_until(10);
+  EXPECT_EQ(eng.task(a).initiation_count, 0);
+  EXPECT_EQ(eng.task(a).enactment_count, 0);
+}
+
+TEST(EngineApi, TraceRecordsOneRecordPerSlot) {
+  EngineConfig cfg;
+  cfg.processors = 2;
+  cfg.record_slot_trace = true;
+  Engine eng{cfg};
+  eng.add_task(rat(1, 2));
+  eng.add_task(rat(1, 3));
+  eng.run_until(30);
+  ASSERT_EQ(eng.trace().size(), 30U);
+  for (const SlotRecord& rec : eng.trace()) {
+    EXPECT_LE(rec.scheduled.size(), 2U);
+    EXPECT_EQ(rec.holes, 2 - static_cast<int>(rec.scheduled.size()));
+  }
+}
+
+TEST(EngineApi, TraceDisabledLeavesTraceEmpty) {
+  EngineConfig cfg;
+  cfg.record_slot_trace = false;
+  Engine eng{cfg};
+  eng.add_task(rat(1, 2));
+  eng.run_until(10);
+  EXPECT_TRUE(eng.trace().empty());
+  EXPECT_EQ(eng.stats().slots, 10);
+}
+
+TEST(EngineApi, StatsCountersAreConsistent) {
+  EngineConfig cfg;
+  cfg.processors = 2;
+  Engine eng{cfg};
+  const TaskId a = eng.add_task(rat(2, 5));
+  const TaskId b = eng.add_task(rat(1, 3));
+  eng.request_weight_change(a, rat(1, 5), 4);
+  eng.request_weight_change(b, rat(1, 2), 9);
+  eng.run_until(60);
+  EXPECT_EQ(eng.stats().initiations, 2);
+  EXPECT_EQ(eng.stats().enactments, 2);
+  EXPECT_EQ(eng.stats().oi_events + eng.stats().lj_events, 2);
+  EXPECT_EQ(eng.task(a).wt, rat(1, 5));
+  EXPECT_EQ(eng.task(b).wt, rat(1, 2));
+}
+
+TEST(EngineApi, RenderScheduleProducesRowsPerTask) {
+  EngineConfig cfg;
+  cfg.processors = 1;
+  Engine eng{cfg};
+  eng.add_task(rat(1, 2), 0, "alpha");
+  eng.add_task(rat(1, 3), 0, "beta");
+  eng.run_until(12);
+  const std::string art = render_schedule(eng, 0, 12);
+  EXPECT_NE(art.find("alpha"), std::string::npos);
+  EXPECT_NE(art.find("beta"), std::string::npos);
+  EXPECT_NE(art.find('#'), std::string::npos);
+  const std::string summary = summarize_task(eng, 0);
+  EXPECT_NE(summary.find("alpha"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pfr::pfair

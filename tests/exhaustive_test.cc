@@ -1,0 +1,142 @@
+/// Exhaustive small-case sweeps and cross-validation of the two dispatch
+/// implementations (scan vs ReadyQueue).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "pfair/pfair.h"
+#include "util/rng.h"
+
+namespace pfr::pfair {
+namespace {
+
+TEST(Exhaustive, AllSmallWeightsSatisfyWindowAlgebra) {
+  // Every valid light weight k/d with d <= 14: windows tile the timeline
+  // per Eqns. (2)-(4) and the lag-band inequalities.
+  for (std::int64_t d = 2; d <= 14; ++d) {
+    for (std::int64_t k = 1; 2 * k <= d; ++k) {
+      const Rational w{k, d};
+      for (SubtaskIndex i = 1; i <= 3 * d; ++i) {
+        ASSERT_EQ(release_offset(i + 1, w),
+                  deadline_offset(i, w) - b_bit(i, w))
+            << w.to_string() << " i=" << i;
+        ASSERT_LE(Rational{release_offset(i, w)} * w, Rational{i - 1});
+        ASSERT_GE(Rational{deadline_offset(i, w)} * w, Rational{i});
+      }
+    }
+  }
+}
+
+TEST(Exhaustive, AllSmallWeightsScheduleAloneWithoutMisses) {
+  // A single task of any valid weight on one processor: full hyperperiod,
+  // exact ideal conservation, no misses.
+  for (std::int64_t d = 2; d <= 12; ++d) {
+    for (std::int64_t k = 1; 2 * k <= d; ++k) {
+      const Rational w{k, d};
+      EngineConfig cfg;
+      cfg.processors = 1;
+      cfg.validate = true;
+      Engine eng{cfg};
+      const TaskId t = eng.add_task(w);
+      eng.run_until(2 * d);
+      ASSERT_TRUE(eng.misses().empty()) << w.to_string();
+      ASSERT_EQ(eng.task(t).cum_isw, w * Rational{2 * d}) << w.to_string();
+      ASSERT_EQ(eng.task(t).scheduled_count, 2 * k) << w.to_string();
+    }
+  }
+}
+
+TEST(Exhaustive, ComplementaryPairsFillOneProcessorExactly) {
+  // {k/d, (d-k)/d} sums to 1: every slot is busy, no misses, for all d<=12.
+  // (Weights above 1/2 need the heavy configuration.)
+  for (std::int64_t d = 2; d <= 12; ++d) {
+    for (std::int64_t k = 1; k < d; ++k) {
+      EngineConfig cfg;
+      cfg.processors = 1;
+      cfg.allow_heavy = true;
+      Engine eng{cfg};
+      eng.add_task(Rational{k, d});
+      eng.add_task(Rational{d - k, d});
+      eng.run_until(3 * d);
+      ASSERT_TRUE(eng.misses().empty()) << k << "/" << d;
+      ASSERT_EQ(eng.stats().holes, 0) << k << "/" << d;
+    }
+  }
+}
+
+TEST(Dispatch, ReadyQueueModeProducesIdenticalSchedules) {
+  // The heap dispatcher and the scan dispatcher must agree bit-for-bit on
+  // a reweighting storm.
+  const auto run = [](bool use_queue) {
+    Xoshiro256 rng{99};
+    EngineConfig cfg;
+    cfg.processors = 4;
+    cfg.use_ready_queue = use_queue;
+    Engine eng{cfg};
+    std::vector<TaskId> ids;
+    for (int i = 0; i < 16; ++i) ids.push_back(eng.add_task(rat(1, 8)));
+    for (Slot t = 1; t < 300; ++t) {
+      for (const TaskId id : ids) {
+        if (rng.bernoulli(0.03)) {
+          eng.request_weight_change(id, Rational{rng.uniform_int(1, 12), 24},
+                                    t);
+        }
+      }
+    }
+    eng.run_until(300);
+    return eng;
+  };
+  const Engine scan = run(false);
+  const Engine heap = run(true);
+  ASSERT_EQ(scan.trace().size(), heap.trace().size());
+  for (std::size_t t = 0; t < scan.trace().size(); ++t) {
+    std::vector<TaskId> a = scan.trace()[t].scheduled;
+    std::vector<TaskId> b = heap.trace()[t].scheduled;
+    std::sort(a.begin(), a.end());
+    std::sort(b.begin(), b.end());
+    ASSERT_EQ(a, b) << "slot " << t;
+  }
+  for (std::size_t i = 0; i < scan.task_count(); ++i) {
+    EXPECT_EQ(scan.drift(static_cast<TaskId>(i)),
+              heap.drift(static_cast<TaskId>(i)));
+  }
+}
+
+TEST(Dispatch, ReadyQueueModeHandlesHeavyTasks) {
+  EngineConfig cfg;
+  cfg.processors = 2;
+  cfg.allow_heavy = true;
+  cfg.use_ready_queue = true;
+  Engine eng{cfg};
+  eng.add_task(rat(3, 4));
+  eng.add_task(rat(2, 3));
+  eng.add_task(rat(7, 12));
+  eng.run_until(300);
+  EXPECT_TRUE(eng.misses().empty());
+  EXPECT_EQ(eng.stats().holes, 0);
+}
+
+TEST(Exhaustive, PoliciesIdenticalWithoutReweighting) {
+  // With no weight-change events, PD2-OI and PD2-LJ are the same
+  // algorithm; their schedules must match exactly.
+  const auto run = [](ReweightPolicy policy) {
+    EngineConfig cfg;
+    cfg.processors = 2;
+    cfg.policy = policy;
+    Engine eng{cfg};
+    eng.add_task(rat(5, 16));
+    eng.add_task(rat(3, 19));
+    eng.add_task(rat(2, 5));
+    eng.add_task(rat(1, 2));
+    eng.run_until(200);
+    return eng;
+  };
+  const Engine oi = run(ReweightPolicy::kOmissionIdeal);
+  const Engine lj = run(ReweightPolicy::kLeaveJoin);
+  for (std::size_t t = 0; t < 200; ++t) {
+    EXPECT_EQ(oi.trace()[t].scheduled, lj.trace()[t].scheduled) << t;
+  }
+}
+
+}  // namespace
+}  // namespace pfr::pfair

@@ -1,0 +1,113 @@
+/// Fig. 6: the four-processor scenarios contrasting leave/join, rule O and
+/// rule I, with the paper's exact drift values.
+#include <gtest/gtest.h>
+
+#include "pfair/pfair.h"
+#include "test_util.h"
+
+namespace pfr::pfair {
+namespace {
+
+/// 19 tasks of weight 3/20 (set C) plus T; tie ranks decide the scenario.
+struct Fig6System {
+  Engine eng;
+  TaskId t;
+};
+
+Fig6System make_fig6(Rational t_weight, int t_rank,
+                     ReweightPolicy policy = ReweightPolicy::kOmissionIdeal) {
+  EngineConfig cfg;
+  cfg.processors = 4;
+  cfg.policy = policy;
+  cfg.validate = true;
+  Engine eng{cfg};
+  for (int i = 0; i < 19; ++i) {
+    eng.set_tie_rank(eng.add_task(rat(3, 20), 0, "C" + std::to_string(i)),
+                     t_rank == 0 ? 1 : 0);
+  }
+  const TaskId t = eng.add_task(t_weight, 0, "T");
+  eng.set_tie_rank(t, t_rank);
+  return Fig6System{std::move(eng), t};
+}
+
+TEST(Fig6, InsetA_LeaveAtEightJoinAtTen) {
+  Fig6System sys = make_fig6(rat(3, 20), 1);
+  sys.eng.request_leave(sys.t, 1);  // after T_1's release: leaves per rule L
+  const TaskId u = sys.eng.add_task(rat(1, 2), 10, "U");
+  sys.eng.run_until(30);
+  // Rule L: T leaves at d(T_1) + b(T_1) = 7 + 1 = 8.
+  EXPECT_EQ(sys.eng.task(sys.t).left_at, 8);
+  EXPECT_EQ(sys.eng.task(sys.t).subtasks.size(), 1U);
+  EXPECT_EQ(sys.eng.task(u).sub(1).release, 10);
+  EXPECT_TRUE(sys.eng.misses().empty());
+}
+
+TEST(Fig6, InsetB_RuleOIncreaseDriftOneHalf) {
+  // Ties favor C, so T_2 (released at 6) is still unscheduled at t_c = 10:
+  // omission-changeable.  T_2 halts; the change enacts at
+  // max(10, D(I_SW,T_1)+b(T_1)) = max(10, 8) = 10.
+  Fig6System sys = make_fig6(rat(3, 20), 1);
+  sys.eng.request_weight_change(sys.t, rat(1, 2), 10);
+  sys.eng.run_until(20);
+  const TaskState& task = sys.eng.task(sys.t);
+  EXPECT_EQ(task.sub(2).halted_at, 10);
+  EXPECT_FALSE(task.sub(2).scheduled());
+  EXPECT_EQ(task.sub(3).release, 10);
+  EXPECT_EQ(task.sub(3).swt_at_release, rat(1, 2));
+  // Paper: drift = A(I_PS,T,0,10) - A(I_CSW,T,0,10) = 3/2 - 1 = 1/2.
+  EXPECT_EQ(sys.eng.drift(sys.t), rat(1, 2));
+  EXPECT_TRUE(sys.eng.misses().empty());
+}
+
+TEST(Fig6, InsetC_RuleIIncreaseDriftOneHalf) {
+  // Ties favor T: T_2 is scheduled at 6, so the increase at 10 is
+  // ideal-changeable: enact immediately; D(I_SW, T_2) = 11; next release at
+  // D + b(T_2) = 12, "two time units earlier than its deadline" (14).
+  Fig6System sys = make_fig6(rat(3, 20), 0);
+  sys.eng.request_weight_change(sys.t, rat(1, 2), 10);
+  sys.eng.run_until(20);
+  const TaskState& task = sys.eng.task(sys.t);
+  EXPECT_EQ(task.sub(2).scheduled_at, 6);
+  EXPECT_FALSE(task.sub(2).halted());
+  EXPECT_EQ(task.sub(2).nominal_complete_at, 11);
+  EXPECT_EQ(task.sub(2).deadline, 14);
+  EXPECT_EQ(task.sub(3).release, 12);
+  EXPECT_EQ(sys.eng.drift(sys.t), rat(1, 2));
+  EXPECT_TRUE(sys.eng.misses().empty());
+}
+
+TEST(Fig6, InsetD_RuleIDecreaseDriftMinusThreeTwentieths) {
+  // T has weight 2/5 decreasing to 3/20 at time 1; ties favor T so T_1 is
+  // scheduled in slot 0 (ideal-changeable).  The decrease enacts at
+  // D(I_SW,T_1) + b(T_1) = 3 + 1 = 4; drift(T, t >= 4) = -3/20.
+  Fig6System sys = make_fig6(rat(2, 5), 0);
+  sys.eng.request_weight_change(sys.t, rat(3, 20), 1);
+  sys.eng.run_until(20);
+  const TaskState& task = sys.eng.task(sys.t);
+  EXPECT_EQ(task.sub(1).scheduled_at, 0);
+  EXPECT_EQ(task.sub(2).release, 4);
+  EXPECT_EQ(task.sub(2).swt_at_release, rat(3, 20));
+  EXPECT_EQ(sys.eng.drift(sys.t), rat(-3, 20));
+  EXPECT_TRUE(sys.eng.misses().empty());
+}
+
+TEST(Fig6, InsetBVersusInsetC_SameDriftDifferentMechanism) {
+  // Both rule O (halting) and rule I (acceleration) land the same +1/2
+  // drift here, but rule O loses T_2's partial allocation while rule I
+  // completes it -- check via the clairvoyant totals at time 12.
+  Fig6System o = make_fig6(rat(3, 20), 1);
+  o.eng.request_weight_change(o.t, rat(1, 2), 10);
+  o.eng.run_until(12);
+  Fig6System i = make_fig6(rat(3, 20), 0);
+  i.eng.request_weight_change(i.t, rat(1, 2), 10);
+  i.eng.run_until(12);
+  // Rule O: T_1 (1) + nothing for T_2 + new generation slots 10,11 (1/2+1/2).
+  EXPECT_EQ(o.eng.task(o.t).cum_icsw, Rational{2});
+  // Rule I: T_1 (1) + T_2 (1, completes at 11) + nothing yet for T_3.
+  EXPECT_EQ(i.eng.task(i.t).cum_icsw, Rational{2});
+  // Same totals by 12, but distributed differently: at time 10 rule O has
+  // already discarded T_2's 1/2 while rule I still carries it.
+}
+
+}  // namespace
+}  // namespace pfr::pfair

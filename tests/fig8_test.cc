@@ -1,0 +1,94 @@
+/// Theorem 3 (PD2-LJ is coarse-grained): the Fig. 8 scenario and its
+/// generalization drift(T, d(T_1)) = c for initial weight 1/(2(c+1)).
+#include <gtest/gtest.h>
+
+#include "pfair/pfair.h"
+
+namespace pfr::pfair {
+namespace {
+
+TEST(Fig8, LeaveJoinDriftReaches24Tenths) {
+  // Four processors, 35 tasks of weight 1/10 (set A), T of weight 1/10
+  // increasing to 1/2 at time 4 under PD2-LJ.
+  EngineConfig cfg;
+  cfg.processors = 4;
+  cfg.policy = ReweightPolicy::kLeaveJoin;
+  cfg.validate = true;
+  Engine eng{cfg};
+  for (int i = 0; i < 35; ++i) {
+    eng.add_task(rat(1, 10), 0, "A" + std::to_string(i));
+  }
+  const TaskId t = eng.add_task(rat(1, 10), 0, "T");
+  eng.request_weight_change(t, rat(1, 2), 4);
+  eng.run_until(20);
+
+  const TaskState& task = eng.task(t);
+  // Rule L: T cannot leave until d(T_1) + b(T_1) = 10 + 0 = 10.
+  EXPECT_EQ(task.sub(2).release, 10);
+  EXPECT_EQ(task.sub(2).swt_at_release, rat(1, 2));
+  EXPECT_EQ(task.sub(2).gen_base, 1);
+  // Over [4, 10): 1/10 per slot in I_CSW vs 1/2 in I_PS -> drift 24/10.
+  EXPECT_EQ(eng.drift(t), rat(24, 10));
+  EXPECT_TRUE(eng.misses().empty());
+}
+
+TEST(Fig8, OmissionIdealOnSameScenarioHasBoundedDrift) {
+  // The same scenario under PD2-OI: per-event drift is at most 2 (Thm. 5);
+  // here T_1 is unscheduled at 4 (ties favor A), so rule O halts it and the
+  // change enacts immediately -- drift is just the lost fraction of T_1.
+  EngineConfig cfg;
+  cfg.processors = 4;
+  cfg.policy = ReweightPolicy::kOmissionIdeal;
+  cfg.validate = true;
+  Engine eng{cfg};
+  for (int i = 0; i < 35; ++i) {
+    eng.set_tie_rank(eng.add_task(rat(1, 10), 0, "A" + std::to_string(i)), 0);
+  }
+  const TaskId t = eng.add_task(rat(1, 10), 0, "T");
+  eng.set_tie_rank(t, 1);
+  eng.request_weight_change(t, rat(1, 2), 4);
+  eng.run_until(20);
+  EXPECT_LE(eng.drift(t).abs(), Rational{2});
+  EXPECT_LT(eng.drift(t).abs(), rat(24, 10));
+  EXPECT_TRUE(eng.misses().empty());
+}
+
+/// Generalization used to prove Theorem 3: initial weight 1/(2(c+1))
+/// increasing to 1/2 at time 0 gives drift exactly c at the rejoin.
+class LjUnboundedDrift : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(LjUnboundedDrift, DriftEqualsC) {
+  const std::int64_t c = GetParam();
+  EngineConfig cfg;
+  cfg.processors = 1;
+  cfg.policy = ReweightPolicy::kLeaveJoin;
+  cfg.validate = true;
+  Engine eng{cfg};
+  const TaskId t = eng.add_task(Rational{1, 2 * (c + 1)}, 0, "T");
+  eng.request_weight_change(t, rat(1, 2), 0);
+  eng.run_until(2 * (c + 1) + 2);
+  // Rejoin at d(T_1) = 2(c+1); drift = (1/2 - w) * d = c exactly.
+  EXPECT_EQ(eng.task(t).sub(2).release, 2 * (c + 1));
+  EXPECT_EQ(eng.drift(t), Rational{c});
+}
+
+INSTANTIATE_TEST_SUITE_P(GrowingC, LjUnboundedDrift,
+                         ::testing::Values(1, 2, 5, 12, 50));
+
+TEST(Fig8, OiDriftStaysBoundedOnTheTheorem3Family) {
+  // The same family under PD2-OI: drift per event bounded by 2 no matter
+  // how small the initial weight (this is what "fine-grained" means).
+  for (const std::int64_t c : {1, 2, 5, 12, 50}) {
+    EngineConfig cfg;
+    cfg.processors = 1;
+    cfg.policy = ReweightPolicy::kOmissionIdeal;
+    Engine eng{cfg};
+    const TaskId t = eng.add_task(Rational{1, 2 * (c + 1)}, 0, "T");
+    eng.request_weight_change(t, rat(1, 2), 0);
+    eng.run_until(2 * (c + 1) + 2);
+    EXPECT_LE(eng.drift(t).abs(), Rational{2}) << "c=" << c;
+  }
+}
+
+}  // namespace
+}  // namespace pfr::pfair

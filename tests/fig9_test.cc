@@ -1,0 +1,114 @@
+/// Theorem 4 (every EPDF scheduler can incur drift): the Fig. 9
+/// two-processor counterexample, run on the projected-deadline EPDF
+/// scheduler (the only drift-free alternative), misses a deadline at 9.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "pfair/pfair.h"
+
+namespace pfr::pfair {
+namespace {
+
+struct Fig9System {
+  ProjectedEpdfSim sim{2};
+  std::vector<TaskId> a, b, c, d;
+};
+
+Fig9System make_fig9() {
+  Fig9System s;
+  for (int i = 0; i < 10; ++i) {
+    s.a.push_back(s.sim.add_task(rat(1, 7), 0, 7, "A" + std::to_string(i)));
+  }
+  for (int i = 0; i < 2; ++i) {
+    s.b.push_back(s.sim.add_task(rat(1, 6), 0, 6, "B" + std::to_string(i)));
+  }
+  for (int i = 0; i < 2; ++i) {
+    s.c.push_back(
+        s.sim.add_task(rat(1, 14), 6, kNever, "C" + std::to_string(i)));
+  }
+  for (int i = 0; i < 5; ++i) {
+    const TaskId id =
+        s.sim.add_task(rat(1, 21), 0, kNever, "D" + std::to_string(i));
+    s.sim.change_weight(id, rat(1, 3), 7);
+    s.d.push_back(id);
+  }
+  return s;
+}
+
+TEST(Fig9, ProjectedDeadlinesMatchThePaper) {
+  Fig9System s = make_fig9();
+  s.sim.run_until(1);
+  // "The tasks in D have an original deadline of 21."
+  for (const TaskId id : s.d) {
+    EXPECT_EQ(s.sim.projected_deadline(id), 21);
+  }
+  s.sim.run_until(8);  // past the weight change at 7
+  // "These tasks change their deadlines to 9 at time 7."
+  int unserved_with_deadline_9 = 0;
+  for (const TaskId id : s.d) {
+    if (s.sim.completed(id) == 0) {
+      EXPECT_EQ(s.sim.projected_deadline(id), 9);
+      ++unserved_with_deadline_9;
+    }
+  }
+  EXPECT_GE(unserved_with_deadline_9, 1);
+}
+
+TEST(Fig9, EpdfMissesADeadlineAtNine) {
+  Fig9System s = make_fig9();
+  s.sim.run_until(12);
+  ASSERT_FALSE(s.sim.misses().empty());
+  bool found = false;
+  for (const auto& m : s.sim.misses()) {
+    if (m.deadline == 9) {
+      // The victim is one of the D tasks.
+      for (const TaskId id : s.d) found = found || (m.task == id);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Fig9, HigherPrioritySetsAreServedFirst) {
+  Fig9System s = make_fig9();
+  s.sim.run_until(7);
+  // Slots [0,6) hold exactly the 10 A and 2 B quanta; D gets nothing.
+  for (const TaskId id : s.a) EXPECT_EQ(s.sim.completed(id), 1);
+  for (const TaskId id : s.b) EXPECT_EQ(s.sim.completed(id), 1);
+  for (const TaskId id : s.c) EXPECT_EQ(s.sim.completed(id), 1);  // slot 6
+  for (const TaskId id : s.d) EXPECT_EQ(s.sim.completed(id), 0);
+}
+
+TEST(Fig9, SameScenarioUnderPd2OiMeetsAllDeadlines) {
+  // Contrast: the PD2-OI engine schedules the analogous AIS system without
+  // misses (it accepts drift instead -- Theorems 2 and 5).
+  EngineConfig cfg;
+  cfg.processors = 2;
+  cfg.validate = true;
+  Engine eng{cfg};
+  std::vector<TaskId> d_tasks;
+  for (int i = 0; i < 10; ++i) {
+    const TaskId id = eng.add_task(rat(1, 7), 0, "A" + std::to_string(i));
+    eng.request_leave(id, 1);
+  }
+  for (int i = 0; i < 2; ++i) {
+    const TaskId id = eng.add_task(rat(1, 6), 0, "B" + std::to_string(i));
+    eng.request_leave(id, 1);
+  }
+  for (int i = 0; i < 2; ++i) {
+    eng.add_task(rat(1, 14), 6, "C" + std::to_string(i));
+  }
+  for (int i = 0; i < 5; ++i) {
+    const TaskId id = eng.add_task(rat(1, 21), 0, "D" + std::to_string(i));
+    eng.request_weight_change(id, rat(1, 3), 7);
+    d_tasks.push_back(id);
+  }
+  eng.run_until(40);
+  EXPECT_TRUE(eng.misses().empty());
+  for (const TaskId id : d_tasks) {
+    EXPECT_LE(eng.drift(id).abs(), Rational{2});
+  }
+}
+
+}  // namespace
+}  // namespace pfr::pfair

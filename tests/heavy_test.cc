@@ -1,0 +1,150 @@
+/// Full PD2 for *static* heavy tasks (w > 1/2): group-deadline tie-break
+/// values, schedulability of fully-utilized mixed sets, and the guard that
+/// heavy-task reweighting (deferred by the paper) is refused.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "pfair/pfair.h"
+#include "util/rng.h"
+
+namespace pfr::pfair {
+namespace {
+
+EngineConfig heavy_cfg(int m) {
+  EngineConfig cfg;
+  cfg.processors = m;
+  cfg.allow_heavy = true;
+  cfg.validate = true;
+  return cfg;
+}
+
+TEST(GroupDeadline, LightTasksHaveNone) {
+  EXPECT_EQ(group_deadline_offset(1, rat(1, 2)), 0);
+  EXPECT_EQ(group_deadline_offset(3, rat(5, 16)), 0);
+  EXPECT_EQ(group_deadline_offset(7, rat(3, 19)), 0);
+}
+
+TEST(GroupDeadline, ThreeQuartersCascades) {
+  // w = 3/4: windows [0,2) [1,3) [2,4) per period; b = 1,1,0.  Every
+  // subtask's cascade runs to the period boundary: D = 4, 8, 12, ...
+  const Rational w{3, 4};
+  EXPECT_EQ(group_deadline_offset(1, w), 4);
+  EXPECT_EQ(group_deadline_offset(2, w), 4);
+  EXPECT_EQ(group_deadline_offset(3, w), 4);
+  EXPECT_EQ(group_deadline_offset(4, w), 8);
+  EXPECT_EQ(group_deadline_offset(6, w), 8);
+  EXPECT_EQ(group_deadline_offset(7, w), 12);
+}
+
+TEST(GroupDeadline, WeightOneIsPerSlot) {
+  const Rational w{1};
+  for (SubtaskIndex i = 1; i <= 5; ++i) {
+    EXPECT_EQ(b_bit(i, w), 0);
+    EXPECT_EQ(group_deadline_offset(i, w), i);
+  }
+}
+
+TEST(GroupDeadline, MonotoneAndBeyondDeadline) {
+  for (const Rational w : {rat(3, 4), rat(8, 11), rat(7, 10), rat(9, 13),
+                           rat(5, 7), rat(11, 12)}) {
+    Slot prev = 0;
+    for (SubtaskIndex i = 1; i <= 60; ++i) {
+      const Slot gd = group_deadline_offset(i, w);
+      EXPECT_GE(gd, deadline_offset(i, w) - 1) << w.to_string() << " i=" << i;
+      EXPECT_GE(gd, prev) << w.to_string() << " i=" << i;
+      prev = gd;
+    }
+  }
+}
+
+TEST(HeavyStatic, AddTaskAcceptsHeavyOnlyWhenEnabled) {
+  Engine strict{EngineConfig{}};
+  EXPECT_THROW(strict.add_task(rat(3, 4)), InvalidWeight);
+  Engine relaxed{heavy_cfg(1)};
+  EXPECT_NO_THROW(relaxed.add_task(rat(3, 4)));
+  EXPECT_THROW(relaxed.add_task(rat(5, 4)), InvalidWeight);
+}
+
+TEST(HeavyStatic, ReweightingHeavyTaskThrows) {
+  Engine eng{heavy_cfg(1)};
+  const TaskId t = eng.add_task(rat(3, 4));
+  eng.request_weight_change(t, rat(1, 4), 3);
+  EXPECT_THROW(eng.run_until(10), std::logic_error);
+}
+
+TEST(HeavyStatic, FullUtilizationPairMeetsAllDeadlines) {
+  // {3/4, 1/4} on one processor: exactly full.
+  Engine eng{heavy_cfg(1)};
+  eng.add_task(rat(3, 4), 0, "heavy");
+  eng.add_task(rat(1, 4), 0, "light");
+  eng.run_until(240);
+  EXPECT_TRUE(eng.misses().empty());
+  EXPECT_EQ(eng.stats().holes, 0);
+  EXPECT_TRUE(schedule_ok(eng));
+}
+
+TEST(HeavyStatic, ClassicGroupDeadlineStressSet) {
+  // {8/11, 7/10, 4/7} on 2 processors: utilization 2.0 to within 1/770 --
+  // pad with a light task to exactly 2; needs the group-deadline tie-break.
+  Engine eng{heavy_cfg(2)};
+  eng.add_task(rat(8, 11));
+  eng.add_task(rat(7, 10));
+  eng.add_task(rat(4, 7));
+  // Remaining capacity: 2 - 8/11 - 7/10 - 4/7 = 1/770... compute: pad task.
+  const Rational pad = Rational{2} - rat(8, 11) - rat(7, 10) - rat(4, 7);
+  ASSERT_GT(pad, Rational{});
+  ASSERT_LE(pad, rat(1, 2));
+  eng.add_task(pad);
+  eng.run_until(770 * 2);
+  EXPECT_TRUE(eng.misses().empty());
+  EXPECT_EQ(eng.stats().holes, 0);
+}
+
+TEST(HeavyStatic, RandomFullyUtilizedMixedSetsMeetDeadlines) {
+  // PD2 is optimal: any mix of heavy and light tasks with total weight M
+  // must be scheduled with zero misses.  This exercises the group-deadline
+  // tie-break hard; a wrong tie-break loses deadlines on such sets.
+  Xoshiro256 rng{2024};
+  for (int trial = 0; trial < 12; ++trial) {
+    const int m = static_cast<int>(rng.uniform_int(1, 3));
+    Engine eng{heavy_cfg(m)};
+    Rational remaining{m};
+    bool first = true;
+    while (remaining > 0) {
+      Rational w;
+      if (first || rng.bernoulli(0.5)) {
+        const std::int64_t den = rng.uniform_int(3, 13);
+        w = Rational{rng.uniform_int(den / 2 + 1, den), den};  // heavy-ish
+      } else {
+        const std::int64_t den = rng.uniform_int(4, 24);
+        w = Rational{rng.uniform_int(1, den / 2), den};
+      }
+      first = false;
+      if (w > remaining) w = remaining;
+      eng.add_task(w);
+      remaining -= w;
+    }
+    eng.run_until(400);
+    EXPECT_TRUE(eng.misses().empty()) << "trial " << trial;
+    EXPECT_EQ(eng.stats().holes, 0) << "trial " << trial;
+    EXPECT_TRUE(schedule_ok(eng)) << "trial " << trial;
+  }
+}
+
+TEST(HeavyStatic, LagBandHoldsForHeavyTasks) {
+  Engine eng{heavy_cfg(2)};
+  const TaskId a = eng.add_task(rat(3, 4));
+  const TaskId b = eng.add_task(rat(2, 3));
+  const TaskId c = eng.add_task(rat(7, 12));
+  for (Slot t = 0; t < 300; ++t) {
+    eng.step();
+    for (const TaskId id : {a, b, c}) {
+      EXPECT_GT(eng.lag_icsw(id), Rational{-1}) << "slot " << t;
+      EXPECT_LT(eng.lag_icsw(id), Rational{1}) << "slot " << t;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pfr::pfair

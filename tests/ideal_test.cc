@@ -1,0 +1,132 @@
+/// Ideal-schedule allocations (Fig. 2 / Fig. 5 recursion) checked against
+/// the paper's Fig. 1 worked examples, exactly, in rational arithmetic.
+#include <gtest/gtest.h>
+
+#include "pfair/pfair.h"
+#include "test_util.h"
+
+namespace pfr::pfair {
+namespace {
+
+using test::isw_series;
+
+EngineConfig one_proc() {
+  EngineConfig cfg;
+  cfg.processors = 1;
+  cfg.validate = true;
+  return cfg;
+}
+
+TEST(Ideal, Fig1aPeriodicPerSlotAllocationsSumToWeight) {
+  Engine eng{one_proc()};
+  const TaskId t = eng.add_task(rat(5, 16), 0, "T");
+  const auto series = isw_series(eng, t, 16);
+  for (Slot k = 0; k < 16; ++k) {
+    EXPECT_EQ(series[static_cast<std::size_t>(k)], rat(5, 16))
+        << "slot " << k;
+  }
+}
+
+TEST(Ideal, Fig1aSubtaskCompletionsAndBoundaryAllocations) {
+  Engine eng{one_proc()};
+  const TaskId t = eng.add_task(rat(5, 16), 0, "T");
+  eng.run_until(16);
+  const TaskState& task = eng.task(t);
+  ASSERT_GE(task.subtasks.size(), 5U);
+  // D(I_SW, T_i) = d(T_i) for a periodic task, and the final-slot
+  // allocations are 1/16, 2/16, 3/16, 4/16, 5/16 (read off Fig. 1(a)).
+  const Rational expected_last[] = {rat(1, 16), rat(2, 16), rat(3, 16),
+                                    rat(4, 16), rat(5, 16)};
+  for (std::size_t i = 0; i < 5; ++i) {
+    const Subtask& s = task.subtasks[i];
+    EXPECT_EQ(s.nominal_complete_at, s.deadline) << "subtask " << i + 1;
+    EXPECT_EQ(s.nominal_last_slot_alloc, expected_last[i]) << "subtask "
+                                                           << i + 1;
+  }
+  // Paper: A(I, T, 6) = 2/16 + 3/16 = 5/16 decomposed over T_2 and T_3.
+  EXPECT_EQ(task.cum_isw, Rational{5});  // 16 slots * 5/16
+}
+
+TEST(Ideal, Fig1bIntraSporadicSeparations) {
+  // T of weight 5/16 with theta(T_2) = 2 and theta(T_i) = 3 for i >= 3.
+  Engine eng{one_proc()};
+  const TaskId t = eng.add_task(rat(5, 16), 0, "T");
+  eng.add_separation(t, 2, 2);  // T_2 delayed two quanta
+  eng.add_separation(t, 3, 1);  // T_3 delayed one further quantum
+  eng.run_until(19);
+  const TaskState& task = eng.task(t);
+  ASSERT_GE(task.subtasks.size(), 5U);
+  // Releases/deadlines: T_1 [0,4), T_2 [5,9), T_3 [9,13), T_4 [12,16),
+  // T_5 [15,19).
+  const Slot expected_r[] = {0, 5, 9, 12, 15};
+  const Slot expected_d[] = {4, 9, 13, 16, 19};
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(task.subtasks[i].release, expected_r[i]) << "T_" << i + 1;
+    EXPECT_EQ(task.subtasks[i].deadline, expected_d[i]) << "T_" << i + 1;
+  }
+}
+
+TEST(Ideal, Fig1bTaskInactiveInSlot4GetsZero) {
+  Engine eng{one_proc()};
+  const TaskId t = eng.add_task(rat(5, 16), 0, "T");
+  eng.add_separation(t, 2, 2);
+  eng.add_separation(t, 3, 1);
+  const auto series = isw_series(eng, t, 9);
+  // Slot 4 lies between d(T_1) = 4 and r(T_2) = 5: zero allocation.
+  EXPECT_EQ(series[4], Rational{});
+  // T_1's slots: 5/16, 5/16, 5/16, then 1/16 in its final slot 3.
+  EXPECT_EQ(series[0], rat(5, 16));
+  EXPECT_EQ(series[3], rat(1, 16));
+  // T_2's release slot still pairs with T_1's final-slot allocation across
+  // the separation: 5/16 - 1/16 = 4/16 at slot 5.
+  EXPECT_EQ(series[5], rat(4, 16));
+  EXPECT_EQ(series[6], rat(5, 16));
+  EXPECT_EQ(series[8], rat(2, 16));  // T_2 completes: 1 - (4+5+5)/16 = 2/16
+}
+
+TEST(Ideal, CumulativeIswEqualsSubtaskCountLongRun) {
+  // Every completed subtask accounts for exactly one quantum of ideal
+  // allocation (conservation).
+  Engine eng{one_proc()};
+  const TaskId t = eng.add_task(rat(3, 7), 0, "T");
+  eng.run_until(70);  // 10 periods
+  EXPECT_EQ(eng.task(t).cum_isw, Rational{30});  // 70 * 3/7
+  EXPECT_EQ(eng.task(t).subtasks.at(29).nominal_complete_at, 70);
+}
+
+TEST(Ideal, IpsAccruesActualWeightEachSlot) {
+  Engine eng{one_proc()};
+  const TaskId t = eng.add_task(rat(5, 16), 0, "T");
+  eng.run_until(10);
+  EXPECT_EQ(eng.task(t).cum_ips, rat(50, 16));
+}
+
+TEST(Ideal, LateJoinerStartsAccruingAtJoin) {
+  Engine eng{one_proc()};
+  const TaskId t = eng.add_task(rat(1, 4), 6, "late");
+  eng.run_until(10);
+  EXPECT_EQ(eng.task(t).cum_ips, Rational{1});   // 4 slots * 1/4
+  EXPECT_EQ(eng.task(t).cum_isw, Rational{1});
+  EXPECT_EQ(eng.task(t).subtasks.at(0).release, 6);
+}
+
+class IdealConservation : public ::testing::TestWithParam<Rational> {};
+
+TEST_P(IdealConservation, PerSlotAllocationEqualsWeightWithoutSeparations) {
+  // For an eagerly-released task the ideal schedule allocates exactly the
+  // weight in every slot (this is what makes I_SW "ideal").
+  Engine eng{one_proc()};
+  const TaskId t = eng.add_task(GetParam(), 0, "T");
+  for (Slot k = 0; k < 3 * GetParam().den(); ++k) {
+    EXPECT_EQ(test::step_isw(eng, t), GetParam()) << "slot " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(WeightSweep, IdealConservation,
+                         ::testing::Values(Rational{1, 2}, Rational{5, 16},
+                                           Rational{3, 19}, Rational{2, 5},
+                                           Rational{3, 20}, Rational{7, 15},
+                                           Rational{1, 21}, Rational{13, 27}));
+
+}  // namespace
+}  // namespace pfr::pfair

@@ -1,0 +1,162 @@
+#include "rational/rational.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace pfr {
+namespace {
+
+TEST(Rational, DefaultIsZero) {
+  const Rational r;
+  EXPECT_EQ(r.num(), 0);
+  EXPECT_EQ(r.den(), 1);
+  EXPECT_TRUE(r.is_zero());
+}
+
+TEST(Rational, NormalizesOnConstruction) {
+  const Rational r{6, 8};
+  EXPECT_EQ(r.num(), 3);
+  EXPECT_EQ(r.den(), 4);
+}
+
+TEST(Rational, NormalizesNegativeDenominator) {
+  const Rational r{3, -9};
+  EXPECT_EQ(r.num(), -1);
+  EXPECT_EQ(r.den(), 3);
+}
+
+TEST(Rational, ZeroDenominatorThrows) {
+  EXPECT_THROW(Rational(1, 0), RationalDivideByZero);
+}
+
+TEST(Rational, ImplicitFromInteger) {
+  const Rational r = 7;
+  EXPECT_EQ(r, Rational(7, 1));
+}
+
+TEST(Rational, Addition) {
+  EXPECT_EQ(rat(1, 3) + rat(1, 6), rat(1, 2));
+  EXPECT_EQ(rat(3, 19) + rat(2, 5), rat(53, 95));
+}
+
+TEST(Rational, Subtraction) {
+  EXPECT_EQ(rat(1, 2) - rat(1, 3), rat(1, 6));
+  EXPECT_EQ(rat(1, 10) - rat(1, 2), rat(-2, 5));
+}
+
+TEST(Rational, Multiplication) {
+  EXPECT_EQ(rat(2, 3) * rat(3, 4), rat(1, 2));
+  EXPECT_EQ(rat(-2, 5) * rat(5, 2), Rational{-1});
+}
+
+TEST(Rational, Division) {
+  EXPECT_EQ(rat(1, 2) / rat(1, 4), Rational{2});
+  EXPECT_THROW(rat(1, 2) / Rational{}, RationalDivideByZero);
+}
+
+TEST(Rational, CompoundAssignment) {
+  Rational r{1, 4};
+  r += rat(1, 4);
+  EXPECT_EQ(r, rat(1, 2));
+  r -= rat(1, 6);
+  EXPECT_EQ(r, rat(1, 3));
+  r *= 3;
+  EXPECT_EQ(r, Rational{1});
+  r /= 4;
+  EXPECT_EQ(r, rat(1, 4));
+}
+
+TEST(Rational, Negation) {
+  EXPECT_EQ(-rat(3, 7), rat(-3, 7));
+  EXPECT_EQ(-Rational{}, Rational{});
+}
+
+TEST(Rational, Comparisons) {
+  EXPECT_LT(rat(1, 3), rat(1, 2));
+  EXPECT_GT(rat(5, 16), rat(3, 19));
+  EXPECT_LE(rat(2, 4), rat(1, 2));
+  EXPECT_EQ(rat(2, 4), rat(1, 2));
+  EXPECT_LT(rat(-1, 2), Rational{});
+}
+
+TEST(Rational, ComparisonUsesExactCrossMultiply) {
+  // 1/3 < 333333333/999999998 (just above 1/3); doubles cannot tell.
+  EXPECT_LT(rat(1, 3), rat(333333333, 999999998));
+}
+
+TEST(Rational, FloorCeil) {
+  EXPECT_EQ(rat(7, 2).floor(), 3);
+  EXPECT_EQ(rat(7, 2).ceil(), 4);
+  EXPECT_EQ(rat(-7, 2).floor(), -4);
+  EXPECT_EQ(rat(-7, 2).ceil(), -3);
+  EXPECT_EQ(rat(6, 2).floor(), 3);
+  EXPECT_EQ(rat(6, 2).ceil(), 3);
+  EXPECT_EQ(Rational{}.floor(), 0);
+}
+
+TEST(Rational, FloorDivCeilDivByWeight) {
+  // floor((i-1)/w) and ceil(i/w) for w = 5/16 (paper Fig. 1 values).
+  const Rational w{5, 16};
+  EXPECT_EQ(floor_div(0, w), 0);
+  EXPECT_EQ(ceil_div(1, w), 4);
+  EXPECT_EQ(floor_div(1, w), 3);
+  EXPECT_EQ(ceil_div(2, w), 7);
+  EXPECT_EQ(floor_div(4, w), 12);
+  EXPECT_EQ(ceil_div(5, w), 16);
+}
+
+TEST(Rational, SignAbs) {
+  EXPECT_EQ(rat(-3, 5).sign(), -1);
+  EXPECT_EQ(Rational{}.sign(), 0);
+  EXPECT_EQ(rat(3, 5).sign(), 1);
+  EXPECT_EQ(rat(-3, 5).abs(), rat(3, 5));
+}
+
+TEST(Rational, Inverse) {
+  EXPECT_EQ(rat(3, 7).inverse(), rat(7, 3));
+  EXPECT_EQ(rat(-3, 7).inverse(), rat(-7, 3));
+  EXPECT_THROW((void)Rational{}.inverse(), RationalDivideByZero);
+}
+
+TEST(Rational, MinMax) {
+  EXPECT_EQ(min(rat(1, 3), rat(1, 4)), rat(1, 4));
+  EXPECT_EQ(max(rat(1, 3), rat(1, 4)), rat(1, 3));
+}
+
+TEST(Rational, ToDouble) {
+  EXPECT_DOUBLE_EQ(rat(1, 4).to_double(), 0.25);
+}
+
+TEST(Rational, ToStringAndStream) {
+  EXPECT_EQ(rat(32, 95).to_string(), "32/95");
+  EXPECT_EQ(Rational{5}.to_string(), "5");
+  std::ostringstream os;
+  os << rat(-3, 20);
+  EXPECT_EQ(os.str(), "-3/20");
+}
+
+TEST(Rational, OverflowThrows) {
+  const Rational big{INT64_MAX, 1};
+  EXPECT_THROW(big * big, RationalOverflow);
+  EXPECT_THROW(big + big, RationalOverflow);
+  EXPECT_NO_THROW(Rational(INT64_MAX / 2, 1) + Rational(INT64_MAX / 2, 1));
+}
+
+TEST(Rational, LargeIntermediatesThatCancelDoNotOverflow) {
+  // (2^40/3) * (3/2^40) = 1: the 128-bit intermediate exceeds 64 bits but
+  // the normalized result does not.
+  const Rational a{1LL << 40, 3};
+  const Rational b{3, 1LL << 40};
+  EXPECT_EQ(a * b, Rational{1});
+}
+
+TEST(Rational, AccumulationStaysExact) {
+  // 95 additions of 3/19 + 2/5-style terms: exactness is the whole point.
+  Rational sum;
+  for (int i = 0; i < 95; ++i) sum += rat(1, 95);
+  EXPECT_EQ(sum, Rational{1});
+}
+
+}  // namespace
+}  // namespace pfr

@@ -1,0 +1,254 @@
+/// Reweighting rules O and I checked against the paper's Fig. 3 and Fig. 7
+/// worked examples (task of weight 3/19 reweighting to 2/5 at time 8).
+#include <gtest/gtest.h>
+
+#include "pfair/pfair.h"
+#include "test_util.h"
+
+namespace pfr::pfair {
+namespace {
+
+using test::isw_series;
+
+/// Fig. 3(a): the reweight arrives while T_2 is released but unscheduled
+/// (omission-changeable).  Two weight-2/5 competitors keep T_2 out of the
+/// schedule on one processor; policing is off because the illustration
+/// deliberately exceeds unit capacity after the increase.
+Engine make_fig3a() {
+  EngineConfig cfg;
+  cfg.processors = 1;
+  cfg.policing = PolicingMode::kOff;
+  Engine eng{cfg};
+  const TaskId u = eng.add_task(rat(2, 5), 0, "U");
+  const TaskId v = eng.add_task(rat(2, 5), 0, "V");
+  eng.set_tie_rank(u, 0);
+  eng.set_tie_rank(v, 0);
+  const TaskId t = eng.add_task(rat(3, 19), 0, "T");
+  eng.set_tie_rank(t, 1);
+  eng.request_weight_change(t, rat(2, 5), 8);
+  return eng;
+}
+
+TEST(RuleO, Fig3aHaltsUnscheduledSubtaskAtInitiation) {
+  Engine eng = make_fig3a();
+  const TaskId t = 2;
+  eng.run_until(16);
+  const TaskState& task = eng.task(t);
+  ASSERT_GE(task.subtasks.size(), 5U);
+  EXPECT_EQ(task.sub(2).halted_at, 8);
+  EXPECT_FALSE(task.sub(2).scheduled());
+  EXPECT_EQ(task.sub(1).scheduled_at, 4);  // T_1 runs once U/V leave a hole
+}
+
+TEST(RuleO, Fig3aNewGenerationWindowsMatchWeightTwoFifths) {
+  Engine eng = make_fig3a();
+  const TaskId t = 2;
+  eng.run_until(16);
+  const TaskState& task = eng.task(t);
+  // After the enactment at time 8, T_3..T_5 look like U_1..U_3 of a
+  // weight-2/5 task shifted to time 8 (Fig. 3(c)).
+  const Subtask& t3 = task.sub(3);
+  const Subtask& t4 = task.sub(4);
+  const Subtask& t5 = task.sub(5);
+  EXPECT_EQ(t3.release, 8);
+  EXPECT_EQ(t3.deadline, 11);
+  EXPECT_EQ(t3.b, 1);
+  EXPECT_EQ(t3.gen_base, 2);
+  EXPECT_EQ(t4.release, 10);
+  EXPECT_EQ(t4.deadline, 13);
+  EXPECT_EQ(t4.b, 0);
+  EXPECT_EQ(t5.release, 13);
+  EXPECT_EQ(t5.deadline, 16);
+  EXPECT_EQ(t5.b, 1);
+}
+
+TEST(RuleO, Fig3aIdealAllocationsBeforeAndAfter) {
+  Engine eng = make_fig3a();
+  const TaskId t = 2;
+  const auto s = isw_series(eng, t, 16);
+  // Slots 0..7: weight 3/19 throughout (T_1 then T_2, boundary pairing).
+  for (int k = 0; k <= 7; ++k) {
+    EXPECT_EQ(s[static_cast<std::size_t>(k)], rat(3, 19)) << "slot " << k;
+  }
+  // Halt at 8 zeroes T_2 from then on; the new generation accrues 2/5.
+  for (int k = 8; k <= 15; ++k) {
+    EXPECT_EQ(s[static_cast<std::size_t>(k)], rat(2, 5)) << "slot " << k;
+  }
+}
+
+TEST(RuleO, Fig3aClairvoyantTotalsAndDrift) {
+  Engine eng = make_fig3a();
+  const TaskId t = 2;
+  eng.run_until(9);
+  // I_CSW never allocated to the halted T_2: total by time 9 is T_1's full
+  // quantum plus one slot of the new generation.
+  EXPECT_EQ(eng.task(t).cum_icsw, Rational{1} + rat(2, 5));
+  // drift at u = r(T_3) = 8: A(I_PS) - A(I_CSW) = 24/19 - 1 = 5/19.
+  EXPECT_EQ(eng.drift(t), rat(5, 19));
+}
+
+/// Fig. 3(b) / Fig. 7: task X alone on one processor; X_2 is scheduled
+/// before the reweight (ideal-changeable), weight increases at time 8.
+Engine make_fig3b() {
+  EngineConfig cfg;
+  cfg.processors = 1;
+  cfg.validate = true;
+  Engine eng{cfg};
+  const TaskId x = eng.add_task(rat(3, 19), 0, "X");
+  eng.request_weight_change(x, rat(2, 5), 8);
+  return eng;
+}
+
+TEST(RuleI, Fig3bIncreaseEnactsImmediatelyAndSpeedsCompletion) {
+  Engine eng = make_fig3b();
+  const TaskId x = 0;
+  eng.run_until(16);
+  const TaskState& task = eng.task(x);
+  const Subtask& x2 = task.sub(2);
+  EXPECT_FALSE(x2.halted());
+  // Paper: "X_2 is complete at time 10, since A(I_SW, X_2, 0, 10) = 1".
+  EXPECT_EQ(x2.nominal_complete_at, 10);
+  EXPECT_EQ(x2.nominal_last_slot_alloc, rat(32, 95));
+  // The next subtask is released at D(I_SW, X_2) + b(X_2) = 10 + 1 = 11.
+  EXPECT_EQ(task.sub(3).release, 11);
+  EXPECT_EQ(task.sub(3).gen_base, 2);
+  EXPECT_EQ(task.sub(3).deadline, 14);
+}
+
+TEST(RuleI, Fig7PerSlotAllocations) {
+  Engine eng = make_fig3b();
+  const TaskId x = 0;
+  const auto s = isw_series(eng, x, 12);
+  EXPECT_EQ(s[6], rat(3, 19));   // X_2 release slot pairs with X_1's last
+  EXPECT_EQ(s[7], rat(3, 19));
+  EXPECT_EQ(s[8], rat(2, 5));    // swt switched at t_c = 8 (rule I(i))
+  EXPECT_EQ(s[9], rat(32, 95));  // X_2's final nominal slot
+  EXPECT_EQ(s[10], Rational{});  // X complete, successor not yet released
+  EXPECT_EQ(s[11], rat(2, 5));   // X_3 released at 11
+}
+
+TEST(RuleI, Fig7CumulativeComparisonIcswVsIps) {
+  Engine eng = make_fig3b();
+  const TaskId x = 0;
+  eng.run_until(9);
+  const Rational icsw9 = eng.task(x).cum_icsw;
+  const Rational ips9 = eng.task(x).cum_ips;
+  eng.run_until(11);
+  // Paper: over [9, 11) X receives 32/95 in I_CSW but 4/5 in I_PS.
+  EXPECT_EQ(eng.task(x).cum_icsw - icsw9, rat(32, 95));
+  EXPECT_EQ(eng.task(x).cum_ips - ips9, rat(4, 5));
+}
+
+TEST(RuleI, Fig3bDriftSampledAtNewGenerationRelease) {
+  Engine eng = make_fig3b();
+  const TaskId x = 0;
+  eng.run_until(12);  // r(X_3) = 11 is processed at the start of slot 11
+  // ips(11) = 8*(3/19) + 3*(2/5) = 234/95; icsw(11) = 2.
+  EXPECT_EQ(eng.drift(x), rat(234, 95) - Rational{2});
+  EXPECT_EQ(eng.task(x).drift_history.back().at, 11);
+}
+
+TEST(RuleI, DecreaseEnactsAtIdealCompletionPlusB) {
+  // Weight decrease from 2/5 to 3/20 at time 1 (the Fig. 6(d) scalar core,
+  // without the background tasks): enacted at D(I_SW,T_1)+b(T_1) = 4.
+  EngineConfig cfg;
+  cfg.processors = 1;
+  cfg.validate = true;
+  Engine eng{cfg};
+  const TaskId t = eng.add_task(rat(2, 5), 0, "T");
+  eng.request_weight_change(t, rat(3, 20), 1);
+  eng.run_until(12);
+  const TaskState& task = eng.task(t);
+  EXPECT_EQ(task.sub(2).release, 4);
+  EXPECT_EQ(task.sub(2).gen_base, 1);
+  EXPECT_EQ(task.sub(2).deadline, 4 + 7);  // ceil(1/(3/20)) = 7
+  EXPECT_EQ(eng.drift(t), rat(-3, 20));
+  EXPECT_TRUE(eng.misses().empty());
+}
+
+TEST(Reweight, BetweenWindowsEnactsAtMaxOfTcAndDeadlinePlusB) {
+  // Task with an IS separation so the reweight lands between windows.
+  EngineConfig cfg;
+  cfg.processors = 1;
+  Engine eng{cfg};
+  const TaskId t = eng.add_task(rat(1, 4), 0, "T");
+  eng.add_separation(t, 2, 10);  // T_2 released at 14 instead of 4
+  // T_1: [0,4), b = 0.  Initiate at 6 (> d(T_1) = 4): enact at max(6,4) = 6.
+  eng.request_weight_change(t, rat(1, 2), 6);
+  eng.run_until(12);
+  const TaskState& task = eng.task(t);
+  ASSERT_GE(task.subtasks.size(), 2U);
+  EXPECT_EQ(task.sub(2).release, 6);
+  EXPECT_EQ(task.sub(2).swt_at_release, rat(1, 2));
+  EXPECT_EQ(task.sub(2).gen_base, 1);
+}
+
+TEST(Reweight, BeforeFirstReleaseEnactsImmediately) {
+  EngineConfig cfg;
+  cfg.processors = 1;
+  Engine eng{cfg};
+  const TaskId t = eng.add_task(rat(1, 4), 5, "late");
+  eng.request_weight_change(t, rat(1, 2), 2);  // before the task joins
+  eng.run_until(9);
+  const TaskState& task = eng.task(t);
+  EXPECT_EQ(task.sub(1).swt_at_release, rat(1, 2));
+  EXPECT_EQ(task.sub(1).release, 5);
+  EXPECT_EQ(task.sub(1).deadline, 7);
+}
+
+TEST(Reweight, SkippedEventIsReplacedByNewerInitiation) {
+  // Initiate a decrease (pending until D+b), then an increase before the
+  // decrease is enacted: the decrease is skipped; property (C) says the
+  // replacement cannot be enacted later than the original.
+  EngineConfig cfg;
+  cfg.processors = 1;
+  cfg.validate = true;
+  Engine eng{cfg};
+  const TaskId t = eng.add_task(rat(2, 5), 0, "T");
+  eng.request_weight_change(t, rat(1, 5), 1);   // decrease, pending
+  eng.request_weight_change(t, rat(1, 2), 2);   // increase, replaces it
+  eng.run_until(10);
+  const TaskState& task = eng.task(t);
+  // The increase is rule I(i): swt switched at 2; T_1's ideal completion
+  // accelerates: cum after slot 0,1 = 4/5, slot 2 adds 1/5 -> D = 3, b = 1,
+  // so T_2 is released at 4 with the new weight.
+  EXPECT_EQ(task.sub(2).release, 4);
+  EXPECT_EQ(task.sub(2).swt_at_release, rat(1, 2));
+  // Exactly one enactment (the skipped decrease never fires), producing one
+  // generation boundary; both initiations fold into it.
+  EXPECT_EQ(task.enactment_count, 1);
+  EXPECT_EQ(task.drift_history.size(), 2U);  // r(T_1) and r(T_2)
+  EXPECT_EQ(task.drift_history.back().events_folded, 2);
+}
+
+TEST(Reweight, RepeatedOmissionEventsKeepOriginalHaltTime) {
+  // Proof of (C), omission case: a second initiation strictly before the
+  // pending enactment sees the same halted subtask and the same gate.
+  // Setup: T (2/5) behind a rank-favored U (1/2) on one processor.  T_2 is
+  // released at 2 and loses slot 2 to U_2, so the initiation at t_c = 2
+  // halts T_2; the gate is max(2, D(I_SW,T_1)+b(T_1)) = max(2, 3+1) = 4,
+  // leaving room for a second initiation at t_c' = 3 < 4.
+  EngineConfig cfg;
+  cfg.processors = 1;
+  cfg.validate = true;
+  Engine eng{cfg};
+  const TaskId u = eng.add_task(rat(1, 2), 0, "U");
+  eng.set_tie_rank(u, 0);
+  const TaskId t = eng.add_task(rat(2, 5), 0, "T");
+  eng.set_tie_rank(t, 1);
+  eng.request_weight_change(t, rat(1, 2), 2);
+  eng.request_weight_change(t, rat(1, 4), 3);
+  eng.run_until(12);
+  const TaskState& task = eng.task(t);
+  EXPECT_EQ(task.sub(1).scheduled_at, 1);
+  EXPECT_EQ(task.sub(2).halted_at, 2);  // first initiation's halt survives
+  EXPECT_FALSE(task.sub(2).scheduled());
+  // One enactment at 4 with the *replacement* target.
+  EXPECT_EQ(task.enactment_count, 1);
+  EXPECT_EQ(task.sub(3).release, 4);
+  EXPECT_EQ(task.sub(3).swt_at_release, rat(1, 4));
+  EXPECT_EQ(task.drift_history.back().events_folded, 2);
+}
+
+}  // namespace
+}  // namespace pfr::pfair

@@ -1,0 +1,155 @@
+/// Scenario text format: parsing, building, error reporting; plus the
+/// per-slot metrics recorder.
+#include <gtest/gtest.h>
+
+#include "pfair/pfair.h"
+#include "pfair/scenario_io.h"
+#include "pfair/timeseries.h"
+
+namespace pfr::pfair {
+namespace {
+
+TEST(ScenarioIo, ParsesFig4Scenario) {
+  const ScenarioSpec spec = parse_scenario_string(R"(
+# the paper's Fig. 4
+processors 1
+policy oi
+policing clamp
+task T 2/5 rank=0
+task U 2/5 rank=1
+reweight U 1/2 at=3
+horizon 10
+)");
+  EXPECT_EQ(spec.config.processors, 1);
+  EXPECT_EQ(spec.config.policy, ReweightPolicy::kOmissionIdeal);
+  ASSERT_EQ(spec.tasks.size(), 2U);
+  EXPECT_EQ(spec.tasks[0].weight, rat(2, 5));
+  EXPECT_EQ(spec.tasks[1].rank, 1);
+  ASSERT_EQ(spec.events.size(), 1U);
+  EXPECT_EQ(spec.events[0].weight, rat(1, 2));
+  EXPECT_EQ(spec.events[0].at, 3);
+  EXPECT_EQ(spec.horizon, 10);
+}
+
+TEST(ScenarioIo, BuiltScenarioMatchesDirectConstruction) {
+  const ScenarioSpec spec = parse_scenario_string(R"(
+processors 1
+task T 2/5 rank=0
+task U 2/5 rank=1
+reweight U 1/2 at=3
+horizon 10
+)");
+  BuiltScenario built = build_scenario(spec);
+  built.engine->run_until(built.horizon);
+  const TaskId u = built.ids.at("U");
+  // Same facts the Fig. 4 test asserts on the directly built engine.
+  EXPECT_EQ(built.engine->task(u).sub(2).halted_at, 3);
+  EXPECT_EQ(built.engine->task(u).sub(3).release, 4);
+  EXPECT_TRUE(built.engine->misses().empty());
+}
+
+TEST(ScenarioIo, ParsesSeparationsAbsencesLeavesAndPolicies) {
+  const ScenarioSpec spec = parse_scenario_string(R"(
+processors 2
+policy hybrid-mag:2.5
+policing reject
+heavy on
+task A 5/16 join=4
+separation A 2 3
+absent A 3
+leave A at=40
+task H 3/4
+horizon 50
+)");
+  EXPECT_EQ(spec.config.policy, ReweightPolicy::kHybridMagnitude);
+  EXPECT_DOUBLE_EQ(spec.config.hybrid_magnitude_threshold, 2.5);
+  EXPECT_EQ(spec.config.policing, PolicingMode::kReject);
+  EXPECT_TRUE(spec.config.allow_heavy);
+  EXPECT_EQ(spec.tasks[0].join, 4);
+  ASSERT_EQ(spec.tasks[0].separations.size(), 1U);
+  EXPECT_EQ(spec.tasks[0].separations[0], (std::pair<SubtaskIndex, Slot>{2, 3}));
+  EXPECT_EQ(spec.tasks[0].absences, std::vector<SubtaskIndex>{3});
+  ASSERT_EQ(spec.events.size(), 1U);
+  EXPECT_TRUE(spec.events[0].is_leave);
+  // Heavy task admitted because 'heavy on'.
+  BuiltScenario built = build_scenario(spec);
+  built.engine->run_until(10);
+  EXPECT_EQ(built.engine->task(built.ids.at("H")).swt, rat(3, 4));
+}
+
+TEST(ScenarioIo, HybridBudgetPolicy) {
+  const ScenarioSpec spec = parse_scenario_string("policy hybrid-budget:3\n");
+  EXPECT_EQ(spec.config.policy, ReweightPolicy::kHybridBudget);
+  EXPECT_EQ(spec.config.hybrid_budget_per_slot, 3);
+}
+
+TEST(ScenarioIo, ErrorsCarryLineNumbers) {
+  try {
+    (void)parse_scenario_string("processors 2\nfrobnicate T\n");
+    FAIL() << "expected parse error";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string{e.what()}.find("line 2"), std::string::npos);
+  }
+}
+
+TEST(ScenarioIo, RejectsUnknownTaskAndBadNumbers) {
+  EXPECT_THROW((void)parse_scenario_string("reweight X 1/2 at=3\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_scenario_string("task T nope\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_scenario_string("task T 1/4 join=abc\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)parse_scenario_string("policy what\n"),
+               std::invalid_argument);
+}
+
+TEST(ScenarioIo, RejectsDuplicateTaskNames) {
+  const ScenarioSpec spec =
+      parse_scenario_string("task T 1/4\ntask T 1/3\n");
+  EXPECT_THROW((void)build_scenario(spec), std::invalid_argument);
+}
+
+// --- MetricsRecorder ---
+
+TEST(Timeseries, RecordsOneSamplePerTaskPerSlot) {
+  EngineConfig cfg;
+  cfg.processors = 1;
+  Engine eng{cfg};
+  eng.add_task(rat(1, 2), 0, "a");
+  eng.add_task(rat(1, 3), 0, "b");
+  const MetricsRecorder rec = MetricsRecorder::record_run(eng, 20);
+  EXPECT_EQ(rec.samples().size(), 40U);
+  EXPECT_EQ(rec.samples().front().slot, 1);
+  EXPECT_EQ(rec.samples().back().slot, 20);
+}
+
+TEST(Timeseries, CsvHasHeaderAndRows) {
+  EngineConfig cfg;
+  cfg.processors = 1;
+  Engine eng{cfg};
+  const TaskId t = eng.add_task(rat(2, 5), 0, "video");
+  eng.request_weight_change(t, rat(1, 5), 4);
+  const MetricsRecorder rec = MetricsRecorder::record_run(eng, 15, {t});
+  const std::string csv = rec.to_csv(eng);
+  EXPECT_NE(csv.find("slot,task,name,drift"), std::string::npos);
+  EXPECT_NE(csv.find("video"), std::string::npos);
+  // 15 data rows + header.
+  EXPECT_EQ(static_cast<int>(std::count(csv.begin(), csv.end(), '\n')), 16);
+}
+
+TEST(Timeseries, LagSamplesStayInPfairBand) {
+  EngineConfig cfg;
+  cfg.processors = 2;
+  Engine eng{cfg};
+  eng.add_task(rat(1, 2));
+  eng.add_task(rat(2, 5));
+  eng.add_task(rat(5, 16));
+  const MetricsRecorder rec = MetricsRecorder::record_run(eng, 100);
+  for (const auto& s : rec.samples()) {
+    EXPECT_GT(s.lag, -1.0);
+    EXPECT_LT(s.lag, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace pfr::pfair

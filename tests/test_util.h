@@ -1,0 +1,54 @@
+/// \file test_util.h
+/// \brief Shared helpers for the pfair test suite.
+#pragma once
+
+#include <vector>
+
+#include "pfair/pfair.h"
+#include "rational/rational.h"
+
+namespace pfr::test {
+
+using pfair::Engine;
+using pfair::Slot;
+using pfair::TaskId;
+
+/// Runs the engine one slot and returns the task's I_SW allocation in that
+/// slot (delta of the cumulative total).
+inline Rational step_isw(Engine& eng, TaskId id) {
+  const Rational before = eng.task(id).cum_isw;
+  eng.step();
+  return eng.task(id).cum_isw - before;
+}
+
+/// Per-slot I_SW allocations of `id` for `n` slots from the current time.
+inline std::vector<Rational> isw_series(Engine& eng, TaskId id, Slot n) {
+  std::vector<Rational> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (Slot k = 0; k < n; ++k) out.push_back(step_isw(eng, id));
+  return out;
+}
+
+/// Per-slot I_CSW allocations (note: retroactive halting can make the
+/// series include negative entries at halt slots by construction).
+inline std::vector<Rational> icsw_series(Engine& eng, TaskId id, Slot n) {
+  std::vector<Rational> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (Slot k = 0; k < n; ++k) {
+    const Rational before = eng.task(id).cum_icsw;
+    eng.step();
+    out.push_back(eng.task(id).cum_icsw - before);
+  }
+  return out;
+}
+
+/// True iff task `id` was scheduled in slot `t` of the recorded trace.
+inline bool scheduled_in(const Engine& eng, TaskId id, Slot t) {
+  const auto& rec = eng.trace().at(static_cast<std::size_t>(t));
+  for (const TaskId s : rec.scheduled) {
+    if (s == id) return true;
+  }
+  return false;
+}
+
+}  // namespace pfr::test

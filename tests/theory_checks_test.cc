@@ -1,0 +1,192 @@
+/// Differential tests: the offline recomputation of I_SW/I_CSW (a second,
+/// independent implementation of the Fig. 5 recursion driven only by task
+/// records) must agree with the engine's online accrual, slot by slot and
+/// in total, across static runs, reweighting storms, separations, halts,
+/// and absences.  Also checks the appendix allocation properties.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "pfair/pfair.h"
+#include "pfair/theory_checks.h"
+#include "util/rng.h"
+
+namespace pfr::pfair {
+namespace {
+
+void expect_agreement(const Engine& eng, Slot horizon) {
+  for (std::size_t i = 0; i < eng.task_count(); ++i) {
+    const TaskState& task = eng.task(static_cast<TaskId>(i));
+    const IdealRecomputation r = recompute_ideal(task, horizon);
+    EXPECT_EQ(r.cum_isw, task.cum_isw) << task.name;
+    EXPECT_EQ(r.cum_icsw, task.cum_icsw) << task.name;
+    const auto problems = check_allocation_properties(task, horizon);
+    EXPECT_TRUE(problems.empty())
+        << task.name << ": " << (problems.empty() ? "" : problems.front());
+  }
+}
+
+TEST(TheoryChecks, SwtAtReconstructsHistory) {
+  EngineConfig cfg;
+  cfg.processors = 1;
+  Engine eng{cfg};
+  const TaskId t = eng.add_task(rat(3, 19), 0, "T");
+  eng.request_weight_change(t, rat(2, 5), 8);  // rule I(i): swt switches at 8
+  eng.run_until(16);
+  const TaskState& task = eng.task(t);
+  EXPECT_EQ(swt_at(task, 0), rat(3, 19));
+  EXPECT_EQ(swt_at(task, 7), rat(3, 19));
+  EXPECT_EQ(swt_at(task, 8), rat(2, 5));
+  EXPECT_EQ(swt_at(task, 15), rat(2, 5));
+}
+
+TEST(TheoryChecks, StaticTasksAgree) {
+  EngineConfig cfg;
+  cfg.processors = 2;
+  Engine eng{cfg};
+  eng.add_task(rat(5, 16));
+  eng.add_task(rat(3, 19));
+  eng.add_task(rat(2, 5));
+  eng.run_until(200);
+  expect_agreement(eng, 200);
+}
+
+TEST(TheoryChecks, Fig3ScenariosAgree) {
+  {  // rule I increase (Fig. 3(b))
+    EngineConfig cfg;
+    cfg.processors = 1;
+    Engine eng{cfg};
+    const TaskId x = eng.add_task(rat(3, 19), 0, "X");
+    eng.request_weight_change(x, rat(2, 5), 8);
+    eng.run_until(30);
+    expect_agreement(eng, 30);
+  }
+  {  // rule I decrease (Fig. 6(d) core)
+    EngineConfig cfg;
+    cfg.processors = 1;
+    Engine eng{cfg};
+    const TaskId t = eng.add_task(rat(2, 5), 0, "T");
+    eng.request_weight_change(t, rat(3, 20), 1);
+    eng.run_until(30);
+    expect_agreement(eng, 30);
+  }
+}
+
+TEST(TheoryChecks, HaltedAndAbsentSubtasksAgree) {
+  EngineConfig cfg;
+  cfg.processors = 1;
+  cfg.policing = PolicingMode::kOff;
+  Engine eng{cfg};
+  const TaskId u = eng.add_task(rat(2, 5), 0, "U");
+  const TaskId v = eng.add_task(rat(2, 5), 0, "V");
+  eng.set_tie_rank(u, 0);
+  eng.set_tie_rank(v, 0);
+  const TaskId t = eng.add_task(rat(3, 19), 0, "T");
+  eng.set_tie_rank(t, 1);
+  eng.mark_absent(t, 4);
+  eng.request_weight_change(t, rat(2, 5), 8);  // rule O: halts T_2
+  eng.run_until(40);
+  EXPECT_GT(eng.task(t).halt_count, 0);
+  expect_agreement(eng, 40);
+}
+
+TEST(TheoryChecks, SeparatedTasksAgree) {
+  EngineConfig cfg;
+  cfg.processors = 1;
+  Engine eng{cfg};
+  const TaskId v = eng.add_task(rat(5, 16), 0, "V");
+  eng.add_separation(v, 2, 1);
+  eng.add_separation(v, 5, 2);
+  eng.mark_absent(v, 3);
+  eng.run_until(40);
+  expect_agreement(eng, 40);
+}
+
+TEST(TheoryChecks, ReweightStormsAgree) {
+  Xoshiro256 rng{4242};
+  for (int trial = 0; trial < 5; ++trial) {
+    EngineConfig cfg;
+    cfg.processors = 1 + trial % 3;
+    Engine eng{cfg};
+    std::vector<TaskId> ids;
+    for (int i = 0; i < 8; ++i) {
+      ids.push_back(eng.add_task(Rational{rng.uniform_int(1, 8), 32}));
+    }
+    for (Slot t = 1; t < 200; ++t) {
+      for (const TaskId id : ids) {
+        if (rng.bernoulli(0.04)) {
+          eng.request_weight_change(id, Rational{rng.uniform_int(1, 16), 32},
+                                    t);
+        }
+      }
+    }
+    eng.run_until(200);
+    expect_agreement(eng, 200);
+  }
+}
+
+TEST(TheoryChecks, LeaveJoinStormsAgree) {
+  Xoshiro256 rng{777};
+  EngineConfig cfg;
+  cfg.processors = 2;
+  cfg.policy = ReweightPolicy::kLeaveJoin;
+  Engine eng{cfg};
+  std::vector<TaskId> ids;
+  for (int i = 0; i < 6; ++i) {
+    ids.push_back(eng.add_task(Rational{rng.uniform_int(1, 8), 24}));
+  }
+  for (Slot t = 1; t < 200; ++t) {
+    for (const TaskId id : ids) {
+      if (rng.bernoulli(0.03)) {
+        eng.request_weight_change(id, Rational{rng.uniform_int(1, 12), 24}, t);
+      }
+    }
+  }
+  eng.run_until(200);
+  expect_agreement(eng, 200);
+}
+
+}  // namespace
+}  // namespace pfr::pfair
+
+namespace pfr::pfair {
+namespace {
+
+TEST(TheoryChecks, AllocationGridMatchesFig1a) {
+  EngineConfig cfg;
+  cfg.processors = 1;
+  Engine eng{cfg};
+  const TaskId t = eng.add_task(rat(5, 16), 0, "T");
+  eng.run_until(16);
+  const std::string grid = render_allocation_grid(eng.task(t), 16);
+  // The paper's Fig. 1(a) per-slot values: boundary slots carry 1/16 + 4/16,
+  // 2/16 + 3/16 etc.  Spot-check the distinctive fractions.
+  EXPECT_NE(grid.find("1/16"), std::string::npos);
+  EXPECT_NE(grid.find("1/4"), std::string::npos);   // 4/16 normalized
+  EXPECT_NE(grid.find("3/16"), std::string::npos);
+  EXPECT_NE(grid.find("1/8"), std::string::npos);   // 2/16 normalized
+  EXPECT_NE(grid.find("5/16"), std::string::npos);
+  EXPECT_NE(grid.find("T_5"), std::string::npos);
+}
+
+TEST(TheoryChecks, AllocationGridMarksHaltsAndAbsences) {
+  EngineConfig cfg;
+  cfg.processors = 1;
+  cfg.policing = PolicingMode::kOff;
+  Engine eng{cfg};
+  const TaskId u = eng.add_task(rat(2, 5), 0, "U");
+  const TaskId v = eng.add_task(rat(2, 5), 0, "V");
+  eng.set_tie_rank(u, 0);
+  eng.set_tie_rank(v, 0);
+  const TaskId t = eng.add_task(rat(3, 19), 0, "T");
+  eng.set_tie_rank(t, 1);
+  eng.mark_absent(t, 4);
+  eng.request_weight_change(t, rat(2, 5), 8);  // rule O halts T_2 at 8
+  eng.run_until(20);
+  const std::string grid = render_allocation_grid(eng.task(t), 20);
+  EXPECT_NE(grid.find("HALT"), std::string::npos);
+  EXPECT_NE(grid.find("--"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pfr::pfair

@@ -1,0 +1,191 @@
+/// Tests for the util library: stats (Student-t CIs), RNG, thread pool,
+/// tables, CLI parsing.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <set>
+
+#include "util/cli.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/thread_pool.h"
+
+namespace pfr {
+namespace {
+
+// --- stats ---
+
+TEST(Stats, RunningStatsMeanVariance) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8U);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance(), 4.571428571, 1e-9);  // sample variance (n-1)
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(Stats, RegularizedIncompleteBetaKnownValues) {
+  EXPECT_NEAR(regularized_incomplete_beta(1.0, 1.0, 0.3), 0.3, 1e-12);
+  EXPECT_NEAR(regularized_incomplete_beta(2.0, 2.0, 0.5), 0.5, 1e-12);
+  EXPECT_NEAR(regularized_incomplete_beta(2.0, 3.0, 0.4), 0.5248, 1e-4);
+  EXPECT_DOUBLE_EQ(regularized_incomplete_beta(2.0, 3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(regularized_incomplete_beta(2.0, 3.0, 1.0), 1.0);
+}
+
+TEST(Stats, StudentTCriticalMatchesTables) {
+  // The paper's setting: 61 runs -> df = 60, 98% confidence -> 2.390.
+  EXPECT_NEAR(student_t_critical(60, 0.98), 2.390, 2e-3);
+  EXPECT_NEAR(student_t_critical(10, 0.95), 2.228, 2e-3);
+  EXPECT_NEAR(student_t_critical(1, 0.90), 6.314, 5e-3);
+  EXPECT_NEAR(student_t_critical(1000, 0.95), 1.962, 2e-3);
+}
+
+TEST(Stats, ConfidenceHalfWidth) {
+  RunningStats s;
+  for (int i = 0; i < 61; ++i) s.add(static_cast<double>(i % 2));  // sd~0.504
+  const double hw = s.confidence_half_width(0.98);
+  EXPECT_NEAR(hw, student_t_critical(60, 0.98) * s.stddev() / std::sqrt(61.0),
+              1e-12);
+  EXPECT_NEAR(hw, 2.390 * s.stddev() / std::sqrt(61.0), 1e-3);
+  RunningStats single;
+  single.add(1.0);
+  EXPECT_DOUBLE_EQ(single.confidence_half_width(0.98), 0.0);
+}
+
+// --- rng ---
+
+TEST(Rng, DeterministicForSeed) {
+  Xoshiro256 a{123};
+  Xoshiro256 b{123};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, StreamsAreIndependent) {
+  Xoshiro256 a = Xoshiro256::for_stream(7, 0);
+  Xoshiro256 b = Xoshiro256::for_stream(7, 1);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += (a() == b()) ? 1 : 0;
+  EXPECT_EQ(equal, 0);
+}
+
+TEST(Rng, Uniform01InRange) {
+  Xoshiro256 g{5};
+  for (int i = 0; i < 1000; ++i) {
+    const double u = g.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeInclusively) {
+  Xoshiro256 g{5};
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t v = g.uniform_int(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5U);
+}
+
+TEST(Rng, UniformMeanRoughlyCentered) {
+  Xoshiro256 g{17};
+  double sum = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) sum += g.uniform(10.0, 20.0);
+  EXPECT_NEAR(sum / kN, 15.0, 0.1);
+}
+
+// --- thread pool ---
+
+TEST(ThreadPool, RunsAllSubmittedJobs) {
+  ThreadPool pool{4};
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, ParallelForVisitsEachIndexOnce) {
+  ThreadPool pool{3};
+  std::vector<std::atomic<int>> hits(257);
+  parallel_for(pool, hits.size(), [&hits](std::size_t i) {
+    hits[i].fetch_add(1);
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ParallelForZeroIsNoop) {
+  ThreadPool pool{2};
+  parallel_for(pool, 0, [](std::size_t) { FAIL(); });
+}
+
+TEST(ThreadPool, WaitIdleThenReuse) {
+  ThreadPool pool{2};
+  std::atomic<int> count{0};
+  parallel_for(pool, 10, [&count](std::size_t) { count.fetch_add(1); });
+  parallel_for(pool, 10, [&count](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 20);
+}
+
+// --- table ---
+
+TEST(Table, RenderAlignsColumns) {
+  TextTable t{{"x", "long-header"}};
+  t.begin_row();
+  t.add("1");
+  t.add_double(2.5, 2);
+  t.begin_row();
+  t.add("100");
+  t.add_ci(3.0, 0.5, 1);
+  const std::string out = t.render();
+  EXPECT_NE(out.find("long-header"), std::string::npos);
+  EXPECT_NE(out.find("2.50"), std::string::npos);
+  EXPECT_NE(out.find("3.0 +/- 0.5"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2U);
+}
+
+TEST(Table, CsvOutput) {
+  TextTable t{{"a", "b"}};
+  t.begin_row();
+  t.add("1");
+  t.add("2");
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
+}
+
+// --- cli ---
+
+TEST(Cli, ParsesEqualsAndSpaceForms) {
+  const char* argv[] = {"prog", "--runs=5", "--speed", "2.9", "--verbose"};
+  CliArgs args{5, argv};
+  EXPECT_FALSE(args.error().has_value());
+  EXPECT_EQ(args.get_int("runs", 61), 5);
+  EXPECT_DOUBLE_EQ(args.get_double("speed", 0.0), 2.9);
+  EXPECT_TRUE(args.get_bool("verbose"));
+  EXPECT_EQ(args.get_int("slots", 1000), 1000);  // default
+  EXPECT_TRUE(args.unknown_flags().empty());
+}
+
+TEST(Cli, ReportsUnknownFlags) {
+  const char* argv[] = {"prog", "--tyop=1"};
+  CliArgs args{2, argv};
+  EXPECT_EQ(args.get_int("runs", 61), 61);
+  const auto unknown = args.unknown_flags();
+  ASSERT_EQ(unknown.size(), 1U);
+  EXPECT_EQ(unknown[0], "tyop");
+}
+
+TEST(Cli, RejectsPositionalArguments) {
+  const char* argv[] = {"prog", "oops"};
+  CliArgs args{2, argv};
+  EXPECT_TRUE(args.error().has_value());
+}
+
+}  // namespace
+}  // namespace pfr

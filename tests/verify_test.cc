@@ -1,0 +1,145 @@
+/// The independent schedule verifier, plus ready-queue ordering tests.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "pfair/pfair.h"
+#include "util/rng.h"
+
+namespace pfr::pfair {
+namespace {
+
+TEST(Verify, CleanRunHasNoViolations) {
+  EngineConfig cfg;
+  cfg.processors = 2;
+  Engine eng{cfg};
+  eng.add_task(rat(2, 5));
+  eng.add_task(rat(5, 16));
+  const TaskId c = eng.add_task(rat(3, 19));
+  eng.request_weight_change(c, rat(1, 3), 9);
+  eng.run_until(100);
+  const auto violations = verify_schedule(eng);
+  EXPECT_TRUE(violations.empty())
+      << (violations.empty() ? "" : violations.front().what);
+}
+
+TEST(Verify, ReweightStormRunVerifies) {
+  Xoshiro256 rng{77};
+  EngineConfig cfg;
+  cfg.processors = 4;
+  Engine eng{cfg};
+  std::vector<TaskId> ids;
+  for (int i = 0; i < 10; ++i) ids.push_back(eng.add_task(rat(1, 8)));
+  for (Slot t = 1; t < 300; ++t) {
+    for (const TaskId id : ids) {
+      if (rng.bernoulli(0.03)) {
+        eng.request_weight_change(id, Rational{rng.uniform_int(1, 12), 24},
+                                  t);
+      }
+    }
+  }
+  eng.run_until(300);
+  EXPECT_TRUE(schedule_ok(eng));
+}
+
+TEST(Verify, LeaveJoinRunVerifies) {
+  EngineConfig cfg;
+  cfg.processors = 2;
+  cfg.policy = ReweightPolicy::kLeaveJoin;
+  Engine eng{cfg};
+  const TaskId a = eng.add_task(rat(1, 4));
+  const TaskId b = eng.add_task(rat(1, 3));
+  eng.request_weight_change(a, rat(1, 2), 5);
+  eng.request_weight_change(b, rat(1, 6), 11);
+  eng.run_until(120);
+  EXPECT_TRUE(schedule_ok(eng));
+}
+
+TEST(Verify, OverloadedUnpolicedRunReportsTheorem2Violation) {
+  // Policing off + deliberate overload: misses happen, and the verifier's
+  // per-subtask checks still accept them because they are recorded; the
+  // Theorem 2 check does not fire because policing is off.
+  EngineConfig cfg;
+  cfg.processors = 1;
+  cfg.policing = PolicingMode::kOff;
+  Engine eng{cfg};
+  const TaskId a = eng.add_task(rat(1, 2));
+  const TaskId b = eng.add_task(rat(1, 2));
+  eng.add_task(rat(1, 3));
+  eng.run_until(60);
+  EXPECT_FALSE(eng.misses().empty());
+  EXPECT_TRUE(schedule_ok(eng));  // misses recorded -> consistent history
+  (void)a;
+  (void)b;
+}
+
+// --- ReadyQueue ---
+
+Pd2Priority prio(Slot d, int b, Slot gd, TaskId id) {
+  return Pd2Priority{d, b, gd, 0, id};
+}
+
+TEST(ReadyQueue, PopsInPd2PriorityOrder) {
+  ReadyQueue<int> q;
+  q.push(prio(10, 0, 0, 1), 1);
+  q.push(prio(8, 0, 0, 2), 2);
+  q.push(prio(8, 1, 0, 3), 3);
+  q.push(prio(8, 1, 12, 4), 4);
+  q.push(prio(8, 1, 9, 5), 5);
+  EXPECT_EQ(q.size(), 5U);
+  EXPECT_EQ(q.pop(), 4);  // d=8, b=1, latest group deadline
+  EXPECT_EQ(q.pop(), 5);
+  EXPECT_EQ(q.pop(), 3);
+  EXPECT_EQ(q.pop(), 2);  // b=0 loses to b=1 at the same deadline
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(ReadyQueue, MatchesSortOnRandomInput) {
+  Xoshiro256 rng{5};
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<std::pair<Pd2Priority, int>> items;
+    const int n = static_cast<int>(rng.uniform_int(1, 200));
+    for (int i = 0; i < n; ++i) {
+      items.emplace_back(prio(rng.uniform_int(0, 20),
+                              static_cast<int>(rng.uniform_int(0, 1)),
+                              rng.uniform_int(0, 30),
+                              static_cast<TaskId>(i)),
+                         i);
+    }
+    std::vector<std::pair<Pd2Priority, int>> sorted = items;
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto& a, const auto& b) {
+                return a.first.higher_than(b.first);
+              });
+    ReadyQueue<int> q;
+    q.assign(std::move(items));
+    for (const auto& [p, payload] : sorted) {
+      EXPECT_EQ(q.top().first, p);
+      EXPECT_EQ(q.pop(), payload);
+    }
+  }
+}
+
+TEST(ReadyQueue, AssignHeapifiesAndClearWorks) {
+  ReadyQueue<int> q;
+  std::vector<std::pair<Pd2Priority, int>> items;
+  for (int i = 0; i < 50; ++i) items.emplace_back(prio(50 - i, 0, 0, 0), i);
+  q.assign(std::move(items));
+  EXPECT_EQ(q.pop(), 49);  // smallest deadline was pushed last
+  q.clear();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(Pd2Priority, TotalOrderProperties) {
+  const Pd2Priority a = prio(3, 1, 0, 1);
+  const Pd2Priority b = prio(3, 1, 0, 2);
+  EXPECT_TRUE(a.higher_than(b));
+  EXPECT_FALSE(b.higher_than(a));
+  EXPECT_FALSE(a.higher_than(a));
+  EXPECT_EQ(a, a);
+}
+
+}  // namespace
+}  // namespace pfr::pfair

@@ -1,0 +1,235 @@
+/// Whisper substrate: geometry, the correlation cost model, scenario
+/// motion/occlusion, and workload generation.
+#include <gtest/gtest.h>
+
+#include "whisper/cost_model.h"
+#include "whisper/geometry.h"
+#include "whisper/scenario.h"
+#include "whisper/workload.h"
+
+namespace pfr::whisper {
+namespace {
+
+// --- geometry ---
+
+TEST(Geometry, PointSegmentDistance) {
+  EXPECT_DOUBLE_EQ(
+      point_segment_distance({0.0, 1.0}, {-1.0, 0.0}, {1.0, 0.0}), 1.0);
+  // Beyond the endpoint: distance to the endpoint, not the infinite line.
+  EXPECT_DOUBLE_EQ(
+      point_segment_distance({2.0, 0.0}, {-1.0, 0.0}, {1.0, 0.0}), 1.0);
+  EXPECT_DOUBLE_EQ(
+      point_segment_distance({0.5, 0.0}, {-1.0, 0.0}, {1.0, 0.0}), 0.0);
+  // Degenerate segment.
+  EXPECT_DOUBLE_EQ(point_segment_distance({3.0, 4.0}, {0.0, 0.0}, {0.0, 0.0}),
+                   5.0);
+}
+
+TEST(Geometry, SegmentDiscIntersection) {
+  const Vec2 c{0.5, 0.5};
+  // Straight through the center: occluded.
+  EXPECT_TRUE(segment_intersects_disc({0.0, 0.5}, {1.0, 0.5}, c, 0.025));
+  // Parallel but 10 cm off: clear of a 2.5 cm pole.
+  EXPECT_FALSE(segment_intersects_disc({0.0, 0.6}, {1.0, 0.6}, c, 0.025));
+  // Segment that stops short of the disc.
+  EXPECT_FALSE(segment_intersects_disc({0.0, 0.5}, {0.4, 0.5}, c, 0.025));
+}
+
+// --- cost model ---
+
+TEST(CostModel, WeightIncreasesWithDistance) {
+  const CostModelConfig cfg;
+  const Rational near = required_weight(cfg, 0.3, false);
+  const Rational far = required_weight(cfg, 0.9, false);
+  EXPECT_LT(near, far);
+}
+
+TEST(CostModel, OcclusionRaisesWeight) {
+  const CostModelConfig cfg;
+  const Rational clear = required_weight(cfg, 0.6, false);
+  const Rational occluded = required_weight(cfg, 0.6, true);
+  EXPECT_GT(occluded, clear);
+  // Occlusion is the order-of-magnitude event: at least 2x here.
+  EXPECT_GE(occluded, clear * 2);
+}
+
+TEST(CostModel, WeightsStayWithinWhisperBounds) {
+  const CostModelConfig cfg;
+  for (const double d : {0.05, 0.2, 0.45, 0.7, 0.96, 1.4}) {
+    for (const bool occ : {false, true}) {
+      const Rational w = required_weight(cfg, d, occ);
+      EXPECT_GT(w, Rational{});
+      EXPECT_LE(w, rat(1, 3));  // Whisper's stated cap
+      EXPECT_EQ(cfg.weight_denominator % w.den(), 0)
+          << "weight " << w << " not on the quantization grid";
+    }
+  }
+}
+
+TEST(CostModel, OpsScaleLinearlyWithSearchWindow) {
+  const CostModelConfig cfg;
+  const double near = correlation_ops_per_second(cfg, 0.3, false);
+  const double far = correlation_ops_per_second(cfg, 0.6, false);
+  EXPECT_GT(far, near);
+  EXPECT_DOUBLE_EQ(correlation_ops_per_second(cfg, 0.3, true),
+                   cfg.occlusion_factor * near);
+}
+
+TEST(CostModel, CorrelateFindsEmbeddedReference) {
+  std::vector<float> ref(64);
+  Xoshiro256 rng{11};
+  for (auto& v : ref) v = static_cast<float>(rng.uniform(-1.0, 1.0));
+  std::vector<float> signal(256, 0.0F);
+  const std::int64_t true_shift = 97;
+  for (std::size_t k = 0; k < ref.size(); ++k) {
+    signal[static_cast<std::size_t>(true_shift) + k] = ref[k];
+  }
+  EXPECT_EQ(correlate(ref, signal, 150), true_shift);
+}
+
+// --- scenario ---
+
+TEST(Scenario, SpeakersStayOnTheirOrbit) {
+  ScenarioConfig cfg;
+  cfg.orbit_radius = 0.3;
+  Xoshiro256 rng{3};
+  const Scenario sc{cfg, rng};
+  for (pfair::Slot t : {0, 100, 999}) {
+    for (int s = 0; s < sc.speaker_count(); ++s) {
+      const Vec2 p = sc.speaker_position(s, t);
+      EXPECT_NEAR(distance(p, Vec2{0.5, 0.5}), 0.3, 1e-12);
+    }
+  }
+}
+
+TEST(Scenario, AngularSpeedMatchesLinearSpeed) {
+  ScenarioConfig cfg;
+  cfg.orbit_radius = 0.25;
+  cfg.speed = 2.0;  // m/s -> 8 rad/s -> arc 2 mm per 1 ms slot
+  Xoshiro256 rng{3};
+  const Scenario sc{cfg, rng};
+  const Vec2 p0 = sc.speaker_position(0, 0);
+  const Vec2 p1 = sc.speaker_position(0, 1);
+  EXPECT_NEAR(distance(p0, p1), cfg.speed * cfg.quantum_seconds, 1e-5);
+}
+
+TEST(Scenario, OcclusionsHappenOverAFullRevolution) {
+  ScenarioConfig cfg;
+  cfg.orbit_radius = 0.25;
+  cfg.speed = 1.0;
+  Xoshiro256 rng{3};
+  const Scenario sc{cfg, rng};
+  // One revolution takes 2*pi*R/v = 1.57 s = 1571 slots; every pair must be
+  // occluded at some point (the speaker passes behind the pole) and clear
+  // at some point.
+  bool any_occluded = false;
+  bool any_clear = false;
+  for (pfair::Slot t = 0; t < 1600; ++t) {
+    const bool occ = sc.pair_occluded(0, 0, t);
+    any_occluded = any_occluded || occ;
+    any_clear = any_clear || !occ;
+  }
+  EXPECT_TRUE(any_occluded);
+  EXPECT_TRUE(any_clear);
+}
+
+TEST(Scenario, NoOcclusionsWhenPoleDisabled) {
+  ScenarioConfig cfg;
+  cfg.occlusions = false;
+  Xoshiro256 rng{3};
+  const Scenario sc{cfg, rng};
+  for (pfair::Slot t = 0; t < 2000; t += 10) {
+    for (int m = 0; m < 4; ++m) {
+      EXPECT_FALSE(sc.pair_occluded(0, m, t));
+    }
+  }
+}
+
+TEST(Scenario, InvalidGeometryThrows) {
+  Xoshiro256 rng{3};
+  ScenarioConfig inside_pole;
+  inside_pole.orbit_radius = 0.01;
+  EXPECT_THROW((Scenario{inside_pole, rng}), std::invalid_argument);
+  ScenarioConfig outside_room;
+  outside_room.orbit_radius = 0.6;
+  EXPECT_THROW((Scenario{outside_room, rng}), std::invalid_argument);
+}
+
+// --- workload ---
+
+WorkloadConfig default_workload() {
+  WorkloadConfig cfg;
+  cfg.scenario.speed = 2.0;
+  cfg.scenario.orbit_radius = 0.25;
+  return cfg;
+}
+
+TEST(Workload, OneTaskPerSpeakerMicrophonePair) {
+  const Workload w = generate_workload(default_workload(), 1, 0, 1000);
+  EXPECT_EQ(w.tasks.size(), 12U);  // 3 speakers x 4 microphones
+}
+
+TEST(Workload, GeneratesReweightEvents) {
+  const Workload w = generate_workload(default_workload(), 1, 0, 1000);
+  EXPECT_GT(w.total_events, 0);
+  for (const TaskTrace& t : w.tasks) {
+    EXPECT_GT(t.initial_weight, Rational{});
+    for (const auto& [slot, weight] : t.events) {
+      EXPECT_GE(slot, 1);
+      EXPECT_LT(slot, 1000);
+      EXPECT_LE(weight, rat(1, 3));
+    }
+  }
+}
+
+TEST(Workload, EventSlotsStrictlyIncreasePerTask) {
+  const Workload w = generate_workload(default_workload(), 1, 0, 1000);
+  for (const TaskTrace& t : w.tasks) {
+    for (std::size_t i = 1; i < t.events.size(); ++i) {
+      EXPECT_LT(t.events[i - 1].first, t.events[i].first);
+    }
+  }
+}
+
+TEST(Workload, DeterministicPerSeedAndRun) {
+  const Workload a = generate_workload(default_workload(), 9, 3, 500);
+  const Workload b = generate_workload(default_workload(), 9, 3, 500);
+  ASSERT_EQ(a.tasks.size(), b.tasks.size());
+  EXPECT_EQ(a.total_events, b.total_events);
+  for (std::size_t i = 0; i < a.tasks.size(); ++i) {
+    EXPECT_EQ(a.tasks[i].events, b.tasks[i].events);
+  }
+  const Workload c = generate_workload(default_workload(), 9, 4, 500);
+  EXPECT_NE(a.total_events, c.total_events);  // different run -> new phases
+}
+
+TEST(Workload, FasterSpeakersReweightMoreOften) {
+  WorkloadConfig slow = default_workload();
+  slow.scenario.speed = 0.5;
+  WorkloadConfig fast = default_workload();
+  fast.scenario.speed = 3.5;
+  std::int64_t slow_events = 0;
+  std::int64_t fast_events = 0;
+  for (std::uint64_t run = 0; run < 5; ++run) {
+    slow_events += generate_workload(slow, 1, run, 1000).total_events;
+    fast_events += generate_workload(fast, 1, run, 1000).total_events;
+  }
+  EXPECT_GT(fast_events, slow_events);
+}
+
+TEST(Workload, InstallAndRunUnderOiWithoutMisses) {
+  const Workload w = generate_workload(default_workload(), 1, 0, 400);
+  pfair::EngineConfig cfg;
+  cfg.processors = 4;
+  cfg.policy = pfair::ReweightPolicy::kOmissionIdeal;
+  cfg.validate = true;
+  pfair::Engine eng{cfg};
+  const auto ids = whisper::install_workload(eng, w);
+  EXPECT_EQ(ids.size(), 12U);
+  eng.run_until(400);
+  EXPECT_TRUE(eng.misses().empty());
+  EXPECT_LE(eng.total_scheduling_weight(), Rational{4});
+}
+
+}  // namespace
+}  // namespace pfr::whisper

@@ -1,0 +1,130 @@
+#include "pfair/windows.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "pfair/weight.h"
+
+namespace pfr::pfair {
+namespace {
+
+// --- Fig. 1(a): periodic task of weight 5/16 ---
+
+TEST(Windows, Fig1aPeriodicFiveSixteenths) {
+  const Rational w{5, 16};
+  // Windows [r, d): [0,4) [3,7) [6,10) [9,13) [12,16), then repeat shifted.
+  const std::vector<std::pair<Slot, Slot>> expected = {
+      {0, 4}, {3, 7}, {6, 10}, {9, 13}, {12, 16}};
+  for (SubtaskIndex i = 1; i <= 5; ++i) {
+    EXPECT_EQ(release_offset(i, w), expected[static_cast<std::size_t>(i - 1)].first)
+        << "subtask " << i;
+    EXPECT_EQ(deadline_offset(i, w),
+              expected[static_cast<std::size_t>(i - 1)].second)
+        << "subtask " << i;
+  }
+  // Paper: b(T_i) = 1 for 1 <= i <= 4 and b(T_5) = 0.
+  for (SubtaskIndex i = 1; i <= 4; ++i) EXPECT_EQ(b_bit(i, w), 1) << i;
+  EXPECT_EQ(b_bit(5, w), 0);
+  // r(T_6) = d(T_5) - b(T_5) = 16.
+  EXPECT_EQ(release_offset(6, w), deadline_offset(5, w) - b_bit(5, w));
+}
+
+TEST(Windows, Fig1aReleaseFollowsDeadlineMinusB) {
+  // Paper: r(T_2) = d(T_1) - b(T_1) = 4 - 1 = 3.
+  const Rational w{5, 16};
+  EXPECT_EQ(release_offset(2, w), 3);
+  EXPECT_EQ(deadline_offset(1, w) - b_bit(1, w), 3);
+}
+
+TEST(Windows, WeightTwoFifths) {
+  // Fig. 3(c): U of weight 2/5: windows [0,3) [2,5) [5,8); b = 1,0,1.
+  const Rational w{2, 5};
+  EXPECT_EQ(release_offset(1, w), 0);
+  EXPECT_EQ(deadline_offset(1, w), 3);
+  EXPECT_EQ(b_bit(1, w), 1);
+  EXPECT_EQ(release_offset(2, w), 2);
+  EXPECT_EQ(deadline_offset(2, w), 5);
+  EXPECT_EQ(b_bit(2, w), 0);
+  EXPECT_EQ(release_offset(3, w), 5);
+  EXPECT_EQ(deadline_offset(3, w), 8);
+  EXPECT_EQ(b_bit(3, w), 1);
+}
+
+TEST(Windows, IntegerReciprocalWeightHasZeroBBit) {
+  // w = 1/k: windows tile exactly, no overlap.
+  for (std::int64_t k = 2; k <= 40; ++k) {
+    const Rational w{1, k};
+    for (SubtaskIndex i = 1; i <= 5; ++i) {
+      EXPECT_EQ(b_bit(i, w), 0) << "w=1/" << k << " i=" << i;
+      EXPECT_EQ(window_length(i, w), k);
+    }
+  }
+}
+
+TEST(Windows, DeadlineFromReleaseMatchesEqnTwo) {
+  // Eqn. (2) with generation-local index q: d = r + ceil(q/w)-floor((q-1)/w).
+  const Rational w{3, 19};
+  EXPECT_EQ(deadline_from_release(8, 1, Rational{2, 5}), 11);  // Fig. 3(a) T_3
+  EXPECT_EQ(deadline_from_release(0, 1, w), 7);                // T_1 d=7
+  EXPECT_EQ(deadline_from_release(6, 2, w), 6 + 13 - 6);       // T_2 d=13
+}
+
+// --- Parameterized window invariants over a weight sweep ---
+
+class WindowInvariants : public ::testing::TestWithParam<Rational> {};
+
+TEST_P(WindowInvariants, ConsecutiveWindowsOverlapByAtMostB) {
+  const Rational w = GetParam();
+  for (SubtaskIndex i = 1; i <= 200; ++i) {
+    // r(T_{i+1}) = d(T_i) - b(T_i) in the absence of IS separations.
+    EXPECT_EQ(release_offset(i + 1, w), deadline_offset(i, w) - b_bit(i, w));
+  }
+}
+
+TEST_P(WindowInvariants, WindowLengthAtLeastTwoForLightTasks) {
+  const Rational w = GetParam();
+  ASSERT_TRUE(is_valid_weight(w));
+  for (SubtaskIndex i = 1; i <= 200; ++i) {
+    EXPECT_GE(window_length(i, w), 2);
+    // The proof uses: b-bit 1 implies window length >= 3 when w <= 1/2.
+    if (b_bit(i, w) == 1) {
+      EXPECT_GE(window_length(i, w), 3);
+    }
+  }
+}
+
+TEST_P(WindowInvariants, WindowsCoverLagBand) {
+  // Scheduling each T_i inside its window keeps |lag| < 1: equivalently
+  // i - 1 <= w * d(T_i) ... w * r(T_i) <= i - 1 etc.; check the defining
+  // inequalities floor/ceil satisfy.
+  const Rational w = GetParam();
+  for (SubtaskIndex i = 1; i <= 200; ++i) {
+    const Rational r{release_offset(i, w)};
+    const Rational d{deadline_offset(i, w)};
+    EXPECT_LE(w * r, Rational{i - 1});
+    EXPECT_GE(w * d, Rational{i});
+  }
+}
+
+TEST_P(WindowInvariants, BBitCountsMatchWeightNumerator) {
+  // Over one hyperperiod (p slots for w = e/p), exactly gcd-related number
+  // of subtasks have b = 0: those with i divisible by e/gcd pattern; check
+  // total subtasks per period = e and the last one has b = 0.
+  const Rational w = GetParam();
+  const std::int64_t e = w.num();
+  const std::int64_t p = w.den();
+  EXPECT_EQ(deadline_offset(e, w), p);
+  EXPECT_EQ(b_bit(e, w), 0);  // window e ends exactly at the period boundary
+}
+
+INSTANTIATE_TEST_SUITE_P(WeightSweep, WindowInvariants,
+                         ::testing::Values(Rational{1, 2}, Rational{5, 16},
+                                           Rational{3, 19}, Rational{2, 5},
+                                           Rational{3, 20}, Rational{1, 10},
+                                           Rational{7, 15}, Rational{13, 27},
+                                           Rational{1, 100}, Rational{49, 100},
+                                           Rational{17, 35}, Rational{3, 7}));
+
+}  // namespace
+}  // namespace pfr::pfair
