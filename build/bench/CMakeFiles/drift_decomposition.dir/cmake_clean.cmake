@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drift_decomposition.dir/drift_decomposition.cc.o"
+  "CMakeFiles/drift_decomposition.dir/drift_decomposition.cc.o.d"
+  "drift_decomposition"
+  "drift_decomposition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drift_decomposition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edf_comparison.dir/edf_comparison.cc.o"
+  "CMakeFiles/edf_comparison.dir/edf_comparison.cc.o.d"
+  "edf_comparison"
+  "edf_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edf_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_radius_alloc.dir/fig11_radius_alloc.cc.o"
+  "CMakeFiles/fig11_radius_alloc.dir/fig11_radius_alloc.cc.o.d"
+  "fig11_radius_alloc"
+  "fig11_radius_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_radius_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

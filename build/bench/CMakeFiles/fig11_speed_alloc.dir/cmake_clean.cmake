@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_speed_alloc.dir/fig11_speed_alloc.cc.o"
+  "CMakeFiles/fig11_speed_alloc.dir/fig11_speed_alloc.cc.o.d"
+  "fig11_speed_alloc"
+  "fig11_speed_alloc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_speed_alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

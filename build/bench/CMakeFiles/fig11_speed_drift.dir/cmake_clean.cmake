@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_speed_drift.dir/fig11_speed_drift.cc.o"
+  "CMakeFiles/fig11_speed_drift.dir/fig11_speed_drift.cc.o.d"
+  "fig11_speed_drift"
+  "fig11_speed_drift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_speed_drift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_scenarios.dir/fig6_scenarios.cc.o"
+  "CMakeFiles/fig6_scenarios.dir/fig6_scenarios.cc.o.d"
+  "fig6_scenarios"
+  "fig6_scenarios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_epdf_miss.dir/fig9_epdf_miss.cc.o"
+  "CMakeFiles/fig9_epdf_miss.dir/fig9_epdf_miss.cc.o.d"
+  "fig9_epdf_miss"
+  "fig9_epdf_miss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_epdf_miss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hybrid_tradeoff.dir/hybrid_tradeoff.cc.o"
+  "CMakeFiles/hybrid_tradeoff.dir/hybrid_tradeoff.cc.o.d"
+  "hybrid_tradeoff"
+  "hybrid_tradeoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hybrid_tradeoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

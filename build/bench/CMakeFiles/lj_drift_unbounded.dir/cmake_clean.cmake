@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lj_drift_unbounded.dir/lj_drift_unbounded.cc.o"
+  "CMakeFiles/lj_drift_unbounded.dir/lj_drift_unbounded.cc.o.d"
+  "lj_drift_unbounded"
+  "lj_drift_unbounded.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lj_drift_unbounded.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

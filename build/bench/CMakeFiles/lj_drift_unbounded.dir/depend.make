@@ -1,0 +1,2 @@
+# Empty dependencies file for lj_drift_unbounded.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overhead_micro.dir/overhead_micro.cc.o"
+  "CMakeFiles/overhead_micro.dir/overhead_micro.cc.o.d"
+  "overhead_micro"
+  "overhead_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overhead_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

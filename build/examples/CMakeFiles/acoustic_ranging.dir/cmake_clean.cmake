@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/acoustic_ranging.dir/acoustic_ranging.cpp.o"
+  "CMakeFiles/acoustic_ranging.dir/acoustic_ranging.cpp.o.d"
+  "acoustic_ranging"
+  "acoustic_ranging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/acoustic_ranging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

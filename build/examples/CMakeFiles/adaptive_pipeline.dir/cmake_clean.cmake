@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adaptive_pipeline.dir/adaptive_pipeline.cpp.o"
+  "CMakeFiles/adaptive_pipeline.dir/adaptive_pipeline.cpp.o.d"
+  "adaptive_pipeline"
+  "adaptive_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adaptive_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

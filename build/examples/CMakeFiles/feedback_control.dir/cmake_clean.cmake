@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feedback_control.dir/feedback_control.cpp.o"
+  "CMakeFiles/feedback_control.dir/feedback_control.cpp.o.d"
+  "feedback_control"
+  "feedback_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feedback_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

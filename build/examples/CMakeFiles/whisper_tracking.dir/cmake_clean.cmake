@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whisper_tracking.dir/whisper_tracking.cpp.o"
+  "CMakeFiles/whisper_tracking.dir/whisper_tracking.cpp.o.d"
+  "whisper_tracking"
+  "whisper_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whisper_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfr_edf.dir/edf.cc.o"
+  "CMakeFiles/pfr_edf.dir/edf.cc.o.d"
+  "libpfr_edf.a"
+  "libpfr_edf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfr_edf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

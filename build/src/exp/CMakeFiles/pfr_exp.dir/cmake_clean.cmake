@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfr_exp.dir/experiment.cc.o"
+  "CMakeFiles/pfr_exp.dir/experiment.cc.o.d"
+  "CMakeFiles/pfr_exp.dir/figures.cc.o"
+  "CMakeFiles/pfr_exp.dir/figures.cc.o.d"
+  "libpfr_exp.a"
+  "libpfr_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfr_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

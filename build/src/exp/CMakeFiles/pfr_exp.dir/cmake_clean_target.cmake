@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpfr_exp.a"
+)

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pfair/analysis.cc" "src/pfair/CMakeFiles/pfr_pfair.dir/analysis.cc.o" "gcc" "src/pfair/CMakeFiles/pfr_pfair.dir/analysis.cc.o.d"
+  "/root/repo/src/pfair/engine.cc" "src/pfair/CMakeFiles/pfr_pfair.dir/engine.cc.o" "gcc" "src/pfair/CMakeFiles/pfr_pfair.dir/engine.cc.o.d"
+  "/root/repo/src/pfair/epdf_projected.cc" "src/pfair/CMakeFiles/pfr_pfair.dir/epdf_projected.cc.o" "gcc" "src/pfair/CMakeFiles/pfr_pfair.dir/epdf_projected.cc.o.d"
+  "/root/repo/src/pfair/ideal.cc" "src/pfair/CMakeFiles/pfr_pfair.dir/ideal.cc.o" "gcc" "src/pfair/CMakeFiles/pfr_pfair.dir/ideal.cc.o.d"
+  "/root/repo/src/pfair/reweight.cc" "src/pfair/CMakeFiles/pfr_pfair.dir/reweight.cc.o" "gcc" "src/pfair/CMakeFiles/pfr_pfair.dir/reweight.cc.o.d"
+  "/root/repo/src/pfair/scenario_io.cc" "src/pfair/CMakeFiles/pfr_pfair.dir/scenario_io.cc.o" "gcc" "src/pfair/CMakeFiles/pfr_pfair.dir/scenario_io.cc.o.d"
+  "/root/repo/src/pfair/scheduler.cc" "src/pfair/CMakeFiles/pfr_pfair.dir/scheduler.cc.o" "gcc" "src/pfair/CMakeFiles/pfr_pfair.dir/scheduler.cc.o.d"
+  "/root/repo/src/pfair/theory_checks.cc" "src/pfair/CMakeFiles/pfr_pfair.dir/theory_checks.cc.o" "gcc" "src/pfair/CMakeFiles/pfr_pfair.dir/theory_checks.cc.o.d"
+  "/root/repo/src/pfair/timeseries.cc" "src/pfair/CMakeFiles/pfr_pfair.dir/timeseries.cc.o" "gcc" "src/pfair/CMakeFiles/pfr_pfair.dir/timeseries.cc.o.d"
+  "/root/repo/src/pfair/trace.cc" "src/pfair/CMakeFiles/pfr_pfair.dir/trace.cc.o" "gcc" "src/pfair/CMakeFiles/pfr_pfair.dir/trace.cc.o.d"
+  "/root/repo/src/pfair/verify.cc" "src/pfair/CMakeFiles/pfr_pfair.dir/verify.cc.o" "gcc" "src/pfair/CMakeFiles/pfr_pfair.dir/verify.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rational/CMakeFiles/pfr_rational.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

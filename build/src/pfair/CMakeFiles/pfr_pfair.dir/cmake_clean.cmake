@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfr_pfair.dir/analysis.cc.o"
+  "CMakeFiles/pfr_pfair.dir/analysis.cc.o.d"
+  "CMakeFiles/pfr_pfair.dir/engine.cc.o"
+  "CMakeFiles/pfr_pfair.dir/engine.cc.o.d"
+  "CMakeFiles/pfr_pfair.dir/epdf_projected.cc.o"
+  "CMakeFiles/pfr_pfair.dir/epdf_projected.cc.o.d"
+  "CMakeFiles/pfr_pfair.dir/ideal.cc.o"
+  "CMakeFiles/pfr_pfair.dir/ideal.cc.o.d"
+  "CMakeFiles/pfr_pfair.dir/reweight.cc.o"
+  "CMakeFiles/pfr_pfair.dir/reweight.cc.o.d"
+  "CMakeFiles/pfr_pfair.dir/scenario_io.cc.o"
+  "CMakeFiles/pfr_pfair.dir/scenario_io.cc.o.d"
+  "CMakeFiles/pfr_pfair.dir/scheduler.cc.o"
+  "CMakeFiles/pfr_pfair.dir/scheduler.cc.o.d"
+  "CMakeFiles/pfr_pfair.dir/theory_checks.cc.o"
+  "CMakeFiles/pfr_pfair.dir/theory_checks.cc.o.d"
+  "CMakeFiles/pfr_pfair.dir/timeseries.cc.o"
+  "CMakeFiles/pfr_pfair.dir/timeseries.cc.o.d"
+  "CMakeFiles/pfr_pfair.dir/trace.cc.o"
+  "CMakeFiles/pfr_pfair.dir/trace.cc.o.d"
+  "CMakeFiles/pfr_pfair.dir/verify.cc.o"
+  "CMakeFiles/pfr_pfair.dir/verify.cc.o.d"
+  "libpfr_pfair.a"
+  "libpfr_pfair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfr_pfair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

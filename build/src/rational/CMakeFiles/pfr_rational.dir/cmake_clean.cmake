@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfr_rational.dir/rational.cc.o"
+  "CMakeFiles/pfr_rational.dir/rational.cc.o.d"
+  "libpfr_rational.a"
+  "libpfr_rational.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfr_rational.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

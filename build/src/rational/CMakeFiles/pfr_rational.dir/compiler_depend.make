@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pfr_rational.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfr_util.dir/cli.cc.o"
+  "CMakeFiles/pfr_util.dir/cli.cc.o.d"
+  "CMakeFiles/pfr_util.dir/stats.cc.o"
+  "CMakeFiles/pfr_util.dir/stats.cc.o.d"
+  "CMakeFiles/pfr_util.dir/table.cc.o"
+  "CMakeFiles/pfr_util.dir/table.cc.o.d"
+  "CMakeFiles/pfr_util.dir/thread_pool.cc.o"
+  "CMakeFiles/pfr_util.dir/thread_pool.cc.o.d"
+  "libpfr_util.a"
+  "libpfr_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfr_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

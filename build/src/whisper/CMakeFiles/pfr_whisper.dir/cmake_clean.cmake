@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfr_whisper.dir/cost_model.cc.o"
+  "CMakeFiles/pfr_whisper.dir/cost_model.cc.o.d"
+  "CMakeFiles/pfr_whisper.dir/geometry.cc.o"
+  "CMakeFiles/pfr_whisper.dir/geometry.cc.o.d"
+  "CMakeFiles/pfr_whisper.dir/scenario.cc.o"
+  "CMakeFiles/pfr_whisper.dir/scenario.cc.o.d"
+  "CMakeFiles/pfr_whisper.dir/workload.cc.o"
+  "CMakeFiles/pfr_whisper.dir/workload.cc.o.d"
+  "libpfr_whisper.a"
+  "libpfr_whisper.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfr_whisper.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agis_test.dir/agis_test.cc.o"
+  "CMakeFiles/agis_test.dir/agis_test.cc.o.d"
+  "agis_test"
+  "agis_test.pdb"
+  "agis_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agis_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

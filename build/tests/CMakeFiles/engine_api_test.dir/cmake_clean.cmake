@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_api_test.dir/engine_api_test.cc.o"
+  "CMakeFiles/engine_api_test.dir/engine_api_test.cc.o.d"
+  "engine_api_test"
+  "engine_api_test.pdb"
+  "engine_api_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_api_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/epdf_projected_test.dir/epdf_projected_test.cc.o"
+  "CMakeFiles/epdf_projected_test.dir/epdf_projected_test.cc.o.d"
+  "epdf_projected_test"
+  "epdf_projected_test.pdb"
+  "epdf_projected_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/epdf_projected_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_test.dir/fig6_test.cc.o"
+  "CMakeFiles/fig6_test.dir/fig6_test.cc.o.d"
+  "fig6_test"
+  "fig6_test.pdb"
+  "fig6_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

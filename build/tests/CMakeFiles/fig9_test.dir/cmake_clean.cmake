@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_test.dir/fig9_test.cc.o"
+  "CMakeFiles/fig9_test.dir/fig9_test.cc.o.d"
+  "fig9_test"
+  "fig9_test.pdb"
+  "fig9_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

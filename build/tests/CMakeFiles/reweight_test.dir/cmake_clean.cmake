@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reweight_test.dir/reweight_test.cc.o"
+  "CMakeFiles/reweight_test.dir/reweight_test.cc.o.d"
+  "reweight_test"
+  "reweight_test.pdb"
+  "reweight_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reweight_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/theory_checks_test.dir/theory_checks_test.cc.o"
+  "CMakeFiles/theory_checks_test.dir/theory_checks_test.cc.o.d"
+  "theory_checks_test"
+  "theory_checks_test.pdb"
+  "theory_checks_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/theory_checks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

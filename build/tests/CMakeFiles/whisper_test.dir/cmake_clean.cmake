@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whisper_test.dir/whisper_test.cc.o"
+  "CMakeFiles/whisper_test.dir/whisper_test.cc.o.d"
+  "whisper_test"
+  "whisper_test.pdb"
+  "whisper_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whisper_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/rational_test[1]_include.cmake")
+include("/root/repo/build/tests/behavior_test[1]_include.cmake")
+include("/root/repo/build/tests/exhaustive_test[1]_include.cmake")
+include("/root/repo/build/tests/scenario_io_test[1]_include.cmake")
+include("/root/repo/build/tests/theory_checks_test[1]_include.cmake")
+include("/root/repo/build/tests/epdf_projected_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/windows_test[1]_include.cmake")
+include("/root/repo/build/tests/ideal_test[1]_include.cmake")
+include("/root/repo/build/tests/reweight_test[1]_include.cmake")
+include("/root/repo/build/tests/scheduler_test[1]_include.cmake")
+include("/root/repo/build/tests/fig6_test[1]_include.cmake")
+include("/root/repo/build/tests/fig8_test[1]_include.cmake")
+include("/root/repo/build/tests/fig9_test[1]_include.cmake")
+include("/root/repo/build/tests/agis_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/whisper_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_api_test[1]_include.cmake")
+include("/root/repo/build/tests/heavy_test[1]_include.cmake")
+include("/root/repo/build/tests/verify_test[1]_include.cmake")
+include("/root/repo/build/tests/edf_test[1]_include.cmake")
+include("/root/repo/build/tests/experiment_test[1]_include.cmake")
