@@ -8,23 +8,57 @@
 ///   --threads=N worker threads (default: hardware concurrency)
 ///   --quick     shorthand for --runs=5 --slots=300 (smoke mode)
 ///   --csv=PATH  also write the table as CSV
+///
+/// Observability (src/obs): each flag replays one replicate (run 0) of the
+/// bench's base configuration with the event/metrics layer attached --
+/// tracing never runs inside the replicated sweeps, so the tables above
+/// are unaffected.
+///   --trace=PATH         JSONL event stream (inspect with pfair-trace)
+///   --chrome-trace=PATH  trace_event JSON for chrome://tracing / Perfetto
+///   --metrics=PATH       counters + per-phase timings as JSON
 #pragma once
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
+#include <optional>
 #include <string>
 
 #include "exp/figures.h"
+#include "obs/chrome_trace_sink.h"
+#include "obs/jsonl_sink.h"
+#include "obs/metrics.h"
 #include "util/cli.h"
 #include "util/table.h"
 #include "util/thread_pool.h"
 
 namespace pfr::bench {
 
+/// Where to write the observability artifacts (all optional).
+struct ObsPaths {
+  std::string trace;         ///< --trace: JSONL event stream
+  std::string chrome_trace;  ///< --chrome-trace: chrome://tracing JSON
+  std::string metrics;       ///< --metrics: counters + phase timings JSON
+
+  [[nodiscard]] bool empty() const noexcept {
+    return trace.empty() && chrome_trace.empty() && metrics.empty();
+  }
+};
+
+/// Reads --trace/--chrome-trace/--metrics.
+inline ObsPaths parse_obs_paths(const CliArgs& cli) {
+  ObsPaths p;
+  p.trace = cli.get_string("trace", "");
+  p.chrome_trace = cli.get_string("chrome-trace", "");
+  p.metrics = cli.get_string("metrics", "");
+  return p;
+}
+
 struct BenchArgs {
   exp::Fig11Config fig;
   std::string csv_path;
   std::size_t threads{0};
+  ObsPaths obs;
 };
 
 /// Parses flags; exits with a message on errors or unknown flags.
@@ -42,6 +76,7 @@ inline BenchArgs parse_args(int argc, char** argv) {
       cli.get_int("seed", static_cast<std::int64_t>(out.fig.base.seed)));
   out.threads = static_cast<std::size_t>(cli.get_int("threads", 0));
   out.csv_path = cli.get_string("csv", "");
+  out.obs = parse_obs_paths(cli);
   if (cli.error()) {
     std::cerr << "argument error: " << *cli.error() << "\n";
     std::exit(2);
@@ -54,7 +89,99 @@ inline BenchArgs parse_args(int argc, char** argv) {
   return out;
 }
 
-/// Prints the table (and optionally CSV) with a title block.
+/// Prints where each artifact went and writes the metrics file.
+inline void report_artifacts(const ObsPaths& paths, std::int64_t events,
+                             const obs::MetricsRegistry& metrics) {
+  if (!paths.trace.empty()) {
+    std::cout << "trace (" << events << " events) written to " << paths.trace
+              << "\n";
+  }
+  if (!paths.chrome_trace.empty()) {
+    std::cout << "chrome trace written to " << paths.chrome_trace
+              << " (open in chrome://tracing or ui.perfetto.dev)\n";
+  }
+  if (!paths.metrics.empty()) {
+    std::ofstream out{paths.metrics};
+    if (!out) {
+      std::cerr << "failed to write " << paths.metrics << "\n";
+      std::exit(1);
+    }
+    out << metrics.to_json() << "\n";
+    std::cout << "metrics written to " << paths.metrics << "\n";
+  }
+}
+
+/// Observability for benches that drive their own Engine (the worked-example
+/// figures).  attach() the engine whose run should be captured before it
+/// runs, finish() it afterwards to flush and write the artifacts.  Exits
+/// with a message when a path cannot be opened.
+class ObsSession {
+ public:
+  explicit ObsSession(ObsPaths paths) : paths_(std::move(paths)) {
+    try {
+      if (!paths_.trace.empty()) tee_.attach(&jsonl_.emplace(paths_.trace));
+      if (!paths_.chrome_trace.empty()) {
+        tee_.attach(&chrome_.emplace(paths_.chrome_trace));
+      }
+    } catch (const std::exception& e) {
+      std::cerr << e.what() << "\n";
+      std::exit(1);
+    }
+  }
+
+  void attach(pfair::Engine& engine) {
+    if (!tee_.empty()) engine.set_event_sink(&tee_);
+    if (!paths_.metrics.empty()) engine.set_metrics(&metrics_);
+  }
+
+  void finish(pfair::Engine& engine) {
+    if (paths_.empty()) return;
+    if (!paths_.metrics.empty()) engine.export_metrics(metrics_);
+    tee_.flush();
+    report_artifacts(paths_,
+                     jsonl_.has_value() ? jsonl_->events_written() : 0,
+                     metrics_);
+  }
+
+ private:
+  ObsPaths paths_;
+  std::optional<obs::JsonlSink> jsonl_;
+  std::optional<obs::ChromeTraceSink> chrome_;
+  obs::TeeSink tee_;
+  obs::MetricsRegistry metrics_;
+};
+
+/// Replays one replicate (run 0) of `base` with the requested observability
+/// artifacts attached and writes them.  No-op when no path was given.
+inline void capture_observability(const exp::ExperimentConfig& base,
+                                  const ObsPaths& paths) {
+  if (paths.empty()) return;
+  std::optional<obs::JsonlSink> jsonl;
+  std::optional<obs::ChromeTraceSink> chrome;
+  obs::TeeSink tee;
+  try {
+    if (!paths.trace.empty()) tee.attach(&jsonl.emplace(paths.trace));
+    if (!paths.chrome_trace.empty()) {
+      tee.attach(&chrome.emplace(paths.chrome_trace));
+    }
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    std::exit(1);
+  }
+  obs::MetricsRegistry metrics;
+
+  exp::ExperimentConfig cfg = base;
+  cfg.trace_sink = tee.empty() ? nullptr : &tee;
+  cfg.metrics = &metrics;
+  (void)exp::run_whisper_once(cfg, /*run_index=*/0);
+
+  tee.flush();
+  report_artifacts(paths, jsonl.has_value() ? jsonl->events_written() : 0,
+                   metrics);
+}
+
+/// Prints the table (and optionally CSV) with a title block, then captures
+/// any requested observability artifacts.
 inline void emit(const std::string& title, const TextTable& table,
                  const BenchArgs& args) {
   std::cout << "# " << title << "\n"
@@ -71,6 +198,7 @@ inline void emit(const std::string& title, const TextTable& table,
     }
     std::cout << "csv written to " << args.csv_path << "\n";
   }
+  capture_observability(args.fig.base, args.obs);
 }
 
 }  // namespace pfr::bench

@@ -9,6 +9,7 @@
 #include <iostream>
 #include <vector>
 
+#include "bench_common.h"
 #include "pfair/pfair.h"
 #include "util/cli.h"
 #include "util/table.h"
@@ -23,6 +24,7 @@ int main(int argc, char** argv) {
   int runs = static_cast<int>(cli.get_int("runs", 15));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 2005));
   const std::string csv = cli.get_string("csv", "");
+  const bench::ObsPaths obs = bench::parse_obs_paths(cli);
   if (cli.get_bool("quick")) runs = 3;
   if (!cli.unknown_flags().empty()) {
     std::cerr << "unknown flag: --" << cli.unknown_flags().front() << "\n";
@@ -97,5 +99,12 @@ int main(int argc, char** argv) {
     std::cerr << "failed to write " << csv << "\n";
     return 1;
   }
+  // Traces replicate 0 at the canonical 2 m/s point of the sweep.
+  exp::ExperimentConfig obs_base;
+  obs_base.engine.processors = 4;
+  obs_base.slots = slots;
+  obs_base.seed = seed;
+  obs_base.workload.scenario.speed = 2.0;
+  bench::capture_observability(obs_base, obs);
   return 0;
 }

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.h"
 #include "edf/edf.h"
 #include "pfair/pfair.h"
 #include "util/cli.h"
@@ -97,6 +98,7 @@ int main(int argc, char** argv) {
   const double speed = cli.get_double("speed", 2.0);
   g_procs = static_cast<int>(cli.get_int("procs", 2));
   const std::string csv = cli.get_string("csv", "");
+  const bench::ObsPaths obs = bench::parse_obs_paths(cli);
   if (cli.get_bool("quick")) runs = 5;
   if (!cli.unknown_flags().empty()) {
     std::cerr << "unknown flag: --" << cli.unknown_flags().front() << "\n";
@@ -165,5 +167,13 @@ int main(int argc, char** argv) {
     std::cerr << "failed to write " << csv << "\n";
     return 1;
   }
+  // Traces the PD2-OI run of replicate 0 (the EDF simulators are not pfair
+  // engines and emit no events).
+  exp::ExperimentConfig obs_base;
+  obs_base.engine.processors = g_procs;
+  obs_base.slots = slots;
+  obs_base.seed = seed;
+  obs_base.workload.scenario.speed = speed;
+  bench::capture_observability(obs_base, obs);
   return 0;
 }

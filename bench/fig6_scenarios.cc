@@ -3,6 +3,7 @@
 /// (d), printing the schedules and the paper's drift values.
 #include <iostream>
 
+#include "bench_common.h"
 #include "pfair/pfair.h"
 #include "util/cli.h"
 
@@ -40,6 +41,9 @@ void report(const char* name, Engine& eng, TaskId t, Slot horizon,
 int main(int argc, char** argv) {
   const CliArgs cli{argc, argv};
   const bool show_schedule = cli.get_bool("schedule");
+  // --trace/--chrome-trace/--metrics capture scenario (b), the rule-O
+  // worked example (one engine per artifact set keeps the slot axis clean).
+  bench::ObsSession obs{bench::parse_obs_paths(cli)};
   (void)cli.unknown_flags();
 
   std::cout << "# Fig. 6: 19 tasks of weight 3/20 (set C) plus task T on "
@@ -57,11 +61,13 @@ int main(int argc, char** argv) {
   }
   {  // (b) rule O
     Engine eng = make_base(rat(3, 20), 1);
+    obs.attach(eng);
     const TaskId t = 19;
     eng.request_weight_change(t, rat(1, 2), 10);
     report("(b) T: 3/20 -> 1/2 at 10 via rule O (T_2 halted)", eng, t, 20,
            "1/2");
     if (show_schedule) std::cout << render_schedule(eng, 0, 20) << "\n";
+    obs.finish(eng);
   }
   {  // (c) rule I increase
     Engine eng = make_base(rat(3, 20), 0);

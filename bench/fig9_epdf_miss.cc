@@ -5,11 +5,22 @@
 #include <iostream>
 #include <vector>
 
+#include "bench_common.h"
 #include "pfair/pfair.h"
+#include "util/cli.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace pfr;
   using namespace pfr::pfair;
+
+  const CliArgs cli{argc, argv};
+  // Captures the PD2-OI contrast run (the projected-EPDF simulator is not
+  // a pfair engine and has no event stream).
+  bench::ObsSession obs{bench::parse_obs_paths(cli)};
+  if (!cli.unknown_flags().empty()) {
+    std::cerr << "unknown flag: --" << cli.unknown_flags().front() << "\n";
+    return 2;
+  }
 
   std::cout
       << "# Fig. 9 / Theorem 4: two processors.\n"
@@ -45,6 +56,7 @@ int main() {
   EngineConfig cfg;
   cfg.processors = 2;
   Engine eng{cfg};
+  obs.attach(eng);
   for (int i = 0; i < 10; ++i) eng.request_leave(eng.add_task(rat(1, 7)), 1);
   for (int i = 0; i < 2; ++i) eng.request_leave(eng.add_task(rat(1, 6)), 1);
   for (int i = 0; i < 2; ++i) eng.add_task(rat(1, 14), 6);
@@ -60,5 +72,6 @@ int main() {
   std::cout << "\nPD2-OI on the same system: misses = " << eng.misses().size()
             << ", worst |drift| among D = " << worst_drift.to_string()
             << "  (bounded by 2, Thm. 5)\n";
+  obs.finish(eng);
   return 0;
 }

@@ -7,6 +7,7 @@
 #include <iostream>
 #include <vector>
 
+#include "bench_common.h"
 #include "exp/experiment.h"
 #include "util/cli.h"
 #include "util/table.h"
@@ -29,6 +30,12 @@ struct Row {
   double pct_mean, pct_hw;
   double oi_fraction;
   double misses;
+  // EngineStats of the counted replicate: *why* the schemes' costs differ.
+  std::int64_t oi_events{0};
+  std::int64_t lj_events{0};
+  std::int64_t halts{0};
+  std::int64_t clamped{0};
+  std::int64_t rejected{0};
 };
 
 Row measure(const ExperimentConfig& base, const HybridPoint& p,
@@ -49,6 +56,11 @@ Row measure(const ExperimentConfig& base, const HybridPoint& p,
   r.pct_hw = b.avg_pct_of_ideal.confidence_half_width(base.confidence);
   r.oi_fraction = total > 0 ? static_cast<double>(one.oi_events) / total : 0;
   r.misses = b.misses.mean();
+  r.oi_events = one.oi_events;
+  r.lj_events = one.lj_events;
+  r.halts = one.halts;
+  r.clamped = one.clamped_requests;
+  r.rejected = one.rejected_requests;
   return r;
 }
 
@@ -68,6 +80,7 @@ int main(int argc, char** argv) {
     base.slots = 300;
   }
   const std::string csv = cli.get_string("csv", "");
+  const bench::ObsPaths obs = bench::parse_obs_paths(cli);
   if (!cli.unknown_flags().empty()) {
     std::cerr << "unknown flag: --" << cli.unknown_flags().front() << "\n";
     return 2;
@@ -88,7 +101,7 @@ int main(int argc, char** argv) {
 
   ThreadPool pool;
   TextTable table{{"scheme", "max drift", "% of ideal", "OI event fraction",
-                   "misses"}};
+                   "misses", "oi", "lj", "halts", "clamped", "rejected"}};
   for (const HybridPoint& p : points) {
     const Row r = measure(base, p, pool);
     table.begin_row();
@@ -97,6 +110,11 @@ int main(int argc, char** argv) {
     table.add_ci(r.pct_mean, r.pct_hw, 2);
     table.add_double(r.oi_fraction, 3);
     table.add_double(r.misses, 1);
+    table.add(std::to_string(r.oi_events));
+    table.add(std::to_string(r.lj_events));
+    table.add(std::to_string(r.halts));
+    table.add(std::to_string(r.clamped));
+    table.add(std::to_string(r.rejected));
   }
 
   std::cout << "# Hybrid OI/LJ reweighting: accuracy vs reweighting cost\n"
@@ -104,11 +122,16 @@ int main(int argc, char** argv) {
             << " m/s, radius=" << base.workload.scenario.orbit_radius
             << " m, runs=" << base.runs << ", slots=" << base.slots << "\n"
             << "# 'OI event fraction' = share of initiations handled by the\n"
-            << "# expensive fine-grained rules (rest fall back to leave/join)\n\n"
+            << "# expensive fine-grained rules (rest fall back to leave/join)\n"
+            << "# oi/lj/halts/clamped/rejected are EngineStats of replicate 0:\n"
+            << "# the per-scheme event mix behind the cost difference\n\n"
             << table.render() << "\n";
   if (!csv.empty() && !table.write_csv(csv)) {
     std::cerr << "failed to write " << csv << "\n";
     return 1;
   }
+  // Observability replay uses the base config (pure scheme endpoints above
+  // reconfigure the policy; the flags trace whatever `base` selects).
+  bench::capture_observability(base, obs);
   return 0;
 }

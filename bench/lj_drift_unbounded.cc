@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <iostream>
 
+#include "bench_common.h"
 #include "pfair/pfair.h"
 #include "util/cli.h"
 #include "util/table.h"
@@ -31,6 +32,8 @@ int main(int argc, char** argv) {
   const CliArgs cli{argc, argv};
   const std::int64_t max_c = cli.get_int("max-c", 256);
   const std::string csv = cli.get_string("csv", "");
+  // Captures the concrete Fig. 8 instance printed at the end.
+  bench::ObsSession obs{bench::parse_obs_paths(cli)};
   if (!cli.unknown_flags().empty()) {
     std::cerr << "unknown flag: --" << cli.unknown_flags().front() << "\n";
     return 2;
@@ -58,11 +61,13 @@ int main(int argc, char** argv) {
   Engine eng{cfg};
   for (int i = 0; i < 35; ++i) eng.add_task(rat(1, 10));
   const TaskId t = eng.add_task(rat(1, 10), 0, "T");
+  obs.attach(eng);
   eng.request_weight_change(t, rat(1, 2), 4);
   eng.run_until(20);
   std::cout << "Fig. 8 instance (M=4, 35 x 1/10, T: 1/10 -> 1/2 at t=4, "
             << "PD2-LJ): drift(T) = " << eng.drift(t).to_string()
             << "  (paper: 24/10)\n";
+  obs.finish(eng);
 
   if (!csv.empty() && !table.write_csv(csv)) {
     std::cerr << "failed to write " << csv << "\n";

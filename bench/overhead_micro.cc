@@ -11,6 +11,7 @@
 
 #include <vector>
 
+#include "obs/sink.h"
 #include "pfair/pfair.h"
 #include "pfair/ready_queue.h"
 #include "util/rng.h"
@@ -20,6 +21,32 @@ namespace {
 
 using namespace pfr;
 using namespace pfr::pfair;
+
+/// Publishes the reweighting-related EngineStats next to the timings, so a
+/// report shows *what* each run did (how many expensive OI events vs cheap
+/// LJ events) alongside how long it took.
+void export_stats_counters(benchmark::State& state, const Engine& eng) {
+  const EngineStats& s = eng.stats();
+  state.counters["oi"] = static_cast<double>(s.oi_events);
+  state.counters["lj"] = static_cast<double>(s.lj_events);
+  state.counters["halts"] = static_cast<double>(s.halts);
+  state.counters["clamped"] = static_cast<double>(s.clamped_requests);
+  state.counters["rejected"] = static_cast<double>(s.rejected_requests);
+}
+
+/// Sink that only counts: the cheapest possible consumer, isolating the
+/// engine-side cost of having tracing enabled.
+class CountingSink final : public obs::EventSink {
+ public:
+  void on_event(const obs::TraceEvent& event) override {
+    (void)event;
+    ++count_;
+  }
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+
+ private:
+  std::uint64_t count_{0};
+};
 
 /// Builds a system of n tasks with total weight <= 0.9*M on M processors.
 Engine make_system(int n, int m, ReweightPolicy policy) {
@@ -62,6 +89,7 @@ void BM_ReweightOnce(benchmark::State& state) {
     ++t;
   }
   state.SetItemsProcessed(state.iterations());
+  export_stats_counters(state, eng);
 }
 BENCHMARK(BM_ReweightOnce)
     ->Iterations(20000)
@@ -74,6 +102,7 @@ void BM_SimultaneousReweights(benchmark::State& state) {
   // All N tasks reweight in the same slot: the Omega(max(N, M log N)) case.
   const int n = static_cast<int>(state.range(0));
   const auto policy = static_cast<ReweightPolicy>(state.range(1));
+  EngineStats last{};
   for (auto _ : state) {
     state.PauseTiming();
     Engine eng = make_system(n, 4, policy);
@@ -85,8 +114,14 @@ void BM_SimultaneousReweights(benchmark::State& state) {
     state.ResumeTiming();
     eng.step();  // processes all N initiations
     benchmark::DoNotOptimize(eng.stats().initiations);
+    last = eng.stats();
   }
   state.SetItemsProcessed(state.iterations() * n);
+  state.counters["oi"] = static_cast<double>(last.oi_events);
+  state.counters["lj"] = static_cast<double>(last.lj_events);
+  state.counters["halts"] = static_cast<double>(last.halts);
+  state.counters["clamped"] = static_cast<double>(last.clamped_requests);
+  state.counters["rejected"] = static_cast<double>(last.rejected_requests);
 }
 BENCHMARK(BM_SimultaneousReweights)
     ->Args({16, static_cast<int>(ReweightPolicy::kLeaveJoin)})
@@ -105,6 +140,23 @@ void BM_WhisperSlot(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_WhisperSlot)->Iterations(20000);
+
+void BM_WhisperSlotTraced(benchmark::State& state) {
+  // Same system as BM_WhisperSlot but with an event sink attached: the
+  // delta between the two is the full cost of tracing (event construction
+  // + virtual dispatch).  BM_WhisperSlot itself bounds the disabled-path
+  // cost, which is a single branch per emission site.
+  Engine eng = make_system(12, 4, ReweightPolicy::kOmissionIdeal);
+  CountingSink sink;
+  eng.set_event_sink(&sink);
+  for (auto _ : state) {
+    eng.step();
+    benchmark::DoNotOptimize(eng.now());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["events"] = static_cast<double>(sink.count());
+}
+BENCHMARK(BM_WhisperSlotTraced)->Iterations(20000);
 
 void BM_ReadyQueuePushPop(benchmark::State& state) {
   // O(log N) queue operations backing the paper's complexity claims:

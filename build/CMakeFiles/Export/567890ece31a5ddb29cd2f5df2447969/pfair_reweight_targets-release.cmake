@@ -1,0 +1,79 @@
+#----------------------------------------------------------------
+# Generated CMake target import file for configuration "Release".
+#----------------------------------------------------------------
+
+# Commands may need to know the format version.
+set(CMAKE_IMPORT_FILE_VERSION 1)
+
+# Import target "pfair_reweight::pfr_rational" for configuration "Release"
+set_property(TARGET pfair_reweight::pfr_rational APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(pfair_reweight::pfr_rational PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libpfr_rational.a"
+  )
+
+list(APPEND _cmake_import_check_targets pfair_reweight::pfr_rational )
+list(APPEND _cmake_import_check_files_for_pfair_reweight::pfr_rational "${_IMPORT_PREFIX}/lib/libpfr_rational.a" )
+
+# Import target "pfair_reweight::pfr_util" for configuration "Release"
+set_property(TARGET pfair_reweight::pfr_util APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(pfair_reweight::pfr_util PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libpfr_util.a"
+  )
+
+list(APPEND _cmake_import_check_targets pfair_reweight::pfr_util )
+list(APPEND _cmake_import_check_files_for_pfair_reweight::pfr_util "${_IMPORT_PREFIX}/lib/libpfr_util.a" )
+
+# Import target "pfair_reweight::pfr_obs" for configuration "Release"
+set_property(TARGET pfair_reweight::pfr_obs APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(pfair_reweight::pfr_obs PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libpfr_obs.a"
+  )
+
+list(APPEND _cmake_import_check_targets pfair_reweight::pfr_obs )
+list(APPEND _cmake_import_check_files_for_pfair_reweight::pfr_obs "${_IMPORT_PREFIX}/lib/libpfr_obs.a" )
+
+# Import target "pfair_reweight::pfr_pfair" for configuration "Release"
+set_property(TARGET pfair_reweight::pfr_pfair APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(pfair_reweight::pfr_pfair PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libpfr_pfair.a"
+  )
+
+list(APPEND _cmake_import_check_targets pfair_reweight::pfr_pfair )
+list(APPEND _cmake_import_check_files_for_pfair_reweight::pfr_pfair "${_IMPORT_PREFIX}/lib/libpfr_pfair.a" )
+
+# Import target "pfair_reweight::pfr_edf" for configuration "Release"
+set_property(TARGET pfair_reweight::pfr_edf APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(pfair_reweight::pfr_edf PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libpfr_edf.a"
+  )
+
+list(APPEND _cmake_import_check_targets pfair_reweight::pfr_edf )
+list(APPEND _cmake_import_check_files_for_pfair_reweight::pfr_edf "${_IMPORT_PREFIX}/lib/libpfr_edf.a" )
+
+# Import target "pfair_reweight::pfr_whisper" for configuration "Release"
+set_property(TARGET pfair_reweight::pfr_whisper APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(pfair_reweight::pfr_whisper PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libpfr_whisper.a"
+  )
+
+list(APPEND _cmake_import_check_targets pfair_reweight::pfr_whisper )
+list(APPEND _cmake_import_check_files_for_pfair_reweight::pfr_whisper "${_IMPORT_PREFIX}/lib/libpfr_whisper.a" )
+
+# Import target "pfair_reweight::pfr_exp" for configuration "Release"
+set_property(TARGET pfair_reweight::pfr_exp APPEND PROPERTY IMPORTED_CONFIGURATIONS RELEASE)
+set_target_properties(pfair_reweight::pfr_exp PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELEASE "CXX"
+  IMPORTED_LOCATION_RELEASE "${_IMPORT_PREFIX}/lib/libpfr_exp.a"
+  )
+
+list(APPEND _cmake_import_check_targets pfair_reweight::pfr_exp )
+list(APPEND _cmake_import_check_files_for_pfair_reweight::pfr_exp "${_IMPORT_PREFIX}/lib/libpfr_exp.a" )
+
+# Commands beyond this point should not need to know the version.
+set(CMAKE_IMPORT_FILE_VERSION)

@@ -25,6 +25,16 @@ set_target_properties(pfair_reweight::pfr_util PROPERTIES
 list(APPEND _cmake_import_check_targets pfair_reweight::pfr_util )
 list(APPEND _cmake_import_check_files_for_pfair_reweight::pfr_util "${_IMPORT_PREFIX}/lib/libpfr_util.a" )
 
+# Import target "pfair_reweight::pfr_obs" for configuration "RelWithDebInfo"
+set_property(TARGET pfair_reweight::pfr_obs APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
+set_target_properties(pfair_reweight::pfr_obs PROPERTIES
+  IMPORTED_LINK_INTERFACE_LANGUAGES_RELWITHDEBINFO "CXX"
+  IMPORTED_LOCATION_RELWITHDEBINFO "${_IMPORT_PREFIX}/lib/libpfr_obs.a"
+  )
+
+list(APPEND _cmake_import_check_targets pfair_reweight::pfr_obs )
+list(APPEND _cmake_import_check_files_for_pfair_reweight::pfr_obs "${_IMPORT_PREFIX}/lib/libpfr_obs.a" )
+
 # Import target "pfair_reweight::pfr_pfair" for configuration "RelWithDebInfo"
 set_property(TARGET pfair_reweight::pfr_pfair APPEND PROPERTY IMPORTED_CONFIGURATIONS RELWITHDEBINFO)
 set_target_properties(pfair_reweight::pfr_pfair PROPERTIES

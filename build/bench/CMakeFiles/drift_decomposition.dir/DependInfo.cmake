@@ -17,6 +17,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/whisper/CMakeFiles/pfr_whisper.dir/DependInfo.cmake"
   "/root/repo/build/src/edf/CMakeFiles/pfr_edf.dir/DependInfo.cmake"
   "/root/repo/build/src/pfair/CMakeFiles/pfr_pfair.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/pfr_obs.dir/DependInfo.cmake"
   "/root/repo/build/src/util/CMakeFiles/pfr_util.dir/DependInfo.cmake"
   "/root/repo/build/src/rational/CMakeFiles/pfr_rational.dir/DependInfo.cmake"
   )

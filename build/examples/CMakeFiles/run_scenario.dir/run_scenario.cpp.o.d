@@ -157,8 +157,10 @@ examples/CMakeFiles/run_scenario.dir/run_scenario.cpp.o: \
  /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
  /usr/include/c++/12/bits/fstream.tcc /usr/include/c++/12/iostream \
+ /usr/include/c++/12/optional \
+ /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/sstream /usr/include/c++/12/bits/sstream.tcc \
- /root/repo/src/pfair/scenario_io.h /usr/include/c++/12/map \
+ /root/repo/src/obs/chrome_trace_sink.h /usr/include/c++/12/map \
  /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/ext/aligned_buffer.h \
  /usr/include/c++/12/bits/node_handle.h \
@@ -204,25 +206,30 @@ examples/CMakeFiles/run_scenario.dir/run_scenario.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/vector \
+ /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/set \
+ /usr/include/c++/12/bits/stl_set.h \
+ /usr/include/c++/12/bits/stl_multiset.h /usr/include/c++/12/vector \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/pfair/engine.h \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/obs/sink.h \
+ /root/repo/src/obs/event.h /root/repo/src/pfair/types.h \
+ /usr/include/c++/12/limits /root/repo/src/rational/rational.h \
+ /usr/include/c++/12/numeric /usr/include/c++/12/bits/stl_numeric.h \
+ /usr/include/c++/12/pstl/glue_numeric_defs.h \
+ /root/repo/src/obs/jsonl_sink.h /root/repo/src/obs/metrics.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/pfair/scenario_io.h /root/repo/src/pfair/engine.h \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h \
- /root/repo/src/pfair/priority.h /root/repo/src/pfair/types.h \
- /usr/include/c++/12/limits /root/repo/src/rational/rational.h \
- /usr/include/c++/12/numeric /usr/include/c++/12/bits/stl_numeric.h \
- /usr/include/c++/12/pstl/glue_numeric_defs.h /root/repo/src/pfair/task.h \
- /usr/include/c++/12/optional /usr/include/c++/12/set \
- /usr/include/c++/12/bits/stl_set.h \
- /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/pfair/subtask.h \
- /root/repo/src/pfair/weight.h /root/repo/src/pfair/timeseries.h \
- /root/repo/src/pfair/trace.h /root/repo/src/util/cli.h
+ /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/obs/tracer.h \
+ /root/repo/src/pfair/priority.h /root/repo/src/pfair/task.h \
+ /root/repo/src/pfair/subtask.h /root/repo/src/pfair/weight.h \
+ /root/repo/src/pfair/timeseries.h /root/repo/src/pfair/trace.h \
+ /root/repo/src/util/cli.h

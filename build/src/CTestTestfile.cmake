@@ -6,6 +6,7 @@
 # testing this directory and lists subdirectories to be tested as well.
 subdirs("rational")
 subdirs("util")
+subdirs("obs")
 subdirs("pfair")
 subdirs("edf")
 subdirs("whisper")

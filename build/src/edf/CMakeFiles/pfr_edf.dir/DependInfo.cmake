@@ -15,6 +15,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/pfair/CMakeFiles/pfr_pfair.dir/DependInfo.cmake"
   "/root/repo/build/src/rational/CMakeFiles/pfr_rational.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/pfr_obs.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/obs/trace_tool.cc" "src/obs/CMakeFiles/pfair-trace.dir/trace_tool.cc.o" "gcc" "src/obs/CMakeFiles/pfair-trace.dir/trace_tool.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/obs/CMakeFiles/pfr_obs.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/pfr_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/rational/CMakeFiles/pfr_rational.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfair-trace.dir/trace_tool.cc.o"
+  "CMakeFiles/pfair-trace.dir/trace_tool.cc.o.d"
+  "pfair-trace"
+  "pfair-trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfair-trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

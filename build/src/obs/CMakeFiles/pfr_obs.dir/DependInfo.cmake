@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/obs/chrome_trace_sink.cc" "src/obs/CMakeFiles/pfr_obs.dir/chrome_trace_sink.cc.o" "gcc" "src/obs/CMakeFiles/pfr_obs.dir/chrome_trace_sink.cc.o.d"
+  "/root/repo/src/obs/json.cc" "src/obs/CMakeFiles/pfr_obs.dir/json.cc.o" "gcc" "src/obs/CMakeFiles/pfr_obs.dir/json.cc.o.d"
+  "/root/repo/src/obs/jsonl_sink.cc" "src/obs/CMakeFiles/pfr_obs.dir/jsonl_sink.cc.o" "gcc" "src/obs/CMakeFiles/pfr_obs.dir/jsonl_sink.cc.o.d"
+  "/root/repo/src/obs/metrics.cc" "src/obs/CMakeFiles/pfr_obs.dir/metrics.cc.o" "gcc" "src/obs/CMakeFiles/pfr_obs.dir/metrics.cc.o.d"
+  "/root/repo/src/obs/trace_analysis.cc" "src/obs/CMakeFiles/pfr_obs.dir/trace_analysis.cc.o" "gcc" "src/obs/CMakeFiles/pfr_obs.dir/trace_analysis.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rational/CMakeFiles/pfr_rational.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pfr_obs.dir/chrome_trace_sink.cc.o"
+  "CMakeFiles/pfr_obs.dir/chrome_trace_sink.cc.o.d"
+  "CMakeFiles/pfr_obs.dir/json.cc.o"
+  "CMakeFiles/pfr_obs.dir/json.cc.o.d"
+  "CMakeFiles/pfr_obs.dir/jsonl_sink.cc.o"
+  "CMakeFiles/pfr_obs.dir/jsonl_sink.cc.o.d"
+  "CMakeFiles/pfr_obs.dir/metrics.cc.o"
+  "CMakeFiles/pfr_obs.dir/metrics.cc.o.d"
+  "CMakeFiles/pfr_obs.dir/trace_analysis.cc.o"
+  "CMakeFiles/pfr_obs.dir/trace_analysis.cc.o.d"
+  "libpfr_obs.a"
+  "libpfr_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pfr_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -210,14 +210,19 @@ src/pfair/CMakeFiles/pfr_pfair.dir/scenario_io.cc.o: \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h \
- /root/repo/src/pfair/priority.h /root/repo/src/pfair/types.h \
- /usr/include/c++/12/limits /root/repo/src/rational/rational.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/obs/metrics.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/limits \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/obs/tracer.h \
+ /root/repo/src/obs/sink.h /root/repo/src/obs/event.h \
+ /root/repo/src/pfair/types.h /root/repo/src/rational/rational.h \
  /usr/include/c++/12/numeric /usr/include/c++/12/bits/stl_numeric.h \
- /usr/include/c++/12/pstl/glue_numeric_defs.h /root/repo/src/pfair/task.h \
+ /usr/include/c++/12/pstl/glue_numeric_defs.h \
+ /root/repo/src/pfair/priority.h /root/repo/src/pfair/task.h \
  /usr/include/c++/12/optional /usr/include/c++/12/set \
  /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/pfair/subtask.h \
- /root/repo/src/pfair/weight.h /usr/include/c++/12/charconv \
- /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/sstream /usr/include/c++/12/bits/sstream.tcc
+ /root/repo/src/pfair/weight.h /usr/include/c++/12/charconv

@@ -293,17 +293,21 @@ tests/CMakeFiles/experiment_test.dir/experiment_test.cc.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/exp/experiment.h /root/repo/src/pfair/engine.h \
- /root/repo/src/pfair/priority.h /root/repo/src/pfair/types.h \
+ /root/repo/src/exp/experiment.h /root/repo/src/obs/metrics.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /root/repo/src/obs/sink.h \
+ /root/repo/src/obs/event.h /root/repo/src/pfair/types.h \
  /root/repo/src/rational/rational.h /usr/include/c++/12/numeric \
  /usr/include/c++/12/bits/stl_numeric.h \
- /usr/include/c++/12/pstl/glue_numeric_defs.h /root/repo/src/pfair/task.h \
+ /usr/include/c++/12/pstl/glue_numeric_defs.h \
+ /root/repo/src/pfair/engine.h /root/repo/src/obs/tracer.h \
+ /root/repo/src/pfair/priority.h /root/repo/src/pfair/task.h \
  /root/repo/src/pfair/subtask.h /root/repo/src/pfair/weight.h \
  /root/repo/src/util/stats.h /root/repo/src/util/thread_pool.h \
- /usr/include/c++/12/condition_variable /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
- /usr/include/c++/12/stop_token /usr/include/c++/12/bits/std_thread.h \
- /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/bits/std_thread.h /usr/include/c++/12/semaphore \
+ /usr/include/c++/12/bits/semaphore_base.h \
  /usr/include/c++/12/bits/atomic_timed_wait.h \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \

@@ -297,10 +297,13 @@ tests/CMakeFiles/fig8_test.dir/fig8_test.cc.o: \
  /root/repo/src/pfair/types.h /root/repo/src/rational/rational.h \
  /usr/include/c++/12/numeric /usr/include/c++/12/bits/stl_numeric.h \
  /usr/include/c++/12/pstl/glue_numeric_defs.h \
- /root/repo/src/pfair/engine.h /root/repo/src/pfair/priority.h \
- /root/repo/src/pfair/task.h /root/repo/src/pfair/subtask.h \
- /root/repo/src/pfair/weight.h /root/repo/src/pfair/epdf_projected.h \
- /root/repo/src/pfair/ready_queue.h /root/repo/src/pfair/scenario_io.h \
- /root/repo/src/pfair/theory_checks.h /root/repo/src/pfair/timeseries.h \
- /root/repo/src/pfair/trace.h /root/repo/src/pfair/verify.h \
- /root/repo/src/pfair/windows.h
+ /root/repo/src/pfair/engine.h /root/repo/src/obs/metrics.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /root/repo/src/obs/tracer.h \
+ /root/repo/src/obs/sink.h /root/repo/src/obs/event.h \
+ /root/repo/src/pfair/priority.h /root/repo/src/pfair/task.h \
+ /root/repo/src/pfair/subtask.h /root/repo/src/pfair/weight.h \
+ /root/repo/src/pfair/epdf_projected.h /root/repo/src/pfair/ready_queue.h \
+ /root/repo/src/pfair/scenario_io.h /root/repo/src/pfair/theory_checks.h \
+ /root/repo/src/pfair/timeseries.h /root/repo/src/pfair/trace.h \
+ /root/repo/src/pfair/verify.h /root/repo/src/pfair/windows.h

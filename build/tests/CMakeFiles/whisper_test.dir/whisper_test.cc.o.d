@@ -321,6 +321,9 @@ tests/CMakeFiles/whisper_test.dir/whisper_test.cc.o: \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
  /root/repo/src/whisper/scenario.h /root/repo/src/pfair/types.h \
  /root/repo/src/util/rng.h /root/repo/src/whisper/workload.h \
- /root/repo/src/pfair/engine.h /root/repo/src/pfair/priority.h \
- /root/repo/src/pfair/task.h /root/repo/src/pfair/subtask.h \
- /root/repo/src/pfair/weight.h
+ /root/repo/src/pfair/engine.h /root/repo/src/obs/metrics.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /root/repo/src/obs/tracer.h \
+ /root/repo/src/obs/sink.h /root/repo/src/obs/event.h \
+ /root/repo/src/pfair/priority.h /root/repo/src/pfair/task.h \
+ /root/repo/src/pfair/subtask.h /root/repo/src/pfair/weight.h

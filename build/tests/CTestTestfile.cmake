@@ -27,3 +27,5 @@ include("/root/repo/build/tests/heavy_test[1]_include.cmake")
 include("/root/repo/build/tests/verify_test[1]_include.cmake")
 include("/root/repo/build/tests/edf_test[1]_include.cmake")
 include("/root/repo/build/tests/experiment_test[1]_include.cmake")
+include("/root/repo/build/tests/obs_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_render_test[1]_include.cmake")

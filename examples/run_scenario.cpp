@@ -1,14 +1,19 @@
 /// \file run_scenario.cpp
 /// \brief Runs a scenario described in the text format of scenario_io.h,
 /// prints the schedule and per-task summaries, and optionally exports a
-/// per-slot metrics CSV.
+/// per-slot metrics CSV plus structured observability artifacts.
 ///
 ///   ./examples/run_scenario --file=scenario.txt [--csv=metrics.csv]
+///       [--trace=out.jsonl] [--chrome-trace=out.json] [--metrics=m.json]
 ///   ./examples/run_scenario            # runs a built-in demo (Fig. 6(b))
 #include <fstream>
 #include <iostream>
+#include <optional>
 #include <sstream>
 
+#include "obs/chrome_trace_sink.h"
+#include "obs/jsonl_sink.h"
+#include "obs/metrics.h"
 #include "pfair/scenario_io.h"
 #include "pfair/timeseries.h"
 #include "pfair/trace.h"
@@ -52,6 +57,9 @@ int main(int argc, char** argv) {
   const CliArgs cli{argc, argv};
   const std::string file = cli.get_string("file", "");
   const std::string csv = cli.get_string("csv", "");
+  const std::string trace_path = cli.get_string("trace", "");
+  const std::string chrome_path = cli.get_string("chrome-trace", "");
+  const std::string metrics_path = cli.get_string("metrics", "");
   if (!cli.unknown_flags().empty()) {
     std::cerr << "unknown flag: --" << cli.unknown_flags().front() << "\n";
     return 2;
@@ -77,6 +85,23 @@ int main(int argc, char** argv) {
 
   BuiltScenario built = build_scenario(spec);
   Engine& eng = *built.engine;
+
+  // Optional structured observability: attach before the run so every
+  // join/release/dispatch/reweight event of the scenario is captured.
+  std::optional<obs::JsonlSink> jsonl;
+  std::optional<obs::ChromeTraceSink> chrome;
+  obs::TeeSink tee;
+  obs::MetricsRegistry metrics;
+  try {
+    if (!trace_path.empty()) tee.attach(&jsonl.emplace(trace_path));
+    if (!chrome_path.empty()) tee.attach(&chrome.emplace(chrome_path));
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 1;
+  }
+  if (!tee.empty()) eng.set_event_sink(&tee);
+  if (!metrics_path.empty()) eng.set_metrics(&metrics);
+
   const MetricsRecorder rec = MetricsRecorder::record_run(eng, built.horizon);
 
   std::cout << render_schedule(eng, 0, eng.now()) << "\n";
@@ -94,6 +119,25 @@ int main(int argc, char** argv) {
     }
     out << rec.to_csv(eng);
     std::cout << "per-slot metrics written to " << csv << "\n";
+  }
+  if (!tee.empty()) tee.flush();
+  if (jsonl.has_value()) {
+    std::cout << "trace (" << jsonl->events_written() << " events) written to "
+              << trace_path << "\n";
+  }
+  if (chrome.has_value()) {
+    std::cout << "chrome trace written to " << chrome_path
+              << " (open in chrome://tracing or ui.perfetto.dev)\n";
+  }
+  if (!metrics_path.empty()) {
+    eng.export_metrics(metrics);
+    std::ofstream out{metrics_path};
+    if (!out) {
+      std::cerr << "cannot write " << metrics_path << "\n";
+      return 1;
+    }
+    out << metrics.to_json() << "\n";
+    std::cout << "engine metrics written to " << metrics_path << "\n";
   }
   return 0;
 }

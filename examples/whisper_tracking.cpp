@@ -6,9 +6,16 @@
 ///
 ///   ./examples/whisper_tracking [--speed=2.0] [--radius=0.25]
 ///                               [--slots=1000] [--seed=2005]
+///                               [--trace=oi.jsonl] [--chrome-trace=oi.json]
+///
+/// The trace flags capture the PD2-OI run's event stream (the first of the
+/// two policies compared below).
 #include <iostream>
+#include <optional>
 
 #include "exp/experiment.h"
+#include "obs/chrome_trace_sink.h"
+#include "obs/jsonl_sink.h"
 #include "util/cli.h"
 #include "whisper/workload.h"
 
@@ -22,6 +29,8 @@ int main(int argc, char** argv) {
   wcfg.scenario.orbit_radius = cli.get_double("radius", 0.25);
   const Slot slots = cli.get_int("slots", 1000);
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 2005));
+  const std::string trace_path = cli.get_string("trace", "");
+  const std::string chrome_path = cli.get_string("chrome-trace", "");
   if (!cli.unknown_flags().empty()) {
     std::cerr << "unknown flag: --" << cli.unknown_flags().front() << "\n";
     return 2;
@@ -55,8 +64,32 @@ int main(int argc, char** argv) {
     ecfg.processors = 4;
     ecfg.policy = policy;
     Engine eng{ecfg};
+
+    // Trace the first (PD2-OI) run only: one file per invocation.
+    std::optional<obs::JsonlSink> jsonl;
+    std::optional<obs::ChromeTraceSink> chrome;
+    obs::TeeSink tee;
+    if (policy == ReweightPolicy::kOmissionIdeal) {
+      try {
+        if (!trace_path.empty()) tee.attach(&jsonl.emplace(trace_path));
+        if (!chrome_path.empty()) tee.attach(&chrome.emplace(chrome_path));
+      } catch (const std::exception& e) {
+        std::cerr << e.what() << "\n";
+        return 1;
+      }
+      if (!tee.empty()) eng.set_event_sink(&tee);
+    }
+
     const auto ids = whisper::install_workload(eng, workload);
     eng.run_until(slots);
+    if (!tee.empty()) tee.flush();
+    if (jsonl.has_value()) {
+      std::cout << "trace (" << jsonl->events_written()
+                << " events) written to " << trace_path << "\n";
+    }
+    if (chrome.has_value()) {
+      std::cout << "chrome trace written to " << chrome_path << "\n";
+    }
 
     Rational worst;
     double pct_sum = 0.0;

@@ -14,9 +14,13 @@ RunResult run_whisper_once(const ExperimentConfig& cfg,
   pfair::EngineConfig ecfg = cfg.engine;
   ecfg.record_slot_trace = false;  // not needed for metrics; saves memory
   pfair::Engine engine{ecfg};
+  engine.set_event_sink(cfg.trace_sink);
+  engine.set_metrics(cfg.metrics);
   const std::vector<pfair::TaskId> ids =
       whisper::install_workload(engine, workload);
   engine.run_until(cfg.slots);
+  if (cfg.metrics != nullptr) engine.export_metrics(*cfg.metrics);
+  if (cfg.trace_sink != nullptr) cfg.trace_sink->flush();
 
   RunResult r;
   bool first = true;
@@ -46,13 +50,21 @@ RunResult run_whisper_once(const ExperimentConfig& cfg,
   r.enactments = engine.stats().enactments;
   r.oi_events = engine.stats().oi_events;
   r.lj_events = engine.stats().lj_events;
+  r.halts = engine.stats().halts;
+  r.clamped_requests = engine.stats().clamped_requests;
+  r.rejected_requests = engine.stats().rejected_requests;
   return r;
 }
 
 BatchResult run_whisper_batch(const ExperimentConfig& cfg, ThreadPool& pool) {
+  // The observability attachments are single-engine objects; replicates run
+  // concurrently, so they are dropped here (see ExperimentConfig).
+  ExperimentConfig batch_cfg = cfg;
+  batch_cfg.trace_sink = nullptr;
+  batch_cfg.metrics = nullptr;
   std::vector<RunResult> results(static_cast<std::size_t>(cfg.runs));
-  parallel_for(pool, results.size(), [&cfg, &results](std::size_t i) {
-    results[i] = run_whisper_once(cfg, i);
+  parallel_for(pool, results.size(), [&batch_cfg, &results](std::size_t i) {
+    results[i] = run_whisper_once(batch_cfg, i);
   });
 
   BatchResult b;

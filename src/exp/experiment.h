@@ -10,6 +10,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/sink.h"
 #include "pfair/engine.h"
 #include "util/stats.h"
 #include "util/thread_pool.h"
@@ -29,6 +31,9 @@ struct RunResult {
   std::int64_t enactments{0};
   std::int64_t oi_events{0};
   std::int64_t lj_events{0};
+  std::int64_t halts{0};             ///< rule-O halts (EngineStats::halts)
+  std::int64_t clamped_requests{0};  ///< policing clamps
+  std::int64_t rejected_requests{0};
 };
 
 struct ExperimentConfig {
@@ -38,6 +43,14 @@ struct ExperimentConfig {
   std::uint64_t seed{2005};
   int runs{61};
   double confidence{0.98};
+
+  /// Observability attachments, honored by run_whisper_once only (the
+  /// sinks and registry are not thread-safe, so run_whisper_batch clears
+  /// them in its replicates; trace one run explicitly instead).  The sink
+  /// is flushed and EngineStats are exported into the registry at the end
+  /// of the run.
+  obs::EventSink* trace_sink{nullptr};
+  obs::MetricsRegistry* metrics{nullptr};
 };
 
 /// Simulates one replicate (deterministic in (cfg.seed, run_index)).

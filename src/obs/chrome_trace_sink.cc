@@ -1,0 +1,152 @@
+#include "obs/chrome_trace_sink.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/json.h"
+
+namespace pfr::obs {
+namespace {
+
+constexpr int kTaskPid = 1;
+constexpr int kCpuPid = 2;
+constexpr std::int64_t kUsPerSlot = 1000;  // 1 ms quantum
+
+std::string instant(const TraceEvent& e, const std::string& name,
+                    const std::string& args) {
+  std::ostringstream os;
+  os << "{\"name\":\"" << json_escape(name) << "\",\"cat\":\""
+     << to_string(e.kind) << "\",\"ph\":\"i\",\"s\":\"t\",\"ts\":"
+     << e.slot * kUsPerSlot << ",\"pid\":" << kTaskPid << ",\"tid\":" << e.task
+     << ",\"args\":{" << args << "}}";
+  return os.str();
+}
+
+std::string complete(int pid, std::int64_t tid, const std::string& name,
+                     pfair::Slot slot, const std::string& args) {
+  std::ostringstream os;
+  os << "{\"name\":\"" << json_escape(name)
+     << "\",\"cat\":\"dispatch\",\"ph\":\"X\",\"ts\":" << slot * kUsPerSlot
+     << ",\"dur\":" << kUsPerSlot << ",\"pid\":" << pid << ",\"tid\":" << tid
+     << ",\"args\":{" << args << "}}";
+  return os.str();
+}
+
+std::string rational_arg(const char* key, const Rational& r) {
+  return std::string{"\""} + key + "\":\"" + r.to_string() + '"';
+}
+
+}  // namespace
+
+ChromeTraceSink::ChromeTraceSink(const std::string& path)
+    : owned_(std::make_unique<std::ofstream>(path)), out_(owned_.get()) {
+  if (!*owned_) {
+    throw std::runtime_error("ChromeTraceSink: cannot open " + path);
+  }
+}
+
+ChromeTraceSink::~ChromeTraceSink() { flush(); }
+
+void ChromeTraceSink::on_event(const TraceEvent& e) {
+  if (e.task >= 0 && !e.task_name.empty()) {
+    task_names_.emplace(e.task, std::string{e.task_name});
+  }
+  const std::string name{e.task_name};
+  switch (e.kind) {
+    case EventKind::kDispatch: {
+      std::ostringstream args;
+      args << "\"subtask\":" << e.subtask << ",\"deadline\":" << e.deadline
+           << ",\"b\":" << e.b << ",\"cpu\":" << e.cpu;
+      add(complete(kTaskPid, e.task, name + "_" + std::to_string(e.subtask),
+                   e.slot, args.str()));
+      add(complete(kCpuPid, e.cpu, name, e.slot, args.str()));
+      cpus_.insert(e.cpu);
+      break;
+    }
+    case EventKind::kTaskJoin:
+      add(instant(e, "join " + name, rational_arg("weight", e.weight_to)));
+      break;
+    case EventKind::kSubtaskRelease: {
+      std::ostringstream args;
+      args << "\"subtask\":" << e.subtask << ",\"deadline\":" << e.deadline
+           << ",\"b\":" << e.b;
+      add(instant(e, "release " + name + "_" + std::to_string(e.subtask),
+                  args.str()));
+      break;
+    }
+    case EventKind::kHalt:
+      add(instant(e, "halt " + name + "_" + std::to_string(e.subtask),
+                  "\"subtask\":" + std::to_string(e.subtask)));
+      break;
+    case EventKind::kInitiation:
+      add(instant(e,
+                  std::string{"initiate "} + pfair::to_string(e.rule) + " " +
+                      e.weight_from.to_string() + "->" +
+                      e.weight_to.to_string(),
+                  std::string{"\"rule\":\""} + pfair::to_string(e.rule) +
+                      "\"," + rational_arg("from", e.weight_from) + "," +
+                      rational_arg("to", e.weight_to)));
+      break;
+    case EventKind::kEnactment:
+      add(instant(e, "enact " + e.weight_to.to_string(),
+                  std::string{"\"rule\":\""} + pfair::to_string(e.rule) +
+                      "\"," + rational_arg("weight", e.weight_to)));
+      break;
+    case EventKind::kDriftSample:
+      add(instant(e, "drift " + e.value.to_string(),
+                  rational_arg("drift", e.value) +
+                      ",\"folded\":" + std::to_string(e.folded)));
+      break;
+    case EventKind::kPolicingClamp:
+      add(instant(e, "clamp " + e.weight_from.to_string() + "->" +
+                         e.weight_to.to_string(),
+                  rational_arg("requested", e.weight_from) + "," +
+                      rational_arg("granted", e.weight_to)));
+      break;
+    case EventKind::kPolicingReject:
+      add(instant(e, "reject " + e.weight_from.to_string(),
+                  rational_arg("requested", e.weight_from)));
+      break;
+    case EventKind::kLeaveRequest:
+      add(instant(e, "leave " + name,
+                  "\"leaves_at\":" + std::to_string(e.when)));
+      break;
+    case EventKind::kDeadlineMiss:
+      add(instant(e, "MISS " + name + "_" + std::to_string(e.subtask),
+                  "\"subtask\":" + std::to_string(e.subtask) +
+                      ",\"deadline\":" + std::to_string(e.deadline)));
+      break;
+  }
+}
+
+void ChromeTraceSink::flush() {
+  if (flushed_) return;
+  flushed_ = true;
+  std::ostream& os = *out_;
+  os << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  const auto emit = [&os, &first](const std::string& ev) {
+    if (!first) os << ",\n";
+    first = false;
+    os << ev;
+  };
+  emit("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" +
+       std::to_string(kTaskPid) + ",\"args\":{\"name\":\"tasks\"}}");
+  emit("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" +
+       std::to_string(kCpuPid) + ",\"args\":{\"name\":\"processors\"}}");
+  for (const auto& [id, name] : task_names_) {
+    emit("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" +
+         std::to_string(kTaskPid) + ",\"tid\":" + std::to_string(id) +
+         ",\"args\":{\"name\":\"" + json_escape(name) + "\"}}");
+  }
+  for (const int cpu : cpus_) {
+    emit("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" +
+         std::to_string(kCpuPid) + ",\"tid\":" + std::to_string(cpu) +
+         ",\"args\":{\"name\":\"cpu" + std::to_string(cpu) + "\"}}");
+  }
+  for (const std::string& ev : events_) emit(ev);
+  os << "\n]}\n";
+  os.flush();
+}
+
+}  // namespace pfr::obs

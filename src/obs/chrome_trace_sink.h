@@ -1,0 +1,58 @@
+/// \file chrome_trace_sink.h
+/// \brief Chrome trace_event exporter: runs open in chrome://tracing or
+/// Perfetto (ui.perfetto.dev) with one track per task and one per
+/// processor lane.
+///
+/// Mapping (one simulated slot = one quantum = 1 ms = 1000 trace us):
+///   * pid 1 "tasks":      tid = TaskId.  Dispatches are 1-slot complete
+///     ("X") events named "<task>_<j>"; halts, initiations, enactments,
+///     drift samples, policing decisions and misses are instant ("i")
+///     events on the same track.
+///   * pid 2 "processors": tid = dispatch lane.  Each dispatch is mirrored
+///     as a complete event named after the task, so per-processor
+///     utilization and holes are visible at a glance.
+///
+/// Events are serialized on arrival but the file is written on flush()
+/// (the trace_event container is a single JSON object).
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "obs/sink.h"
+
+namespace pfr::obs {
+
+class ChromeTraceSink final : public EventSink {
+ public:
+  explicit ChromeTraceSink(std::ostream& out) : out_(&out) {}
+
+  /// Opens `path` for writing.  Throws std::runtime_error on failure.
+  explicit ChromeTraceSink(const std::string& path);
+
+  ~ChromeTraceSink() override;
+
+  void on_event(const TraceEvent& event) override;
+
+  /// Writes the complete trace JSON.  Idempotent; also run by the
+  /// destructor if never called.
+  void flush() override;
+
+ private:
+  void add(std::string serialized) { events_.push_back(std::move(serialized)); }
+
+  std::unique_ptr<std::ofstream> owned_;
+  std::ostream* out_;
+  std::vector<std::string> events_;
+  std::map<std::int32_t, std::string> task_names_;
+  std::set<int> cpus_;
+  bool flushed_{false};
+};
+
+}  // namespace pfr::obs

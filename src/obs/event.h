@@ -1,0 +1,88 @@
+/// \file event.h
+/// \brief Structured trace events emitted by the PD2 engine.
+///
+/// Every semantically meaningful point in the engine's per-slot pipeline --
+/// task join/leave, subtask release, dispatch, halt (rule O), enactment
+/// (rules I/J), drift sample, policing decision, deadline miss -- is
+/// described by one TraceEvent.  Events are plain observations: emitting
+/// them never perturbs scheduling (the traced schedule is bit-identical to
+/// the untraced one; tests assert this).
+///
+/// Only the fields relevant to a given EventKind are populated; the rest
+/// keep their defaults.  `task_name` is a view into the engine's task table
+/// and is valid only for the duration of the EventSink::on_event call --
+/// sinks that buffer must copy it.
+#pragma once
+
+#include <string_view>
+
+#include "pfair/types.h"
+#include "rational/rational.h"
+
+namespace pfr::obs {
+
+/// What happened.  The string forms (to_string) are the `kind` values in
+/// the JSONL export and the categories in the Chrome trace.
+enum class EventKind : std::uint8_t {
+  kTaskJoin,        ///< a task's release chain started
+  kSubtaskRelease,  ///< T_j released (normal chain or enactment)
+  kDispatch,        ///< PD2 gave T_j the slot on some processor lane
+  kHalt,            ///< rule O halted the last-released subtask
+  kInitiation,      ///< a weight change was initiated (rule chosen)
+  kEnactment,       ///< a pending weight change was enacted
+  kDriftSample,     ///< drift sampled at a generation start (Eqn. (5))
+  kPolicingClamp,   ///< admission control reduced a requested weight
+  kPolicingReject,  ///< admission control refused a requested weight
+  kLeaveRequest,    ///< rule L: the task will leave once its window closes
+  kDeadlineMiss,    ///< T_j's deadline passed unscheduled
+};
+
+inline constexpr int kEventKindCount = 11;
+
+[[nodiscard]] constexpr const char* to_string(EventKind k) noexcept {
+  switch (k) {
+    case EventKind::kTaskJoin: return "task_join";
+    case EventKind::kSubtaskRelease: return "subtask_release";
+    case EventKind::kDispatch: return "dispatch";
+    case EventKind::kHalt: return "halt";
+    case EventKind::kInitiation: return "initiation";
+    case EventKind::kEnactment: return "enactment";
+    case EventKind::kDriftSample: return "drift_sample";
+    case EventKind::kPolicingClamp: return "policing_clamp";
+    case EventKind::kPolicingReject: return "policing_reject";
+    case EventKind::kLeaveRequest: return "leave_request";
+    case EventKind::kDeadlineMiss: return "deadline_miss";
+  }
+  return "?";
+}
+
+/// One engine observation.  Field use by kind:
+///   task_join:        weight_to (joining weight)
+///   subtask_release:  subtask, deadline, b
+///   dispatch:         subtask, deadline, b, cpu
+///   halt:             subtask (halt time is `slot`)
+///   initiation:       rule, weight_from (swt), weight_to (policed target)
+///   enactment:        rule, weight_to
+///   drift_sample:     value (the drift), folded (initiations folded in)
+///   policing_clamp:   weight_from (requested), weight_to (granted)
+///   policing_reject:  weight_from (requested)
+///   leave_request:    when (the rule-L leave time)
+///   deadline_miss:    subtask, deadline
+struct TraceEvent {
+  EventKind kind{EventKind::kTaskJoin};
+  pfair::Slot slot{0};              ///< engine time of the observation
+  pfair::TaskId task{-1};           ///< -1 when not task-scoped
+  std::string_view task_name{};     ///< valid only during on_event
+  pfair::SubtaskIndex subtask{0};   ///< 1-based j; 0 when n/a
+  pfair::Slot deadline{pfair::kNever};
+  int b{-1};                        ///< b-bit; -1 when n/a
+  int cpu{-1};                      ///< dispatch lane in [0, M); -1 when n/a
+  pfair::RuleApplied rule{pfair::RuleApplied::kNone};
+  Rational weight_from;
+  Rational weight_to;
+  Rational value;                   ///< drift for kDriftSample
+  pfair::Slot when{pfair::kNever};  ///< leave time for kLeaveRequest
+  int folded{0};                    ///< events folded into a drift sample
+};
+
+}  // namespace pfr::obs

@@ -1,0 +1,214 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cstdio>
+
+namespace pfr::obs {
+namespace {
+
+/// Cursor over the input with the shared skip/scan primitives of the
+/// validator and the flat-object parser.
+struct Scanner {
+  std::string_view text;
+  std::size_t pos{0};
+
+  [[nodiscard]] bool done() const noexcept { return pos >= text.size(); }
+  [[nodiscard]] char peek() const noexcept {
+    return done() ? '\0' : text[pos];
+  }
+  char take() noexcept { return done() ? '\0' : text[pos++]; }
+  bool expect(char c) noexcept {
+    if (peek() != c) return false;
+    ++pos;
+    return true;
+  }
+  void skip_ws() noexcept {
+    while (!done() && (text[pos] == ' ' || text[pos] == '\t' ||
+                       text[pos] == '\n' || text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+
+  /// Consumes a JSON string (opening quote already consumed when
+  /// `opened`); appends the unescaped content to *out if given.
+  bool scan_string(bool opened, std::string* out) {
+    if (!opened && !expect('"')) return false;
+    while (true) {
+      if (done()) return false;
+      char c = take();
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;
+      if (c == '\\') {
+        if (done()) return false;
+        const char e = take();
+        switch (e) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case '/': c = '/'; break;
+          case 'b': c = '\b'; break;
+          case 'f': c = '\f'; break;
+          case 'n': c = '\n'; break;
+          case 'r': c = '\r'; break;
+          case 't': c = '\t'; break;
+          case 'u': {
+            for (int i = 0; i < 4; ++i) {
+              if (!std::isxdigit(static_cast<unsigned char>(peek()))) {
+                return false;
+              }
+              take();
+            }
+            c = '?';  // code point not materialized; fine for our traces
+            break;
+          }
+          default: return false;
+        }
+      }
+      if (out != nullptr) out->push_back(c);
+    }
+  }
+
+  /// Consumes a JSON number; appends its verbatim text to *out if given.
+  bool scan_number(std::string* out) {
+    const std::size_t start = pos;
+    if (peek() == '-') take();
+    if (!std::isdigit(static_cast<unsigned char>(peek()))) return false;
+    if (take() != '0') {
+      while (std::isdigit(static_cast<unsigned char>(peek()))) take();
+    }
+    if (peek() == '.') {
+      take();
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) return false;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) take();
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      take();
+      if (peek() == '+' || peek() == '-') take();
+      if (!std::isdigit(static_cast<unsigned char>(peek()))) return false;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) take();
+    }
+    if (out != nullptr) out->append(text.substr(start, pos - start));
+    return true;
+  }
+
+  bool scan_literal(std::string_view word, std::string* out) {
+    if (text.substr(pos, word.size()) != word) return false;
+    pos += word.size();
+    if (out != nullptr) out->append(word);
+    return true;
+  }
+
+  /// Full recursive value (validator only; depth-limited for safety).
+  bool scan_value(int depth) {  // NOLINT(misc-no-recursion)
+    if (depth > 64) return false;
+    skip_ws();
+    switch (peek()) {
+      case '"': return scan_string(/*opened=*/false, nullptr);
+      case '{': {
+        take();
+        skip_ws();
+        if (expect('}')) return true;
+        while (true) {
+          skip_ws();
+          if (!scan_string(/*opened=*/false, nullptr)) return false;
+          skip_ws();
+          if (!expect(':')) return false;
+          if (!scan_value(depth + 1)) return false;
+          skip_ws();
+          if (expect('}')) return true;
+          if (!expect(',')) return false;
+        }
+      }
+      case '[': {
+        take();
+        skip_ws();
+        if (expect(']')) return true;
+        while (true) {
+          if (!scan_value(depth + 1)) return false;
+          skip_ws();
+          if (expect(']')) return true;
+          if (!expect(',')) return false;
+        }
+      }
+      case 't': return scan_literal("true", nullptr);
+      case 'f': return scan_literal("false", nullptr);
+      case 'n': return scan_literal("null", nullptr);
+      default: return scan_number(nullptr);
+    }
+  }
+};
+
+}  // namespace
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+bool json_valid(std::string_view text) {
+  Scanner s{text};
+  if (!s.scan_value(0)) return false;
+  s.skip_ws();
+  return s.done();
+}
+
+std::optional<std::map<std::string, std::string>> parse_flat_json_object(
+    std::string_view line) {
+  Scanner s{line};
+  s.skip_ws();
+  if (!s.expect('{')) return std::nullopt;
+  std::map<std::string, std::string> out;
+  s.skip_ws();
+  if (s.expect('}')) {
+    s.skip_ws();
+    return s.done() ? std::optional{out} : std::nullopt;
+  }
+  while (true) {
+    s.skip_ws();
+    std::string key;
+    if (!s.scan_string(/*opened=*/false, &key)) return std::nullopt;
+    s.skip_ws();
+    if (!s.expect(':')) return std::nullopt;
+    s.skip_ws();
+    std::string value;
+    bool ok = false;
+    switch (s.peek()) {
+      case '"': ok = s.scan_string(/*opened=*/false, &value); break;
+      case 't': ok = s.scan_literal("true", &value); break;
+      case 'f': ok = s.scan_literal("false", &value); break;
+      case 'n': ok = s.scan_literal("null", &value); break;
+      case '{':
+      case '[': return std::nullopt;  // flat objects only
+      default: ok = s.scan_number(&value); break;
+    }
+    if (!ok) return std::nullopt;
+    out[key] = std::move(value);
+    s.skip_ws();
+    if (s.expect('}')) break;
+    if (!s.expect(',')) return std::nullopt;
+  }
+  s.skip_ws();
+  return s.done() ? std::optional{out} : std::nullopt;
+}
+
+}  // namespace pfr::obs

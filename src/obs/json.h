@@ -1,0 +1,32 @@
+/// \file json.h
+/// \brief Minimal JSON utilities for the observability layer.
+///
+/// The exporters only ever *write* JSON, and the trace tool only ever reads
+/// back the flat one-object-per-line records the JSONL sink wrote, so this
+/// deliberately is not a general JSON library: an escaper, a full-syntax
+/// validator (used by tests to assert the Chrome export is well-formed),
+/// and a parser for flat (non-nested) objects.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace pfr::obs {
+
+/// Escapes a string for inclusion inside JSON double quotes.
+[[nodiscard]] std::string json_escape(std::string_view s);
+
+/// True iff `text` is one syntactically valid JSON value (full grammar:
+/// nesting, arrays, strings with escapes, numbers, literals).
+[[nodiscard]] bool json_valid(std::string_view text);
+
+/// Parses a flat JSON object -- string/number/bool/null values only, no
+/// nesting -- into key -> raw-value-text (strings are unescaped, other
+/// values are kept verbatim).  Returns nullopt on malformed or nested
+/// input.
+[[nodiscard]] std::optional<std::map<std::string, std::string>>
+parse_flat_json_object(std::string_view line);
+
+}  // namespace pfr::obs

@@ -1,0 +1,88 @@
+#include "obs/jsonl_sink.h"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/json.h"
+
+namespace pfr::obs {
+namespace {
+
+void append_task(std::ostringstream& os, const TraceEvent& e) {
+  if (e.task < 0) return;
+  os << ",\"task\":" << e.task;
+  if (!e.task_name.empty()) {
+    os << ",\"name\":\"" << json_escape(e.task_name) << '"';
+  }
+}
+
+void append_rational(std::ostringstream& os, const char* key,
+                     const Rational& r) {
+  os << ",\"" << key << "\":\"" << r.to_string() << '"';
+}
+
+}  // namespace
+
+JsonlSink::JsonlSink(const std::string& path)
+    : owned_(std::make_unique<std::ofstream>(path)), out_(owned_.get()) {
+  if (!*owned_) {
+    throw std::runtime_error("JsonlSink: cannot open " + path);
+  }
+}
+
+std::string to_jsonl(const TraceEvent& e) {
+  std::ostringstream os;
+  os << "{\"kind\":\"" << to_string(e.kind) << "\",\"slot\":" << e.slot;
+  append_task(os, e);
+  switch (e.kind) {
+    case EventKind::kTaskJoin:
+      append_rational(os, "weight", e.weight_to);
+      break;
+    case EventKind::kSubtaskRelease:
+      os << ",\"subtask\":" << e.subtask << ",\"deadline\":" << e.deadline
+         << ",\"b\":" << e.b;
+      break;
+    case EventKind::kDispatch:
+      os << ",\"subtask\":" << e.subtask << ",\"deadline\":" << e.deadline
+         << ",\"b\":" << e.b << ",\"cpu\":" << e.cpu;
+      break;
+    case EventKind::kHalt:
+      os << ",\"subtask\":" << e.subtask;
+      break;
+    case EventKind::kInitiation:
+      os << ",\"rule\":\"" << to_string(e.rule) << '"';
+      append_rational(os, "from", e.weight_from);
+      append_rational(os, "to", e.weight_to);
+      break;
+    case EventKind::kEnactment:
+      os << ",\"rule\":\"" << to_string(e.rule) << '"';
+      append_rational(os, "weight", e.weight_to);
+      break;
+    case EventKind::kDriftSample:
+      append_rational(os, "drift", e.value);
+      os << ",\"folded\":" << e.folded;
+      break;
+    case EventKind::kPolicingClamp:
+      append_rational(os, "requested", e.weight_from);
+      append_rational(os, "granted", e.weight_to);
+      break;
+    case EventKind::kPolicingReject:
+      append_rational(os, "requested", e.weight_from);
+      break;
+    case EventKind::kLeaveRequest:
+      os << ",\"leaves_at\":" << e.when;
+      break;
+    case EventKind::kDeadlineMiss:
+      os << ",\"subtask\":" << e.subtask << ",\"deadline\":" << e.deadline;
+      break;
+  }
+  os << '}';
+  return os.str();
+}
+
+void JsonlSink::on_event(const TraceEvent& event) {
+  *out_ << to_jsonl(event) << '\n';
+  ++events_written_;
+}
+
+}  // namespace pfr::obs

@@ -1,0 +1,44 @@
+/// \file jsonl_sink.h
+/// \brief JSONL exporter: one flat JSON object per TraceEvent, one per line.
+///
+/// The stream is written incrementally (nothing is buffered beyond the
+/// ostream), so a trace of a crashed run is still readable up to the crash.
+/// `pfair-trace` and the golden tests read this format back via
+/// obs::parse_flat_json_object.
+#pragma once
+
+#include <fstream>
+#include <memory>
+#include <ostream>
+#include <string>
+
+#include "obs/sink.h"
+
+namespace pfr::obs {
+
+class JsonlSink final : public EventSink {
+ public:
+  /// Writes to a stream owned by the caller (kept alive while attached).
+  explicit JsonlSink(std::ostream& out) : out_(&out) {}
+
+  /// Opens `path` for writing.  Throws std::runtime_error on failure.
+  explicit JsonlSink(const std::string& path);
+
+  void on_event(const TraceEvent& event) override;
+  void flush() override { out_->flush(); }
+
+  [[nodiscard]] std::int64_t events_written() const noexcept {
+    return events_written_;
+  }
+
+ private:
+  std::unique_ptr<std::ofstream> owned_;
+  std::ostream* out_;
+  std::int64_t events_written_{0};
+};
+
+/// Serializes one event to its JSONL line (no trailing newline); exposed
+/// for tests and alternative transports.
+[[nodiscard]] std::string to_jsonl(const TraceEvent& event);
+
+}  // namespace pfr::obs

@@ -1,0 +1,138 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace pfr::obs {
+
+Histogram::Histogram(std::vector<double> upper_bounds)
+    : bounds_(std::move(upper_bounds)) {
+  std::sort(bounds_.begin(), bounds_.end());
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::observe(double value) noexcept {
+  std::size_t i = 0;
+  while (i < bounds_.size() && value > bounds_[i]) ++i;
+  ++counts_[i];
+  ++total_;
+  sum_ += value;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  return counters_[name];
+}
+
+Timer& MetricsRegistry::timer(const std::string& name) {
+  return timers_[name];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> upper_bounds) {
+  const auto it = histograms_.find(name);
+  if (it != histograms_.end()) return it->second;
+  return histograms_.emplace(name, Histogram{std::move(upper_bounds)})
+      .first->second;
+}
+
+void MetricsRegistry::set_gauge(const std::string& name, double value) {
+  gauges_[name] = value;
+}
+
+namespace {
+
+void write_double(std::ostringstream& os, double v) {
+  // JSON has no inf/nan; our gauges never produce them, but stay safe.
+  if (v != v || v > 1e308 || v < -1e308) {
+    os << "null";
+  } else {
+    os << v;
+  }
+}
+
+}  // namespace
+
+std::string MetricsRegistry::to_json() const {
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    os << (first ? "" : ",") << '"' << name << "\":" << c.value;
+    first = false;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : gauges_) {
+    os << (first ? "" : ",") << '"' << name << "\":";
+    write_double(os, v);
+    first = false;
+  }
+  os << "},\"timers\":{";
+  first = true;
+  for (const auto& [name, t] : timers_) {
+    os << (first ? "" : ",") << '"' << name << "\":{\"count\":" << t.count
+       << ",\"total_ns\":" << t.total_ns << ",\"min_ns\":" << t.min_ns
+       << ",\"max_ns\":" << t.max_ns << ",\"mean_ns\":";
+    write_double(os, t.mean_ns());
+    os << '}';
+    first = false;
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    os << (first ? "" : ",") << '"' << name << "\":{\"bounds\":[";
+    for (std::size_t i = 0; i < h.bounds().size(); ++i) {
+      if (i > 0) os << ',';
+      write_double(os, h.bounds()[i]);
+    }
+    os << "],\"counts\":[";
+    for (std::size_t i = 0; i < h.counts().size(); ++i) {
+      os << (i > 0 ? "," : "") << h.counts()[i];
+    }
+    os << "],\"total\":" << h.total() << ",\"sum\":";
+    write_double(os, h.sum());
+    os << '}';
+    first = false;
+  }
+  os << "}}";
+  return os.str();
+}
+
+std::string MetricsRegistry::report() const {
+  std::ostringstream os;
+  if (!counters_.empty()) {
+    os << "counters:\n";
+    for (const auto& [name, c] : counters_) {
+      os << "  " << name << " = " << c.value << '\n';
+    }
+  }
+  if (!gauges_.empty()) {
+    os << "gauges:\n";
+    for (const auto& [name, v] : gauges_) {
+      os << "  " << name << " = " << v << '\n';
+    }
+  }
+  if (!timers_.empty()) {
+    os << "timers (mean over count, ns):\n";
+    for (const auto& [name, t] : timers_) {
+      os << "  " << name << ": count=" << t.count << " mean=" << t.mean_ns()
+         << " min=" << t.min_ns << " max=" << t.max_ns
+         << " total=" << t.total_ns << '\n';
+    }
+  }
+  for (const auto& [name, h] : histograms_) {
+    os << "histogram " << name << " (total=" << h.total() << "):\n";
+    for (std::size_t i = 0; i < h.counts().size(); ++i) {
+      os << "  <= ";
+      if (i < h.bounds().size()) {
+        os << h.bounds()[i];
+      } else {
+        os << "inf";
+      }
+      os << ": " << h.counts()[i] << '\n';
+    }
+  }
+  return os.str();
+}
+
+}  // namespace pfr::obs

@@ -1,0 +1,129 @@
+/// \file metrics.h
+/// \brief MetricsRegistry: named counters, gauges, fixed-bucket histograms
+/// and accumulating timers, with RAII ScopedTimer phase timing.
+///
+/// The registry is the quantitative half of the observability layer: the
+/// engine's seven per-slot phases are bracketed by ScopedTimers, and
+/// Engine::export_metrics mirrors the EngineStats counters into it, so one
+/// JSON dump answers both "where does the slot go" and "what did the run
+/// do".  Handles returned by counter()/timer()/histogram() stay valid for
+/// the registry's lifetime (node-based storage), which is what lets the
+/// engine resolve its phase timers once instead of hashing per slot.
+///
+/// Not thread-safe: one registry per engine/run, merged after the fact if
+/// needed (matching the repo's one-engine-per-replicate experiment layout).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pfr::obs {
+
+/// Monotonic event count.
+struct Counter {
+  std::int64_t value{0};
+  void add(std::int64_t delta) noexcept { value += delta; }
+};
+
+/// Accumulated durations of one code region.
+struct Timer {
+  std::int64_t count{0};
+  std::int64_t total_ns{0};
+  std::int64_t min_ns{0};
+  std::int64_t max_ns{0};
+
+  void record(std::int64_t ns) noexcept {
+    if (count == 0 || ns < min_ns) min_ns = ns;
+    if (ns > max_ns) max_ns = ns;
+    total_ns += ns;
+    ++count;
+  }
+  [[nodiscard]] double mean_ns() const noexcept {
+    return count == 0 ? 0.0
+                      : static_cast<double>(total_ns) /
+                            static_cast<double>(count);
+  }
+};
+
+/// Fixed-bucket histogram: counts[i] tallies values <= bounds[i]; the last
+/// bucket is the implicit +inf overflow.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> upper_bounds);
+
+  void observe(double value) noexcept;
+
+  [[nodiscard]] const std::vector<double>& bounds() const noexcept {
+    return bounds_;
+  }
+  [[nodiscard]] const std::vector<std::int64_t>& counts() const noexcept {
+    return counts_;
+  }
+  [[nodiscard]] std::int64_t total() const noexcept { return total_; }
+  [[nodiscard]] double sum() const noexcept { return sum_; }
+
+ private:
+  std::vector<double> bounds_;         ///< ascending upper bounds
+  std::vector<std::int64_t> counts_;   ///< bounds_.size() + 1 (overflow last)
+  std::int64_t total_{0};
+  double sum_{0.0};
+};
+
+class MetricsRegistry {
+ public:
+  /// Finds or creates; returned references stay valid until destruction.
+  Counter& counter(const std::string& name);
+  Timer& timer(const std::string& name);
+  /// `upper_bounds` is used only on first creation of `name`.
+  Histogram& histogram(const std::string& name,
+                       std::vector<double> upper_bounds);
+  void set_gauge(const std::string& name, double value);
+
+  [[nodiscard]] const std::map<std::string, Counter>& counters() const
+      noexcept {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, Timer>& timers() const noexcept {
+    return timers_;
+  }
+
+  /// Full dump as one JSON object: {"counters":{...},"gauges":{...},
+  /// "timers":{...},"histograms":{...}}.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Human-readable end-of-run report (counters plus per-phase timings).
+  [[nodiscard]] std::string report() const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, Timer> timers_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+/// Times one scope into a Timer.  A null timer disables the clock calls
+/// entirely, so instrumented code pays one branch when metrics are off.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Timer* timer) noexcept : timer_(timer) {
+    if (timer_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedTimer() {
+    if (timer_ != nullptr) {
+      timer_->record(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                         std::chrono::steady_clock::now() - start_)
+                         .count());
+    }
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Timer* timer_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+}  // namespace pfr::obs

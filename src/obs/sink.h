@@ -1,0 +1,43 @@
+/// \file sink.h
+/// \brief EventSink: where TraceEvents go.
+#pragma once
+
+#include <vector>
+
+#include "obs/event.h"
+
+namespace pfr::obs {
+
+/// Consumer of engine trace events.  on_event is called synchronously from
+/// the engine's slot loop; implementations must not touch the engine and
+/// must copy `task_name` if they buffer the event.  A sink is attached to
+/// exactly one engine at a time (none of the bundled sinks lock).
+class EventSink {
+ public:
+  virtual ~EventSink() = default;
+  virtual void on_event(const TraceEvent& event) = 0;
+  /// Called when the producer is done (end of run / detach).  Sinks that
+  /// buffer (e.g. the Chrome exporter) write their output here.
+  virtual void flush() {}
+};
+
+/// Fans one event stream out to several sinks, in attachment order.
+class TeeSink final : public EventSink {
+ public:
+  void attach(EventSink* sink) {
+    if (sink != nullptr) sinks_.push_back(sink);
+  }
+  [[nodiscard]] bool empty() const noexcept { return sinks_.empty(); }
+
+  void on_event(const TraceEvent& event) override {
+    for (EventSink* s : sinks_) s->on_event(event);
+  }
+  void flush() override {
+    for (EventSink* s : sinks_) s->flush();
+  }
+
+ private:
+  std::vector<EventSink*> sinks_;
+};
+
+}  // namespace pfr::obs

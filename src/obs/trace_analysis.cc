@@ -1,0 +1,155 @@
+#include "obs/trace_analysis.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <istream>
+#include <sstream>
+
+#include "obs/json.h"
+
+namespace pfr::obs {
+
+std::vector<ParsedEvent> read_jsonl_trace(std::istream& in,
+                                          std::string* error) {
+  std::vector<ParsedEvent> out;
+  std::string line;
+  std::int64_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    auto obj = parse_flat_json_object(line);
+    if (!obj) {
+      if (error != nullptr) {
+        *error = "line " + std::to_string(lineno) + ": malformed JSON object";
+      }
+      return out;
+    }
+    ParsedEvent ev;
+    ev.raw = line;
+    ev.fields = std::move(*obj);
+    if (const auto it = ev.fields.find("kind"); it != ev.fields.end()) {
+      ev.kind = it->second;
+    }
+    if (const auto it = ev.fields.find("slot"); it != ev.fields.end()) {
+      ev.slot = std::strtoll(it->second.c_str(), nullptr, 10);
+    }
+    if (const auto it = ev.fields.find("task"); it != ev.fields.end()) {
+      ev.task = static_cast<int>(std::strtol(it->second.c_str(), nullptr, 10));
+    }
+    if (const auto it = ev.fields.find("name"); it != ev.fields.end()) {
+      ev.name = it->second;
+    }
+    if (ev.name.empty() && ev.task >= 0) {
+      ev.name = "task" + std::to_string(ev.task);
+    }
+    out.push_back(std::move(ev));
+  }
+  return out;
+}
+
+GapStats gap_stats(const std::vector<std::int64_t>& gaps) {
+  GapStats s;
+  if (gaps.empty()) return s;
+  s.count = static_cast<std::int64_t>(gaps.size());
+  s.min = *std::min_element(gaps.begin(), gaps.end());
+  s.max = *std::max_element(gaps.begin(), gaps.end());
+  std::int64_t sum = 0;
+  for (const std::int64_t g : gaps) sum += g;
+  s.mean = static_cast<double>(sum) / static_cast<double>(s.count);
+  return s;
+}
+
+TraceSummary summarize_trace(const std::vector<ParsedEvent>& events) {
+  TraceSummary s;
+  s.total_events = static_cast<std::int64_t>(events.size());
+  std::map<std::string, pfair::Slot> last_enactment;
+  std::map<std::string, std::vector<pfair::Slot>> open_halts;
+  bool first = true;
+  for (const ParsedEvent& ev : events) {
+    if (first) {
+      s.first_slot = ev.slot;
+      s.last_slot = ev.slot;
+      first = false;
+    }
+    s.first_slot = std::min(s.first_slot, ev.slot);
+    s.last_slot = std::max(s.last_slot, ev.slot);
+    ++s.by_kind[ev.kind];
+    if (!ev.name.empty()) ++s.by_task[ev.name][ev.kind];
+    if (ev.kind == "halt") {
+      open_halts[ev.name].push_back(ev.slot);
+    } else if (ev.kind == "enactment") {
+      const auto last = last_enactment.find(ev.name);
+      if (last != last_enactment.end()) {
+        s.enactment_gaps.push_back(ev.slot - last->second);
+      }
+      last_enactment[ev.name] = ev.slot;
+      if (auto halts = open_halts.find(ev.name); halts != open_halts.end()) {
+        for (const pfair::Slot h : halts->second) {
+          s.halt_latencies.push_back(ev.slot - h);
+        }
+        halts->second.clear();
+      }
+    }
+  }
+  return s;
+}
+
+namespace {
+
+void render_distribution(std::ostringstream& os, const char* title,
+                         const std::vector<std::int64_t>& values) {
+  const GapStats stats = gap_stats(values);
+  os << title << ": n=" << stats.count;
+  if (stats.count == 0) {
+    os << '\n';
+    return;
+  }
+  os << " min=" << stats.min << " mean=" << stats.mean << " max=" << stats.max
+     << "\n  distribution (slots):";
+  // Fixed power-of-two buckets, the histogram convention of metrics.h.
+  const std::int64_t bounds[] = {0, 1, 2, 4, 8, 16, 32, 64};
+  std::int64_t counts[9] = {};
+  for (const std::int64_t v : values) {
+    std::size_t i = 0;
+    while (i < 8 && v > bounds[i]) ++i;
+    ++counts[i];
+  }
+  for (std::size_t i = 0; i < 9; ++i) {
+    if (counts[i] == 0) continue;
+    os << "  <=";
+    if (i < 8) {
+      os << bounds[i];
+    } else {
+      os << "inf";
+    }
+    os << ":" << counts[i];
+  }
+  os << '\n';
+}
+
+}  // namespace
+
+std::string render_trace_summary(const TraceSummary& s) {
+  std::ostringstream os;
+  os << "events: " << s.total_events << "  slots: [" << s.first_slot << ", "
+     << s.last_slot << "]\n\nby kind:\n";
+  for (const auto& [kind, count] : s.by_kind) {
+    os << "  " << kind << ": " << count << '\n';
+  }
+  os << "\nby task:\n";
+  for (const auto& [name, kinds] : s.by_task) {
+    std::int64_t total = 0;
+    for (const auto& [kind, count] : kinds) total += count;
+    os << "  " << name << " (" << total << "):";
+    for (const auto& [kind, count] : kinds) {
+      os << ' ' << kind << '=' << count;
+    }
+    os << '\n';
+  }
+  os << '\n';
+  render_distribution(os, "inter-enactment gaps", s.enactment_gaps);
+  render_distribution(os, "halt -> enactment latency", s.halt_latencies);
+  return os.str();
+}
+
+}  // namespace pfr::obs

@@ -1,0 +1,68 @@
+/// \file trace_analysis.h
+/// \brief Offline analysis of JSONL event traces for the pfair-trace tool.
+///
+/// Reads back the stream JsonlSink wrote and computes the summaries that
+/// make a reweighting run auditable: per-task event counts, the gaps
+/// between consecutive enactments (how often a task's share actually
+/// moved), and the halt -> enactment latency distribution (how long rule O
+/// leaves a task without a releasable subtask).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "pfair/types.h"
+
+namespace pfr::obs {
+
+/// One parsed JSONL trace record.  `fields` holds every key verbatim
+/// (strings unescaped); kind/slot/task/name are lifted out for convenience.
+struct ParsedEvent {
+  std::string kind;
+  pfair::Slot slot{0};
+  int task{-1};
+  std::string name;
+  std::map<std::string, std::string> fields;
+  std::string raw;  ///< the original line, for --print
+};
+
+/// Parses a JSONL stream.  Malformed lines are reported in *error (first
+/// offender, 1-based line number) and parsing stops; blank lines are
+/// skipped.  Returns the events parsed so far.
+[[nodiscard]] std::vector<ParsedEvent> read_jsonl_trace(std::istream& in,
+                                                        std::string* error);
+
+/// Min/mean/max over a list of slot distances.
+struct GapStats {
+  std::int64_t count{0};
+  std::int64_t min{0};
+  std::int64_t max{0};
+  double mean{0.0};
+};
+
+[[nodiscard]] GapStats gap_stats(const std::vector<std::int64_t>& gaps);
+
+/// Everything the summary view prints.
+struct TraceSummary {
+  std::int64_t total_events{0};
+  pfair::Slot first_slot{0};
+  pfair::Slot last_slot{0};
+  std::map<std::string, std::int64_t> by_kind;
+  /// task name -> kind -> count.
+  std::map<std::string, std::map<std::string, std::int64_t>> by_task;
+  /// Slots between consecutive enactments of the same task, all tasks.
+  std::vector<std::int64_t> enactment_gaps;
+  /// Halt slot -> same task's next enactment slot, per halt.
+  std::vector<std::int64_t> halt_latencies;
+};
+
+[[nodiscard]] TraceSummary summarize_trace(
+    const std::vector<ParsedEvent>& events);
+
+/// Renders the summary as aligned text (the pfair-trace default output).
+[[nodiscard]] std::string render_trace_summary(const TraceSummary& summary);
+
+}  // namespace pfr::obs

@@ -1,0 +1,73 @@
+/// \file trace_tool.cc
+/// \brief pfair-trace: filter and summarize JSONL event traces.
+///
+///   pfair-trace --file=out.jsonl                 # summary (default)
+///   pfair-trace --file=out.jsonl --task=video    # restrict to one task
+///   pfair-trace --file=out.jsonl --kind=halt --print   # dump matching lines
+///   pfair-trace --file=out.jsonl --from=100 --to=200 --print
+///
+/// The summary reports per-task event counts, inter-enactment gaps, and the
+/// halt -> enactment latency distribution; see trace_analysis.h.
+#include <fstream>
+#include <iostream>
+#include <vector>
+
+#include "obs/trace_analysis.h"
+#include "util/cli.h"
+
+int main(int argc, char** argv) {
+  using namespace pfr;
+  using namespace pfr::obs;
+
+  const CliArgs cli{argc, argv};
+  const std::string file = cli.get_string("file", "");
+  const std::string task = cli.get_string("task", "");
+  const std::string kind = cli.get_string("kind", "");
+  const std::int64_t from = cli.get_int("from", 0);
+  const std::int64_t to = cli.get_int("to", -1);
+  const bool print = cli.get_bool("print");
+  if (cli.error()) {
+    std::cerr << "argument error: " << *cli.error() << "\n";
+    return 2;
+  }
+  if (!cli.unknown_flags().empty()) {
+    std::cerr << "unknown flag: --" << cli.unknown_flags().front() << "\n";
+    return 2;
+  }
+  if (file.empty()) {
+    std::cerr << "usage: pfair-trace --file=trace.jsonl [--task=NAME] "
+                 "[--kind=KIND] [--from=SLOT] [--to=SLOT] [--print]\n";
+    return 2;
+  }
+
+  std::ifstream in{file};
+  if (!in) {
+    std::cerr << "cannot open " << file << "\n";
+    return 1;
+  }
+  std::string error;
+  std::vector<ParsedEvent> events = read_jsonl_trace(in, &error);
+  if (!error.empty()) {
+    std::cerr << file << ": " << error << "\n";
+    return 1;
+  }
+
+  std::vector<ParsedEvent> filtered;
+  filtered.reserve(events.size());
+  for (ParsedEvent& ev : events) {
+    if (!task.empty() && ev.name != task) continue;
+    if (!kind.empty() && ev.kind != kind) continue;
+    if (ev.slot < from) continue;
+    if (to >= 0 && ev.slot >= to) continue;
+    filtered.push_back(std::move(ev));
+  }
+
+  if (print) {
+    for (const ParsedEvent& ev : filtered) std::cout << ev.raw << "\n";
+    std::cerr << filtered.size() << " of " << events.size()
+              << " events matched\n";
+    return 0;
+  }
+  std::cout << render_trace_summary(summarize_trace(filtered));
+  return 0;
+}

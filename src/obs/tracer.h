@@ -1,0 +1,31 @@
+/// \file tracer.h
+/// \brief Tracer: the engine-side emission point, free when disabled.
+///
+/// The engine holds a Tracer by value and brackets every emission site with
+/// `if (tracer.enabled())`, so a run without an attached sink pays one
+/// predictable branch per site and never constructs a TraceEvent.  The
+/// overhead_micro bench guards the < 2% regression budget for this.
+#pragma once
+
+#include "obs/sink.h"
+
+namespace pfr::obs {
+
+class Tracer {
+ public:
+  /// Attaches a sink (nullptr detaches).  The caller keeps ownership and
+  /// must keep the sink alive while attached.
+  void set_sink(EventSink* sink) noexcept { sink_ = sink; }
+  [[nodiscard]] EventSink* sink() const noexcept { return sink_; }
+
+  [[nodiscard]] bool enabled() const noexcept { return sink_ != nullptr; }
+
+  void emit(const TraceEvent& event) const {
+    if (sink_ != nullptr) sink_->on_event(event);
+  }
+
+ private:
+  EventSink* sink_{nullptr};
+};
+
+}  // namespace pfr::obs

@@ -76,25 +76,85 @@ void Engine::run_until(Slot horizon) {
   while (now_ < horizon) step();
 }
 
+void Engine::set_metrics(obs::MetricsRegistry* registry) {
+  metrics_ = registry;
+  static constexpr const char* kPhaseNames[kPhaseCount] = {
+      "engine.phase.joins",     "engine.phase.enactments",
+      "engine.phase.releases",  "engine.phase.events",
+      "engine.phase.ideal",     "engine.phase.dispatch",
+      "engine.phase.miss_detect"};
+  for (int i = 0; i < kPhaseCount; ++i) {
+    phase_timers_[i] =
+        registry == nullptr ? nullptr : &registry->timer(kPhaseNames[i]);
+  }
+}
+
+void Engine::export_metrics(obs::MetricsRegistry& registry) const {
+  registry.counter("engine.slots").add(stats_.slots);
+  registry.counter("engine.dispatched").add(stats_.dispatched);
+  registry.counter("engine.holes").add(stats_.holes);
+  registry.counter("engine.initiations").add(stats_.initiations);
+  registry.counter("engine.enactments").add(stats_.enactments);
+  registry.counter("engine.halts").add(stats_.halts);
+  registry.counter("engine.oi_events").add(stats_.oi_events);
+  registry.counter("engine.lj_events").add(stats_.lj_events);
+  registry.counter("engine.clamped_requests").add(stats_.clamped_requests);
+  registry.counter("engine.rejected_requests").add(stats_.rejected_requests);
+  registry.counter("engine.misses")
+      .add(static_cast<std::int64_t>(misses_.size()));
+  registry.counter("engine.tasks")
+      .add(static_cast<std::int64_t>(tasks_.size()));
+}
+
 void Engine::step() {
   const Slot t = now_;
   oi_budget_used_this_slot_ = 0;
-  process_joins(t);
-  process_pending_enactments(t);
-  process_due_releases(t);
-  process_due_events(t);
-  accrue_ideal(t);
-  dispatch(t);
+  {
+    obs::ScopedTimer timer{phase_timers_[kPhaseJoins]};
+    process_joins(t);
+  }
+  {
+    obs::ScopedTimer timer{phase_timers_[kPhaseEnactments]};
+    process_pending_enactments(t);
+  }
+  {
+    obs::ScopedTimer timer{phase_timers_[kPhaseReleases]};
+    process_due_releases(t);
+  }
+  {
+    obs::ScopedTimer timer{phase_timers_[kPhaseEvents]};
+    process_due_events(t);
+  }
+  {
+    obs::ScopedTimer timer{phase_timers_[kPhaseIdeal]};
+    accrue_ideal(t);
+  }
+  {
+    obs::ScopedTimer timer{phase_timers_[kPhaseDispatch]};
+    dispatch(t);
+  }
   if (cfg_.validate) validate_slot(t);
   ++now_;
   ++stats_.slots;
-  detect_misses(now_);
+  {
+    obs::ScopedTimer timer{phase_timers_[kPhaseMissDetect]};
+    detect_misses(now_);
+  }
 }
 
 void Engine::process_joins(Slot t) {
   for (TaskState& task : tasks_) {
     if (!task.joined && task.join_time == t) {
       task.joined = true;
+      if (tracer_.enabled()) {
+        obs::TraceEvent e;
+        e.kind = obs::EventKind::kTaskJoin;
+        e.slot = t;
+        e.task = task.id;
+        e.task_name = task.name;
+        e.weight_to = task.swt;
+        tracer_.emit(e);
+      }
     }
   }
 }
@@ -140,6 +200,17 @@ void Engine::release_subtask(TaskState& task, Slot at) {
 
   task.subtasks.push_back(s);
   task.next_index = j + 1;
+  if (tracer_.enabled()) {
+    obs::TraceEvent e;
+    e.kind = obs::EventKind::kSubtaskRelease;
+    e.slot = at;
+    e.task = task.id;
+    e.task_name = task.name;
+    e.subtask = j;
+    e.deadline = s.deadline;
+    e.b = s.b;
+    tracer_.emit(e);
+  }
   if (TaskState::gen_first(task.subtasks.back())) sample_drift(task, at);
   schedule_next_normal_release(task);
 }
@@ -160,6 +231,16 @@ void Engine::detect_misses(Slot boundary) {
       if (!s.present || s.halted() || s.scheduled()) continue;
       if (s.deadline == boundary) {
         misses_.push_back(MissRecord{task.id, s.index, s.deadline});
+        if (tracer_.enabled()) {
+          obs::TraceEvent e;
+          e.kind = obs::EventKind::kDeadlineMiss;
+          e.slot = boundary;
+          e.task = task.id;
+          e.task_name = task.name;
+          e.subtask = s.index;
+          e.deadline = s.deadline;
+          tracer_.emit(e);
+        }
       }
     }
   }
@@ -196,6 +277,16 @@ void Engine::sample_drift(TaskState& task, Slot u) {
   task.drift = d;
   task.drift_history.push_back(
       TaskState::DriftPoint{u, d, task.initiations_since_enactment});
+  if (tracer_.enabled()) {
+    obs::TraceEvent e;
+    e.kind = obs::EventKind::kDriftSample;
+    e.slot = u;
+    e.task = task.id;
+    e.task_name = task.name;
+    e.value = d;
+    e.folded = task.initiations_since_enactment;
+    tracer_.emit(e);
+  }
   task.initiations_since_enactment = 0;
 }
 

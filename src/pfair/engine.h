@@ -25,6 +25,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
+#include "obs/tracer.h"
 #include "pfair/priority.h"
 #include "pfair/task.h"
 #include "pfair/types.h"
@@ -116,6 +118,28 @@ class Engine {
   void run_until(Slot horizon);///< simulate slots [now, horizon)
   [[nodiscard]] Slot now() const noexcept { return now_; }
 
+  // ----- observability (src/obs) -----
+
+  /// Attaches a structured-event sink (nullptr detaches).  Pure
+  /// observation: the traced schedule is bit-identical to the untraced one
+  /// (tests assert this).  Caller keeps ownership; remember to flush() the
+  /// sink at end of run.
+  void set_event_sink(obs::EventSink* sink) noexcept {
+    tracer_.set_sink(sink);
+  }
+  [[nodiscard]] bool tracing() const noexcept { return tracer_.enabled(); }
+
+  /// Attaches a metrics registry (nullptr detaches): the seven per-slot
+  /// phases (joins, enactments, releases, events, ideal accrual, dispatch,
+  /// miss detection) are timed into "engine.phase.*" timers from the next
+  /// step() on.  Caller keeps ownership.
+  void set_metrics(obs::MetricsRegistry* registry);
+
+  /// Mirrors the run's aggregate state (EngineStats, misses, task count)
+  /// into "engine.*" counters of `registry`.  Adds to existing values, so
+  /// use a fresh registry per run (or per engine when merging).
+  void export_metrics(obs::MetricsRegistry& registry) const;
+
   // ----- queries -----
 
   [[nodiscard]] int processors() const noexcept { return cfg_.processors; }
@@ -183,6 +207,23 @@ class Engine {
   std::vector<MissRecord> misses_;
   std::vector<SlotRecord> trace_;
   EngineStats stats_;
+
+  // --- observability (pure observers; never consulted for scheduling) ---
+  obs::Tracer tracer_;
+  obs::MetricsRegistry* metrics_{nullptr};
+  /// The per-slot pipeline phases, in step() order (timer indices).
+  enum Phase : int {
+    kPhaseJoins = 0,
+    kPhaseEnactments,
+    kPhaseReleases,
+    kPhaseEvents,
+    kPhaseIdeal,
+    kPhaseDispatch,
+    kPhaseMissDetect,
+    kPhaseCount,
+  };
+  /// Timers resolved once in set_metrics; null when metrics are detached.
+  obs::Timer* phase_timers_[kPhaseCount] = {};
 
   struct QueuedEvent {
     Slot at;

@@ -36,7 +36,8 @@ Slot gate_time(const TaskState& task, const PendingReweight& p) {
   return std::max(p.initiated_at, d_isw + anchor.b);
 }
 
-void halt_subtask(TaskState& task, Subtask& s, Slot t, EngineStats& stats) {
+void halt_subtask(TaskState& task, Subtask& s, Slot t, EngineStats& stats,
+                  const obs::Tracer& tracer) {
   if (s.halted()) return;  // repeat rule-O events keep the original halt time
   s.halted_at = t;
   ++task.halt_count;
@@ -45,6 +46,31 @@ void halt_subtask(TaskState& task, Subtask& s, Slot t, EngineStats& stats) {
   // contribution credited while the halt was unknown.  (Absent subtasks were
   // never credited in the first place.)
   if (s.present) task.cum_icsw -= s.nominal_cum;
+  if (tracer.enabled()) {
+    obs::TraceEvent e;
+    e.kind = obs::EventKind::kHalt;
+    e.slot = t;
+    e.task = task.id;
+    e.task_name = task.name;
+    e.subtask = s.index;
+    tracer.emit(e);
+  }
+}
+
+/// Emits the kInitiation record once the handling rule is known.
+void trace_initiation(const obs::Tracer& tracer, const TaskState& task,
+                      RuleApplied rule, const Rational& from,
+                      const Rational& to, Slot t) {
+  if (!tracer.enabled()) return;
+  obs::TraceEvent e;
+  e.kind = obs::EventKind::kInitiation;
+  e.slot = t;
+  e.task = task.id;
+  e.task_name = task.name;
+  e.rule = rule;
+  e.weight_from = from;
+  e.weight_to = to;
+  tracer.emit(e);
 }
 
 }  // namespace
@@ -91,6 +117,7 @@ void Engine::initiate_weight_change(TaskState& task, Rational target, Slot t) {
   if (!task.joined || task.subtasks.empty()) {
     // Nothing released yet: the change is enacted immediately; the first
     // subtask (still pending at join/next_release) will use the new weight.
+    trace_initiation(tracer_, task, RuleApplied::kNone, task.swt, target, t);
     task.wt = target;
     task.swt = target;
     task.swt_history.emplace_back(std::max(t, task.join_time), target);
@@ -98,6 +125,16 @@ void Engine::initiate_weight_change(TaskState& task, Rational target, Slot t) {
     ++task.enactment_count;
     ++stats_.initiations;
     ++stats_.enactments;
+    if (tracer_.enabled()) {
+      obs::TraceEvent e;
+      e.kind = obs::EventKind::kEnactment;
+      e.slot = t;
+      e.task = task.id;
+      e.task_name = task.name;
+      e.rule = RuleApplied::kNone;
+      e.weight_to = target;
+      tracer_.emit(e);
+    }
     return;
   }
 
@@ -121,6 +158,7 @@ void Engine::initiate_weight_change(TaskState& task, Rational target, Slot t) {
     p.rule = RuleApplied::kBetween;
     p.gate = PendingReweight::Gate::kFixedTime;
     p.fixed_time = std::max(t, tj.deadline + tj.b);
+    trace_initiation(tracer_, task, p.rule, task.swt, target, t);
     task.pending = p;
     task.chain_frozen = true;
     if (p.fixed_time <= t) enact(task, target, t);
@@ -139,6 +177,7 @@ void Engine::initiate_weight_change(TaskState& task, Rational target, Slot t) {
 
 void Engine::apply_rule_oi(TaskState& task, Rational target, Slot t) {
   Subtask& tj = *task.last_released();
+  const Rational swt_before = task.swt;
   PendingReweight p;
   p.target = target;
   p.initiated_at = t;
@@ -148,7 +187,7 @@ void Engine::apply_rule_oi(TaskState& task, Rational target, Slot t) {
     // Rule O: halt T_j; enact at max(t_c, D(I_SW, T_{j-1}) + b(T_{j-1})),
     // or immediately when T_j is the task's first subtask.
     p.rule = RuleApplied::kRuleO;
-    halt_subtask(task, tj, t, stats_);
+    halt_subtask(task, tj, t, stats_, tracer_);
     if (tj.index == 1) {
       p.gate = PendingReweight::Gate::kFixedTime;
       p.fixed_time = t;
@@ -173,6 +212,7 @@ void Engine::apply_rule_oi(TaskState& task, Rational target, Slot t) {
     p.anchor = tj.index;
   }
 
+  trace_initiation(tracer_, task, p.rule, swt_before, target, t);
   task.rule_counts[static_cast<int>(p.rule)]++;
   task.pending = p;
   task.chain_frozen = true;
@@ -191,6 +231,7 @@ void Engine::apply_rule_lj(TaskState& task, Rational target, Slot t) {
   // admission was reserved at initiation by police()).
   p.gate = PendingReweight::Gate::kFixedTime;
   p.fixed_time = std::max(t, tj.deadline + tj.b);
+  trace_initiation(tracer_, task, p.rule, task.swt, target, t);
   task.rule_counts[static_cast<int>(p.rule)]++;
   task.pending = p;
   task.chain_frozen = true;
@@ -207,6 +248,16 @@ void Engine::enact(TaskState& task, Rational target, Slot t) {
   }
   ++task.enactment_count;
   ++stats_.enactments;
+  if (tracer_.enabled()) {
+    obs::TraceEvent e;
+    e.kind = obs::EventKind::kEnactment;
+    e.slot = t;
+    e.task = task.id;
+    e.task_name = task.name;
+    e.rule = p.rule;
+    e.weight_to = target;
+    tracer_.emit(e);
+  }
 
   // The next subtask starts a new generation: releases/deadlines/b-bits
   // restart as though a task of the new weight joined now (Id = j+1), and
@@ -224,6 +275,15 @@ void Engine::initiate_leave(TaskState& task, Slot t) {
   // Rule L: the leave takes effect at d(T_j) + b(T_j) of the last released
   // subtask (which is scheduled by then), or immediately if none.
   task.left_at = tj == nullptr ? t : std::max(t, tj->deadline + tj->b);
+  if (tracer_.enabled()) {
+    obs::TraceEvent e;
+    e.kind = obs::EventKind::kLeaveRequest;
+    e.slot = t;
+    e.task = task.id;
+    e.task_name = task.name;
+    e.when = task.left_at;
+    tracer_.emit(e);
+  }
 }
 
 bool Engine::use_oi_rules(const TaskState& task, const Rational& target,
@@ -261,8 +321,22 @@ Rational Engine::police(const TaskState& task, Rational target) {
   }
   const Rational avail = Rational{cfg_.processors} - others;
   if (target <= avail) return target;
+  const auto trace_policing = [this, &task](obs::EventKind kind,
+                                            const Rational& requested,
+                                            const Rational& granted) {
+    if (!tracer_.enabled()) return;
+    obs::TraceEvent e;
+    e.kind = kind;
+    e.slot = now_;
+    e.task = task.id;
+    e.task_name = task.name;
+    e.weight_from = requested;
+    e.weight_to = granted;
+    tracer_.emit(e);
+  };
   if (cfg_.policing == PolicingMode::kReject) {
     ++stats_.rejected_requests;
+    trace_policing(obs::EventKind::kPolicingReject, target, Rational{});
     return Rational{};  // signals rejection
   }
   ++stats_.clamped_requests;
@@ -270,8 +344,10 @@ Rational Engine::police(const TaskState& task, Rational target) {
   clamped = min(clamped, kMaxWeight);
   if (clamped <= 0) {
     ++stats_.rejected_requests;
+    trace_policing(obs::EventKind::kPolicingReject, target, Rational{});
     return Rational{};
   }
+  trace_policing(obs::EventKind::kPolicingClamp, target, clamped);
   return clamped;
 }
 

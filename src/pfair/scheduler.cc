@@ -73,12 +73,28 @@ void Engine::dispatch(Slot t) {
 
   SlotRecord rec;
   rec.scheduled.reserve(candidates_.size());
-  for (const Candidate& c : candidates_) {
+  for (std::size_t lane = 0; lane < candidates_.size(); ++lane) {
+    const Candidate& c = candidates_[lane];
     TaskState& task = tasks_[static_cast<std::size_t>(c.task)];
-    task.subtasks[task.dispatch_cursor].scheduled_at = t;
+    Subtask& s = task.subtasks[task.dispatch_cursor];
+    s.scheduled_at = t;
     ++task.scheduled_count;
     ++stats_.dispatched;
     rec.scheduled.push_back(c.task);
+    if (tracer_.enabled()) {
+      // The lane index is the priority order within the slot -- the lane a
+      // partitioned-by-priority M-processor system would run the subtask on.
+      obs::TraceEvent e;
+      e.kind = obs::EventKind::kDispatch;
+      e.slot = t;
+      e.task = task.id;
+      e.task_name = task.name;
+      e.subtask = s.index;
+      e.deadline = s.deadline;
+      e.b = s.b;
+      e.cpu = static_cast<int>(lane);
+      tracer_.emit(e);
+    }
   }
   rec.holes = cfg_.processors - static_cast<int>(candidates_.size());
   stats_.holes += rec.holes;

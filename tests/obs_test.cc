@@ -1,0 +1,316 @@
+/// The observability layer (src/obs): JSONL golden trace for a scripted
+/// OI+LJ scenario, Chrome trace validity, metrics/EngineStats agreement,
+/// and the guarantee that attaching a sink never perturbs the schedule.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/chrome_trace_sink.h"
+#include "obs/json.h"
+#include "obs/jsonl_sink.h"
+#include "obs/metrics.h"
+#include "obs/trace_analysis.h"
+#include "pfair/pfair.h"
+#include "pfair/trace.h"
+
+namespace pfr {
+namespace {
+
+using namespace pfr::pfair;
+
+/// M = 2, hybrid-magnitude threshold 2: A's change (factor 4) goes through
+/// the fine-grained OI rules, B's (factor 9/8) falls back to leave/join --
+/// one scripted run exercising halt, rule-O initiation+enactment, deferred
+/// LJ enactment, releases, dispatches and drift samples.
+Engine make_golden_engine(bool record_slot_trace = false) {
+  EngineConfig cfg;
+  cfg.processors = 2;
+  cfg.policy = ReweightPolicy::kHybridMagnitude;
+  cfg.hybrid_magnitude_threshold = 2.0;
+  cfg.record_slot_trace = record_slot_trace;
+  Engine eng{cfg};
+  const TaskId a = eng.add_task(rat(1, 2), 0, "A");
+  const TaskId b = eng.add_task(rat(1, 3), 0, "B");
+  const TaskId c = eng.add_task(rat(1, 4), 0, "C");
+  eng.set_tie_rank(a, 0);
+  eng.set_tie_rank(b, 1);
+  eng.set_tie_rank(c, 2);
+  eng.request_weight_change(a, rat(1, 8), 4);
+  eng.request_weight_change(b, rat(3, 8), 6);
+  return eng;
+}
+
+constexpr const char* kGoldenJsonl =
+    R"({"kind":"task_join","slot":0,"task":0,"name":"A","weight":"1/2"}
+{"kind":"task_join","slot":0,"task":1,"name":"B","weight":"1/3"}
+{"kind":"task_join","slot":0,"task":2,"name":"C","weight":"1/4"}
+{"kind":"subtask_release","slot":0,"task":0,"name":"A","subtask":1,"deadline":2,"b":0}
+{"kind":"drift_sample","slot":0,"task":0,"name":"A","drift":"0","folded":0}
+{"kind":"subtask_release","slot":0,"task":1,"name":"B","subtask":1,"deadline":3,"b":0}
+{"kind":"drift_sample","slot":0,"task":1,"name":"B","drift":"0","folded":0}
+{"kind":"subtask_release","slot":0,"task":2,"name":"C","subtask":1,"deadline":4,"b":0}
+{"kind":"drift_sample","slot":0,"task":2,"name":"C","drift":"0","folded":0}
+{"kind":"dispatch","slot":0,"task":0,"name":"A","subtask":1,"deadline":2,"b":0,"cpu":0}
+{"kind":"dispatch","slot":0,"task":1,"name":"B","subtask":1,"deadline":3,"b":0,"cpu":1}
+{"kind":"dispatch","slot":1,"task":2,"name":"C","subtask":1,"deadline":4,"b":0,"cpu":0}
+{"kind":"subtask_release","slot":2,"task":0,"name":"A","subtask":2,"deadline":4,"b":0}
+{"kind":"dispatch","slot":2,"task":0,"name":"A","subtask":2,"deadline":4,"b":0,"cpu":0}
+{"kind":"subtask_release","slot":3,"task":1,"name":"B","subtask":2,"deadline":6,"b":0}
+{"kind":"dispatch","slot":3,"task":1,"name":"B","subtask":2,"deadline":6,"b":0,"cpu":0}
+{"kind":"subtask_release","slot":4,"task":0,"name":"A","subtask":3,"deadline":6,"b":0}
+{"kind":"subtask_release","slot":4,"task":2,"name":"C","subtask":2,"deadline":8,"b":0}
+{"kind":"halt","slot":4,"task":0,"name":"A","subtask":3}
+{"kind":"initiation","slot":4,"task":0,"name":"A","rule":"rule-O","from":"1/2","to":"1/8"}
+{"kind":"enactment","slot":4,"task":0,"name":"A","rule":"rule-O","weight":"1/8"}
+{"kind":"subtask_release","slot":4,"task":0,"name":"A","subtask":4,"deadline":12,"b":0}
+{"kind":"drift_sample","slot":4,"task":0,"name":"A","drift":"0","folded":1}
+{"kind":"dispatch","slot":4,"task":2,"name":"C","subtask":2,"deadline":8,"b":0,"cpu":0}
+{"kind":"dispatch","slot":4,"task":0,"name":"A","subtask":4,"deadline":12,"b":0,"cpu":1}
+{"kind":"subtask_release","slot":6,"task":1,"name":"B","subtask":3,"deadline":9,"b":0}
+{"kind":"initiation","slot":6,"task":1,"name":"B","rule":"leave/join","from":"1/3","to":"3/8"}
+{"kind":"dispatch","slot":6,"task":1,"name":"B","subtask":3,"deadline":9,"b":0,"cpu":0}
+{"kind":"subtask_release","slot":8,"task":2,"name":"C","subtask":3,"deadline":12,"b":0}
+{"kind":"dispatch","slot":8,"task":2,"name":"C","subtask":3,"deadline":12,"b":0,"cpu":0}
+{"kind":"enactment","slot":9,"task":1,"name":"B","rule":"leave/join","weight":"3/8"}
+{"kind":"subtask_release","slot":9,"task":1,"name":"B","subtask":4,"deadline":12,"b":1}
+{"kind":"drift_sample","slot":9,"task":1,"name":"B","drift":"1/8","folded":1}
+{"kind":"dispatch","slot":9,"task":1,"name":"B","subtask":4,"deadline":12,"b":1,"cpu":0}
+{"kind":"subtask_release","slot":11,"task":1,"name":"B","subtask":5,"deadline":15,"b":1}
+{"kind":"dispatch","slot":11,"task":1,"name":"B","subtask":5,"deadline":15,"b":1,"cpu":0}
+)";
+
+TEST(JsonlSink, GoldenTraceMatchesByteForByte) {
+  Engine eng = make_golden_engine();
+  std::ostringstream os;
+  obs::JsonlSink sink{os};
+  eng.set_event_sink(&sink);
+  eng.run_until(12);
+  sink.flush();
+  EXPECT_EQ(os.str(), kGoldenJsonl);
+  EXPECT_EQ(sink.events_written(), 36);
+  EXPECT_EQ(eng.stats().oi_events, 1);
+  EXPECT_EQ(eng.stats().lj_events, 1);
+  EXPECT_EQ(eng.stats().halts, 1);
+}
+
+TEST(JsonlSink, EveryLineIsValidFlatJson) {
+  Engine eng = make_golden_engine();
+  std::ostringstream os;
+  obs::JsonlSink sink{os};
+  eng.set_event_sink(&sink);
+  eng.run_until(12);
+  std::istringstream in{os.str()};
+  std::string line;
+  int lines = 0;
+  while (std::getline(in, line)) {
+    ++lines;
+    EXPECT_TRUE(obs::json_valid(line)) << "line " << lines << ": " << line;
+    EXPECT_TRUE(obs::parse_flat_json_object(line).has_value());
+  }
+  EXPECT_EQ(lines, 36);
+}
+
+TEST(ChromeTraceSink, OutputParsesAsValidJson) {
+  Engine eng = make_golden_engine();
+  std::ostringstream os;
+  obs::ChromeTraceSink sink{os};
+  eng.set_event_sink(&sink);
+  eng.run_until(12);
+  sink.flush();
+  const std::string trace = os.str();
+  EXPECT_TRUE(obs::json_valid(trace)) << trace;
+  // The container and the tracks Perfetto groups by must be present.
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(trace.find("\"process_name\""), std::string::npos);
+  EXPECT_NE(trace.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(trace.find("\"cpu0\""), std::string::npos);
+  EXPECT_NE(trace.find("\"cpu1\""), std::string::npos);
+}
+
+TEST(ChromeTraceSink, FlushIsIdempotent) {
+  Engine eng = make_golden_engine();
+  std::ostringstream os;
+  obs::ChromeTraceSink sink{os};
+  eng.set_event_sink(&sink);
+  eng.run_until(12);
+  sink.flush();
+  const std::string once = os.str();
+  sink.flush();
+  EXPECT_EQ(os.str(), once);
+}
+
+TEST(Metrics, ExportedCountersMatchEngineStats) {
+  Engine eng = make_golden_engine();
+  obs::MetricsRegistry reg;
+  eng.set_metrics(&reg);
+  eng.run_until(12);
+  eng.export_metrics(reg);
+  const EngineStats& s = eng.stats();
+  EXPECT_EQ(reg.counter("engine.slots").value, s.slots);
+  EXPECT_EQ(reg.counter("engine.dispatched").value, s.dispatched);
+  EXPECT_EQ(reg.counter("engine.holes").value, s.holes);
+  EXPECT_EQ(reg.counter("engine.initiations").value, s.initiations);
+  EXPECT_EQ(reg.counter("engine.enactments").value, s.enactments);
+  EXPECT_EQ(reg.counter("engine.halts").value, s.halts);
+  EXPECT_EQ(reg.counter("engine.oi_events").value, s.oi_events);
+  EXPECT_EQ(reg.counter("engine.lj_events").value, s.lj_events);
+  EXPECT_EQ(reg.counter("engine.clamped_requests").value, s.clamped_requests);
+  EXPECT_EQ(reg.counter("engine.rejected_requests").value,
+            s.rejected_requests);
+  EXPECT_EQ(reg.counter("engine.tasks").value, 3);
+  EXPECT_TRUE(obs::json_valid(reg.to_json())) << reg.to_json();
+}
+
+TEST(Metrics, PhaseTimersCoverEverySlot) {
+  Engine eng = make_golden_engine();
+  obs::MetricsRegistry reg;
+  eng.set_metrics(&reg);
+  eng.run_until(12);
+  for (const char* phase :
+       {"engine.phase.joins", "engine.phase.enactments",
+        "engine.phase.releases", "engine.phase.events", "engine.phase.ideal",
+        "engine.phase.dispatch", "engine.phase.miss_detect"}) {
+    const obs::Timer& t = reg.timer(phase);
+    EXPECT_EQ(t.count, 12) << phase;
+    EXPECT_GE(t.total_ns, 0) << phase;
+  }
+}
+
+TEST(CrossValidation, TracedRunIsBitIdenticalToUntraced) {
+  Engine plain = make_golden_engine(/*record_slot_trace=*/true);
+  Engine traced = make_golden_engine(/*record_slot_trace=*/true);
+  std::ostringstream os;
+  obs::JsonlSink sink{os};
+  obs::MetricsRegistry reg;
+  traced.set_event_sink(&sink);
+  traced.set_metrics(&reg);
+  plain.run_until(24);
+  traced.run_until(24);
+
+  EXPECT_EQ(render_schedule(plain, 0, 24), render_schedule(traced, 0, 24));
+  for (TaskId id = 0; id < 3; ++id) {
+    EXPECT_EQ(summarize_task(plain, id), summarize_task(traced, id));
+  }
+  const EngineStats& a = plain.stats();
+  const EngineStats& b = traced.stats();
+  EXPECT_EQ(a.slots, b.slots);
+  EXPECT_EQ(a.dispatched, b.dispatched);
+  EXPECT_EQ(a.holes, b.holes);
+  EXPECT_EQ(a.initiations, b.initiations);
+  EXPECT_EQ(a.enactments, b.enactments);
+  EXPECT_EQ(a.halts, b.halts);
+  EXPECT_EQ(a.oi_events, b.oi_events);
+  EXPECT_EQ(a.lj_events, b.lj_events);
+  EXPECT_EQ(a.clamped_requests, b.clamped_requests);
+  EXPECT_EQ(a.rejected_requests, b.rejected_requests);
+  EXPECT_EQ(plain.misses().size(), traced.misses().size());
+}
+
+TEST(TeeSink, FansOutToEverySinkInOrder) {
+  std::ostringstream a, b;
+  obs::JsonlSink sa{a}, sb{b};
+  obs::TeeSink tee;
+  EXPECT_TRUE(tee.empty());
+  tee.attach(&sa);
+  tee.attach(&sb);
+  tee.attach(nullptr);  // ignored
+  EXPECT_FALSE(tee.empty());
+
+  obs::TraceEvent e;
+  e.kind = obs::EventKind::kDispatch;
+  e.slot = 3;
+  e.task = 1;
+  e.task_name = "T";
+  e.subtask = 2;
+  e.deadline = 5;
+  e.b = 1;
+  e.cpu = 0;
+  tee.on_event(e);
+  tee.flush();
+  EXPECT_EQ(a.str(), b.str());
+  EXPECT_EQ(sa.events_written(), 1);
+  EXPECT_EQ(
+      a.str(),
+      "{\"kind\":\"dispatch\",\"slot\":3,\"task\":1,\"name\":\"T\","
+      "\"subtask\":2,\"deadline\":5,\"b\":1,\"cpu\":0}\n");
+}
+
+TEST(Json, EscapeAndValidate) {
+  EXPECT_EQ(obs::json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\n");
+  EXPECT_TRUE(obs::json_valid("{\"a\":1,\"b\":[true,null,\"x\"]}"));
+  EXPECT_TRUE(obs::json_valid("[-1.5e3, {}, []]"));
+  EXPECT_FALSE(obs::json_valid("{\"a\":}"));
+  EXPECT_FALSE(obs::json_valid("{'a':1}"));
+  EXPECT_FALSE(obs::json_valid("{\"a\":1,}"));
+  EXPECT_FALSE(obs::json_valid(""));
+  EXPECT_FALSE(obs::json_valid("{\"a\":1} trailing"));
+}
+
+TEST(Json, ParseFlatObjectRoundTrips) {
+  const auto obj = obs::parse_flat_json_object(
+      "{\"kind\":\"halt\",\"slot\":4,\"task\":0,\"name\":\"A\"}");
+  ASSERT_TRUE(obj.has_value());
+  EXPECT_EQ(obj->at("kind"), "halt");
+  EXPECT_EQ(obj->at("slot"), "4");
+  EXPECT_EQ(obj->at("name"), "A");
+  EXPECT_FALSE(obs::parse_flat_json_object("{\"a\":{\"b\":1}}").has_value());
+  EXPECT_FALSE(obs::parse_flat_json_object("not json").has_value());
+}
+
+TEST(Histogram, BucketsAndOverflow) {
+  obs::Histogram h{{1.0, 2.0, 4.0}};
+  for (const double v : {0.5, 1.0, 1.5, 3.0, 100.0}) h.observe(v);
+  ASSERT_EQ(h.counts().size(), 4U);
+  EXPECT_EQ(h.counts()[0], 2);  // 0.5, 1.0
+  EXPECT_EQ(h.counts()[1], 1);  // 1.5
+  EXPECT_EQ(h.counts()[2], 1);  // 3.0
+  EXPECT_EQ(h.counts()[3], 1);  // 100.0 -> +inf overflow
+  EXPECT_EQ(h.total(), 5);
+  EXPECT_DOUBLE_EQ(h.sum(), 106.0);
+}
+
+TEST(TraceAnalysis, SummarizesGoldenTrace) {
+  std::istringstream in{kGoldenJsonl};
+  std::string error;
+  const auto events = obs::read_jsonl_trace(in, &error);
+  EXPECT_TRUE(error.empty()) << error;
+  ASSERT_EQ(events.size(), 36U);
+
+  const obs::TraceSummary sum = obs::summarize_trace(events);
+  EXPECT_EQ(sum.total_events, 36);
+  EXPECT_EQ(sum.first_slot, 0);
+  EXPECT_EQ(sum.last_slot, 11);
+  EXPECT_EQ(sum.by_kind.at("dispatch"), 11);
+  EXPECT_EQ(sum.by_kind.at("halt"), 1);
+  EXPECT_EQ(sum.by_kind.at("enactment"), 2);
+  EXPECT_EQ(sum.by_task.at("A").at("halt"), 1);
+  // A's rule-O halt at t=4 is repaired by the enactment in the same slot.
+  ASSERT_EQ(sum.halt_latencies.size(), 1U);
+  EXPECT_EQ(sum.halt_latencies[0], 0);
+
+  const std::string text = obs::render_trace_summary(sum);
+  EXPECT_NE(text.find("dispatch"), std::string::npos);
+  EXPECT_NE(text.find("halt"), std::string::npos);
+}
+
+TEST(TraceAnalysis, ReportsMalformedLineWithNumber) {
+  std::istringstream in{"{\"kind\":\"halt\",\"slot\":1}\nnot json\n"};
+  std::string error;
+  const auto events = obs::read_jsonl_trace(in, &error);
+  EXPECT_EQ(events.size(), 1U);
+  EXPECT_NE(error.find("2"), std::string::npos) << error;
+}
+
+TEST(TraceAnalysis, GapStats) {
+  const obs::GapStats g = obs::gap_stats({3, 1, 5});
+  EXPECT_EQ(g.count, 3);
+  EXPECT_EQ(g.min, 1);
+  EXPECT_EQ(g.max, 5);
+  EXPECT_DOUBLE_EQ(g.mean, 3.0);
+  EXPECT_EQ(obs::gap_stats({}).count, 0);
+}
+
+}  // namespace
+}  // namespace pfr

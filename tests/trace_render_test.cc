@@ -1,0 +1,93 @@
+/// ASCII schedule rendering (pfair/trace.h) on a known two-task scenario:
+/// M = 1, A and B both at weight 1/2, B reweighting to 1/4 at t = 2 while
+/// its second subtask is released but unscheduled -- so rule O halts it and
+/// every glyph ('#' scheduled, '.' waiting, 'x' halted, ' ' outside any
+/// window) appears in the output.
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "pfair/pfair.h"
+#include "pfair/trace.h"
+
+namespace pfr::pfair {
+namespace {
+
+Engine make_two_task_scenario() {
+  EngineConfig cfg;
+  cfg.processors = 1;
+  Engine eng{cfg};
+  const TaskId a = eng.add_task(rat(1, 2), 0, "A");
+  const TaskId b = eng.add_task(rat(1, 2), 0, "B");
+  eng.set_tie_rank(a, 0);
+  eng.set_tie_rank(b, 1);
+  eng.request_weight_change(b, rat(1, 4), 2);
+  return eng;
+}
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in{text};
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+TEST(RenderSchedule, TwoTaskScenarioRowsMatchExactly) {
+  Engine eng = make_two_task_scenario();
+  eng.run_until(8);
+  const auto lines = lines_of(render_schedule(eng, 0, 8));
+  ASSERT_EQ(lines.size(), 3U);  // header + one row per task
+  // A (rank 0) wins every tie: slots 0,2,4,6.
+  EXPECT_EQ(lines[1], "A     # # # # ");
+  // B runs in the holes; B_2 (released at 2, unscheduled) halts at t=2
+  // ('x'), the replacement generation picks up at weight 1/4.
+  EXPECT_EQ(lines[2], "B     .#x#  .#");
+}
+
+TEST(RenderSchedule, HeaderLabelsEveryFifthSlot) {
+  Engine eng = make_two_task_scenario();
+  eng.run_until(8);
+  const auto lines = lines_of(render_schedule(eng, 0, 8));
+  ASSERT_FALSE(lines.empty());
+  EXPECT_NE(lines[0].find('0'), std::string::npos);
+  EXPECT_NE(lines[0].find('5'), std::string::npos);
+}
+
+TEST(RenderSchedule, ContainsEachGlyphExactlyWhereExpected) {
+  Engine eng = make_two_task_scenario();
+  eng.run_until(8);
+  const auto lines = lines_of(render_schedule(eng, 0, 8));
+  ASSERT_EQ(lines.size(), 3U);
+  const std::string& b_row = lines[2];
+  const std::size_t origin = b_row.size() - 8;  // name + padding prefix
+  EXPECT_EQ(b_row[origin + 0], '.');  // B_1 waiting while A runs
+  EXPECT_EQ(b_row[origin + 1], '#');  // B_1 scheduled in the hole
+  EXPECT_EQ(b_row[origin + 2], 'x');  // B_2 halted by rule O at t=2
+  EXPECT_EQ(b_row[origin + 4], ' ');  // between windows at weight 1/4
+}
+
+TEST(RenderSchedule, EmptyRangeRendersNothing) {
+  Engine eng = make_two_task_scenario();
+  eng.run_until(8);
+  EXPECT_EQ(render_schedule(eng, 5, 5), "");
+  EXPECT_EQ(render_schedule(eng, 8, 5), "");
+}
+
+TEST(SummarizeTask, ReportsWeightsCountsAndDrift) {
+  Engine eng = make_two_task_scenario();
+  eng.run_until(8);
+  EXPECT_EQ(summarize_task(eng, 0),
+            "A: wt=1/2 swt=1/2 subtasks=4 scheduled=4 A(I_PS)=4 "
+            "A(I_CSW)=4 drift=0 reweights=0");
+  // B: halted generation costs it one subtask; the reweight shows up in
+  // wt/swt and the enactment count, with no accumulated drift.
+  EXPECT_EQ(summarize_task(eng, 1),
+            "B: wt=1/4 swt=1/4 subtasks=4 scheduled=3 A(I_PS)=5/2 "
+            "A(I_CSW)=5/2 drift=0 reweights=1");
+}
+
+}  // namespace
+}  // namespace pfr::pfair
