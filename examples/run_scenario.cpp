@@ -76,11 +76,14 @@ int main(int argc, char** argv) {
         std::cerr << "cannot open " << file << "\n";
         return 1;
       }
-      spec = parse_scenario(in);
+      spec = parse_scenario(in, file);
     }
   } catch (const std::exception& e) {
     std::cerr << "parse error: " << e.what() << "\n";
     return 1;
+  }
+  for (const std::string& w : spec.warnings) {
+    std::cerr << "warning: " << w << "\n";
   }
 
   BuiltScenario built = build_scenario(spec);

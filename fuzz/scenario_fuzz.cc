@@ -1,0 +1,86 @@
+/// \file scenario_fuzz.cc
+/// \brief libFuzzer target for the scenario language and the engine behind it.
+///
+/// The fuzzer feeds arbitrary bytes through parse_scenario_string(); inputs
+/// that parse are clamped to a small platform/horizon and then *run*, so the
+/// fuzzer exercises not just the tokenizer but admission policing, fault
+/// injection, degradation, and the slot loop.  The only accepted outcomes are
+/// a clean run or a typed exception (ParseError for malformed text,
+/// std::invalid_argument for semantically bad specs, std::logic_error for
+/// deliberate invariant violations under `violations throw`); anything else
+/// -- crash, sanitizer report, hang -- is a finding.
+///
+/// Built by `-DPFR_BUILD_FUZZERS=ON`.  With clang this is a real libFuzzer
+/// binary; with other compilers it degrades to a standalone driver that
+/// replays corpus files given as argv (so the regression corpus stays
+/// runnable everywhere, CI included).
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <stdexcept>
+#include <string>
+
+#include "pfair/scenario_io.h"
+#include "pfair/verify.h"
+
+namespace {
+
+using namespace pfr::pfair;
+
+/// Keep fuzz runs small: the engine is O(tasks) per slot and scenarios can
+/// ask for huge horizons/platforms that are legal but uninteresting to fuzz.
+constexpr pfr::pfair::Slot kMaxHorizon = 256;
+constexpr int kMaxProcessors = 8;
+constexpr std::size_t kMaxTasks = 32;
+
+void run_one(const std::string& text) {
+  try {
+    ScenarioSpec spec = parse_scenario_string(text, "fuzz");
+    if (spec.tasks.size() > kMaxTasks) return;
+    spec.horizon = std::min(spec.horizon, kMaxHorizon);
+    spec.config.processors = std::min(spec.config.processors, kMaxProcessors);
+    BuiltScenario built = build_scenario(spec);
+    built.engine->run_until(built.horizon);
+    (void)verify_schedule(*built.engine);
+  } catch (const ParseError&) {
+    // malformed text: the expected rejection path
+  } catch (const std::invalid_argument&) {
+    // parsed but semantically impossible (e.g. fault on processor >= M)
+  } catch (const std::logic_error&) {
+    // invariant violation under ViolationPolicy::kThrow on an overloaded
+    // or fault-crippled system: deliberate, not a bug
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  run_one(std::string{reinterpret_cast<const char*>(data), size});
+  return 0;
+}
+
+#ifdef PFR_FUZZ_STANDALONE
+// Non-clang fallback: replay corpus files passed on the command line.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in{argv[i], std::ios::binary};
+    if (!in) {
+      std::cerr << "cannot open " << argv[i] << "\n";
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string text = buf.str();
+    LLVMFuzzerTestOneInput(
+        reinterpret_cast<const std::uint8_t*>(text.data()), text.size());
+    std::cout << argv[i] << ": ok\n";
+  }
+  return 0;
+}
+#endif

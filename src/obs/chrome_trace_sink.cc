@@ -116,6 +116,48 @@ void ChromeTraceSink::on_event(const TraceEvent& e) {
                   "\"subtask\":" + std::to_string(e.subtask) +
                       ",\"deadline\":" + std::to_string(e.deadline)));
       break;
+    case EventKind::kProcDown:
+    case EventKind::kProcUp:
+    case EventKind::kQuantumOverrun: {
+      // Shown on the processor track so capacity gaps line up with the
+      // dispatch lanes.
+      const char* label = e.kind == EventKind::kProcDown    ? "CRASH cpu"
+                          : e.kind == EventKind::kProcUp    ? "recover cpu"
+                                                            : "overrun cpu";
+      std::ostringstream os;
+      os << "{\"name\":\"" << label << e.cpu << "\",\"cat\":\""
+         << to_string(e.kind) << "\",\"ph\":\"i\",\"s\":\"p\",\"ts\":"
+         << e.slot * kUsPerSlot << ",\"pid\":" << kCpuPid
+         << ",\"tid\":" << e.cpu << ",\"args\":{\"capacity\":" << e.folded
+         << "}}";
+      add(os.str());
+      cpus_.insert(e.cpu);
+      break;
+    }
+    case EventKind::kRequestDropped:
+      add(instant(e, "request dropped (" + name + ")", "\"dropped\":true"));
+      break;
+    case EventKind::kRequestDelayed:
+      add(instant(e, "request delayed (" + name + ")",
+                  "\"until\":" + std::to_string(e.when)));
+      break;
+    case EventKind::kDegradeBegin:
+      add(instant(e, "DEGRADE x" + e.value.to_string(),
+                  rational_arg("factor", e.value) +
+                      ",\"capacity\":" + std::to_string(e.folded)));
+      break;
+    case EventKind::kDegradeEnd:
+      add(instant(e, "degrade end",
+                  "\"capacity\":" + std::to_string(e.folded)));
+      break;
+    case EventKind::kQuarantine:
+      add(instant(e, "QUARANTINE " + name,
+                  "\"reason\":\"" + json_escape(e.detail) + '"'));
+      break;
+    case EventKind::kInvariantViolation:
+      add(instant(e, "invariant violation",
+                  "\"what\":\"" + json_escape(e.detail) + '"'));
+      break;
   }
 }
 

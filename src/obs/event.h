@@ -35,9 +35,19 @@ enum class EventKind : std::uint8_t {
   kPolicingReject,  ///< admission control refused a requested weight
   kLeaveRequest,    ///< rule L: the task will leave once its window closes
   kDeadlineMiss,    ///< T_j's deadline passed unscheduled
+  // --- fault injection & graceful degradation (pfair/fault.h) ---
+  kProcDown,            ///< a processor crashed; capacity shrank
+  kProcUp,              ///< a processor recovered; capacity grew
+  kQuantumOverrun,      ///< a processor was stolen for one slot
+  kRequestDropped,      ///< a queued reweight/leave request was lost
+  kRequestDelayed,      ///< ... was postponed to a later slot
+  kDegradeBegin,        ///< capacity < total weight: degradation engaged
+  kDegradeEnd,          ///< capacity recovered: nominal weights restored
+  kQuarantine,          ///< a task was quarantined (violation policy)
+  kInvariantViolation,  ///< validate-mode check failed (policy != throw)
 };
 
-inline constexpr int kEventKindCount = 11;
+inline constexpr int kEventKindCount = 20;
 
 [[nodiscard]] constexpr const char* to_string(EventKind k) noexcept {
   switch (k) {
@@ -52,6 +62,15 @@ inline constexpr int kEventKindCount = 11;
     case EventKind::kPolicingReject: return "policing_reject";
     case EventKind::kLeaveRequest: return "leave_request";
     case EventKind::kDeadlineMiss: return "deadline_miss";
+    case EventKind::kProcDown: return "proc_down";
+    case EventKind::kProcUp: return "proc_up";
+    case EventKind::kQuantumOverrun: return "overrun";
+    case EventKind::kRequestDropped: return "request_dropped";
+    case EventKind::kRequestDelayed: return "request_delayed";
+    case EventKind::kDegradeBegin: return "degrade_begin";
+    case EventKind::kDegradeEnd: return "degrade_end";
+    case EventKind::kQuarantine: return "quarantine";
+    case EventKind::kInvariantViolation: return "invariant_violation";
   }
   return "?";
 }
@@ -68,6 +87,13 @@ inline constexpr int kEventKindCount = 11;
 ///   policing_reject:  weight_from (requested)
 ///   leave_request:    when (the rule-L leave time)
 ///   deadline_miss:    subtask, deadline
+///   proc_down/proc_up/overrun: cpu (the processor), folded (capacity after)
+///   request_dropped:  (task identifies the owner of the lost request)
+///   request_delayed:  when (the postponed due slot)
+///   degrade_begin:    value (compression factor), folded (capacity)
+///   degrade_end:      folded (restored capacity)
+///   quarantine:       subtask (last released, 0 if none), detail (reason)
+///   invariant_violation: detail (the check's message)
 struct TraceEvent {
   EventKind kind{EventKind::kTaskJoin};
   pfair::Slot slot{0};              ///< engine time of the observation
@@ -83,6 +109,8 @@ struct TraceEvent {
   Rational value;                   ///< drift for kDriftSample
   pfair::Slot when{pfair::kNever};  ///< leave time for kLeaveRequest
   int folded{0};                    ///< events folded into a drift sample
+  std::string_view detail{};        ///< violation/quarantine reason; same
+                                    ///< lifetime caveat as task_name
 };
 
 }  // namespace pfr::obs

@@ -75,6 +75,30 @@ std::string to_jsonl(const TraceEvent& e) {
     case EventKind::kDeadlineMiss:
       os << ",\"subtask\":" << e.subtask << ",\"deadline\":" << e.deadline;
       break;
+    case EventKind::kProcDown:
+    case EventKind::kProcUp:
+    case EventKind::kQuantumOverrun:
+      os << ",\"cpu\":" << e.cpu << ",\"capacity\":" << e.folded;
+      break;
+    case EventKind::kRequestDropped:
+      break;  // kind + slot + task say it all
+    case EventKind::kRequestDelayed:
+      os << ",\"until\":" << e.when;
+      break;
+    case EventKind::kDegradeBegin:
+      append_rational(os, "factor", e.value);
+      os << ",\"capacity\":" << e.folded;
+      break;
+    case EventKind::kDegradeEnd:
+      os << ",\"capacity\":" << e.folded;
+      break;
+    case EventKind::kQuarantine:
+      os << ",\"subtask\":" << e.subtask << ",\"reason\":\""
+         << json_escape(e.detail) << '"';
+      break;
+    case EventKind::kInvariantViolation:
+      os << ",\"what\":\"" << json_escape(e.detail) << '"';
+      break;
   }
   os << '}';
   return os.str();

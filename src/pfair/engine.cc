@@ -11,6 +11,8 @@ Engine::Engine(EngineConfig cfg) : cfg_(cfg) {
   if (cfg_.processors < 1) {
     throw std::invalid_argument("Engine: processors must be >= 1");
   }
+  proc_down_.assign(static_cast<std::size_t>(cfg_.processors), false);
+  slot_capacity_ = cfg_.processors;
 }
 
 TaskId Engine::add_task(Rational weight, Slot join_time, std::string name) {
@@ -28,6 +30,7 @@ TaskId Engine::add_task(Rational weight, Slot join_time, std::string name) {
   t.join_time = join_time;
   t.wt = weight;
   t.swt = weight;
+  t.nominal_wt = weight;
   t.swt_history.emplace_back(join_time, weight);
   t.next_release = join_time;
   tasks_.push_back(std::move(t));
@@ -79,10 +82,10 @@ void Engine::run_until(Slot horizon) {
 void Engine::set_metrics(obs::MetricsRegistry* registry) {
   metrics_ = registry;
   static constexpr const char* kPhaseNames[kPhaseCount] = {
-      "engine.phase.joins",     "engine.phase.enactments",
-      "engine.phase.releases",  "engine.phase.events",
-      "engine.phase.ideal",     "engine.phase.dispatch",
-      "engine.phase.miss_detect"};
+      "engine.phase.faults",    "engine.phase.joins",
+      "engine.phase.enactments","engine.phase.releases",
+      "engine.phase.events",    "engine.phase.ideal",
+      "engine.phase.dispatch",  "engine.phase.miss_detect"};
   for (int i = 0; i < kPhaseCount; ++i) {
     phase_timers_[i] =
         registry == nullptr ? nullptr : &registry->timer(kPhaseNames[i]);
@@ -100,6 +103,15 @@ void Engine::export_metrics(obs::MetricsRegistry& registry) const {
   registry.counter("engine.lj_events").add(stats_.lj_events);
   registry.counter("engine.clamped_requests").add(stats_.clamped_requests);
   registry.counter("engine.rejected_requests").add(stats_.rejected_requests);
+  registry.counter("engine.proc_crashes").add(stats_.proc_crashes);
+  registry.counter("engine.proc_recoveries").add(stats_.proc_recoveries);
+  registry.counter("engine.overruns").add(stats_.overruns);
+  registry.counter("engine.dropped_requests").add(stats_.dropped_requests);
+  registry.counter("engine.delayed_requests").add(stats_.delayed_requests);
+  registry.counter("engine.degrade_events").add(stats_.degrade_events);
+  registry.counter("engine.shed_tasks").add(stats_.shed_tasks);
+  registry.counter("engine.quarantines").add(stats_.quarantines);
+  registry.counter("engine.violations").add(stats_.violations);
   registry.counter("engine.misses")
       .add(static_cast<std::int64_t>(misses_.size()));
   registry.counter("engine.tasks")
@@ -109,6 +121,10 @@ void Engine::export_metrics(obs::MetricsRegistry& registry) const {
 void Engine::step() {
   const Slot t = now_;
   oi_budget_used_this_slot_ = 0;
+  {
+    obs::ScopedTimer timer{phase_timers_[kPhaseFaults]};
+    process_faults(t);
+  }
   {
     obs::ScopedTimer timer{phase_timers_[kPhaseJoins]};
     process_joins(t);
@@ -124,6 +140,7 @@ void Engine::step() {
   {
     obs::ScopedTimer timer{phase_timers_[kPhaseEvents]};
     process_due_events(t);
+    maybe_degrade(t);
   }
   {
     obs::ScopedTimer timer{phase_timers_[kPhaseIdeal]};
@@ -146,6 +163,7 @@ void Engine::process_joins(Slot t) {
   for (TaskState& task : tasks_) {
     if (!task.joined && task.join_time == t) {
       task.joined = true;
+      weight_event_this_slot_ = true;
       if (tracer_.enabled()) {
         obs::TraceEvent e;
         e.kind = obs::EventKind::kTaskJoin;
@@ -161,7 +179,7 @@ void Engine::process_joins(Slot t) {
 
 void Engine::process_due_releases(Slot t) {
   for (TaskState& task : tasks_) {
-    if (!task.joined || task.chain_frozen) continue;
+    if (!task.joined || task.chain_frozen || task.quarantined()) continue;
     if (task.leave_requested_at <= t) continue;
     if (task.next_release == t) release_subtask(task, t);
   }
@@ -192,8 +210,9 @@ void Engine::release_subtask(TaskState& task, Slot at) {
     const Subtask& prev = task.subtasks.back();
     if (prev.deadline - prev.b > at) {
       if (!(prev.icsw_complete_at() <= at && prev.complete_in_s_by(at))) {
-        throw std::logic_error("property (V) violated at release of " +
-                               task.name + "_" + std::to_string(j));
+        handle_violation("property (V) violated at release of " + task.name +
+                             "_" + std::to_string(j),
+                         &task, at);
       }
     }
   }
@@ -225,6 +244,9 @@ void Engine::schedule_next_normal_release(TaskState& task) {
 
 void Engine::detect_misses(Slot boundary) {
   for (TaskState& task : tasks_) {
+    // A quarantined task is excused from the schedule; its stranded
+    // subtasks are not counted as misses.
+    if (task.quarantined()) continue;
     for (std::size_t k = task.dispatch_cursor; k < task.subtasks.size(); ++k) {
       Subtask& s = task.subtasks[k];
       if (s.release >= boundary) break;
@@ -246,12 +268,14 @@ void Engine::detect_misses(Slot boundary) {
   }
 }
 
-void Engine::validate_slot(Slot /*t*/) {
+void Engine::validate_slot(Slot t) {
   // Property (W): total scheduling weight never exceeds M, unless policing
-  // is deliberately off (overload experiments).
+  // is deliberately off (overload experiments).  Checked against the static
+  // M, not the degraded capacity: a crash legitimately leaves sum swt above
+  // the alive capacity until degradation (if any) compresses it.
   if (cfg_.policing != PolicingMode::kOff) {
     if (total_scheduling_weight() > Rational{cfg_.processors}) {
-      throw std::logic_error("property (W) violated: sum swt > M");
+      handle_violation("property (W) violated: sum swt > M", nullptr, t);
     }
   }
 }

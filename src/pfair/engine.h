@@ -27,6 +27,7 @@
 
 #include "obs/metrics.h"
 #include "obs/tracer.h"
+#include "pfair/fault.h"
 #include "pfair/priority.h"
 #include "pfair/task.h"
 #include "pfair/types.h"
@@ -45,9 +46,21 @@ struct EngineConfig {
   /// kHybridBudget: at most this many OI initiations per slot; rest use LJ.
   int hybrid_budget_per_slot{1};
   bool record_slot_trace{true};
-  /// Run per-slot invariant checks (AF1, (W), window sanity).  Throws
-  /// std::logic_error on violation.  Intended for tests.
+  /// Run per-slot invariant checks (AF1, (W), window sanity).  What a
+  /// failed check does is chosen by `violations` below; the default policy
+  /// throws std::logic_error, the strict mode the tests use.
   bool validate{false};
+  /// Response to a validate-mode invariant violation: throw (default),
+  /// trace-and-continue, or quarantine the implicated task.  The non-throw
+  /// policies keep a production system running on corrupted state while the
+  /// trace records what happened.
+  ViolationPolicy violations{ViolationPolicy::kThrow};
+  /// Graceful-overload response when effective capacity (alive processors)
+  /// drops below the total task weight: compress all weights, shed tasks,
+  /// freeze admissions, or do nothing (see types.h).  Degradation acts
+  /// through ordinary reweighting initiations, so drift accounting and the
+  /// Theorem 2-5 checks still apply to degraded runs.
+  DegradationMode degradation{DegradationMode::kNone};
   /// Admit *static* heavy tasks (1/2 < w <= 1): PD2 then uses the full
   /// three-level tie-break (deadline, b-bit, group deadline).  Reweighting
   /// heavy tasks stays unsupported -- the paper defers those rules to
@@ -63,7 +76,11 @@ struct EngineConfig {
 /// Per-slot record of which tasks ran.
 struct SlotRecord {
   std::vector<TaskId> scheduled;  ///< tasks given the slot, unordered
-  int holes{0};                   ///< idle processors in this slot
+  int holes{0};                   ///< idle *alive* processors in this slot
+  /// Effective capacity M_alive(t) of the slot: processors minus crashed
+  /// ones minus quantum overruns.  Equals M on fault-free runs.  The
+  /// post-hoc verifier checks "at most capacity subtasks per slot".
+  int capacity{0};
 };
 
 /// Aggregate counters across the run.
@@ -78,6 +95,16 @@ struct EngineStats {
   int lj_events{0};      ///< initiations handled by leave/join
   int clamped_requests{0};
   int rejected_requests{0};
+  // --- fault injection & degradation (pfair/fault.h) ---
+  int proc_crashes{0};      ///< processor-down faults applied
+  int proc_recoveries{0};   ///< processor-up faults applied
+  int overruns{0};          ///< quantum-overrun faults applied
+  int dropped_requests{0};  ///< queued requests lost to drop faults
+  int delayed_requests{0};  ///< queued requests postponed by delay faults
+  int degrade_events{0};    ///< times degradation engaged or re-scaled
+  int shed_tasks{0};        ///< tasks shed by DegradationMode::kShed
+  int quarantines{0};       ///< tasks quarantined by the violation policy
+  int violations{0};        ///< validate-mode checks that failed
 };
 
 class Engine {
@@ -112,6 +139,13 @@ class Engine {
   /// leaves per rule L once its last released subtask's window closes.
   void request_leave(TaskId id, Slot at);
 
+  // ----- fault injection (pfair/fault.h) -----
+
+  /// Installs the fault script the run replays.  Every event must name a
+  /// valid processor (< M) and lie at or after now().  Replaces any prior
+  /// plan; call before the affected slots are simulated.
+  void set_fault_plan(FaultPlan plan);
+
   // ----- execution -----
 
   void step();                 ///< simulate one slot
@@ -129,10 +163,10 @@ class Engine {
   }
   [[nodiscard]] bool tracing() const noexcept { return tracer_.enabled(); }
 
-  /// Attaches a metrics registry (nullptr detaches): the seven per-slot
-  /// phases (joins, enactments, releases, events, ideal accrual, dispatch,
-  /// miss detection) are timed into "engine.phase.*" timers from the next
-  /// step() on.  Caller keeps ownership.
+  /// Attaches a metrics registry (nullptr detaches): the eight per-slot
+  /// phases (faults, joins, enactments, releases, events, ideal accrual,
+  /// dispatch, miss detection) are timed into "engine.phase.*" timers from
+  /// the next step() on.  Caller keeps ownership.
   void set_metrics(obs::MetricsRegistry* registry);
 
   /// Mirrors the run's aggregate state (EngineStats, misses, task count)
@@ -143,6 +177,30 @@ class Engine {
   // ----- queries -----
 
   [[nodiscard]] int processors() const noexcept { return cfg_.processors; }
+  /// Processors currently alive (M minus crashed ones).  Policing admits
+  /// against this capacity, and degradation engages when the total task
+  /// weight exceeds it.
+  [[nodiscard]] int alive_processors() const noexcept {
+    return cfg_.processors - down_count_;
+  }
+  [[nodiscard]] bool processor_down(int p) const {
+    return proc_down_.at(static_cast<std::size_t>(p));
+  }
+  /// True once any capacity fault (crash or overrun) has been applied; the
+  /// verifier uses this to suspend the fault-free-only Theorem 2 check.
+  [[nodiscard]] bool capacity_faulted() const noexcept {
+    return stats_.proc_crashes > 0 || stats_.overruns > 0;
+  }
+  /// True while degradation is engaged (weights compressed, admissions
+  /// frozen, or capacity still short after shedding).
+  [[nodiscard]] bool degraded() const noexcept { return degraded_; }
+  [[nodiscard]] bool admissions_frozen() const noexcept {
+    return admissions_frozen_;
+  }
+  /// The current compression factor (1 when not compressing).
+  [[nodiscard]] const Rational& degrade_factor() const noexcept {
+    return degrade_factor_;
+  }
   [[nodiscard]] const EngineConfig& config() const noexcept { return cfg_; }
   [[nodiscard]] std::size_t task_count() const noexcept { return tasks_.size(); }
   [[nodiscard]] const TaskState& task(TaskId id) const {
@@ -180,6 +238,21 @@ class Engine {
   void detect_misses(Slot boundary);
   void validate_slot(Slot t);
 
+  // fault.cc (engine side)
+  void process_faults(Slot t);
+  void drop_queued_requests(TaskId task, Slot t);
+  void delay_queued_requests(TaskId task, Slot t, Slot by);
+  void maybe_degrade(Slot t);
+  void degrade_compress(const Rational& capacity, const Rational& nominal,
+                        Slot t);
+  void degrade_shed(const Rational& capacity, Rational nominal, Slot t);
+  void degrade_recover(Slot t);
+  void quarantine_task(TaskState& task, Slot t, const std::string& reason);
+  /// Routes a validate-mode failure through cfg_.violations: throw,
+  /// trace-and-continue, or quarantine `task` (nullptr when no single task
+  /// is implicated, e.g. property (W)).
+  void handle_violation(const std::string& what, TaskState* task, Slot t);
+
   // ideal.cc
   void accrue_ideal(Slot t);
   void accrue_task_ideal(TaskState& task, Slot t);
@@ -189,9 +262,14 @@ class Engine {
   [[nodiscard]] const Subtask* eligible_candidate(TaskState& task, Slot t);
 
   // reweight.cc
+  void sort_queued_events();
   void process_due_events(Slot t);
   void process_pending_enactments(Slot t);
-  void initiate_weight_change(TaskState& task, Rational target, Slot t);
+  /// `degradation_induced` requests skip policing (the degradation
+  /// controller already solved the global fit) and preserve nominal_wt so
+  /// the original weight can be restored on recovery.
+  void initiate_weight_change(TaskState& task, Rational target, Slot t,
+                              bool degradation_induced = false);
   void initiate_leave(TaskState& task, Slot t);
   void enact(TaskState& task, Rational target, Slot t);
   void apply_rule_oi(TaskState& task, Rational target, Slot t);
@@ -213,7 +291,8 @@ class Engine {
   obs::MetricsRegistry* metrics_{nullptr};
   /// The per-slot pipeline phases, in step() order (timer indices).
   enum Phase : int {
-    kPhaseJoins = 0,
+    kPhaseFaults = 0,
+    kPhaseJoins,
     kPhaseEnactments,
     kPhaseReleases,
     kPhaseEvents,
@@ -238,6 +317,21 @@ class Engine {
   bool events_dirty_{false};
 
   int oi_budget_used_this_slot_{0};
+
+  // --- fault injection & degradation state (fault.cc) ---
+  FaultPlan fault_plan_;
+  std::size_t next_fault_{0};
+  std::vector<bool> proc_down_;    ///< sized M at construction
+  int down_count_{0};
+  int overruns_this_slot_{0};
+  int slot_capacity_{0};           ///< dispatch capacity of the current slot
+  bool degraded_{false};
+  bool admissions_frozen_{false};
+  Rational degrade_factor_{1};
+  /// Set by crash/recover faults and by joins/initiations; degradation is
+  /// re-evaluated only on slots where one of them fired.
+  bool capacity_event_this_slot_{false};
+  bool weight_event_this_slot_{false};
 
   /// Scratch for dispatch(): (task, subtask) candidates.
   struct Candidate {

@@ -1,0 +1,376 @@
+#include "pfair/fault.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "pfair/engine.h"
+#include "util/rng.h"
+
+namespace pfr::pfair {
+
+FaultPlan& FaultPlan::crash(int processor, Slot at) {
+  return add(FaultEvent{at, FaultKind::kProcCrash, processor, -1, 0});
+}
+
+FaultPlan& FaultPlan::recover(int processor, Slot at) {
+  return add(FaultEvent{at, FaultKind::kProcRecover, processor, -1, 0});
+}
+
+FaultPlan& FaultPlan::drop_request(TaskId task, Slot at) {
+  return add(FaultEvent{at, FaultKind::kDropRequest, -1, task, 0});
+}
+
+FaultPlan& FaultPlan::delay_request(TaskId task, Slot at, Slot by) {
+  return add(FaultEvent{at, FaultKind::kDelayRequest, -1, task, by});
+}
+
+FaultPlan& FaultPlan::overrun(int processor, Slot at) {
+  return add(FaultEvent{at, FaultKind::kOverrun, processor, -1, 0});
+}
+
+FaultPlan& FaultPlan::add(FaultEvent event) {
+  if (event.at < 0) {
+    throw std::invalid_argument("FaultPlan: fault time must be >= 0");
+  }
+  switch (event.kind) {
+    case FaultKind::kProcCrash:
+    case FaultKind::kProcRecover:
+    case FaultKind::kOverrun:
+      if (event.processor < 0) {
+        throw std::invalid_argument("FaultPlan: processor must be >= 0");
+      }
+      break;
+    case FaultKind::kDropRequest:
+    case FaultKind::kDelayRequest:
+      if (event.task < 0) {
+        throw std::invalid_argument("FaultPlan: task must be a valid id");
+      }
+      if (event.kind == FaultKind::kDelayRequest && event.delay <= 0) {
+        throw std::invalid_argument("FaultPlan: delay must be > 0");
+      }
+      break;
+  }
+  insert_sorted(event);
+  return *this;
+}
+
+void FaultPlan::insert_sorted(FaultEvent event) {
+  // Stable insertion: after every existing event with the same slot, so
+  // scripted order is replay order.
+  const auto pos = std::upper_bound(
+      events_.begin(), events_.end(), event,
+      [](const FaultEvent& a, const FaultEvent& b) { return a.at < b.at; });
+  events_.insert(pos, event);
+}
+
+FaultPlan FaultPlan::random(std::uint64_t seed, Slot horizon, int processors,
+                            const FaultRates& rates) {
+  if (processors < 1) {
+    throw std::invalid_argument("FaultPlan::random: processors must be >= 1");
+  }
+  FaultPlan plan;
+  Xoshiro256 rng = Xoshiro256::for_stream(seed, 0xFA17ULL);
+  std::vector<bool> down(static_cast<std::size_t>(processors), false);
+  int down_count = 0;
+  const int max_down = processors - std::max(0, rates.min_alive);
+  for (Slot t = 0; t < horizon; ++t) {
+    for (int p = 0; p < processors; ++p) {
+      const auto idx = static_cast<std::size_t>(p);
+      if (down[idx]) {
+        if (rng.bernoulli(rates.recover_per_slot)) {
+          down[idx] = false;
+          --down_count;
+          plan.recover(p, t);
+        }
+      } else if (down_count < max_down &&
+                 rng.bernoulli(rates.crash_per_slot)) {
+        down[idx] = true;
+        ++down_count;
+        plan.crash(p, t);
+      } else if (rng.bernoulli(rates.overrun_per_slot)) {
+        plan.overrun(p, t);
+      }
+    }
+  }
+  return plan;
+}
+
+// ---------------------------------------------------------------------------
+// Engine side: fault replay, graceful degradation, violation handling.
+// ---------------------------------------------------------------------------
+
+void Engine::set_fault_plan(FaultPlan plan) {
+  for (const FaultEvent& f : plan.events()) {
+    if (f.at < now_) {
+      throw std::invalid_argument("set_fault_plan: fault at slot " +
+                                  std::to_string(f.at) + " is in the past");
+    }
+    if (f.processor >= cfg_.processors) {
+      throw std::invalid_argument(
+          "set_fault_plan: processor " + std::to_string(f.processor) +
+          " out of range (M = " + std::to_string(cfg_.processors) + ")");
+    }
+  }
+  fault_plan_ = std::move(plan);
+  next_fault_ = 0;
+}
+
+void Engine::process_faults(Slot t) {
+  overruns_this_slot_ = 0;
+  const auto& events = fault_plan_.events();
+  while (next_fault_ < events.size() && events[next_fault_].at == t) {
+    const FaultEvent& f = events[next_fault_++];
+    const auto emit_proc_event = [this, &f, t](obs::EventKind kind) {
+      if (!tracer_.enabled()) return;
+      obs::TraceEvent e;
+      e.kind = kind;
+      e.slot = t;
+      e.cpu = f.processor;
+      e.folded = cfg_.processors - down_count_ - overruns_this_slot_;
+      tracer_.emit(e);
+    };
+    switch (f.kind) {
+      case FaultKind::kProcCrash: {
+        const auto idx = static_cast<std::size_t>(f.processor);
+        if (!proc_down_[idx]) {  // crashing a dead processor is a no-op
+          proc_down_[idx] = true;
+          ++down_count_;
+          ++stats_.proc_crashes;
+          capacity_event_this_slot_ = true;
+          emit_proc_event(obs::EventKind::kProcDown);
+        }
+        break;
+      }
+      case FaultKind::kProcRecover: {
+        const auto idx = static_cast<std::size_t>(f.processor);
+        if (proc_down_[idx]) {  // recovering an alive processor is a no-op
+          proc_down_[idx] = false;
+          --down_count_;
+          ++stats_.proc_recoveries;
+          capacity_event_this_slot_ = true;
+          emit_proc_event(obs::EventKind::kProcUp);
+        }
+        break;
+      }
+      case FaultKind::kOverrun:
+        // An overrun on a dead processor steals nothing.
+        if (!proc_down_[static_cast<std::size_t>(f.processor)]) {
+          ++overruns_this_slot_;
+          ++stats_.overruns;
+          emit_proc_event(obs::EventKind::kQuantumOverrun);
+        }
+        break;
+      case FaultKind::kDropRequest:
+        drop_queued_requests(f.task, t);
+        break;
+      case FaultKind::kDelayRequest:
+        delay_queued_requests(f.task, t, f.delay);
+        break;
+    }
+  }
+  slot_capacity_ =
+      std::max(0, cfg_.processors - down_count_ - overruns_this_slot_);
+}
+
+void Engine::drop_queued_requests(TaskId task, Slot t) {
+  sort_queued_events();
+  const auto begin =
+      event_queue_.begin() + static_cast<std::ptrdiff_t>(next_event_);
+  const auto lost = std::remove_if(
+      begin, event_queue_.end(), [task, t](const QueuedEvent& ev) {
+        return ev.at == t && ev.task == task;
+      });
+  const auto n = static_cast<int>(event_queue_.end() - lost);
+  if (n == 0) return;
+  event_queue_.erase(lost, event_queue_.end());
+  stats_.dropped_requests += n;
+  if (tracer_.enabled()) {
+    const TaskState& owner = tasks_.at(static_cast<std::size_t>(task));
+    for (int i = 0; i < n; ++i) {
+      obs::TraceEvent e;
+      e.kind = obs::EventKind::kRequestDropped;
+      e.slot = t;
+      e.task = task;
+      e.task_name = owner.name;
+      tracer_.emit(e);
+    }
+  }
+}
+
+void Engine::delay_queued_requests(TaskId task, Slot t, Slot by) {
+  sort_queued_events();
+  for (std::size_t k = next_event_; k < event_queue_.size(); ++k) {
+    QueuedEvent& ev = event_queue_[k];
+    if (ev.at != t || ev.task != task) continue;
+    ev.at = t + by;
+    events_dirty_ = true;
+    ++stats_.delayed_requests;
+    if (tracer_.enabled()) {
+      obs::TraceEvent e;
+      e.kind = obs::EventKind::kRequestDelayed;
+      e.slot = t;
+      e.task = task;
+      e.task_name = tasks_.at(static_cast<std::size_t>(task)).name;
+      e.when = ev.at;
+      tracer_.emit(e);
+    }
+  }
+}
+
+void Engine::maybe_degrade(Slot t) {
+  const bool triggered = capacity_event_this_slot_ || weight_event_this_slot_;
+  capacity_event_this_slot_ = false;
+  weight_event_this_slot_ = false;
+  if (cfg_.degradation == DegradationMode::kNone || !triggered) return;
+
+  const Rational capacity{alive_processors()};
+  Rational nominal;
+  for (const TaskState& task : tasks_) {
+    if (task.active_member(t) && task.leave_requested_at > t) {
+      nominal += task.nominal_wt;
+    }
+  }
+
+  if (nominal <= capacity) {
+    if (degraded_) degrade_recover(t);
+    return;
+  }
+
+  ++stats_.degrade_events;
+  if (tracer_.enabled()) {
+    obs::TraceEvent e;
+    e.kind = obs::EventKind::kDegradeBegin;
+    e.slot = t;
+    e.value = capacity.is_zero() ? Rational{} : capacity / nominal;
+    e.folded = alive_processors();
+    tracer_.emit(e);
+  }
+
+  switch (cfg_.degradation) {
+    case DegradationMode::kCompress:
+      degrade_compress(capacity, nominal, t);
+      break;
+    case DegradationMode::kShed:
+      degrade_shed(capacity, nominal, t);
+      break;
+    case DegradationMode::kFreeze:
+      admissions_frozen_ = true;
+      break;
+    case DegradationMode::kNone:
+      break;
+  }
+  degraded_ = true;
+}
+
+void Engine::degrade_compress(const Rational& capacity,
+                              const Rational& /*nominal*/, Slot t) {
+  // Heavy tasks cannot be reweighted (the paper defers those rules), so the
+  // light tasks compress around them: factor = (capacity - heavy) / light.
+  Rational heavy, light;
+  for (const TaskState& task : tasks_) {
+    if (!task.active_member(t) || task.leave_requested_at <= t) continue;
+    if (task.nominal_wt > kMaxWeight) {
+      heavy += task.nominal_wt;
+    } else {
+      light += task.nominal_wt;
+    }
+  }
+  const Rational budget = capacity - heavy;
+  if (!(budget > 0) || light.is_zero()) {
+    // Nothing compressible can run; keep weights and wait for a recovery.
+    degrade_factor_ = Rational{};
+    return;
+  }
+  degrade_factor_ = min(Rational{1}, budget / light);
+  for (TaskState& task : tasks_) {
+    if (!task.active_member(t) || task.leave_requested_at <= t) continue;
+    if (task.nominal_wt > kMaxWeight) continue;  // not reweightable
+    const Rational target = task.nominal_wt * degrade_factor_;
+    if (target == task.swt && !task.pending) continue;
+    initiate_weight_change(task, target, t, /*degradation_induced=*/true);
+  }
+}
+
+void Engine::degrade_shed(const Rational& capacity, Rational nominal,
+                          Slot t) {
+  // Shed least-favored first: highest tie rank, then highest TaskId.
+  // Irreversible -- shed tasks leave via rule L and never rejoin.
+  while (nominal > capacity) {
+    TaskState* victim = nullptr;
+    for (TaskState& task : tasks_) {
+      if (!task.active_member(t) || task.leave_requested_at <= t) continue;
+      if (victim == nullptr || task.tie_rank > victim->tie_rank ||
+          (task.tie_rank == victim->tie_rank && task.id > victim->id)) {
+        victim = &task;
+      }
+    }
+    if (victim == nullptr) break;  // nobody left to shed
+    nominal -= victim->nominal_wt;
+    ++stats_.shed_tasks;
+    initiate_leave(*victim, t);
+  }
+}
+
+void Engine::degrade_recover(Slot t) {
+  degraded_ = false;
+  admissions_frozen_ = false;
+  degrade_factor_ = Rational{1};
+  if (cfg_.degradation == DegradationMode::kCompress) {
+    for (TaskState& task : tasks_) {
+      if (!task.active_member(t) || task.leave_requested_at <= t) continue;
+      if (task.swt == task.nominal_wt && !task.pending) continue;
+      initiate_weight_change(task, task.nominal_wt, t,
+                             /*degradation_induced=*/true);
+    }
+  }
+  if (tracer_.enabled()) {
+    obs::TraceEvent e;
+    e.kind = obs::EventKind::kDegradeEnd;
+    e.slot = t;
+    e.folded = alive_processors();
+    tracer_.emit(e);
+  }
+}
+
+void Engine::quarantine_task(TaskState& task, Slot t,
+                             const std::string& reason) {
+  if (task.quarantined()) return;
+  task.quarantined_at = t;
+  task.chain_frozen = true;
+  task.pending.reset();
+  ++stats_.quarantines;
+  if (tracer_.enabled()) {
+    obs::TraceEvent e;
+    e.kind = obs::EventKind::kQuarantine;
+    e.slot = t;
+    e.task = task.id;
+    e.task_name = task.name;
+    e.subtask = task.subtasks.empty() ? 0 : task.subtasks.back().index;
+    e.detail = reason;
+    tracer_.emit(e);
+  }
+}
+
+void Engine::handle_violation(const std::string& what, TaskState* task,
+                              Slot t) {
+  ++stats_.violations;
+  if (cfg_.violations == ViolationPolicy::kThrow) {
+    throw std::logic_error(what);
+  }
+  if (tracer_.enabled()) {
+    obs::TraceEvent e;
+    e.kind = obs::EventKind::kInvariantViolation;
+    e.slot = t;
+    if (task != nullptr) {
+      e.task = task->id;
+      e.task_name = task->name;
+    }
+    e.detail = what;
+    tracer_.emit(e);
+  }
+  if (cfg_.violations == ViolationPolicy::kQuarantine && task != nullptr) {
+    quarantine_task(*task, t, what);
+  }
+}
+
+}  // namespace pfr::pfair

@@ -1,0 +1,100 @@
+/// \file fault.h
+/// \brief Deterministic fault injection for the PD2 engine.
+///
+/// A FaultPlan is a fixed, slot-stamped script of platform faults that the
+/// engine replays as it simulates: processor crashes and recoveries (the
+/// effective capacity M_alive(t) rises and falls), dropped or delayed
+/// reweighting requests (a lossy control plane), and quantum overruns (a
+/// processor is stolen for one slot by a misbehaving job).  Plans are either
+/// scripted event by event or generated pseudo-randomly from a seed, so a
+/// faulty run is exactly reproducible -- the fault_resilience bench and the
+/// crash/recover tests rely on bit-identical replay.
+///
+/// Faults feed the engine's degradation machinery (EngineConfig::degradation,
+/// see types.h): when M_alive(t) drops below the total task weight the engine
+/// compresses weights, sheds tasks, or freezes admissions -- all through the
+/// ordinary reweighting rules, so drift accounting still applies -- and
+/// restores the nominal weights on recovery.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "pfair/types.h"
+
+namespace pfr::pfair {
+
+/// What kind of platform fault an event injects.
+enum class FaultKind : std::uint8_t {
+  kProcCrash,     ///< processor goes down at `at` (stays down until recover)
+  kProcRecover,   ///< processor comes back at `at`
+  kDropRequest,   ///< reweight/leave requests of `task` due at `at` are lost
+  kDelayRequest,  ///< ... are postponed by `delay` slots instead
+  kOverrun,       ///< processor busy for slot `at` only (quantum overrun)
+};
+
+[[nodiscard]] constexpr const char* to_string(FaultKind k) noexcept {
+  switch (k) {
+    case FaultKind::kProcCrash: return "crash";
+    case FaultKind::kProcRecover: return "recover";
+    case FaultKind::kDropRequest: return "drop";
+    case FaultKind::kDelayRequest: return "delay";
+    case FaultKind::kOverrun: return "overrun";
+  }
+  return "?";
+}
+
+/// One scripted fault.  `processor` is used by crash/recover/overrun,
+/// `task`/`delay` by the request faults.
+struct FaultEvent {
+  Slot at{0};
+  FaultKind kind{FaultKind::kProcCrash};
+  int processor{-1};
+  TaskId task{-1};
+  Slot delay{0};
+};
+
+/// Per-slot-per-processor probabilities for FaultPlan::random().
+struct FaultRates {
+  double crash_per_slot{0.0};    ///< P(an up processor crashes in a slot)
+  double recover_per_slot{0.1};  ///< P(a down processor recovers in a slot)
+  double overrun_per_slot{0.0};  ///< P(an up processor overruns a slot)
+  /// At least this many processors are kept alive by the generator (a fully
+  /// dead platform teaches nothing about scheduling).
+  int min_alive{1};
+};
+
+/// An ordered script of faults.  Build with the fluent add_* helpers or
+/// random(), then hand to Engine::set_fault_plan().  Events are kept sorted
+/// by slot (stable for equal slots, preserving insertion order).
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  FaultPlan& crash(int processor, Slot at);
+  FaultPlan& recover(int processor, Slot at);
+  FaultPlan& drop_request(TaskId task, Slot at);
+  FaultPlan& delay_request(TaskId task, Slot at, Slot by);
+  FaultPlan& overrun(int processor, Slot at);
+  FaultPlan& add(FaultEvent event);
+
+  /// Deterministic pseudo-random plan over [0, horizon) for an M-processor
+  /// platform: every (seed, horizon, processors, rates) tuple yields the
+  /// same plan on every machine (xoshiro256++ stream, no global state).
+  [[nodiscard]] static FaultPlan random(std::uint64_t seed, Slot horizon,
+                                        int processors,
+                                        const FaultRates& rates);
+
+  [[nodiscard]] const std::vector<FaultEvent>& events() const noexcept {
+    return events_;
+  }
+  [[nodiscard]] bool empty() const noexcept { return events_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return events_.size(); }
+
+ private:
+  void insert_sorted(FaultEvent event);
+
+  std::vector<FaultEvent> events_;  ///< sorted by `at`, stable
+};
+
+}  // namespace pfr::pfair

@@ -19,6 +19,7 @@ namespace pfr::pfair {
 
 void Engine::accrue_ideal(Slot t) {
   for (TaskState& task : tasks_) {
+    if (task.quarantined()) continue;  // excused: no further ideal accrual
     if (task.active_member(t)) task.cum_ips += task.wt;
     accrue_task_ideal(task, t);
   }
@@ -75,8 +76,8 @@ void Engine::accrue_task_ideal(TaskState& task, Slot t) {
   if (cfg_.validate && isw_sum > task.swt) {
     // Per-slot analogue of (AF1): a task never accrues more than its
     // scheduling weight in any slot of I_SW (hence also of I_CSW).
-    throw std::logic_error("per-slot I_SW allocation exceeds swt for " +
-                           task.name);
+    handle_violation("per-slot I_SW allocation exceeds swt for " + task.name,
+                     &task, t);
   }
 
   task.cum_isw += isw_sum;

@@ -17,6 +17,7 @@
 #include "pfair/analysis.h"        // IWYU pragma: export
 #include "pfair/engine.h"          // IWYU pragma: export
 #include "pfair/epdf_projected.h"  // IWYU pragma: export
+#include "pfair/fault.h"           // IWYU pragma: export
 #include "pfair/priority.h"        // IWYU pragma: export
 #include "pfair/ready_queue.h"     // IWYU pragma: export
 #include "pfair/scenario_io.h"     // IWYU pragma: export

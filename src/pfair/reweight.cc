@@ -75,14 +75,17 @@ void trace_initiation(const obs::Tracer& tracer, const TaskState& task,
 
 }  // namespace
 
+void Engine::sort_queued_events() {
+  if (!events_dirty_) return;
+  std::stable_sort(
+      event_queue_.begin() + static_cast<std::ptrdiff_t>(next_event_),
+      event_queue_.end(),
+      [](const QueuedEvent& a, const QueuedEvent& b) { return a.at < b.at; });
+  events_dirty_ = false;
+}
+
 void Engine::process_due_events(Slot t) {
-  if (events_dirty_) {
-    std::stable_sort(
-        event_queue_.begin() + static_cast<std::ptrdiff_t>(next_event_),
-        event_queue_.end(),
-        [](const QueuedEvent& a, const QueuedEvent& b) { return a.at < b.at; });
-    events_dirty_ = false;
-  }
+  sort_queued_events();
   while (next_event_ < event_queue_.size() &&
          event_queue_[next_event_].at == t) {
     const QueuedEvent& ev = event_queue_[next_event_++];
@@ -103,16 +106,38 @@ void Engine::process_pending_enactments(Slot t) {
   }
 }
 
-void Engine::initiate_weight_change(TaskState& task, Rational target, Slot t) {
+void Engine::initiate_weight_change(TaskState& task, Rational target, Slot t,
+                                    bool degradation_induced) {
   if (task.leave_requested_at <= t || task.left_at <= t) return;
+  if (task.quarantined()) return;
   if (task.swt > kMaxWeight) {
     // The paper's reweighting rules cover light tasks only; heavy-task
     // reweighting needs the cascade-correction machinery it defers.
     throw std::logic_error("reweighting a heavy task is not supported");
   }
 
-  target = police(task, target);
-  if (target.is_zero()) return;  // rejected by admission control
+  if (!degradation_induced) {
+    if (admissions_frozen_ && target > task.swt) {
+      // DegradationMode::kFreeze: no new load while capacity is short.
+      ++stats_.rejected_requests;
+      if (tracer_.enabled()) {
+        obs::TraceEvent e;
+        e.kind = obs::EventKind::kPolicingReject;
+        e.slot = t;
+        e.task = task.id;
+        e.task_name = task.name;
+        e.weight_from = target;
+        tracer_.emit(e);
+      }
+      return;
+    }
+    target = police(task, target);
+    if (target.is_zero()) return;  // rejected by admission control
+    // Record the user's intent: degradation compresses relative to this and
+    // restores to it when capacity recovers.
+    task.nominal_wt = target;
+    weight_event_this_slot_ = true;
+  }
 
   if (!task.joined || task.subtasks.empty()) {
     // Nothing released yet: the change is enacted immediately; the first
@@ -269,6 +294,7 @@ void Engine::enact(TaskState& task, Rational target, Slot t) {
 void Engine::initiate_leave(TaskState& task, Slot t) {
   if (task.leave_requested_at != kNever) return;
   task.leave_requested_at = t;
+  weight_event_this_slot_ = true;  // freed capacity may end degradation
   task.pending.reset();
   task.chain_frozen = true;
   const Subtask* tj = task.last_released();
@@ -317,9 +343,13 @@ Rational Engine::police(const TaskState& task, Rational target) {
   for (const TaskState& u : tasks_) {
     if (u.id == task.id) continue;
     if (u.left_at <= now_) continue;
+    if (u.quarantined()) continue;  // excused from the schedule entirely
     others += u.reserved_weight();
   }
-  const Rational avail = Rational{cfg_.processors} - others;
+  // Admission is against the *alive* capacity: after a crash, requests are
+  // policed into what the surviving processors can serve.  Equals M on
+  // fault-free runs.
+  const Rational avail = Rational{alive_processors()} - others;
   if (target <= avail) return target;
   const auto trace_policing = [this, &task](obs::EventKind kind,
                                             const Rational& requested,

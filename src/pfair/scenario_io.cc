@@ -1,147 +1,362 @@
 #include "pfair/scenario_io.h"
 
+#include <cctype>
 #include <charconv>
 #include <istream>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 
 namespace pfr::pfair {
 namespace {
 
-[[noreturn]] void fail(int line, const std::string& what) {
-  throw std::invalid_argument("scenario line " + std::to_string(line) + ": " +
-                              what);
+std::string format_parse_error(const std::string& file, int line, int column,
+                               const std::string& token,
+                               const std::string& message) {
+  std::string out = file + ":" + std::to_string(line) + ":" +
+                    std::to_string(column) + ": " + message;
+  if (!token.empty()) out += " (at '" + token + "')";
+  return out;
 }
 
-std::int64_t parse_int(const std::string& tok, int line) {
-  std::int64_t v = 0;
-  const auto [ptr, ec] =
-      std::from_chars(tok.data(), tok.data() + tok.size(), v);
-  if (ec != std::errc{} || ptr != tok.data() + tok.size()) {
-    fail(line, "expected integer, got '" + tok + "'");
+/// One whitespace-delimited token plus its 1-based source column.
+struct Token {
+  std::string text;
+  int column{0};
+};
+
+std::vector<Token> tokenize(const std::string& line) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    const auto c = static_cast<unsigned char>(line[i]);
+    if (std::isspace(c)) {
+      ++i;
+      continue;
+    }
+    if (line[i] == '#') break;  // comment runs to end of line
+    const std::size_t start = i;
+    while (i < line.size() && line[i] != '#' &&
+           !std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    out.push_back(
+        Token{line.substr(start, i - start), static_cast<int>(start) + 1});
   }
-  return v;
+  return out;
 }
 
-/// "num/den" or "num".
-Rational parse_rational(const std::string& tok, int line) {
-  const auto slash = tok.find('/');
-  if (slash == std::string::npos) return Rational{parse_int(tok, line)};
-  return Rational{parse_int(tok.substr(0, slash), line),
-                  parse_int(tok.substr(slash + 1), line)};
-}
+/// Stateful single-pass parser; one instance per parse_scenario call.
+class Parser {
+ public:
+  Parser(std::istream& in, std::string filename)
+      : in_(in), filename_(std::move(filename)) {}
 
-/// "key=value" -> value for a required key.
-std::int64_t parse_kv(const std::string& tok, const std::string& key,
-                      int line) {
-  const std::string prefix = key + "=";
-  if (tok.rfind(prefix, 0) != 0) {
-    fail(line, "expected " + prefix + "<value>, got '" + tok + "'");
+  ScenarioSpec run() {
+    std::string text;
+    while (std::getline(in_, text)) {
+      ++line_;
+      tok_ = tokenize(text);
+      if (tok_.empty()) continue;
+      parse_directive();
+    }
+    return std::move(spec_);
   }
-  return parse_int(tok.substr(prefix.size()), line);
-}
 
-ScenarioSpec::TaskSpec* find_task(ScenarioSpec& spec, const std::string& name,
-                                  int line) {
-  for (auto& t : spec.tasks) {
-    if (t.name == name) return &t;
+ private:
+  [[noreturn]] void fail(const Token& where, const std::string& message) {
+    throw ParseError(filename_, line_, where.column, where.text, message);
   }
-  fail(line, "unknown task '" + name + "'");
-}
+
+  /// Arity check: points at the directive head and names the usage.
+  void expect_tokens(std::size_t min, std::size_t max,
+                     const std::string& usage) {
+    if (tok_.size() < min || tok_.size() > max) {
+      fail(tok_[0], "expected: " + usage);
+    }
+  }
+
+  std::int64_t parse_int(const Token& tok) {
+    std::int64_t v = 0;
+    const auto [ptr, ec] =
+        std::from_chars(tok.text.data(), tok.text.data() + tok.text.size(), v);
+    if (ec != std::errc{} || ptr != tok.text.data() + tok.text.size()) {
+      fail(tok, "expected integer, got '" + tok.text + "'");
+    }
+    return v;
+  }
+
+  double parse_double(const Token& tok, std::size_t offset) {
+    try {
+      std::size_t consumed = 0;
+      const std::string s = tok.text.substr(offset);
+      const double v = std::stod(s, &consumed);
+      if (consumed != s.size()) throw std::invalid_argument{s};
+      return v;
+    } catch (const std::exception&) {
+      fail(tok, "expected number, got '" + tok.text.substr(offset) + "'");
+    }
+  }
+
+  /// "num/den" or "num".
+  Rational parse_rational(const Token& tok) {
+    const auto slash = tok.text.find('/');
+    if (slash == std::string::npos) return Rational{parse_int(tok)};
+    const Token num{tok.text.substr(0, slash), tok.column};
+    const Token den{tok.text.substr(slash + 1),
+                    tok.column + static_cast<int>(slash) + 1};
+    const std::int64_t d = parse_int(den);
+    if (d == 0) fail(tok, "zero denominator in '" + tok.text + "'");
+    return Rational{parse_int(num), d};
+  }
+
+  /// "key=value" -> value for a required key.
+  std::int64_t parse_kv(const Token& tok, const std::string& key) {
+    const std::string prefix = key + "=";
+    if (tok.text.rfind(prefix, 0) != 0) {
+      fail(tok, "expected " + prefix + "<value>, got '" + tok.text + "'");
+    }
+    const Token value{tok.text.substr(prefix.size()),
+                      tok.column + static_cast<int>(prefix.size())};
+    return parse_int(value);
+  }
+
+  ScenarioSpec::TaskSpec* find_task(const Token& tok) {
+    for (auto& t : spec_.tasks) {
+      if (t.name == tok.text) return &t;
+    }
+    fail(tok, "unknown task '" + tok.text + "'");
+  }
+
+  bool parse_on_off(const Token& tok) {
+    if (tok.text == "on") return true;
+    if (tok.text == "off") return false;
+    fail(tok, "expected 'on' or 'off', got '" + tok.text + "'");
+  }
+
+  void parse_directive() {
+    const std::string& head = tok_[0].text;
+    if (head == "processors") {
+      expect_tokens(2, 2, "processors <count>");
+      const std::int64_t m = parse_int(tok_[1]);
+      if (m < 1) fail(tok_[1], "processors must be >= 1");
+      spec_.config.processors = static_cast<int>(m);
+    } else if (head == "policy") {
+      parse_policy();
+    } else if (head == "policing") {
+      expect_tokens(2, 2, "policing clamp | reject | off");
+      if (tok_[1].text == "clamp") {
+        spec_.config.policing = PolicingMode::kClamp;
+      } else if (tok_[1].text == "reject") {
+        spec_.config.policing = PolicingMode::kReject;
+      } else if (tok_[1].text == "off") {
+        spec_.config.policing = PolicingMode::kOff;
+      } else {
+        fail(tok_[1], "unknown policing mode '" + tok_[1].text + "'");
+      }
+    } else if (head == "heavy") {
+      expect_tokens(2, 2, "heavy on | off");
+      spec_.config.allow_heavy = parse_on_off(tok_[1]);
+    } else if (head == "validate") {
+      expect_tokens(2, 2, "validate on | off");
+      spec_.config.validate = parse_on_off(tok_[1]);
+    } else if (head == "violations") {
+      expect_tokens(2, 2, "violations throw | trace | quarantine");
+      if (tok_[1].text == "throw") {
+        spec_.config.violations = ViolationPolicy::kThrow;
+      } else if (tok_[1].text == "trace") {
+        spec_.config.violations = ViolationPolicy::kTrace;
+      } else if (tok_[1].text == "quarantine") {
+        spec_.config.violations = ViolationPolicy::kQuarantine;
+      } else {
+        fail(tok_[1], "unknown violation policy '" + tok_[1].text + "'");
+      }
+    } else if (head == "degradation") {
+      expect_tokens(2, 2, "degradation none | compress | shed | freeze");
+      if (tok_[1].text == "none") {
+        spec_.config.degradation = DegradationMode::kNone;
+      } else if (tok_[1].text == "compress") {
+        spec_.config.degradation = DegradationMode::kCompress;
+      } else if (tok_[1].text == "shed") {
+        spec_.config.degradation = DegradationMode::kShed;
+      } else if (tok_[1].text == "freeze") {
+        spec_.config.degradation = DegradationMode::kFreeze;
+      } else {
+        fail(tok_[1], "unknown degradation mode '" + tok_[1].text + "'");
+      }
+    } else if (head == "task") {
+      parse_task();
+    } else if (head == "separation") {
+      expect_tokens(4, 4, "separation <name> <subtask-index> <delay>");
+      ScenarioSpec::TaskSpec* t = find_task(tok_[1]);
+      const std::int64_t index = parse_int(tok_[2]);
+      if (index < 1) fail(tok_[2], "subtask index must be >= 1");
+      const std::int64_t delay = parse_int(tok_[3]);
+      if (delay < 0) fail(tok_[3], "separation delay must be >= 0");
+      t->separations.emplace_back(static_cast<SubtaskIndex>(index), delay);
+    } else if (head == "absent") {
+      expect_tokens(3, 3, "absent <name> <subtask-index>");
+      ScenarioSpec::TaskSpec* t = find_task(tok_[1]);
+      const std::int64_t index = parse_int(tok_[2]);
+      if (index < 1) fail(tok_[2], "subtask index must be >= 1");
+      t->absences.push_back(static_cast<SubtaskIndex>(index));
+    } else if (head == "reweight") {
+      expect_tokens(4, 4, "reweight <name> <num>/<den> at=<t>");
+      find_task(tok_[1]);  // existence check
+      ScenarioSpec::EventSpec ev;
+      ev.task = tok_[1].text;
+      ev.weight = parse_rational(tok_[2]);
+      if (!(ev.weight > 0)) fail(tok_[2], "reweight target must be positive");
+      if (ev.weight > kMaxWeight) {
+        // Static heavy tasks are fine (heavy on), but the paper's
+        // reweighting rules cover light targets only.
+        fail(tok_[2], "reweight target must satisfy 0 < w <= 1/2");
+      }
+      ev.at = parse_kv(tok_[3], "at");
+      if (ev.at < 0) fail(tok_[3], "event time must be >= 0");
+      spec_.events.push_back(std::move(ev));
+    } else if (head == "leave") {
+      expect_tokens(3, 3, "leave <name> at=<t>");
+      find_task(tok_[1]);
+      ScenarioSpec::EventSpec ev;
+      ev.task = tok_[1].text;
+      ev.at = parse_kv(tok_[2], "at");
+      if (ev.at < 0) fail(tok_[2], "event time must be >= 0");
+      ev.is_leave = true;
+      spec_.events.push_back(std::move(ev));
+    } else if (head == "fault") {
+      parse_fault();
+    } else if (head == "horizon") {
+      expect_tokens(2, 2, "horizon <slots>");
+      const std::int64_t h = parse_int(tok_[1]);
+      if (h < 0) fail(tok_[1], "horizon must be >= 0");
+      spec_.horizon = h;
+    } else {
+      // Unknown directives are skipped, not fatal: a scenario written for a
+      // newer engine still runs (without the feature) on an older one.
+      spec_.warnings.push_back(filename_ + ":" + std::to_string(line_) +
+                               ": ignoring unknown directive '" + head + "'");
+    }
+  }
+
+  void parse_policy() {
+    expect_tokens(2, 2,
+                  "policy oi | lj | hybrid-mag:<ratio> | hybrid-budget:<n>");
+    const Token& p = tok_[1];
+    if (p.text == "oi") {
+      spec_.config.policy = ReweightPolicy::kOmissionIdeal;
+    } else if (p.text == "lj") {
+      spec_.config.policy = ReweightPolicy::kLeaveJoin;
+    } else if (p.text.rfind("hybrid-mag:", 0) == 0) {
+      spec_.config.policy = ReweightPolicy::kHybridMagnitude;
+      spec_.config.hybrid_magnitude_threshold = parse_double(p, 11);
+    } else if (p.text.rfind("hybrid-budget:", 0) == 0) {
+      spec_.config.policy = ReweightPolicy::kHybridBudget;
+      const Token n{p.text.substr(14), p.column + 14};
+      const std::int64_t budget = parse_int(n);
+      if (budget < 0) fail(n, "hybrid budget must be >= 0");
+      spec_.config.hybrid_budget_per_slot = static_cast<int>(budget);
+    } else {
+      fail(p, "unknown policy '" + p.text + "'");
+    }
+  }
+
+  void parse_task() {
+    expect_tokens(3, 5, "task <name> <num>/<den> [join=<t>] [rank=<r>]");
+    ScenarioSpec::TaskSpec t;
+    t.name = tok_[1].text;
+    for (const auto& existing : spec_.tasks) {
+      if (existing.name == t.name) {
+        fail(tok_[1], "duplicate task '" + t.name + "'");
+      }
+    }
+    t.weight = parse_rational(tok_[2]);
+    if (!(t.weight > 0)) fail(tok_[2], "task weight must be positive");
+    if (t.weight > 1) fail(tok_[2], "task weight must satisfy w <= 1");
+    if (t.weight > kMaxWeight && !spec_.config.allow_heavy) {
+      fail(tok_[2],
+           "task weight exceeds 1/2; declare 'heavy on' before this task");
+    }
+    for (std::size_t k = 3; k < tok_.size(); ++k) {
+      if (tok_[k].text.rfind("join=", 0) == 0) {
+        t.join = parse_kv(tok_[k], "join");
+        if (t.join < 0) fail(tok_[k], "join time must be >= 0");
+      } else if (tok_[k].text.rfind("rank=", 0) == 0) {
+        t.rank = static_cast<int>(parse_kv(tok_[k], "rank"));
+      } else {
+        fail(tok_[k], "unknown task attribute '" + tok_[k].text + "'");
+      }
+    }
+    spec_.tasks.push_back(std::move(t));
+  }
+
+  void parse_fault() {
+    if (tok_.size() < 2) {
+      fail(tok_[0],
+           "expected: fault crash|recover|overrun <cpu> at=<t>, "
+           "fault drop <name> at=<t>, or fault delay <name> at=<t> by=<d>");
+    }
+    const std::string& kind = tok_[1].text;
+    ScenarioSpec::FaultSpec f;
+    if (kind == "crash" || kind == "recover" || kind == "overrun") {
+      expect_tokens(4, 4, "fault " + kind + " <cpu> at=<t>");
+      f.kind = kind == "crash"     ? FaultKind::kProcCrash
+               : kind == "recover" ? FaultKind::kProcRecover
+                                   : FaultKind::kOverrun;
+      const std::int64_t cpu = parse_int(tok_[2]);
+      if (cpu < 0) fail(tok_[2], "processor must be >= 0");
+      f.processor = static_cast<int>(cpu);
+      f.at = parse_kv(tok_[3], "at");
+      if (f.at < 0) fail(tok_[3], "fault time must be >= 0");
+    } else if (kind == "drop") {
+      expect_tokens(4, 4, "fault drop <name> at=<t>");
+      find_task(tok_[2]);
+      f.kind = FaultKind::kDropRequest;
+      f.task = tok_[2].text;
+      f.at = parse_kv(tok_[3], "at");
+      if (f.at < 0) fail(tok_[3], "fault time must be >= 0");
+    } else if (kind == "delay") {
+      expect_tokens(5, 5, "fault delay <name> at=<t> by=<slots>");
+      find_task(tok_[2]);
+      f.kind = FaultKind::kDelayRequest;
+      f.task = tok_[2].text;
+      f.at = parse_kv(tok_[3], "at");
+      if (f.at < 0) fail(tok_[3], "fault time must be >= 0");
+      f.delay = parse_kv(tok_[4], "by");
+      if (f.delay <= 0) fail(tok_[4], "delay must be > 0");
+    } else {
+      fail(tok_[1], "unknown fault kind '" + kind + "'");
+    }
+    spec_.faults.push_back(std::move(f));
+  }
+
+  std::istream& in_;
+  std::string filename_;
+  ScenarioSpec spec_;
+  std::vector<Token> tok_;
+  int line_{0};
+};
 
 }  // namespace
 
-ScenarioSpec parse_scenario(std::istream& in) {
-  ScenarioSpec spec;
-  std::string line_text;
-  int line = 0;
-  while (std::getline(in, line_text)) {
-    ++line;
-    const auto hash = line_text.find('#');
-    if (hash != std::string::npos) line_text.erase(hash);
-    std::istringstream ls{line_text};
-    std::vector<std::string> tok;
-    for (std::string t; ls >> t;) tok.push_back(t);
-    if (tok.empty()) continue;
-    const std::string& head = tok[0];
+ParseError::ParseError(std::string file, int line, int column,
+                       std::string token, std::string message)
+    : std::invalid_argument(
+          format_parse_error(file, line, column, token, message)),
+      file_(std::move(file)),
+      line_(line),
+      column_(column),
+      token_(std::move(token)),
+      message_(std::move(message)) {}
 
-    if (head == "processors" && tok.size() == 2) {
-      spec.config.processors = static_cast<int>(parse_int(tok[1], line));
-    } else if (head == "policy" && tok.size() == 2) {
-      const std::string& p = tok[1];
-      if (p == "oi") {
-        spec.config.policy = ReweightPolicy::kOmissionIdeal;
-      } else if (p == "lj") {
-        spec.config.policy = ReweightPolicy::kLeaveJoin;
-      } else if (p.rfind("hybrid-mag:", 0) == 0) {
-        spec.config.policy = ReweightPolicy::kHybridMagnitude;
-        spec.config.hybrid_magnitude_threshold = std::stod(p.substr(11));
-      } else if (p.rfind("hybrid-budget:", 0) == 0) {
-        spec.config.policy = ReweightPolicy::kHybridBudget;
-        spec.config.hybrid_budget_per_slot =
-            static_cast<int>(parse_int(p.substr(14), line));
-      } else {
-        fail(line, "unknown policy '" + p + "'");
-      }
-    } else if (head == "policing" && tok.size() == 2) {
-      if (tok[1] == "clamp") {
-        spec.config.policing = PolicingMode::kClamp;
-      } else if (tok[1] == "reject") {
-        spec.config.policing = PolicingMode::kReject;
-      } else if (tok[1] == "off") {
-        spec.config.policing = PolicingMode::kOff;
-      } else {
-        fail(line, "unknown policing mode '" + tok[1] + "'");
-      }
-    } else if (head == "heavy" && tok.size() == 2) {
-      spec.config.allow_heavy = tok[1] == "on";
-    } else if (head == "task" && tok.size() >= 3) {
-      ScenarioSpec::TaskSpec t;
-      t.name = tok[1];
-      t.weight = parse_rational(tok[2], line);
-      for (std::size_t k = 3; k < tok.size(); ++k) {
-        if (tok[k].rfind("join=", 0) == 0) {
-          t.join = parse_kv(tok[k], "join", line);
-        } else if (tok[k].rfind("rank=", 0) == 0) {
-          t.rank = static_cast<int>(parse_kv(tok[k], "rank", line));
-        } else {
-          fail(line, "unknown task attribute '" + tok[k] + "'");
-        }
-      }
-      spec.tasks.push_back(std::move(t));
-    } else if (head == "separation" && tok.size() == 4) {
-      find_task(spec, tok[1], line)
-          ->separations.emplace_back(parse_int(tok[2], line),
-                                     parse_int(tok[3], line));
-    } else if (head == "absent" && tok.size() == 3) {
-      find_task(spec, tok[1], line)
-          ->absences.push_back(parse_int(tok[2], line));
-    } else if (head == "reweight" && tok.size() == 4) {
-      find_task(spec, tok[1], line);  // existence check
-      ScenarioSpec::EventSpec ev;
-      ev.task = tok[1];
-      ev.weight = parse_rational(tok[2], line);
-      ev.at = parse_kv(tok[3], "at", line);
-      spec.events.push_back(std::move(ev));
-    } else if (head == "leave" && tok.size() == 3) {
-      find_task(spec, tok[1], line);
-      ScenarioSpec::EventSpec ev;
-      ev.task = tok[1];
-      ev.at = parse_kv(tok[2], "at", line);
-      ev.is_leave = true;
-      spec.events.push_back(std::move(ev));
-    } else if (head == "horizon" && tok.size() == 2) {
-      spec.horizon = parse_int(tok[1], line);
-    } else {
-      fail(line, "unrecognized directive '" + head + "'");
-    }
-  }
-  return spec;
+ScenarioSpec parse_scenario(std::istream& in, std::string filename) {
+  return Parser{in, std::move(filename)}.run();
 }
 
-ScenarioSpec parse_scenario_string(const std::string& text) {
+ScenarioSpec parse_scenario_string(const std::string& text,
+                                   std::string filename) {
   std::istringstream in{text};
-  return parse_scenario(in);
+  return parse_scenario(in, std::move(filename));
 }
 
 BuiltScenario build_scenario(const ScenarioSpec& spec) {
@@ -169,6 +384,29 @@ BuiltScenario build_scenario(const ScenarioSpec& spec) {
     } else {
       out.engine->request_weight_change(id, ev.weight, ev.at);
     }
+  }
+  if (!spec.faults.empty()) {
+    FaultPlan plan;
+    for (const auto& f : spec.faults) {
+      switch (f.kind) {
+        case FaultKind::kProcCrash:
+          plan.crash(f.processor, f.at);
+          break;
+        case FaultKind::kProcRecover:
+          plan.recover(f.processor, f.at);
+          break;
+        case FaultKind::kOverrun:
+          plan.overrun(f.processor, f.at);
+          break;
+        case FaultKind::kDropRequest:
+          plan.drop_request(out.ids.at(f.task), f.at);
+          break;
+        case FaultKind::kDelayRequest:
+          plan.delay_request(out.ids.at(f.task), f.at, f.delay);
+          break;
+      }
+    }
+    out.engine->set_fault_plan(std::move(plan));
   }
   return out;
 }

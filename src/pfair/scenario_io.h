@@ -1,6 +1,7 @@
 /// \file scenario_io.h
-/// \brief Text scenario format: describe a task system and its reweighting
-/// events in a small line-oriented language, then build an Engine from it.
+/// \brief Text scenario format: describe a task system, its reweighting
+/// events, and an optional fault script in a small line-oriented language,
+/// then build an Engine from it.
 ///
 /// Grammar (one directive per line, '#' comments, blank lines ignored):
 ///
@@ -8,12 +9,26 @@
 ///   policy oi | lj | hybrid-mag:<ratio> | hybrid-budget:<n>
 ///   policing clamp | reject | off
 ///   heavy on | off
+///   validate on | off
+///   violations throw | trace | quarantine
+///   degradation none | compress | shed | freeze
 ///   task <name> <num>/<den> [join=<t>] [rank=<r>]
 ///   separation <name> <subtask-index> <delay>
 ///   absent <name> <subtask-index>
 ///   reweight <name> <num>/<den> at=<t>
 ///   leave <name> at=<t>
+///   fault crash <cpu> at=<t>
+///   fault recover <cpu> at=<t>
+///   fault overrun <cpu> at=<t>
+///   fault drop <name> at=<t>
+///   fault delay <name> at=<t> by=<slots>
 ///   horizon <slots>
+///
+/// Malformed directives throw ParseError, which carries the file name, the
+/// 1-based line and column, and the offending token; what() renders them as
+/// "file:line:col: message (at 'token')".  *Unknown* directives are not
+/// errors: they are skipped and reported in ScenarioSpec::warnings, so a
+/// scenario written for a newer engine still runs on an older one.
 ///
 /// Example (the paper's Fig. 4):
 ///
@@ -22,17 +37,58 @@
 ///   task U 2/5 rank=1
 ///   reweight U 1/2 at=3
 ///   horizon 10
+///
+/// Example (overload degradation: one of two processors crashes at t=8 and
+/// recovers at t=40; in between the four half-weight tasks are compressed
+/// onto the surviving processor):
+///
+///   processors 2
+///   degradation compress
+///   task A 1/2
+///   task B 1/2
+///   task C 1/2
+///   task D 1/2
+///   fault crash 1 at=8
+///   fault recover 1 at=40
+///   horizon 64
 #pragma once
 
 #include <iosfwd>
 #include <map>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "pfair/engine.h"
 
 namespace pfr::pfair {
+
+/// A malformed scenario directive.  Derives std::invalid_argument so
+/// pre-existing catch sites keep working; the typed accessors let tools
+/// point an editor at the exact spot.
+class ParseError : public std::invalid_argument {
+ public:
+  ParseError(std::string file, int line, int column, std::string token,
+             std::string message);
+
+  [[nodiscard]] const std::string& file() const noexcept { return file_; }
+  [[nodiscard]] int line() const noexcept { return line_; }        ///< 1-based
+  [[nodiscard]] int column() const noexcept { return column_; }    ///< 1-based
+  /// The offending token (may be empty, e.g. for missing-argument errors).
+  [[nodiscard]] const std::string& token() const noexcept { return token_; }
+  /// The bare message, without the location prefix what() carries.
+  [[nodiscard]] const std::string& message() const noexcept {
+    return message_;
+  }
+
+ private:
+  std::string file_;
+  int line_;
+  int column_;
+  std::string token_;
+  std::string message_;
+};
 
 /// Parsed scenario: engine configuration plus the construction script.
 struct ScenarioSpec {
@@ -53,17 +109,32 @@ struct ScenarioSpec {
     Slot at{0};
     bool is_leave{false};
   };
+  /// One `fault` directive; task names resolve to ids in build_scenario.
+  struct FaultSpec {
+    FaultKind kind{FaultKind::kProcCrash};
+    Slot at{0};
+    int processor{-1};  ///< crash/recover/overrun
+    std::string task;   ///< drop/delay
+    Slot delay{0};      ///< delay only
+  };
   std::vector<TaskSpec> tasks;
   std::vector<EventSpec> events;
+  std::vector<FaultSpec> faults;
+  /// Unknown directives skipped during parsing, one "file:line: ..." note
+  /// each.  Empty on fully understood input.
+  std::vector<std::string> warnings;
 };
 
-/// Parses the scenario language.  Throws std::invalid_argument with a
-/// line-numbered message on malformed input.
-[[nodiscard]] ScenarioSpec parse_scenario(std::istream& in);
-[[nodiscard]] ScenarioSpec parse_scenario_string(const std::string& text);
+/// Parses the scenario language.  Throws ParseError on malformed input;
+/// `filename` only labels diagnostics.  Unknown directives never throw --
+/// they are skipped and noted in ScenarioSpec::warnings.
+[[nodiscard]] ScenarioSpec parse_scenario(std::istream& in,
+                                          std::string filename = "<scenario>");
+[[nodiscard]] ScenarioSpec parse_scenario_string(
+    const std::string& text, std::string filename = "<scenario>");
 
-/// Builds an engine from a spec (tasks added, events queued).  The returned
-/// map resolves scenario task names to engine ids.
+/// Builds an engine from a spec (tasks added, events queued, fault plan
+/// installed).  The returned map resolves scenario task names to engine ids.
 struct BuiltScenario {
   std::unique_ptr<Engine> engine;
   std::map<std::string, TaskId> ids;

@@ -15,6 +15,7 @@
 namespace pfr::pfair {
 
 const Subtask* Engine::eligible_candidate(TaskState& task, Slot t) {
+  if (task.quarantined()) return nullptr;  // excused from the schedule
   auto& subs = task.subtasks;
   while (task.dispatch_cursor < subs.size()) {
     const Subtask& s = subs[task.dispatch_cursor];
@@ -40,7 +41,10 @@ void Engine::dispatch(Slot t) {
     if (c != nullptr) candidates_.push_back(Candidate{task.id, c});
   }
 
-  const auto m = static_cast<std::size_t>(cfg_.processors);
+  // Dispatch at most the slot's effective capacity: M minus crashed
+  // processors minus quantum overruns this slot (fault.cc).  Equals M on
+  // fault-free runs.
+  const auto m = static_cast<std::size_t>(slot_capacity_);
   const auto priority_of = [this](const Candidate& c) {
     return Pd2Priority{c.sub->deadline, c.sub->b, c.sub->group_deadline,
                        tasks_[static_cast<std::size_t>(c.task)].tie_rank,
@@ -96,7 +100,8 @@ void Engine::dispatch(Slot t) {
       tracer_.emit(e);
     }
   }
-  rec.holes = cfg_.processors - static_cast<int>(candidates_.size());
+  rec.capacity = slot_capacity_;
+  rec.holes = slot_capacity_ - static_cast<int>(candidates_.size());
   stats_.holes += rec.holes;
   if (cfg_.record_slot_trace) trace_.push_back(std::move(rec));
 }

@@ -48,10 +48,17 @@ struct TaskState {
   bool joined{false};            ///< chain started (join processed)
   Slot leave_requested_at{kNever};
   Slot left_at{kNever};          ///< rule-L leave time, once determined
+  /// Quarantine time under ViolationPolicy::kQuarantine: from here on the
+  /// task neither releases, accrues ideal allocations, counts toward
+  /// property (W), nor competes for slots.  kNever = healthy.
+  Slot quarantined_at{kNever};
 
   // --- weights ---
   Rational wt;   ///< actual weight wt(T, now): changes at *initiation*
   Rational swt;  ///< scheduling weight swt(T, now): changes at *enactment*
+  /// The weight the user last asked for, untouched by degradation: the
+  /// restore target when capacity recovers after a compress-mode crash.
+  Rational nominal_wt;
   /// Every scheduling-weight switch as (slot, new value); the first entry
   /// is the join.  Enables offline recomputation of I_SW/I_CSW
   /// (theory_checks.h) and post-hoc inspection of enactment timing.
@@ -128,8 +135,12 @@ struct TaskState {
     return swt;
   }
 
+  [[nodiscard]] bool quarantined() const noexcept {
+    return quarantined_at != kNever;
+  }
+
   [[nodiscard]] bool active_member(Slot t) const noexcept {
-    return joined && left_at > t;
+    return joined && left_at > t && !quarantined();
   }
 };
 

@@ -58,12 +58,57 @@ enum class PolicingMode : std::uint8_t {
   kOff,
 };
 
+/// How the engine sheds load when effective capacity (alive processors)
+/// drops below the total task weight -- e.g. after a processor crash.
+/// Every response is expressed as ordinary reweighting initiations or
+/// leaves, so drift accounting and the Theorem 2-5 machinery still apply.
+enum class DegradationMode : std::uint8_t {
+  /// Do nothing; an overloaded system misses deadlines (baseline).
+  kNone,
+  /// Proportionally compress every active task's weight by
+  /// capacity / total weight via the configured reweighting rules, and
+  /// restore the nominal weights once capacity recovers.
+  kCompress,
+  /// Shed whole tasks in tie-rank order (highest rank = least favored
+  /// first) via rule L until the remainder fits.  Irreversible.
+  kShed,
+  /// Keep current weights but freeze admissions: weight increases and
+  /// late joins are rejected until capacity recovers.
+  kFreeze,
+};
+
+/// What a validate-mode invariant violation does (EngineConfig::validate).
+enum class ViolationPolicy : std::uint8_t {
+  kThrow,       ///< throw std::logic_error (the strict test-suite default)
+  kTrace,       ///< emit an invariant_violation event and continue
+  kQuarantine,  ///< additionally quarantine the implicated task, if any
+};
+
 [[nodiscard]] constexpr const char* to_string(ReweightPolicy p) noexcept {
   switch (p) {
     case ReweightPolicy::kLeaveJoin: return "PD2-LJ";
     case ReweightPolicy::kOmissionIdeal: return "PD2-OI";
     case ReweightPolicy::kHybridMagnitude: return "PD2-Hybrid(mag)";
     case ReweightPolicy::kHybridBudget: return "PD2-Hybrid(budget)";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr const char* to_string(DegradationMode m) noexcept {
+  switch (m) {
+    case DegradationMode::kNone: return "none";
+    case DegradationMode::kCompress: return "compress";
+    case DegradationMode::kShed: return "shed";
+    case DegradationMode::kFreeze: return "freeze";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr const char* to_string(ViolationPolicy p) noexcept {
+  switch (p) {
+    case ViolationPolicy::kThrow: return "throw";
+    case ViolationPolicy::kTrace: return "trace";
+    case ViolationPolicy::kQuarantine: return "quarantine";
   }
   return "?";
 }

@@ -20,16 +20,33 @@ std::string sub_name(const TaskState& task, const Subtask& s) {
 }  // namespace
 
 std::vector<Violation> verify_schedule(const Engine& engine) {
+  return verify_schedule(engine, {});
+}
+
+std::vector<Violation> verify_schedule(
+    const Engine& engine, const std::vector<int>& expected_capacity) {
   std::vector<Violation> out;
   const auto& trace = engine.trace();
-  const auto m = static_cast<std::size_t>(engine.processors());
 
-  // Slot-level checks from the trace.
+  // Slot-level checks from the trace, against the slot's recorded effective
+  // capacity M_alive(t) (== M on fault-free runs).
   for (std::size_t t = 0; t < trace.size(); ++t) {
     const SlotRecord& rec = trace[t];
-    if (rec.scheduled.size() > m) {
+    if (rec.capacity < 0 || rec.capacity > engine.processors()) {
+      report(out, "slot " + std::to_string(t) + " records capacity " +
+                      std::to_string(rec.capacity) + " outside [0, M]");
+    }
+    if (t < expected_capacity.size() &&
+        rec.capacity != expected_capacity[t]) {
+      report(out, "slot " + std::to_string(t) + " records capacity " +
+                      std::to_string(rec.capacity) + " but the fault script " +
+                      "implies " + std::to_string(expected_capacity[t]));
+    }
+    if (rec.scheduled.size() > static_cast<std::size_t>(rec.capacity)) {
       report(out, "slot " + std::to_string(t) + " schedules " +
-                      std::to_string(rec.scheduled.size()) + " > M tasks");
+                      std::to_string(rec.scheduled.size()) +
+                      " > capacity " + std::to_string(rec.capacity) +
+                      " tasks");
     }
     std::set<TaskId> seen;
     for (const TaskId id : rec.scheduled) {
@@ -38,8 +55,7 @@ std::vector<Violation> verify_schedule(const Engine& engine) {
                         std::to_string(id) + " twice");
       }
     }
-    if (rec.holes != engine.processors() -
-                         static_cast<int>(rec.scheduled.size())) {
+    if (rec.holes != rec.capacity - static_cast<int>(rec.scheduled.size())) {
       report(out, "slot " + std::to_string(t) + " has inconsistent holes");
     }
   }
@@ -107,9 +123,13 @@ std::vector<Violation> verify_schedule(const Engine& engine) {
     }
   }
 
-  // Theorem 2: a policed PD2-OI run never misses.
+  // Theorem 2: a policed PD2-OI run never misses.  Suspended once any
+  // capacity fault occurred (the theorem presumes M processors; a crash can
+  // make any scheduler miss) or a task was quarantined (its pre-quarantine
+  // misses stay recorded but the run is no longer pure PD2).
   if (engine.config().policy == ReweightPolicy::kOmissionIdeal &&
       engine.config().policing != PolicingMode::kOff &&
+      !engine.capacity_faulted() && engine.stats().quarantines == 0 &&
       !engine.misses().empty()) {
     report(out, "PD2-OI with policing recorded " +
                     std::to_string(engine.misses().size()) +

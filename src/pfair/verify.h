@@ -4,11 +4,15 @@
 /// The engine asserts invariants online; this module re-derives the
 /// correctness conditions from the recorded trace and subtask records alone,
 /// giving the test suite an implementation-independent oracle:
-///   * at most M subtasks per slot, at most one per task per slot;
+///   * at most M_alive(t) subtasks per slot (the recorded per-slot effective
+///     capacity: M minus crashed processors minus quantum overruns), at most
+///     one per task per slot;
 ///   * every scheduled subtask ran inside [r, d) unless a miss was recorded;
 ///   * subtasks of a task ran in index order in distinct slots;
 ///   * halted or absent subtasks never ran;
-///   * per Theorem 2, a policed PD2-OI run has no misses at all.
+///   * per Theorem 2, a policed PD2-OI run has no misses at all -- checked
+///     only while no capacity fault occurred (a crash can make *any*
+///     scheduler miss; the theorem presumes M processors).
 #pragma once
 
 #include <string>
@@ -26,6 +30,13 @@ struct Violation {
 /// Re-checks the engine's recorded history (requires record_slot_trace).
 /// Returns all violations found (empty = verified).
 [[nodiscard]] std::vector<Violation> verify_schedule(const Engine& engine);
+
+/// As above, but additionally cross-checks the trace's recorded per-slot
+/// capacity against `expected_capacity` (indexed by slot; slots beyond its
+/// size are unchecked).  Lets a test derive M_alive(t) independently from
+/// the fault script and catch the engine mis-recording its own capacity.
+[[nodiscard]] std::vector<Violation> verify_schedule(
+    const Engine& engine, const std::vector<int>& expected_capacity);
 
 /// Convenience: true iff verify_schedule() found nothing.
 [[nodiscard]] inline bool schedule_ok(const Engine& engine) {

@@ -169,7 +169,7 @@ TEST(Metrics, PhaseTimersCoverEverySlot) {
   eng.set_metrics(&reg);
   eng.run_until(12);
   for (const char* phase :
-       {"engine.phase.joins", "engine.phase.enactments",
+       {"engine.phase.faults", "engine.phase.joins", "engine.phase.enactments",
         "engine.phase.releases", "engine.phase.events", "engine.phase.ideal",
         "engine.phase.dispatch", "engine.phase.miss_detect"}) {
     const obs::Timer& t = reg.timer(phase);

@@ -1,0 +1,120 @@
+/// Table-driven coverage of scenario_io diagnostics: every malformed input
+/// must fail with the exact file:line:column, offending token, and message
+/// that ParseError promises.  The table doubles as documentation of the
+/// parser's error surface.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "pfair/scenario_io.h"
+
+namespace pfr::pfair {
+namespace {
+
+struct BadScenario {
+  const char* name;     ///< test label
+  const char* input;    ///< full scenario text
+  int line;             ///< expected 1-based error line
+  int column;           ///< expected 1-based error column
+  const char* token;    ///< expected offending token
+  const char* message;  ///< expected bare message (without location prefix)
+};
+
+constexpr BadScenario kBadScenarios[] = {
+    {"NegativeWeight", "task T -1/4\n", 1, 8, "-1/4",
+     "task weight must be positive"},
+    {"ZeroWeight", "task T 0\n", 1, 8, "0", "task weight must be positive"},
+    {"ZeroDenominator", "task T 1/0\n", 1, 8, "1/0",
+     "zero denominator in '1/0'"},
+    {"HeavyWeightWithoutHeavyOn", "task T 2/3\n", 1, 8, "2/3",
+     "task weight exceeds 1/2; declare 'heavy on' before this task"},
+    {"WeightAboveOneEvenWithHeavyOn", "heavy on\ntask T 3/2\n", 2, 8, "3/2",
+     "task weight must satisfy w <= 1"},
+    {"ReweightUnknownTask", "reweight X 1/2 at=3\n", 1, 10, "X",
+     "unknown task 'X'"},
+    {"ReweightToHeavy", "task T 1/4\nreweight T 2/3 at=5\n", 2, 12, "2/3",
+     "reweight target must satisfy 0 < w <= 1/2"},
+    {"ReweightToZero", "task T 1/4\nreweight T 0 at=5\n", 2, 12, "0",
+     "reweight target must be positive"},
+    {"DuplicateTaskName", "task T 1/4\ntask T 1/3\n", 2, 6, "T",
+     "duplicate task 'T'"},
+    {"ZeroProcessors", "processors 0\n", 1, 12, "0",
+     "processors must be >= 1"},
+    {"NonIntegerProcessors", "processors many\n", 1, 12, "many",
+     "expected integer, got 'many'"},
+    {"UnknownPolicy", "policy what\n", 1, 8, "what", "unknown policy 'what'"},
+    {"BadHybridRatio", "policy hybrid-mag:abc\n", 1, 8, "hybrid-mag:abc",
+     "expected number, got 'abc'"},
+    {"UnknownPolicingMode", "policing sometimes\n", 1, 10, "sometimes",
+     "unknown policing mode 'sometimes'"},
+    {"BadHeavyValue", "heavy maybe\n", 1, 7, "maybe",
+     "expected 'on' or 'off', got 'maybe'"},
+    {"UnknownViolationPolicy", "violations panic\n", 1, 12, "panic",
+     "unknown violation policy 'panic'"},
+    {"UnknownDegradationMode", "degradation explode\n", 1, 13, "explode",
+     "unknown degradation mode 'explode'"},
+    {"MissingAtKey", "task T 1/4\nreweight T 1/3 5\n", 2, 16, "5",
+     "expected at=<value>, got '5'"},
+    {"MissingHorizonValue", "horizon\n", 1, 1, "horizon",
+     "expected: horizon <slots>"},
+    {"NegativeHorizon", "horizon -5\n", 1, 9, "-5", "horizon must be >= 0"},
+    {"NegativeSeparationDelay", "task T 1/4\nseparation T 2 -1\n", 2, 16,
+     "-1", "separation delay must be >= 0"},
+    {"ZeroSubtaskIndex", "task T 1/4\nabsent T 0\n", 2, 10, "0",
+     "subtask index must be >= 1"},
+    {"UnknownFaultKind", "fault explode 1 at=3\n", 1, 7, "explode",
+     "unknown fault kind 'explode'"},
+    {"ZeroFaultDelay", "task T 1/4\nfault delay T at=3 by=0\n", 2, 20,
+     "by=0", "delay must be > 0"},
+    {"NegativeFaultProcessor", "fault crash -1 at=3\n", 1, 13, "-1",
+     "processor must be >= 0"},
+    {"NegativeJoinTime", "task T 1/4 join=-2\n", 1, 12, "join=-2",
+     "join time must be >= 0"},
+    {"UnknownTaskAttribute", "task T 1/4 color=red\n", 1, 12, "color=red",
+     "unknown task attribute 'color=red'"},
+    {"NegativeEventTime", "task T 1/4\nleave T at=-1\n", 2, 9, "at=-1",
+     "event time must be >= 0"},
+};
+
+class ScenarioErrors : public ::testing::TestWithParam<BadScenario> {};
+
+TEST_P(ScenarioErrors, FailsWithExactDiagnostic) {
+  const BadScenario& c = GetParam();
+  try {
+    (void)parse_scenario_string(c.input, "bad.scn");
+    FAIL() << c.name << ": expected ParseError, input parsed cleanly";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.file(), "bad.scn") << c.name;
+    EXPECT_EQ(e.line(), c.line) << c.name;
+    EXPECT_EQ(e.column(), c.column) << c.name;
+    EXPECT_EQ(e.token(), c.token) << c.name;
+    EXPECT_EQ(e.message(), c.message) << c.name;
+    // what() renders all of the above in compiler-style form.
+    const std::string expected = "bad.scn:" + std::to_string(c.line) + ":" +
+                                 std::to_string(c.column) + ": " + c.message +
+                                 " (at '" + std::string{c.token} + "')";
+    EXPECT_EQ(std::string{e.what()}, expected) << c.name;
+  }
+}
+
+std::string bad_scenario_name(
+    const ::testing::TestParamInfo<BadScenario>& param_info) {
+  return param_info.param.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Table, ScenarioErrors,
+                         ::testing::ValuesIn(kBadScenarios),
+                         bad_scenario_name);
+
+// A valid scenario surrounded by the error cases: the parser is not
+// stateful across calls and still accepts good input.
+TEST(ScenarioErrors, GoodInputStillParses) {
+  const ScenarioSpec spec = parse_scenario_string(
+      "processors 2\ntask T 1/4\nreweight T 1/3 at=5\nhorizon 20\n");
+  EXPECT_TRUE(spec.warnings.empty());
+  EXPECT_EQ(spec.tasks.size(), 1U);
+  EXPECT_EQ(spec.events.size(), 1U);
+}
+
+}  // namespace
+}  // namespace pfr::pfair

@@ -83,13 +83,71 @@ TEST(ScenarioIo, HybridBudgetPolicy) {
   EXPECT_EQ(spec.config.hybrid_budget_per_slot, 3);
 }
 
-TEST(ScenarioIo, ErrorsCarryLineNumbers) {
+TEST(ScenarioIo, ErrorsCarryFileLineColumnAndToken) {
   try {
-    (void)parse_scenario_string("processors 2\nfrobnicate T\n");
+    (void)parse_scenario_string("processors 2\ntask T nope\n", "demo.scn");
     FAIL() << "expected parse error";
-  } catch (const std::invalid_argument& e) {
-    EXPECT_NE(std::string{e.what()}.find("line 2"), std::string::npos);
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.file(), "demo.scn");
+    EXPECT_EQ(e.line(), 2);
+    EXPECT_EQ(e.column(), 8);  // 'nope' starts at column 8
+    EXPECT_EQ(e.token(), "nope");
+    EXPECT_EQ(std::string{e.what()},
+              "demo.scn:2:8: expected integer, got 'nope' (at 'nope')");
   }
+}
+
+TEST(ScenarioIo, UnknownDirectivesWarnInsteadOfThrowing) {
+  const ScenarioSpec spec = parse_scenario_string(
+      "processors 2\nfrobnicate T\ntask T 1/4\n", "demo.scn");
+  ASSERT_EQ(spec.warnings.size(), 1U);
+  EXPECT_EQ(spec.warnings[0],
+            "demo.scn:2: ignoring unknown directive 'frobnicate'");
+  // The rest of the file still parsed.
+  EXPECT_EQ(spec.config.processors, 2);
+  ASSERT_EQ(spec.tasks.size(), 1U);
+}
+
+TEST(ScenarioIo, ParsesFaultAndDegradationDirectives) {
+  const ScenarioSpec spec = parse_scenario_string(R"(
+processors 2
+degradation compress
+violations trace
+validate on
+task A 1/2
+task B 1/2
+reweight A 1/4 at=6
+fault crash 1 at=8
+fault recover 1 at=40
+fault overrun 0 at=12
+fault drop A at=6
+fault delay A at=6 by=3
+horizon 64
+)");
+  EXPECT_EQ(spec.config.degradation, DegradationMode::kCompress);
+  EXPECT_EQ(spec.config.violations, ViolationPolicy::kTrace);
+  EXPECT_TRUE(spec.config.validate);
+  ASSERT_EQ(spec.faults.size(), 5U);
+  EXPECT_EQ(spec.faults[0].kind, FaultKind::kProcCrash);
+  EXPECT_EQ(spec.faults[0].processor, 1);
+  EXPECT_EQ(spec.faults[0].at, 8);
+  EXPECT_EQ(spec.faults[1].kind, FaultKind::kProcRecover);
+  EXPECT_EQ(spec.faults[2].kind, FaultKind::kOverrun);
+  EXPECT_EQ(spec.faults[3].kind, FaultKind::kDropRequest);
+  EXPECT_EQ(spec.faults[3].task, "A");
+  EXPECT_EQ(spec.faults[4].kind, FaultKind::kDelayRequest);
+  EXPECT_EQ(spec.faults[4].delay, 3);
+
+  BuiltScenario built = build_scenario(spec);
+  EXPECT_EQ(built.engine->config().degradation, DegradationMode::kCompress);
+  built.engine->run_until(built.horizon);
+  EXPECT_GT(built.engine->stats().proc_crashes, 0);
+}
+
+TEST(ScenarioIo, BuildRejectsFaultOnNonexistentProcessor) {
+  const ScenarioSpec spec = parse_scenario_string(
+      "processors 2\ntask T 1/4\nfault crash 5 at=3\n");
+  EXPECT_THROW((void)build_scenario(spec), std::invalid_argument);
 }
 
 TEST(ScenarioIo, RejectsUnknownTaskAndBadNumbers) {
@@ -104,8 +162,13 @@ TEST(ScenarioIo, RejectsUnknownTaskAndBadNumbers) {
 }
 
 TEST(ScenarioIo, RejectsDuplicateTaskNames) {
-  const ScenarioSpec spec =
-      parse_scenario_string("task T 1/4\ntask T 1/3\n");
+  // Caught at parse time with a precise location...
+  EXPECT_THROW((void)parse_scenario_string("task T 1/4\ntask T 1/3\n"),
+               ParseError);
+  // ...and again at build time for hand-assembled specs.
+  ScenarioSpec spec;
+  spec.tasks.push_back({"T", rat(1, 4), 0, 0, {}, {}});
+  spec.tasks.push_back({"T", rat(1, 3), 0, 0, {}, {}});
   EXPECT_THROW((void)build_scenario(spec), std::invalid_argument);
 }
 
