@@ -8,6 +8,12 @@
 /// report misses, the worst per-task drift (the accuracy cost of the extra
 /// degradation-induced reweights, Eqn. (5)), degradation activity, and the
 /// post-hoc verifier's verdict under the fault-aware capacity oracle.
+///
+/// Replicates run across a thread pool (--threads); each replicate owns its
+/// engine and RNG stream and results merge in run order, so every thread
+/// count prints the same table.  --trace/--chrome-trace/--metrics replay
+/// one representative replicate (compress mode, crash rate 0.005, run 0)
+/// with the observability layer attached.
 #include <algorithm>
 #include <cmath>
 #include <cstdint>
@@ -15,11 +21,13 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.h"
 #include "pfair/pfair.h"
 #include "util/cli.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/table.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -35,6 +43,15 @@ struct PointConfig {
   double crash_rate{0.0};
   double recover_rate{0.05};
   pfair::DegradationMode mode{pfair::DegradationMode::kNone};
+};
+
+struct RunOutcome {
+  double misses{0};
+  double max_drift{0};
+  double degrade_events{0};
+  double shed{0};
+  std::int64_t crashes{0};
+  std::int64_t verifier_violations{0};
 };
 
 struct PointResult {
@@ -53,49 +70,71 @@ Rational palette_weight(int i) {
   return kPalette[static_cast<std::size_t>(i) % 4];
 }
 
-PointResult measure(const PointConfig& pc) {
-  PointResult out;
-  for (int run = 0; run < pc.runs; ++run) {
-    pfair::EngineConfig cfg;
-    cfg.processors = pc.processors;
-    cfg.degradation = pc.mode;
-    pfair::Engine eng{cfg};
-    for (int i = 0; i < pc.tasks; ++i) {
-      const pfair::TaskId id =
-          eng.add_task(palette_weight(i), 0, "T" + std::to_string(i));
-      eng.set_tie_rank(id, i);
-    }
-    // A sprinkling of user reweights so degradation interacts with ordinary
-    // initiations, not just a static set.
-    Xoshiro256 rng = Xoshiro256::for_stream(
-        pc.seed, 7000u + static_cast<std::uint64_t>(run));
-    for (int i = 0; i < pc.tasks; i += 3) {
-      const Slot at = rng.uniform_int(0, pc.slots - 1);
-      eng.request_weight_change(static_cast<pfair::TaskId>(i),
-                                palette_weight(i + 1), at);
-    }
-    pfair::FaultRates rates;
-    rates.crash_per_slot = pc.crash_rate;
-    rates.recover_per_slot = pc.recover_rate;
-    rates.min_alive = 1;
-    eng.set_fault_plan(pfair::FaultPlan::random(
-        pc.seed + static_cast<std::uint64_t>(run), pc.slots, pc.processors,
-        rates));
-    eng.run_until(pc.slots);
+/// Builds replicate `run` of the point: task set, user reweights, fault
+/// script.  Shared by the measured sweep and the observability replay.
+void populate(pfair::Engine& eng, const PointConfig& pc, int run) {
+  for (int i = 0; i < pc.tasks; ++i) {
+    const pfair::TaskId id =
+        eng.add_task(palette_weight(i), 0, "T" + std::to_string(i));
+    eng.set_tie_rank(id, i);
+  }
+  // A sprinkling of user reweights so degradation interacts with ordinary
+  // initiations, not just a static set.
+  Xoshiro256 rng = Xoshiro256::for_stream(
+      pc.seed, 7000u + static_cast<std::uint64_t>(run));
+  for (int i = 0; i < pc.tasks; i += 3) {
+    const Slot at = rng.uniform_int(0, pc.slots - 1);
+    eng.request_weight_change(static_cast<pfair::TaskId>(i),
+                              palette_weight(i + 1), at);
+  }
+  pfair::FaultRates rates;
+  rates.crash_per_slot = pc.crash_rate;
+  rates.recover_per_slot = pc.recover_rate;
+  rates.min_alive = 1;
+  eng.set_fault_plan(pfair::FaultPlan::random(
+      pc.seed + static_cast<std::uint64_t>(run), pc.slots, pc.processors,
+      rates));
+}
 
-    out.misses.add(static_cast<double>(eng.misses().size()));
-    double worst = 0;
-    for (std::size_t i = 0; i < eng.task_count(); ++i) {
-      const double d =
-          eng.drift(static_cast<pfair::TaskId>(i)).to_double();
-      worst = std::max(worst, std::abs(d));
-    }
-    out.max_drift.add(worst);
-    out.degrade_events.add(static_cast<double>(eng.stats().degrade_events));
-    out.shed.add(static_cast<double>(eng.stats().shed_tasks));
-    out.crashes += eng.stats().proc_crashes;
-    out.verifier_violations +=
-        static_cast<std::int64_t>(pfair::verify_schedule(eng).size());
+RunOutcome run_one(const PointConfig& pc, int run) {
+  pfair::EngineConfig cfg;
+  cfg.processors = pc.processors;
+  cfg.degradation = pc.mode;
+  pfair::Engine eng{cfg};
+  populate(eng, pc, run);
+  eng.run_until(pc.slots);
+
+  RunOutcome out;
+  out.misses = static_cast<double>(eng.misses().size());
+  for (std::size_t i = 0; i < eng.task_count(); ++i) {
+    const double d = eng.drift(static_cast<pfair::TaskId>(i)).to_double();
+    out.max_drift = std::max(out.max_drift, std::abs(d));
+  }
+  out.degrade_events = static_cast<double>(eng.stats().degrade_events);
+  out.shed = static_cast<double>(eng.stats().shed_tasks);
+  out.crashes = eng.stats().proc_crashes;
+  out.verifier_violations =
+      static_cast<std::int64_t>(pfair::verify_schedule(eng).size());
+  return out;
+}
+
+/// Replicates are independent; they run across the pool and merge in run
+/// order, so the table is bit-identical for every --threads value.
+PointResult measure(const PointConfig& pc, ThreadPool& pool) {
+  std::vector<RunOutcome> runs(static_cast<std::size_t>(pc.runs));
+  parallel_for(pool, runs.size(),
+               [&](std::size_t run) {
+                 runs[run] = run_one(pc, static_cast<int>(run));
+               });
+
+  PointResult out;
+  for (const RunOutcome& r : runs) {
+    out.misses.add(r.misses);
+    out.max_drift.add(r.max_drift);
+    out.degrade_events.add(r.degrade_events);
+    out.shed.add(r.shed);
+    out.crashes += r.crashes;
+    out.verifier_violations += r.verifier_violations;
   }
   return out;
 }
@@ -108,6 +147,25 @@ const char* mode_label(pfair::DegradationMode m) {
     case pfair::DegradationMode::kFreeze: return "freeze";
   }
   return "?";
+}
+
+/// Replays one representative replicate (compress mode, crash rate 0.005,
+/// run 0) with the requested observability artifacts attached.
+void capture_observability(const PointConfig& base,
+                           const bench::ObsPaths& paths) {
+  if (paths.empty()) return;
+  bench::ObsSession session{paths};
+  PointConfig pc = base;
+  pc.mode = pfair::DegradationMode::kCompress;
+  pc.crash_rate = 0.005;
+  pfair::EngineConfig cfg;
+  cfg.processors = pc.processors;
+  cfg.degradation = pc.mode;
+  pfair::Engine eng{cfg};
+  session.attach(eng);
+  populate(eng, pc, /*run=*/0);
+  eng.run_until(pc.slots);
+  session.finish(eng);
 }
 
 }  // namespace
@@ -124,7 +182,9 @@ int main(int argc, char** argv) {
     base.runs = 5;
     base.slots = 200;
   }
+  const auto threads = static_cast<std::size_t>(cli.get_int("threads", 0));
   const std::string csv = cli.get_string("csv", "");
+  const bench::ObsPaths obs = bench::parse_obs_paths(cli);
   if (cli.error()) {
     std::cerr << "argument error: " << *cli.error() << "\n";
     return 2;
@@ -133,6 +193,8 @@ int main(int argc, char** argv) {
     std::cerr << "unknown flag: --" << cli.unknown_flags().front() << "\n";
     return 2;
   }
+
+  ThreadPool pool{threads};
 
   const double kRates[] = {0.0, 0.001, 0.005, 0.02};
   const pfair::DegradationMode kModes[] = {
@@ -146,7 +208,7 @@ int main(int argc, char** argv) {
       PointConfig pc = base;
       pc.mode = mode;
       pc.crash_rate = rate;
-      const PointResult r = measure(pc);
+      const PointResult r = measure(pc, pool);
       table.begin_row();
       table.add(mode_label(mode));
       table.add_double(rate, 3);
@@ -176,5 +238,6 @@ int main(int argc, char** argv) {
     std::cerr << "failed to write " << csv << "\n";
     return 1;
   }
+  capture_observability(base, obs);
   return 0;
 }

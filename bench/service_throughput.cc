@@ -1,0 +1,331 @@
+/// \file service_throughput.cc
+/// \brief Load harness for the online reweighting service (src/serve):
+/// request throughput and request-to-enactment latency across reweighting
+/// policies.
+///
+/// One deterministic request log (load_gen) is replayed through the full
+/// pipeline -- producer threads -> slot-batched queue -> admission ->
+/// engine -- once per policy (PD2-OI, PD2-LJ, hybrid-magnitude).  Reported
+/// per policy: requests/second (wall clock, end to end), p50/p99 latency in
+/// slots from a request's due slot to its enactment, the admission-outcome
+/// breakdown, and the order-sensitive response digest (equal digests across
+/// --threads values are the determinism check).
+///
+///   --requests=N     log length (default 1000000; --quick: 20000)
+///   --threads=N      producer threads (default 4)
+///   --tasks=N        initial task-set size (default 32)
+///   --processors=M   engine capacity (default 8)
+///   --queue-depth=N  queue capacity before backpressure (default 4096)
+///   --mean-batch=N   mean requests per slot in the load (default 64)
+///   --seed=N         load-generator seed (default 2005)
+///   --json=PATH      machine-readable results (default
+///                    BENCH_service_throughput.json; empty disables)
+///   --csv=PATH       results table as CSV
+///   --trace/--chrome-trace/--metrics  replay a capped PD2-OI run with the
+///                    observability layer attached (traces include the
+///                    serve-side request_enqueue/admit/reject/shed events)
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "obs/chrome_trace_sink.h"
+#include "obs/jsonl_sink.h"
+#include "obs/metrics.h"
+#include "serve/load_gen.h"
+#include "serve/service.h"
+#include "util/cli.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using pfr::serve::Decision;
+using pfr::serve::GeneratedLoad;
+using pfr::serve::Request;
+using pfr::serve::Response;
+using pfr::serve::ReweightService;
+using pfr::serve::ServiceConfig;
+
+struct Args {
+  std::uint64_t requests{1000000};
+  std::size_t threads{4};
+  std::uint64_t seed{2005};
+  int tasks{32};
+  int processors{8};
+  std::size_t queue_depth{4096};
+  int mean_batch{64};
+  std::string json{"BENCH_service_throughput.json"};
+  std::string csv;
+  pfr::bench::ObsPaths obs;
+};
+
+Args parse(int argc, char** argv) {
+  const pfr::CliArgs cli{argc, argv};
+  Args a;
+  if (cli.get_bool("quick")) a.requests = 20000;
+  a.requests = static_cast<std::uint64_t>(
+      cli.get_int("requests", static_cast<std::int64_t>(a.requests)));
+  a.threads = static_cast<std::size_t>(cli.get_int("threads", 4));
+  a.seed = static_cast<std::uint64_t>(
+      cli.get_int("seed", static_cast<std::int64_t>(a.seed)));
+  a.tasks = static_cast<int>(cli.get_int("tasks", a.tasks));
+  a.processors = static_cast<int>(cli.get_int("processors", a.processors));
+  a.queue_depth = static_cast<std::size_t>(
+      cli.get_int("queue-depth", static_cast<std::int64_t>(a.queue_depth)));
+  a.mean_batch = static_cast<int>(cli.get_int("mean-batch", a.mean_batch));
+  a.json = cli.get_string("json", a.json);
+  a.csv = cli.get_string("csv", "");
+  a.obs = pfr::bench::parse_obs_paths(cli);
+  if (cli.error()) {
+    std::cerr << "argument error: " << *cli.error() << "\n";
+    std::exit(2);
+  }
+  const auto unknown = cli.unknown_flags();
+  if (!unknown.empty()) {
+    std::cerr << "unknown flag: --" << unknown.front() << "\n";
+    std::exit(2);
+  }
+  if (a.threads == 0) a.threads = 1;
+  return a;
+}
+
+struct PolicyResult {
+  std::string policy;
+  double wall_s{0};
+  double req_per_s{0};
+  std::int64_t p50_slots{0};
+  std::int64_t p99_slots{0};
+  std::uint64_t enacted{0};
+  pfr::serve::ReweightService::ServiceStats stats;
+  std::uint64_t digest{0};
+  std::uint64_t deadline_misses{0};
+  std::map<std::string, std::uint64_t> reject_reasons;
+};
+
+ServiceConfig make_config(const Args& a, pfr::pfair::ReweightPolicy policy) {
+  ServiceConfig cfg;
+  cfg.engine.processors = a.processors;
+  cfg.engine.policy = policy;
+  cfg.engine.policing = pfr::pfair::PolicingMode::kClamp;
+  cfg.engine.record_slot_trace = false;  // a million-request run must not
+                                         // accrete a per-slot trace
+  cfg.engine.use_ready_queue = true;
+  cfg.queue_capacity = a.queue_depth;
+  return cfg;
+}
+
+void seed_tasks(ReweightService& svc, const GeneratedLoad& load) {
+  for (const auto& t : load.tasks) svc.seed_task(t.name, t.weight, t.rank);
+}
+
+/// Feeds the log through `threads` producers (round-robin partition: index
+/// i goes to producer i % threads, preserving each producer's monotone due
+/// promise) while the caller's thread consumes.  Blocking push applies
+/// backpressure instead of shedding, so the replay is thread-count
+/// deterministic.
+void run_pipeline(ReweightService& svc, const GeneratedLoad& load,
+                  std::size_t threads) {
+  std::vector<int> handles;
+  handles.reserve(threads);
+  for (std::size_t p = 0; p < threads; ++p) {
+    handles.push_back(svc.queue().add_producer());
+  }
+  pfr::ThreadPool pool{threads};
+  for (std::size_t p = 0; p < threads; ++p) {
+    pool.submit([&svc, &load, threads, p, handle = handles[p]] {
+      for (std::size_t i = p; i < load.requests.size(); i += threads) {
+        if (!svc.queue().push(handle, load.requests[i])) break;
+      }
+      svc.queue().producer_done(handle);
+    });
+  }
+  svc.run_to_completion();
+  pool.wait_idle();
+}
+
+PolicyResult measure(const Args& a, const GeneratedLoad& load,
+                     pfr::pfair::ReweightPolicy policy,
+                     const std::string& name) {
+  ReweightService svc{make_config(a, policy)};
+  seed_tasks(svc, load);
+
+  const auto start = std::chrono::steady_clock::now();
+  run_pipeline(svc, load, a.threads);
+  const auto stop = std::chrono::steady_clock::now();
+
+  PolicyResult out;
+  out.policy = name;
+  out.wall_s = std::chrono::duration<double>(stop - start).count();
+  out.req_per_s = out.wall_s > 0
+                      ? static_cast<double>(load.requests.size()) / out.wall_s
+                      : 0.0;
+  out.stats = svc.stats();
+  out.digest = svc.response_digest();
+  out.deadline_misses = svc.engine().misses().size();
+
+  std::vector<std::int64_t> latencies;
+  latencies.reserve(svc.responses().size());
+  for (const Response& r : svc.responses()) {
+    const bool applied = r.decision == Decision::kAccepted ||
+                         r.decision == Decision::kClamped;
+    if (applied && r.enact_slot != pfr::pfair::kNever) {
+      latencies.push_back(r.enact_slot - r.due);
+    }
+    if (r.decision == Decision::kRejected) ++out.reject_reasons[r.reason];
+  }
+  out.enacted = latencies.size();
+  if (!latencies.empty()) {
+    std::sort(latencies.begin(), latencies.end());
+    const auto quantile = [&](double q) {
+      const auto idx = static_cast<std::size_t>(
+          q * static_cast<double>(latencies.size() - 1) + 0.5);
+      return latencies[std::min(idx, latencies.size() - 1)];
+    };
+    out.p50_slots = quantile(0.50);
+    out.p99_slots = quantile(0.99);
+  }
+  return out;
+}
+
+/// Replays a capped PD2-OI run with the observability layer attached so the
+/// trace stays a reviewable size.  No-op without --trace/--chrome-trace/
+/// --metrics.
+void capture_observability(const Args& a, const GeneratedLoad& load) {
+  if (a.obs.empty()) return;
+  std::optional<pfr::obs::JsonlSink> jsonl;
+  std::optional<pfr::obs::ChromeTraceSink> chrome;
+  pfr::obs::TeeSink tee;
+  try {
+    if (!a.obs.trace.empty()) tee.attach(&jsonl.emplace(a.obs.trace));
+    if (!a.obs.chrome_trace.empty()) {
+      tee.attach(&chrome.emplace(a.obs.chrome_trace));
+    }
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    std::exit(1);
+  }
+  pfr::obs::MetricsRegistry metrics;
+
+  GeneratedLoad capped = load;
+  constexpr std::size_t kTraceCap = 20000;
+  if (capped.requests.size() > kTraceCap) capped.requests.resize(kTraceCap);
+
+  ReweightService svc{
+      make_config(a, pfr::pfair::ReweightPolicy::kOmissionIdeal)};
+  seed_tasks(svc, capped);
+  if (!tee.empty()) svc.set_event_sink(&tee);
+  if (!a.obs.metrics.empty()) svc.set_metrics(&metrics);
+  run_pipeline(svc, capped, 1);
+  if (!a.obs.metrics.empty()) svc.engine().export_metrics(metrics);
+  tee.flush();
+  pfr::bench::report_artifacts(
+      a.obs, jsonl.has_value() ? jsonl->events_written() : 0, metrics);
+}
+
+void write_json(const Args& a, const std::vector<PolicyResult>& results) {
+  if (a.json.empty()) return;
+  std::ofstream out{a.json};
+  if (!out) {
+    std::cerr << "failed to write " << a.json << "\n";
+    std::exit(1);
+  }
+  out << "{\n  \"bench\": \"service_throughput\",\n  \"config\": {"
+      << "\"requests\": " << a.requests << ", \"threads\": " << a.threads
+      << ", \"tasks\": " << a.tasks << ", \"processors\": " << a.processors
+      << ", \"queue_depth\": " << a.queue_depth
+      << ", \"mean_batch\": " << a.mean_batch << ", \"seed\": " << a.seed
+      << "},\n  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const PolicyResult& r = results[i];
+    out << "    {\"policy\": \"" << r.policy << "\", \"wall_s\": " << r.wall_s
+        << ", \"req_per_s\": " << r.req_per_s
+        << ", \"p50_latency_slots\": " << r.p50_slots
+        << ", \"p99_latency_slots\": " << r.p99_slots
+        << ", \"enacted\": " << r.enacted
+        << ", \"admitted\": " << r.stats.admitted
+        << ", \"clamped\": " << r.stats.clamped
+        << ", \"rejected\": " << r.stats.rejected
+        << ", \"deferred\": " << r.stats.deferred
+        << ", \"shed\": " << r.stats.shed
+        << ", \"batches\": " << r.stats.batches
+        << ", \"deadline_misses\": " << r.deadline_misses
+        << ", \"digest\": \"" << std::hex << r.digest << std::dec << "\"}"
+        << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cout << "json written to " << a.json << "\n";
+}
+
+void write_csv(const Args& a, const std::vector<PolicyResult>& results) {
+  if (a.csv.empty()) return;
+  std::ofstream out{a.csv};
+  if (!out) {
+    std::cerr << "failed to write " << a.csv << "\n";
+    std::exit(1);
+  }
+  out << "policy,wall_s,req_per_s,p50_latency_slots,p99_latency_slots,"
+         "enacted,admitted,clamped,rejected,deferred,shed,batches,"
+         "deadline_misses,digest\n";
+  for (const PolicyResult& r : results) {
+    out << r.policy << ',' << r.wall_s << ',' << r.req_per_s << ','
+        << r.p50_slots << ',' << r.p99_slots << ',' << r.enacted << ','
+        << r.stats.admitted << ',' << r.stats.clamped << ','
+        << r.stats.rejected << ',' << r.stats.deferred << ',' << r.stats.shed
+        << ',' << r.stats.batches << ',' << r.deadline_misses << ',' << std::hex
+        << r.digest << std::dec << '\n';
+  }
+  std::cout << "csv written to " << a.csv << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args a = parse(argc, argv);
+
+  pfr::serve::LoadGenConfig gen;
+  gen.processors = a.processors;
+  gen.tasks = a.tasks;
+  gen.requests = a.requests;
+  gen.seed = a.seed;
+  gen.mean_batch = a.mean_batch;
+  const GeneratedLoad load = pfr::serve::generate_load(gen);
+
+  std::cout << "# service_throughput: " << load.requests.size()
+            << " requests, " << a.threads << " producer thread(s), M="
+            << a.processors << ", " << a.tasks << " initial tasks, queue depth "
+            << a.queue_depth << "\n\n";
+
+  const std::vector<std::pair<pfr::pfair::ReweightPolicy, std::string>>
+      policies{{pfr::pfair::ReweightPolicy::kOmissionIdeal, "PD2-OI"},
+               {pfr::pfair::ReweightPolicy::kLeaveJoin, "PD2-LJ"},
+               {pfr::pfair::ReweightPolicy::kHybridMagnitude, "hybrid-mag"}};
+
+  std::vector<PolicyResult> results;
+  for (const auto& [policy, name] : policies) {
+    PolicyResult r = measure(a, load, policy, name);
+    std::cout << r.policy << ": " << static_cast<std::uint64_t>(r.req_per_s)
+              << " req/s (" << r.wall_s << " s), latency p50=" << r.p50_slots
+              << " p99=" << r.p99_slots << " slots, admitted="
+              << r.stats.admitted << " clamped=" << r.stats.clamped
+              << " rejected=" << r.stats.rejected << " deferred="
+              << r.stats.deferred << " shed=" << r.stats.shed
+              << " misses=" << r.deadline_misses << " digest=" << std::hex
+              << r.digest << std::dec << "\n";
+    for (const auto& [reason, count] : r.reject_reasons) {
+      std::cout << "    reject[" << reason << "]=" << count << "\n";
+    }
+    results.push_back(std::move(r));
+  }
+  std::cout << "\n";
+
+  write_json(a, results);
+  write_csv(a, results);
+  capture_observability(a, load);
+  return 0;
+}

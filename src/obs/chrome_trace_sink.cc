@@ -158,6 +158,25 @@ void ChromeTraceSink::on_event(const TraceEvent& e) {
       add(instant(e, "invariant violation",
                   "\"what\":\"" + json_escape(e.detail) + '"'));
       break;
+    case EventKind::kRequestEnqueue:
+      add(instant(e, "enqueue " + std::string{e.detail},
+                  "\"due\":" + std::to_string(e.when) +
+                      ",\"batch\":" + std::to_string(e.folded)));
+      break;
+    case EventKind::kRequestAdmit:
+      add(instant(e, "admit " + name + " " + e.weight_to.to_string(),
+                  rational_arg("requested", e.weight_from) + "," +
+                      rational_arg("granted", e.weight_to) +
+                      ",\"enacts_at\":" + std::to_string(e.when)));
+      break;
+    case EventKind::kRequestReject:
+      add(instant(e, "reject request (" + std::string{e.detail} + ")",
+                  rational_arg("requested", e.weight_from)));
+      break;
+    case EventKind::kRequestShed:
+      add(instant(e, "SHED request (" + std::string{e.detail} + ")",
+                  "\"deadline\":" + std::to_string(e.when)));
+      break;
   }
 }
 

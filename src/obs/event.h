@@ -45,9 +45,14 @@ enum class EventKind : std::uint8_t {
   kDegradeEnd,          ///< capacity recovered: nominal weights restored
   kQuarantine,          ///< a task was quarantined (violation policy)
   kInvariantViolation,  ///< validate-mode check failed (policy != throw)
+  // --- online request serving (src/serve) ---
+  kRequestEnqueue,  ///< a client request entered the slot batch
+  kRequestAdmit,    ///< admission accepted (possibly clamping) a request
+  kRequestReject,   ///< admission refused a request
+  kRequestShed,     ///< a request was shed (deadline passed / overflow)
 };
 
-inline constexpr int kEventKindCount = 20;
+inline constexpr int kEventKindCount = 24;
 
 [[nodiscard]] constexpr const char* to_string(EventKind k) noexcept {
   switch (k) {
@@ -71,6 +76,10 @@ inline constexpr int kEventKindCount = 20;
     case EventKind::kDegradeEnd: return "degrade_end";
     case EventKind::kQuarantine: return "quarantine";
     case EventKind::kInvariantViolation: return "invariant_violation";
+    case EventKind::kRequestEnqueue: return "request_enqueue";
+    case EventKind::kRequestAdmit: return "request_admit";
+    case EventKind::kRequestReject: return "request_reject";
+    case EventKind::kRequestShed: return "request_shed";
   }
   return "?";
 }
@@ -94,6 +103,12 @@ inline constexpr int kEventKindCount = 20;
 ///   degrade_end:      folded (restored capacity)
 ///   quarantine:       subtask (last released, 0 if none), detail (reason)
 ///   invariant_violation: detail (the check's message)
+///   request_enqueue:  when (the request's due slot), folded (batch size),
+///                     detail (target task name)
+///   request_admit:    rule (forecast rule), weight_from (requested),
+///                     weight_to (granted), when (forecast enactment slot)
+///   request_reject:   weight_from (requested), detail (reason)
+///   request_shed:     when (the request's deadline), detail (reason)
 struct TraceEvent {
   EventKind kind{EventKind::kTaskJoin};
   pfair::Slot slot{0};              ///< engine time of the observation

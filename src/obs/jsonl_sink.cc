@@ -99,6 +99,24 @@ std::string to_jsonl(const TraceEvent& e) {
     case EventKind::kInvariantViolation:
       os << ",\"what\":\"" << json_escape(e.detail) << '"';
       break;
+    case EventKind::kRequestEnqueue:
+      os << ",\"due\":" << e.when << ",\"batch\":" << e.folded
+         << ",\"target\":\"" << json_escape(e.detail) << '"';
+      break;
+    case EventKind::kRequestAdmit:
+      os << ",\"rule\":\"" << to_string(e.rule) << '"';
+      append_rational(os, "requested", e.weight_from);
+      append_rational(os, "granted", e.weight_to);
+      os << ",\"enacts_at\":" << e.when;
+      break;
+    case EventKind::kRequestReject:
+      append_rational(os, "requested", e.weight_from);
+      os << ",\"why\":\"" << json_escape(e.detail) << '"';
+      break;
+    case EventKind::kRequestShed:
+      os << ",\"deadline\":" << e.when << ",\"why\":\""
+         << json_escape(e.detail) << '"';
+      break;
   }
   os << '}';
   return os.str();

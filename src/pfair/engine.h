@@ -139,6 +139,30 @@ class Engine {
   /// leaves per rule L once its last released subtask's window closes.
   void request_leave(TaskId id, Slot at);
 
+  // ----- admission forecasting (src/serve front-end) -----
+
+  /// The weight policing would grant a request for `target` right now:
+  /// `target` itself, a clamped value, or 0 (rejection), per cfg_.policing.
+  /// Pass id = -1 to size a *new* join (no existing reservation excluded).
+  /// Pure forecast: no stats, no trace, no state change.  The actual grant
+  /// at processing time is never smaller than this forecast (enactments can
+  /// only free capacity between now and then).
+  [[nodiscard]] Rational preview_admission(TaskId id, Rational target) const;
+
+  /// Forecast of how a weight-change initiation issued *now* would be
+  /// handled: the rule selected and the enactment slot.  `at` is kNever
+  /// while the gate (an I_SW completion) is not yet known; it then resolves
+  /// within the anchor subtask's window.  For ReweightPolicy::kHybridBudget
+  /// pass the number of OI initiations already destined for this slot
+  /// (the engine's own per-slot budget counter resets each step).
+  struct EnactmentForecast {
+    Slot at{kNever};
+    RuleApplied rule{RuleApplied::kNone};
+  };
+  [[nodiscard]] EnactmentForecast predict_enactment(TaskId id,
+                                                    const Rational& target,
+                                                    int oi_used_hint = 0) const;
+
   // ----- fault injection (pfair/fault.h) -----
 
   /// Installs the fault script the run replays.  Every event must name a
@@ -276,6 +300,10 @@ class Engine {
   void apply_rule_lj(TaskState& task, Rational target, Slot t);
   [[nodiscard]] bool use_oi_rules(const TaskState& task, const Rational& target,
                                   Slot t);
+  /// Side-effect-free twin of use_oi_rules for forecasting; `oi_used` stands
+  /// in for the per-slot budget counter under kHybridBudget.
+  [[nodiscard]] bool would_use_oi(const TaskState& task, const Rational& target,
+                                  int oi_used) const;
   [[nodiscard]] Rational police(const TaskState& task, Rational target);
   void sample_drift(TaskState& task, Slot u);
 

@@ -312,6 +312,85 @@ void Engine::initiate_leave(TaskState& task, Slot t) {
   }
 }
 
+bool Engine::would_use_oi(const TaskState& task, const Rational& target,
+                          int oi_used) const {
+  switch (cfg_.policy) {
+    case ReweightPolicy::kOmissionIdeal:
+      return true;
+    case ReweightPolicy::kLeaveJoin:
+      return false;
+    case ReweightPolicy::kHybridMagnitude: {
+      const double ratio = target > task.swt
+                               ? (target / task.swt).to_double()
+                               : (task.swt / target).to_double();
+      return ratio >= cfg_.hybrid_magnitude_threshold;
+    }
+    case ReweightPolicy::kHybridBudget:
+      return oi_used < cfg_.hybrid_budget_per_slot;
+  }
+  return true;
+}
+
+Rational Engine::preview_admission(TaskId id, Rational target) const {
+  if (cfg_.policing == PolicingMode::kOff) return target;
+  const TaskState* self =
+      id >= 0 ? &tasks_.at(static_cast<std::size_t>(id)) : nullptr;
+  if (self != nullptr && target <= self->reserved_weight()) return target;
+  Rational others;
+  for (const TaskState& u : tasks_) {
+    if (self != nullptr && u.id == id) continue;
+    if (u.left_at <= now_) continue;
+    if (u.quarantined()) continue;
+    others += u.reserved_weight();
+  }
+  const Rational avail = Rational{alive_processors()} - others;
+  if (target <= avail) return target;
+  if (cfg_.policing == PolicingMode::kReject) return Rational{};
+  Rational clamped = min(target, avail);
+  clamped = min(clamped, kMaxWeight);
+  return clamped <= 0 ? Rational{} : clamped;
+}
+
+Engine::EnactmentForecast Engine::predict_enactment(TaskId id,
+                                                    const Rational& target,
+                                                    int oi_used_hint) const {
+  const TaskState& task = tasks_.at(static_cast<std::size_t>(id));
+  EnactmentForecast f;
+  if (!task.joined || task.subtasks.empty()) {
+    // Nothing released yet: initiate_weight_change enacts immediately.
+    f.rule = RuleApplied::kNone;
+    f.at = std::max(now_, task.join_time);
+    return f;
+  }
+  const Subtask& tj = *task.last_released();
+  if (tj.deadline <= now_) {
+    f.rule = RuleApplied::kBetween;
+    f.at = std::max(now_, tj.deadline + tj.b);
+    return f;
+  }
+  if (!would_use_oi(task, target, oi_used_hint)) {
+    f.rule = RuleApplied::kLeaveJoin;
+    f.at = std::max(now_, tj.deadline + tj.b);
+    return f;
+  }
+  if (!tj.scheduled()) {
+    f.rule = RuleApplied::kRuleO;
+    if (tj.index == 1) {
+      f.at = now_;
+    } else {
+      const Subtask& anchor = task.sub(tj.index - 1);
+      const Slot d_isw = anchor.isw_complete_at();
+      f.at = d_isw == kNever ? kNever : std::max(now_, d_isw + anchor.b);
+    }
+    return f;
+  }
+  f.rule = target > task.swt ? RuleApplied::kRuleIIncrease
+                             : RuleApplied::kRuleIDecrease;
+  const Slot d_isw = tj.isw_complete_at();
+  f.at = d_isw == kNever ? kNever : std::max(now_, d_isw + tj.b);
+  return f;
+}
+
 bool Engine::use_oi_rules(const TaskState& task, const Rational& target,
                           Slot /*t*/) {
   switch (cfg_.policy) {

@@ -1,0 +1,183 @@
+#include "serve/admission.h"
+
+#include "pfair/subtask.h"
+#include "pfair/task.h"
+#include "pfair/weight.h"
+
+namespace pfr::serve {
+
+using pfair::kMaxWeight;
+using pfair::kNever;
+using pfair::PolicingMode;
+using pfair::RuleApplied;
+using pfair::Slot;
+using pfair::TaskId;
+using pfair::TaskState;
+
+namespace {
+
+/// The accuracy price of the forecast rule, per the paper: O/I keep drift
+/// within two quanta (Theorem 5); a leave/join accrues roughly the lost
+/// allocation between initiation and enactment, |Dw| per delayed slot
+/// (Theorem 3 gives no constant bound).
+Rational estimate_drift(RuleApplied rule, Slot due, Slot enact,
+                        const Rational& from, const Rational& to) {
+  switch (rule) {
+    case RuleApplied::kNone:
+      return Rational{0};
+    case RuleApplied::kBetween:
+    case RuleApplied::kRuleO:
+    case RuleApplied::kRuleIIncrease:
+    case RuleApplied::kRuleIDecrease:
+      return Rational{2};
+    case RuleApplied::kLeaveJoin: {
+      if (enact == kNever || enact <= due) return Rational{0};
+      const Rational delta = to >= from ? to - from : from - to;
+      return delta * Rational{enact - due};
+    }
+  }
+  return Rational{0};
+}
+
+Response reject(Response out, std::string why) {
+  out.decision = Decision::kRejected;
+  out.reason = std::move(why);
+  return out;
+}
+
+}  // namespace
+
+Response AdmissionController::decide(
+    const Request& r, const std::map<std::string, TaskId>& ids, Slot now,
+    int oi_used_hint) const {
+  Response out;
+  out.id = r.id;
+  out.kind = r.kind;
+  out.slot = now;
+  out.due = r.due;
+  out.decision = Decision::kAccepted;
+
+  const auto it = ids.find(r.task);
+  if (r.kind == RequestKind::kJoin) {
+    if (it != ids.end()) {
+      return reject(std::move(out), "task name already joined");
+    }
+    return decide_join(r, std::move(out), now);
+  }
+  if (it == ids.end()) {
+    return reject(std::move(out), "unknown task");
+  }
+  out.task = it->second;
+  switch (r.kind) {
+    case RequestKind::kReweight:
+      return decide_reweight(r, std::move(out), now, oi_used_hint);
+    case RequestKind::kLeave:
+      return decide_leave(r, std::move(out), now);
+    case RequestKind::kQuery:
+      return decide_query(r, std::move(out), now);
+    case RequestKind::kJoin:
+      break;  // handled above
+  }
+  return out;
+}
+
+Response AdmissionController::decide_join(const Request& r, Response out,
+                                          Slot now) const {
+  if (r.weight <= 0) return reject(std::move(out), "weight must be positive");
+  if (!engine_.config().allow_heavy && r.weight > kMaxWeight) {
+    return reject(std::move(out), "heavy weight (> 1/2) not allowed");
+  }
+  if (engine_.admissions_frozen()) {
+    out.decision = Decision::kDeferred;
+    out.reason = "admissions frozen (degraded mode)";
+    return out;
+  }
+  const Rational granted = engine_.preview_admission(-1, r.weight);
+  if (granted <= 0) {
+    if (engine_.config().policing == PolicingMode::kReject) {
+      return reject(std::move(out), "no capacity (property W)");
+    }
+    // Clamp mode found zero headroom: capacity may free as leaves and
+    // decreases enact, so hold the join instead of bouncing it.
+    out.decision = Decision::kDeferred;
+    out.reason = "no headroom; waiting for capacity";
+    return out;
+  }
+  out.granted = granted;
+  out.decision = granted == r.weight ? Decision::kAccepted : Decision::kClamped;
+  if (out.decision == Decision::kClamped) out.reason = "policed to capacity";
+  out.enact_slot = now;  // joins take effect at the slot they are processed
+  out.drift_estimate = Rational{0};
+  return out;
+}
+
+Response AdmissionController::decide_reweight(const Request& r, Response out,
+                                              Slot now,
+                                              int oi_used_hint) const {
+  const TaskState& task = engine_.task(out.task);
+  if (task.left_at != kNever || task.leave_requested_at != kNever) {
+    return reject(std::move(out), "task is leaving");
+  }
+  if (r.weight <= 0) return reject(std::move(out), "weight must be positive");
+  if (!engine_.config().allow_heavy &&
+      (r.weight > kMaxWeight || task.swt > kMaxWeight)) {
+    return reject(std::move(out), "heavy weight (> 1/2) not allowed");
+  }
+  const bool increase = r.weight > task.swt;
+  if (increase && engine_.admissions_frozen()) {
+    out.decision = Decision::kDeferred;
+    out.reason = "admissions frozen (degraded mode)";
+    return out;
+  }
+  Rational granted = r.weight;
+  if (increase) {
+    granted = engine_.preview_admission(out.task, r.weight);
+    if (granted <= task.swt) {
+      if (engine_.config().policing == PolicingMode::kReject) {
+        return reject(std::move(out), "no capacity (property W)");
+      }
+      out.decision = Decision::kDeferred;
+      out.reason = "no headroom; waiting for capacity";
+      return out;
+    }
+  }
+  out.granted = granted;
+  out.decision = granted == r.weight ? Decision::kAccepted : Decision::kClamped;
+  if (out.decision == Decision::kClamped) out.reason = "policed to capacity";
+  const auto forecast = engine_.predict_enactment(out.task, granted,
+                                                  oi_used_hint);
+  out.rule = forecast.rule;
+  out.enact_slot = forecast.at;
+  out.drift_estimate =
+      estimate_drift(forecast.rule, now, forecast.at, task.swt, granted);
+  return out;
+}
+
+Response AdmissionController::decide_leave(const Request& r, Response out,
+                                           Slot now) const {
+  (void)r;
+  const TaskState& task = engine_.task(out.task);
+  if (task.left_at != kNever || task.leave_requested_at != kNever) {
+    return reject(std::move(out), "task is already leaving");
+  }
+  out.granted = Rational{0};
+  // Rule L: the task departs once its last released subtask's window (plus
+  // the b-bit overlap) closes.
+  const pfair::Subtask* last = task.last_released();
+  out.enact_slot =
+      last != nullptr ? std::max(now, last->deadline + last->b) : now;
+  out.drift_estimate = Rational{0};
+  return out;
+}
+
+Response AdmissionController::decide_query(const Request& r, Response out,
+                                           Slot now) const {
+  (void)r;
+  const TaskState& task = engine_.task(out.task);
+  out.granted = task.swt;
+  out.enact_slot = now;
+  out.drift_estimate = engine_.drift(out.task);
+  return out;
+}
+
+}  // namespace pfr::serve

@@ -1,0 +1,63 @@
+/// \file admission.h
+/// \brief AdmissionController: typed feasibility decisions for client
+/// requests against a live pfair::Engine.
+///
+/// The controller is the service-side half of property (W): it sizes every
+/// join and reweight against the engine's alive capacity (reusing the
+/// engine's own policing math via Engine::preview_admission, so the two
+/// can never disagree on what fits), forecasts the enactment slot through
+/// Engine::predict_enactment, and attaches a drift-cost estimate -- the
+/// paper's accuracy price of the chosen rule (<= 2 quanta for O/I by
+/// Theorem 5, enactment-delay-scaled for leave/join by Theorem 3).
+///
+/// Decisions are pure: the controller never mutates the engine.  The
+/// service applies accepted decisions and owns the deferral queue.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "pfair/engine.h"
+#include "serve/request.h"
+
+namespace pfr::serve {
+
+struct AdmissionConfig {
+  /// A deferrable request (no headroom now, capacity may free) is retried
+  /// once per slot for at most this many slots past its due slot.
+  pfair::Slot max_defer{16};
+};
+
+class AdmissionController {
+ public:
+  AdmissionController(const pfair::Engine& engine, AdmissionConfig cfg)
+      : engine_(engine), cfg_(cfg) {}
+
+  /// Decides `r` at slot `now` against the current engine state.  `ids`
+  /// resolves client task names; `oi_used_hint` is the number of rule-O/I
+  /// initiations already admitted into this slot (hybrid-budget forecast).
+  /// The returned Response is final except for Decision::kDeferred, which
+  /// the service retries, and enact_slot, which the service overwrites
+  /// with the exact slot once the engine enacts.
+  [[nodiscard]] Response decide(const Request& r,
+                                const std::map<std::string, pfair::TaskId>& ids,
+                                pfair::Slot now, int oi_used_hint) const;
+
+  [[nodiscard]] const AdmissionConfig& config() const noexcept { return cfg_; }
+
+ private:
+  [[nodiscard]] Response decide_join(const Request& r, Response out,
+                                     pfair::Slot now) const;
+  [[nodiscard]] Response decide_reweight(const Request& r, Response out,
+                                         pfair::Slot now,
+                                         int oi_used_hint) const;
+  [[nodiscard]] Response decide_leave(const Request& r, Response out,
+                                      pfair::Slot now) const;
+  [[nodiscard]] Response decide_query(const Request& r, Response out,
+                                      pfair::Slot now) const;
+
+  const pfair::Engine& engine_;
+  AdmissionConfig cfg_;
+};
+
+}  // namespace pfr::serve

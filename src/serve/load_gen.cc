@@ -1,0 +1,102 @@
+#include "serve/load_gen.h"
+
+#include <algorithm>
+#include <string>
+
+#include "util/rng.h"
+
+namespace pfr::serve {
+
+using pfair::Slot;
+
+GeneratedLoad generate_load(const LoadGenConfig& cfg) {
+  GeneratedLoad out;
+  Xoshiro256 rng = Xoshiro256::for_stream(cfg.seed, 0);
+
+  // Initial set: light weights k/64 sized so the sum lands near 0.6 * M --
+  // enough headroom that joins and increases usually admit, tight enough
+  // that clamps and defers still occur.
+  const double target_util = 0.6 * cfg.processors;
+  const double mean_weight = cfg.tasks > 0 ? target_util / cfg.tasks : 0.0;
+  const std::int64_t mean_k =
+      std::clamp<std::int64_t>(static_cast<std::int64_t>(mean_weight * 64.0),
+                               2, 30);
+  const std::int64_t k_lo = std::max<std::int64_t>(1, mean_k - 4);
+  const std::int64_t k_hi = std::min<std::int64_t>(32, mean_k + 4);
+  out.tasks.reserve(static_cast<std::size_t>(cfg.tasks));
+  for (int i = 0; i < cfg.tasks; ++i) {
+    InitialTask task;
+    task.name = "T" + std::to_string(i);
+    task.weight = Rational{rng.uniform_int(k_lo, k_hi), 64};
+    task.rank = i;
+    out.tasks.push_back(std::move(task));
+  }
+
+  // Name pool the generator draws targets from; joins extend it, leaves
+  // retire from it.  `alive` mirrors membership so leaves never drain the
+  // system below half the initial population.
+  std::vector<std::string> alive;
+  alive.reserve(out.tasks.size());
+  for (const InitialTask& task : out.tasks) alive.push_back(task.name);
+  const std::size_t min_alive =
+      std::max<std::size_t>(1, out.tasks.size() / 2);
+  int next_join = 0;
+
+  out.requests.reserve(cfg.requests);
+  Slot due = 0;
+  std::int64_t left_in_burst = 0;
+  while (out.requests.size() < cfg.requests) {
+    if (left_in_burst == 0) {
+      ++due;
+      left_in_burst = rng.uniform_int(cfg.mean_batch / 2,
+                                      cfg.mean_batch + cfg.mean_batch / 2);
+    }
+    --left_in_burst;
+
+    Request r;
+    r.id = static_cast<RequestId>(out.requests.size()) + 1;
+    r.due = due;
+    r.deadline = due + cfg.deadline_slack;
+
+    const double roll = rng.uniform01();
+    // Membership churn is kept inside [tasks/2, tasks]: an unbounded
+    // join/leave random walk with only a lower floor drifts upward and
+    // eventually pins the set above capacity for good (every long run
+    // would degenerate into rejections).  Rolls outside the band fall
+    // through to reweights.
+    const bool may_join =
+        alive.size() < static_cast<std::size_t>(cfg.tasks);
+    if (roll < cfg.p_query && !alive.empty()) {
+      r.kind = RequestKind::kQuery;
+      r.task = alive[static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(alive.size()) - 1))];
+    } else if (roll < cfg.p_query + cfg.p_join && may_join) {
+      r.kind = RequestKind::kJoin;
+      r.task = "J" + std::to_string(next_join++);
+      r.weight = Rational{rng.uniform_int(4, 8), 64};
+      r.rank = cfg.tasks + next_join;
+      alive.push_back(r.task);
+    } else if (roll < cfg.p_query + cfg.p_join + cfg.p_leave &&
+               alive.size() > min_alive) {
+      r.kind = RequestKind::kLeave;
+      const auto pick = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(alive.size()) - 1));
+      r.task = alive[pick];
+      alive.erase(alive.begin() + static_cast<std::ptrdiff_t>(pick));
+    } else if (!alive.empty()) {
+      r.kind = RequestKind::kReweight;
+      r.task = alive[static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(alive.size()) - 1))];
+      // Targets centered a touch above the initial mean: the set hovers
+      // near capacity, so policing clamps and defers stay exercised
+      // without drowning the run in rejections.
+      r.weight = Rational{rng.uniform_int(4, 16), 64};
+    } else {
+      continue;  // nothing alive to target; next draw joins eventually
+    }
+    out.requests.push_back(std::move(r));
+  }
+  return out;
+}
+
+}  // namespace pfr::serve

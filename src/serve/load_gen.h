@@ -1,0 +1,51 @@
+/// \file load_gen.h
+/// \brief Deterministic request-load generator for the reweighting service.
+///
+/// Produces an initial light-task set (~70% utilization of M processors)
+/// plus a request log of the asked-for length: mostly reweights with a
+/// sprinkling of queries, joins, and leaves, bunched into per-slot bursts
+/// around `mean_batch` requests.  Everything is drawn from one
+/// Xoshiro256 stream keyed by (seed), so the same config always yields the
+/// same GeneratedLoad -- the bench replays one load across OI/LJ/hybrid
+/// policies and thread counts, and determinism tests hash it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rational/rational.h"
+#include "serve/request.h"
+
+namespace pfr::serve {
+
+struct LoadGenConfig {
+  int processors{8};
+  int tasks{32};            ///< initial task-set size
+  std::uint64_t requests{10000};
+  std::uint64_t seed{2005};
+  int mean_batch{64};       ///< mean requests per slot (bursts 0.5x..1.5x)
+  pfair::Slot deadline_slack{16};  ///< request deadline = due + slack
+  double p_query{0.04};
+  double p_join{0.02};
+  double p_leave{0.02};     ///< remainder (~0.92) are reweights
+};
+
+struct InitialTask {
+  std::string name;
+  Rational weight;
+  int rank{0};
+};
+
+struct GeneratedLoad {
+  std::vector<InitialTask> tasks;
+  std::vector<Request> requests;  ///< non-decreasing due, ids 1..N
+};
+
+/// Generates the load.  Weights are k/64 light weights; reweight targets
+/// stay within what policing can clamp into property (W).  Leaves are
+/// suppressed while fewer than half the initial tasks remain (a reweight is
+/// emitted instead) so the engine never idles out mid-log.
+[[nodiscard]] GeneratedLoad generate_load(const LoadGenConfig& cfg);
+
+}  // namespace pfr::serve

@@ -1,0 +1,99 @@
+/// \file request.h
+/// \brief Typed client requests and responses for the online reweighting
+/// service (src/serve).
+///
+/// A Request is what a client hands the service: join a task, change its
+/// weight, leave, or query its state.  Requests carry *logical* timestamps:
+/// `due` is the earliest slot the request may be applied, `deadline` the
+/// last slot it is still worth applying (after that the service sheds it).
+/// A Response is the service's typed answer: accepted / clamped / rejected /
+/// deferred / shed, with the granted weight, the forecast enactment slot,
+/// and a drift-cost estimate (the paper's accuracy currency, Eqn. (5)).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "pfair/types.h"
+#include "rational/rational.h"
+
+namespace pfr::serve {
+
+/// Monotone per-log request identifier; also the deterministic tie-break
+/// for everything the service orders.
+using RequestId = std::uint64_t;
+
+enum class RequestKind : std::uint8_t {
+  kJoin,      ///< create a task of the given weight
+  kReweight,  ///< initiate a weight change on an existing task
+  kLeave,     ///< rule-L departure
+  kQuery,     ///< read back current weight and drift
+};
+
+[[nodiscard]] constexpr const char* to_string(RequestKind k) noexcept {
+  switch (k) {
+    case RequestKind::kJoin: return "join";
+    case RequestKind::kReweight: return "reweight";
+    case RequestKind::kLeave: return "leave";
+    case RequestKind::kQuery: return "query";
+  }
+  return "?";
+}
+
+/// One client request.  `task` is a client-chosen name: joins introduce it,
+/// later requests resolve it through the service's name table.
+struct Request {
+  RequestId id{0};
+  RequestKind kind{RequestKind::kReweight};
+  pfair::Slot due{0};                  ///< earliest slot to apply
+  pfair::Slot deadline{pfair::kNever}; ///< shed if not applied by this slot
+  std::string task;
+  Rational weight;                     ///< join / reweight target
+  int rank{0};                         ///< join tie-rank
+
+  friend bool operator==(const Request&, const Request&) = default;
+};
+
+/// Admission outcome for one request (one request may produce two
+/// responses: an initial kDeferred, then the final decision).
+enum class Decision : std::uint8_t {
+  kAccepted,  ///< applied with the requested weight
+  kClamped,   ///< applied with a policed (smaller) weight
+  kRejected,  ///< refused; `reason` says why
+  kDeferred,  ///< parked (capacity may free); retried next slot
+  kShed,      ///< dropped: deadline passed or the queue overflowed
+};
+
+[[nodiscard]] constexpr const char* to_string(Decision d) noexcept {
+  switch (d) {
+    case Decision::kAccepted: return "accepted";
+    case Decision::kClamped: return "clamped";
+    case Decision::kRejected: return "rejected";
+    case Decision::kDeferred: return "deferred";
+    case Decision::kShed: return "shed";
+  }
+  return "?";
+}
+
+/// The service's answer to one request.
+struct Response {
+  RequestId id{0};
+  RequestKind kind{RequestKind::kReweight};
+  Decision decision{Decision::kRejected};
+  pfair::Slot slot{0};           ///< slot the decision was made
+  pfair::Slot due{0};            ///< echoed from the request
+  /// Enactment slot of the change: forecast at admission, overwritten with
+  /// the exact slot once the engine enacts (kNever while unresolved).
+  pfair::Slot enact_slot{pfair::kNever};
+  pfair::TaskId task{-1};        ///< resolved engine id (-1 if none)
+  /// Forecast reweighting rule (kNone for joins/leaves/queries); feeds the
+  /// hybrid-budget intra-slot OI count and the kRequestAdmit trace.
+  pfair::RuleApplied rule{pfair::RuleApplied::kNone};
+  Rational granted;              ///< weight granted / current weight (query)
+  /// Estimated per-event drift cost: <= 2 quanta under rules O/I (Thm. 5);
+  /// under leave/join it scales with the enactment delay (Thm. 3).
+  Rational drift_estimate;
+  std::string reason;            ///< reject/shed/defer explanation
+};
+
+}  // namespace pfr::serve

@@ -1,0 +1,322 @@
+#include "serve/request_log.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "pfair/scenario_io.h"
+#include "pfair/weight.h"
+
+namespace pfr::serve {
+namespace {
+
+using pfair::ParseError;
+using pfair::Slot;
+
+constexpr char kMagic[8] = {'P', 'F', 'R', 'Q', 'L', 'O', 'G', '1'};
+
+// ----- text reader (same tokenizer discipline as scenario_io) -----
+
+struct Token {
+  std::string text;
+  int column{0};
+};
+
+std::vector<Token> tokenize(const std::string& line) {
+  std::vector<Token> out;
+  std::size_t i = 0;
+  while (i < line.size()) {
+    const auto c = static_cast<unsigned char>(line[i]);
+    if (std::isspace(c)) {
+      ++i;
+      continue;
+    }
+    if (line[i] == '#') break;
+    const std::size_t start = i;
+    while (i < line.size() && line[i] != '#' &&
+           !std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    out.push_back(
+        Token{line.substr(start, i - start), static_cast<int>(start) + 1});
+  }
+  return out;
+}
+
+class Parser {
+ public:
+  Parser(std::istream& in, std::string filename)
+      : in_(in), filename_(std::move(filename)) {}
+
+  std::vector<Request> run() {
+    std::string text;
+    while (std::getline(in_, text)) {
+      ++line_;
+      tok_ = tokenize(text);
+      if (tok_.empty()) continue;
+      parse_request();
+    }
+    return std::move(log_);
+  }
+
+ private:
+  [[noreturn]] void fail(const Token& where, const std::string& message) {
+    throw ParseError(filename_, line_, where.column, where.text, message);
+  }
+
+  void expect_tokens(std::size_t min, std::size_t max,
+                     const std::string& usage) {
+    if (tok_.size() < min || tok_.size() > max) {
+      fail(tok_[0], "expected: " + usage);
+    }
+  }
+
+  std::int64_t parse_int(const Token& tok) {
+    std::int64_t v = 0;
+    const auto [ptr, ec] =
+        std::from_chars(tok.text.data(), tok.text.data() + tok.text.size(), v);
+    if (ec != std::errc{} || ptr != tok.text.data() + tok.text.size()) {
+      fail(tok, "expected integer, got '" + tok.text + "'");
+    }
+    return v;
+  }
+
+  Rational parse_rational(const Token& tok) {
+    const auto slash = tok.text.find('/');
+    if (slash == std::string::npos) return Rational{parse_int(tok)};
+    const Token num{tok.text.substr(0, slash), tok.column};
+    const Token den{tok.text.substr(slash + 1),
+                    tok.column + static_cast<int>(slash) + 1};
+    const std::int64_t d = parse_int(den);
+    if (d == 0) fail(tok, "zero denominator in '" + tok.text + "'");
+    return Rational{parse_int(num), d};
+  }
+
+  std::int64_t parse_kv(const Token& tok, const std::string& key) {
+    const std::string prefix = key + "=";
+    if (tok.text.rfind(prefix, 0) != 0) {
+      fail(tok, "expected " + prefix + "<value>, got '" + tok.text + "'");
+    }
+    const Token value{tok.text.substr(prefix.size()),
+                      tok.column + static_cast<int>(prefix.size())};
+    return parse_int(value);
+  }
+
+  Rational parse_weight(const Token& tok) {
+    const Rational w = parse_rational(tok);
+    if (!pfair::is_valid_weight(w)) {
+      fail(tok, "weight must satisfy 0 < w <= 1/2");
+    }
+    return w;
+  }
+
+  /// Reads the trailing [rank=] / [deadline=] attributes and the required
+  /// at=, in any order after the fixed positional fields.
+  void parse_attrs(std::size_t first, bool allow_rank, Request& r) {
+    bool have_at = false;
+    for (std::size_t k = first; k < tok_.size(); ++k) {
+      const std::string& t = tok_[k].text;
+      if (t.rfind("at=", 0) == 0) {
+        r.due = parse_kv(tok_[k], "at");
+        if (r.due < 0) fail(tok_[k], "request time must be >= 0");
+        have_at = true;
+      } else if (t.rfind("deadline=", 0) == 0) {
+        r.deadline = parse_kv(tok_[k], "deadline");
+        if (r.deadline < 0) fail(tok_[k], "deadline must be >= 0");
+      } else if (allow_rank && t.rfind("rank=", 0) == 0) {
+        r.rank = static_cast<int>(parse_kv(tok_[k], "rank"));
+      } else {
+        fail(tok_[k], "unknown request attribute '" + t + "'");
+      }
+    }
+    if (!have_at) fail(tok_[0], "missing at=<t>");
+    if (r.deadline < r.due) {
+      fail(tok_[0], "deadline earlier than the request's at= slot");
+    }
+  }
+
+  void push(Request r, const Token& head) {
+    if (r.due < last_due_) {
+      fail(head,
+           "requests must be in non-decreasing at= order (a request log is "
+           "a timeline)");
+    }
+    last_due_ = r.due;
+    r.id = static_cast<RequestId>(log_.size()) + 1;
+    log_.push_back(std::move(r));
+  }
+
+  void parse_request() {
+    const std::string& head = tok_[0].text;
+    Request r;
+    if (head == "join") {
+      expect_tokens(4, 6,
+                    "join <name> <num>/<den> at=<t> [rank=<r>] [deadline=<t>]");
+      r.kind = RequestKind::kJoin;
+      r.task = tok_[1].text;
+      r.weight = parse_weight(tok_[2]);
+      parse_attrs(3, /*allow_rank=*/true, r);
+    } else if (head == "reweight") {
+      expect_tokens(4, 5, "reweight <name> <num>/<den> at=<t> [deadline=<t>]");
+      r.kind = RequestKind::kReweight;
+      r.task = tok_[1].text;
+      r.weight = parse_weight(tok_[2]);
+      parse_attrs(3, /*allow_rank=*/false, r);
+    } else if (head == "leave") {
+      expect_tokens(3, 4, "leave <name> at=<t> [deadline=<t>]");
+      r.kind = RequestKind::kLeave;
+      r.task = tok_[1].text;
+      parse_attrs(2, /*allow_rank=*/false, r);
+    } else if (head == "query") {
+      expect_tokens(3, 4, "query <name> at=<t> [deadline=<t>]");
+      r.kind = RequestKind::kQuery;
+      r.task = tok_[1].text;
+      parse_attrs(2, /*allow_rank=*/false, r);
+    } else {
+      fail(tok_[0], "unknown request '" + head + "'");
+    }
+    push(std::move(r), tok_[0]);
+  }
+
+  std::istream& in_;
+  std::string filename_;
+  std::vector<Request> log_;
+  std::vector<Token> tok_;
+  int line_{0};
+  Slot last_due_{0};
+};
+
+// ----- binary framing -----
+
+void put_u64(std::ostream& out, std::uint64_t v) {
+  char buf[8];
+  for (int i = 0; i < 8; ++i) {
+    buf[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+  }
+  out.write(buf, 8);
+}
+
+void put_i64(std::ostream& out, std::int64_t v) {
+  put_u64(out, static_cast<std::uint64_t>(v));
+}
+
+std::uint64_t get_u64(std::istream& in) {
+  char buf[8];
+  if (!in.read(buf, 8)) throw std::runtime_error("request log: truncated");
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(buf[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+std::int64_t get_i64(std::istream& in) {
+  return static_cast<std::int64_t>(get_u64(in));
+}
+
+}  // namespace
+
+std::vector<Request> parse_request_log(std::istream& in,
+                                       std::string filename) {
+  return Parser{in, std::move(filename)}.run();
+}
+
+std::vector<Request> parse_request_log_string(const std::string& text,
+                                              std::string filename) {
+  std::istringstream in{text};
+  return parse_request_log(in, std::move(filename));
+}
+
+void write_request_log(std::ostream& out, const std::vector<Request>& log) {
+  for (const Request& r : log) {
+    out << to_string(r.kind) << ' ' << r.task;
+    if (r.kind == RequestKind::kJoin || r.kind == RequestKind::kReweight) {
+      out << ' ' << r.weight.to_string();
+    }
+    out << " at=" << r.due;
+    if (r.kind == RequestKind::kJoin && r.rank != 0) out << " rank=" << r.rank;
+    if (r.deadline != pfair::kNever) out << " deadline=" << r.deadline;
+    out << '\n';
+  }
+}
+
+void write_binary_request_log(std::ostream& out,
+                              const std::vector<Request>& log) {
+  out.write(kMagic, sizeof kMagic);
+  put_u64(out, log.size());
+  for (const Request& r : log) {
+    put_u64(out, (static_cast<std::uint64_t>(r.kind) & 0xFF) |
+                     (static_cast<std::uint64_t>(r.task.size()) << 8) |
+                     (static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+                          r.rank))
+                      << 32));
+    put_u64(out, r.id);
+    put_i64(out, r.due);
+    put_i64(out, r.deadline);
+    put_i64(out, r.weight.num());
+    put_i64(out, r.weight.den());
+    out.write(r.task.data(), static_cast<std::streamsize>(r.task.size()));
+  }
+}
+
+std::vector<Request> read_binary_request_log(std::istream& in) {
+  char magic[sizeof kMagic];
+  if (!in.read(magic, sizeof magic) ||
+      std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
+    throw std::runtime_error("request log: bad magic");
+  }
+  const std::uint64_t count = get_u64(in);
+  std::vector<Request> log;
+  log.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Request r;
+    const std::uint64_t packed = get_u64(in);
+    const auto kind = static_cast<std::uint8_t>(packed & 0xFF);
+    if (kind > static_cast<std::uint8_t>(RequestKind::kQuery)) {
+      throw std::runtime_error("request log: unknown request kind");
+    }
+    r.kind = static_cast<RequestKind>(kind);
+    const auto name_len = static_cast<std::size_t>((packed >> 8) & 0xFFFFFF);
+    r.rank = static_cast<int>(static_cast<std::int32_t>(
+        static_cast<std::uint32_t>(packed >> 32)));
+    r.id = get_u64(in);
+    r.due = get_i64(in);
+    r.deadline = get_i64(in);
+    const std::int64_t num = get_i64(in);
+    const std::int64_t den = get_i64(in);
+    if (den == 0) throw std::runtime_error("request log: zero denominator");
+    r.weight = Rational{num, den};
+    r.task.resize(name_len);
+    if (name_len > 0 &&
+        !in.read(r.task.data(), static_cast<std::streamsize>(name_len))) {
+      throw std::runtime_error("request log: truncated");
+    }
+    log.push_back(std::move(r));
+  }
+  return log;
+}
+
+std::vector<Request> read_request_log(std::istream& in,
+                                      std::string filename) {
+  // Sniff the magic without consuming text input.
+  char magic[sizeof kMagic];
+  in.read(magic, sizeof magic);
+  const auto got = in.gcount();
+  if (got == static_cast<std::streamsize>(sizeof magic) &&
+      std::memcmp(magic, kMagic, sizeof magic) == 0) {
+    in.clear();
+    in.seekg(0);
+    return read_binary_request_log(in);
+  }
+  in.clear();
+  in.seekg(0);
+  return parse_request_log(in, std::move(filename));
+}
+
+}  // namespace pfr::serve

@@ -1,0 +1,54 @@
+/// \file request_log.h
+/// \brief The request-log format: a line-oriented text grammar (scenario_io
+/// style) and an equivalent length-framed binary encoding, with reader,
+/// writer, and round-trip guarantees.
+///
+/// Text grammar (one request per line, '#' comments, blank lines ignored):
+///
+///   join <name> <num>/<den> at=<t> [rank=<r>] [deadline=<t>]
+///   reweight <name> <num>/<den> at=<t> [deadline=<t>]
+///   leave <name> at=<t> [deadline=<t>]
+///   query <name> at=<t> [deadline=<t>]
+///
+/// Requests must appear in non-decreasing `at` order -- a request log is a
+/// timeline, and replay feeds it to the slot-batched queue whose producers
+/// promise monotone due slots.  RequestIds are assigned sequentially (1, 2,
+/// ...) in file order, so the same log always replays to the same ids.
+/// Malformed lines throw pfair::ParseError with file:line:column + token.
+///
+/// The binary encoding ("PFRQLOG1" magic, little-endian fixed-width fields,
+/// name length-prefixed) carries exactly the same records; it exists so a
+/// million-request load file parses at I/O speed.  read_request_log sniffs
+/// the magic and accepts either encoding.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "serve/request.h"
+
+namespace pfr::serve {
+
+/// Parses the text grammar.  Throws pfair::ParseError on malformed input or
+/// on an `at` regression; `filename` labels diagnostics only.
+[[nodiscard]] std::vector<Request> parse_request_log(
+    std::istream& in, std::string filename = "<request-log>");
+[[nodiscard]] std::vector<Request> parse_request_log_string(
+    const std::string& text, std::string filename = "<request-log>");
+
+/// Writes the text form (round-trips through parse_request_log).
+void write_request_log(std::ostream& out, const std::vector<Request>& log);
+
+/// Binary framing: magic + record count + fixed-width little-endian records.
+void write_binary_request_log(std::ostream& out,
+                              const std::vector<Request>& log);
+/// Throws std::runtime_error on bad magic or a truncated/overlong stream.
+[[nodiscard]] std::vector<Request> read_binary_request_log(std::istream& in);
+
+/// Reads either encoding: binary when the stream starts with the magic,
+/// text otherwise.
+[[nodiscard]] std::vector<Request> read_request_log(
+    std::istream& in, std::string filename = "<request-log>");
+
+}  // namespace pfr::serve

@@ -1,0 +1,181 @@
+#include "serve/request_queue.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace pfr::serve {
+
+using pfair::kNever;
+using pfair::Slot;
+
+namespace {
+
+/// Deterministic batch order: by (due, id).  Ids are unique, so this is a
+/// total order and plain sort suffices.
+void sort_batch(std::vector<Request>& v) {
+  std::sort(v.begin(), v.end(), [](const Request& a, const Request& b) {
+    return a.due != b.due ? a.due < b.due : a.id < b.id;
+  });
+}
+
+}  // namespace
+
+RequestQueue::RequestQueue(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {
+  items_.reserve(capacity_);
+}
+
+int RequestQueue::add_producer() {
+  const std::lock_guard lock{mu_};
+  watermark_.push_back(-1);
+  done_.push_back(false);
+  return static_cast<int>(watermark_.size()) - 1;
+}
+
+void RequestQueue::producer_done(int producer) {
+  {
+    const std::lock_guard lock{mu_};
+    done_.at(static_cast<std::size_t>(producer)) = true;
+  }
+  cv_data_.notify_all();
+}
+
+void RequestQueue::note_watermark_locked(int producer, Slot due) {
+  Slot& mark = watermark_.at(static_cast<std::size_t>(producer));
+  if (due < mark) {
+    throw std::invalid_argument(
+        "RequestQueue: producer due slots must be non-decreasing");
+  }
+  mark = due;
+}
+
+Slot RequestQueue::min_watermark_locked() const {
+  Slot mark = kNever;
+  for (std::size_t p = 0; p < watermark_.size(); ++p) {
+    if (!done_[p]) mark = std::min(mark, watermark_[p]);
+  }
+  return mark;
+}
+
+bool RequestQueue::push(int producer, Request r) {
+  {
+    std::unique_lock lock{mu_};
+    note_watermark_locked(producer, r.due);
+    // The watermark advance alone can complete an in-progress drain (the
+    // consumer may be waiting for this producer to move past the drain
+    // slot), so signal it before possibly blocking for space.
+    cv_data_.notify_all();
+    cv_space_.wait(lock, [&] {
+      return closed_ || items_.size() < capacity_ || r.due <= draining_;
+    });
+    if (closed_) return false;
+    items_.push_back(std::move(r));
+    high_watermark_ = std::max(high_watermark_, items_.size());
+    ++total_pushed_;
+  }
+  cv_data_.notify_all();
+  return true;
+}
+
+RequestQueue::PushResult RequestQueue::try_push(int producer, Request r) {
+  PushResult out;
+  {
+    const std::lock_guard lock{mu_};
+    note_watermark_locked(producer, r.due);
+    if (closed_) return out;
+    if (items_.size() >= capacity_) {
+      // Shed by deadline: the least urgent of queued + incoming loses.
+      auto victim = std::max_element(
+          items_.begin(), items_.end(),
+          [](const Request& a, const Request& b) {
+            return a.deadline != b.deadline ? a.deadline < b.deadline
+                                            : a.id < b.id;
+          });
+      const bool incoming_loses =
+          r.deadline > victim->deadline ||
+          (r.deadline == victim->deadline && r.id > victim->id);
+      ++total_overflow_shed_;
+      if (incoming_loses) {
+        overflow_shed_.push_back(std::move(r));
+      } else {
+        out.shed_other = true;
+        overflow_shed_.push_back(std::move(*victim));
+        *victim = std::move(r);
+        out.enqueued = true;
+        ++total_pushed_;
+      }
+    } else {
+      items_.push_back(std::move(r));
+      high_watermark_ = std::max(high_watermark_, items_.size());
+      out.enqueued = true;
+      ++total_pushed_;
+    }
+  }
+  cv_data_.notify_all();
+  return out;
+}
+
+RequestQueue::Batch RequestQueue::drain_slot(Slot t) {
+  Batch batch;
+  std::unique_lock lock{mu_};
+  draining_ = t;
+  cv_space_.notify_all();  // due-<=-t pushes may now bypass the bound
+  for (;;) {
+    // Move everything already due out of the ring so blocked producers make
+    // progress while we wait for the stragglers' watermarks.
+    auto due_now = std::stable_partition(
+        items_.begin(), items_.end(),
+        [t](const Request& r) { return r.due > t; });
+    if (due_now != items_.end()) {
+      for (auto it = due_now; it != items_.end(); ++it) {
+        (it->deadline >= t ? batch.admit : batch.shed_deadline)
+            .push_back(std::move(*it));
+      }
+      items_.erase(due_now, items_.end());
+      cv_space_.notify_all();
+    }
+    if (closed_ || min_watermark_locked() > t) break;
+    cv_data_.wait(lock);
+  }
+  batch.shed_overflow.swap(overflow_shed_);
+  batch.open = !closed_ && (min_watermark_locked() != kNever ||
+                            !items_.empty());
+  draining_ = -1;
+  lock.unlock();
+  sort_batch(batch.admit);
+  sort_batch(batch.shed_deadline);
+  sort_batch(batch.shed_overflow);
+  return batch;
+}
+
+void RequestQueue::close() {
+  {
+    const std::lock_guard lock{mu_};
+    closed_ = true;
+  }
+  cv_data_.notify_all();
+  cv_space_.notify_all();
+}
+
+std::size_t RequestQueue::depth() const {
+  const std::lock_guard lock{mu_};
+  return items_.size();
+}
+
+std::size_t RequestQueue::high_watermark() const {
+  const std::lock_guard lock{mu_};
+  return high_watermark_;
+}
+
+std::uint64_t RequestQueue::total_pushed() const {
+  const std::lock_guard lock{mu_};
+  return total_pushed_;
+}
+
+std::uint64_t RequestQueue::total_overflow_shed() const {
+  const std::lock_guard lock{mu_};
+  return total_overflow_shed_;
+}
+
+}  // namespace pfr::serve

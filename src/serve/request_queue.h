@@ -1,0 +1,100 @@
+/// \file request_queue.h
+/// \brief Slot-batched bounded MPSC request queue with backpressure,
+/// watermark-gated determinism, and deadline-aware shedding.
+///
+/// Many producer threads push Requests; one consumer (the service loop)
+/// drains exactly one batch per engine slot.  The central guarantee is
+/// *thread-count independence*: the batch for slot t is "every request with
+/// due <= t", regardless of how pushes interleave in wall time.  That works
+/// because each producer promises non-decreasing `due` values (a request
+/// stream is a timeline) and the queue tracks a per-producer watermark;
+/// drain_slot(t) completes only once every registered producer has moved
+/// past t or finished.  Replaying one log through 1 or N producers
+/// therefore yields bit-identical batches (tests assert this).
+///
+/// Backpressure: `push` blocks while the queue is at capacity -- except for
+/// requests already due at the slot currently being drained, which bypass
+/// the bound so the in-progress batch can always complete (bounded by one
+/// request per producer; this is what makes the watermark wait deadlock-
+/// free).  `try_push` never blocks: at capacity it sheds by deadline --
+/// the least urgent request (latest deadline, then highest id) of the
+/// queued-plus-incoming set loses its place and is reported through the
+/// next drained batch so the consumer can respond and trace the shed.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+#include "serve/request.h"
+
+namespace pfr::serve {
+
+class RequestQueue {
+ public:
+  explicit RequestQueue(std::size_t capacity);
+
+  /// Registers a producer and returns its handle.  Register every producer
+  /// before the consumer starts draining (a late registration could miss
+  /// the watermark wait for batches already finalized).
+  [[nodiscard]] int add_producer();
+
+  /// Marks a producer finished; its watermark no longer gates drains.
+  void producer_done(int producer);
+
+  /// Blocking push with backpressure.  `r.due` must be >= the producer's
+  /// previous due (throws std::invalid_argument otherwise -- the monotone
+  /// promise is what the determinism guarantee rests on).  Returns false
+  /// if the queue was closed.
+  bool push(int producer, Request r);
+
+  struct PushResult {
+    bool enqueued{false};       ///< r itself got a slot in the queue
+    bool shed_other{false};     ///< an older queued request was evicted
+  };
+  /// Non-blocking push; sheds by deadline at capacity (see file comment).
+  /// Shed requests surface in Batch::shed_overflow of a later drain.
+  PushResult try_push(int producer, Request r);
+
+  struct Batch {
+    std::vector<Request> admit;          ///< due <= t, deadline >= t; by id
+    std::vector<Request> shed_deadline;  ///< due <= t but deadline < t; by id
+    std::vector<Request> shed_overflow;  ///< evicted by try_push; by id
+    bool open{true};  ///< false once all producers finished and queue drained
+  };
+  /// Consumer side: blocks until every producer's watermark has passed `t`
+  /// (or the producer finished), then returns the complete slot-t batch.
+  Batch drain_slot(pfair::Slot t);
+
+  /// Unblocks everything; subsequent pushes return false / shed nothing.
+  void close();
+
+  [[nodiscard]] std::size_t depth() const;
+  [[nodiscard]] std::size_t high_watermark() const;
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::uint64_t total_pushed() const;
+  [[nodiscard]] std::uint64_t total_overflow_shed() const;
+
+ private:
+  /// Smallest due any still-active producer might still push; kNever once
+  /// all producers are done.
+  [[nodiscard]] pfair::Slot min_watermark_locked() const;
+  void note_watermark_locked(int producer, pfair::Slot due);
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_data_;   ///< producers -> consumer
+  std::condition_variable cv_space_;  ///< consumer -> blocked producers
+  std::vector<Request> items_;
+  std::vector<Request> overflow_shed_;
+  std::vector<pfair::Slot> watermark_;  ///< last due offered, per producer
+  std::vector<bool> done_;
+  pfair::Slot draining_{-1};  ///< slot currently being drained, for bypass
+  bool closed_{false};
+  std::size_t high_watermark_{0};
+  std::uint64_t total_pushed_{0};
+  std::uint64_t total_overflow_shed_{0};
+};
+
+}  // namespace pfr::serve

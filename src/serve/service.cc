@@ -1,0 +1,299 @@
+#include "serve/service.h"
+
+#include <algorithm>
+#include <iterator>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "obs/event.h"
+#include "pfair/task.h"
+
+namespace pfr::serve {
+
+using obs::EventKind;
+using obs::TraceEvent;
+using pfair::kNever;
+using pfair::RuleApplied;
+using pfair::Slot;
+using pfair::TaskId;
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+void fnv_mix(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFF;
+    h *= kFnvPrime;
+  }
+}
+
+/// Latency histogram buckets, in slots from due to enactment.
+const std::vector<double> kLatencyBounds{0, 1, 2, 4, 8, 16, 32, 64, 128};
+
+}  // namespace
+
+ReweightService::ReweightService(ServiceConfig cfg)
+    : cfg_(cfg),
+      engine_(cfg.engine),
+      queue_(cfg.queue_capacity),
+      admission_(engine_, AdmissionConfig{cfg.max_defer}) {}
+
+TaskId ReweightService::seed_task(const std::string& name,
+                                  const Rational& weight, int rank) {
+  if (ids_.count(name) != 0) {
+    throw std::invalid_argument("seed_task: duplicate task name " + name);
+  }
+  const TaskId id = engine_.add_task(weight, engine_.now(), name);
+  if (rank != 0) engine_.set_tie_rank(id, rank);
+  ids_.emplace(name, id);
+  return id;
+}
+
+void ReweightService::set_metrics(obs::MetricsRegistry* registry) {
+  metrics_ = registry;
+  engine_.set_metrics(registry);
+  latency_hist_ =
+      registry != nullptr
+          ? &registry->histogram("serve.latency_slots", kLatencyBounds)
+          : nullptr;
+}
+
+void ReweightService::record_response(const Response& resp) {
+  switch (resp.decision) {
+    case Decision::kAccepted: ++stats_.admitted; break;
+    case Decision::kClamped: ++stats_.clamped; break;
+    case Decision::kRejected: ++stats_.rejected; break;
+    case Decision::kDeferred: ++stats_.deferred; break;
+    case Decision::kShed: ++stats_.shed; break;
+  }
+  responses_.push_back(resp);
+}
+
+void ReweightService::respond_shed(const Request& r, Slot t, const char* why) {
+  Response resp;
+  resp.id = r.id;
+  resp.kind = r.kind;
+  resp.decision = Decision::kShed;
+  resp.slot = t;
+  resp.due = r.due;
+  resp.reason = why;
+  record_response(resp);
+  if (tracer_.enabled()) {
+    TraceEvent ev;
+    ev.kind = EventKind::kRequestShed;
+    ev.slot = t;
+    ev.when = r.deadline;
+    ev.detail = why;
+    const auto it = ids_.find(r.task);
+    if (it != ids_.end()) ev.task = it->second;
+    tracer_.emit(ev);
+  }
+}
+
+bool ReweightService::serve_one(const Request& r, Slot t, int& oi_used) {
+  Response resp = admission_.decide(r, ids_, t, oi_used);
+
+  if (resp.decision == Decision::kDeferred) {
+    // Out of retry budget?  The capacity the request waited for never came.
+    if (t - r.due >= cfg_.max_defer) {
+      resp.decision = Decision::kRejected;
+      resp.reason += "; defer window exhausted";
+    } else {
+      const bool already =
+          std::find(deferred_notified_.begin(), deferred_notified_.end(),
+                    r.id) != deferred_notified_.end();
+      if (!already) {
+        deferred_notified_.push_back(r.id);
+        record_response(resp);
+        if (tracer_.enabled()) {
+          TraceEvent ev;
+          ev.kind = EventKind::kRequestDelayed;
+          ev.slot = t;
+          ev.task = resp.task;
+          ev.when = t + 1;
+          tracer_.emit(ev);
+        }
+      }
+      deferred_.push_back(r);
+      return false;
+    }
+  }
+
+  std::erase(deferred_notified_, r.id);  // terminal from here on
+
+  if (resp.decision == Decision::kRejected) {
+    record_response(resp);
+    if (tracer_.enabled()) {
+      TraceEvent ev;
+      ev.kind = EventKind::kRequestReject;
+      ev.slot = t;
+      ev.task = resp.task;
+      ev.weight_from = r.weight;
+      ev.detail = resp.reason;
+      tracer_.emit(ev);
+    }
+    return true;
+  }
+
+  // Accepted or clamped: apply to the engine.  The granted weight already
+  // passed preview_admission, so the engine's own policing concurs.
+  switch (r.kind) {
+    case RequestKind::kJoin: {
+      const TaskId id = engine_.add_task(resp.granted, t, r.task);
+      if (r.rank != 0) engine_.set_tie_rank(id, r.rank);
+      ids_.emplace(r.task, id);
+      resp.task = id;
+      break;
+    }
+    case RequestKind::kReweight: {
+      engine_.request_weight_change(resp.task, resp.granted, t);
+      if (resp.rule == RuleApplied::kRuleO ||
+          resp.rule == RuleApplied::kRuleIIncrease ||
+          resp.rule == RuleApplied::kRuleIDecrease) {
+        ++oi_used;
+      }
+      // The forecast slot may be exact or kNever (gate unknown); either
+      // way the enactment-count watch below replaces it with the real slot.
+      unresolved_.push_back(PendingEnactment{
+          responses_.size(), resp.task,
+          engine_.task(resp.task).enactment_count});
+      break;
+    }
+    case RequestKind::kLeave:
+      engine_.request_leave(resp.task, t);
+      break;
+    case RequestKind::kQuery:
+      break;  // pure read; the response already carries swt and drift
+  }
+
+  if (tracer_.enabled()) {
+    TraceEvent ev;
+    ev.kind = EventKind::kRequestAdmit;
+    ev.slot = t;
+    ev.task = resp.task;
+    ev.rule = resp.rule;
+    ev.weight_from = r.weight;
+    ev.weight_to = resp.granted;
+    ev.when = resp.enact_slot;
+    tracer_.emit(ev);
+  }
+  record_response(resp);
+  return true;
+}
+
+void ReweightService::resolve_enactments(Slot t) {
+  auto keep = unresolved_.begin();
+  for (auto it = unresolved_.begin(); it != unresolved_.end(); ++it) {
+    const pfair::TaskState& task = engine_.task(it->task);
+    if (task.enactment_count > it->count_at_apply) {
+      Response& resp = responses_.at(it->response_index);
+      resp.enact_slot = t;
+      if (latency_hist_ != nullptr) {
+        latency_hist_->observe(static_cast<double>(t - resp.due));
+      }
+    } else {
+      *keep++ = *it;
+    }
+  }
+  unresolved_.erase(keep, unresolved_.end());
+}
+
+bool ReweightService::run_slot() {
+  const Slot t = engine_.now();
+  RequestQueue::Batch batch = queue_.drain_slot(t);
+  ++stats_.batches;
+
+  for (const Request& r : batch.shed_deadline) {
+    respond_shed(r, t, "deadline passed in queue");
+  }
+  for (const Request& r : batch.shed_overflow) {
+    respond_shed(r, t, "queue overflow");
+  }
+
+  if (tracer_.enabled()) {
+    for (const Request& r : batch.admit) {
+      TraceEvent ev;
+      ev.kind = EventKind::kRequestEnqueue;
+      ev.slot = t;
+      ev.when = r.due;
+      ev.folded = static_cast<int>(batch.admit.size());
+      ev.detail = r.task;
+      const auto it = ids_.find(r.task);
+      if (it != ids_.end()) ev.task = it->second;
+      tracer_.emit(ev);
+    }
+  }
+
+  // Retry-first: deferred requests carry earlier ids than anything newly
+  // due (ids are assigned in due order), so an id-sorted merge serves the
+  // oldest waiters first -- capacity freed this slot goes to them.
+  std::vector<Request> work = std::move(deferred_);
+  deferred_.clear();
+  work.insert(work.end(), std::make_move_iterator(batch.admit.begin()),
+              std::make_move_iterator(batch.admit.end()));
+  std::sort(work.begin(), work.end(),
+            [](const Request& a, const Request& b) { return a.id < b.id; });
+
+  int oi_used = 0;
+  for (const Request& r : work) {
+    if (r.deadline < t) {
+      respond_shed(r, t, "deadline passed while deferred");
+      continue;
+    }
+    serve_one(r, t, oi_used);
+  }
+
+  engine_.step();
+  resolve_enactments(t);
+
+  if (metrics_ != nullptr) {
+    metrics_->set_gauge("serve.queue.depth",
+                        static_cast<double>(queue_.depth()));
+    metrics_->counter("serve.requests.batched")
+        .add(static_cast<std::int64_t>(work.size()));
+  }
+  return batch.open || !deferred_.empty();
+}
+
+void ReweightService::run_to_completion(Slot grace) {
+  while (run_slot()) {
+  }
+  for (Slot g = 0; g < grace && !unresolved_.empty(); ++g) {
+    const Slot t = engine_.now();
+    engine_.step();
+    resolve_enactments(t);
+  }
+  if (metrics_ != nullptr) {
+    metrics_->counter("serve.responses.admitted")
+        .add(static_cast<std::int64_t>(stats_.admitted));
+    metrics_->counter("serve.responses.clamped")
+        .add(static_cast<std::int64_t>(stats_.clamped));
+    metrics_->counter("serve.responses.rejected")
+        .add(static_cast<std::int64_t>(stats_.rejected));
+    metrics_->counter("serve.responses.deferred")
+        .add(static_cast<std::int64_t>(stats_.deferred));
+    metrics_->counter("serve.responses.shed")
+        .add(static_cast<std::int64_t>(stats_.shed));
+    metrics_->counter("serve.batches")
+        .add(static_cast<std::int64_t>(stats_.batches));
+  }
+}
+
+std::uint64_t ReweightService::response_digest() const noexcept {
+  std::uint64_t h = kFnvOffset;
+  for (const Response& r : responses_) {
+    fnv_mix(h, r.id);
+    fnv_mix(h, static_cast<std::uint64_t>(r.kind));
+    fnv_mix(h, static_cast<std::uint64_t>(r.decision));
+    fnv_mix(h, static_cast<std::uint64_t>(r.granted.num()));
+    fnv_mix(h, static_cast<std::uint64_t>(r.granted.den()));
+    fnv_mix(h, static_cast<std::uint64_t>(r.enact_slot));
+    fnv_mix(h, static_cast<std::uint64_t>(r.slot));
+  }
+  return h;
+}
+
+}  // namespace pfr::serve

@@ -1,0 +1,144 @@
+/// \file service.h
+/// \brief ReweightService: an online reweighting front-end over
+/// pfair::Engine -- one drained request batch per slot, admission control,
+/// deferral, and exact request-to-enactment latency accounting.
+///
+/// The service owns the engine, a RequestQueue producers feed, and an
+/// AdmissionController.  run_slot() is the consumer side of the pipeline:
+///
+///   1. drain the slot-t batch (blocks on producer watermarks, so the batch
+///      is thread-count independent);
+///   2. respond to shed requests (deadline passed in queue, or evicted by
+///      try_push overflow) with Decision::kShed + a kRequestShed event;
+///   3. merge service-held deferred requests with the batch (id order) and
+///      run each through admission; apply accepted decisions to the engine
+///      (join / request_weight_change / request_leave), trace
+///      kRequestAdmit / kRequestReject, count predicted-OI admits so
+///      hybrid-budget forecasts see intra-slot usage;
+///   4. step the engine one slot;
+///   5. resolve exact enactment slots: any response whose task's
+///      enactment_count advanced during the step enacted *this* slot.
+///
+/// Every request gets exactly one terminal Response (accepted / clamped /
+/// rejected / shed), preceded by at most one kDeferred response the first
+/// time it is postponed.  All tracing and metrics happen on the consumer
+/// thread -- sinks need no locking.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/tracer.h"
+#include "pfair/engine.h"
+#include "serve/admission.h"
+#include "serve/request.h"
+#include "serve/request_queue.h"
+
+namespace pfr::serve {
+
+struct ServiceConfig {
+  pfair::EngineConfig engine;
+  std::size_t queue_capacity{1024};
+  /// Retry window for deferred requests, in slots past the due slot.
+  pfair::Slot max_defer{16};
+};
+
+class ReweightService {
+ public:
+  explicit ReweightService(ServiceConfig cfg);
+
+  /// Adds a task to the engine and the service's name table outside the
+  /// request path (initial task set, before serving starts).  Throws
+  /// std::invalid_argument on a duplicate name.
+  pfair::TaskId seed_task(const std::string& name, const Rational& weight,
+                          int rank = 0);
+
+  /// The queue producer threads feed.  Register producers before draining.
+  [[nodiscard]] RequestQueue& queue() noexcept { return queue_; }
+  [[nodiscard]] pfair::Engine& engine() noexcept { return engine_; }
+  [[nodiscard]] const pfair::Engine& engine() const noexcept {
+    return engine_;
+  }
+
+  /// Attaches a sink to both the engine and the service's own tracer.
+  void set_event_sink(obs::EventSink* sink) noexcept {
+    engine_.set_event_sink(sink);
+    tracer_.set_sink(sink);
+  }
+  /// Attaches a registry for service metrics (serve.* counters, queue-depth
+  /// gauge, latency histogram) plus the engine's phase timers.
+  void set_metrics(obs::MetricsRegistry* registry);
+
+  /// Drains and serves one slot batch, then advances the engine one slot.
+  /// Returns false once the queue reports no further work (all producers
+  /// done and drained) AND no deferred requests remain.
+  bool run_slot();
+
+  /// Serves slots until the queue closes and deferrals settle, then keeps
+  /// stepping (no requests) until every pending enactment resolves, bounded
+  /// by `grace` extra slots.
+  void run_to_completion(pfair::Slot grace = 4096);
+
+  /// All responses issued so far, in issue order.  A request that was
+  /// deferred appears twice: once as kDeferred, once terminally.
+  [[nodiscard]] const std::vector<Response>& responses() const noexcept {
+    return responses_;
+  }
+  /// name -> engine TaskId for every task the service created or serves.
+  [[nodiscard]] const std::map<std::string, pfair::TaskId>& ids()
+      const noexcept {
+    return ids_;
+  }
+
+  /// Order-sensitive FNV-1a digest over every response's semantic fields
+  /// (id, kind, decision, granted, enact_slot, slot).  Equal digests across
+  /// producer-thread counts are the determinism acceptance check.
+  [[nodiscard]] std::uint64_t response_digest() const noexcept;
+
+  struct ServiceStats {
+    std::uint64_t admitted{0};
+    std::uint64_t clamped{0};
+    std::uint64_t rejected{0};
+    std::uint64_t deferred{0};   ///< kDeferred responses issued
+    std::uint64_t shed{0};
+    std::uint64_t batches{0};
+  };
+  [[nodiscard]] const ServiceStats& stats() const noexcept { return stats_; }
+
+ private:
+  void respond_shed(const Request& r, pfair::Slot t, const char* why);
+  /// Runs one request through admission and, on success, the engine.
+  /// Returns true if the request is finished (any terminal decision),
+  /// false if it must be retried next slot.
+  bool serve_one(const Request& r, pfair::Slot t, int& oi_used);
+  void record_response(const Response& resp);
+  void resolve_enactments(pfair::Slot t);
+
+  ServiceConfig cfg_;
+  pfair::Engine engine_;
+  RequestQueue queue_;
+  AdmissionController admission_;
+  obs::Tracer tracer_;
+  obs::MetricsRegistry* metrics_{nullptr};
+  obs::Histogram* latency_hist_{nullptr};
+
+  std::map<std::string, pfair::TaskId> ids_;
+  std::vector<Response> responses_;
+  std::vector<Request> deferred_;
+  /// Requests already sent a kDeferred response (so they get only one).
+  std::vector<RequestId> deferred_notified_;
+
+  struct PendingEnactment {
+    std::size_t response_index;
+    pfair::TaskId task;
+    int count_at_apply;
+  };
+  std::vector<PendingEnactment> unresolved_;
+
+  ServiceStats stats_;
+};
+
+}  // namespace pfr::serve

@@ -11,6 +11,7 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <exception>
 #include <functional>
 #include <mutex>
 #include <queue>
@@ -31,11 +32,14 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a job.  Jobs must not throw; exceptions terminate (jobs in this
-  /// codebase report failures through their captured state).
+  /// Enqueues a job.  A throwing job does not kill its worker: the first
+  /// exception any job raises is captured and rethrown from the next
+  /// wait_idle() call; later exceptions (until that rethrow) are dropped.
   void submit(std::function<void()> job);
 
-  /// Blocks until every submitted job has finished executing.
+  /// Blocks until every submitted job has finished executing, then rethrows
+  /// the first exception any of them raised (if one did).  The pool stays
+  /// usable after the rethrow.
   void wait_idle();
 
   [[nodiscard]] std::size_t thread_count() const noexcept {
@@ -52,10 +56,13 @@ class ThreadPool {
   std::vector<std::thread> workers_;
   std::size_t in_flight_{0};
   bool stop_{false};
+  std::exception_ptr first_error_;  ///< first job exception, until rethrown
 };
 
 /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
-/// fn must be safe to invoke concurrently for distinct i.
+/// fn must be safe to invoke concurrently for distinct i.  If any fn(i)
+/// throws, the first exception is rethrown after the sweep drains (the
+/// remaining indices still run).
 void parallel_for(ThreadPool& pool, std::size_t n,
                   const std::function<void(std::size_t)>& fn);
 

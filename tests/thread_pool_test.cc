@@ -1,0 +1,103 @@
+/// Direct unit tests for util/thread_pool: exception propagation,
+/// oversubscription, and the zero-thread fallback.  The pool underpins
+/// every replicated bench sweep and the serve-side producer threads, so
+/// its contract is pinned here rather than implied by the harnesses.
+#include <atomic>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/thread_pool.h"
+
+namespace pfr {
+namespace {
+
+TEST(ThreadPoolTest, RunsEverySubmittedJob) {
+  ThreadPool pool{4};
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.submit([&count] { count.fetch_add(1); });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, ZeroThreadsFallsBackToAtLeastOneWorker) {
+  ThreadPool pool{0};
+  EXPECT_GE(pool.thread_count(), 1u);
+  std::atomic<bool> ran{false};
+  pool.submit([&ran] { ran = true; });
+  pool.wait_idle();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST(ThreadPoolTest, OversubscriptionDrainsManyMoreJobsThanWorkers) {
+  ThreadPool pool{2};
+  constexpr std::size_t kJobs = 5000;  // far more than the two workers
+  std::vector<std::atomic<int>> hits(kJobs);
+  for (std::size_t i = 0; i < kJobs; ++i) {
+    pool.submit([&hits, i] { hits[i].fetch_add(1); });
+  }
+  pool.wait_idle();
+  for (std::size_t i = 0; i < kJobs; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "job " << i;
+  }
+}
+
+TEST(ThreadPoolTest, JobExceptionRethrownFromWaitIdle) {
+  ThreadPool pool{2};
+  pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, FirstOfSeveralExceptionsWinsAndOthersAreDropped) {
+  ThreadPool pool{1};  // single worker serializes the jobs
+  pool.submit([] { throw std::runtime_error("first"); });
+  pool.submit([] { throw std::logic_error("second"); });
+  try {
+    pool.wait_idle();
+    FAIL() << "expected wait_idle to rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "first");
+  }
+}
+
+TEST(ThreadPoolTest, PoolStaysUsableAfterRethrow) {
+  ThreadPool pool{2};
+  pool.submit([] { throw std::runtime_error("boom"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+
+  // The error slot is cleared by the rethrow; later work runs normally.
+  std::atomic<int> count{0};
+  for (int i = 0; i < 10; ++i) pool.submit([&count] { count.fetch_add(1); });
+  EXPECT_NO_THROW(pool.wait_idle());
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexOnce) {
+  ThreadPool pool{3};
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  parallel_for(pool, kN, [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < kN; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForPropagatesTheFirstException) {
+  ThreadPool pool{2};
+  std::atomic<int> done{0};
+  EXPECT_THROW(parallel_for(pool, 100,
+                            [&done](std::size_t i) {
+                              if (i == 17) throw std::runtime_error("bad");
+                              done.fetch_add(1);
+                            }),
+               std::runtime_error);
+  // The remaining indices still ran (the sweep drains before rethrowing).
+  EXPECT_EQ(done.load(), 99);
+}
+
+}  // namespace
+}  // namespace pfr
