@@ -1,0 +1,345 @@
+/// \file dispatch_micro.cc
+/// \brief Dispatch-pipeline microbenchmark: integer fast path versus the
+/// rescanning reference paths.
+///
+/// For each (task count, weight distribution) scenario the same task set is
+/// run once per DispatchMode with the per-phase timers attached, and the
+/// dispatch-phase cost per slot is compared: scan (the reference), heap
+/// rebuild, and the incremental indexed ready queue (the production fast
+/// path).  A second traced run per mode digests the full schedule so the
+/// bench doubles as an identity check -- all three modes must produce
+/// bit-identical schedules or the bench exits nonzero.
+///
+/// A separate section times the window formulas themselves: the integer
+/// floor_div/ceil_div fast path against the exact-Rational oracle twins
+/// (windows.h, namespace oracle) that verify_priorities uses.
+///
+/// Flags:
+///   --slots=N     horizon per run (default 20000)
+///   --seed=N      base RNG seed (default 2005)
+///   --quick       shorthand for --slots=3000 and the small task counts
+///   --json=PATH   machine-readable results
+///                 (default results/BENCH_dispatch_micro.json)
+///
+/// Run from the repo root:  ./build/bench/dispatch_micro
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <iterator>
+#include <random>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "pfair/engine.h"
+#include "pfair/windows.h"
+#include "util/cli.h"
+
+namespace {
+
+using pfr::Rational;
+using pfr::pfair::DispatchMode;
+using pfr::pfair::Engine;
+using pfr::pfair::EngineConfig;
+using pfr::pfair::Slot;
+using pfr::pfair::SlotRecord;
+using pfr::pfair::SubtaskIndex;
+using pfr::pfair::TaskId;
+
+struct TaskSpec {
+  Rational weight;
+  std::vector<std::pair<Slot, Rational>> reweights;  ///< (at, target)
+};
+
+struct Scenario {
+  std::string name;  ///< "<tasks>-<dist>"
+  std::string dist;  ///< uniform | harmonic | reweight-storm
+  int tasks{0};
+  int processors{0};
+  std::vector<TaskSpec> specs;
+};
+
+/// Deterministic task set for one scenario; identical across modes.
+Scenario make_scenario(int tasks, const std::string& dist, Slot slots,
+                       std::uint64_t seed) {
+  Scenario sc;
+  sc.dist = dist;
+  sc.tasks = tasks;
+  sc.name = std::to_string(tasks) + "-" + dist;
+  std::mt19937_64 rng{seed ^ (static_cast<std::uint64_t>(tasks) << 32)};
+  // Denominators are drawn from a set with a small LCM (960): engine-side
+  // aggregates (total scheduling weight, property (W)) sum every task's
+  // weight exactly, and a free choice of hundreds of denominators would
+  // push the common denominator past int64.
+  constexpr std::int64_t kDens[] = {16, 20, 24, 32, 40, 48, 60, 64};
+  std::uniform_int_distribution<std::size_t> den_dist{0, std::size(kDens) - 1};
+  std::uniform_int_distribution<std::int64_t> num_dist{1, 3};
+  double total = 0.0;
+  for (int i = 0; i < tasks; ++i) {
+    TaskSpec spec;
+    if (dist == "harmonic") {
+      spec.weight = Rational{1, 2 + (i % 10)};
+    } else {  // uniform and reweight-storm share the weight model
+      spec.weight = Rational{num_dist(rng), kDens[den_dist(rng)]};
+    }
+    if (dist == "reweight-storm" && i % 4 == 0) {
+      // Eight initiations spread over the horizon, alternating between half
+      // weight and the original -- exercises rules O/I (halts, enactment
+      // gates, new generations) under every dispatch mode.
+      const Rational half = spec.weight / 2;
+      for (int k = 0; k < 8; ++k) {
+        const Slot at = slots * (k + 1) / 9;
+        spec.reweights.emplace_back(at, k % 2 == 0 ? half : spec.weight);
+      }
+    }
+    total += static_cast<double>(spec.weight.num()) /
+             static_cast<double>(spec.weight.den());
+    sc.specs.push_back(std::move(spec));
+  }
+  // Provision ~5% headroom so the set stays schedulable and the dispatcher
+  // is busy (few holes) rather than idling.
+  sc.processors = static_cast<int>(std::ceil(total * 1.05)) + 1;
+  return sc;
+}
+
+Engine build_engine(const Scenario& sc, DispatchMode mode, bool trace) {
+  EngineConfig cfg;
+  cfg.processors = sc.processors;
+  cfg.dispatch_mode = mode;
+  cfg.record_slot_trace = trace;
+  Engine engine{cfg};
+  for (std::size_t i = 0; i < sc.specs.size(); ++i) {
+    const TaskId id = engine.add_task(sc.specs[i].weight);
+    for (const auto& [at, target] : sc.specs[i].reweights) {
+      engine.request_weight_change(id, target, at);
+    }
+  }
+  return engine;
+}
+
+/// FNV-1a over the full schedule (slot-by-slot lane order).
+std::uint64_t schedule_digest(const std::vector<SlotRecord>& trace) {
+  std::uint64_t h = 14695981039346656037ULL;
+  const auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xffU;
+      h *= 1099511628211ULL;
+    }
+  };
+  for (const SlotRecord& rec : trace) {
+    mix(static_cast<std::uint64_t>(rec.scheduled.size()));
+    for (const TaskId id : rec.scheduled) mix(static_cast<std::uint64_t>(id));
+  }
+  return h;
+}
+
+struct ModeResult {
+  double dispatch_ns_per_slot{0.0};
+  double select_ns_per_slot{0.0};
+  double run_ms{0.0};
+  std::uint64_t digest{0};
+  std::int64_t misses{0};
+};
+
+ModeResult run_mode(const Scenario& sc, DispatchMode mode, Slot slots) {
+  ModeResult out;
+  {  // Timed run: untraced, so the dispatch timers measure pure scheduling.
+    Engine engine = build_engine(sc, mode, /*trace=*/false);
+    pfr::obs::MetricsRegistry metrics;
+    engine.set_metrics(&metrics);
+    const auto t0 = std::chrono::steady_clock::now();
+    engine.run_until(slots);
+    const auto t1 = std::chrono::steady_clock::now();
+    out.run_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    const pfr::obs::Timer& dispatch =
+        metrics.timers().at("engine.phase.dispatch");
+    const pfr::obs::Timer& select =
+        metrics.timers().at("engine.phase.dispatch.select");
+    out.dispatch_ns_per_slot = dispatch.mean_ns();
+    out.select_ns_per_slot = select.mean_ns();
+    out.misses = static_cast<std::int64_t>(engine.misses().size());
+  }
+  {  // Identity run: traced, digested.
+    Engine engine = build_engine(sc, mode, /*trace=*/true);
+    engine.run_until(slots);
+    out.digest = schedule_digest(engine.trace());
+  }
+  return out;
+}
+
+struct WindowMathResult {
+  std::int64_t calls{0};
+  double fast_ns_per_call{0.0};
+  double rational_ns_per_call{0.0};
+};
+
+/// Times the window-parameter computation (release offset, deadline offset,
+/// b-bit, and the heavy-task group deadline) per subtask: integer fast path
+/// versus the exact-Rational oracle.
+WindowMathResult run_window_math(std::int64_t calls, std::uint64_t seed) {
+  namespace pf = pfr::pfair;
+  WindowMathResult out;
+  out.calls = calls;
+  std::mt19937_64 rng{seed};
+  std::uniform_int_distribution<SubtaskIndex> q_dist{1, 1'000'000};
+  std::uniform_int_distribution<std::int64_t> den_dist{3, 64};
+  std::vector<std::pair<SubtaskIndex, Rational>> inputs;
+  inputs.reserve(static_cast<std::size_t>(calls));
+  for (std::int64_t i = 0; i < calls; ++i) {
+    const std::int64_t den = den_dist(rng);
+    // Every third input is heavy so the group-deadline cascade is timed too.
+    const std::int64_t num = i % 3 == 0 ? den / 2 + 1 : 1;
+    inputs.emplace_back(q_dist(rng), Rational{num, den});
+  }
+  std::int64_t sink = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const auto& [q, w] : inputs) {
+    sink += pf::release_offset(q, w) + pf::deadline_offset(q, w) +
+            pf::b_bit(q, w) + pf::group_deadline_offset(q, w);
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  for (const auto& [q, w] : inputs) {
+    sink -= pf::oracle::release_offset(q, w) + pf::oracle::deadline_offset(q, w) +
+            pf::oracle::b_bit(q, w) + pf::oracle::group_deadline_offset(q, w);
+  }
+  const auto t2 = std::chrono::steady_clock::now();
+  if (sink != 0) {
+    // Fast path and oracle disagreed -- the windows property tests cover
+    // this exhaustively; the bench just refuses to report garbage.
+    std::cerr << "window_math: fast path and rational oracle disagree\n";
+    std::exit(1);
+  }
+  const auto per_call = [calls](auto a, auto b) {
+    return std::chrono::duration<double, std::nano>(b - a).count() /
+           static_cast<double>(calls);
+  };
+  out.fast_ns_per_call = per_call(t0, t1);
+  out.rational_ns_per_call = per_call(t1, t2);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const pfr::CliArgs cli{argc, argv};
+  const bool quick = cli.get_bool("quick");
+  const Slot slots = cli.get_int("slots", quick ? 3000 : 20000);
+  const auto seed =
+      static_cast<std::uint64_t>(cli.get_int("seed", 2005));
+  const std::string json_path =
+      cli.get_string("json", "results/BENCH_dispatch_micro.json");
+  if (cli.error()) {
+    std::cerr << "argument error: " << *cli.error() << "\n";
+    return 2;
+  }
+  if (const auto unknown = cli.unknown_flags(); !unknown.empty()) {
+    std::cerr << "unknown flag: --" << unknown.front() << "\n";
+    return 2;
+  }
+
+  std::vector<int> task_counts{64, 256};
+  if (!quick) task_counts.push_back(1024);
+  const std::vector<std::string> dists{"uniform", "harmonic",
+                                       "reweight-storm"};
+  constexpr DispatchMode kModes[] = {DispatchMode::kScan,
+                                     DispatchMode::kHeapRebuild,
+                                     DispatchMode::kIncremental};
+
+  std::ostringstream json;
+  json << "{\"bench\":\"dispatch_micro\",\"slots\":" << slots
+       << ",\"seed\":" << seed << ",\"quick\":" << (quick ? "true" : "false")
+       << ",\"scenarios\":[";
+  std::cout << "# dispatch_micro: dispatch-phase ns/slot by mode (slots="
+            << slots << ", seed=" << seed << ")\n";
+  std::cout << "scenario            M    scan      heap      incremental  "
+               "speedup(scan/incr)\n";
+
+  bool all_match = true;
+  bool first = true;
+  for (const int tasks : task_counts) {
+    for (const std::string& dist : dists) {
+      const Scenario sc = make_scenario(tasks, dist, slots, seed);
+      ModeResult res[3];
+      for (int i = 0; i < 3; ++i) res[i] = run_mode(sc, kModes[i], slots);
+      const bool match = res[0].digest == res[1].digest &&
+                         res[0].digest == res[2].digest;
+      all_match = all_match && match;
+      const double speedup =
+          res[2].dispatch_ns_per_slot > 0.0
+              ? res[0].dispatch_ns_per_slot / res[2].dispatch_ns_per_slot
+              : 0.0;
+      const double select_speedup =
+          res[2].select_ns_per_slot > 0.0
+              ? res[0].select_ns_per_slot / res[2].select_ns_per_slot
+              : 0.0;
+
+      std::ostringstream row;
+      row.setf(std::ios::fixed);
+      row.precision(0);
+      row << sc.name;
+      for (std::size_t pad = sc.name.size(); pad < 20; ++pad) row << ' ';
+      row << sc.processors << "  " << res[0].dispatch_ns_per_slot << "  "
+          << res[1].dispatch_ns_per_slot << "  "
+          << res[2].dispatch_ns_per_slot << "  ";
+      row.precision(2);
+      row << speedup << "x" << (match ? "" : "  DIGEST MISMATCH");
+      std::cout << row.str() << "\n";
+
+      json << (first ? "" : ",") << "{\"name\":\"" << sc.name
+           << "\",\"tasks\":" << sc.tasks << ",\"dist\":\"" << sc.dist
+           << "\",\"processors\":" << sc.processors << ",\"modes\":{";
+      const char* mode_names[] = {"scan", "heap", "incremental"};
+      for (int i = 0; i < 3; ++i) {
+        json << (i == 0 ? "" : ",") << '"' << mode_names[i]
+             << "\":{\"dispatch_ns_per_slot\":" << res[i].dispatch_ns_per_slot
+             << ",\"select_ns_per_slot\":" << res[i].select_ns_per_slot
+             << ",\"run_ms\":" << res[i].run_ms
+             << ",\"misses\":" << res[i].misses << ",\"digest\":\""
+             << std::hex << res[i].digest << std::dec << "\"}";
+      }
+      json << "},\"digests_match\":" << (match ? "true" : "false")
+           << ",\"speedup_dispatch\":" << speedup
+           << ",\"speedup_select\":" << select_speedup << "}";
+      first = false;
+    }
+  }
+  json << "],";
+
+  const WindowMathResult wm =
+      run_window_math(quick ? 50'000 : 200'000, seed);
+  const double wm_speedup = wm.fast_ns_per_call > 0.0
+                                ? wm.rational_ns_per_call / wm.fast_ns_per_call
+                                : 0.0;
+  std::cout << "\n# window math per subtask: fast=" << wm.fast_ns_per_call
+            << "ns rational=" << wm.rational_ns_per_call << "ns ("
+            << wm_speedup << "x)\n";
+  json << "\"window_math\":{\"calls\":" << wm.calls
+       << ",\"fast_ns_per_call\":" << wm.fast_ns_per_call
+       << ",\"rational_ns_per_call\":" << wm.rational_ns_per_call
+       << ",\"speedup\":" << wm_speedup << "}}";
+
+  if (!json_path.empty()) {
+    const std::filesystem::path p{json_path};
+    if (p.has_parent_path()) {
+      std::error_code ec;
+      std::filesystem::create_directories(p.parent_path(), ec);
+    }
+    std::ofstream out{p};
+    if (!out) {
+      std::cerr << "failed to write " << json_path << "\n";
+      return 1;
+    }
+    out << json.str() << "\n";
+    std::cout << "json written to " << json_path << "\n";
+  }
+  if (!all_match) {
+    std::cerr << "FAIL: dispatch modes disagree on the schedule\n";
+    return 1;
+  }
+  return 0;
+}

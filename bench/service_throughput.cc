@@ -181,14 +181,12 @@ PolicyResult measure(const Args& a, const GeneratedLoad& load,
   }
   out.enacted = latencies.size();
   if (!latencies.empty()) {
+    // Nearest-rank percentiles (obs::percentile), matching the semantics of
+    // obs::Histogram::quantile; the previous round-half-up interpolation
+    // drifted off by one at bucket edges and small n.
     std::sort(latencies.begin(), latencies.end());
-    const auto quantile = [&](double q) {
-      const auto idx = static_cast<std::size_t>(
-          q * static_cast<double>(latencies.size() - 1) + 0.5);
-      return latencies[std::min(idx, latencies.size() - 1)];
-    };
-    out.p50_slots = quantile(0.50);
-    out.p99_slots = quantile(0.99);
+    out.p50_slots = pfr::obs::percentile(latencies, 0.50);
+    out.p99_slots = pfr::obs::percentile(latencies, 0.99);
   }
   return out;
 }

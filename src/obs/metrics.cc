@@ -1,6 +1,8 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <sstream>
 
 namespace pfr::obs {
@@ -17,6 +19,21 @@ void Histogram::observe(double value) noexcept {
   ++counts_[i];
   ++total_;
   sum_ += value;
+}
+
+double Histogram::quantile(double q) const noexcept {
+  if (total_ == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  auto rank =
+      static_cast<std::int64_t>(std::ceil(q * static_cast<double>(total_)));
+  if (rank < 1) rank = 1;
+  std::int64_t seen = 0;
+  for (std::size_t i = 0; i < bounds_.size(); ++i) {
+    seen += counts_[i];
+    if (seen >= rank) return bounds_[i];
+  }
+  return std::numeric_limits<double>::infinity();
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {

@@ -15,6 +15,8 @@
 #pragma once
 
 #include <chrono>
+#include <cmath>
+#include <cstddef>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -64,6 +66,12 @@ class Histogram {
   }
   [[nodiscard]] std::int64_t total() const noexcept { return total_; }
   [[nodiscard]] double sum() const noexcept { return sum_; }
+
+  /// Nearest-rank quantile estimate from the buckets: the upper bound of
+  /// the bucket containing the ceil(q * total)-th smallest observation
+  /// (rank clamped to >= 1).  Returns 0 with no observations and +inf when
+  /// the rank lands in the overflow bucket.  q is clamped to [0, 1].
+  [[nodiscard]] double quantile(double q) const noexcept;
 
  private:
   std::vector<double> bounds_;         ///< ascending upper bounds
@@ -125,5 +133,22 @@ class ScopedTimer {
   Timer* timer_;
   std::chrono::steady_clock::time_point start_{};
 };
+
+/// Nearest-rank percentile of an ascending-sorted sample: the
+/// ceil(q * n)-th smallest element (rank clamped to [1, n]); 0 on an empty
+/// sample.  This is the one definition used everywhere a bench reports
+/// p50/p99 -- so a sample sitting exactly on a histogram bucket bound and
+/// the Histogram::quantile readout agree.
+template <typename T>
+[[nodiscard]] T percentile(const std::vector<T>& sorted, double q) noexcept {
+  if (sorted.empty()) return T{};
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const auto n = static_cast<double>(sorted.size());
+  auto rank = static_cast<std::size_t>(std::ceil(q * n));
+  if (rank < 1) rank = 1;
+  if (rank > sorted.size()) rank = sorted.size();
+  return sorted[rank - 1];
+}
 
 }  // namespace pfr::obs

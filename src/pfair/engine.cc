@@ -1,6 +1,7 @@
 #include "pfair/engine.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <stdexcept>
 
 #include "pfair/windows.h"
@@ -10,6 +11,12 @@ namespace pfr::pfair {
 Engine::Engine(EngineConfig cfg) : cfg_(cfg) {
   if (cfg_.processors < 1) {
     throw std::invalid_argument("Engine: processors must be >= 1");
+  }
+  // CI sets PFR_VERIFY_PRIORITIES=1 to run the whole suite under the
+  // dispatch oracle without touching each test's EngineConfig.
+  if (const char* env = std::getenv("PFR_VERIFY_PRIORITIES");
+      env != nullptr && env[0] != '\0' && env[0] != '0') {
+    cfg_.verify_priorities = true;
   }
   proc_down_.assign(static_cast<std::size_t>(cfg_.processors), false);
   slot_capacity_ = cfg_.processors;
@@ -38,7 +45,11 @@ TaskId Engine::add_task(Rational weight, Slot join_time, std::string name) {
 }
 
 void Engine::set_tie_rank(TaskId id, int rank) {
-  tasks_.at(static_cast<std::size_t>(id)).tie_rank = rank;
+  TaskState& task = tasks_.at(static_cast<std::size_t>(id));
+  task.tie_rank = rank;
+  // The rank is part of the cached priority, so a queued candidate must be
+  // re-keyed.
+  sync_ready_candidate(task);
 }
 
 void Engine::add_separation(TaskId id, SubtaskIndex j, Slot delay) {
@@ -82,10 +93,11 @@ void Engine::run_until(Slot horizon) {
 void Engine::set_metrics(obs::MetricsRegistry* registry) {
   metrics_ = registry;
   static constexpr const char* kPhaseNames[kPhaseCount] = {
-      "engine.phase.faults",    "engine.phase.joins",
-      "engine.phase.enactments","engine.phase.releases",
-      "engine.phase.events",    "engine.phase.ideal",
-      "engine.phase.dispatch",  "engine.phase.miss_detect"};
+      "engine.phase.faults",          "engine.phase.joins",
+      "engine.phase.enactments",      "engine.phase.releases",
+      "engine.phase.events",          "engine.phase.ideal",
+      "engine.phase.dispatch",        "engine.phase.dispatch.select",
+      "engine.phase.dispatch.commit", "engine.phase.miss_detect"};
   for (int i = 0; i < kPhaseCount; ++i) {
     phase_timers_[i] =
         registry == nullptr ? nullptr : &registry->timer(kPhaseNames[i]);
@@ -112,6 +124,10 @@ void Engine::export_metrics(obs::MetricsRegistry& registry) const {
   registry.counter("engine.shed_tasks").add(stats_.shed_tasks);
   registry.counter("engine.quarantines").add(stats_.quarantines);
   registry.counter("engine.violations").add(stats_.violations);
+  registry.counter("dispatch.fastpath.upserts").add(stats_.fastpath_upserts);
+  registry.counter("dispatch.fastpath.pops").add(stats_.fastpath_pops);
+  registry.counter("dispatch.fastpath.erases").add(stats_.fastpath_erases);
+  registry.counter("dispatch.fastpath.oracle_checks").add(stats_.oracle_checks);
   registry.counter("engine.misses")
       .add(static_cast<std::int64_t>(misses_.size()));
   registry.counter("engine.tasks")
@@ -232,6 +248,9 @@ void Engine::release_subtask(TaskState& task, Slot at) {
   }
   if (TaskState::gen_first(task.subtasks.back())) sample_drift(task, at);
   schedule_next_normal_release(task);
+  // The new subtask may be the task's front candidate (it always is when the
+  // predecessor is already scheduled or halted).
+  sync_ready_candidate(task);
 }
 
 void Engine::schedule_next_normal_release(TaskState& task) {

@@ -28,6 +28,7 @@
 #include "obs/metrics.h"
 #include "obs/tracer.h"
 #include "pfair/fault.h"
+#include "pfair/indexed_ready_queue.h"
 #include "pfair/priority.h"
 #include "pfair/task.h"
 #include "pfair/types.h"
@@ -66,11 +67,21 @@ struct EngineConfig {
   /// heavy tasks stays unsupported -- the paper defers those rules to
   /// Block's dissertation -- and such initiations throw.
   bool allow_heavy{false};
-  /// Dispatch via the binary-heap ReadyQueue (O(N + M log N) per slot)
-  /// instead of partial sort.  Produces bit-identical schedules -- the
-  /// cross-validation tests assert this -- and exists to exercise the
-  /// production queue on real workloads.
+  /// How dispatch selects the M highest-priority candidates each slot.
+  /// Defaults to the incremental fast path; all modes are bit-identical
+  /// (see DispatchMode in types.h).
+  DispatchMode dispatch_mode{DispatchMode::kIncremental};
+  /// Legacy toggle predating dispatch_mode: when true, forces
+  /// DispatchMode::kHeapRebuild regardless of dispatch_mode.
   bool use_ready_queue{false};
+  /// Debug oracle: re-derive every candidate's priority fields through the
+  /// exact-Rational window formulas (windows.h, namespace oracle) and
+  /// recompute the slot's dispatch decision with the reference scan+sort
+  /// path, throwing std::logic_error on any divergence from the fast path.
+  /// Also honored via the environment variable PFR_VERIFY_PRIORITIES=1
+  /// (checked once at Engine construction), which is how CI runs the whole
+  /// test suite under the oracle.  Pure observer: never changes a schedule.
+  bool verify_priorities{false};
 };
 
 /// Per-slot record of which tasks ran.
@@ -105,6 +116,11 @@ struct EngineStats {
   int shed_tasks{0};        ///< tasks shed by DegradationMode::kShed
   int quarantines{0};       ///< tasks quarantined by the violation policy
   int violations{0};        ///< validate-mode checks that failed
+  // --- incremental-dispatch fast path (DispatchMode::kIncremental) ---
+  std::int64_t fastpath_upserts{0};  ///< ready-queue inserts/re-keys
+  std::int64_t fastpath_pops{0};     ///< candidates dispatched off the queue
+  std::int64_t fastpath_erases{0};   ///< candidates invalidated (halt etc.)
+  std::int64_t oracle_checks{0};     ///< verify_priorities slot cross-checks
 };
 
 class Engine {
@@ -284,6 +300,32 @@ class Engine {
   // scheduler.cc
   void dispatch(Slot t);
   [[nodiscard]] const Subtask* eligible_candidate(TaskState& task, Slot t);
+  /// Const twin of eligible_candidate: the task's front candidate without
+  /// advancing the dispatch cursor (the oracle must not perturb state).
+  [[nodiscard]] const Subtask* peek_candidate(const TaskState& task,
+                                              Slot t) const;
+  /// The dispatch strategy actually in effect (folds the legacy
+  /// use_ready_queue toggle into dispatch_mode).
+  [[nodiscard]] DispatchMode effective_dispatch_mode() const noexcept {
+    return cfg_.use_ready_queue ? DispatchMode::kHeapRebuild
+                                : cfg_.dispatch_mode;
+  }
+  /// The cached integer priority of `s` (all fields frozen at release).
+  [[nodiscard]] Pd2Priority cached_priority(const TaskState& task,
+                                            const Subtask& s) const noexcept {
+    return Pd2Priority{s.deadline, s.b, s.group_deadline, task.tie_rank,
+                       task.id};
+  }
+  /// Incremental mode: re-derives `task`'s front candidate (advancing the
+  /// dispatch cursor past complete subtasks) and updates its ready-queue
+  /// entry.  Called from every mutation that can change the candidate:
+  /// release, rule-O halt, dispatch, quarantine, tie-rank change.  No-op in
+  /// the rescanning modes.
+  void sync_ready_candidate(TaskState& task);
+  /// verify_priorities: cross-checks cached windows and the slot's selected
+  /// candidate order against the rational reference.  Must run after
+  /// selection but before scheduled_at is committed.
+  void verify_dispatch_oracle(Slot t, std::size_t m);
 
   // reweight.cc
   void sort_queued_events();
@@ -317,7 +359,10 @@ class Engine {
   // --- observability (pure observers; never consulted for scheduling) ---
   obs::Tracer tracer_;
   obs::MetricsRegistry* metrics_{nullptr};
-  /// The per-slot pipeline phases, in step() order (timer indices).
+  /// The per-slot pipeline phases, in step() order (timer indices).  The
+  /// dispatch phase is additionally split into selection (candidate pick,
+  /// the part the fast path accelerates) and commit (bookkeeping + trace
+  /// emission), timed as nested sub-phases of kPhaseDispatch.
   enum Phase : int {
     kPhaseFaults = 0,
     kPhaseJoins,
@@ -326,6 +371,8 @@ class Engine {
     kPhaseEvents,
     kPhaseIdeal,
     kPhaseDispatch,
+    kPhaseDispatchSelect,
+    kPhaseDispatchCommit,
     kPhaseMissDetect,
     kPhaseCount,
   };
@@ -369,6 +416,11 @@ class Engine {
   std::vector<Candidate> candidates_;
   /// Scratch heap for the use_ready_queue dispatch mode.
   std::vector<std::pair<Pd2Priority, Candidate>> heap_scratch_;
+  /// Incremental dispatch (DispatchMode::kIncremental): one entry per task
+  /// whose front candidate is eligible, keyed by its cached Pd2Priority.
+  IndexedReadyQueue ready_;
+  /// Scratch for the oracle's reference candidate set.
+  std::vector<Candidate> oracle_scratch_;
 };
 
 }  // namespace pfr::pfair

@@ -339,6 +339,9 @@ void Engine::quarantine_task(TaskState& task, Slot t,
   task.chain_frozen = true;
   task.pending.reset();
   ++stats_.quarantines;
+  // Quarantined tasks are excused from the schedule: evict any queued
+  // candidate so the incremental dispatch path never selects one.
+  sync_ready_candidate(task);
   if (tracer_.enabled()) {
     obs::TraceEvent e;
     e.kind = obs::EventKind::kQuarantine;

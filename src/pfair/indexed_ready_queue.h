@@ -1,0 +1,146 @@
+/// \file indexed_ready_queue.h
+/// \brief Indexed binary max-heap of per-task dispatch candidates.
+///
+/// The incremental dispatch mode (EngineConfig::dispatch_mode ==
+/// DispatchMode::kIncremental) keeps one entry per task -- the task's
+/// current front candidate subtask, keyed by its frozen Pd2Priority -- and
+/// updates it only when something changes that candidate: a release, a
+/// rule-O halt, a dispatch, a reweight enactment, or a quarantine.  That
+/// needs a heap supporting O(log N) *keyed* update and erase, which the
+/// plain ReadyQueue (rebuilt from scratch each slot) does not: this
+/// structure adds a TaskId -> heap-position index maintained through every
+/// sift, the textbook indexed-priority-queue construction.
+///
+/// Keys are Pd2Priority values, whose (rank, task-id) tail makes the order
+/// total, so equal keys cannot occur for distinct tasks and pop order is
+/// deterministic.
+#pragma once
+
+#include <cstddef>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "pfair/priority.h"
+
+namespace pfr::pfair {
+
+class IndexedReadyQueue {
+ public:
+  static constexpr std::size_t kAbsent = std::numeric_limits<std::size_t>::max();
+
+  void clear() noexcept {
+    heap_.clear();
+    pos_.assign(pos_.size(), kAbsent);
+  }
+
+  /// Grows the position index to cover task ids [0, n).  Shrinking is not
+  /// supported (the engine's task table only grows).
+  void resize_tasks(std::size_t n) {
+    if (n > pos_.size()) pos_.resize(n, kAbsent);
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+  [[nodiscard]] bool contains(TaskId id) const noexcept {
+    const auto i = static_cast<std::size_t>(id);
+    return i < pos_.size() && pos_[i] != kAbsent;
+  }
+
+  /// Inserts `id` with `key`, or re-keys it if already queued.
+  void upsert(TaskId id, const Pd2Priority& key) {
+    const auto i = static_cast<std::size_t>(id);
+    if (pos_[i] == kAbsent) {
+      heap_.push_back(Entry{key, id});
+      pos_[i] = heap_.size() - 1;
+      sift_up(heap_.size() - 1);
+      return;
+    }
+    const std::size_t at = pos_[i];
+    if (key == heap_[at].key) return;
+    heap_[at].key = key;
+    sift_up(at);
+    sift_down(pos_[i]);
+  }
+
+  /// Removes `id` if queued; no-op otherwise.
+  void erase(TaskId id) {
+    const auto i = static_cast<std::size_t>(id);
+    if (i >= pos_.size() || pos_[i] == kAbsent) return;
+    const std::size_t at = pos_[i];
+    pos_[i] = kAbsent;
+    if (at + 1 == heap_.size()) {
+      heap_.pop_back();
+      return;
+    }
+    heap_[at] = std::move(heap_.back());
+    heap_.pop_back();
+    pos_[static_cast<std::size_t>(heap_[at].id)] = at;
+    sift_up(at);
+    sift_down(pos_[static_cast<std::size_t>(heap_[at].id)]);
+  }
+
+  /// Highest-priority key; undefined when empty.
+  [[nodiscard]] const Pd2Priority& top_key() const noexcept {
+    return heap_.front().key;
+  }
+
+  /// Removes and returns the highest-priority task; undefined when empty.
+  TaskId pop() {
+    const TaskId out = heap_.front().id;
+    pos_[static_cast<std::size_t>(out)] = kAbsent;
+    if (heap_.size() == 1) {
+      heap_.pop_back();
+      return out;
+    }
+    heap_.front() = std::move(heap_.back());
+    heap_.pop_back();
+    pos_[static_cast<std::size_t>(heap_.front().id)] = 0;
+    sift_down(0);
+    return out;
+  }
+
+ private:
+  struct Entry {
+    Pd2Priority key;
+    TaskId id;
+  };
+
+  void sift_up(std::size_t i) {
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (!heap_[i].key.higher_than(heap_[parent].key)) break;
+      swap_entries(i, parent);
+      i = parent;
+    }
+  }
+
+  void sift_down(std::size_t i) {
+    for (;;) {
+      const std::size_t left = 2 * i + 1;
+      const std::size_t right = 2 * i + 2;
+      std::size_t best = i;
+      if (left < heap_.size() && heap_[left].key.higher_than(heap_[best].key)) {
+        best = left;
+      }
+      if (right < heap_.size() &&
+          heap_[right].key.higher_than(heap_[best].key)) {
+        best = right;
+      }
+      if (best == i) return;
+      swap_entries(i, best);
+      i = best;
+    }
+  }
+
+  void swap_entries(std::size_t a, std::size_t b) {
+    std::swap(heap_[a], heap_[b]);
+    pos_[static_cast<std::size_t>(heap_[a].id)] = a;
+    pos_[static_cast<std::size_t>(heap_[b].id)] = b;
+  }
+
+  std::vector<Entry> heap_;
+  std::vector<std::size_t> pos_;  ///< TaskId -> heap index; kAbsent if out
+};
+
+}  // namespace pfr::pfair

@@ -213,6 +213,9 @@ void Engine::apply_rule_oi(TaskState& task, Rational target, Slot t) {
     // or immediately when T_j is the task's first subtask.
     p.rule = RuleApplied::kRuleO;
     halt_subtask(task, tj, t, stats_, tracer_);
+    // The halted subtask was the task's front candidate; drop or replace
+    // its ready-queue entry before this slot's dispatch runs.
+    sync_ready_candidate(task);
     if (tj.index == 1) {
       p.gate = PendingReweight::Gate::kFixedTime;
       p.fixed_time = t;

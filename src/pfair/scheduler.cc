@@ -6,11 +6,30 @@
 /// earlier deadline first; on a tie, b-bit 1 beats b-bit 0; remaining ties
 /// go to the lower tie-rank, then the lower TaskId (the paper breaks such
 /// ties arbitrarily -- the figures fix specific orders via set_tie_rank).
+///
+/// Three selection strategies produce this order (DispatchMode):
+///   * kScan:        rebuild the candidate list by scanning every task,
+///                   then sort / partial-sort -- the reference path;
+///   * kHeapRebuild: same scan, but heapify + M pops (legacy
+///                   use_ready_queue);
+///   * kIncremental: the default fast path.  A persistent IndexedReadyQueue
+///                   holds one entry per task -- its front candidate, keyed
+///                   by the integer Pd2Priority frozen at release -- and is
+///                   updated only when that candidate changes (release,
+///                   rule-O halt, dispatch, reweight enactment, quarantine).
+///                   Selection is then M pops instead of an O(N) rescan.
+/// All are bit-identical; EngineConfig::verify_priorities cross-checks the
+/// cached priorities and the selected set against an exact-Rational
+/// recomputation every slot.
 #include <algorithm>
+#include <stdexcept>
+#include <string>
 
 #include "pfair/engine.h"
 #include "pfair/priority.h"
 #include "pfair/ready_queue.h"
+#include "pfair/weight.h"
+#include "pfair/windows.h"
 
 namespace pfr::pfair {
 
@@ -34,47 +53,182 @@ const Subtask* Engine::eligible_candidate(TaskState& task, Slot t) {
   return &s;
 }
 
-void Engine::dispatch(Slot t) {
-  candidates_.clear();
-  for (TaskState& task : tasks_) {
-    const Subtask* c = eligible_candidate(task, t);
-    if (c != nullptr) candidates_.push_back(Candidate{task.id, c});
+const Subtask* Engine::peek_candidate(const TaskState& task, Slot t) const {
+  if (task.quarantined()) return nullptr;
+  const auto& subs = task.subtasks;
+  std::size_t k = task.dispatch_cursor;
+  while (k < subs.size()) {
+    const Subtask& s = subs[k];
+    const bool skip = (!s.present && s.release <= t) ||
+                      (s.halted() && s.halted_at <= t) || s.scheduled();
+    if (!skip) break;
+    ++k;
   }
+  if (k >= subs.size()) return nullptr;
+  const Subtask& s = subs[k];
+  if (s.release > t || !s.present) return nullptr;
+  if (s.halted() && s.halted_at <= t) return nullptr;
+  return &s;
+}
 
+void Engine::sync_ready_candidate(TaskState& task) {
+  if (effective_dispatch_mode() != DispatchMode::kIncremental) return;
+  ready_.resize_tasks(tasks_.size());
+  if (task.quarantined()) {
+    if (ready_.contains(task.id)) {
+      ready_.erase(task.id);
+      ++stats_.fastpath_erases;
+    }
+    return;
+  }
+  // Advance past complete subtasks eagerly.  Every stored subtask has
+  // release <= now and every halt stamp is <= now, so the skip condition of
+  // eligible_candidate reduces to the slot-independent test below; the
+  // cursor ends exactly where the lazy scan would leave it.
+  auto& subs = task.subtasks;
+  while (task.dispatch_cursor < subs.size()) {
+    const Subtask& s = subs[task.dispatch_cursor];
+    if (s.present && !s.halted() && !s.scheduled()) break;
+    ++task.dispatch_cursor;
+  }
+  if (task.dispatch_cursor >= subs.size()) {
+    if (ready_.contains(task.id)) {
+      ready_.erase(task.id);
+      ++stats_.fastpath_erases;
+    }
+    return;
+  }
+  ready_.upsert(task.id, cached_priority(task, subs[task.dispatch_cursor]));
+  ++stats_.fastpath_upserts;
+}
+
+void Engine::verify_dispatch_oracle(Slot t, std::size_t m) {
+  ++stats_.oracle_checks;
+  // 1. Recollect every eligible candidate with the side-effect-free peek
+  //    and re-derive its frozen window parameters through the rational
+  //    reference formulas.
+  oracle_scratch_.clear();
+  for (const TaskState& task : tasks_) {
+    const Subtask* c = peek_candidate(task, t);
+    if (c == nullptr) continue;
+    oracle_scratch_.push_back(Candidate{task.id, c});
+    const SubtaskIndex q = c->index - c->gen_base;
+    const Rational& w = c->swt_at_release;
+    const Slot want_deadline = c->release + oracle::window_length(q, w);
+    const int want_b = oracle::b_bit(q, w);
+    Slot want_gd = 0;
+    if (w > kMaxWeight) {
+      const Slot gen_start = c->release - oracle::release_offset(q, w);
+      want_gd = gen_start + oracle::group_deadline_offset(q, w);
+    }
+    if (c->deadline != want_deadline || c->b != want_b ||
+        c->group_deadline != want_gd) {
+      throw std::logic_error(
+          "verify_priorities: cached window fields diverge from the "
+          "rational reference for " +
+          task.name + "_" + std::to_string(c->index) + " at slot " +
+          std::to_string(t) + ": cached (d=" + std::to_string(c->deadline) +
+          ", b=" + std::to_string(c->b) +
+          ", D=" + std::to_string(c->group_deadline) + ") reference (d=" +
+          std::to_string(want_deadline) + ", b=" + std::to_string(want_b) +
+          ", D=" + std::to_string(want_gd) + ")");
+    }
+  }
+  // 2. Recompute the slot's selection with the reference sort and compare
+  //    task-by-task, in lane order, against what the fast path picked.
+  std::sort(oracle_scratch_.begin(), oracle_scratch_.end(),
+            [this](const Candidate& x, const Candidate& y) {
+              return cached_priority(tasks_[static_cast<std::size_t>(x.task)],
+                                     *x.sub)
+                  .higher_than(cached_priority(
+                      tasks_[static_cast<std::size_t>(y.task)], *y.sub));
+            });
+  if (oracle_scratch_.size() > m) oracle_scratch_.resize(m);
+  const bool size_ok = oracle_scratch_.size() == candidates_.size();
+  bool lanes_ok = size_ok;
+  for (std::size_t i = 0; lanes_ok && i < candidates_.size(); ++i) {
+    lanes_ok = oracle_scratch_[i].task == candidates_[i].task &&
+               oracle_scratch_[i].sub->index == candidates_[i].sub->index;
+  }
+  if (!lanes_ok) {
+    std::string got;
+    std::string want;
+    for (const Candidate& c : candidates_) {
+      got += " " + std::to_string(c.task) + ":" + std::to_string(c.sub->index);
+    }
+    for (const Candidate& c : oracle_scratch_) {
+      want += " " + std::to_string(c.task) + ":" + std::to_string(c.sub->index);
+    }
+    throw std::logic_error("verify_priorities: dispatch decision diverges "
+                           "from the reference at slot " +
+                           std::to_string(t) + ": fast path picked [" + got +
+                           " ] reference picked [" + want + " ]");
+  }
+}
+
+void Engine::dispatch(Slot t) {
   // Dispatch at most the slot's effective capacity: M minus crashed
   // processors minus quantum overruns this slot (fault.cc).  Equals M on
   // fault-free runs.
   const auto m = static_cast<std::size_t>(slot_capacity_);
+  const DispatchMode mode = effective_dispatch_mode();
   const auto priority_of = [this](const Candidate& c) {
-    return Pd2Priority{c.sub->deadline, c.sub->b, c.sub->group_deadline,
-                       tasks_[static_cast<std::size_t>(c.task)].tie_rank,
-                       c.task};
+    return cached_priority(tasks_[static_cast<std::size_t>(c.task)], *c.sub);
   };
   const auto better = [&priority_of](const Candidate& x, const Candidate& y) {
     return priority_of(x).higher_than(priority_of(y));
   };
-  if (cfg_.use_ready_queue) {
-    // Production path: O(N) heapify + M * O(log N) pops.
-    heap_scratch_.clear();
-    heap_scratch_.reserve(candidates_.size());
-    for (const Candidate& c : candidates_) {
-      heap_scratch_.emplace_back(priority_of(c), c);
-    }
-    ReadyQueue<Candidate> queue;
-    queue.assign(std::move(heap_scratch_));
+
+  {
+    obs::ScopedTimer select{phase_timers_[kPhaseDispatchSelect]};
     candidates_.clear();
-    while (!queue.empty() && candidates_.size() < m) {
-      candidates_.push_back(queue.pop());
+    if (mode == DispatchMode::kIncremental) {
+      // Fast path: the ready queue already holds exactly the per-task front
+      // candidates, so selection is at most M pops.  Successors released in
+      // earlier phases of this slot are queued but cannot be popped twice
+      // for one task: each pop removes the task's single entry, and its
+      // next candidate is enqueued only by the commit loop's resync below.
+      while (candidates_.size() < m && !ready_.empty()) {
+        const TaskId id = ready_.pop();
+        ++stats_.fastpath_pops;
+        TaskState& task = tasks_[static_cast<std::size_t>(id)];
+        candidates_.push_back(
+            Candidate{id, &task.subtasks[task.dispatch_cursor]});
+      }
+    } else {
+      for (TaskState& task : tasks_) {
+        const Subtask* c = eligible_candidate(task, t);
+        if (c != nullptr) candidates_.push_back(Candidate{task.id, c});
+      }
+      if (mode == DispatchMode::kHeapRebuild) {
+        // O(N) heapify + M * O(log N) pops.
+        heap_scratch_.clear();
+        heap_scratch_.reserve(candidates_.size());
+        for (const Candidate& c : candidates_) {
+          heap_scratch_.emplace_back(priority_of(c), c);
+        }
+        ReadyQueue<Candidate> queue;
+        queue.assign(std::move(heap_scratch_));
+        candidates_.clear();
+        while (!queue.empty() && candidates_.size() < m) {
+          candidates_.push_back(queue.pop());
+        }
+      } else if (candidates_.size() > m) {
+        std::partial_sort(candidates_.begin(),
+                          candidates_.begin() + static_cast<std::ptrdiff_t>(m),
+                          candidates_.end(), better);
+        candidates_.resize(m);
+      } else {
+        std::sort(candidates_.begin(), candidates_.end(), better);
+      }
     }
-  } else if (candidates_.size() > m) {
-    std::partial_sort(candidates_.begin(),
-                      candidates_.begin() + static_cast<std::ptrdiff_t>(m),
-                      candidates_.end(), better);
-    candidates_.resize(m);
-  } else {
-    std::sort(candidates_.begin(), candidates_.end(), better);
   }
 
+  // The oracle must see pre-commit state: scheduled_at stamps below would
+  // make the reference scan skip the very subtasks it needs to re-rank.
+  if (cfg_.verify_priorities) verify_dispatch_oracle(t, m);
+
+  obs::ScopedTimer commit{phase_timers_[kPhaseDispatchCommit]};
   SlotRecord rec;
   rec.scheduled.reserve(candidates_.size());
   for (std::size_t lane = 0; lane < candidates_.size(); ++lane) {
@@ -99,6 +253,11 @@ void Engine::dispatch(Slot t) {
       e.cpu = static_cast<int>(lane);
       tracer_.emit(e);
     }
+    // Incremental mode: the dispatched subtask is complete in S from t+1
+    // on, so the task's next released-but-incomplete subtask (if any)
+    // becomes its queue entry.  Done here, after selection, so a successor
+    // can never be popped in the same slot as its predecessor.
+    sync_ready_candidate(task);
   }
   rec.capacity = slot_capacity_;
   rec.holes = slot_capacity_ - static_cast<int>(candidates_.size());

@@ -48,6 +48,24 @@ enum class RuleApplied : std::uint8_t {
   kLeaveJoin,       ///< rule L/J: rejoin at max(t_c, d(T_j)+b(T_j))
 };
 
+/// Candidate-selection strategy for the per-slot PD2 dispatch.  All three
+/// produce bit-identical schedules (the cross-validation tests and the
+/// verify_priorities oracle assert it); they differ only in per-slot cost.
+enum class DispatchMode : std::uint8_t {
+  /// Rescan every task each slot, then sort / partial-sort the candidates.
+  /// O(N log N) per slot.  The reference implementation: the
+  /// verify_priorities oracle recomputes dispatch decisions this way.
+  kScan,
+  /// Rescan every task each slot into a binary heap (O(N) heapify + M
+  /// O(log N) pops).  Kept to exercise ReadyQueue on real workloads.
+  kHeapRebuild,
+  /// Incremental indexed ready queue: one cached-priority entry per task,
+  /// updated only when the task's front candidate changes (release, rule-O
+  /// halt, dispatch, reweight enactment, quarantine).  O(changes log N)
+  /// per slot -- the production fast path, and the default.
+  kIncremental,
+};
+
 /// Admission control for property (W): sum of scheduling weights <= M.
 enum class PolicingMode : std::uint8_t {
   /// Grant the largest weight <= request that keeps the reserved total <= M.
@@ -90,6 +108,15 @@ enum class ViolationPolicy : std::uint8_t {
     case ReweightPolicy::kOmissionIdeal: return "PD2-OI";
     case ReweightPolicy::kHybridMagnitude: return "PD2-Hybrid(mag)";
     case ReweightPolicy::kHybridBudget: return "PD2-Hybrid(budget)";
+  }
+  return "?";
+}
+
+[[nodiscard]] constexpr const char* to_string(DispatchMode m) noexcept {
+  switch (m) {
+    case DispatchMode::kScan: return "scan";
+    case DispatchMode::kHeapRebuild: return "heap";
+    case DispatchMode::kIncremental: return "incremental";
   }
   return "?";
 }

@@ -65,4 +65,43 @@ namespace pfr::pfair {
   return release + window_length(q, w);
 }
 
+/// Rational reference implementations of the window formulas above.
+///
+/// The primary functions run on the integer fast path (floor_div/ceil_div
+/// divide 128-bit integers directly); these twins evaluate the same
+/// expressions through full pfr::Rational arithmetic -- construct the
+/// fraction, normalize, then floor/ceil.  They are deliberately an
+/// *independent* code path: EngineConfig::verify_priorities cross-checks
+/// every cached Pd2Priority against them at dispatch time, and the window
+/// property tests assert fast path == oracle across weights and horizons.
+/// Never call these from scheduling hot paths.
+namespace oracle {
+
+[[nodiscard]] inline Slot release_offset(SubtaskIndex q, const Rational& w) {
+  return (Rational{q - 1} / w).floor();
+}
+
+[[nodiscard]] inline Slot deadline_offset(SubtaskIndex q, const Rational& w) {
+  return (Rational{q} / w).ceil();
+}
+
+[[nodiscard]] inline int b_bit(SubtaskIndex q, const Rational& w) {
+  return static_cast<int>((Rational{q} / w).ceil() - (Rational{q} / w).floor());
+}
+
+[[nodiscard]] inline Slot window_length(SubtaskIndex q, const Rational& w) {
+  return deadline_offset(q, w) - release_offset(q, w);
+}
+
+[[nodiscard]] inline Slot group_deadline_offset(SubtaskIndex q,
+                                                const Rational& w) {
+  if (w <= Rational{1, 2}) return 0;
+  for (SubtaskIndex j = q;; ++j) {
+    if (j > q && window_length(j, w) >= 3) return deadline_offset(j, w) - 1;
+    if (b_bit(j, w) == 0) return deadline_offset(j, w);
+  }
+}
+
+}  // namespace oracle
+
 }  // namespace pfr::pfair

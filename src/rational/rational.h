@@ -203,16 +203,70 @@ class Rational {
   return a < b ? b : a;
 }
 
+namespace detail {
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wpedantic"
+using Int128 = __int128;  // GCC/Clang extension; fine for our toolchains
+#pragma GCC diagnostic pop
+
+/// Mathematical floor of n/d for d > 0 (C++ division truncates toward zero).
+[[nodiscard]] constexpr Int128 floor128(Int128 n, Int128 d) noexcept {
+  Int128 q = n / d;
+  if (n % d != 0 && n < 0) --q;
+  return q;
+}
+
+/// Mathematical ceiling of n/d for d > 0.
+[[nodiscard]] constexpr Int128 ceil128(Int128 n, Int128 d) noexcept {
+  Int128 q = n / d;
+  if (n % d != 0 && n > 0) ++q;
+  return q;
+}
+
+/// Range-checks a 128-bit quotient back into the 64-bit slot domain.
+[[nodiscard]] constexpr std::int64_t narrow_checked(Int128 q) {
+  constexpr Int128 kMax = INT64_MAX;
+  constexpr Int128 kMin = INT64_MIN;
+  if (q > kMax || q < kMin) throw RationalOverflow{};
+  return static_cast<std::int64_t>(q);
+}
+
+}  // namespace detail
+
 /// floor(k / w) for integer k and rational w, as used by the window formulas
-/// floor((i-1)/wt(T)); exact (never goes through division of rationals that
-/// could overflow for large k).
+/// floor((i-1)/wt(T)).
+///
+/// Integer fast path: k/w = k*den/num, so one 128-bit multiply and one
+/// 128-bit division produce the exact mathematical floor -- no gcd
+/// normalization, no canonical-form overflow check on the intermediate
+/// fraction.  Bit-identical to the rational reference (Rational{k}/w).floor()
+/// wherever that succeeds, and additionally exact on long horizons where the
+/// intermediate k*den/num leaves the canonical 64-bit range even though the
+/// quotient fits (the reference throws RationalOverflow there).  Throws
+/// RationalOverflow only when the *result* cannot be represented as a Slot.
 [[nodiscard]] constexpr std::int64_t floor_div(std::int64_t k, const Rational& w) {
-  return (Rational{k} / w).floor();
+  if (w.num() == 0) throw RationalDivideByZero{};
+  detail::Int128 n = detail::Int128{k} * w.den();
+  detail::Int128 d = w.num();
+  if (d < 0) {
+    n = -n;
+    d = -d;
+  }
+  return detail::narrow_checked(detail::floor128(n, d));
 }
 
 /// ceil(k / w) for integer k and rational w, as used by ceil(i/wt(T)).
+/// Same integer fast path (and overflow contract) as floor_div.
 [[nodiscard]] constexpr std::int64_t ceil_div(std::int64_t k, const Rational& w) {
-  return (Rational{k} / w).ceil();
+  if (w.num() == 0) throw RationalDivideByZero{};
+  detail::Int128 n = detail::Int128{k} * w.den();
+  detail::Int128 d = w.num();
+  if (d < 0) {
+    n = -n;
+    d = -d;
+  }
+  return detail::narrow_checked(detail::ceil128(n, d));
 }
 
 std::ostream& operator<<(std::ostream& os, const Rational& r);

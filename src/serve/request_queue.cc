@@ -70,6 +70,7 @@ bool RequestQueue::push(int producer, Request r) {
       return closed_ || items_.size() < capacity_ || r.due <= draining_;
     });
     if (closed_) return false;
+    ++total_offered_;
     items_.push_back(std::move(r));
     high_watermark_ = std::max(high_watermark_, items_.size());
     ++total_pushed_;
@@ -84,6 +85,7 @@ RequestQueue::PushResult RequestQueue::try_push(int producer, Request r) {
     const std::lock_guard lock{mu_};
     note_watermark_locked(producer, r.due);
     if (closed_) return out;
+    ++total_offered_;
     if (items_.size() >= capacity_) {
       // Shed by deadline: the least urgent of queued + incoming loses.
       auto victim = std::max_element(
@@ -99,11 +101,14 @@ RequestQueue::PushResult RequestQueue::try_push(int producer, Request r) {
       if (incoming_loses) {
         overflow_shed_.push_back(std::move(r));
       } else {
+        // The incoming request inherits the evicted victim's queue slot --
+        // and its spot in total_pushed_.  Counting another push here would
+        // double-book the offer (as both a push and a shed) and break
+        // offered == pushed + shed.
         out.shed_other = true;
         overflow_shed_.push_back(std::move(*victim));
         *victim = std::move(r);
         out.enqueued = true;
-        ++total_pushed_;
       }
     } else {
       items_.push_back(std::move(r));
@@ -166,6 +171,11 @@ std::size_t RequestQueue::depth() const {
 std::size_t RequestQueue::high_watermark() const {
   const std::lock_guard lock{mu_};
   return high_watermark_;
+}
+
+std::uint64_t RequestQueue::total_offered() const {
+  const std::lock_guard lock{mu_};
+  return total_offered_;
 }
 
 std::uint64_t RequestQueue::total_pushed() const {

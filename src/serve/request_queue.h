@@ -73,6 +73,14 @@ class RequestQueue {
   [[nodiscard]] std::size_t depth() const;
   [[nodiscard]] std::size_t high_watermark() const;
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  /// Accepted offers (push/try_push calls that were not refused by close).
+  /// Conservation law, checkable at any quiescent point:
+  ///   total_offered() == total_pushed() + total_overflow_shed().
+  /// Every accepted offer is accounted exactly once: it holds a queue slot
+  /// (pushed) or it was shed.  When try_push evicts a queued victim, the
+  /// incoming request inherits the victim's slot -- and its push count --
+  /// while the victim moves to the shed side.
+  [[nodiscard]] std::uint64_t total_offered() const;
   [[nodiscard]] std::uint64_t total_pushed() const;
   [[nodiscard]] std::uint64_t total_overflow_shed() const;
 
@@ -93,6 +101,7 @@ class RequestQueue {
   pfair::Slot draining_{-1};  ///< slot currently being drained, for bypass
   bool closed_{false};
   std::size_t high_watermark_{0};
+  std::uint64_t total_offered_{0};
   std::uint64_t total_pushed_{0};
   std::uint64_t total_overflow_shed_{0};
 };

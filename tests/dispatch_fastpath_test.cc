@@ -1,0 +1,272 @@
+/// Integer fast-path dispatch: IndexedReadyQueue unit tests, three-way
+/// cross-validation of the dispatch modes (scan / heap rebuild /
+/// incremental) on randomized scenarios, the verify_priorities oracle, and
+/// a long-horizon stress run for the overflow-safe window arithmetic.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+#include "pfair/indexed_ready_queue.h"
+#include "pfair/pfair.h"
+#include "util/rng.h"
+
+namespace pfr::pfair {
+namespace {
+
+// ---------------------------------------------------------------------------
+// IndexedReadyQueue
+// ---------------------------------------------------------------------------
+
+Pd2Priority prio(Slot deadline, int b, TaskId id, Slot gd = 0, int rank = 0) {
+  return Pd2Priority{deadline, b, gd, rank, id};
+}
+
+TEST(IndexedReadyQueue, PopsInExactlyTheSortOrderOfHigherThan) {
+  // The heap's pop order must agree with priority.h's total order -- the
+  // incremental dispatcher is bit-identical to the sorting scan only if the
+  // two never disagree on a comparison.
+  Xoshiro256 rng{7};
+  for (int round = 0; round < 50; ++round) {
+    IndexedReadyQueue q;
+    std::vector<Pd2Priority> keys;
+    const int n = static_cast<int>(rng.uniform_int(1, 40));
+    q.resize_tasks(static_cast<std::size_t>(n));
+    for (TaskId id = 0; id < n; ++id) {
+      const Pd2Priority k =
+          prio(rng.uniform_int(0, 6), static_cast<int>(rng.uniform_int(0, 1)),
+               id, rng.uniform_int(0, 8), static_cast<int>(rng.uniform_int(0, 2)));
+      keys.push_back(k);
+      q.upsert(id, k);
+    }
+    std::sort(keys.begin(), keys.end(),
+              [](const Pd2Priority& a, const Pd2Priority& b) {
+                return a.higher_than(b);
+              });
+    for (const Pd2Priority& want : keys) {
+      ASSERT_FALSE(q.empty());
+      ASSERT_TRUE(q.top_key() == want);
+      ASSERT_EQ(q.pop(), want.task);
+    }
+    ASSERT_TRUE(q.empty());
+  }
+}
+
+TEST(IndexedReadyQueue, UpsertRekeysInPlace) {
+  IndexedReadyQueue q;
+  q.resize_tasks(3);
+  q.upsert(0, prio(10, 0, 0));
+  q.upsert(1, prio(20, 0, 1));
+  q.upsert(2, prio(30, 0, 2));
+  ASSERT_EQ(q.size(), 3u);
+  // Re-key task 2 to the front, task 0 to the back.
+  q.upsert(2, prio(1, 1, 2));
+  q.upsert(0, prio(40, 0, 0));
+  ASSERT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.pop(), 1);
+  EXPECT_EQ(q.pop(), 0);
+}
+
+TEST(IndexedReadyQueue, EraseRemovesOnlyTheNamedTask) {
+  IndexedReadyQueue q;
+  q.resize_tasks(4);
+  for (TaskId id = 0; id < 4; ++id) q.upsert(id, prio(10 + id, 0, id));
+  q.erase(1);
+  q.erase(1);  // double-erase is a no-op
+  EXPECT_FALSE(q.contains(1));
+  EXPECT_TRUE(q.contains(0));
+  EXPECT_EQ(q.size(), 3u);
+  EXPECT_EQ(q.pop(), 0);
+  EXPECT_EQ(q.pop(), 2);
+  EXPECT_EQ(q.pop(), 3);
+}
+
+TEST(IndexedReadyQueue, ClearEmptiesAndKeepsCapacity) {
+  IndexedReadyQueue q;
+  q.resize_tasks(2);
+  q.upsert(0, prio(1, 0, 0));
+  q.upsert(1, prio(2, 0, 1));
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.contains(0));
+  q.upsert(1, prio(3, 0, 1));
+  EXPECT_EQ(q.pop(), 1);
+}
+
+// ---------------------------------------------------------------------------
+// Three-way dispatch-mode cross-validation
+// ---------------------------------------------------------------------------
+
+/// One randomized scenario: staggered joins, IS separations, AGIS absences,
+/// a reweighting storm, leaves, and platform faults.  The same seed builds
+/// the same engine for every mode.
+Engine run_storm(DispatchMode mode, std::uint64_t seed, Slot horizon) {
+  Xoshiro256 rng{seed};
+  EngineConfig cfg;
+  cfg.processors = 4;
+  cfg.dispatch_mode = mode;
+  Engine eng{cfg};
+  std::vector<TaskId> ids;
+  for (int i = 0; i < 14; ++i) {
+    const Slot join = rng.uniform_int(0, 40);
+    const TaskId id =
+        eng.add_task(Rational{rng.uniform_int(1, 6), 24}, join);
+    eng.set_tie_rank(id, static_cast<int>(rng.uniform_int(0, 3)));
+    if (rng.bernoulli(0.5)) {
+      eng.add_separation(id, rng.uniform_int(2, 6), rng.uniform_int(1, 4));
+    }
+    if (rng.bernoulli(0.4)) eng.mark_absent(id, rng.uniform_int(2, 8));
+    ids.push_back(id);
+  }
+  for (Slot t = 1; t < horizon; ++t) {
+    for (const TaskId id : ids) {
+      if (rng.bernoulli(0.02)) {
+        eng.request_weight_change(id, Rational{rng.uniform_int(1, 8), 24}, t);
+      }
+    }
+  }
+  eng.request_leave(ids[2], horizon / 3);
+  eng.request_leave(ids[7], horizon / 2);
+  FaultPlan plan;
+  plan.crash(1, horizon / 4)
+      .overrun(0, horizon / 4 + 5)
+      .recover(1, horizon / 2)
+      .drop_request(ids[4], horizon / 3);
+  eng.set_fault_plan(std::move(plan));
+  eng.run_until(horizon);
+  return eng;
+}
+
+void expect_identical(const Engine& a, const Engine& b) {
+  ASSERT_EQ(a.trace().size(), b.trace().size());
+  for (std::size_t t = 0; t < a.trace().size(); ++t) {
+    // Lane order included: the modes must agree on the full priority order
+    // of the slot's selection, not just the set.
+    ASSERT_EQ(a.trace()[t].scheduled, b.trace()[t].scheduled) << "slot " << t;
+    ASSERT_EQ(a.trace()[t].holes, b.trace()[t].holes) << "slot " << t;
+  }
+  ASSERT_EQ(a.misses().size(), b.misses().size());
+  for (std::size_t i = 0; i < a.task_count(); ++i) {
+    const auto id = static_cast<TaskId>(i);
+    EXPECT_EQ(a.drift(id), b.drift(id));
+    EXPECT_EQ(a.task(id).scheduled_count, b.task(id).scheduled_count);
+  }
+}
+
+TEST(DispatchFastpath, AllThreeModesAgreeOnRandomizedStorms) {
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const Engine scan = run_storm(DispatchMode::kScan, seed, 400);
+    const Engine heap = run_storm(DispatchMode::kHeapRebuild, seed, 400);
+    const Engine incr = run_storm(DispatchMode::kIncremental, seed, 400);
+    expect_identical(scan, heap);
+    expect_identical(scan, incr);
+  }
+}
+
+TEST(DispatchFastpath, ModesAgreeOnHeavyTaskSets) {
+  const auto run = [](DispatchMode mode) {
+    EngineConfig cfg;
+    cfg.processors = 2;
+    cfg.allow_heavy = true;
+    cfg.dispatch_mode = mode;
+    Engine eng{cfg};
+    eng.add_task(rat(3, 4));
+    eng.add_task(rat(2, 3));
+    eng.add_task(rat(7, 12));
+    eng.run_until(300);
+    return eng;
+  };
+  const Engine scan = run(DispatchMode::kScan);
+  const Engine incr = run(DispatchMode::kIncremental);
+  expect_identical(scan, incr);
+  EXPECT_TRUE(incr.misses().empty());
+}
+
+TEST(DispatchFastpath, LegacyUseReadyQueueStillForcesHeapMode) {
+  EngineConfig cfg;
+  cfg.use_ready_queue = true;
+  cfg.dispatch_mode = DispatchMode::kIncremental;
+  Engine eng{cfg};
+  eng.add_task(rat(1, 3));
+  eng.run_until(30);
+  // Heap mode never touches the incremental queue's counters.
+  EXPECT_EQ(eng.stats().fastpath_pops, 0);
+  EXPECT_EQ(eng.stats().fastpath_upserts, 0);
+}
+
+TEST(DispatchFastpath, EveryIncrementalDispatchIsAQueuePop) {
+  EngineConfig cfg;
+  cfg.processors = 2;
+  Engine eng{cfg};
+  eng.add_task(rat(1, 2));
+  eng.add_task(rat(1, 3));
+  eng.add_task(rat(1, 6));
+  eng.run_until(120);
+  EXPECT_EQ(eng.stats().fastpath_pops, eng.stats().dispatched);
+  EXPECT_GE(eng.stats().fastpath_upserts, eng.stats().fastpath_pops);
+}
+
+// ---------------------------------------------------------------------------
+// verify_priorities oracle
+// ---------------------------------------------------------------------------
+
+TEST(DispatchFastpath, OracleAcceptsStormsAndCountsChecks) {
+  Xoshiro256 rng{11};
+  EngineConfig cfg;
+  cfg.processors = 3;
+  cfg.verify_priorities = true;
+  Engine eng{cfg};
+  std::vector<TaskId> ids;
+  for (int i = 0; i < 10; ++i) ids.push_back(eng.add_task(rat(1, 5)));
+  for (Slot t = 1; t < 200; ++t) {
+    for (const TaskId id : ids) {
+      if (rng.bernoulli(0.03)) {
+        eng.request_weight_change(id, Rational{rng.uniform_int(1, 10), 30}, t);
+      }
+    }
+  }
+  EXPECT_NO_THROW(eng.run_until(200));
+  EXPECT_EQ(eng.stats().oracle_checks, 200);
+  EXPECT_TRUE(eng.misses().empty());
+}
+
+TEST(DispatchFastpath, OracleEnvVarEnablesVerification) {
+  ASSERT_EQ(setenv("PFR_VERIFY_PRIORITIES", "1", 1), 0);
+  EngineConfig cfg;  // verify_priorities defaults to false
+  Engine eng{cfg};
+  ASSERT_EQ(unsetenv("PFR_VERIFY_PRIORITIES"), 0);
+  EXPECT_TRUE(eng.config().verify_priorities);
+  eng.add_task(rat(1, 4));
+  eng.run_until(50);
+  EXPECT_EQ(eng.stats().oracle_checks, 50);
+
+  Engine off{EngineConfig{}};
+  EXPECT_FALSE(off.config().verify_priorities);
+}
+
+// ---------------------------------------------------------------------------
+// Long-horizon overflow stress
+// ---------------------------------------------------------------------------
+
+TEST(DispatchFastpath, MillionSlotHorizonDoesNotOverflow) {
+  // Small prime-denominator weights drive the window formulas to subtask
+  // indices around 10^6 / 997; beyond that the bench-scale indices in
+  // rational_test cover the 10^18 regime.  The old ceil_div built the
+  // intermediate Rational{k}/w, which on long horizons could overflow even
+  // though the quotient fits; the integer fast path must not.
+  EngineConfig cfg;
+  cfg.processors = 1;
+  cfg.record_slot_trace = false;  // 10^6 SlotRecords would dominate the test
+  Engine eng{cfg};
+  eng.add_task(Rational{1, 997});
+  eng.add_task(Rational{1, 1009});
+  eng.add_task(Rational{3, 1000});
+  EXPECT_NO_THROW(eng.run_until(1'000'000));
+  EXPECT_TRUE(eng.misses().empty());
+  EXPECT_EQ(eng.stats().slots, 1'000'000);
+}
+
+}  // namespace
+}  // namespace pfr::pfair

@@ -3,6 +3,8 @@
 /// and the guarantee that attaching a sink never perturbs the schedule.
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -171,11 +173,16 @@ TEST(Metrics, PhaseTimersCoverEverySlot) {
   for (const char* phase :
        {"engine.phase.faults", "engine.phase.joins", "engine.phase.enactments",
         "engine.phase.releases", "engine.phase.events", "engine.phase.ideal",
-        "engine.phase.dispatch", "engine.phase.miss_detect"}) {
+        "engine.phase.dispatch", "engine.phase.dispatch.select",
+        "engine.phase.dispatch.commit", "engine.phase.miss_detect"}) {
     const obs::Timer& t = reg.timer(phase);
     EXPECT_EQ(t.count, 12) << phase;
     EXPECT_GE(t.total_ns, 0) << phase;
   }
+  // The dispatch sub-phases nest inside the dispatch phase.
+  EXPECT_LE(reg.timer("engine.phase.dispatch.select").total_ns +
+                reg.timer("engine.phase.dispatch.commit").total_ns,
+            reg.timer("engine.phase.dispatch").total_ns);
 }
 
 TEST(CrossValidation, TracedRunIsBitIdenticalToUntraced) {
@@ -269,6 +276,81 @@ TEST(Histogram, BucketsAndOverflow) {
   EXPECT_EQ(h.counts()[3], 1);  // 100.0 -> +inf overflow
   EXPECT_EQ(h.total(), 5);
   EXPECT_DOUBLE_EQ(h.sum(), 106.0);
+}
+
+TEST(Histogram, ValueOnBucketBoundLandsInThatBucket) {
+  // counts[i] tallies values <= bounds[i]: a value exactly on the bound
+  // belongs to bucket i, not i+1, and a value just above crosses over.
+  obs::Histogram h{{1.0, 2.0, 4.0}};
+  h.observe(1.0);
+  h.observe(2.0);
+  h.observe(4.0);
+  EXPECT_EQ(h.counts()[0], 1);
+  EXPECT_EQ(h.counts()[1], 1);
+  EXPECT_EQ(h.counts()[2], 1);
+  EXPECT_EQ(h.counts()[3], 0);  // nothing overflowed
+  h.observe(std::nextafter(4.0, 5.0));
+  EXPECT_EQ(h.counts()[3], 1);  // the first value above the last bound
+}
+
+TEST(Histogram, QuantileUsesNearestRankAtBucketEdges) {
+  obs::Histogram h{{1.0, 2.0, 4.0}};
+  EXPECT_EQ(h.quantile(0.5), 0.0);  // no observations yet
+  // 10 observations: 4 in <=1, 4 in <=2, 2 in <=4.
+  for (int i = 0; i < 4; ++i) h.observe(0.5);
+  for (int i = 0; i < 4; ++i) h.observe(1.5);
+  for (int i = 0; i < 2; ++i) h.observe(3.0);
+  // Nearest rank: p40 is observation #4 (the last of bucket one) -- exactly
+  // on the edge, it must NOT spill into the next bucket.
+  EXPECT_DOUBLE_EQ(h.quantile(0.40), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.41), 2.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.80), 2.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.81), 4.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 4.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);  // clamped to rank 1
+  // Overflow bucket has no finite upper bound.
+  h.observe(1e9);
+  EXPECT_TRUE(std::isinf(h.quantile(1.0)));
+}
+
+TEST(Percentile, NearestRankMatchesHistogramSemantics) {
+  const std::vector<std::int64_t> sorted{10, 20, 30, 40, 50, 60, 70, 80, 90,
+                                         100};
+  // ceil(0.5 * 10) = rank 5 -> 50, NOT the round-half-up interpolation that
+  // would pick rank 6 at the edge.
+  EXPECT_EQ(obs::percentile(sorted, 0.50), 50);
+  EXPECT_EQ(obs::percentile(sorted, 0.51), 60);
+  EXPECT_EQ(obs::percentile(sorted, 0.99), 100);
+  EXPECT_EQ(obs::percentile(sorted, 0.10), 10);
+  EXPECT_EQ(obs::percentile(sorted, 0.0), 10);   // clamped to rank 1
+  EXPECT_EQ(obs::percentile(sorted, 1.0), 100);
+  EXPECT_EQ(obs::percentile(std::vector<std::int64_t>{}, 0.5), 0);
+  EXPECT_EQ(obs::percentile(std::vector<std::int64_t>{7}, 0.99), 7);
+
+  // Agreement with Histogram::quantile when the sample values are the
+  // bucket bounds themselves.
+  obs::Histogram h{{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}};
+  for (const std::int64_t v : sorted) h.observe(static_cast<double>(v));
+  for (const double q : {0.01, 0.25, 0.50, 0.51, 0.75, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(h.quantile(q),
+                     static_cast<double>(obs::percentile(sorted, q)))
+        << "q=" << q;
+  }
+}
+
+TEST(Metrics, FastpathCountersAreExported) {
+  Engine eng = make_golden_engine();
+  obs::MetricsRegistry reg;
+  eng.run_until(12);
+  eng.export_metrics(reg);
+  const EngineStats& s = eng.stats();
+  EXPECT_EQ(reg.counter("dispatch.fastpath.upserts").value,
+            s.fastpath_upserts);
+  EXPECT_EQ(reg.counter("dispatch.fastpath.pops").value, s.fastpath_pops);
+  EXPECT_EQ(reg.counter("dispatch.fastpath.erases").value, s.fastpath_erases);
+  EXPECT_EQ(reg.counter("dispatch.fastpath.oracle_checks").value,
+            s.oracle_checks);
+  EXPECT_GT(s.fastpath_pops, 0);  // incremental is the default mode
 }
 
 TEST(TraceAnalysis, SummarizesGoldenTrace) {

@@ -158,5 +158,123 @@ TEST(Rational, AccumulationStaysExact) {
   EXPECT_EQ(sum, Rational{1});
 }
 
+// ---------------------------------------------------------------------------
+// floor_div / ceil_div: the integer fast path behind the window formulas
+// ---------------------------------------------------------------------------
+
+/// Independent 128-bit reference: mathematical floor/ceil of (k*den)/num,
+/// written with explicit remainder fix-ups rather than the library's helpers.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wpedantic"
+using Int128 = __int128;
+#pragma GCC diagnostic pop
+
+Int128 ref_floor(std::int64_t k, const Rational& w) {
+  Int128 n = static_cast<Int128>(k) * w.den();
+  Int128 d = w.num();
+  if (d < 0) {
+    n = -n;
+    d = -d;
+  }
+  Int128 q = n / d;
+  if (q * d > n) --q;  // C++ truncated toward zero on a negative quotient
+  return q;
+}
+
+Int128 ref_ceil(std::int64_t k, const Rational& w) {
+  Int128 n = static_cast<Int128>(k) * w.den();
+  Int128 d = w.num();
+  if (d < 0) {
+    n = -n;
+    d = -d;
+  }
+  Int128 q = n / d;
+  if (q * d < n) ++q;
+  return q;
+}
+
+TEST(FloorCeilDiv, ExhaustiveSmallRangeIncludingNegatives) {
+  // Every k in [-60, 60] against every weight num/den with |num| <= 6,
+  // den <= 6: fast path == __int128 reference == Rational reference.
+  // Negative k and negative weights exercise the rounding direction where
+  // truncation-toward-zero silently differs from floor/ceil.
+  for (std::int64_t k = -60; k <= 60; ++k) {
+    for (std::int64_t num = -6; num <= 6; ++num) {
+      if (num == 0) continue;
+      for (std::int64_t den = 1; den <= 6; ++den) {
+        const Rational w{num, den};
+        ASSERT_EQ(static_cast<Int128>(floor_div(k, w)), ref_floor(k, w))
+            << "k=" << k << " w=" << w.to_string();
+        ASSERT_EQ(static_cast<Int128>(ceil_div(k, w)), ref_ceil(k, w))
+            << "k=" << k << " w=" << w.to_string();
+        ASSERT_EQ(floor_div(k, w), (Rational{k} / w).floor())
+            << "k=" << k << " w=" << w.to_string();
+        ASSERT_EQ(ceil_div(k, w), (Rational{k} / w).ceil())
+            << "k=" << k << " w=" << w.to_string();
+      }
+    }
+  }
+}
+
+TEST(FloorCeilDiv, NegativeOperandsRoundTowardTheCorrectInfinity) {
+  // floor rounds toward -inf, ceil toward +inf -- never toward zero.
+  EXPECT_EQ(floor_div(-1, rat(1, 3)), -3);
+  EXPECT_EQ(ceil_div(-1, rat(1, 3)), -3);
+  EXPECT_EQ(floor_div(-1, rat(2, 3)), -2);   // -3/2 floors to -2
+  EXPECT_EQ(ceil_div(-1, rat(2, 3)), -1);    // -3/2 ceils to -1
+  EXPECT_EQ(floor_div(1, rat(-2, 3)), -2);   // negative weight
+  EXPECT_EQ(ceil_div(1, rat(-2, 3)), -1);
+  EXPECT_EQ(floor_div(-7, rat(-2, 3)), 10);  // both negative: 21/2
+  EXPECT_EQ(ceil_div(-7, rat(-2, 3)), 11);
+}
+
+TEST(FloorCeilDiv, RandomizedLargeOperandsMatchInt128Reference) {
+  // Pseudo-random 48-bit k against weights up to 10^6/10^6; the Rational
+  // reference still succeeds at this scale, so check all three ways.
+  std::uint64_t state = 0x9e3779b97f4a7c15ULL;
+  const auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (int i = 0; i < 2000; ++i) {
+    const auto k = static_cast<std::int64_t>(next() % (1ULL << 48)) -
+                   (1LL << 47);
+    const auto num = static_cast<std::int64_t>(next() % 1'000'000) + 1;
+    const auto den = static_cast<std::int64_t>(next() % 1'000'000) + 1;
+    const Rational w{i % 2 == 0 ? num : -num, den};
+    ASSERT_EQ(static_cast<Int128>(floor_div(k, w)), ref_floor(k, w))
+        << "k=" << k << " w=" << w.to_string();
+    ASSERT_EQ(static_cast<Int128>(ceil_div(k, w)), ref_ceil(k, w))
+        << "k=" << k << " w=" << w.to_string();
+  }
+}
+
+TEST(FloorCeilDiv, LongHorizonSurvivesWhereTheRationalPathOverflows) {
+  // Regression for the long-horizon overflow: k*den exceeds the canonical
+  // int64 fraction range, so (Rational{k}/w) throws -- but the quotient
+  // fits comfortably, and the fast path must return it.
+  const std::int64_t k = 5'000'000'000'000'000'000;  // 5e18
+  const Rational w = rat(3, 5);
+  EXPECT_THROW((void)(Rational{k} / w), RationalOverflow);
+  EXPECT_EQ(floor_div(k, w), 8'333'333'333'333'333'333);
+  EXPECT_EQ(ceil_div(k, w), 8'333'333'333'333'333'334);
+}
+
+TEST(FloorCeilDiv, ThrowsOnlyWhenTheResultLeavesInt64) {
+  // Result = k/w ~ 4.6e21: not representable, must throw ...
+  EXPECT_THROW((void)floor_div(INT64_MAX / 2, rat(1, 1000)),
+               RationalOverflow);
+  EXPECT_THROW((void)ceil_div(INT64_MIN / 2, rat(1, 1000)),
+               RationalOverflow);
+  // ... while the same k with the reciprocal weight shrinks and is fine.
+  EXPECT_EQ(floor_div(INT64_MAX / 2, rat(1000, 1)),
+            (INT64_MAX / 2) / 1000);
+  // Division by a zero weight is still a distinct error.
+  EXPECT_THROW((void)floor_div(1, Rational{}), RationalDivideByZero);
+  EXPECT_THROW((void)ceil_div(1, Rational{}), RationalDivideByZero);
+}
+
 }  // namespace
 }  // namespace pfr

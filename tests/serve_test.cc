@@ -198,6 +198,70 @@ TEST(RequestQueue, TryPushShedsTheLeastUrgentAtCapacity) {
   EXPECT_EQ(b.shed_overflow[1].id, 4u);
 }
 
+TEST(RequestQueue, OfferAccountingBalancesAcrossBothShedBranches) {
+  // Conservation law: every accepted offer holds a queue slot or was shed,
+  // never both, never neither.  A former bug double-counted the shed-other
+  // branch (the incoming request bumped total_pushed_ even though it took
+  // over the evicted victim's slot), so offered < pushed + shed.
+  RequestQueue q{2};
+  const int p = q.add_producer();
+  auto mk = [](RequestId id, Slot deadline) {
+    Request r;
+    r.id = id;
+    r.due = 0;
+    r.deadline = deadline;
+    return r;
+  };
+  EXPECT_TRUE(q.try_push(p, mk(1, 30)).enqueued);
+  EXPECT_TRUE(q.try_push(p, mk(2, 10)).enqueued);
+  EXPECT_EQ(q.total_offered(), 2u);
+  EXPECT_EQ(q.total_pushed(), 2u);
+  EXPECT_EQ(q.total_overflow_shed(), 0u);
+
+  // Shed-other branch: id 3 evicts id 1 and inherits its slot.  One more
+  // offer, zero net new pushes, one shed.
+  const auto res = q.try_push(p, mk(3, 20));
+  EXPECT_TRUE(res.enqueued);
+  EXPECT_TRUE(res.shed_other);
+  EXPECT_EQ(q.total_offered(), 3u);
+  EXPECT_EQ(q.total_pushed(), 2u);
+  EXPECT_EQ(q.total_overflow_shed(), 1u);
+
+  // Incoming-loses branch: id 4 sheds itself; pushes unchanged.
+  const auto res2 = q.try_push(p, mk(4, 40));
+  EXPECT_FALSE(res2.enqueued);
+  EXPECT_EQ(q.total_offered(), 4u);
+  EXPECT_EQ(q.total_pushed(), 2u);
+  EXPECT_EQ(q.total_overflow_shed(), 2u);
+  EXPECT_EQ(q.total_offered(), q.total_pushed() + q.total_overflow_shed());
+
+  // Blocking pushes count as offers too, and the queue depth never exceeded
+  // capacity, so the high watermark is exactly the capacity.
+  q.producer_done(p);
+  (void)q.drain_slot(0);
+  EXPECT_EQ(q.high_watermark(), 2u);
+  EXPECT_EQ(q.depth(), 0u);
+}
+
+TEST(RequestQueue, ClosedQueueRefusesOffersWithoutCounting) {
+  RequestQueue q{4};
+  const int p = q.add_producer();
+  Request r;
+  r.id = 1;
+  r.due = 0;
+  ASSERT_TRUE(q.push(p, r));
+  q.close();
+  Request r2;
+  r2.id = 2;
+  r2.due = 1;
+  EXPECT_FALSE(q.push(p, r2));
+  EXPECT_FALSE(q.try_push(p, r2).enqueued);
+  // Refused offers are not "offered": the law still balances.
+  EXPECT_EQ(q.total_offered(), 1u);
+  EXPECT_EQ(q.total_pushed(), 1u);
+  EXPECT_EQ(q.total_overflow_shed(), 0u);
+}
+
 TEST(RequestQueue, BlockingPushAppliesBackpressureUntilDrained) {
   RequestQueue q{1};
   const int p = q.add_producer();
