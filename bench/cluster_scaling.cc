@@ -1,0 +1,319 @@
+/// \file cluster_scaling.cc
+/// \brief Scaling harness for the sharded PD2 cluster (src/cluster):
+/// slots/sec and migration cost versus shard count and worker threads.
+///
+/// One deterministic reweight-heavy workload (default: 1024 tasks on 64
+/// total processors, 48 reweight requests per slot) is replayed on clusters
+/// of K in {1,2,4,8} shards, total capacity held fixed (each shard gets
+/// M/K processors).  The per-request admission/policing cost is O(n) in
+/// the owning shard's task count, so sharding cuts the dominant term to
+/// O(n/K) -- the reported speedup is algorithmic, not parallelism (it
+/// holds at --cluster-threads=1 on a single core).
+///
+/// Reported per K:
+///   * slots/sec on the plain workload and the speedup versus K=1;
+///   * schedule digests across worker-thread counts {1,2,8} -- any
+///     mismatch is a determinism bug and the bench exits non-zero;
+///   * a migration-storm rerun (every --migrate-every slots, a batch of
+///     tasks rule-L/J-hops to the next shard): completed migrations, total
+///     Theorem-3 drift charged, and wall-clock cost per migration.
+///
+///   --tasks=N            workload size (default 1024; --quick: 256)
+///   --processors=M       total capacity across shards (default 64)
+///   --slots=N            slots per run (default 512; --quick: 96)
+///   --reweights=N        reweight requests per slot (default 48)
+///   --migrate-every=N    storm period in slots (default 32)
+///   --migrate-batch=N    tasks moved per storm firing (default 8)
+///   --json=PATH          machine-readable results (default
+///                        results/BENCH_cluster_scaling.json; empty
+///                        disables)
+#include <chrono>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "pfair/verify.h"
+#include "util/cli.h"
+
+namespace {
+
+using pfr::Rational;
+using pfr::cluster::Cluster;
+using pfr::cluster::ClusterConfig;
+
+struct Args {
+  int tasks{1024};
+  int processors{64};
+  pfr::pfair::Slot slots{512};
+  int reweights{48};
+  pfr::pfair::Slot migrate_every{32};
+  int migrate_batch{8};
+  std::string json{"results/BENCH_cluster_scaling.json"};
+};
+
+Args parse(int argc, char** argv) {
+  const pfr::CliArgs cli{argc, argv};
+  Args a;
+  if (cli.get_bool("quick")) {
+    a.tasks = 256;
+    a.slots = 96;
+  }
+  a.tasks = static_cast<int>(cli.get_int("tasks", a.tasks));
+  a.processors = static_cast<int>(cli.get_int("processors", a.processors));
+  a.slots = cli.get_int("slots", a.slots);
+  a.reweights = static_cast<int>(cli.get_int("reweights", a.reweights));
+  a.migrate_every = cli.get_int("migrate-every", a.migrate_every);
+  a.migrate_batch = static_cast<int>(
+      cli.get_int("migrate-batch", a.migrate_batch));
+  a.json = cli.get_string("json", a.json);
+  if (cli.error()) {
+    std::cerr << "argument error: " << *cli.error() << "\n";
+    std::exit(2);
+  }
+  const auto unknown = cli.unknown_flags();
+  if (!unknown.empty()) {
+    std::cerr << "unknown flag: --" << unknown.front() << "\n";
+    std::exit(2);
+  }
+  return a;
+}
+
+std::string task_name(int i) {
+  std::ostringstream os;
+  os << "t" << i;
+  return os.str();
+}
+
+/// Deterministic task weights: numerator 1..5 over the total processor
+/// count, so 1024 tasks average 3/64 each -- 75% utilization on M=64 with
+/// headroom for the +1/M reweight swings.
+Rational base_weight(int i, int processors) {
+  return Rational{1 + (i % 5), processors};
+}
+
+std::unique_ptr<Cluster> make_cluster(const Args& a, int shards,
+                                      std::size_t threads) {
+  ClusterConfig cfg;
+  cfg.threads = threads;
+  cfg.placement = pfr::cluster::PlacementPolicy::kWeightedWorkload;
+  for (int k = 0; k < shards; ++k) {
+    pfr::pfair::EngineConfig ec;
+    ec.processors = a.processors / shards;
+    ec.policy = pfr::pfair::ReweightPolicy::kOmissionIdeal;
+    ec.policing = pfr::pfair::PolicingMode::kClamp;
+    ec.record_slot_trace = false;  // half a million slot records otherwise
+    ec.use_ready_queue = true;
+    cfg.shards.push_back(ec);
+  }
+  auto cluster = std::make_unique<Cluster>(std::move(cfg));
+  for (int i = 0; i < a.tasks; ++i) {
+    const Cluster::AdmitResult res =
+        cluster->admit(task_name(i), base_weight(i, a.processors));
+    if (res.shard < 0) {
+      std::cerr << "placement rejected task " << i << " at K=" << shards
+                << "; lower --tasks or raise --processors\n";
+      std::exit(1);
+    }
+  }
+  return cluster;
+}
+
+struct RunResult {
+  double wall_s{0};
+  double slots_per_s{0};
+  std::uint64_t digest{0};
+  std::int64_t reweights{0};
+  std::int64_t migrations_completed{0};
+  double migration_drift{0};
+  std::size_t misses{0};
+  std::size_t violations{0};
+};
+
+/// Replays the workload: every slot issues `a.reweights` round-robin
+/// reweight requests (each toggles a task between its base weight and base
+/// + 1/M), plus, when `storm` is set, a periodic batch of migrations to
+/// the next shard.  Identical request sequence for every (K, threads)
+/// combination, so digests are comparable across thread counts.
+RunResult run_workload(const Args& a, int shards, std::size_t threads,
+                       bool storm) {
+  std::unique_ptr<Cluster> cluster = make_cluster(a, shards, threads);
+  RunResult out;
+
+  const auto start = std::chrono::steady_clock::now();
+  for (pfr::pfair::Slot t = 0; t < a.slots; ++t) {
+    for (int j = 0; j < a.reweights; ++j) {
+      const int i = static_cast<int>(
+          (t * a.reweights + j) % a.tasks);
+      const Rational base = base_weight(i, a.processors);
+      const Rational target =
+          (t + i) % 2 == 0 ? base + Rational{1, a.processors} : base;
+      if (cluster->request_weight_change(task_name(i), target, t)) {
+        ++out.reweights;
+      }
+    }
+    if (storm && shards > 1 && a.migrate_every > 0 &&
+        t % a.migrate_every == 0 && t > 0) {
+      for (int j = 0; j < a.migrate_batch; ++j) {
+        const int i = static_cast<int>(
+            (t / a.migrate_every - 1) * a.migrate_batch + j) % a.tasks;
+        const auto ref = cluster->find(task_name(i));
+        if (!ref) continue;
+        cluster->request_migrate(task_name(i),
+                                 (ref->shard + 1) % shards);
+      }
+    }
+    cluster->step();
+  }
+  const auto stop = std::chrono::steady_clock::now();
+
+  out.wall_s = std::chrono::duration<double>(stop - start).count();
+  out.slots_per_s = out.wall_s > 0
+                        ? static_cast<double>(a.slots) / out.wall_s
+                        : 0.0;
+  out.digest = cluster->schedule_digest();
+  out.migrations_completed = cluster->stats().migrations_completed;
+  out.migration_drift = cluster->stats().migration_drift.to_double();
+  for (int k = 0; k < cluster->shard_count(); ++k) {
+    out.misses += cluster->shard(k).misses().size();
+  }
+  const auto violations = cluster->verify();
+  out.violations = violations.size();
+  for (std::size_t v = 0; v < violations.size() && v < 5; ++v) {
+    std::cerr << "verify: " << violations[v].what << "\n";
+  }
+  return out;
+}
+
+struct KResult {
+  int shards{0};
+  RunResult base;
+  double speedup_vs_k1{0};
+  bool digest_match{true};
+  std::vector<std::pair<std::size_t, std::uint64_t>> thread_digests;
+  RunResult storm;
+};
+
+void write_json(const Args& a, const std::vector<KResult>& results) {
+  if (a.json.empty()) return;
+  const std::filesystem::path path{a.json};
+  if (path.has_parent_path()) {
+    std::filesystem::create_directories(path.parent_path());
+  }
+  std::ofstream out{path};
+  if (!out) {
+    std::cerr << "failed to write " << a.json << "\n";
+    std::exit(1);
+  }
+  out << "{\n  \"bench\": \"cluster_scaling\",\n  \"config\": {"
+      << "\"tasks\": " << a.tasks << ", \"processors\": " << a.processors
+      << ", \"slots\": " << a.slots << ", \"reweights_per_slot\": "
+      << a.reweights << ", \"migrate_every\": " << a.migrate_every
+      << ", \"migrate_batch\": " << a.migrate_batch
+      << "},\n  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const KResult& r = results[i];
+    const double mig_cost_ms =
+        r.storm.migrations_completed > 0
+            ? (r.storm.wall_s - r.base.wall_s) * 1000.0 /
+                  static_cast<double>(r.storm.migrations_completed)
+            : 0.0;
+    out << "    {\"shards\": " << r.shards
+        << ", \"wall_s\": " << r.base.wall_s
+        << ", \"slots_per_s\": " << r.base.slots_per_s
+        << ", \"speedup_vs_k1\": " << r.speedup_vs_k1
+        << ", \"reweights\": " << r.base.reweights
+        << ", \"misses\": " << r.base.misses
+        << ", \"violations\": " << r.base.violations
+        << ", \"digest\": \"" << std::hex << r.base.digest << std::dec
+        << "\", \"digest_match_across_threads\": "
+        << (r.digest_match ? "true" : "false")
+        << ", \"migration\": {\"wall_s\": " << r.storm.wall_s
+        << ", \"completed\": " << r.storm.migrations_completed
+        << ", \"drift\": " << r.storm.migration_drift
+        << ", \"cost_ms_per_migration\": " << mig_cost_ms
+        << ", \"misses\": " << r.storm.misses
+        << ", \"violations\": " << r.storm.violations << "}}"
+        << (i + 1 < results.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  std::cout << "json written to " << a.json << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args a = parse(argc, argv);
+
+  std::cout << "# cluster_scaling: " << a.tasks << " tasks, M="
+            << a.processors << " total, " << a.slots << " slots, "
+            << a.reweights << " reweights/slot\n\n";
+
+  const std::vector<int> shard_counts{1, 2, 4, 8};
+  const std::vector<std::size_t> thread_counts{1, 2, 8};
+
+  std::vector<KResult> results;
+  bool all_match = true;
+  double k1_rate = 0;
+  for (const int K : shard_counts) {
+    if (a.processors % K != 0) continue;
+    KResult r;
+    r.shards = K;
+    r.base = run_workload(a, K, /*threads=*/1, /*storm=*/false);
+    if (K == 1) k1_rate = r.base.slots_per_s;
+    r.speedup_vs_k1 = k1_rate > 0 ? r.base.slots_per_s / k1_rate : 0.0;
+    r.thread_digests.emplace_back(1, r.base.digest);
+    // Bit-identity across worker-thread counts: the determinism
+    // acceptance check for the parallel slot loop.
+    if (K > 1) {
+      for (const std::size_t threads : thread_counts) {
+        if (threads == 1) continue;
+        const RunResult rerun = run_workload(a, K, threads, false);
+        r.thread_digests.emplace_back(threads, rerun.digest);
+        if (rerun.digest != r.base.digest) r.digest_match = false;
+      }
+    }
+    all_match = all_match && r.digest_match;
+    if (K > 1) r.storm = run_workload(a, K, 1, /*storm=*/true);
+
+    std::cout << "K=" << K << ": " << static_cast<std::uint64_t>(
+                     r.base.slots_per_s)
+              << " slots/s (" << r.base.wall_s << " s), speedup="
+              << r.speedup_vs_k1 << "x, reweights=" << r.base.reweights
+              << ", misses=" << r.base.misses << ", violations="
+              << r.base.violations << "\n";
+    std::cout << "    digests:";
+    for (const auto& [threads, digest] : r.thread_digests) {
+      std::cout << " threads=" << threads << ":" << std::hex << digest
+                << std::dec;
+    }
+    std::cout << (r.digest_match ? "  [match]" : "  [MISMATCH]") << "\n";
+    if (K > 1) {
+      std::cout << "    storm: " << r.storm.migrations_completed
+                << " migrations, drift=" << r.storm.migration_drift
+                << ", wall=" << r.storm.wall_s << " s, misses="
+                << r.storm.misses << ", violations=" << r.storm.violations
+                << "\n";
+    }
+    results.push_back(std::move(r));
+  }
+  std::cout << "\n";
+
+  write_json(a, results);
+  if (!all_match) {
+    std::cerr << "FAIL: schedule digests differ across worker-thread "
+                 "counts\n";
+    return 1;
+  }
+  for (const KResult& r : results) {
+    if (r.base.violations != 0 || r.storm.violations != 0) {
+      std::cerr << "FAIL: verify_schedule reported violations\n";
+      return 1;
+    }
+  }
+  return 0;
+}

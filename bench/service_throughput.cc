@@ -15,6 +15,9 @@
 ///   --threads=N      producer threads (default 4)
 ///   --tasks=N        initial task-set size (default 32)
 ///   --processors=M   engine capacity (default 8)
+///   --shards=K       route through a K-shard cluster (ShardedService;
+///                    total capacity still --processors, split evenly;
+///                    default 1 = single-engine ReweightService)
 ///   --queue-depth=N  queue capacity before backpressure (default 4096)
 ///   --mean-batch=N   mean requests per slot in the load (default 64)
 ///   --seed=N         load-generator seed (default 2005)
@@ -39,6 +42,7 @@
 #include "obs/jsonl_sink.h"
 #include "obs/metrics.h"
 #include "serve/load_gen.h"
+#include "serve/router.h"
 #include "serve/service.h"
 #include "util/cli.h"
 #include "util/thread_pool.h"
@@ -58,6 +62,7 @@ struct Args {
   std::uint64_t seed{2005};
   int tasks{32};
   int processors{8};
+  int shards{1};
   std::size_t queue_depth{4096};
   int mean_batch{64};
   std::string json{"BENCH_service_throughput.json"};
@@ -76,6 +81,7 @@ Args parse(int argc, char** argv) {
       cli.get_int("seed", static_cast<std::int64_t>(a.seed)));
   a.tasks = static_cast<int>(cli.get_int("tasks", a.tasks));
   a.processors = static_cast<int>(cli.get_int("processors", a.processors));
+  a.shards = static_cast<int>(cli.get_int("shards", a.shards));
   a.queue_depth = static_cast<std::size_t>(
       cli.get_int("queue-depth", static_cast<std::int64_t>(a.queue_depth)));
   a.mean_batch = static_cast<int>(cli.get_int("mean-batch", a.mean_batch));
@@ -92,6 +98,11 @@ Args parse(int argc, char** argv) {
     std::exit(2);
   }
   if (a.threads == 0) a.threads = 1;
+  if (a.shards < 1) a.shards = 1;
+  if (a.shards > 1 && a.processors % a.shards != 0) {
+    std::cerr << "--processors must divide evenly across --shards\n";
+    std::exit(2);
+  }
   return a;
 }
 
@@ -108,19 +119,38 @@ struct PolicyResult {
   std::map<std::string, std::uint64_t> reject_reasons;
 };
 
+pfr::pfair::EngineConfig make_engine_config(pfr::pfair::ReweightPolicy policy,
+                                            int processors) {
+  pfr::pfair::EngineConfig ec;
+  ec.processors = processors;
+  ec.policy = policy;
+  ec.policing = pfr::pfair::PolicingMode::kClamp;
+  ec.record_slot_trace = false;  // a million-request run must not accrete a
+                                 // per-slot trace
+  ec.use_ready_queue = true;
+  return ec;
+}
+
 ServiceConfig make_config(const Args& a, pfr::pfair::ReweightPolicy policy) {
   ServiceConfig cfg;
-  cfg.engine.processors = a.processors;
-  cfg.engine.policy = policy;
-  cfg.engine.policing = pfr::pfair::PolicingMode::kClamp;
-  cfg.engine.record_slot_trace = false;  // a million-request run must not
-                                         // accrete a per-slot trace
-  cfg.engine.use_ready_queue = true;
+  cfg.engine = make_engine_config(policy, a.processors);
   cfg.queue_capacity = a.queue_depth;
   return cfg;
 }
 
-void seed_tasks(ReweightService& svc, const GeneratedLoad& load) {
+pfr::serve::ShardedServiceConfig make_sharded_config(
+    const Args& a, pfr::pfair::ReweightPolicy policy) {
+  pfr::serve::ShardedServiceConfig cfg;
+  for (int k = 0; k < a.shards; ++k) {
+    cfg.cluster.shards.push_back(
+        make_engine_config(policy, a.processors / a.shards));
+  }
+  cfg.queue_capacity = a.queue_depth;
+  return cfg;
+}
+
+template <typename Service>
+void seed_tasks(Service& svc, const GeneratedLoad& load) {
   for (const auto& t : load.tasks) svc.seed_task(t.name, t.weight, t.rank);
 }
 
@@ -129,7 +159,8 @@ void seed_tasks(ReweightService& svc, const GeneratedLoad& load) {
 /// promise) while the caller's thread consumes.  Blocking push applies
 /// backpressure instead of shedding, so the replay is thread-count
 /// deterministic.
-void run_pipeline(ReweightService& svc, const GeneratedLoad& load,
+template <typename Service>
+void run_pipeline(Service& svc, const GeneratedLoad& load,
                   std::size_t threads) {
   std::vector<int> handles;
   handles.reserve(threads);
@@ -149,29 +180,10 @@ void run_pipeline(ReweightService& svc, const GeneratedLoad& load,
   pool.wait_idle();
 }
 
-PolicyResult measure(const Args& a, const GeneratedLoad& load,
-                     pfr::pfair::ReweightPolicy policy,
-                     const std::string& name) {
-  ReweightService svc{make_config(a, policy)};
-  seed_tasks(svc, load);
-
-  const auto start = std::chrono::steady_clock::now();
-  run_pipeline(svc, load, a.threads);
-  const auto stop = std::chrono::steady_clock::now();
-
-  PolicyResult out;
-  out.policy = name;
-  out.wall_s = std::chrono::duration<double>(stop - start).count();
-  out.req_per_s = out.wall_s > 0
-                      ? static_cast<double>(load.requests.size()) / out.wall_s
-                      : 0.0;
-  out.stats = svc.stats();
-  out.digest = svc.response_digest();
-  out.deadline_misses = svc.engine().misses().size();
-
+void fill_latencies(PolicyResult& out, const std::vector<Response>& responses) {
   std::vector<std::int64_t> latencies;
-  latencies.reserve(svc.responses().size());
-  for (const Response& r : svc.responses()) {
+  latencies.reserve(responses.size());
+  for (const Response& r : responses) {
     const bool applied = r.decision == Decision::kAccepted ||
                          r.decision == Decision::kClamped;
     if (applied && r.enact_slot != pfr::pfair::kNever) {
@@ -188,6 +200,43 @@ PolicyResult measure(const Args& a, const GeneratedLoad& load,
     out.p50_slots = pfr::obs::percentile(latencies, 0.50);
     out.p99_slots = pfr::obs::percentile(latencies, 0.99);
   }
+}
+
+PolicyResult measure(const Args& a, const GeneratedLoad& load,
+                     pfr::pfair::ReweightPolicy policy,
+                     const std::string& name) {
+  PolicyResult out;
+  out.policy = name;
+  if (a.shards > 1) {
+    pfr::serve::ShardedService svc{make_sharded_config(a, policy)};
+    seed_tasks(svc, load);
+    const auto start = std::chrono::steady_clock::now();
+    run_pipeline(svc, load, a.threads);
+    const auto stop = std::chrono::steady_clock::now();
+    out.wall_s = std::chrono::duration<double>(stop - start).count();
+    const auto& rs = svc.stats();
+    out.stats = {rs.admitted, rs.clamped, rs.rejected,
+                 rs.deferred, rs.shed,    rs.batches};
+    out.digest = svc.response_digest();
+    for (int k = 0; k < svc.cluster().shard_count(); ++k) {
+      out.deadline_misses += svc.cluster().shard(k).misses().size();
+    }
+    fill_latencies(out, svc.responses());
+  } else {
+    ReweightService svc{make_config(a, policy)};
+    seed_tasks(svc, load);
+    const auto start = std::chrono::steady_clock::now();
+    run_pipeline(svc, load, a.threads);
+    const auto stop = std::chrono::steady_clock::now();
+    out.wall_s = std::chrono::duration<double>(stop - start).count();
+    out.stats = svc.stats();
+    out.digest = svc.response_digest();
+    out.deadline_misses = svc.engine().misses().size();
+    fill_latencies(out, svc.responses());
+  }
+  out.req_per_s = out.wall_s > 0
+                      ? static_cast<double>(load.requests.size()) / out.wall_s
+                      : 0.0;
   return out;
 }
 
@@ -214,13 +263,23 @@ void capture_observability(const Args& a, const GeneratedLoad& load) {
   constexpr std::size_t kTraceCap = 20000;
   if (capped.requests.size() > kTraceCap) capped.requests.resize(kTraceCap);
 
-  ReweightService svc{
-      make_config(a, pfr::pfair::ReweightPolicy::kOmissionIdeal)};
-  seed_tasks(svc, capped);
-  if (!tee.empty()) svc.set_event_sink(&tee);
-  if (!a.obs.metrics.empty()) svc.set_metrics(&metrics);
-  run_pipeline(svc, capped, 1);
-  if (!a.obs.metrics.empty()) svc.engine().export_metrics(metrics);
+  if (a.shards > 1) {
+    pfr::serve::ShardedService svc{
+        make_sharded_config(a, pfr::pfair::ReweightPolicy::kOmissionIdeal)};
+    seed_tasks(svc, capped);
+    if (!tee.empty()) svc.set_event_sink(&tee);
+    if (!a.obs.metrics.empty()) svc.set_metrics(&metrics);
+    run_pipeline(svc, capped, 1);
+    if (!a.obs.metrics.empty()) svc.cluster().export_metrics(metrics);
+  } else {
+    ReweightService svc{
+        make_config(a, pfr::pfair::ReweightPolicy::kOmissionIdeal)};
+    seed_tasks(svc, capped);
+    if (!tee.empty()) svc.set_event_sink(&tee);
+    if (!a.obs.metrics.empty()) svc.set_metrics(&metrics);
+    run_pipeline(svc, capped, 1);
+    if (!a.obs.metrics.empty()) svc.engine().export_metrics(metrics);
+  }
   tee.flush();
   pfr::bench::report_artifacts(
       a.obs, jsonl.has_value() ? jsonl->events_written() : 0, metrics);
@@ -236,6 +295,7 @@ void write_json(const Args& a, const std::vector<PolicyResult>& results) {
   out << "{\n  \"bench\": \"service_throughput\",\n  \"config\": {"
       << "\"requests\": " << a.requests << ", \"threads\": " << a.threads
       << ", \"tasks\": " << a.tasks << ", \"processors\": " << a.processors
+      << ", \"shards\": " << a.shards
       << ", \"queue_depth\": " << a.queue_depth
       << ", \"mean_batch\": " << a.mean_batch << ", \"seed\": " << a.seed
       << "},\n  \"results\": [\n";
@@ -297,7 +357,9 @@ int main(int argc, char** argv) {
   std::cout << "# service_throughput: " << load.requests.size()
             << " requests, " << a.threads << " producer thread(s), M="
             << a.processors << ", " << a.tasks << " initial tasks, queue depth "
-            << a.queue_depth << "\n\n";
+            << a.queue_depth;
+  if (a.shards > 1) std::cout << ", " << a.shards << " shards (routed)";
+  std::cout << "\n\n";
 
   const std::vector<std::pair<pfr::pfair::ReweightPolicy, std::string>>
       policies{{pfr::pfair::ReweightPolicy::kOmissionIdeal, "PD2-OI"},

@@ -5,12 +5,17 @@
 ///
 ///   ./examples/run_scenario --file=scenario.txt [--csv=metrics.csv]
 ///       [--trace=out.jsonl] [--chrome-trace=out.json] [--metrics=m.json]
+///       [--threads=N]
 ///   ./examples/run_scenario            # runs a built-in demo (Fig. 6(b))
+///
+/// Scenarios with `shard` lines run on a Cluster instead of a single
+/// engine (--threads sizes its worker pool; --csv is engine-only).
 #include <fstream>
 #include <iostream>
 #include <optional>
 #include <sstream>
 
+#include "cluster/scenario.h"
 #include "obs/chrome_trace_sink.h"
 #include "obs/jsonl_sink.h"
 #include "obs/metrics.h"
@@ -48,6 +53,87 @@ reweight T 1/2 at=10
 horizon 20
 )";
 
+/// Cluster path: specs with `shard` lines run through
+/// cluster::build_cluster_scenario and report per-shard summaries, the
+/// migration ledger, and the cross-shard schedule digest.
+int run_cluster_scenario(const pfr::pfair::ScenarioSpec& spec,
+                         const std::string& trace_path,
+                         const std::string& chrome_path,
+                         const std::string& metrics_path,
+                         const std::string& csv, std::size_t threads) {
+  using namespace pfr;
+  if (!csv.empty()) {
+    std::cerr << "warning: --csv records a single engine; ignored for "
+                 "cluster scenarios\n";
+  }
+
+  cluster::BuiltClusterScenario built;
+  try {
+    built = cluster::build_cluster_scenario(spec, threads);
+  } catch (const std::exception& e) {
+    std::cerr << "cluster build error: " << e.what() << "\n";
+    return 1;
+  }
+  cluster::Cluster& cl = *built.cluster;
+
+  std::optional<obs::JsonlSink> jsonl;
+  std::optional<obs::ChromeTraceSink> chrome;
+  obs::TeeSink tee;
+  obs::MetricsRegistry metrics;
+  try {
+    if (!trace_path.empty()) tee.attach(&jsonl.emplace(trace_path));
+    if (!chrome_path.empty()) tee.attach(&chrome.emplace(chrome_path));
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 1;
+  }
+  if (!tee.empty()) cl.set_event_sink(&tee);
+  if (!metrics_path.empty()) cl.set_metrics(&metrics);
+
+  cl.run_until(built.horizon);
+
+  std::size_t misses = 0;
+  for (int k = 0; k < cl.shard_count(); ++k) {
+    const pfair::Engine& eng = cl.shard(k);
+    misses += eng.misses().size();
+    std::cout << "shard " << k << ": " << eng.processors()
+              << " processors, load=" << cl.shard_load(k)
+              << ", tasks=" << cl.shard_ids(k).size()
+              << ", misses=" << eng.misses().size() << "\n";
+    for (const auto& [name, id] : cl.shard_ids(k)) {
+      std::cout << "  " << pfair::summarize_task(eng, id) << "\n";
+    }
+  }
+  const cluster::ClusterStats& st = cl.stats();
+  std::cout << "\nmigrations: " << st.migrations_completed << " completed, "
+            << st.migrations_rejected << " rejected, drift charged="
+            << st.migration_drift << "\n";
+  std::cout << "misses: " << misses
+            << ", violations: " << cl.verify().size() << ", digest=" << std::hex
+            << cl.schedule_digest() << std::dec << "\n";
+
+  if (!tee.empty()) tee.flush();
+  if (jsonl.has_value()) {
+    std::cout << "trace (" << jsonl->events_written() << " events) written to "
+              << trace_path << "\n";
+  }
+  if (chrome.has_value()) {
+    std::cout << "chrome trace written to " << chrome_path
+              << " (open in chrome://tracing or ui.perfetto.dev)\n";
+  }
+  if (!metrics_path.empty()) {
+    cl.export_metrics(metrics);
+    std::ofstream out{metrics_path};
+    if (!out) {
+      std::cerr << "cannot write " << metrics_path << "\n";
+      return 1;
+    }
+    out << metrics.to_json() << "\n";
+    std::cout << "cluster metrics written to " << metrics_path << "\n";
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -60,6 +146,11 @@ int main(int argc, char** argv) {
   const std::string trace_path = cli.get_string("trace", "");
   const std::string chrome_path = cli.get_string("chrome-trace", "");
   const std::string metrics_path = cli.get_string("metrics", "");
+  const std::int64_t threads = cli.get_int("threads", 1);
+  if (threads < 1) {
+    std::cerr << "--threads must be >= 1\n";
+    return 2;
+  }
   if (!cli.unknown_flags().empty()) {
     std::cerr << "unknown flag: --" << cli.unknown_flags().front() << "\n";
     return 2;
@@ -84,6 +175,11 @@ int main(int argc, char** argv) {
   }
   for (const std::string& w : spec.warnings) {
     std::cerr << "warning: " << w << "\n";
+  }
+
+  if (!spec.shard_processors.empty()) {
+    return run_cluster_scenario(spec, trace_path, chrome_path, metrics_path,
+                                csv, static_cast<std::size_t>(threads));
   }
 
   BuiltScenario built = build_scenario(spec);

@@ -1,0 +1,381 @@
+#include "cluster/cluster.h"
+
+#include <stdexcept>
+#include <utility>
+
+#include "pfair/task.h"
+
+namespace pfr::cluster {
+
+using obs::EventKind;
+using obs::TraceEvent;
+using pfair::Slot;
+using pfair::TaskId;
+using pfair::TaskState;
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+void fnv_mix(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFF;
+    h *= kFnvPrime;
+  }
+}
+
+}  // namespace
+
+void Cluster::ShardEventBuffer::on_event(const TraceEvent& e) {
+  Buffered b;
+  b.e = e;
+  b.name.assign(e.task_name);    // the views die with the engine's call
+  b.detail.assign(e.detail);
+  events_.push_back(std::move(b));
+}
+
+void Cluster::ShardEventBuffer::flush_to(obs::EventSink& sink, int shard) {
+  for (const Buffered& b : events_) {
+    TraceEvent e = b.e;
+    e.task_name = b.name;
+    e.detail = b.detail;
+    e.shard = shard;
+    sink.on_event(e);
+  }
+  events_.clear();
+}
+
+Cluster::Cluster(ClusterConfig cfg) : cfg_(std::move(cfg)) {
+  if (cfg_.shards.empty()) {
+    throw std::invalid_argument("Cluster: at least one shard required");
+  }
+  engines_.reserve(cfg_.shards.size());
+  for (const pfair::EngineConfig& ec : cfg_.shards) {
+    engines_.push_back(std::make_unique<pfair::Engine>(ec));
+  }
+  ids_.resize(cfg_.shards.size());
+  buffers_ = std::vector<ShardEventBuffer>(cfg_.shards.size());
+  dispatched_before_.assign(cfg_.shards.size(), 0);
+  if (cfg_.threads > 1) pool_ = std::make_unique<ThreadPool>(cfg_.threads);
+}
+
+Rational Cluster::shard_load(int k) const {
+  // Mirrors Engine::police()'s reservation sum: active members plus
+  // not-yet-joined tasks (their capacity is already spoken for), excluding
+  // the departed and the quarantined.
+  const pfair::Engine& engine = shard(k);
+  Rational sum;
+  for (std::size_t i = 0; i < engine.task_count(); ++i) {
+    const TaskState& t = engine.task(static_cast<TaskId>(i));
+    if (t.quarantined()) continue;
+    if (t.left_at <= engine.now()) continue;
+    sum += t.reserved_weight();
+  }
+  return sum;
+}
+
+Cluster::AdmitResult Cluster::admit(const std::string& name,
+                                    const Rational& weight, int rank,
+                                    int forced_shard, Slot join) {
+  if (shard_of_.count(name) != 0) {
+    throw std::invalid_argument("Cluster::admit: duplicate task name " + name);
+  }
+  int k = forced_shard;
+  if (k < 0) {
+    std::vector<Rational> loads;
+    std::vector<int> capacities;
+    loads.reserve(engines_.size());
+    capacities.reserve(engines_.size());
+    for (int i = 0; i < shard_count(); ++i) {
+      loads.push_back(shard_load(i));
+      capacities.push_back(shard(i).alive_processors());
+    }
+    k = choose_shard(cfg_.placement, loads, capacities, weight);
+    if (k < 0) {
+      ++stats_.placement_rejects;
+      return AdmitResult{};
+    }
+  } else if (k >= shard_count()) {
+    throw std::invalid_argument("Cluster::admit: shard out of range");
+  }
+  const TaskId local = shard(k).add_task(weight, join < 0 ? now_ : join, name);
+  if (rank != 0) shard(k).set_tie_rank(local, rank);
+  ids_[static_cast<std::size_t>(k)].emplace(name, local);
+  shard_of_.emplace(name, k);
+  ++stats_.admitted;
+  return AdmitResult{k, local};
+}
+
+std::optional<Cluster::MemberRef> Cluster::find(
+    const std::string& name) const {
+  const auto it = shard_of_.find(name);
+  if (it == shard_of_.end()) return std::nullopt;
+  const auto& ids = ids_[static_cast<std::size_t>(it->second)];
+  const auto local = ids.find(name);
+  if (local == ids.end()) return std::nullopt;
+  return MemberRef{it->second, local->second};
+}
+
+bool Cluster::request_weight_change(const std::string& name,
+                                    const Rational& target, Slot at) {
+  const auto ref = find(name);
+  if (!ref || migrating(name)) return false;
+  shard(ref->shard).request_weight_change(ref->local, target, at);
+  return true;
+}
+
+bool Cluster::request_leave(const std::string& name, Slot at) {
+  const auto ref = find(name);
+  if (!ref || migrating(name)) return false;
+  shard(ref->shard).request_leave(ref->local, at);
+  return true;
+}
+
+bool Cluster::request_migrate(const std::string& name, int to_shard) {
+  return schedule_migrate(name, to_shard, now_);
+}
+
+bool Cluster::schedule_migrate(const std::string& name, int to_shard,
+                               Slot at) {
+  const auto ref = find(name);
+  if (!ref || migrating(name) || at < now_) return false;
+  if (to_shard < 0 || to_shard >= shard_count() || to_shard == ref->shard) {
+    return false;
+  }
+  for (const PendingMigration& p : pending_migrations_) {
+    if (p.name == name) return false;
+  }
+  pending_migrations_.push_back(PendingMigration{name, to_shard, at});
+  ++stats_.migrations_requested;
+  return true;
+}
+
+void Cluster::start_migration(const std::string& name, int to_shard, Slot t) {
+  const auto ref = find(name);
+  if (!ref || migrating(name) || ref->shard == to_shard) {
+    ++stats_.migrations_rejected;
+    return;
+  }
+  const Migrator::Outcome out =
+      migrator_.start(shard(ref->shard), ref->shard, ref->local,
+                      shard(to_shard), to_shard, name, t);
+  if (!out.ok) {
+    ++stats_.migrations_rejected;
+    return;
+  }
+  const MigrationRecord& rec = migrator_.record(out.record);
+  ids_[static_cast<std::size_t>(rec.from)].erase(name);
+  ids_[static_cast<std::size_t>(rec.to)].emplace(name, rec.to_local);
+  shard_of_[name] = rec.to;
+  stats_.migration_drift += rec.drift_charged;
+  ++stats_.migrations_started;
+  if (sink_ != nullptr) {
+    TraceEvent e;
+    e.kind = EventKind::kMigrateOut;
+    e.slot = t;
+    e.shard = rec.from;
+    e.task = rec.from_local;
+    e.task_name = rec.name;
+    e.when = rec.leave_at;
+    e.weight_from = rec.weight;
+    e.folded = rec.to;
+    emit(e);
+  }
+}
+
+void Cluster::maybe_rebalance(Slot t) {
+  const RebalanceConfig& rb = cfg_.rebalance;
+  if (!rb.enabled || t == 0 || t % rb.period != 0) return;
+  std::vector<ShardLoadView> views;
+  views.reserve(engines_.size());
+  for (int k = 0; k < shard_count(); ++k) {
+    ShardLoadView v;
+    v.load = shard_load(k);
+    v.capacity = shard(k).alive_processors();
+    // ids_ is name-ordered, so the movable list (and thus the plan) is
+    // independent of admission order.
+    for (const auto& [name, local] : ids_[static_cast<std::size_t>(k)]) {
+      const TaskState& task = shard(k).task(local);
+      if (task.quarantined()) continue;
+      if (task.leave_requested_at != pfair::kNever || task.left_at <= t) {
+        continue;
+      }
+      if (migrator_.migrating(name)) continue;
+      v.movable.emplace_back(name, task.reserved_weight());
+    }
+    views.push_back(std::move(v));
+  }
+  const std::vector<RebalanceMove> plan = plan_rebalance(views, rb);
+  if (plan.empty()) return;
+  ++stats_.rebalances;
+  if (sink_ != nullptr) {
+    TraceEvent e;
+    e.kind = EventKind::kRebalance;
+    e.slot = t;
+    e.folded = static_cast<int>(plan.size());
+    e.value = normalized_spread(views);
+    e.detail = any_overloaded(views) ? "overload" : "imbalance";
+    emit(e);
+  }
+  for (const RebalanceMove& move : plan) {
+    ++stats_.migrations_requested;
+    pending_migrations_.push_back(PendingMigration{move.name, move.to, t});
+  }
+}
+
+void Cluster::coordinator_phase(Slot t) {
+  maybe_rebalance(t);
+  std::vector<PendingMigration> all = std::move(pending_migrations_);
+  pending_migrations_.clear();
+  for (PendingMigration& p : all) {
+    if (p.at <= t) {
+      start_migration(p.name, p.to, t);
+    } else {
+      pending_migrations_.push_back(std::move(p));  // not due yet
+    }
+  }
+  for (const std::size_t idx : migrator_.complete_due(t)) {
+    const MigrationRecord& rec = migrator_.record(idx);
+    ++stats_.migrations_completed;
+    if (sink_ != nullptr) {
+      TraceEvent e;
+      e.kind = EventKind::kMigrateIn;
+      e.slot = t;
+      e.shard = rec.to;
+      e.task = rec.to_local;
+      e.task_name = rec.name;
+      e.weight_to = rec.weight;
+      e.value = rec.drift_charged;
+      e.folded = rec.from;
+      emit(e);
+    }
+  }
+}
+
+void Cluster::merge_phase(Slot t) {
+  for (int k = 0; k < shard_count(); ++k) {
+    if (sink_ != nullptr) {
+      buffers_[static_cast<std::size_t>(k)].flush_to(*sink_, k);
+    }
+    const pfair::Engine& engine = shard(k);
+    const std::int64_t dispatched = engine.stats().dispatched;
+    const int delta = static_cast<int>(
+        dispatched - dispatched_before_[static_cast<std::size_t>(k)]);
+    dispatched_before_[static_cast<std::size_t>(k)] = dispatched;
+    if (sink_ != nullptr) {
+      TraceEvent e;
+      e.kind = EventKind::kShardStep;
+      e.slot = t;
+      e.shard = k;
+      e.folded = delta;
+      e.b = engine.config().record_slot_trace && !engine.trace().empty()
+                ? engine.trace().back().capacity
+                : engine.alive_processors();
+      emit(e);
+    }
+    if (metrics_ != nullptr) {
+      metrics_->set_gauge("cluster.shard" + std::to_string(k) + ".dispatched",
+                          static_cast<double>(dispatched));
+    }
+  }
+  if (metrics_ != nullptr) {
+    metrics_->set_gauge("cluster.migration.drift",
+                        stats_.migration_drift.to_double());
+    metrics_->set_gauge(
+        "cluster.migrations.inflight",
+        static_cast<double>(stats_.migrations_started -
+                            stats_.migrations_completed));
+  }
+}
+
+void Cluster::step() {
+  const Slot t = now_;
+  coordinator_phase(t);
+  // Parallel phase: shards share no mutable state (each engine traces into
+  // its own buffer, no metrics attached), so stepping them concurrently is
+  // race-free; wait_idle() is the per-slot barrier.
+  if (pool_ != nullptr) {
+    for (const std::unique_ptr<pfair::Engine>& engine : engines_) {
+      pfair::Engine* e = engine.get();
+      pool_->submit([e] { e->step(); });
+    }
+    pool_->wait_idle();
+  } else {
+    for (const std::unique_ptr<pfair::Engine>& engine : engines_) {
+      engine->step();
+    }
+  }
+  merge_phase(t);
+  ++now_;
+  ++stats_.slots;
+}
+
+void Cluster::run_until(Slot horizon) {
+  while (now_ < horizon) step();
+}
+
+void Cluster::set_event_sink(obs::EventSink* sink) {
+  sink_ = sink;
+  for (int k = 0; k < shard_count(); ++k) {
+    shard(k).set_event_sink(
+        sink != nullptr ? &buffers_[static_cast<std::size_t>(k)] : nullptr);
+  }
+}
+
+void Cluster::export_metrics(obs::MetricsRegistry& registry) const {
+  registry.counter("cluster.slots").add(stats_.slots);
+  registry.counter("cluster.admitted").add(stats_.admitted);
+  registry.counter("cluster.placement.rejects").add(stats_.placement_rejects);
+  registry.counter("cluster.migrations.requested")
+      .add(stats_.migrations_requested);
+  registry.counter("cluster.migrations.started")
+      .add(stats_.migrations_started);
+  registry.counter("cluster.migrations.completed")
+      .add(stats_.migrations_completed);
+  registry.counter("cluster.migrations.rejected")
+      .add(stats_.migrations_rejected);
+  registry.counter("cluster.rebalances").add(stats_.rebalances);
+  registry.set_gauge("cluster.migration.drift",
+                     stats_.migration_drift.to_double());
+  registry.set_gauge("cluster.shards", static_cast<double>(shard_count()));
+  for (int k = 0; k < shard_count(); ++k) {
+    registry.set_gauge("cluster.shard" + std::to_string(k) + ".load",
+                       shard_load(k).to_double());
+    // engine.* counters accumulate across shards: cluster-wide totals.
+    shard(k).export_metrics(registry);
+  }
+}
+
+std::uint64_t Cluster::schedule_digest() const {
+  std::uint64_t h = kFnvOffset;
+  for (int k = 0; k < shard_count(); ++k) {
+    fnv_mix(h, pfair::schedule_digest(shard(k)));
+  }
+  for (const MigrationRecord& rec : migrator_.records()) {
+    fnv_mix(h, static_cast<std::uint64_t>(rec.from));
+    fnv_mix(h, static_cast<std::uint64_t>(rec.to));
+    fnv_mix(h, static_cast<std::uint64_t>(rec.from_local));
+    fnv_mix(h, static_cast<std::uint64_t>(rec.to_local));
+    fnv_mix(h, static_cast<std::uint64_t>(rec.leave_at));
+    fnv_mix(h, static_cast<std::uint64_t>(rec.weight.num()));
+    fnv_mix(h, static_cast<std::uint64_t>(rec.weight.den()));
+    fnv_mix(h, rec.completed ? 1u : 0u);
+  }
+  fnv_mix(h, static_cast<std::uint64_t>(stats_.migrations_rejected));
+  fnv_mix(h, static_cast<std::uint64_t>(stats_.rebalances));
+  return h;
+}
+
+std::vector<pfair::Violation> Cluster::verify() const {
+  std::vector<pfair::Violation> all;
+  for (int k = 0; k < shard_count(); ++k) {
+    for (pfair::Violation& v : pfair::verify_schedule(shard(k))) {
+      all.push_back(
+          pfair::Violation{"shard" + std::to_string(k) + ": " + v.what});
+    }
+  }
+  return all;
+}
+
+}  // namespace pfr::cluster

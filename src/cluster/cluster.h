@@ -1,0 +1,224 @@
+/// \file cluster.h
+/// \brief A sharded PD2 cluster: K independent engines behind one clock.
+///
+/// Each shard is a complete pfair::Engine (own processor count, ready
+/// queue, fault plan, policing) scheduling a disjoint task subset; the
+/// Cluster adds the coordination that cannot live inside one shard:
+///
+///   * placement (placement.h) picks a shard at admission;
+///   * the Migrator (migrate.h) moves tasks between shards as rule L on
+///     the source + an ordinary join on the target, so per-shard theory
+///     checks and drift accounting stay valid;
+///   * the Rebalancer (rebalance.h) fires on imbalance/overload triggers
+///     and queues minimal-disruption move sets;
+///   * step() advances every shard one slot, optionally in parallel on a
+///     ThreadPool.
+///
+/// Determinism contract (the one src/serve established for producer
+/// threads, extended to worker threads): a slot is [serial coordinator
+/// phase: rebalance triggers, migration starts/completions] -> [parallel
+/// phase: each shard steps independently, tracing into a per-shard buffer]
+/// -> [serial merge: buffers flush to the real sink in shard order 0..K-1,
+/// gauges update].  Shards share no mutable state during the parallel
+/// phase, and the merge order is fixed, so traces, metrics, digests, and
+/// schedules are bit-identical across worker-thread counts.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/migrate.h"
+#include "cluster/placement.h"
+#include "cluster/rebalance.h"
+#include "obs/event.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
+#include "pfair/engine.h"
+#include "pfair/verify.h"
+#include "util/thread_pool.h"
+
+namespace pfr::cluster {
+
+struct ClusterConfig {
+  /// One EngineConfig per shard (shard k gets shards[k]; M_k may differ).
+  std::vector<pfair::EngineConfig> shards;
+  PlacementPolicy placement{PlacementPolicy::kWeightedWorkload};
+  /// Worker threads for the parallel slot loop; <= 1 steps shards serially
+  /// on the caller's thread (identical results either way).
+  std::size_t threads{1};
+  RebalanceConfig rebalance;
+};
+
+struct ClusterStats {
+  std::int64_t slots{0};
+  std::int64_t admitted{0};
+  std::int64_t placement_rejects{0};
+  std::int64_t migrations_requested{0};
+  std::int64_t migrations_started{0};
+  std::int64_t migrations_completed{0};
+  std::int64_t migrations_rejected{0};
+  std::int64_t rebalances{0};
+  Rational migration_drift;  ///< sum of Thm.-3 charges (cluster.migration.drift)
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig cfg);
+
+  // ----- membership -----
+
+  struct MemberRef {
+    int shard{-1};
+    pfair::TaskId local{-1};
+  };
+
+  struct AdmitResult {
+    int shard{-1};             ///< -1: no shard fits (placement reject)
+    pfair::TaskId local{-1};
+  };
+
+  /// Places and adds a task joining at `join` (< 0 means now()).
+  /// `forced_shard` >= 0 bypasses placement (router fallback, tests); the
+  /// caller then owns the fit decision.  Throws std::invalid_argument on a
+  /// duplicate name.
+  AdmitResult admit(const std::string& name, const Rational& weight,
+                    int rank = 0, int forced_shard = -1,
+                    pfair::Slot join = -1);
+
+  /// Where `name` currently lives (the *target* shard while migrating).
+  [[nodiscard]] std::optional<MemberRef> find(const std::string& name) const;
+
+  /// True while `name` is mid-migration (requests should be deferred).
+  [[nodiscard]] bool migrating(const std::string& name) const {
+    return migrator_.migrating(name);
+  }
+
+  // ----- dynamic behavior (routed by name) -----
+
+  /// Returns false (not routed) for unknown or mid-migration tasks.
+  bool request_weight_change(const std::string& name, const Rational& target,
+                             pfair::Slot at);
+  bool request_leave(const std::string& name, pfair::Slot at);
+
+  /// Queues a migration to `to_shard`; it starts at the next step()'s
+  /// coordinator phase.  False if the task is unknown, already migrating,
+  /// queued, or `to_shard` is out of range / the current shard.
+  bool request_migrate(const std::string& name, int to_shard);
+
+  /// As request_migrate, but the move starts at the coordinator phase of
+  /// slot `at` (>= now(); scenario `migrate ... at=<t>` directives).
+  bool schedule_migrate(const std::string& name, int to_shard,
+                        pfair::Slot at);
+
+  // ----- execution -----
+
+  void step();
+  void run_until(pfair::Slot horizon);
+  [[nodiscard]] pfair::Slot now() const noexcept { return now_; }
+
+  // ----- observability -----
+
+  /// Attaches a sink.  Shard engines trace into per-shard buffers that the
+  /// merge phase flushes in shard order with `shard` stamped, so the JSONL
+  /// stream is deterministic and every engine event is shard-attributed.
+  void set_event_sink(obs::EventSink* sink);
+  /// Registry for cluster.* gauges, updated in the serial merge phase
+  /// (MetricsRegistry is not thread-safe; shard engines never see it).
+  void set_metrics(obs::MetricsRegistry* registry) noexcept {
+    metrics_ = registry;
+  }
+  /// Exports cluster.* counters/gauges plus every shard's engine.*
+  /// counters (accumulated across shards: cluster-wide totals) into
+  /// `registry`.  Use a fresh registry per run.
+  void export_metrics(obs::MetricsRegistry& registry) const;
+
+  // ----- queries -----
+
+  [[nodiscard]] int shard_count() const noexcept {
+    return static_cast<int>(engines_.size());
+  }
+  [[nodiscard]] pfair::Engine& shard(int k) {
+    return *engines_.at(static_cast<std::size_t>(k));
+  }
+  [[nodiscard]] const pfair::Engine& shard(int k) const {
+    return *engines_.at(static_cast<std::size_t>(k));
+  }
+  /// name -> local TaskId for shard k's current members.
+  [[nodiscard]] const std::map<std::string, pfair::TaskId>& shard_ids(
+      int k) const {
+    return ids_.at(static_cast<std::size_t>(k));
+  }
+  /// Shard k's reserved weight (the policing view: active and not-yet-
+  /// joined members' reserved weights).
+  [[nodiscard]] Rational shard_load(int k) const;
+
+  [[nodiscard]] const ClusterStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const Migrator& migrator() const noexcept { return migrator_; }
+  [[nodiscard]] const ClusterConfig& config() const noexcept { return cfg_; }
+
+  /// Order-sensitive digest over every shard's schedule history (shard
+  /// order 0..K-1) plus the migration ledger: the cross-thread-count
+  /// bit-identity check.
+  [[nodiscard]] std::uint64_t schedule_digest() const;
+
+  /// verify_schedule() on every shard, violations prefixed "shard<k>: ".
+  [[nodiscard]] std::vector<pfair::Violation> verify() const;
+
+ private:
+  /// Buffers one shard's trace events during the parallel phase.  Owns
+  /// copies of the string_view fields (they point into engine state that
+  /// may be mutated by the shard's own later events).
+  class ShardEventBuffer final : public obs::EventSink {
+   public:
+    void on_event(const obs::TraceEvent& e) override;
+    /// Replays buffered events into `sink` with `shard` stamped, then
+    /// clears.  Serial-phase only.
+    void flush_to(obs::EventSink& sink, int shard);
+
+   private:
+    struct Buffered {
+      obs::TraceEvent e;
+      std::string name;
+      std::string detail;
+    };
+    std::vector<Buffered> events_;
+  };
+
+  void coordinator_phase(pfair::Slot t);
+  void start_migration(const std::string& name, int to_shard, pfair::Slot t);
+  void maybe_rebalance(pfair::Slot t);
+  void merge_phase(pfair::Slot t);
+  void emit(const obs::TraceEvent& e) {
+    if (sink_ != nullptr) sink_->on_event(e);
+  }
+
+  ClusterConfig cfg_;
+  pfair::Slot now_{0};
+  std::vector<std::unique_ptr<pfair::Engine>> engines_;
+  std::vector<std::map<std::string, pfair::TaskId>> ids_;  ///< per shard
+  std::map<std::string, int> shard_of_;  ///< name -> current shard
+  Migrator migrator_;
+  struct PendingMigration {
+    std::string name;
+    int to;
+    pfair::Slot at;  ///< earliest slot the move may start
+  };
+  std::vector<PendingMigration> pending_migrations_;
+
+  obs::EventSink* sink_{nullptr};
+  obs::MetricsRegistry* metrics_{nullptr};
+  std::vector<ShardEventBuffer> buffers_;
+  /// Per-shard dispatched counter after the previous slot, for the
+  /// kShardStep per-slot delta.
+  std::vector<std::int64_t> dispatched_before_;
+
+  std::unique_ptr<ThreadPool> pool_;  ///< null when cfg_.threads <= 1
+
+  ClusterStats stats_;
+};
+
+}  // namespace pfr::cluster

@@ -1,0 +1,87 @@
+#include "cluster/migrate.h"
+
+#include <algorithm>
+
+#include "pfair/task.h"
+
+namespace pfr::cluster {
+
+using pfair::Slot;
+using pfair::TaskId;
+using pfair::TaskState;
+
+Migrator::Outcome Migrator::start(pfair::Engine& source, int from,
+                                  TaskId local, pfair::Engine& target, int to,
+                                  const std::string& name, Slot now) {
+  Outcome out;
+  if (from == to) {
+    out.error = "source and target shard are the same";
+    return out;
+  }
+  const TaskState& task = source.task(local);
+  if (task.quarantined()) {
+    out.error = "task is quarantined";
+    return out;
+  }
+  if (task.leave_requested_at != pfair::kNever || task.left_at <= now) {
+    out.error = "task is already leaving";
+    return out;
+  }
+  // The migrating weight is the task's capacity reservation on the source
+  // (scheduling weight, or a larger pending target): moving exactly this
+  // keeps both shards' property-(W) books balanced.
+  const Rational weight = task.reserved_weight();
+  // Never clamp a migration -- the task keeps its weight or stays put.
+  if (target.preview_admission(-1, weight) != weight) {
+    out.error = "target shard lacks capacity for " + weight.to_string();
+    return out;
+  }
+
+  MigrationRecord rec;
+  rec.name = name;
+  rec.from = from;
+  rec.to = to;
+  rec.from_local = local;
+  rec.requested_at = now;
+  rec.weight = weight;
+  // Rule L on the source fixes the leave slot; the target joins the task at
+  // exactly that slot, so the weight is scheduled by one shard per slot.
+  rec.leave_at = source.leave_now(local);
+  rec.join_at = rec.leave_at;
+  rec.to_local = target.add_task(weight, rec.join_at, name);
+  // Theorem 3: leave/join drift scales with the enactment delay.  The task
+  // is denied its ideal allocation from the request until it rejoins.
+  rec.drift_charged = weight * Rational{rec.leave_at - rec.requested_at};
+
+  out.ok = true;
+  out.record = records_.size();
+  records_.push_back(std::move(rec));
+  return out;
+}
+
+std::vector<std::size_t> Migrator::complete_due(Slot t) {
+  std::vector<std::size_t> due;
+  for (std::size_t i = 0; i < records_.size(); ++i) {
+    MigrationRecord& rec = records_[i];
+    if (!rec.completed && rec.join_at <= t) {
+      rec.completed = true;
+      due.push_back(i);
+    }
+  }
+  return due;
+}
+
+bool Migrator::migrating(const std::string& name) const {
+  return std::any_of(records_.begin(), records_.end(),
+                     [&name](const MigrationRecord& r) {
+                       return !r.completed && r.name == name;
+                     });
+}
+
+Rational Migrator::total_drift() const {
+  Rational sum;
+  for (const MigrationRecord& r : records_) sum += r.drift_charged;
+  return sum;
+}
+
+}  // namespace pfr::cluster

@@ -1,0 +1,86 @@
+/// \file migrate.h
+/// \brief Cross-shard task migration as rule L + join.
+///
+/// A migration never invents new scheduling mechanics: the source shard
+/// applies rule L *now* (Engine::leave_now, which freezes the release chain
+/// and fixes the leave slot at d(T_j) + b(T_j) of the last released
+/// subtask), and the target shard is handed an ordinary join at exactly
+/// that slot.  Because the target's policing counts not-yet-joined tasks in
+/// its reserved weight, the add_task call *reserves* the migrating weight
+/// immediately -- no later admission step can overcommit the target while
+/// the task is still draining off the source.  Per-shard theory checks and
+/// drift accounting therefore remain valid verbatim on both sides.
+///
+/// The drift cost charged to a migration follows Theorem 3's leave/join
+/// bound: the task forgoes w * (leave_at - requested_at) quanta of ideal
+/// allocation between asking to move and actually rejoining.  The cluster
+/// accumulates these charges into `cluster.migration.drift`.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pfair/engine.h"
+#include "pfair/types.h"
+#include "rational/rational.h"
+
+namespace pfr::cluster {
+
+/// One migration, from request through completion.
+struct MigrationRecord {
+  std::string name;              ///< cluster-wide task name
+  int from{-1};                  ///< source shard index
+  int to{-1};                    ///< target shard index
+  pfair::TaskId from_local{-1};  ///< TaskId inside the source engine
+  pfair::TaskId to_local{-1};    ///< TaskId inside the target engine
+  pfair::Slot requested_at{0};
+  pfair::Slot leave_at{0};  ///< rule-L slot on the source (== join slot)
+  pfair::Slot join_at{0};   ///< join slot on the target
+  Rational weight;          ///< scheduling weight carried across
+  Rational drift_charged;   ///< Thm. 3 cost: weight * (leave - request)
+  bool completed{false};    ///< target join slot has been reached
+};
+
+class Migrator {
+ public:
+  struct Outcome {
+    bool ok{false};
+    std::string error;  ///< reject reason when !ok
+    /// Valid when ok: index into records() of the new in-flight migration.
+    std::size_t record{0};
+  };
+
+  /// Starts moving `source`'s task `local` (named `name`) to `target`:
+  /// checks the task is migratable (joined state irrelevant, but it must
+  /// not be leaving, quarantined, or carrying a pending reweight toward a
+  /// heavier weight than the target can absorb), checks the target grants
+  /// the full weight (migrations are never clamped -- the task's weight is
+  /// its contract), then applies rule L on the source and the join on the
+  /// target.  Pure reject on failure: neither engine is touched.
+  Outcome start(pfair::Engine& source, int from, pfair::TaskId local,
+                pfair::Engine& target, int to, const std::string& name,
+                pfair::Slot now);
+
+  /// Marks every in-flight migration whose join slot has arrived as
+  /// completed and returns their record indices (in start order -- the
+  /// deterministic merge order for kMigrateIn events).
+  [[nodiscard]] std::vector<std::size_t> complete_due(pfair::Slot t);
+
+  /// True while `name` has an in-flight (started, not completed) migration.
+  [[nodiscard]] bool migrating(const std::string& name) const;
+
+  [[nodiscard]] const std::vector<MigrationRecord>& records() const noexcept {
+    return records_;
+  }
+  [[nodiscard]] const MigrationRecord& record(std::size_t i) const {
+    return records_.at(i);
+  }
+
+  /// Sum of drift_charged over all started migrations (Thm. 3 accounting).
+  [[nodiscard]] Rational total_drift() const;
+
+ private:
+  std::vector<MigrationRecord> records_;
+};
+
+}  // namespace pfr::cluster

@@ -1,0 +1,48 @@
+#include "cluster/placement.h"
+
+#include <cassert>
+
+namespace pfr::cluster {
+
+std::optional<PlacementPolicy> parse_placement_policy(std::string_view text) {
+  if (text == "first-fit") return PlacementPolicy::kFirstFit;
+  if (text == "worst-fit") return PlacementPolicy::kWorstFit;
+  if (text == "wwta") return PlacementPolicy::kWeightedWorkload;
+  return std::nullopt;
+}
+
+int choose_shard(PlacementPolicy policy, const std::vector<Rational>& loads,
+                 const std::vector<int>& capacities, const Rational& weight) {
+  assert(loads.size() == capacities.size());
+  const int k = static_cast<int>(loads.size());
+  int best = -1;
+  for (int i = 0; i < k; ++i) {
+    const Rational cap{capacities[static_cast<std::size_t>(i)]};
+    const Rational& load = loads[static_cast<std::size_t>(i)];
+    if (load + weight > cap) continue;  // infeasible: would break (W)
+    if (best < 0) {
+      best = i;
+      if (policy == PlacementPolicy::kFirstFit) return best;
+      continue;
+    }
+    const Rational best_cap{capacities[static_cast<std::size_t>(best)]};
+    const Rational& best_load = loads[static_cast<std::size_t>(best)];
+    switch (policy) {
+      case PlacementPolicy::kFirstFit:
+        break;  // unreachable: first fit returned above
+      case PlacementPolicy::kWorstFit:
+        // Most absolute headroom wins; ties keep the lower index.
+        if (cap - load > best_cap - best_load) best = i;
+        break;
+      case PlacementPolicy::kWeightedWorkload:
+        // Least post-join normalized load wins:
+        //   (L_i + w)/M_i < (L_best + w)/M_best
+        // cross-multiplied to stay in exact arithmetic.
+        if ((load + weight) * best_cap < (best_load + weight) * cap) best = i;
+        break;
+    }
+  }
+  return best;
+}
+
+}  // namespace pfr::cluster

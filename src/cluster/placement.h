@@ -1,0 +1,56 @@
+/// \file placement.h
+/// \brief Shard-selection policies for cluster admission.
+///
+/// Placement is the cluster-level half of property (W): each shard k is an
+/// independent PD2 engine with capacity M_k, and a join is feasible on k iff
+/// the shard's reserved weight plus the joining weight fits in M_k.  Among
+/// feasible shards the policy picks one:
+///   * first-fit:  the lowest-indexed shard that fits (fast, packs left);
+///   * worst-fit:  the shard with the most absolute headroom M_k - L_k
+///     (spreads load, leaves room for future reweight-up requests);
+///   * weighted-workload (WWTA): the shard minimizing the post-join
+///     normalized load (L_k + w) / M_k -- the heterogeneous-server routing
+///     rule of the weighted-workload task-assignment literature, which
+///     equalizes *relative* utilization when shards have different M_k.
+///
+/// All policies are pure functions over (loads, capacities, weight) and
+/// break ties toward the lowest shard index, so placement is deterministic.
+#pragma once
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "rational/rational.h"
+
+namespace pfr::cluster {
+
+enum class PlacementPolicy : std::uint8_t {
+  kFirstFit,
+  kWorstFit,
+  kWeightedWorkload,
+};
+
+[[nodiscard]] constexpr const char* to_string(PlacementPolicy p) noexcept {
+  switch (p) {
+    case PlacementPolicy::kFirstFit: return "first-fit";
+    case PlacementPolicy::kWorstFit: return "worst-fit";
+    case PlacementPolicy::kWeightedWorkload: return "wwta";
+  }
+  return "?";
+}
+
+/// Parses the scenario-grammar spelling ("first-fit", "worst-fit", "wwta").
+[[nodiscard]] std::optional<PlacementPolicy> parse_placement_policy(
+    std::string_view text);
+
+/// Picks the shard for a task of the given weight.  `loads[k]` is shard k's
+/// current reserved weight, `capacities[k]` its (alive) processor count.
+/// Returns the chosen shard index, or -1 when no shard fits (the cluster
+/// counts a placement reject).  Requires loads.size() == capacities.size().
+[[nodiscard]] int choose_shard(PlacementPolicy policy,
+                               const std::vector<Rational>& loads,
+                               const std::vector<int>& capacities,
+                               const Rational& weight);
+
+}  // namespace pfr::cluster

@@ -1,0 +1,111 @@
+#include "cluster/rebalance.h"
+
+#include <cstddef>
+#include <utility>
+
+namespace pfr::cluster {
+namespace {
+
+Rational normalized(const ShardLoadView& s) {
+  return s.load / Rational{s.capacity};
+}
+
+Rational abs_diff(const Rational& a, const Rational& b) {
+  return a > b ? a - b : b - a;
+}
+
+}  // namespace
+
+Rational normalized_spread(const std::vector<ShardLoadView>& shards) {
+  if (shards.size() < 2) return Rational{0};
+  Rational lo = normalized(shards.front());
+  Rational hi = lo;
+  for (const ShardLoadView& s : shards) {
+    const Rational n = normalized(s);
+    if (n < lo) lo = n;
+    if (n > hi) hi = n;
+  }
+  return hi - lo;
+}
+
+bool any_overloaded(const std::vector<ShardLoadView>& shards) {
+  for (const ShardLoadView& s : shards) {
+    if (s.load > Rational{s.capacity}) return true;
+  }
+  return false;
+}
+
+std::vector<RebalanceMove> plan_rebalance(
+    const std::vector<ShardLoadView>& shards, const RebalanceConfig& cfg) {
+  std::vector<RebalanceMove> plan;
+  if (shards.size() < 2) return plan;
+  std::vector<ShardLoadView> view = shards;  // mutated as moves are planned
+
+  for (int round = 0; round < cfg.max_moves; ++round) {
+    const bool overloaded = any_overloaded(view);
+    const Rational spread = normalized_spread(view);
+    if (!overloaded && spread <= cfg.threshold) break;
+
+    // Donor: highest normalized load (ties -> lowest index); recipient:
+    // lowest.  When the trigger is overload, prefer an overloaded donor so
+    // the move actually relieves the capacity violation.
+    std::size_t hi = 0, lo = 0;
+    for (std::size_t k = 1; k < view.size(); ++k) {
+      if (normalized(view[k]) > normalized(view[hi])) hi = k;
+      if (normalized(view[k]) < normalized(view[lo])) lo = k;
+    }
+    if (overloaded && view[hi].load <= Rational{view[hi].capacity}) {
+      for (std::size_t k = 0; k < view.size(); ++k) {
+        if (view[k].load > Rational{view[k].capacity}) {
+          hi = k;
+          break;
+        }
+      }
+    }
+    if (hi == lo) break;
+
+    const Rational l_hi = view[hi].load, l_lo = view[lo].load;
+    const Rational m_hi{view[hi].capacity}, m_lo{view[lo].capacity};
+    // Moving w* equalizes the pair: (L_hi - w)/M_hi == (L_lo + w)/M_lo.
+    const Rational ideal = (l_hi * m_lo - l_lo * m_hi) / (m_hi + m_lo);
+
+    // Candidate: the movable task closest to w* that still fits on the
+    // recipient; ties break toward the lexicographically smallest name so
+    // the plan is independent of container ordering upstream.
+    const std::vector<std::pair<std::string, Rational>>& movable =
+        view[hi].movable;
+    std::size_t best = movable.size();
+    for (std::size_t i = 0; i < movable.size(); ++i) {
+      const Rational& w = movable[i].second;
+      if (l_lo + w > m_lo) continue;  // recipient cannot take it
+      if (best == movable.size()) {
+        best = i;
+        continue;
+      }
+      const Rational d = abs_diff(w, ideal);
+      const Rational bd = abs_diff(movable[best].second, ideal);
+      if (d < bd || (d == bd && movable[i].first < movable[best].first)) {
+        best = i;
+      }
+    }
+    if (best == movable.size()) break;  // nothing movable fits
+
+    // A move that does not strictly reduce the spread (and relieves no
+    // overload) would thrash; stop instead.
+    std::vector<ShardLoadView> after = view;
+    const Rational w = movable[best].second;
+    after[hi].load -= w;
+    after[lo].load += w;
+    if (!overloaded && normalized_spread(after) >= spread) break;
+
+    plan.push_back(RebalanceMove{movable[best].first, static_cast<int>(hi),
+                                 static_cast<int>(lo), w});
+    view[lo].load += w;
+    view[hi].load -= w;
+    view[hi].movable.erase(view[hi].movable.begin() +
+                           static_cast<std::ptrdiff_t>(best));
+  }
+  return plan;
+}
+
+}  // namespace pfr::cluster

@@ -1,0 +1,67 @@
+/// \file rebalance.h
+/// \brief Imbalance/overload-triggered cross-shard move planning.
+///
+/// The rebalancer watches the shards' normalized loads L_k / M_k and, when
+/// the spread (max - min) exceeds a threshold or any shard is overloaded
+/// (L_k > alive capacity, e.g. after a processor crash), plans a *minimal
+/// disruption* move set: at most `max_moves` migrations, each chosen as the
+/// single task whose weight best approximates the transfer that equalizes
+/// the donor/recipient pair.  Every planned move executes as an ordinary
+/// rule L + join migration (migrate.h), so rebalancing inherits the same
+/// drift accounting -- the "accuracy" price of the efficiency gained.
+///
+/// Planning is a pure function over a load snapshot, deterministic by
+/// construction (lowest-index / lexicographic tie-breaks), and independently
+/// unit-testable without engines.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "pfair/types.h"
+#include "rational/rational.h"
+
+namespace pfr::cluster {
+
+struct RebalanceConfig {
+  bool enabled{false};
+  pfair::Slot period{64};      ///< evaluate triggers every `period` slots
+  Rational threshold{1, 4};    ///< max allowed normalized-load spread
+  int max_moves{4};            ///< disruption cap per firing
+};
+
+/// Snapshot of one shard for the planner.
+struct ShardLoadView {
+  Rational load;  ///< reserved weight of the shard's members
+  int capacity{1};  ///< alive processors M_k
+  /// Movable members (active, not already migrating/leaving), name + weight.
+  std::vector<std::pair<std::string, Rational>> movable;
+};
+
+/// One planned migration.
+struct RebalanceMove {
+  std::string name;
+  int from{-1};
+  int to{-1};
+  Rational weight;
+};
+
+/// max_k L_k/M_k - min_k L_k/M_k (zero for fewer than two shards).
+[[nodiscard]] Rational normalized_spread(
+    const std::vector<ShardLoadView>& shards);
+
+/// True iff some shard's load exceeds its capacity.
+[[nodiscard]] bool any_overloaded(const std::vector<ShardLoadView>& shards);
+
+/// Plans up to cfg.max_moves migrations that reduce the spread, greedily
+/// pairing the most- and least-loaded shards and picking the movable task
+/// closest to the ideal equalizing transfer
+///   w* = (L_hi * M_lo - L_lo * M_hi) / (M_hi + M_lo).
+/// Returns an empty plan when neither trigger (spread > cfg.threshold,
+/// overload) holds.  Each move is applied to the snapshot before planning
+/// the next, and planning stops early once both triggers clear or no move
+/// strictly improves the spread.
+[[nodiscard]] std::vector<RebalanceMove> plan_rebalance(
+    const std::vector<ShardLoadView>& shards, const RebalanceConfig& cfg);
+
+}  // namespace pfr::cluster

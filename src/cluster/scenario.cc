@@ -1,0 +1,83 @@
+#include "cluster/scenario.h"
+
+#include <stdexcept>
+
+namespace pfr::cluster {
+
+BuiltClusterScenario build_cluster_scenario(const pfair::ScenarioSpec& spec,
+                                            std::size_t threads) {
+  if (spec.shard_processors.empty()) {
+    throw std::invalid_argument(
+        "build_cluster_scenario: scenario declares no shards");
+  }
+  if (!spec.faults.empty()) {
+    throw std::invalid_argument(
+        "build_cluster_scenario: fault directives are not supported in "
+        "cluster scenarios; install per-shard FaultPlans via "
+        "Cluster::shard(k).set_fault_plan");
+  }
+
+  ClusterConfig cfg;
+  cfg.threads = threads;
+  cfg.shards.reserve(spec.shard_processors.size());
+  for (const int m : spec.shard_processors) {
+    pfair::EngineConfig ec = spec.config;
+    ec.processors = m;
+    cfg.shards.push_back(ec);
+  }
+  if (!spec.placement.empty()) {
+    const auto policy = parse_placement_policy(spec.placement);
+    if (!policy) {
+      throw std::invalid_argument(
+          "build_cluster_scenario: unknown placement policy '" +
+          spec.placement + "'");
+    }
+    cfg.placement = *policy;
+  }
+  cfg.rebalance.enabled = spec.rebalance.enabled;
+  cfg.rebalance.period = spec.rebalance.period;
+  cfg.rebalance.threshold = spec.rebalance.threshold;
+  cfg.rebalance.max_moves = spec.rebalance.max_moves;
+
+  BuiltClusterScenario out;
+  out.cluster = std::make_unique<Cluster>(std::move(cfg));
+  out.horizon = spec.horizon;
+
+  for (const pfair::ScenarioSpec::TaskSpec& t : spec.tasks) {
+    const Cluster::AdmitResult res =
+        out.cluster->admit(t.name, t.weight, t.rank, /*forced_shard=*/-1,
+                           /*join=*/t.join);
+    if (res.shard < 0) {
+      throw std::invalid_argument(
+          "build_cluster_scenario: no shard fits task '" + t.name +
+          "' (weight " + t.weight.to_string() + ")");
+    }
+    for (const auto& [index, delay] : t.separations) {
+      out.cluster->shard(res.shard).add_separation(res.local, index, delay);
+    }
+    for (const pfair::SubtaskIndex index : t.absences) {
+      out.cluster->shard(res.shard).mark_absent(res.local, index);
+    }
+  }
+  for (const pfair::ScenarioSpec::EventSpec& ev : spec.events) {
+    const bool routed =
+        ev.is_leave
+            ? out.cluster->request_leave(ev.task, ev.at)
+            : out.cluster->request_weight_change(ev.task, ev.weight, ev.at);
+    if (!routed) {
+      throw std::invalid_argument(
+          "build_cluster_scenario: cannot route event for task '" + ev.task +
+          "'");
+    }
+  }
+  for (const pfair::ScenarioSpec::MigrateSpec& mig : spec.migrations) {
+    if (!out.cluster->schedule_migrate(mig.task, mig.to_shard, mig.at)) {
+      throw std::invalid_argument(
+          "build_cluster_scenario: cannot schedule migration of '" +
+          mig.task + "' to shard " + std::to_string(mig.to_shard));
+    }
+  }
+  return out;
+}
+
+}  // namespace pfr::cluster

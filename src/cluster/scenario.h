@@ -1,0 +1,33 @@
+/// \file scenario.h
+/// \brief Builds a running Cluster from a parsed scenario.
+///
+/// The scenario grammar (pfair/scenario_io.h) stays cluster-agnostic: it
+/// parses `shard` / `placement` / `migrate` / `rebalance` directives into
+/// plain ScenarioSpec fields.  This module -- the layer that actually
+/// depends on cluster types -- interprets them: one shard per `shard`
+/// line (inheriting the spec's EngineConfig with that processor count),
+/// tasks placed by the declared policy, reweight/leave events routed by
+/// name, and `migrate` directives scheduled on the cluster clock.
+#pragma once
+
+#include <memory>
+
+#include "cluster/cluster.h"
+#include "pfair/scenario_io.h"
+
+namespace pfr::cluster {
+
+struct BuiltClusterScenario {
+  std::unique_ptr<Cluster> cluster;
+  pfair::Slot horizon{0};
+};
+
+/// Interprets a spec's cluster directives.  Requires at least one `shard`
+/// line; throws std::invalid_argument otherwise, on placement rejects at
+/// build time, or if the spec carries `fault` directives (per-shard fault
+/// plans must be installed directly via Cluster::shard, since the
+/// scenario's processor indices are ambiguous across shards).
+[[nodiscard]] BuiltClusterScenario build_cluster_scenario(
+    const pfair::ScenarioSpec& spec, std::size_t threads = 1);
+
+}  // namespace pfr::cluster

@@ -177,6 +177,32 @@ void ChromeTraceSink::on_event(const TraceEvent& e) {
       add(instant(e, "SHED request (" + std::string{e.detail} + ")",
                   "\"deadline\":" + std::to_string(e.when)));
       break;
+    case EventKind::kShardStep:
+      // One per shard per slot is too dense for a useful timeline; the
+      // JSONL export and pfair-trace carry the per-shard breakdown.
+      break;
+    case EventKind::kMigrateOut:
+      add(instant(e, "migrate " + name + " -> shard" +
+                         std::to_string(e.folded),
+                  "\"shard\":" + std::to_string(e.shard) +
+                      ",\"to_shard\":" + std::to_string(e.folded) +
+                      ",\"leaves_at\":" + std::to_string(e.when) + "," +
+                      rational_arg("weight", e.weight_from)));
+      break;
+    case EventKind::kMigrateIn:
+      add(instant(e, "arrive " + name + " <- shard" +
+                         std::to_string(e.folded),
+                  "\"shard\":" + std::to_string(e.shard) +
+                      ",\"from_shard\":" + std::to_string(e.folded) + "," +
+                      rational_arg("weight", e.weight_to) + "," +
+                      rational_arg("drift", e.value)));
+      break;
+    case EventKind::kRebalance:
+      add(instant(e, "REBALANCE " + std::string{e.detail},
+                  "\"moves\":" + std::to_string(e.folded) + "," +
+                      rational_arg("spread", e.value) + ",\"trigger\":\"" +
+                      json_escape(e.detail) + '"'));
+      break;
   }
 }
 

@@ -50,9 +50,14 @@ enum class EventKind : std::uint8_t {
   kRequestAdmit,    ///< admission accepted (possibly clamping) a request
   kRequestReject,   ///< admission refused a request
   kRequestShed,     ///< a request was shed (deadline passed / overflow)
+  // --- sharded cluster (src/cluster) ---
+  kShardStep,   ///< one shard finished its slot (merged in shard order)
+  kMigrateOut,  ///< rule L initiated on the source shard for a migration
+  kMigrateIn,   ///< the task's join completed on the target shard
+  kRebalance,   ///< the rebalancer fired and queued a move set
 };
 
-inline constexpr int kEventKindCount = 24;
+inline constexpr int kEventKindCount = 28;
 
 [[nodiscard]] constexpr const char* to_string(EventKind k) noexcept {
   switch (k) {
@@ -80,6 +85,10 @@ inline constexpr int kEventKindCount = 24;
     case EventKind::kRequestAdmit: return "request_admit";
     case EventKind::kRequestReject: return "request_reject";
     case EventKind::kRequestShed: return "request_shed";
+    case EventKind::kShardStep: return "shard_step";
+    case EventKind::kMigrateOut: return "migrate_out";
+    case EventKind::kMigrateIn: return "migrate_in";
+    case EventKind::kRebalance: return "rebalance";
   }
   return "?";
 }
@@ -109,6 +118,15 @@ inline constexpr int kEventKindCount = 24;
 ///                     weight_to (granted), when (forecast enactment slot)
 ///   request_reject:   weight_from (requested), detail (reason)
 ///   request_shed:     when (the request's deadline), detail (reason)
+///   shard_step:       shard, folded (tasks dispatched), b (capacity)
+///   migrate_out:      shard (source), task (source-local id), when (the
+///                     rule-L leave slot), weight_from (migrated weight),
+///                     folded (target shard)
+///   migrate_in:       shard (target), task (target-local id), weight_to
+///                     (migrated weight), value (drift charged),
+///                     folded (source shard)
+///   rebalance:        folded (moves queued), value (normalized-load
+///                     spread), detail (trigger: "imbalance"/"overload")
 struct TraceEvent {
   EventKind kind{EventKind::kTaskJoin};
   pfair::Slot slot{0};              ///< engine time of the observation
@@ -124,6 +142,8 @@ struct TraceEvent {
   Rational value;                   ///< drift for kDriftSample
   pfair::Slot when{pfair::kNever};  ///< leave time for kLeaveRequest
   int folded{0};                    ///< events folded into a drift sample
+  int shard{-1};                    ///< cluster shard index; -1 when the
+                                    ///< event is not shard-scoped
   std::string_view detail{};        ///< violation/quarantine reason; same
                                     ///< lifetime caveat as task_name
 };

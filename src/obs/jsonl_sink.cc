@@ -33,6 +33,7 @@ JsonlSink::JsonlSink(const std::string& path)
 std::string to_jsonl(const TraceEvent& e) {
   std::ostringstream os;
   os << "{\"kind\":\"" << to_string(e.kind) << "\",\"slot\":" << e.slot;
+  if (e.shard >= 0) os << ",\"shard\":" << e.shard;
   append_task(os, e);
   switch (e.kind) {
     case EventKind::kTaskJoin:
@@ -116,6 +117,23 @@ std::string to_jsonl(const TraceEvent& e) {
     case EventKind::kRequestShed:
       os << ",\"deadline\":" << e.when << ",\"why\":\""
          << json_escape(e.detail) << '"';
+      break;
+    case EventKind::kShardStep:
+      os << ",\"dispatched\":" << e.folded << ",\"capacity\":" << e.b;
+      break;
+    case EventKind::kMigrateOut:
+      os << ",\"leaves_at\":" << e.when << ",\"to_shard\":" << e.folded;
+      append_rational(os, "weight", e.weight_from);
+      break;
+    case EventKind::kMigrateIn:
+      os << ",\"from_shard\":" << e.folded;
+      append_rational(os, "weight", e.weight_to);
+      append_rational(os, "drift", e.value);
+      break;
+    case EventKind::kRebalance:
+      os << ",\"moves\":" << e.folded;
+      append_rational(os, "spread", e.value);
+      os << ",\"trigger\":\"" << json_escape(e.detail) << '"';
       break;
   }
   os << '}';

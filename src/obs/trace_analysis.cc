@@ -36,6 +36,10 @@ std::vector<ParsedEvent> read_jsonl_trace(std::istream& in,
     if (const auto it = ev.fields.find("task"); it != ev.fields.end()) {
       ev.task = static_cast<int>(std::strtol(it->second.c_str(), nullptr, 10));
     }
+    if (const auto it = ev.fields.find("shard"); it != ev.fields.end()) {
+      ev.shard =
+          static_cast<int>(std::strtol(it->second.c_str(), nullptr, 10));
+    }
     if (const auto it = ev.fields.find("name"); it != ev.fields.end()) {
       ev.name = it->second;
     }
@@ -64,6 +68,7 @@ TraceSummary summarize_trace(const std::vector<ParsedEvent>& events) {
   s.total_events = static_cast<std::int64_t>(events.size());
   std::map<std::string, pfair::Slot> last_enactment;
   std::map<std::string, std::vector<pfair::Slot>> open_halts;
+  std::map<std::string, pfair::Slot> open_migrations;
   bool first = true;
   for (const ParsedEvent& ev : events) {
     if (first) {
@@ -75,6 +80,16 @@ TraceSummary summarize_trace(const std::vector<ParsedEvent>& events) {
     s.last_slot = std::max(s.last_slot, ev.slot);
     ++s.by_kind[ev.kind];
     if (!ev.name.empty()) ++s.by_task[ev.name][ev.kind];
+    if (ev.shard >= 0) ++s.by_shard[ev.shard][ev.kind];
+    if (ev.kind == "migrate_out") {
+      open_migrations[ev.name] = ev.slot;
+    } else if (ev.kind == "migrate_in") {
+      if (const auto out = open_migrations.find(ev.name);
+          out != open_migrations.end()) {
+        s.migration_latencies.push_back(ev.slot - out->second);
+        open_migrations.erase(out);
+      }
+    }
     if (ev.kind == "halt") {
       open_halts[ev.name].push_back(ev.slot);
     } else if (ev.kind == "enactment") {
@@ -146,9 +161,25 @@ std::string render_trace_summary(const TraceSummary& s) {
     }
     os << '\n';
   }
+  if (!s.by_shard.empty()) {
+    os << "\nby shard:\n";
+    for (const auto& [shard, kinds] : s.by_shard) {
+      std::int64_t total = 0;
+      for (const auto& [kind, count] : kinds) total += count;
+      os << "  shard" << shard << " (" << total << "):";
+      for (const auto& [kind, count] : kinds) {
+        os << ' ' << kind << '=' << count;
+      }
+      os << '\n';
+    }
+  }
   os << '\n';
   render_distribution(os, "inter-enactment gaps", s.enactment_gaps);
   render_distribution(os, "halt -> enactment latency", s.halt_latencies);
+  if (!s.migration_latencies.empty()) {
+    render_distribution(os, "migrate_out -> migrate_in latency",
+                        s.migration_latencies);
+  }
   return os.str();
 }
 

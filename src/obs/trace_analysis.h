@@ -24,6 +24,7 @@ struct ParsedEvent {
   std::string kind;
   pfair::Slot slot{0};
   int task{-1};
+  int shard{-1};  ///< cluster shard index; -1 when not shard-scoped
   std::string name;
   std::map<std::string, std::string> fields;
   std::string raw;  ///< the original line, for --print
@@ -57,6 +58,12 @@ struct TraceSummary {
   std::vector<std::int64_t> enactment_gaps;
   /// Halt slot -> same task's next enactment slot, per halt.
   std::vector<std::int64_t> halt_latencies;
+  /// shard index -> kind -> count, for shard-scoped events only
+  /// (shard_step / migrate_out / migrate_in and anything else stamped
+  /// with a shard by the cluster's merge phase).
+  std::map<int, std::map<std::string, std::int64_t>> by_shard;
+  /// migrate_out slot -> same task's migrate_in slot (cluster traces).
+  std::vector<std::int64_t> migration_latencies;
 };
 
 [[nodiscard]] TraceSummary summarize_trace(

@@ -5,9 +5,12 @@
 ///   pfair-trace --file=out.jsonl --task=video    # restrict to one task
 ///   pfair-trace --file=out.jsonl --kind=halt --print   # dump matching lines
 ///   pfair-trace --file=out.jsonl --from=100 --to=200 --print
+///   pfair-trace --file=out.jsonl --shard=2       # one cluster shard only
 ///
 /// The summary reports per-task event counts, inter-enactment gaps, and the
-/// halt -> enactment latency distribution; see trace_analysis.h.
+/// halt -> enactment latency distribution; cluster traces additionally get
+/// a per-shard event breakdown and the migrate_out -> migrate_in latency
+/// distribution.  See trace_analysis.h.
 #include <fstream>
 #include <iostream>
 #include <vector>
@@ -25,6 +28,7 @@ int main(int argc, char** argv) {
   const std::string kind = cli.get_string("kind", "");
   const std::int64_t from = cli.get_int("from", 0);
   const std::int64_t to = cli.get_int("to", -1);
+  const std::int64_t shard = cli.get_int("shard", -1);
   const bool print = cli.get_bool("print");
   if (cli.error()) {
     std::cerr << "argument error: " << *cli.error() << "\n";
@@ -36,7 +40,8 @@ int main(int argc, char** argv) {
   }
   if (file.empty()) {
     std::cerr << "usage: pfair-trace --file=trace.jsonl [--task=NAME] "
-                 "[--kind=KIND] [--from=SLOT] [--to=SLOT] [--print]\n";
+                 "[--kind=KIND] [--from=SLOT] [--to=SLOT] [--shard=K] "
+                 "[--print]\n";
     return 2;
   }
 
@@ -59,6 +64,7 @@ int main(int argc, char** argv) {
     if (!kind.empty() && ev.kind != kind) continue;
     if (ev.slot < from) continue;
     if (to >= 0 && ev.slot >= to) continue;
+    if (shard >= 0 && ev.shard != shard) continue;
     filtered.push_back(std::move(ev));
   }
 

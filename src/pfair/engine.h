@@ -155,6 +155,15 @@ class Engine {
   /// leaves per rule L once its last released subtask's window closes.
   void request_leave(TaskId id, Slot at);
 
+  /// Applies rule L immediately (before this slot's releases) and returns
+  /// the resulting leave time: d(T_j) + b(T_j) of the last released subtask
+  /// (or now() if none released yet).  Idempotent -- a task already leaving
+  /// keeps its leave time.  This is the cluster Migrator's hook: the source
+  /// shard's leave slot must be known *synchronously* so the target shard
+  /// can reserve the migrating task's weight with a join at exactly that
+  /// slot (rule L + join, Thm. 3 drift accounting).
+  Slot leave_now(TaskId id);
+
   // ----- admission forecasting (src/serve front-end) -----
 
   /// The weight policing would grant a request for `target` right now:

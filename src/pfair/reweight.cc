@@ -294,6 +294,12 @@ void Engine::enact(TaskState& task, Rational target, Slot t) {
   release_subtask(task, t);
 }
 
+Slot Engine::leave_now(TaskId id) {
+  TaskState& task = tasks_.at(static_cast<std::size_t>(id));
+  initiate_leave(task, now_);
+  return task.left_at;
+}
+
 void Engine::initiate_leave(TaskState& task, Slot t) {
   if (task.leave_requested_at != kNever) return;
   task.leave_requested_at = t;

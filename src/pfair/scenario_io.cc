@@ -226,6 +226,38 @@ class Parser {
       spec_.events.push_back(std::move(ev));
     } else if (head == "fault") {
       parse_fault();
+    } else if (head == "shard") {
+      expect_tokens(2, 2, "shard <processors>");
+      const std::int64_t m = parse_int(tok_[1]);
+      if (m < 1) fail(tok_[1], "shard processors must be >= 1");
+      spec_.shard_processors.push_back(static_cast<int>(m));
+    } else if (head == "placement") {
+      expect_tokens(2, 2, "placement first-fit | worst-fit | wwta");
+      const std::string& p = tok_[1].text;
+      // Keep in sync with cluster::parse_placement_policy; the check lives
+      // here so a typo is a parse-time diagnostic, not a build failure.
+      if (p != "first-fit" && p != "worst-fit" && p != "wwta") {
+        fail(tok_[1], "unknown placement policy '" + p + "'");
+      }
+      spec_.placement = p;
+    } else if (head == "migrate") {
+      expect_tokens(4, 4, "migrate <name> <to-shard> at=<t>");
+      find_task(tok_[1]);
+      ScenarioSpec::MigrateSpec mig;
+      mig.task = tok_[1].text;
+      const std::int64_t to = parse_int(tok_[2]);
+      if (to < 0) fail(tok_[2], "shard index must be >= 0");
+      if (to >= static_cast<std::int64_t>(spec_.shard_processors.size())) {
+        fail(tok_[2], "migration targets undeclared shard " +
+                          std::to_string(to) +
+                          "; add 'shard <M>' lines first");
+      }
+      mig.to_shard = static_cast<int>(to);
+      mig.at = parse_kv(tok_[3], "at");
+      if (mig.at < 0) fail(tok_[3], "event time must be >= 0");
+      spec_.migrations.push_back(std::move(mig));
+    } else if (head == "rebalance") {
+      parse_rebalance();
     } else if (head == "horizon") {
       expect_tokens(2, 2, "horizon <slots>");
       const std::int64_t h = parse_int(tok_[1]);
@@ -288,6 +320,31 @@ class Parser {
       }
     }
     spec_.tasks.push_back(std::move(t));
+  }
+
+  void parse_rebalance() {
+    expect_tokens(
+        3, 4, "rebalance period=<n> threshold=<num>/<den> [max-moves=<n>]");
+    ScenarioSpec::RebalanceSpec rb;
+    rb.enabled = true;
+    rb.period = parse_kv(tok_[1], "period");
+    if (rb.period < 1) fail(tok_[1], "period must be >= 1");
+    // threshold is a rational, which parse_kv (integers) cannot handle.
+    const std::string prefix = "threshold=";
+    if (tok_[2].text.rfind(prefix, 0) != 0) {
+      fail(tok_[2],
+           "expected threshold=<value>, got '" + tok_[2].text + "'");
+    }
+    const Token value{tok_[2].text.substr(prefix.size()),
+                      tok_[2].column + static_cast<int>(prefix.size())};
+    rb.threshold = parse_rational(value);
+    if (!(rb.threshold > 0)) fail(tok_[2], "threshold must be positive");
+    if (tok_.size() == 4) {
+      const std::int64_t moves = parse_kv(tok_[3], "max-moves");
+      if (moves < 1) fail(tok_[3], "max-moves must be >= 1");
+      rb.max_moves = static_cast<int>(moves);
+    }
+    spec_.rebalance = rb;
   }
 
   void parse_fault() {

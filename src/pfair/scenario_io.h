@@ -23,6 +23,16 @@
 ///   fault drop <name> at=<t>
 ///   fault delay <name> at=<t> by=<slots>
 ///   horizon <slots>
+///   shard <processors>                # repeatable; k-th line = shard k
+///   placement first-fit | worst-fit | wwta
+///   migrate <name> <to-shard> at=<t>
+///   rebalance period=<n> threshold=<num>/<den> [max-moves=<n>]
+///
+/// The `shard`/`placement`/`migrate`/`rebalance` directives describe a
+/// sharded cluster (src/cluster).  They parse into plain ScenarioSpec
+/// fields here -- pfair does not depend on the cluster layer -- and
+/// cluster::build_cluster_scenario() turns the spec into a running
+/// Cluster.  build_scenario() (single engine) ignores them.
 ///
 /// Malformed directives throw ParseError, which carries the file name, the
 /// 1-based line and column, and the offending token; what() renders them as
@@ -117,6 +127,27 @@ struct ScenarioSpec {
     std::string task;   ///< drop/delay
     Slot delay{0};      ///< delay only
   };
+  // --- sharded cluster extensions (consumed by src/cluster/scenario.h;
+  //     ignored by build_scenario) ---
+  /// One entry per `shard` directive: shard k's processor count.  Empty
+  /// means the scenario is a plain single-engine one.
+  std::vector<int> shard_processors;
+  /// The `placement` keyword verbatim ("" = the cluster default).
+  std::string placement;
+  struct MigrateSpec {
+    std::string task;
+    int to_shard{0};
+    Slot at{0};
+  };
+  std::vector<MigrateSpec> migrations;
+  struct RebalanceSpec {
+    bool enabled{false};
+    Slot period{64};
+    Rational threshold{1, 4};
+    int max_moves{4};
+  };
+  RebalanceSpec rebalance;
+
   std::vector<TaskSpec> tasks;
   std::vector<EventSpec> events;
   std::vector<FaultSpec> faults;

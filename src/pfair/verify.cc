@@ -1,5 +1,6 @@
 #include "pfair/verify.h"
 
+#include <cstdint>
 #include <map>
 #include <set>
 #include <sstream>
@@ -137,6 +138,66 @@ std::vector<Violation> verify_schedule(
   }
 
   return out;
+}
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+void fnv_mix(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFF;
+    h *= kFnvPrime;
+  }
+}
+
+void fnv_mix_rational(std::uint64_t& h, const Rational& r) {
+  fnv_mix(h, static_cast<std::uint64_t>(r.num()));
+  fnv_mix(h, static_cast<std::uint64_t>(r.den()));
+}
+
+}  // namespace
+
+std::uint64_t schedule_digest(const Engine& engine) {
+  std::uint64_t h = kFnvOffset;
+  const EngineStats& st = engine.stats();
+  fnv_mix(h, static_cast<std::uint64_t>(st.slots));
+  fnv_mix(h, static_cast<std::uint64_t>(st.dispatched));
+  fnv_mix(h, static_cast<std::uint64_t>(st.holes));
+  fnv_mix(h, static_cast<std::uint64_t>(st.initiations));
+  fnv_mix(h, static_cast<std::uint64_t>(st.enactments));
+  fnv_mix(h, static_cast<std::uint64_t>(st.halts));
+  for (const MissRecord& miss : engine.misses()) {
+    fnv_mix(h, static_cast<std::uint64_t>(miss.task));
+    fnv_mix(h, static_cast<std::uint64_t>(miss.index));
+    fnv_mix(h, static_cast<std::uint64_t>(miss.deadline));
+  }
+  for (std::size_t i = 0; i < engine.task_count(); ++i) {
+    const TaskState& task = engine.task(static_cast<TaskId>(i));
+    fnv_mix(h, static_cast<std::uint64_t>(task.scheduled_count));
+    fnv_mix(h, static_cast<std::uint64_t>(task.enactment_count));
+    fnv_mix(h, static_cast<std::uint64_t>(task.subtasks.size()));
+    fnv_mix_rational(h, task.swt);
+    fnv_mix_rational(h, task.drift);
+    fnv_mix(h, static_cast<std::uint64_t>(task.left_at));
+  }
+  // The slot-by-slot dispatch decisions themselves.  `scheduled` is
+  // unordered within a slot, so mix a slot-local order-independent fold
+  // (sum and xor of task ids) rather than the raw sequence.
+  for (const SlotRecord& rec : engine.trace()) {
+    std::uint64_t sum = 0, xr = 0;
+    for (const TaskId id : rec.scheduled) {
+      sum += static_cast<std::uint64_t>(id) + 1;
+      xr ^= static_cast<std::uint64_t>(id) +
+            std::uint64_t{0x9E3779B97F4A7C15ULL};
+    }
+    fnv_mix(h, static_cast<std::uint64_t>(rec.scheduled.size()));
+    fnv_mix(h, sum);
+    fnv_mix(h, xr);
+    fnv_mix(h, static_cast<std::uint64_t>(rec.capacity));
+  }
+  return h;
 }
 
 }  // namespace pfr::pfair

@@ -43,4 +43,12 @@ struct Violation {
   return verify_schedule(engine).empty();
 }
 
+/// FNV-1a digest of the engine's observable schedule history: aggregate
+/// stats, every recorded miss, each task's dispatch/enactment/weight/drift
+/// state, and (when record_slot_trace is on) the full per-slot schedule.
+/// Two runs with identical digests made identical scheduling decisions;
+/// the cluster bench uses this to prove bit-identity across worker-thread
+/// counts.
+[[nodiscard]] std::uint64_t schedule_digest(const Engine& engine);
+
 }  // namespace pfr::pfair

@@ -1,0 +1,384 @@
+#include "serve/router.h"
+
+#include <algorithm>
+#include <iterator>
+#include <stdexcept>
+#include <utility>
+
+#include "cluster/placement.h"
+#include "obs/event.h"
+#include "pfair/task.h"
+
+namespace pfr::serve {
+
+using obs::EventKind;
+using obs::TraceEvent;
+using pfair::RuleApplied;
+using pfair::Slot;
+using pfair::TaskId;
+
+namespace {
+
+constexpr std::uint64_t kFnvOffset = 1469598103934665603ULL;
+constexpr std::uint64_t kFnvPrime = 1099511628211ULL;
+
+void fnv_mix(std::uint64_t& h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFF;
+    h *= kFnvPrime;
+  }
+}
+
+const std::vector<double> kLatencyBounds{0, 1, 2, 4, 8, 16, 32, 64, 128};
+
+}  // namespace
+
+ShardedService::ShardedService(ShardedServiceConfig cfg)
+    : cfg_(std::move(cfg)),
+      cluster_(cfg_.cluster),
+      queue_(cfg_.queue_capacity) {
+  admissions_.reserve(static_cast<std::size_t>(cluster_.shard_count()));
+  for (int k = 0; k < cluster_.shard_count(); ++k) {
+    admissions_.emplace_back(cluster_.shard(k),
+                             AdmissionConfig{cfg_.max_defer});
+  }
+}
+
+cluster::Cluster::MemberRef ShardedService::seed_task(const std::string& name,
+                                                      const Rational& weight,
+                                                      int rank) {
+  const cluster::Cluster::AdmitResult res = cluster_.admit(name, weight, rank);
+  if (res.shard < 0) {
+    throw std::invalid_argument("seed_task: no shard fits task " + name +
+                                " (weight " + weight.to_string() + ")");
+  }
+  return cluster::Cluster::MemberRef{res.shard, res.local};
+}
+
+void ShardedService::set_metrics(obs::MetricsRegistry* registry) {
+  metrics_ = registry;
+  cluster_.set_metrics(registry);
+  latency_hist_ =
+      registry != nullptr
+          ? &registry->histogram("serve.latency_slots", kLatencyBounds)
+          : nullptr;
+}
+
+void ShardedService::record_response(const Response& resp) {
+  switch (resp.decision) {
+    case Decision::kAccepted: ++stats_.admitted; break;
+    case Decision::kClamped: ++stats_.clamped; break;
+    case Decision::kRejected: ++stats_.rejected; break;
+    case Decision::kDeferred: ++stats_.deferred; break;
+    case Decision::kShed: ++stats_.shed; break;
+  }
+  responses_.push_back(resp);
+}
+
+void ShardedService::respond_shed(const Request& r, Slot t, const char* why) {
+  Response resp;
+  resp.id = r.id;
+  resp.kind = r.kind;
+  resp.decision = Decision::kShed;
+  resp.slot = t;
+  resp.due = r.due;
+  resp.reason = why;
+  record_response(resp);
+  if (tracer_.enabled()) {
+    TraceEvent ev;
+    ev.kind = EventKind::kRequestShed;
+    ev.slot = t;
+    ev.when = r.deadline;
+    ev.detail = why;
+    if (const auto ref = cluster_.find(r.task)) {
+      ev.task = ref->local;
+      ev.shard = ref->shard;
+    }
+    tracer_.emit(ev);
+  }
+}
+
+int ShardedService::pick_shard(const Rational& weight) {
+  const int n = cluster_.shard_count();
+  std::vector<Rational> loads;
+  std::vector<int> capacities;
+  loads.reserve(static_cast<std::size_t>(n));
+  capacities.reserve(static_cast<std::size_t>(n));
+  for (int k = 0; k < n; ++k) {
+    loads.push_back(cluster_.shard_load(k));
+    capacities.push_back(cluster_.shard(k).processors());
+  }
+  const int k = cluster::choose_shard(cluster_.config().placement, loads,
+                                      capacities, weight);
+  if (k >= 0) return k;
+  // Nothing fits outright: fall back to the least-loaded shard (normalized
+  // by M_k) and let its controller clamp / defer / reject per policing.
+  ++stats_.placement_fallbacks;
+  int best = 0;
+  for (int j = 1; j < n; ++j) {
+    // loads[j] / cap[j] < loads[best] / cap[best], cross-multiplied.
+    if (loads[static_cast<std::size_t>(j)] *
+            Rational{capacities[static_cast<std::size_t>(best)]} <
+        loads[static_cast<std::size_t>(best)] *
+            Rational{capacities[static_cast<std::size_t>(j)]}) {
+      best = j;
+    }
+  }
+  return best;
+}
+
+bool ShardedService::serve_one(const Request& r, Slot t,
+                               std::vector<int>& oi_used) {
+  Response resp;
+  int shard = -1;
+  if (r.kind == RequestKind::kJoin) {
+    if (cluster_.find(r.task).has_value()) {
+      // The per-shard controller only sees its own name table; the
+      // cluster-wide duplicate check has to happen here.
+      resp.id = r.id;
+      resp.kind = r.kind;
+      resp.slot = t;
+      resp.due = r.due;
+      resp.decision = Decision::kRejected;
+      resp.reason = "task name already joined";
+    } else {
+      shard = pick_shard(r.weight);
+      resp = admissions_[static_cast<std::size_t>(shard)].decide(
+          r, cluster_.shard_ids(shard), t,
+          oi_used[static_cast<std::size_t>(shard)]);
+    }
+  } else {
+    const auto ref = cluster_.find(r.task);
+    if (!ref.has_value()) {
+      resp.id = r.id;
+      resp.kind = r.kind;
+      resp.slot = t;
+      resp.due = r.due;
+      resp.decision = Decision::kRejected;
+      resp.reason = "unknown task";
+    } else if (cluster_.migrating(r.task)) {
+      // Mid rule-L/J handoff: the source shard has frozen the chain and the
+      // target join has not landed, so neither controller can price the
+      // request.  Defer until the join slot.
+      ++stats_.migration_defers;
+      resp.id = r.id;
+      resp.kind = r.kind;
+      resp.slot = t;
+      resp.due = r.due;
+      resp.task = ref->local;
+      resp.decision = Decision::kDeferred;
+      resp.reason = "task is migrating between shards";
+    } else {
+      shard = ref->shard;
+      resp = admissions_[static_cast<std::size_t>(shard)].decide(
+          r, cluster_.shard_ids(shard), t,
+          oi_used[static_cast<std::size_t>(shard)]);
+    }
+  }
+
+  if (resp.decision == Decision::kDeferred) {
+    if (t - r.due >= cfg_.max_defer) {
+      resp.decision = Decision::kRejected;
+      resp.reason += "; defer window exhausted";
+    } else {
+      const bool already =
+          std::find(deferred_notified_.begin(), deferred_notified_.end(),
+                    r.id) != deferred_notified_.end();
+      if (!already) {
+        deferred_notified_.push_back(r.id);
+        record_response(resp);
+        if (tracer_.enabled()) {
+          TraceEvent ev;
+          ev.kind = EventKind::kRequestDelayed;
+          ev.slot = t;
+          ev.task = resp.task;
+          ev.shard = shard;
+          ev.when = t + 1;
+          tracer_.emit(ev);
+        }
+      }
+      deferred_.push_back(r);
+      return false;
+    }
+  }
+
+  std::erase(deferred_notified_, r.id);  // terminal from here on
+
+  if (resp.decision == Decision::kRejected) {
+    record_response(resp);
+    if (tracer_.enabled()) {
+      TraceEvent ev;
+      ev.kind = EventKind::kRequestReject;
+      ev.slot = t;
+      ev.task = resp.task;
+      ev.shard = shard;
+      ev.weight_from = r.weight;
+      ev.detail = resp.reason;
+      tracer_.emit(ev);
+    }
+    return true;
+  }
+
+  // Accepted or clamped: apply to the owning shard through the cluster so
+  // the membership tables stay authoritative.
+  switch (r.kind) {
+    case RequestKind::kJoin: {
+      const cluster::Cluster::AdmitResult res =
+          cluster_.admit(r.task, resp.granted, r.rank, shard);
+      resp.task = res.local;
+      break;
+    }
+    case RequestKind::kReweight: {
+      cluster_.request_weight_change(r.task, resp.granted, t);
+      if (resp.rule == RuleApplied::kRuleO ||
+          resp.rule == RuleApplied::kRuleIIncrease ||
+          resp.rule == RuleApplied::kRuleIDecrease) {
+        ++oi_used[static_cast<std::size_t>(shard)];
+      }
+      unresolved_.push_back(PendingEnactment{
+          responses_.size(), shard, resp.task,
+          cluster_.shard(shard).task(resp.task).enactment_count});
+      break;
+    }
+    case RequestKind::kLeave:
+      cluster_.request_leave(r.task, t);
+      break;
+    case RequestKind::kQuery:
+      break;
+  }
+
+  if (tracer_.enabled()) {
+    TraceEvent ev;
+    ev.kind = EventKind::kRequestAdmit;
+    ev.slot = t;
+    ev.task = resp.task;
+    ev.shard = shard;
+    ev.rule = resp.rule;
+    ev.weight_from = r.weight;
+    ev.weight_to = resp.granted;
+    ev.when = resp.enact_slot;
+    tracer_.emit(ev);
+  }
+  record_response(resp);
+  return true;
+}
+
+void ShardedService::resolve_enactments(Slot t) {
+  auto keep = unresolved_.begin();
+  for (auto it = unresolved_.begin(); it != unresolved_.end(); ++it) {
+    const pfair::TaskState& task = cluster_.shard(it->shard).task(it->local);
+    if (task.enactment_count > it->count_at_apply) {
+      Response& resp = responses_.at(it->response_index);
+      resp.enact_slot = t;
+      if (latency_hist_ != nullptr) {
+        latency_hist_->observe(static_cast<double>(t - resp.due));
+      }
+    } else {
+      *keep++ = *it;
+    }
+  }
+  unresolved_.erase(keep, unresolved_.end());
+}
+
+bool ShardedService::run_slot() {
+  const Slot t = cluster_.now();
+  RequestQueue::Batch batch = queue_.drain_slot(t);
+  ++stats_.batches;
+
+  for (const Request& r : batch.shed_deadline) {
+    respond_shed(r, t, "deadline passed in queue");
+  }
+  for (const Request& r : batch.shed_overflow) {
+    respond_shed(r, t, "queue overflow");
+  }
+
+  if (tracer_.enabled()) {
+    for (const Request& r : batch.admit) {
+      TraceEvent ev;
+      ev.kind = EventKind::kRequestEnqueue;
+      ev.slot = t;
+      ev.when = r.due;
+      ev.folded = static_cast<int>(batch.admit.size());
+      ev.detail = r.task;
+      if (const auto ref = cluster_.find(r.task)) {
+        ev.task = ref->local;
+        ev.shard = ref->shard;
+      }
+      tracer_.emit(ev);
+    }
+  }
+
+  // Retry-first, id-sorted merge: same ordering contract as the single-
+  // engine service, so the routed path stays producer-thread deterministic.
+  std::vector<Request> work = std::move(deferred_);
+  deferred_.clear();
+  work.insert(work.end(), std::make_move_iterator(batch.admit.begin()),
+              std::make_move_iterator(batch.admit.end()));
+  std::sort(work.begin(), work.end(),
+            [](const Request& a, const Request& b) { return a.id < b.id; });
+
+  std::vector<int> oi_used(static_cast<std::size_t>(cluster_.shard_count()),
+                           0);
+  for (const Request& r : work) {
+    if (r.deadline < t) {
+      respond_shed(r, t, "deadline passed while deferred");
+      continue;
+    }
+    serve_one(r, t, oi_used);
+  }
+
+  cluster_.step();
+  resolve_enactments(t);
+
+  if (metrics_ != nullptr) {
+    metrics_->set_gauge("serve.queue.depth",
+                        static_cast<double>(queue_.depth()));
+    metrics_->counter("serve.requests.batched")
+        .add(static_cast<std::int64_t>(work.size()));
+  }
+  return batch.open || !deferred_.empty();
+}
+
+void ShardedService::run_to_completion(Slot grace) {
+  while (run_slot()) {
+  }
+  for (Slot g = 0; g < grace && !unresolved_.empty(); ++g) {
+    const Slot t = cluster_.now();
+    cluster_.step();
+    resolve_enactments(t);
+  }
+  if (metrics_ != nullptr) {
+    metrics_->counter("serve.responses.admitted")
+        .add(static_cast<std::int64_t>(stats_.admitted));
+    metrics_->counter("serve.responses.clamped")
+        .add(static_cast<std::int64_t>(stats_.clamped));
+    metrics_->counter("serve.responses.rejected")
+        .add(static_cast<std::int64_t>(stats_.rejected));
+    metrics_->counter("serve.responses.deferred")
+        .add(static_cast<std::int64_t>(stats_.deferred));
+    metrics_->counter("serve.responses.shed")
+        .add(static_cast<std::int64_t>(stats_.shed));
+    metrics_->counter("serve.batches")
+        .add(static_cast<std::int64_t>(stats_.batches));
+    metrics_->counter("serve.placement.fallbacks")
+        .add(static_cast<std::int64_t>(stats_.placement_fallbacks));
+    metrics_->counter("serve.migration.defers")
+        .add(static_cast<std::int64_t>(stats_.migration_defers));
+  }
+}
+
+std::uint64_t ShardedService::response_digest() const noexcept {
+  std::uint64_t h = kFnvOffset;
+  for (const Response& r : responses_) {
+    fnv_mix(h, r.id);
+    fnv_mix(h, static_cast<std::uint64_t>(r.kind));
+    fnv_mix(h, static_cast<std::uint64_t>(r.decision));
+    fnv_mix(h, static_cast<std::uint64_t>(r.granted.num()));
+    fnv_mix(h, static_cast<std::uint64_t>(r.granted.den()));
+    fnv_mix(h, static_cast<std::uint64_t>(r.enact_slot));
+    fnv_mix(h, static_cast<std::uint64_t>(r.slot));
+  }
+  return h;
+}
+
+}  // namespace pfr::serve

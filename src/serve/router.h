@@ -1,0 +1,131 @@
+/// \file router.h
+/// \brief ShardedService: the shard-aware routed admission path -- one
+/// request queue in front of a cluster::Cluster of K PD2 shards.
+///
+/// The router is ReweightService generalized over shards.  run_slot() keeps
+/// the same pipeline (drain batch -> shed -> admit -> step -> resolve
+/// enactments), with routing layered in:
+///
+///   * joins run through the cluster's placement policy first; the chosen
+///     shard's AdmissionController then prices the request against that
+///     shard's headroom.  If no shard fits outright, the router falls back
+///     to the least-loaded shard (normalized by M_k) and lets its
+///     controller clamp / defer / reject per the shard's policing mode --
+///     a placement reject is not by itself a request reject.
+///   * reweight / leave / query requests route by name to the owning
+///     shard's controller.  Requests targeting a task that is mid-migration
+///     are deferred (the task has rule-L left its source and not yet joined
+///     its target; neither shard can price the change) and retried once the
+///     join lands, under the same max_defer budget as capacity waits.
+///
+/// Each shard gets its own AdmissionController and its own per-slot O/I
+/// budget hint: rule O/I usage on shard j never burns shard k's budget.
+/// Admission, application, and tracing all happen on the consumer thread in
+/// request-id order, so responses and digests are bit-identical across both
+/// producer-thread and cluster worker-thread counts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "obs/metrics.h"
+#include "obs/tracer.h"
+#include "serve/admission.h"
+#include "serve/request.h"
+#include "serve/request_queue.h"
+
+namespace pfr::serve {
+
+struct ShardedServiceConfig {
+  cluster::ClusterConfig cluster;
+  std::size_t queue_capacity{1024};
+  /// Retry window for deferred requests, in slots past the due slot.
+  pfair::Slot max_defer{16};
+};
+
+class ShardedService {
+ public:
+  explicit ShardedService(ShardedServiceConfig cfg);
+
+  /// Places and seeds a task outside the request path (initial task set).
+  /// Throws std::invalid_argument on a duplicate name or placement reject.
+  cluster::Cluster::MemberRef seed_task(const std::string& name,
+                                        const Rational& weight, int rank = 0);
+
+  [[nodiscard]] RequestQueue& queue() noexcept { return queue_; }
+  [[nodiscard]] cluster::Cluster& cluster() noexcept { return cluster_; }
+  [[nodiscard]] const cluster::Cluster& cluster() const noexcept {
+    return cluster_;
+  }
+
+  /// Attaches a sink to the cluster (shard-attributed engine events) and
+  /// the router's own tracer.
+  void set_event_sink(obs::EventSink* sink) noexcept {
+    cluster_.set_event_sink(sink);
+    tracer_.set_sink(sink);
+  }
+  void set_metrics(obs::MetricsRegistry* registry);
+
+  /// Drains and serves one slot batch, then steps the whole cluster one
+  /// slot.  Returns false once the queue closes and deferrals settle.
+  bool run_slot();
+  void run_to_completion(pfair::Slot grace = 4096);
+
+  [[nodiscard]] const std::vector<Response>& responses() const noexcept {
+    return responses_;
+  }
+
+  /// Same digest as ReweightService::response_digest: the cross-thread
+  /// determinism acceptance check for the routed path.
+  [[nodiscard]] std::uint64_t response_digest() const noexcept;
+
+  struct RouterStats {
+    std::uint64_t admitted{0};
+    std::uint64_t clamped{0};
+    std::uint64_t rejected{0};
+    std::uint64_t deferred{0};  ///< kDeferred responses issued
+    std::uint64_t shed{0};
+    std::uint64_t batches{0};
+    /// Joins that fit no shard outright and fell back to least-loaded.
+    std::uint64_t placement_fallbacks{0};
+    /// Deferrals caused by an in-flight migration of the target task.
+    std::uint64_t migration_defers{0};
+  };
+  [[nodiscard]] const RouterStats& stats() const noexcept { return stats_; }
+
+ private:
+  void respond_shed(const Request& r, pfair::Slot t, const char* why);
+  bool serve_one(const Request& r, pfair::Slot t, std::vector<int>& oi_used);
+  void record_response(const Response& resp);
+  void resolve_enactments(pfair::Slot t);
+  /// Placement choice for a join: the policy's pick, or the least-loaded
+  /// shard (normalized) as fallback when nothing fits.
+  int pick_shard(const Rational& weight);
+
+  ShardedServiceConfig cfg_;
+  cluster::Cluster cluster_;
+  RequestQueue queue_;
+  /// One controller per shard, each pricing against its own engine.
+  std::vector<AdmissionController> admissions_;
+  obs::Tracer tracer_;
+  obs::MetricsRegistry* metrics_{nullptr};
+  obs::Histogram* latency_hist_{nullptr};
+
+  std::vector<Response> responses_;
+  std::vector<Request> deferred_;
+  std::vector<RequestId> deferred_notified_;
+
+  struct PendingEnactment {
+    std::size_t response_index;
+    int shard;
+    pfair::TaskId local;
+    int count_at_apply;
+  };
+  std::vector<PendingEnactment> unresolved_;
+
+  RouterStats stats_;
+};
+
+}  // namespace pfr::serve

@@ -1,0 +1,583 @@
+/// The sharded PD2 cluster (src/cluster): placement properties and golden
+/// assignments, cross-shard migration as rule L + join with per-shard
+/// verification and theory checks, rebalancer triggers, the deterministic
+/// parallel slot loop (bit-identical digests across worker-thread counts),
+/// cluster scenario building, and the shard-aware routed admission path.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "cluster/migrate.h"
+#include "cluster/placement.h"
+#include "cluster/rebalance.h"
+#include "cluster/scenario.h"
+#include "obs/event.h"
+#include "pfair/scenario_io.h"
+#include "pfair/task.h"
+#include "pfair/theory_checks.h"
+#include "pfair/verify.h"
+#include "serve/router.h"
+
+namespace pfr::cluster {
+namespace {
+
+using pfair::EngineConfig;
+using pfair::kNever;
+using pfair::PolicingMode;
+using pfair::ReweightPolicy;
+using pfair::Slot;
+using pfair::TaskId;
+
+EngineConfig shard_config(int processors) {
+  EngineConfig ec;
+  ec.processors = processors;
+  ec.policy = ReweightPolicy::kOmissionIdeal;
+  ec.policing = PolicingMode::kClamp;
+  ec.use_ready_queue = true;
+  return ec;
+}
+
+ClusterConfig cluster_config(std::vector<int> shard_procs,
+                             std::size_t threads = 1) {
+  ClusterConfig cfg;
+  cfg.threads = threads;
+  for (const int m : shard_procs) cfg.shards.push_back(shard_config(m));
+  return cfg;
+}
+
+/// Captures every event with owned string copies (the engine's views die
+/// with the callback).
+struct RecordingSink final : obs::EventSink {
+  struct Copied {
+    obs::EventKind kind;
+    Slot slot;
+    int shard;
+    pfair::TaskId task;
+    int folded;
+    Slot when;
+    std::string name;
+    std::string detail;
+  };
+  std::vector<Copied> events;
+  void on_event(const obs::TraceEvent& e) override {
+    events.push_back(Copied{e.kind, e.slot, e.shard, e.task, e.folded, e.when,
+                            std::string{e.task_name}, std::string{e.detail}});
+  }
+  [[nodiscard]] std::size_t count(obs::EventKind k) const {
+    std::size_t n = 0;
+    for (const Copied& e : events) n += e.kind == k ? 1 : 0;
+    return n;
+  }
+};
+
+// ---------------------------------------------------------------- placement
+
+TEST(Placement, ParsePolicySpellings) {
+  EXPECT_EQ(parse_placement_policy("first-fit"), PlacementPolicy::kFirstFit);
+  EXPECT_EQ(parse_placement_policy("worst-fit"), PlacementPolicy::kWorstFit);
+  EXPECT_EQ(parse_placement_policy("wwta"),
+            PlacementPolicy::kWeightedWorkload);
+  EXPECT_FALSE(parse_placement_policy("best-fit").has_value());
+}
+
+TEST(Placement, GoldenSmallCases) {
+  const std::vector<int> caps{2, 2, 2};
+  // first-fit takes the lowest index that fits.
+  EXPECT_EQ(choose_shard(PlacementPolicy::kFirstFit,
+                         {Rational{1}, Rational{0}, Rational{0}}, caps,
+                         Rational{1, 2}),
+            0);
+  // worst-fit takes the largest absolute headroom (2-0 beats 2-1).
+  EXPECT_EQ(choose_shard(PlacementPolicy::kWorstFit,
+                         {Rational{1}, Rational{0}, Rational{1, 2}}, caps,
+                         Rational{1, 2}),
+            1);
+  // wwta minimizes (load + w) / M_k.
+  EXPECT_EQ(choose_shard(PlacementPolicy::kWeightedWorkload,
+                         {Rational{3, 2}, Rational{1, 2}, Rational{1}}, caps,
+                         Rational{1, 4}),
+            1);
+  // Ties resolve to the lowest shard index.
+  EXPECT_EQ(choose_shard(PlacementPolicy::kWeightedWorkload,
+                         {Rational{1, 2}, Rational{1, 2}}, {2, 2},
+                         Rational{1, 4}),
+            0);
+}
+
+TEST(Placement, WwtaNormalizesByCapacity) {
+  // Shard 1 carries more absolute load but is relatively emptier: 2/8 vs
+  // 1/2.  wwta must normalize; worst-fit (absolute headroom) agrees here,
+  // first-fit would pick shard 0.
+  EXPECT_EQ(choose_shard(PlacementPolicy::kWeightedWorkload,
+                         {Rational{1, 2}, Rational{2}}, {2, 8},
+                         Rational{1, 4}),
+            1);
+}
+
+TEST(Placement, RejectsWhenNothingFits) {
+  EXPECT_EQ(choose_shard(PlacementPolicy::kFirstFit,
+                         {Rational{7, 4}, Rational{15, 8}}, {2, 2},
+                         Rational{1, 2}),
+            -1);
+}
+
+TEST(Placement, PropertyNeverAdmitsPastCapacity) {
+  // Pseudorandom weight stream (deterministic LCG); after every admission,
+  // no shard's reserved load may exceed its processor count, for every
+  // policy.
+  for (const PlacementPolicy policy :
+       {PlacementPolicy::kFirstFit, PlacementPolicy::kWorstFit,
+        PlacementPolicy::kWeightedWorkload}) {
+    ClusterConfig cfg = cluster_config({1, 2, 3});
+    cfg.placement = policy;
+    Cluster cluster{std::move(cfg)};
+    std::uint64_t state = 12345;
+    int admitted = 0, rejected = 0;
+    for (int i = 0; i < 200; ++i) {
+      state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+      const int num = 1 + static_cast<int>((state >> 33) % 8);  // 1/16..1/2
+      const Cluster::AdmitResult res =
+          cluster.admit("t" + std::to_string(i), Rational{num, 16});
+      if (res.shard < 0) {
+        ++rejected;
+        continue;
+      }
+      ++admitted;
+      for (int k = 0; k < cluster.shard_count(); ++k) {
+        EXPECT_LE(cluster.shard_load(k),
+                  Rational{cluster.shard(k).processors()})
+            << "policy " << to_string(policy) << " overcommitted shard " << k;
+      }
+    }
+    EXPECT_GT(admitted, 0);
+    EXPECT_GT(rejected, 0) << "stream never exhausted capacity";
+    EXPECT_EQ(cluster.stats().placement_rejects, rejected);
+  }
+}
+
+TEST(Placement, GoldenClusterAssignment) {
+  // wwta on two equal shards alternates as loads leapfrog.
+  Cluster cluster{cluster_config({2, 2})};
+  const std::vector<int> expected{0, 1, 0, 1};
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    const auto res =
+        cluster.admit("t" + std::to_string(i), Rational{1, 2});
+    EXPECT_EQ(res.shard, expected[i]) << "task " << i;
+  }
+}
+
+// ---------------------------------------------------------------- migration
+
+TEST(Migration, RuleLPlusJoinMovesTask) {
+  Cluster cluster{cluster_config({2, 2})};
+  cluster.admit("a", Rational{1, 2}, 0, /*forced_shard=*/0);
+  cluster.admit("b", Rational{1, 4}, 0, /*forced_shard=*/0);
+  cluster.run_until(4);
+  ASSERT_TRUE(cluster.request_migrate("a", 1));
+  // find() reports the target shard as soon as the join is reserved.
+  cluster.step();
+  const auto ref = cluster.find("a");
+  ASSERT_TRUE(ref.has_value());
+  EXPECT_EQ(ref->shard, 1);
+  cluster.run_until(32);
+
+  EXPECT_EQ(cluster.stats().migrations_started, 1);
+  EXPECT_EQ(cluster.stats().migrations_completed, 1);
+  ASSERT_EQ(cluster.migrator().records().size(), 1u);
+  const MigrationRecord& rec = cluster.migrator().record(0);
+  EXPECT_EQ(rec.from, 0);
+  EXPECT_EQ(rec.to, 1);
+  EXPECT_TRUE(rec.completed);
+  // Rule L on the source: the old incarnation left and stays left.
+  EXPECT_NE(cluster.shard(0).task(rec.from_local).left_at, kNever);
+  // Join on the target at exactly the leave slot.
+  EXPECT_EQ(rec.join_at, rec.leave_at);
+  EXPECT_EQ(cluster.shard(1).task(rec.to_local).join_time, rec.join_at);
+  // Thm. 3 charge: |Dw| per slot between initiation and the leave.
+  EXPECT_EQ(rec.drift_charged,
+            rec.weight * Rational{rec.leave_at - rec.requested_at});
+  EXPECT_EQ(cluster.stats().migration_drift, rec.drift_charged);
+  EXPECT_TRUE(cluster.verify().empty());
+}
+
+TEST(Migration, RejectedWhenTargetLacksCapacity) {
+  Cluster cluster{cluster_config({2, 1})};
+  cluster.admit("big", Rational{1, 2}, 0, /*forced_shard=*/1);
+  cluster.admit("full", Rational{1, 2}, 0, /*forced_shard=*/1);
+  cluster.admit("mover", Rational{1, 2}, 0, /*forced_shard=*/0);
+  cluster.run_until(2);
+  // Shard 1 has 1/1 reserved; a 1/2 task cannot reserve there.  The
+  // request queues, but the coordinator rejects it instead of clamping.
+  ASSERT_TRUE(cluster.request_migrate("mover", 1));
+  cluster.run_until(8);
+  EXPECT_EQ(cluster.stats().migrations_started, 0);
+  EXPECT_EQ(cluster.stats().migrations_rejected, 1);
+  const auto ref = cluster.find("mover");
+  ASSERT_TRUE(ref.has_value());
+  EXPECT_EQ(ref->shard, 0);  // still home
+  EXPECT_EQ(cluster.shard(0).task(ref->local).left_at, kNever);
+}
+
+TEST(Migration, StormKeepsEveryShardVerifiableAndTheorySound) {
+  // Randomized migration storm: 12 tasks over 3 shards, a migration burst
+  // every 8 slots.  Afterwards every shard must pass verify_schedule()
+  // (which includes the Theorem-2 zero-miss check for policed PD2-OI) and
+  // every task the offline ideal recomputation properties (AF1)/(AF3)/(AF4).
+  Cluster cluster{cluster_config({2, 2, 2})};
+  for (int i = 0; i < 12; ++i) {
+    cluster.admit("t" + std::to_string(i), Rational{1 + i % 3, 8});
+  }
+  std::uint64_t state = 99;
+  for (Slot t = 0; t < 96; ++t) {
+    if (t % 8 == 4) {
+      for (int j = 0; j < 3; ++j) {
+        state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+        const std::string name =
+            "t" + std::to_string((state >> 33) % 12);
+        const auto ref = cluster.find(name);
+        if (!ref) continue;
+        cluster.request_migrate(name,
+                                (ref->shard + 1) % cluster.shard_count());
+      }
+    }
+    cluster.step();
+  }
+  EXPECT_GT(cluster.stats().migrations_completed, 0);
+  EXPECT_TRUE(cluster.verify().empty());
+  for (int k = 0; k < cluster.shard_count(); ++k) {
+    EXPECT_TRUE(cluster.shard(k).misses().empty()) << "shard " << k;
+    for (std::size_t i = 0; i < cluster.shard(k).task_count(); ++i) {
+      const pfair::TaskState& task =
+          cluster.shard(k).task(static_cast<TaskId>(i));
+      const auto violations =
+          pfair::check_allocation_properties(task, cluster.now());
+      EXPECT_TRUE(violations.empty())
+          << "shard " << k << " task " << task.name << ": "
+          << (violations.empty() ? "" : violations.front());
+    }
+  }
+  // Drift charges accumulate exactly over the completed records.
+  Rational total;
+  for (const MigrationRecord& rec : cluster.migrator().records()) {
+    total += rec.drift_charged;
+  }
+  EXPECT_EQ(cluster.stats().migration_drift, total);
+}
+
+TEST(Migration, RequestsForMigratingTaskAreRefused) {
+  Cluster cluster{cluster_config({2, 2})};
+  cluster.admit("a", Rational{1, 2}, 0, 0);
+  cluster.run_until(6);
+  ASSERT_TRUE(cluster.request_migrate("a", 1));
+  cluster.step();  // migration starts; join still in flight
+  if (cluster.migrating("a")) {
+    EXPECT_FALSE(cluster.request_weight_change("a", Rational{1, 4},
+                                               cluster.now()));
+    EXPECT_FALSE(cluster.request_leave("a", cluster.now()));
+    EXPECT_FALSE(cluster.request_migrate("a", 1));
+  }
+  cluster.run_until(40);
+  EXPECT_FALSE(cluster.migrating("a"));
+  EXPECT_TRUE(cluster.request_weight_change("a", Rational{1, 4},
+                                            cluster.now()));
+}
+
+// ----------------------------------------------------------------- events
+
+TEST(Events, ShardStepAndMigrationEventsAreShardStamped) {
+  RecordingSink sink;
+  Cluster cluster{cluster_config({1, 1})};
+  cluster.set_event_sink(&sink);
+  cluster.admit("a", Rational{1, 2}, 0, 0);
+  cluster.run_until(4);
+  ASSERT_TRUE(cluster.request_migrate("a", 1));
+  cluster.run_until(24);
+
+  EXPECT_EQ(sink.count(obs::EventKind::kShardStep), 2u * 24u);
+  ASSERT_EQ(sink.count(obs::EventKind::kMigrateOut), 1u);
+  ASSERT_EQ(sink.count(obs::EventKind::kMigrateIn), 1u);
+  Slot out_slot = -1, in_slot = -1;
+  for (const auto& e : sink.events) {
+    if (e.kind == obs::EventKind::kMigrateOut) {
+      EXPECT_EQ(e.shard, 0);
+      EXPECT_EQ(e.folded, 1);  // target shard
+      EXPECT_EQ(e.name, "a");
+      out_slot = e.slot;
+    }
+    if (e.kind == obs::EventKind::kMigrateIn) {
+      EXPECT_EQ(e.shard, 1);
+      EXPECT_EQ(e.folded, 0);  // source shard
+      in_slot = e.slot;
+    }
+    if (e.kind == obs::EventKind::kShardStep) {
+      EXPECT_TRUE(e.shard == 0 || e.shard == 1);
+    }
+  }
+  EXPECT_LE(out_slot, in_slot);
+}
+
+// --------------------------------------------------------------- rebalance
+
+TEST(Rebalance, PlanMovesFromHotToColdShard) {
+  std::vector<ShardLoadView> views(2);
+  views[0].load = Rational{7, 4};
+  views[0].capacity = 2;
+  views[0].movable = {{"a", Rational{1, 2}}, {"b", Rational{1, 4}},
+                      {"c", Rational{1}}};
+  views[1].load = Rational{1, 4};
+  views[1].capacity = 2;
+  RebalanceConfig cfg;
+  cfg.enabled = true;
+  cfg.threshold = Rational{1, 4};
+  const auto plan = plan_rebalance(views, cfg);
+  ASSERT_FALSE(plan.empty());
+  for (const RebalanceMove& m : plan) {
+    EXPECT_EQ(m.from, 0);
+    EXPECT_EQ(m.to, 1);
+  }
+}
+
+TEST(Rebalance, NoPlanWhenBalanced) {
+  std::vector<ShardLoadView> views(2);
+  views[0].load = Rational{1};
+  views[0].capacity = 2;
+  views[0].movable = {{"a", Rational{1, 2}}};
+  views[1].load = Rational{1};
+  views[1].capacity = 2;
+  views[1].movable = {{"b", Rational{1, 2}}};
+  RebalanceConfig cfg;
+  cfg.enabled = true;
+  const auto plan = plan_rebalance(views, cfg);
+  EXPECT_TRUE(plan.empty());
+}
+
+TEST(Rebalance, ImbalanceTriggerEvensLoads) {
+  ClusterConfig cfg = cluster_config({2, 2});
+  cfg.rebalance.enabled = true;
+  cfg.rebalance.period = 8;
+  cfg.rebalance.threshold = Rational{1, 4};
+  Cluster cluster{std::move(cfg)};
+  // Pile everything on shard 0.
+  for (int i = 0; i < 6; ++i) {
+    cluster.admit("t" + std::to_string(i), Rational{1, 4}, 0,
+                  /*forced_shard=*/0);
+  }
+  const Rational before = cluster.shard_load(0) - cluster.shard_load(1);
+  RecordingSink sink;
+  cluster.set_event_sink(&sink);
+  cluster.run_until(48);
+  EXPECT_GT(cluster.stats().rebalances, 0);
+  EXPECT_GT(cluster.stats().migrations_completed, 0);
+  EXPECT_GE(sink.count(obs::EventKind::kRebalance), 1u);
+  const Rational after = cluster.shard_load(0) - cluster.shard_load(1);
+  EXPECT_LT(after < Rational{0} ? Rational{0} - after : after, before);
+  EXPECT_TRUE(cluster.verify().empty());
+}
+
+// ------------------------------------------------------------- determinism
+
+std::uint64_t run_mixed_workload(std::size_t threads) {
+  ClusterConfig cfg = cluster_config({2, 2, 2, 2}, threads);
+  cfg.rebalance.enabled = true;
+  cfg.rebalance.period = 16;
+  Cluster cluster{std::move(cfg)};
+  for (int i = 0; i < 24; ++i) {
+    cluster.admit("t" + std::to_string(i), Rational{1 + i % 3, 8});
+  }
+  for (Slot t = 0; t < 64; ++t) {
+    const int i = static_cast<int>(t) % 24;
+    cluster.request_weight_change("t" + std::to_string(i),
+                                  Rational{1 + (i + 1) % 3, 8}, t);
+    if (t % 8 == 4) {
+      const std::string name = "t" + std::to_string((i * 7) % 24);
+      if (const auto ref = cluster.find(name)) {
+        cluster.request_migrate(name, (ref->shard + 1) % 4);
+      }
+    }
+    cluster.step();
+  }
+  return cluster.schedule_digest();
+}
+
+TEST(Determinism, DigestIdenticalAcross128WorkerThreads) {
+  const std::uint64_t d1 = run_mixed_workload(1);
+  EXPECT_EQ(run_mixed_workload(2), d1);
+  EXPECT_EQ(run_mixed_workload(8), d1);
+}
+
+// ---------------------------------------------------------------- scenario
+
+TEST(ClusterScenario, BuildsAndRunsFromDirectives) {
+  const std::string text = R"(
+processors 4
+horizon 64
+shard 2
+shard 2
+placement wwta
+rebalance period=16 threshold=1/4 max-moves=2
+task a 1/2
+task b 1/4
+task c 1/4
+migrate a 1 at=8
+reweight b 1/2 at=12
+)";
+  const pfair::ScenarioSpec spec =
+      pfair::parse_scenario_string(text, "cluster.scn");
+  EXPECT_TRUE(spec.warnings.empty());
+  ASSERT_EQ(spec.shard_processors, (std::vector<int>{2, 2}));
+  EXPECT_EQ(spec.placement, "wwta");
+  ASSERT_EQ(spec.migrations.size(), 1u);
+  EXPECT_EQ(spec.migrations[0].task, "a");
+  EXPECT_EQ(spec.migrations[0].to_shard, 1);
+  EXPECT_EQ(spec.migrations[0].at, 8);
+  EXPECT_TRUE(spec.rebalance.enabled);
+  EXPECT_EQ(spec.rebalance.period, 16);
+  EXPECT_EQ(spec.rebalance.threshold, (Rational{1, 4}));
+  EXPECT_EQ(spec.rebalance.max_moves, 2);
+
+  BuiltClusterScenario built = build_cluster_scenario(spec);
+  built.cluster->run_until(built.horizon);
+  // At least the scripted migration; the enabled rebalancer may add more.
+  EXPECT_GE(built.cluster->stats().migrations_completed, 1);
+  EXPECT_TRUE(built.cluster->verify().empty());
+}
+
+TEST(ClusterScenario, RejectsFaultDirectives) {
+  const std::string text = R"(
+shard 2
+horizon 16
+task a 1/2
+fault crash 0 at=4
+)";
+  const pfair::ScenarioSpec spec =
+      pfair::parse_scenario_string(text, "bad.scn");
+  EXPECT_THROW(build_cluster_scenario(spec), std::invalid_argument);
+}
+
+TEST(ClusterScenario, RejectsUnplaceableTask) {
+  const std::string text = R"(
+shard 1
+horizon 16
+task a 1/2
+task b 1/2
+task c 1/2
+)";
+  const pfair::ScenarioSpec spec =
+      pfair::parse_scenario_string(text, "full.scn");
+  EXPECT_THROW(build_cluster_scenario(spec), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------ router
+
+serve::Request make_request(serve::RequestId id, serve::RequestKind kind,
+                            const std::string& task, Slot due,
+                            const Rational& weight = Rational{0}) {
+  serve::Request r;
+  r.id = id;
+  r.kind = kind;
+  r.task = task;
+  r.due = due;
+  r.deadline = due + 64;
+  r.weight = weight;
+  return r;
+}
+
+TEST(Router, RoutesJoinsByPlacementAndReweightsByName) {
+  serve::ShardedServiceConfig cfg;
+  cfg.cluster = cluster_config({2, 2});
+  serve::ShardedService svc{cfg};
+  svc.seed_task("a", Rational{1, 2});
+  svc.seed_task("b", Rational{1, 2});
+
+  const int p = svc.queue().add_producer();
+  svc.queue().push(p, make_request(1, serve::RequestKind::kJoin, "c", 0,
+                                   Rational{1, 2}));
+  svc.queue().push(p, make_request(2, serve::RequestKind::kReweight, "a", 1,
+                                   Rational{1, 4}));
+  svc.queue().push(p, make_request(3, serve::RequestKind::kReweight, "zzz",
+                                   1, Rational{1, 4}));
+  svc.queue().push(p, make_request(4, serve::RequestKind::kJoin, "a", 2,
+                                   Rational{1, 4}));
+  svc.queue().producer_done(p);
+  svc.run_to_completion();
+
+  // a -> shard 0, b -> shard 1 (wwta alternation); c lands on the emptier
+  // shard after both seeds: loads equal, tie -> shard 0.
+  const auto c = svc.cluster().find("c");
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->shard, 0);
+  EXPECT_EQ(svc.stats().admitted + svc.stats().clamped, 2u);
+  EXPECT_EQ(svc.stats().rejected, 2u);  // unknown task + duplicate join
+  bool saw_unknown = false, saw_duplicate = false;
+  for (const serve::Response& r : svc.responses()) {
+    if (r.reason == "unknown task") saw_unknown = true;
+    if (r.reason == "task name already joined") saw_duplicate = true;
+  }
+  EXPECT_TRUE(saw_unknown);
+  EXPECT_TRUE(saw_duplicate);
+  EXPECT_TRUE(svc.cluster().verify().empty());
+}
+
+TEST(Router, DefersRequestsForMigratingTasks) {
+  serve::ShardedServiceConfig cfg;
+  cfg.cluster = cluster_config({2, 2});
+  serve::ShardedService svc{cfg};
+  // Weight 1/16: the first subtask's window spans [0, 16), so a rule-L
+  // leave initiated at t=6 cannot land before slot 16 -- the migration
+  // stays in flight long enough to observe the deferral.  (A 1/2-weight
+  // task's two-slot windows would let the leave complete the same slot.)
+  svc.seed_task("a", Rational{1, 16});
+  // (The cluster advances directly here: drain_slot would block on a
+  // registered producer that has not pushed yet.)
+  svc.cluster().run_until(6);
+  ASSERT_TRUE(svc.cluster().request_migrate("a", 1));
+  const int p = svc.queue().add_producer();
+  svc.queue().push(p, make_request(1, serve::RequestKind::kReweight, "a",
+                                   svc.cluster().now() + 1, Rational{1, 4}));
+  svc.queue().producer_done(p);
+  svc.run_to_completion();
+
+  EXPECT_GT(svc.stats().migration_defers, 0u);
+  // The reweight still lands once the join completes.
+  bool terminal_ok = false;
+  for (const serve::Response& r : svc.responses()) {
+    if (r.id == 1 && (r.decision == serve::Decision::kAccepted ||
+                      r.decision == serve::Decision::kClamped)) {
+      terminal_ok = true;
+    }
+  }
+  EXPECT_TRUE(terminal_ok);
+  EXPECT_EQ(svc.cluster().stats().migrations_completed, 1);
+}
+
+TEST(Router, FallsBackToLeastLoadedShardWhenNothingFits) {
+  serve::ShardedServiceConfig cfg;
+  cfg.cluster = cluster_config({1, 1});
+  serve::ShardedService svc{cfg};
+  svc.seed_task("a", Rational{1, 2});  // wwta: shard 0
+  svc.seed_task("b", Rational{1, 2});  // shard 1
+  svc.seed_task("c", Rational{1, 2});  // tie -> shard 0 (now full)
+  svc.seed_task("e", Rational{1, 4});  // shard 1 (load 3/4)
+  // Loads: 1/1 and 3/4.  A 1/2 join fits nowhere outright; the fallback
+  // shard (1, least normalized load) clamps it to the 1/4 headroom.
+  const int p = svc.queue().add_producer();
+  svc.queue().push(p, make_request(1, serve::RequestKind::kJoin, "d", 0,
+                                   Rational{1, 2}));
+  svc.queue().producer_done(p);
+  svc.run_to_completion();
+
+  EXPECT_EQ(svc.stats().placement_fallbacks, 1u);
+  const auto d = svc.cluster().find("d");
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->shard, 1);
+  ASSERT_EQ(svc.stats().clamped, 1u);
+  EXPECT_TRUE(svc.cluster().verify().empty());
+}
+
+}  // namespace
+}  // namespace pfr::cluster

@@ -74,6 +74,33 @@ constexpr BadScenario kBadScenarios[] = {
      "unknown task attribute 'color=red'"},
     {"NegativeEventTime", "task T 1/4\nleave T at=-1\n", 2, 9, "at=-1",
      "event time must be >= 0"},
+    // --- sharded cluster directives (shard / placement / migrate /
+    //     rebalance) ---
+    {"MissingShardCount", "shard\n", 1, 1, "shard",
+     "expected: shard <processors>"},
+    {"ZeroShardProcessors", "shard 0\n", 1, 7, "0",
+     "shard processors must be >= 1"},
+    {"UnknownPlacementPolicy", "placement best-fit\n", 1, 11, "best-fit",
+     "unknown placement policy 'best-fit'"},
+    {"MigrateUnknownTask", "shard 2\nmigrate X 0 at=3\n", 2, 9, "X",
+     "unknown task 'X'"},
+    {"MigrateNegativeShard", "task T 1/4\nmigrate T -1 at=3\n", 2, 11, "-1",
+     "shard index must be >= 0"},
+    {"MigrateUndeclaredShard", "task T 1/4\nmigrate T 1 at=3\n", 2, 11, "1",
+     "migration targets undeclared shard 1; add 'shard <M>' lines first"},
+    {"MigrateNegativeTime", "shard 2\ntask T 1/4\nmigrate T 0 at=-1\n", 3, 13,
+     "at=-1", "event time must be >= 0"},
+    {"RebalanceMissingArgs", "rebalance\n", 1, 1, "rebalance",
+     "expected: rebalance period=<n> threshold=<num>/<den> [max-moves=<n>]"},
+    {"RebalanceZeroPeriod", "rebalance period=0 threshold=1/4\n", 1, 11,
+     "period=0", "period must be >= 1"},
+    {"RebalanceBadThresholdKey", "rebalance period=8 thresh=1/4\n", 1, 20,
+     "thresh=1/4", "expected threshold=<value>, got 'thresh=1/4'"},
+    {"RebalanceZeroThreshold", "rebalance period=8 threshold=0\n", 1, 20,
+     "threshold=0", "threshold must be positive"},
+    {"RebalanceZeroMaxMoves",
+     "rebalance period=8 threshold=1/4 max-moves=0\n", 1, 34, "max-moves=0",
+     "max-moves must be >= 1"},
 };
 
 class ScenarioErrors : public ::testing::TestWithParam<BadScenario> {};
