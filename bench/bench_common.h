@@ -24,6 +24,7 @@
 #include <optional>
 #include <string>
 
+#include "bench_json.h"
 #include "exp/figures.h"
 #include "obs/chrome_trace_sink.h"
 #include "obs/jsonl_sink.h"

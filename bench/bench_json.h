@@ -1,0 +1,91 @@
+/// \file bench_json.h
+/// \brief Common header for every BENCH_*.json artifact.
+///
+/// Each bench binary writes a machine-readable result file; downstream
+/// tooling (the perf-regression check, plotting scripts) wants one stable
+/// preamble instead of three ad-hoc layouts.  BenchJsonHeader renders it:
+///
+///   {
+///     "bench": "cluster_scaling",        <- binary name
+///     "schema": 1,                       <- bump on incompatible changes
+///     "scenario": "K-sweep",             <- what the results section holds
+///     "threads": 4,                      <- worker/producer threads
+///     "config": {"tasks": 1024, ...},    <- the knobs that shaped the run
+///
+/// write_open() leaves the top-level object open; the caller appends its
+/// own sections ("results": [...], ...) and the closing brace, so each
+/// bench keeps full control of its payload while the preamble stays
+/// uniform.  This header is intentionally free of the exp/ layer so the
+/// light microbenches can include it directly (bench_common.h re-exports
+/// it for the figure benches).
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace pfr::bench {
+
+/// Version of the common artifact preamble (not of any bench's payload).
+inline constexpr int kBenchJsonSchema = 1;
+
+class BenchJsonHeader {
+ public:
+  BenchJsonHeader(std::string bench, std::string scenario,
+                  std::size_t threads)
+      : bench_(std::move(bench)),
+        scenario_(std::move(scenario)),
+        threads_(threads) {}
+
+  /// Config entries render in insertion order.  Integral values print as
+  /// JSON numbers, bools as true/false, strings quoted (callers pass only
+  /// flag-ish values, so no escaping is needed or attempted).
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>,
+                             int> = 0>
+  BenchJsonHeader& add(const std::string& key, T value) {
+    std::ostringstream os;
+    os << value;
+    config_.emplace_back(key, os.str());
+    return *this;
+  }
+  BenchJsonHeader& add(const std::string& key, bool value) {
+    config_.emplace_back(key, value ? "true" : "false");
+    return *this;
+  }
+  BenchJsonHeader& add(const std::string& key, const std::string& value) {
+    config_.emplace_back(key, '"' + value + '"');
+    return *this;
+  }
+  BenchJsonHeader& add(const std::string& key, const char* value) {
+    return add(key, std::string{value});
+  }
+
+  /// Writes the preamble and leaves the top-level object open:
+  ///   {"bench": ..., "schema": N, "scenario": ..., "threads": N,
+  ///    "config": {...},
+  /// The caller appends its sections and the final '}'.
+  void write_open(std::ostream& out) const {
+    out << "{\n  \"bench\": \"" << bench_
+        << "\",\n  \"schema\": " << kBenchJsonSchema
+        << ",\n  \"scenario\": \"" << scenario_
+        << "\",\n  \"threads\": " << threads_ << ",\n  \"config\": {";
+    for (std::size_t i = 0; i < config_.size(); ++i) {
+      out << (i == 0 ? "" : ", ") << '"' << config_[i].first
+          << "\": " << config_[i].second;
+    }
+    out << "},\n";
+  }
+
+ private:
+  std::string bench_;
+  std::string scenario_;
+  std::size_t threads_;
+  std::vector<std::pair<std::string, std::string>> config_;
+};
+
+}  // namespace pfr::bench

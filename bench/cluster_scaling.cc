@@ -27,6 +27,16 @@
 ///   --json=PATH          machine-readable results (default
 ///                        results/BENCH_cluster_scaling.json; empty
 ///                        disables)
+///   --telemetry-out=PATH Prometheus exposition from the telemetry run
+///                        (validated before writing; implies the overhead
+///                        measurement below)
+///   --flight-dump=PATH   flight-recorder JSONL from a short instrumented
+///                        rerun (the CI artifact)
+///
+/// When live telemetry is compiled in (always), the bench also replays the
+/// largest-K workload twice -- telemetry detached and attached -- and
+/// reports the slots/s overhead plus a digest-identity check (telemetry is
+/// a pure observer; an attached shard must not change the schedule).
 #include <chrono>
 #include <cstdint>
 #include <filesystem>
@@ -36,7 +46,11 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.h"
 #include "cluster/cluster.h"
+#include "obs/flight_recorder.h"
+#include "obs/prometheus.h"
+#include "obs/telemetry.h"
 #include "pfair/verify.h"
 #include "util/cli.h"
 
@@ -54,6 +68,8 @@ struct Args {
   pfr::pfair::Slot migrate_every{32};
   int migrate_batch{8};
   std::string json{"results/BENCH_cluster_scaling.json"};
+  std::string telemetry_out;
+  std::string flight_dump;
 };
 
 Args parse(int argc, char** argv) {
@@ -71,6 +87,8 @@ Args parse(int argc, char** argv) {
   a.migrate_batch = static_cast<int>(
       cli.get_int("migrate-batch", a.migrate_batch));
   a.json = cli.get_string("json", a.json);
+  a.telemetry_out = cli.get_string("telemetry-out", "");
+  a.flight_dump = cli.get_string("flight-dump", "");
   if (cli.error()) {
     std::cerr << "argument error: " << *cli.error() << "\n";
     std::exit(2);
@@ -140,8 +158,10 @@ struct RunResult {
 /// the next shard.  Identical request sequence for every (K, threads)
 /// combination, so digests are comparable across thread counts.
 RunResult run_workload(const Args& a, int shards, std::size_t threads,
-                       bool storm) {
+                       bool storm,
+                       pfr::obs::Telemetry* telemetry = nullptr) {
   std::unique_ptr<Cluster> cluster = make_cluster(a, shards, threads);
+  if (telemetry != nullptr) cluster->set_telemetry(telemetry);
   RunResult out;
 
   const auto start = std::chrono::steady_clock::now();
@@ -198,7 +218,74 @@ struct KResult {
   RunResult storm;
 };
 
-void write_json(const Args& a, const std::vector<KResult>& results) {
+struct TelemetryOverhead {
+  int shards{0};
+  double off_slots_per_s{0};
+  double on_slots_per_s{0};
+  double overhead_pct{0};  ///< (off - on) / off * 100
+  bool digest_match{true};
+  int torn{0};             ///< snapshot retries that gave up mid-publish
+};
+
+/// Back-to-back replay of the largest-K workload with telemetry detached
+/// and attached: the cost of live metrics, and the proof they are a pure
+/// observer (identical schedule digest).  Writes the attached run's final
+/// Prometheus exposition to `a.telemetry_out` when set, refusing to emit a
+/// payload its own validator rejects.
+TelemetryOverhead measure_telemetry(const Args& a, int shards) {
+  TelemetryOverhead out;
+  out.shards = shards;
+  const RunResult off = run_workload(a, shards, /*threads=*/1, false);
+  pfr::obs::Telemetry telemetry{shards};
+  const RunResult on =
+      run_workload(a, shards, /*threads=*/1, false, &telemetry);
+  out.off_slots_per_s = off.slots_per_s;
+  out.on_slots_per_s = on.slots_per_s;
+  out.overhead_pct =
+      off.slots_per_s > 0
+          ? (off.slots_per_s - on.slots_per_s) / off.slots_per_s * 100.0
+          : 0.0;
+  out.digest_match = off.digest == on.digest;
+  const pfr::obs::TelemetrySnapshot snap = telemetry.snapshot();
+  out.torn = snap.torn;
+  if (!a.telemetry_out.empty()) {
+    const std::string text = pfr::obs::render_prometheus(snap);
+    std::string error;
+    if (!pfr::obs::prometheus_text_valid(text, &error)) {
+      std::cerr << "FAIL: telemetry exposition invalid: " << error << "\n";
+      std::exit(1);
+    }
+    if (!pfr::obs::write_prometheus_file(a.telemetry_out, text)) {
+      std::cerr << "failed to write " << a.telemetry_out << "\n";
+      std::exit(1);
+    }
+    std::cout << "telemetry written to " << a.telemetry_out << "\n";
+  }
+  return out;
+}
+
+/// Short instrumented rerun with the flight recorder attached, manually
+/// dumped at the end -- the CI artifact showing what the recorder retained.
+void write_flight_dump(const Args& a, int shards) {
+  if (a.flight_dump.empty()) return;
+  Args capped = a;
+  if (capped.slots > 128) capped.slots = 128;
+  std::unique_ptr<Cluster> cluster = make_cluster(capped, shards, 1);
+  pfr::obs::FlightRecorderConfig cfg;
+  cfg.max_dumps = 0;  // record only; we dump manually below
+  pfr::obs::FlightRecorder recorder{cfg, shards};
+  cluster->set_event_sink(&recorder);
+  for (pfr::pfair::Slot t = 0; t < capped.slots; ++t) cluster->step();
+  if (!recorder.dump_to_file(a.flight_dump)) {
+    std::cerr << "failed to write " << a.flight_dump << "\n";
+    std::exit(1);
+  }
+  std::cout << "flight-recorder dump (" << recorder.events_seen()
+            << " events seen) written to " << a.flight_dump << "\n";
+}
+
+void write_json(const Args& a, const std::vector<KResult>& results,
+                const TelemetryOverhead& tel) {
   if (a.json.empty()) return;
   const std::filesystem::path path{a.json};
   if (path.has_parent_path()) {
@@ -209,12 +296,16 @@ void write_json(const Args& a, const std::vector<KResult>& results) {
     std::cerr << "failed to write " << a.json << "\n";
     std::exit(1);
   }
-  out << "{\n  \"bench\": \"cluster_scaling\",\n  \"config\": {"
-      << "\"tasks\": " << a.tasks << ", \"processors\": " << a.processors
-      << ", \"slots\": " << a.slots << ", \"reweights_per_slot\": "
-      << a.reweights << ", \"migrate_every\": " << a.migrate_every
-      << ", \"migrate_batch\": " << a.migrate_batch
-      << "},\n  \"results\": [\n";
+  pfr::bench::BenchJsonHeader header{"cluster_scaling", "K-sweep",
+                                     /*threads=*/1};
+  header.add("tasks", a.tasks)
+      .add("processors", a.processors)
+      .add("slots", a.slots)
+      .add("reweights_per_slot", a.reweights)
+      .add("migrate_every", a.migrate_every)
+      .add("migrate_batch", a.migrate_batch);
+  header.write_open(out);
+  out << "  \"results\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const KResult& r = results[i];
     const double mig_cost_ms =
@@ -240,7 +331,12 @@ void write_json(const Args& a, const std::vector<KResult>& results) {
         << ", \"violations\": " << r.storm.violations << "}}"
         << (i + 1 < results.size() ? "," : "") << "\n";
   }
-  out << "  ]\n}\n";
+  out << "  ],\n  \"telemetry\": {\"shards\": " << tel.shards
+      << ", \"slots_per_s_off\": " << tel.off_slots_per_s
+      << ", \"slots_per_s_on\": " << tel.on_slots_per_s
+      << ", \"overhead_pct\": " << tel.overhead_pct
+      << ", \"digest_match\": " << (tel.digest_match ? "true" : "false")
+      << ", \"torn_snapshots\": " << tel.torn << "}\n}\n";
   std::cout << "json written to " << a.json << "\n";
 }
 
@@ -303,10 +399,24 @@ int main(int argc, char** argv) {
   }
   std::cout << "\n";
 
-  write_json(a, results);
-  if (!all_match) {
+  if (results.empty()) {
+    std::cerr << "no feasible shard count for M=" << a.processors << "\n";
+    return 2;
+  }
+  const int max_k = results.back().shards;
+  const TelemetryOverhead tel = measure_telemetry(a, max_k);
+  std::cout << "telemetry overhead at K=" << tel.shards << ": off="
+            << static_cast<std::uint64_t>(tel.off_slots_per_s) << " on="
+            << static_cast<std::uint64_t>(tel.on_slots_per_s)
+            << " slots/s (" << tel.overhead_pct << "%), digest "
+            << (tel.digest_match ? "match" : "MISMATCH") << ", torn snapshots="
+            << tel.torn << "\n\n";
+  write_flight_dump(a, max_k);
+
+  write_json(a, results, tel);
+  if (!all_match || !tel.digest_match) {
     std::cerr << "FAIL: schedule digests differ across worker-thread "
-                 "counts\n";
+                 "counts or with telemetry attached\n";
     return 1;
   }
   for (const KResult& r : results) {

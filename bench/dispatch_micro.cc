@@ -35,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_json.h"
 #include "obs/metrics.h"
 #include "pfair/engine.h"
 #include "pfair/windows.h"
@@ -251,9 +252,11 @@ int main(int argc, char** argv) {
                                      DispatchMode::kIncremental};
 
   std::ostringstream json;
-  json << "{\"bench\":\"dispatch_micro\",\"slots\":" << slots
-       << ",\"seed\":" << seed << ",\"quick\":" << (quick ? "true" : "false")
-       << ",\"scenarios\":[";
+  pfr::bench::BenchJsonHeader header{"dispatch_micro", "modes-x-dists",
+                                     /*threads=*/1};
+  header.add("slots", slots).add("seed", seed).add("quick", quick);
+  header.write_open(json);
+  json << "  \"scenarios\": [";
   std::cout << "# dispatch_micro: dispatch-phase ns/slot by mode (slots="
             << slots << ", seed=" << seed << ")\n";
   std::cout << "scenario            M    scan      heap      incremental  "

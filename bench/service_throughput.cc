@@ -27,6 +27,14 @@
 ///   --trace/--chrome-trace/--metrics  replay a capped PD2-OI run with the
 ///                    observability layer attached (traces include the
 ///                    serve-side request_enqueue/admit/reject/shed events)
+///   --telemetry-out=PATH  replay a capped run per policy with live
+///                    telemetry + the SLO tracker attached, writing the
+///                    Prometheus exposition periodically during the run
+///                    (pfair-top --watch reads it live) and a final payload
+///                    with per-policy drift/p99/shed-rate gauges appended.
+///                    The final payload is parse-checked -- the bench exits
+///                    non-zero if its own exposition fails validation or
+///                    lacks the SLO families.
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
@@ -41,6 +49,9 @@
 #include "obs/chrome_trace_sink.h"
 #include "obs/jsonl_sink.h"
 #include "obs/metrics.h"
+#include "obs/prometheus.h"
+#include "obs/slo.h"
+#include "obs/telemetry.h"
 #include "serve/load_gen.h"
 #include "serve/router.h"
 #include "serve/service.h"
@@ -67,6 +78,7 @@ struct Args {
   int mean_batch{64};
   std::string json{"BENCH_service_throughput.json"};
   std::string csv;
+  std::string telemetry_out;
   pfr::bench::ObsPaths obs;
 };
 
@@ -87,6 +99,7 @@ Args parse(int argc, char** argv) {
   a.mean_batch = static_cast<int>(cli.get_int("mean-batch", a.mean_batch));
   a.json = cli.get_string("json", a.json);
   a.csv = cli.get_string("csv", "");
+  a.telemetry_out = cli.get_string("telemetry-out", "");
   a.obs = pfr::bench::parse_obs_paths(cli);
   if (cli.error()) {
     std::cerr << "argument error: " << *cli.error() << "\n";
@@ -285,6 +298,131 @@ void capture_observability(const Args& a, const GeneratedLoad& load) {
       a.obs, jsonl.has_value() ? jsonl->events_written() : 0, metrics);
 }
 
+/// Replays a capped run per policy with live telemetry and the SLO tracker
+/// attached: during each run the current exposition lands in
+/// `a.telemetry_out` every few hundred slots (atomic rename, so pfair-top
+/// --watch can follow along); afterwards the last policy's full snapshot
+/// plus per-policy SLO gauge families are written and parse-checked.
+/// No-op without --telemetry-out.
+void capture_telemetry(const Args& a, const GeneratedLoad& load) {
+  if (a.telemetry_out.empty()) return;
+
+  GeneratedLoad capped = load;
+  constexpr std::size_t kTelemetryCap = 50000;
+  if (capped.requests.size() > kTelemetryCap) {
+    capped.requests.resize(kTelemetryCap);
+  }
+
+  // Returns the SLO readout captured at end-of-load (when run_slot first
+  // reports the queue drained): the post-load grace drain in
+  // run_to_completion keeps advancing the rolling window with no traffic,
+  // so a readout taken after it would legitimately -- but uselessly --
+  // report an empty window.
+  const auto run_one = [&a, &capped](auto& svc, pfr::obs::Telemetry& tel,
+                                     pfr::obs::SloTracker& slo) {
+    seed_tasks(svc, capped);
+    std::vector<int> handles;
+    handles.reserve(a.threads);
+    for (std::size_t p = 0; p < a.threads; ++p) {
+      handles.push_back(svc.queue().add_producer());
+    }
+    pfr::ThreadPool pool{a.threads};
+    for (std::size_t p = 0; p < a.threads; ++p) {
+      pool.submit([&svc, &capped, threads = a.threads, p,
+                   handle = handles[p]] {
+        for (std::size_t i = p; i < capped.requests.size(); i += threads) {
+          if (!svc.queue().push(handle, capped.requests[i])) break;
+        }
+        svc.queue().producer_done(handle);
+      });
+    }
+    pfr::pfair::Slot slots = 0;
+    while (svc.run_slot()) {
+      if (++slots % 512 == 0) {
+        pfr::obs::write_prometheus_file(
+            a.telemetry_out, pfr::obs::dump_prometheus(tel, {slo.read()}));
+      }
+    }
+    const pfr::obs::SloTracker::Readout at_load_end = slo.read();
+    svc.run_to_completion();
+    pool.wait_idle();
+    return at_load_end;
+  };
+
+  const std::vector<std::pair<pfr::pfair::ReweightPolicy, std::string>>
+      policies{{pfr::pfair::ReweightPolicy::kOmissionIdeal, "PD2-OI"},
+               {pfr::pfair::ReweightPolicy::kLeaveJoin, "PD2-LJ"},
+               {pfr::pfair::ReweightPolicy::kHybridMagnitude, "hybrid-mag"}};
+
+  std::vector<std::pair<std::string, pfr::obs::SloTracker::Readout>>
+      per_policy;
+  std::string text;  // final payload: last policy's full snapshot
+  for (const auto& [policy, name] : policies) {
+    pfr::obs::SloTracker slo;
+    if (a.shards > 1) {
+      pfr::obs::Telemetry tel{a.shards};
+      pfr::serve::ShardedService svc{make_sharded_config(a, policy)};
+      svc.set_telemetry(&tel);
+      svc.set_slo(&slo);
+      const auto readout = run_one(svc, tel, slo);
+      per_policy.emplace_back(name, readout);
+      text = pfr::obs::dump_prometheus(tel, {readout});
+    } else {
+      pfr::obs::Telemetry tel{1};
+      ReweightService svc{make_config(a, policy)};
+      svc.set_telemetry(&tel.shard(0));
+      svc.set_slo(&slo);
+      const auto readout = run_one(svc, tel, slo);
+      per_policy.emplace_back(name, readout);
+      text = pfr::obs::dump_prometheus(tel, {readout});
+    }
+  }
+
+  std::ostringstream extra;
+  const auto family = [&extra, &per_policy](const char* name,
+                                            const char* help, auto&& get) {
+    extra << "# HELP " << name << ' ' << help << "\n# TYPE " << name
+          << " gauge\n";
+    for (const auto& [policy, r] : per_policy) {
+      extra << name << "{policy=\"" << policy << "\"} " << get(r) << "\n";
+    }
+  };
+  family("pfr_policy_drift_abs",
+         "Mean |drift vs I_PS| per reweighting policy.",
+         [](const auto& r) { return r.drift_abs; });
+  family("pfr_policy_p99_latency_slots",
+         "Rolling p99 request-to-enactment latency per policy.",
+         [](const auto& r) { return r.p99_latency_slots; });
+  family("pfr_policy_shed_rate", "Rolling shed rate per policy.",
+         [](const auto& r) { return r.shed_rate; });
+  text += extra.str();
+
+  std::string error;
+  const auto samples = pfr::obs::parse_prometheus(text, &error);
+  if (!samples) {
+    std::cerr << "FAIL: telemetry exposition invalid: " << error << "\n";
+    std::exit(1);
+  }
+  for (const char* required :
+       {"pfr_slo_p99_latency_slots", "pfr_slo_shed_rate",
+        "pfr_disruptions_total", "pfr_policy_drift_abs"}) {
+    const bool found = std::any_of(
+        samples->begin(), samples->end(),
+        [required](const auto& s) { return s.name == required; });
+    if (!found) {
+      std::cerr << "FAIL: telemetry exposition missing " << required << "\n";
+      std::exit(1);
+    }
+  }
+  if (!pfr::obs::write_prometheus_file(a.telemetry_out, text)) {
+    std::cerr << "failed to write " << a.telemetry_out << "\n";
+    std::exit(1);
+  }
+  std::cout << "telemetry written to " << a.telemetry_out << " ("
+            << samples->size() << " samples, " << per_policy.size()
+            << " policies)\n";
+}
+
 void write_json(const Args& a, const std::vector<PolicyResult>& results) {
   if (a.json.empty()) return;
   std::ofstream out{a.json};
@@ -292,13 +430,17 @@ void write_json(const Args& a, const std::vector<PolicyResult>& results) {
     std::cerr << "failed to write " << a.json << "\n";
     std::exit(1);
   }
-  out << "{\n  \"bench\": \"service_throughput\",\n  \"config\": {"
-      << "\"requests\": " << a.requests << ", \"threads\": " << a.threads
-      << ", \"tasks\": " << a.tasks << ", \"processors\": " << a.processors
-      << ", \"shards\": " << a.shards
-      << ", \"queue_depth\": " << a.queue_depth
-      << ", \"mean_batch\": " << a.mean_batch << ", \"seed\": " << a.seed
-      << "},\n  \"results\": [\n";
+  pfr::bench::BenchJsonHeader header{"service_throughput", "policies",
+                                     a.threads};
+  header.add("requests", a.requests)
+      .add("tasks", a.tasks)
+      .add("processors", a.processors)
+      .add("shards", a.shards)
+      .add("queue_depth", a.queue_depth)
+      .add("mean_batch", a.mean_batch)
+      .add("seed", a.seed);
+  header.write_open(out);
+  out << "  \"results\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const PolicyResult& r = results[i];
     out << "    {\"policy\": \"" << r.policy << "\", \"wall_s\": " << r.wall_s
@@ -387,5 +529,6 @@ int main(int argc, char** argv) {
   write_json(a, results);
   write_csv(a, results);
   capture_observability(a, load);
+  capture_telemetry(a, load);
   return 0;
 }

@@ -1,0 +1,169 @@
+#!/usr/bin/env python3
+"""Perf-regression gate for the quick bench runs in CI.
+
+Compares the JSON emitted by `dispatch_micro --quick` and
+`cluster_scaling --quick` against a checked-in baseline
+(results/perf_baseline.json).  CI runners are noisy and share cores, so
+the band is deliberately generous: the job fails only on a collapse
+(throughput below ``min_throughput_fraction`` of baseline, or latency
+above ``max_latency_multiple`` of baseline), not on ordinary jitter.
+Correctness invariants carried in the bench JSON (digest agreement,
+misses, verifier violations) are enforced exactly.
+
+Usage:
+  check_perf_baseline.py --baseline results/perf_baseline.json \
+      --dispatch results/BENCH_dispatch_micro.json \
+      --cluster results/BENCH_cluster_scaling.json
+  check_perf_baseline.py --write ...   # regenerate the baseline instead
+"""
+
+import argparse
+import json
+import sys
+
+# Fail only below 30% of baseline throughput / above 3.3x baseline
+# latency.  A real regression from an accidental O(n^2) or a lock on the
+# hot path is 5-100x, which this still catches; runner noise is ~2x.
+DEFAULT_MIN_THROUGHPUT_FRACTION = 0.30
+DEFAULT_MAX_LATENCY_MULTIPLE = 3.3
+
+BASELINE_SCHEMA = 1
+
+
+def extract_metrics(dispatch, cluster):
+    """Flatten the two bench JSONs into {metric_name: (kind, value)}.
+
+    kind is "throughput" (higher is better) or "latency" (lower is
+    better).  Metric names are stable across runs so the baseline can be
+    diffed by hand.
+    """
+    metrics = {}
+    for scenario in dispatch.get("scenarios", []):
+        for mode, stats in scenario.get("modes", {}).items():
+            key = f"dispatch_micro/{scenario['name']}/{mode}/dispatch_ns_per_slot"
+            metrics[key] = ("latency", stats["dispatch_ns_per_slot"])
+    for row in cluster.get("results", []):
+        key = f"cluster_scaling/K{row['shards']}/slots_per_s"
+        metrics[key] = ("throughput", row["slots_per_s"])
+    return metrics
+
+
+def check_invariants(dispatch, cluster):
+    """Exact correctness gates carried in the bench output."""
+    errors = []
+    for scenario in dispatch.get("scenarios", []):
+        if not scenario.get("digests_match", True):
+            errors.append(f"dispatch_micro/{scenario['name']}: digests differ across modes")
+        for mode, stats in scenario.get("modes", {}).items():
+            if stats.get("misses", 0) != 0:
+                errors.append(
+                    f"dispatch_micro/{scenario['name']}/{mode}: {stats['misses']} deadline misses")
+    for row in cluster.get("results", []):
+        tag = f"cluster_scaling/K{row['shards']}"
+        if not row.get("digest_match_across_threads", True):
+            errors.append(f"{tag}: digest differs across worker-thread counts")
+        if row.get("misses", 0) != 0:
+            errors.append(f"{tag}: {row['misses']} deadline misses")
+        if row.get("violations", 0) != 0:
+            errors.append(f"{tag}: {row['violations']} verifier violations")
+    tel = cluster.get("telemetry")
+    if tel is not None:
+        if not tel.get("digest_match", True):
+            errors.append("cluster_scaling/telemetry: digest changed with telemetry attached")
+        # Overhead is report-only under --quick (too few slots to be
+        # stable on a shared runner); the full run enforces the <3% bound.
+        print(f"telemetry overhead at K={tel.get('shards')}: "
+              f"{tel.get('overhead_pct', 0.0):+.2f}% (report-only), "
+              f"torn snapshots: {tel.get('torn_snapshots', 0)}")
+    return errors
+
+
+def compare(baseline, metrics):
+    frac = baseline.get("tolerance", {}).get(
+        "min_throughput_fraction", DEFAULT_MIN_THROUGHPUT_FRACTION)
+    mult = baseline.get("tolerance", {}).get(
+        "max_latency_multiple", DEFAULT_MAX_LATENCY_MULTIPLE)
+    failures = []
+    for name, entry in sorted(baseline.get("metrics", {}).items()):
+        kind, base_value = entry["kind"], entry["value"]
+        if name not in metrics:
+            failures.append(f"{name}: present in baseline but missing from this run")
+            continue
+        cur_kind, value = metrics[name]
+        if cur_kind != kind:
+            failures.append(f"{name}: kind changed {kind} -> {cur_kind}")
+            continue
+        if kind == "throughput":
+            floor = base_value * frac
+            verdict = "FAIL" if value < floor else "ok"
+            print(f"[{verdict}] {name}: {value:.1f} vs baseline {base_value:.1f} "
+                  f"(floor {floor:.1f})")
+            if value < floor:
+                failures.append(f"{name}: {value:.1f} < {floor:.1f} "
+                                f"({frac:.0%} of baseline {base_value:.1f})")
+        else:
+            ceiling = base_value * mult
+            verdict = "FAIL" if value > ceiling else "ok"
+            print(f"[{verdict}] {name}: {value:.1f} vs baseline {base_value:.1f} "
+                  f"(ceiling {ceiling:.1f})")
+            if value > ceiling:
+                failures.append(f"{name}: {value:.1f} > {ceiling:.1f} "
+                                f"({mult:.1f}x baseline {base_value:.1f})")
+    for name in sorted(set(metrics) - set(baseline.get("metrics", {}))):
+        print(f"[new ] {name}: {metrics[name][1]:.1f} (not in baseline; add with --write)")
+    return failures
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__,
+                                 formatter_class=argparse.RawDescriptionHelpFormatter)
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--dispatch", required=True,
+                    help="JSON from dispatch_micro --quick")
+    ap.add_argument("--cluster", required=True,
+                    help="JSON from cluster_scaling --quick")
+    ap.add_argument("--write", action="store_true",
+                    help="regenerate the baseline from this run instead of checking")
+    args = ap.parse_args()
+
+    with open(args.dispatch) as f:
+        dispatch = json.load(f)
+    with open(args.cluster) as f:
+        cluster = json.load(f)
+
+    metrics = extract_metrics(dispatch, cluster)
+    errors = check_invariants(dispatch, cluster)
+
+    if args.write:
+        baseline = {
+            "schema": BASELINE_SCHEMA,
+            "note": "quick-run perf baseline; regenerate with scripts/check_perf_baseline.py --write",
+            "tolerance": {
+                "min_throughput_fraction": DEFAULT_MIN_THROUGHPUT_FRACTION,
+                "max_latency_multiple": DEFAULT_MAX_LATENCY_MULTIPLE,
+            },
+            "metrics": {name: {"kind": kind, "value": value}
+                        for name, (kind, value) in sorted(metrics.items())},
+        }
+        with open(args.baseline, "w") as f:
+            json.dump(baseline, f, indent=2)
+            f.write("\n")
+        print(f"wrote {len(metrics)} metrics to {args.baseline}")
+    else:
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+        if baseline.get("schema") != BASELINE_SCHEMA:
+            sys.exit(f"baseline schema {baseline.get('schema')} != {BASELINE_SCHEMA}; "
+                     "regenerate with --write")
+        errors += compare(baseline, metrics)
+
+    if errors:
+        print("\nperf baseline check FAILED:", file=sys.stderr)
+        for e in errors:
+            print(f"  - {e}", file=sys.stderr)
+        sys.exit(1)
+    print("perf baseline check passed" if not args.write else "baseline written")
+
+
+if __name__ == "__main__":
+    main()

@@ -170,6 +170,11 @@ void Cluster::start_migration(const std::string& name, int to_shard, Slot t) {
   shard_of_[name] = rec.to;
   stats_.migration_drift += rec.drift_charged;
   ++stats_.migrations_started;
+  if (telemetry_ != nullptr) {
+    // Serial coordinator phase: shard writers are quiescent, so touching
+    // two shards' counters here keeps the one-writer-at-a-time discipline.
+    telemetry_->shard(rec.from).add(obs::TelCounter::kMigrationsOut, 1);
+  }
   if (sink_ != nullptr) {
     TraceEvent e;
     e.kind = EventKind::kMigrateOut;
@@ -238,6 +243,9 @@ void Cluster::coordinator_phase(Slot t) {
   for (const std::size_t idx : migrator_.complete_due(t)) {
     const MigrationRecord& rec = migrator_.record(idx);
     ++stats_.migrations_completed;
+    if (telemetry_ != nullptr) {
+      telemetry_->shard(rec.to).add(obs::TelCounter::kMigrationsIn, 1);
+    }
     if (sink_ != nullptr) {
       TraceEvent e;
       e.kind = EventKind::kMigrateIn;
@@ -313,6 +321,18 @@ void Cluster::step() {
 
 void Cluster::run_until(Slot horizon) {
   while (now_ < horizon) step();
+}
+
+void Cluster::set_telemetry(obs::Telemetry* telemetry) {
+  if (telemetry != nullptr && telemetry->shard_count() < shard_count()) {
+    throw std::invalid_argument(
+        "Cluster::set_telemetry: telemetry has fewer shards than cluster");
+  }
+  telemetry_ = telemetry;
+  for (int k = 0; k < shard_count(); ++k) {
+    shard(k).set_telemetry(telemetry != nullptr ? &telemetry->shard(k)
+                                                : nullptr);
+  }
 }
 
 void Cluster::set_event_sink(obs::EventSink* sink) {

@@ -36,6 +36,7 @@
 #include "cluster/rebalance.h"
 #include "obs/event.h"
 #include "obs/metrics.h"
+#include "obs/telemetry.h"
 #include "obs/tracer.h"
 #include "pfair/engine.h"
 #include "pfair/verify.h"
@@ -136,6 +137,14 @@ class Cluster {
   /// `registry`.  Use a fresh registry per run.
   void export_metrics(obs::MetricsRegistry& registry) const;
 
+  /// Attaches live telemetry (nullptr detaches): shard k's engine
+  /// publishes into telemetry->shard(k) during the parallel phase (one
+  /// writer per shard, so the wiring is race-free by construction), and
+  /// the serial coordinator phase adds the migration counters.  Requires
+  /// telemetry->shard_count() >= shard_count().  Caller keeps ownership.
+  /// Pure observer: schedule digests are bit-identical on or off.
+  void set_telemetry(obs::Telemetry* telemetry);
+
   // ----- queries -----
 
   [[nodiscard]] int shard_count() const noexcept {
@@ -211,6 +220,7 @@ class Cluster {
 
   obs::EventSink* sink_{nullptr};
   obs::MetricsRegistry* metrics_{nullptr};
+  obs::Telemetry* telemetry_{nullptr};
   std::vector<ShardEventBuffer> buffers_;
   /// Per-shard dispatched counter after the previous slot, for the
   /// kShardStep per-slot delta.

@@ -1,0 +1,80 @@
+#include "obs/flight_recorder.h"
+
+#include <fstream>
+
+#include "obs/jsonl_sink.h"
+
+namespace pfr::obs {
+
+FlightRecorder::FlightRecorder(FlightRecorderConfig cfg, int shards)
+    : cfg_(std::move(cfg)), rings_(static_cast<std::size_t>(
+          shards < 1 ? 1 : shards)) {
+  if (cfg_.capacity == 0) cfg_.capacity = 1;
+  for (Ring& ring : rings_) {
+    ring.slots.resize(cfg_.capacity);
+  }
+  for (const EventKind kind : cfg_.triggers) {
+    trigger_mask_ |= std::uint64_t{1} << static_cast<unsigned>(kind);
+  }
+}
+
+bool FlightRecorder::is_trigger(EventKind kind) const noexcept {
+  return (trigger_mask_ >> static_cast<unsigned>(kind)) & 1u;
+}
+
+void FlightRecorder::record(Ring& ring, const TraceEvent& event) {
+  const std::uint64_t seq = ring.seq.load(std::memory_order_relaxed);
+  // Serialize immediately: the event's string_views die when on_event
+  // returns, and a dump must not re-touch engine state anyway.
+  ring.slots[seq % cfg_.capacity] = to_jsonl(event);
+  ring.seq.store(seq + 1, std::memory_order_release);
+}
+
+void FlightRecorder::on_event(const TraceEvent& event) {
+  if (frozen()) return;  // the incident state is preserved, drop the rest
+  events_seen_.fetch_add(1, std::memory_order_relaxed);
+  const int shard = event.shard >= 0 && event.shard < shard_count()
+                        ? event.shard
+                        : 0;
+  record(rings_[static_cast<std::size_t>(shard)], event);
+  if (!cfg_.dump_path.empty() && cfg_.max_dumps > 0 &&
+      is_trigger(event.kind) &&
+      dumps_.load(std::memory_order_relaxed) < cfg_.max_dumps) {
+    if (dump_to_file(cfg_.dump_path)) {
+      dumps_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+std::vector<std::string> FlightRecorder::lines(int shard) const {
+  const Ring& ring = rings_.at(static_cast<std::size_t>(shard));
+  const std::uint64_t seq = ring.seq.load(std::memory_order_acquire);
+  const std::uint64_t n =
+      seq < cfg_.capacity ? seq : static_cast<std::uint64_t>(cfg_.capacity);
+  std::vector<std::string> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = seq - n; i < seq; ++i) {
+    out.push_back(ring.slots[i % cfg_.capacity]);
+  }
+  return out;
+}
+
+std::size_t FlightRecorder::dump(std::ostream& out) const {
+  std::size_t written = 0;
+  for (int k = 0; k < shard_count(); ++k) {
+    for (const std::string& line : lines(k)) {
+      out << line << '\n';
+      ++written;
+    }
+  }
+  return written;
+}
+
+bool FlightRecorder::dump_to_file(const std::string& path) const {
+  std::ofstream out{path};
+  if (!out) return false;
+  dump(out);
+  return static_cast<bool>(out);
+}
+
+}  // namespace pfr::obs

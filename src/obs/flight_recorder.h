@@ -1,0 +1,103 @@
+/// \file flight_recorder.h
+/// \brief Per-shard flight-recorder ring buffers: the last N TraceEvents,
+/// dumped automatically (JSONL) on a deadline miss, invariant violation, or
+/// injected fault.
+///
+/// Full tracing of a production run is too expensive to leave on; the
+/// flight recorder is the middle ground: an EventSink that keeps only the
+/// most recent `capacity` events per shard in a preallocated ring.  On a
+/// trigger event (configurable kind set, default: deadline miss, invariant
+/// violation, processor crash, quantum overrun, dropped request) it writes
+/// the ring -- oldest to newest, trigger event included -- as JSONL in
+/// exactly the JsonlSink line format, so `pfair-trace` and the golden-trace
+/// tooling read dumps unchanged.  After `max_dumps` dumps the rings freeze:
+/// the dump is the state *at* the incident, not whatever happened after
+/// (and a post-mortem can also call dump() manually).
+///
+/// Concurrency: one writer per ring.  Route events by TraceEvent::shard
+/// (shard -1 records into ring 0), which matches both single-engine use
+/// (one thread) and cluster use, where the serial merge phase stamps shards
+/// and flushes buffers in shard order on the coordinator thread.  The ring
+/// write path is wait-free: a bump of an atomic sequence plus a slot
+/// overwrite, no allocation after construction (entry strings reuse their
+/// capacity).  dump()/events() may run concurrently with writers only at a
+/// slot barrier (writers quiescent), the same discipline Cluster's merge
+/// phase already enforces.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/sink.h"
+
+namespace pfr::obs {
+
+struct FlightRecorderConfig {
+  std::size_t capacity{256};  ///< events retained per shard ring
+  /// Auto-dump target; empty disables auto-dump (manual dump() only).
+  std::string dump_path;
+  /// Rings freeze after this many auto-dumps (0 = never auto-dump but
+  /// still record; the manual dump() always works).
+  int max_dumps{1};
+  /// Event kinds that fire an auto-dump.
+  std::vector<EventKind> triggers{
+      EventKind::kDeadlineMiss,   EventKind::kInvariantViolation,
+      EventKind::kProcDown,       EventKind::kQuantumOverrun,
+      EventKind::kRequestDropped,
+  };
+};
+
+class FlightRecorder final : public EventSink {
+ public:
+  explicit FlightRecorder(FlightRecorderConfig cfg, int shards = 1);
+
+  void on_event(const TraceEvent& event) override;
+
+  /// Writes every ring (shard order, each oldest -> newest) as JSONL.
+  /// Returns the number of lines written.
+  std::size_t dump(std::ostream& out) const;
+  /// dump() to `path`; false (with no partial file kept) on open failure.
+  bool dump_to_file(const std::string& path) const;
+
+  /// The retained JSONL lines of one ring, oldest first (tests/tools).
+  [[nodiscard]] std::vector<std::string> lines(int shard) const;
+
+  [[nodiscard]] int shard_count() const noexcept {
+    return static_cast<int>(rings_.size());
+  }
+  [[nodiscard]] std::int64_t events_seen() const noexcept {
+    return events_seen_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] int dumps_triggered() const noexcept {
+    return dumps_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] bool frozen() const noexcept {
+    return cfg_.max_dumps > 0 &&
+           dumps_.load(std::memory_order_relaxed) >= cfg_.max_dumps;
+  }
+
+ private:
+  struct Ring {
+    /// Serialized JSONL lines (strings own their text; capacity is reused
+    /// on overwrite, so steady state allocates only when a line grows).
+    std::vector<std::string> slots;
+    /// Events ever recorded into this ring; slots[(seq - 1) % capacity] is
+    /// the newest entry.  Atomic so a barrier-time reader sees a complete
+    /// count without a lock.
+    std::atomic<std::uint64_t> seq{0};
+  };
+
+  void record(Ring& ring, const TraceEvent& event);
+  [[nodiscard]] bool is_trigger(EventKind kind) const noexcept;
+
+  FlightRecorderConfig cfg_;
+  std::vector<Ring> rings_;
+  std::atomic<std::int64_t> events_seen_{0};
+  std::atomic<int> dumps_{0};
+  std::uint64_t trigger_mask_{0};  ///< bit per EventKind
+};
+
+}  // namespace pfr::obs

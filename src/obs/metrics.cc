@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 #include <sstream>
+#include <stdexcept>
 
 namespace pfr::obs {
 
@@ -23,7 +24,8 @@ void Histogram::observe(double value) noexcept {
 
 double Histogram::quantile(double q) const noexcept {
   if (total_ == 0) return 0.0;
-  if (q < 0.0) q = 0.0;
+  // !(q >= 0) also catches NaN, whose ceil-and-cast below is otherwise UB.
+  if (!(q >= 0.0)) q = 0.0;
   if (q > 1.0) q = 1.0;
   auto rank =
       static_cast<std::int64_t>(std::ceil(q * static_cast<double>(total_)));
@@ -34,6 +36,17 @@ double Histogram::quantile(double q) const noexcept {
     if (seen >= rank) return bounds_[i];
   }
   return std::numeric_limits<double>::infinity();
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (bounds_ != other.bounds_) {
+    throw std::invalid_argument("Histogram::merge: bucket bounds differ");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  total_ += other.total_;
+  sum_ += other.sum_;
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {
@@ -54,6 +67,26 @@ Histogram& MetricsRegistry::histogram(const std::string& name,
 
 void MetricsRegistry::set_gauge(const std::string& name, double value) {
   gauges_[name] = value;
+}
+
+void MetricsRegistry::merge(const MetricsRegistry& other) {
+  for (const auto& [name, c] : other.counters_) {
+    counters_[name].add(c.value);
+  }
+  for (const auto& [name, t] : other.timers_) {
+    timers_[name].combine(t);
+  }
+  for (const auto& [name, v] : other.gauges_) {
+    gauges_[name] = v;  // last writer wins, as with set_gauge
+  }
+  for (const auto& [name, h] : other.histograms_) {
+    const auto it = histograms_.find(name);
+    if (it == histograms_.end()) {
+      histograms_.emplace(name, h);
+    } else {
+      it->second.merge(h);
+    }
+  }
 }
 
 namespace {

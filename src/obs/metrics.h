@@ -14,6 +14,7 @@
 /// needed (matching the repo's one-engine-per-replicate experiment layout).
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstddef>
@@ -38,10 +39,27 @@ struct Timer {
   std::int64_t max_ns{0};
 
   void record(std::int64_t ns) noexcept {
+    // A non-monotone clock reading (suspend, VM migration) can hand a
+    // ScopedTimer a negative span; clamp rather than poison min/total.
+    if (ns < 0) ns = 0;
     if (count == 0 || ns < min_ns) min_ns = ns;
     if (ns > max_ns) max_ns = ns;
     total_ns += ns;
     ++count;
+  }
+  /// Folds `other`'s accumulation into this timer, as if every span had
+  /// been recorded here: counts and totals add, min/max combine (an empty
+  /// side contributes nothing).
+  void combine(const Timer& other) noexcept {
+    if (other.count == 0) return;
+    if (count == 0) {
+      *this = other;
+      return;
+    }
+    min_ns = std::min(min_ns, other.min_ns);
+    max_ns = std::max(max_ns, other.max_ns);
+    total_ns += other.total_ns;
+    count += other.count;
   }
   [[nodiscard]] double mean_ns() const noexcept {
     return count == 0 ? 0.0
@@ -70,8 +88,14 @@ class Histogram {
   /// Nearest-rank quantile estimate from the buckets: the upper bound of
   /// the bucket containing the ceil(q * total)-th smallest observation
   /// (rank clamped to >= 1).  Returns 0 with no observations and +inf when
-  /// the rank lands in the overflow bucket.  q is clamped to [0, 1].
+  /// the rank lands in the overflow bucket.  q is clamped to [0, 1]
+  /// (NaN treated as 0).
   [[nodiscard]] double quantile(double q) const noexcept;
+
+  /// Adds `other`'s buckets/total/sum into this histogram.  Throws
+  /// std::invalid_argument unless the bucket bounds are identical (merging
+  /// differently-shaped histograms silently would misplace every count).
+  void merge(const Histogram& other);
 
  private:
   std::vector<double> bounds_;         ///< ascending upper bounds
@@ -97,6 +121,21 @@ class MetricsRegistry {
   [[nodiscard]] const std::map<std::string, Timer>& timers() const noexcept {
     return timers_;
   }
+  [[nodiscard]] const std::map<std::string, double>& gauges() const noexcept {
+    return gauges_;
+  }
+  [[nodiscard]] const std::map<std::string, Histogram>& histograms()
+      const noexcept {
+    return histograms_;
+  }
+
+  /// Folds `other` into this registry, name by name: counters add, timers
+  /// combine (count/total add, min/max fold), histograms add bucket-wise
+  /// (std::invalid_argument on mismatched bounds), gauges take `other`'s
+  /// value (last writer wins, matching set_gauge semantics).  This is how
+  /// per-shard / per-replicate registries collapse into one run-level
+  /// readout.
+  void merge(const MetricsRegistry& other);
 
   /// Full dump as one JSON object: {"counters":{...},"gauges":{...},
   /// "timers":{...},"histograms":{...}}.
@@ -142,7 +181,8 @@ class ScopedTimer {
 template <typename T>
 [[nodiscard]] T percentile(const std::vector<T>& sorted, double q) noexcept {
   if (sorted.empty()) return T{};
-  if (q < 0.0) q = 0.0;
+  // !(q >= 0) also catches NaN, whose ceil-and-cast below is otherwise UB.
+  if (!(q >= 0.0)) q = 0.0;
   if (q > 1.0) q = 1.0;
   const auto n = static_cast<double>(sorted.size());
   auto rank = static_cast<std::size_t>(std::ceil(q * n));

@@ -1,0 +1,523 @@
+#include "obs/prometheus.h"
+
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace pfr::obs {
+
+namespace {
+
+constexpr const char* kPrefix = "pfr_";
+
+/// Counter/gauge/histogram HELP strings, indexed like the enums.
+const char* counter_help(TelCounter c) {
+  switch (c) {
+    case TelCounter::kSlots: return "Engine slots stepped.";
+    case TelCounter::kDispatched: return "Subtasks dispatched.";
+    case TelCounter::kHalts: return "Rule-O halts.";
+    case TelCounter::kInitiations: return "Weight-change initiations.";
+    case TelCounter::kEnactments: return "Weight-change enactments.";
+    case TelCounter::kMisses: return "Deadline misses.";
+    case TelCounter::kDisruptions:
+      return "Tasks whose slot allocation flipped at a reweight enactment.";
+    case TelCounter::kFaults: return "Injected faults applied.";
+    case TelCounter::kAdmitted: return "Requests admitted.";
+    case TelCounter::kClamped: return "Requests admitted with a clamp.";
+    case TelCounter::kRejected: return "Requests rejected.";
+    case TelCounter::kShed: return "Requests shed.";
+    case TelCounter::kDeferred: return "Deferred responses issued.";
+    case TelCounter::kMigrationsOut: return "Migrations started (source).";
+    case TelCounter::kMigrationsIn: return "Migrations completed (target).";
+    case TelCounter::kCount_: break;
+  }
+  return "";
+}
+
+const char* gauge_help(TelGauge g) {
+  switch (g) {
+    case TelGauge::kTasks: return "Active member tasks.";
+    case TelGauge::kQueueDepth: return "Request-queue depth.";
+    case TelGauge::kLoad: return "Reserved weight (policing view).";
+    case TelGauge::kCapacity: return "Alive processors.";
+    case TelGauge::kDriftAbs:
+      return "Mean absolute drift vs I_PS per active task.";
+    case TelGauge::kCount_: break;
+  }
+  return "";
+}
+
+std::string label_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '\\' || c == '"') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+void write_value(std::ostringstream& os, double v) {
+  if (v != v) {
+    os << "NaN";
+  } else if (v > 1e308) {
+    os << "+Inf";
+  } else if (v < -1e308) {
+    os << "-Inf";
+  } else if (v == static_cast<double>(static_cast<std::int64_t>(v)) &&
+             v < 9.2e18 && v > -9.2e18) {
+    os << static_cast<std::int64_t>(v);  // counters render as integers
+  } else {
+    os << v;
+  }
+}
+
+/// Renders `{a="x",b="y"}` from base labels + extras; empty -> "".
+std::string label_set(
+    const std::vector<std::pair<std::string, std::string>>& base,
+    std::initializer_list<std::pair<std::string_view, std::string>> extra) {
+  std::string out;
+  bool first = true;
+  const auto add = [&out, &first](std::string_view k, std::string_view v) {
+    out += first ? "{" : ",";
+    first = false;
+    out += k;
+    out += "=\"";
+    out += label_escape(v);
+    out += '"';
+  };
+  for (const auto& [k, v] : base) add(k, v);
+  for (const auto& [k, v] : extra) add(k, v);
+  if (!out.empty()) out += '}';
+  return out;
+}
+
+std::string le_string(double bound) {
+  std::ostringstream os;
+  write_value(os, bound);
+  return os.str();
+}
+
+}  // namespace
+
+std::string render_prometheus(const TelemetrySnapshot& snap,
+                              const std::vector<SloTracker::Readout>& slos,
+                              const PrometheusOptions& opts) {
+  std::ostringstream os;
+  const auto& base = opts.labels;
+  const int shards = static_cast<int>(snap.shards.size());
+
+  const auto sample = [&os, &base](const std::string& name, double value,
+                                   std::initializer_list<
+                                       std::pair<std::string_view, std::string>>
+                                       extra) {
+    os << name << label_set(base, extra) << ' ';
+    write_value(os, value);
+    os << '\n';
+  };
+
+  for (std::size_t i = 0; i < kTelCounterCount; ++i) {
+    const auto c = static_cast<TelCounter>(i);
+    const std::string name = std::string{kPrefix} + to_string(c) + "_total";
+    os << "# HELP " << name << ' ' << counter_help(c) << '\n';
+    os << "# TYPE " << name << " counter\n";
+    if (opts.per_shard && shards > 1) {
+      for (int k = 0; k < shards; ++k) {
+        sample(name, static_cast<double>(snap.shards[
+                         static_cast<std::size_t>(k)].counter(c)),
+               {{"shard", std::to_string(k)}});
+      }
+    }
+    sample(name, static_cast<double>(snap.total.counter(c)), {});
+  }
+
+  for (std::size_t i = 0; i < kTelGaugeCount; ++i) {
+    const auto g = static_cast<TelGauge>(i);
+    const std::string name = std::string{kPrefix} + to_string(g);
+    os << "# HELP " << name << ' ' << gauge_help(g) << '\n';
+    os << "# TYPE " << name << " gauge\n";
+    if (opts.per_shard && shards > 1) {
+      for (int k = 0; k < shards; ++k) {
+        sample(name, snap.shards[static_cast<std::size_t>(k)].gauge(g),
+               {{"shard", std::to_string(k)}});
+      }
+    }
+    sample(name, snap.total.gauge(g), {});
+  }
+
+  for (std::size_t i = 0; i < kTelHistCount; ++i) {
+    const auto h = static_cast<TelHist>(i);
+    const std::string name = std::string{kPrefix} + to_string(h);
+    os << "# HELP " << name
+       << " Request due to enactment latency, in slots.\n";
+    os << "# TYPE " << name << " histogram\n";
+    const auto emit_hist = [&](const TelemetryShard::HistData& data,
+                               const std::string& shard_label) {
+      std::int64_t cumulative = 0;
+      for (std::size_t b = 0; b < kTelLatencyBounds.size(); ++b) {
+        cumulative += data.counts[b];
+        if (shard_label.empty()) {
+          sample(name + "_bucket", static_cast<double>(cumulative),
+                 {{"le", le_string(kTelLatencyBounds[b])}});
+        } else {
+          sample(name + "_bucket", static_cast<double>(cumulative),
+                 {{"le", le_string(kTelLatencyBounds[b])},
+                  {"shard", shard_label}});
+        }
+      }
+      cumulative += data.counts[kTelLatencyBounds.size()];
+      if (shard_label.empty()) {
+        sample(name + "_bucket", static_cast<double>(cumulative),
+               {{"le", "+Inf"}});
+        sample(name + "_sum", data.sum, {});
+        sample(name + "_count", static_cast<double>(data.total), {});
+      } else {
+        sample(name + "_bucket", static_cast<double>(cumulative),
+               {{"le", "+Inf"}, {"shard", shard_label}});
+        sample(name + "_sum", data.sum, {{"shard", shard_label}});
+        sample(name + "_count", static_cast<double>(data.total),
+               {{"shard", shard_label}});
+      }
+    };
+    if (opts.per_shard && shards > 1) {
+      for (int k = 0; k < shards; ++k) {
+        emit_hist(snap.shards[static_cast<std::size_t>(k)].hist(h),
+                  std::to_string(k));
+      }
+    }
+    emit_hist(snap.total.hist(h), "");
+  }
+
+  // SLO readouts: rolling-window quantiles and states.  slos[k] pairs with
+  // shard k; a single entry with snap covering K shards is the system view.
+  if (!slos.empty()) {
+    const bool per_shard = slos.size() > 1;
+    os << "# HELP pfr_slo_p99_latency_slots Rolling-window p99 enactment "
+          "latency.\n# TYPE pfr_slo_p99_latency_slots gauge\n";
+    for (std::size_t k = 0; k < slos.size(); ++k) {
+      if (per_shard) {
+        sample("pfr_slo_p99_latency_slots", slos[k].p99_latency_slots,
+               {{"shard", std::to_string(k)}});
+      } else {
+        sample("pfr_slo_p99_latency_slots", slos[k].p99_latency_slots, {});
+      }
+    }
+    os << "# HELP pfr_slo_p50_latency_slots Rolling-window p50 enactment "
+          "latency.\n# TYPE pfr_slo_p50_latency_slots gauge\n";
+    for (std::size_t k = 0; k < slos.size(); ++k) {
+      if (per_shard) {
+        sample("pfr_slo_p50_latency_slots", slos[k].p50_latency_slots,
+               {{"shard", std::to_string(k)}});
+      } else {
+        sample("pfr_slo_p50_latency_slots", slos[k].p50_latency_slots, {});
+      }
+    }
+    os << "# HELP pfr_slo_shed_rate Rolling-window shed fraction of "
+          "offered requests.\n# TYPE pfr_slo_shed_rate gauge\n";
+    for (std::size_t k = 0; k < slos.size(); ++k) {
+      if (per_shard) {
+        sample("pfr_slo_shed_rate", slos[k].shed_rate,
+               {{"shard", std::to_string(k)}});
+      } else {
+        sample("pfr_slo_shed_rate", slos[k].shed_rate, {});
+      }
+    }
+    os << "# HELP pfr_slo_status Worst SLO dimension: 0 ok, 1 warn, 2 "
+          "breach.\n# TYPE pfr_slo_status gauge\n";
+    for (std::size_t k = 0; k < slos.size(); ++k) {
+      const auto status = static_cast<double>(slos[k].overall());
+      if (per_shard) {
+        sample("pfr_slo_status", status, {{"shard", std::to_string(k)}});
+      } else {
+        sample("pfr_slo_status", status, {});
+      }
+    }
+  }
+
+  os << "# HELP pfr_wall_seconds Seconds since telemetry start.\n"
+        "# TYPE pfr_wall_seconds gauge\n";
+  sample("pfr_wall_seconds", snap.wall_seconds, {});
+  os << "# HELP pfr_snapshot_torn_total Shards read torn after seqlock "
+        "retries.\n# TYPE pfr_snapshot_torn_total counter\n";
+  sample("pfr_snapshot_torn_total", snap.torn, {});
+  return os.str();
+}
+
+// ----- validation & parsing -----
+
+namespace {
+
+bool valid_metric_name(std::string_view s) {
+  if (s.empty()) return false;
+  const auto head = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+  };
+  if (!head(s[0])) return false;
+  for (const char c : s.substr(1)) {
+    if (!head(c) && !std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+bool valid_label_name(std::string_view s) {
+  if (s.empty()) return false;
+  const auto head = [](char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+  };
+  if (!head(s[0])) return false;
+  for (const char c : s.substr(1)) {
+    if (!head(c) && !std::isdigit(static_cast<unsigned char>(c))) return false;
+  }
+  return true;
+}
+
+bool valid_sample_value(std::string_view s) {
+  if (s.empty()) return false;
+  if (s == "NaN" || s == "+Inf" || s == "-Inf" || s == "Inf") return true;
+  // strtod-style float; from_chars rejects leading '+', handle it.
+  if (s.front() == '+') s.remove_prefix(1);
+  double v = 0;
+  const char* end = s.data() + s.size();
+  const auto [ptr, ec] = std::from_chars(s.data(), end, v);
+  return ec == std::errc{} && ptr == end;
+}
+
+struct LineParse {
+  std::string name;
+  std::map<std::string, std::string> labels;
+  std::string value;
+  std::string error;
+};
+
+/// Parses one sample line `name{l="v",...} value`; false on syntax error.
+bool parse_sample_line(std::string_view line, LineParse& out) {
+  std::size_t i = 0;
+  const std::size_t name_end = line.find_first_of("{ \t");
+  if (name_end == std::string_view::npos) {
+    out.error = "sample has no value";
+    return false;
+  }
+  out.name = std::string{line.substr(0, name_end)};
+  if (!valid_metric_name(out.name)) {
+    out.error = "bad metric name '" + out.name + "'";
+    return false;
+  }
+  i = name_end;
+  if (line[i] == '{') {
+    ++i;
+    while (i < line.size() && line[i] != '}') {
+      const std::size_t eq = line.find('=', i);
+      if (eq == std::string_view::npos) {
+        out.error = "label without '='";
+        return false;
+      }
+      const std::string lname{line.substr(i, eq - i)};
+      if (!valid_label_name(lname)) {
+        out.error = "bad label name '" + lname + "'";
+        return false;
+      }
+      if (eq + 1 >= line.size() || line[eq + 1] != '"') {
+        out.error = "label value not quoted";
+        return false;
+      }
+      std::string lvalue;
+      std::size_t j = eq + 2;
+      bool closed = false;
+      while (j < line.size()) {
+        const char c = line[j];
+        if (c == '\\') {
+          if (j + 1 >= line.size()) break;
+          const char esc = line[j + 1];
+          if (esc == 'n') {
+            lvalue += '\n';
+          } else if (esc == '\\' || esc == '"') {
+            lvalue += esc;
+          } else {
+            out.error = "bad escape in label value";
+            return false;
+          }
+          j += 2;
+        } else if (c == '"') {
+          closed = true;
+          ++j;
+          break;
+        } else {
+          lvalue += c;
+          ++j;
+        }
+      }
+      if (!closed) {
+        out.error = "unterminated label value";
+        return false;
+      }
+      out.labels[lname] = std::move(lvalue);
+      i = j;
+      if (i < line.size() && line[i] == ',') ++i;
+    }
+    if (i >= line.size() || line[i] != '}') {
+      out.error = "unterminated label set";
+      return false;
+    }
+    ++i;
+  }
+  while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+  // value [timestamp] -- we accept and ignore a trailing timestamp.
+  const std::size_t value_end = line.find_first_of(" \t", i);
+  out.value = std::string{line.substr(
+      i, value_end == std::string_view::npos ? line.size() - i
+                                             : value_end - i)};
+  if (!valid_sample_value(out.value)) {
+    out.error = "bad sample value '" + out.value + "'";
+    return false;
+  }
+  if (value_end != std::string_view::npos) {
+    std::size_t t = value_end;
+    while (t < line.size() && (line[t] == ' ' || line[t] == '\t')) ++t;
+    if (t < line.size()) {
+      const std::string_view ts = line.substr(t);
+      std::int64_t unused = 0;
+      const auto [ptr, ec] =
+          std::from_chars(ts.data(), ts.data() + ts.size(), unused);
+      if (ec != std::errc{} || ptr != ts.data() + ts.size()) {
+        out.error = "trailing garbage after value";
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool check_and_collect(std::string_view text,
+                       std::vector<PrometheusSample>* samples,
+                       std::string* error) {
+  static constexpr std::string_view kTypes[] = {
+      "counter", "gauge", "histogram", "summary", "untyped"};
+  std::map<std::string, std::string> declared_type;
+  int lineno = 0;
+  std::size_t pos = 0;
+  const auto fail = [error, &lineno](const std::string& why) {
+    if (error != nullptr) {
+      *error = "line " + std::to_string(lineno) + ": " + why;
+    }
+    return false;
+  };
+  while (pos <= text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    std::string_view line = text.substr(
+        pos, nl == std::string_view::npos ? text.size() - pos : nl - pos);
+    pos = nl == std::string_view::npos ? text.size() + 1 : nl + 1;
+    ++lineno;
+    if (line.empty()) continue;
+    if (line[0] == '#') {
+      // "# HELP name text" / "# TYPE name type" / plain comment.
+      if (line.rfind("# TYPE ", 0) == 0) {
+        std::string_view rest = line.substr(7);
+        const std::size_t sp = rest.find(' ');
+        if (sp == std::string_view::npos) return fail("TYPE without a type");
+        const std::string name{rest.substr(0, sp)};
+        const std::string_view type = rest.substr(sp + 1);
+        if (!valid_metric_name(name)) {
+          return fail("TYPE for bad metric name '" + name + "'");
+        }
+        bool known = false;
+        for (const std::string_view t : kTypes) known = known || type == t;
+        if (!known) return fail("unknown TYPE '" + std::string{type} + "'");
+        declared_type[name] = std::string{type};
+      } else if (line.rfind("# HELP ", 0) == 0) {
+        std::string_view rest = line.substr(7);
+        const std::size_t sp = rest.find(' ');
+        const std::string name{
+            rest.substr(0, sp == std::string_view::npos ? rest.size() : sp)};
+        if (!valid_metric_name(name)) {
+          return fail("HELP for bad metric name '" + name + "'");
+        }
+      }
+      continue;
+    }
+    LineParse parsed;
+    if (!parse_sample_line(line, parsed)) return fail(parsed.error);
+    // A histogram's _bucket/_sum/_count samples belong to the declared base
+    // family; resolve the declared type through the suffix.
+    std::string base = parsed.name;
+    for (const std::string_view suffix : {"_bucket", "_sum", "_count"}) {
+      if (base.size() > suffix.size() &&
+          base.compare(base.size() - suffix.size(), suffix.size(),
+                       suffix) == 0 &&
+          declared_type.count(base.substr(0, base.size() - suffix.size())) >
+              0) {
+        base = base.substr(0, base.size() - suffix.size());
+        break;
+      }
+    }
+    const auto it = declared_type.find(base);
+    if (it != declared_type.end() && it->second == "histogram" &&
+        parsed.name.size() > 7 &&
+        parsed.name.compare(parsed.name.size() - 7, 7, "_bucket") == 0 &&
+        parsed.labels.count("le") == 0) {
+      return fail(parsed.name + " histogram bucket without an le label");
+    }
+    if (samples != nullptr) {
+      PrometheusSample s;
+      s.name = std::move(parsed.name);
+      s.labels = std::move(parsed.labels);
+      if (parsed.value == "NaN") {
+        s.value = std::numeric_limits<double>::quiet_NaN();
+      } else if (parsed.value == "+Inf" || parsed.value == "Inf") {
+        s.value = std::numeric_limits<double>::infinity();
+      } else if (parsed.value == "-Inf") {
+        s.value = -std::numeric_limits<double>::infinity();
+      } else {
+        s.value = std::stod(parsed.value);
+      }
+      samples->push_back(std::move(s));
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool prometheus_text_valid(std::string_view text, std::string* error) {
+  return check_and_collect(text, nullptr, error);
+}
+
+std::optional<std::vector<PrometheusSample>> parse_prometheus(
+    std::string_view text, std::string* error) {
+  std::vector<PrometheusSample> samples;
+  if (!check_and_collect(text, &samples, error)) return std::nullopt;
+  return samples;
+}
+
+std::string dump_prometheus(const Telemetry& telemetry,
+                            const std::vector<SloTracker::Readout>& slos,
+                            const PrometheusOptions& opts) {
+  return render_prometheus(telemetry.snapshot(), slos, opts);
+}
+
+bool write_prometheus_file(const std::string& path, const std::string& text) {
+  const std::filesystem::path target{path};
+  std::error_code ec;
+  if (target.has_parent_path()) {
+    std::filesystem::create_directories(target.parent_path(), ec);
+  }
+  const std::filesystem::path tmp{path + ".tmp"};
+  {
+    std::ofstream out{tmp};
+    if (!out) return false;
+    out << text;
+    if (!out) return false;
+  }
+  std::filesystem::rename(tmp, target, ec);
+  return !ec;
+}
+
+}  // namespace pfr::obs

@@ -1,0 +1,84 @@
+/// \file prometheus.h
+/// \brief Prometheus text exposition (version 0.0.4) for the live
+/// telemetry layer: a writer, a strict validator, and a small parser.
+///
+/// The writer renders a TelemetrySnapshot (plus optional SLO readouts and
+/// extra labels) as the classic text format:
+///
+///   # HELP pfr_slots_total Engine slots stepped.
+///   # TYPE pfr_slots_total counter
+///   pfr_slots_total{shard="0"} 512
+///   pfr_slots_total 4096                      <- cross-shard total
+///   pfr_enact_latency_slots_bucket{le="8",shard="0"} 91
+///   ...
+///
+/// Counters become `pfr_<name>_total` with one sample per shard plus an
+/// unlabeled total; gauges become `pfr_<name>`; the latency histogram
+/// becomes the standard `_bucket{le=...}/_sum/_count` triplet.  Extra
+/// labels (e.g. policy="PD2-OI") are attached to every sample, which is
+/// how service_throughput exposes its per-policy drift gauge.
+///
+/// The validator is what the acceptance test runs over --telemetry-out
+/// files: line-by-line grammar (HELP/TYPE comments, metric names, quoted
+/// escaped label values, float/integer sample values) with TYPE-before-use
+/// checking.  The parser feeds `pfair-top`.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/slo.h"
+#include "obs/telemetry.h"
+
+namespace pfr::obs {
+
+/// Options for render_prometheus.
+struct PrometheusOptions {
+  /// Extra labels stamped on every sample, e.g. {{"policy", "PD2-OI"}}.
+  std::vector<std::pair<std::string, std::string>> labels;
+  /// Also emit per-shard samples (label shard="k"); the unlabeled
+  /// cross-shard totals are always emitted.
+  bool per_shard{true};
+};
+
+/// Renders `snap` (and, when given, per-shard SLO readouts: slos[k] pairs
+/// with snap.shards[k]; a single-element vector describes the whole
+/// system) as Prometheus text exposition.
+[[nodiscard]] std::string render_prometheus(
+    const TelemetrySnapshot& snap,
+    const std::vector<SloTracker::Readout>& slos = {},
+    const PrometheusOptions& opts = {});
+
+/// Strict structural check of one exposition payload.  On failure returns
+/// false and, when `error` is non-null, a "line N: why" message.
+[[nodiscard]] bool prometheus_text_valid(std::string_view text,
+                                         std::string* error = nullptr);
+
+/// One parsed sample: name + labels + value.
+struct PrometheusSample {
+  std::string name;
+  std::map<std::string, std::string> labels;
+  double value{0};
+};
+
+/// Parses an exposition payload into samples (comments skipped).  Returns
+/// nullopt when the payload fails prometheus_text_valid.
+[[nodiscard]] std::optional<std::vector<PrometheusSample>> parse_prometheus(
+    std::string_view text, std::string* error = nullptr);
+
+/// Writes `text` to `path` atomically (tmp file + rename), so a concurrent
+/// reader (pfair-top --watch) never sees a half-written exposition.
+/// Returns false on I/O failure.
+bool write_prometheus_file(const std::string& path, const std::string& text);
+
+/// Convenience: snapshot `telemetry` and render it in one call -- the
+/// "give me the current exposition" entry point for services and benches.
+[[nodiscard]] std::string dump_prometheus(
+    const Telemetry& telemetry,
+    const std::vector<SloTracker::Readout>& slos = {},
+    const PrometheusOptions& opts = {});
+
+}  // namespace pfr::obs

@@ -1,0 +1,96 @@
+#include "obs/slo.h"
+
+#include <cmath>
+#include <limits>
+
+namespace pfr::obs {
+
+SloTracker::SloTracker(SloConfig cfg) : cfg_(cfg) {
+  if (cfg_.window < static_cast<pfair::Slot>(kSubWindows)) {
+    cfg_.window = static_cast<pfair::Slot>(kSubWindows);
+  }
+  sub_len_ = cfg_.window / static_cast<pfair::Slot>(kSubWindows);
+}
+
+void SloTracker::advance(pfair::Slot now) {
+  // Rotate zero or more sub-windows so the live one covers `now`.  A long
+  // idle gap clears the whole ring in kSubWindows steps, not one per slot.
+  std::size_t rotations = 0;
+  while (now >= current_start_ + sub_len_ && rotations < kSubWindows) {
+    current_start_ += sub_len_;
+    live_ = (live_ + 1) % kSubWindows;
+    subs_[live_].clear();
+    ++rotations;
+  }
+  if (now >= current_start_ + sub_len_) {  // still behind: jump
+    current_start_ = now - (now % sub_len_);
+  }
+}
+
+void SloTracker::observe_latency(pfair::Slot due, pfair::Slot enacted) {
+  double latency = static_cast<double>(enacted - due);
+  if (latency < 0) latency = 0;
+  std::size_t i = 0;
+  while (i < kTelLatencyBounds.size() && latency > kTelLatencyBounds[i]) ++i;
+  ++subs_[live_].latency[i];
+  ++subs_[live_].enactments;
+}
+
+void SloTracker::on_admitted() { ++subs_[live_].admitted; }
+void SloTracker::on_shed() { ++subs_[live_].shed; }
+void SloTracker::on_rejected() { ++subs_[live_].rejected; }
+
+SloState SloTracker::score(double value, double target) const noexcept {
+  if (target <= 0) return SloState::kOk;  // dimension disabled
+  if (value > target) return SloState::kBreach;
+  if (value > target * cfg_.warn_fraction) return SloState::kWarn;
+  return SloState::kOk;
+}
+
+SloTracker::Readout SloTracker::read() const {
+  // Sum the ring: every sub-window is within the rolling window by
+  // construction (rotation cleared anything older).
+  std::array<std::int64_t, kTelHistBuckets> latency{};
+  Readout out;
+  std::int64_t admitted = 0;
+  std::int64_t rejected = 0;
+  std::int64_t shed = 0;
+  for (const SubWindow& sw : subs_) {
+    for (std::size_t i = 0; i < kTelHistBuckets; ++i) {
+      latency[i] += sw.latency[i];
+    }
+    out.window_enactments += sw.enactments;
+    admitted += sw.admitted;
+    rejected += sw.rejected;
+    shed += sw.shed;
+  }
+
+  const auto quantile = [&latency, &out](double q) -> double {
+    if (out.window_enactments == 0) return 0.0;
+    auto rank = static_cast<std::int64_t>(
+        std::ceil(q * static_cast<double>(out.window_enactments)));
+    if (rank < 1) rank = 1;
+    std::int64_t seen = 0;
+    for (std::size_t i = 0; i < kTelLatencyBounds.size(); ++i) {
+      seen += latency[i];
+      if (seen >= rank) return kTelLatencyBounds[i];
+    }
+    return std::numeric_limits<double>::infinity();
+  };
+  out.p50_latency_slots = quantile(0.50);
+  out.p99_latency_slots = quantile(0.99);
+
+  out.window_offered = admitted + rejected + shed;
+  out.shed_rate = out.window_offered > 0
+                      ? static_cast<double>(shed) /
+                            static_cast<double>(out.window_offered)
+                      : 0.0;
+  out.drift_abs = drift_;
+
+  out.latency = score(out.p99_latency_slots, cfg_.p99_target_slots);
+  out.shed = score(out.shed_rate, cfg_.shed_rate_target);
+  out.drift = score(out.drift_abs, cfg_.drift_target);
+  return out;
+}
+
+}  // namespace pfr::obs

@@ -1,0 +1,119 @@
+/// \file slo.h
+/// \brief Online SLO tracking: rolling-window p50/p99 enactment latency,
+/// admission shed rate, and drift-vs-I_PS accuracy, each scored against a
+/// target while the system runs.
+///
+/// The tracker answers, live, the question the paper answers post hoc: is
+/// the reweighting pipeline enacting requests fast enough (efficiency) and
+/// tracking the ideal allocation closely enough (accuracy)?  It rolls a
+/// window of `SloConfig::window` slots, subdivided into kSubWindows
+/// sub-windows that rotate out as time advances, so every readout covers
+/// the last ~window slots with O(1) memory and no per-sample allocation.
+///
+/// Single-threaded by design: it lives on the consumer/coordinator thread
+/// of ReweightService / Cluster (the same thread that resolves enactments
+/// and merges shard events).  The live *publication* of its readouts goes
+/// through TelemetryShard / the Prometheus writer, which are the
+/// thread-safe layers.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "obs/telemetry.h"
+#include "pfair/types.h"
+
+namespace pfr::obs {
+
+struct SloConfig {
+  pfair::Slot window{256};       ///< rolling window length, in slots
+  double p99_target_slots{32};   ///< breach when rolling p99 exceeds this
+  double shed_rate_target{0.05}; ///< breach when shed / offered exceeds this
+  double drift_target{1.0};      ///< breach when mean |drift| exceeds this
+  /// A dimension is kWarn above this fraction of its target (kOk below).
+  double warn_fraction{0.8};
+};
+
+enum class SloState : std::uint8_t { kOk, kWarn, kBreach };
+
+[[nodiscard]] constexpr const char* to_string(SloState s) noexcept {
+  switch (s) {
+    case SloState::kOk: return "ok";
+    case SloState::kWarn: return "warn";
+    case SloState::kBreach: return "breach";
+  }
+  return "?";
+}
+
+class SloTracker {
+ public:
+  explicit SloTracker(SloConfig cfg = {});
+
+  // ----- feeding (consumer thread) -----
+
+  /// Rolls the window forward to `now`; call once per slot before feeding
+  /// that slot's samples.
+  void advance(pfair::Slot now);
+
+  /// One enactment resolved: the request was due at `due` and took effect
+  /// at `enacted` (latency in slots, clamped at 0).
+  void observe_latency(pfair::Slot due, pfair::Slot enacted);
+  void on_admitted();  ///< terminal accept (incl. clamped)
+  void on_shed();      ///< terminal shed
+  void on_rejected();  ///< terminal reject
+  /// Latest mean |drift vs I_PS| per active task (intensive; last wins).
+  void set_drift(double mean_abs_drift) noexcept { drift_ = mean_abs_drift; }
+
+  // ----- reading -----
+
+  struct Readout {
+    double p50_latency_slots{0};
+    double p99_latency_slots{0};
+    std::int64_t window_enactments{0};
+    double shed_rate{0};      ///< shed / (admitted + rejected + shed)
+    std::int64_t window_offered{0};
+    double drift_abs{0};
+    SloState latency{SloState::kOk};
+    SloState shed{SloState::kOk};
+    SloState drift{SloState::kOk};
+    /// Worst of the three dimensions: the per-shard "SLO" column.
+    [[nodiscard]] SloState overall() const noexcept {
+      const auto worst = [](SloState a, SloState b) {
+        return static_cast<std::uint8_t>(a) > static_cast<std::uint8_t>(b)
+                   ? a
+                   : b;
+      };
+      return worst(latency, worst(shed, drift));
+    }
+  };
+  [[nodiscard]] Readout read() const;
+
+  [[nodiscard]] const SloConfig& config() const noexcept { return cfg_; }
+
+ private:
+  static constexpr std::size_t kSubWindows = 8;
+
+  struct SubWindow {
+    std::array<std::int64_t, kTelHistBuckets> latency{};
+    std::int64_t enactments{0};
+    std::int64_t admitted{0};
+    std::int64_t rejected{0};
+    std::int64_t shed{0};
+    void clear() {
+      latency.fill(0);
+      enactments = admitted = rejected = shed = 0;
+    }
+  };
+
+  [[nodiscard]] SloState score(double value, double target) const noexcept;
+
+  SloConfig cfg_;
+  pfair::Slot sub_len_{1};       ///< slots per sub-window
+  pfair::Slot current_start_{0}; ///< slot the live sub-window opened
+  std::array<SubWindow, kSubWindows> subs_;
+  std::size_t live_{0};          ///< index of the live sub-window
+  double drift_{0};
+};
+
+}  // namespace pfr::obs

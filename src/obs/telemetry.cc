@@ -1,0 +1,162 @@
+#include "obs/telemetry.h"
+
+#include <chrono>
+#include <cmath>
+
+namespace pfr::obs {
+
+const char* to_string(TelCounter c) noexcept {
+  switch (c) {
+    case TelCounter::kSlots: return "slots";
+    case TelCounter::kDispatched: return "dispatched";
+    case TelCounter::kHalts: return "halts";
+    case TelCounter::kInitiations: return "initiations";
+    case TelCounter::kEnactments: return "enactments";
+    case TelCounter::kMisses: return "deadline_misses";
+    case TelCounter::kDisruptions: return "disruptions";
+    case TelCounter::kFaults: return "faults";
+    case TelCounter::kAdmitted: return "requests_admitted";
+    case TelCounter::kClamped: return "requests_clamped";
+    case TelCounter::kRejected: return "requests_rejected";
+    case TelCounter::kShed: return "requests_shed";
+    case TelCounter::kDeferred: return "requests_deferred";
+    case TelCounter::kMigrationsOut: return "migrations_out";
+    case TelCounter::kMigrationsIn: return "migrations_in";
+    case TelCounter::kCount_: break;
+  }
+  return "?";
+}
+
+const char* to_string(TelGauge g) noexcept {
+  switch (g) {
+    case TelGauge::kTasks: return "tasks";
+    case TelGauge::kQueueDepth: return "queue_depth";
+    case TelGauge::kLoad: return "load";
+    case TelGauge::kCapacity: return "capacity";
+    case TelGauge::kDriftAbs: return "drift_abs";
+    case TelGauge::kCount_: break;
+  }
+  return "?";
+}
+
+const char* to_string(TelHist h) noexcept {
+  switch (h) {
+    case TelHist::kEnactLatency: return "enact_latency_slots";
+    case TelHist::kCount_: break;
+  }
+  return "?";
+}
+
+void TelemetryShard::observe(TelHist h, double value) noexcept {
+  LockFreeHist& hist = hists_[static_cast<std::size_t>(h)];
+  std::size_t i = 0;
+  while (i < kTelLatencyBounds.size() && value > kTelLatencyBounds[i]) ++i;
+  hist.counts[i].fetch_add(1, std::memory_order_relaxed);
+  hist.total.fetch_add(1, std::memory_order_relaxed);
+  // fetch_add on atomic<double> (C++20) keeps sum exact under concurrency.
+  hist.sum.fetch_add(value, std::memory_order_relaxed);
+}
+
+double TelemetryShard::HistData::quantile(double q) const noexcept {
+  if (total == 0) return 0.0;
+  if (!(q >= 0.0)) q = 0.0;  // also catches NaN
+  if (q > 1.0) q = 1.0;
+  auto rank =
+      static_cast<std::int64_t>(std::ceil(q * static_cast<double>(total)));
+  if (rank < 1) rank = 1;
+  std::int64_t seen = 0;
+  for (std::size_t i = 0; i < kTelLatencyBounds.size(); ++i) {
+    seen += counts[i];
+    if (seen >= rank) return kTelLatencyBounds[i];
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+TelemetryShard::HistData TelemetryShard::hist(TelHist h) const noexcept {
+  const LockFreeHist& src = hists_[static_cast<std::size_t>(h)];
+  HistData out;
+  for (std::size_t i = 0; i < kTelHistBuckets; ++i) {
+    out.counts[i] = src.counts[i].load(std::memory_order_relaxed);
+  }
+  out.total = src.total.load(std::memory_order_relaxed);
+  out.sum = src.sum.load(std::memory_order_relaxed);
+  return out;
+}
+
+void ShardSnapshot::merge(const ShardSnapshot& other) {
+  for (std::size_t i = 0; i < kTelCounterCount; ++i) {
+    counters[i] += other.counters[i];
+  }
+  // Extensive gauges add; kDriftAbs is intensive (a mean) and is averaged
+  // by Telemetry::snapshot once all shards are in.
+  for (std::size_t i = 0; i < kTelGaugeCount; ++i) {
+    gauges[i] += other.gauges[i];
+  }
+  for (std::size_t h = 0; h < kTelHistCount; ++h) {
+    for (std::size_t i = 0; i < kTelHistBuckets; ++i) {
+      hists[h].counts[i] += other.hists[h].counts[i];
+    }
+    hists[h].total += other.hists[h].total;
+    hists[h].sum += other.hists[h].sum;
+  }
+}
+
+Telemetry::Telemetry(int shards) : start_(std::chrono::steady_clock::now()) {
+  if (shards < 1) shards = 1;
+  shards_.reserve(static_cast<std::size_t>(shards));
+  for (int k = 0; k < shards; ++k) {
+    shards_.push_back(std::make_unique<TelemetryShard>());
+  }
+}
+
+namespace {
+
+/// One attempt at a consistent copy: version (even) -> data -> version
+/// unchanged.  Returns false when the shard was caught mid-publish.
+bool try_capture(const TelemetryShard& shard, ShardSnapshot& out,
+                 bool force = false) {
+  const std::uint64_t v1 = shard.version();
+  if (!force && (v1 & 1u) != 0) return false;
+  for (std::size_t i = 0; i < kTelCounterCount; ++i) {
+    out.counters[i] = shard.counter(static_cast<TelCounter>(i));
+  }
+  for (std::size_t i = 0; i < kTelGaugeCount; ++i) {
+    out.gauges[i] = shard.gauge(static_cast<TelGauge>(i));
+  }
+  for (std::size_t h = 0; h < kTelHistCount; ++h) {
+    out.hists[h] = shard.hist(static_cast<TelHist>(h));
+  }
+  out.version = v1;
+  return shard.version() == v1;
+}
+
+}  // namespace
+
+TelemetrySnapshot Telemetry::snapshot(int retries) const {
+  TelemetrySnapshot snap;
+  snap.shards.resize(shards_.size());
+  for (std::size_t k = 0; k < shards_.size(); ++k) {
+    bool clean = false;
+    for (int attempt = 0; attempt <= retries && !clean; ++attempt) {
+      clean = try_capture(*shards_[k], snap.shards[k]);
+    }
+    if (!clean) {
+      // Retries exhausted: accept the torn read.  Each field is its own
+      // atomic, so the copy is monotone and well-formed -- just not
+      // guaranteed consistent at one slot boundary.
+      ++snap.torn;
+      (void)try_capture(*shards_[k], snap.shards[k], /*force=*/true);
+    }
+    snap.total.merge(snap.shards[k]);
+  }
+  if (!shards_.empty()) {
+    snap.total.gauges[static_cast<std::size_t>(TelGauge::kDriftAbs)] /=
+        static_cast<double>(shards_.size());
+  }
+  snap.wall_seconds = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start_)
+                          .count();
+  return snap;
+}
+
+}  // namespace pfr::obs

@@ -1,0 +1,200 @@
+/// \file top_tool.cc
+/// \brief pfair-top: live per-shard tables from a Prometheus telemetry file.
+///
+///   pfair-top --file=results/telemetry.prom            # one table, exit
+///   pfair-top --file=results/telemetry.prom --watch    # refresh @1s
+///   pfair-top --file=telemetry.prom --watch=250        # refresh @250ms
+///   pfair-top --file=telemetry.prom --watch --iterations=20
+///
+/// The file is whatever a `--telemetry-out=FILE` run (service_throughput,
+/// cluster_scaling) writes periodically: Prometheus text exposition with
+/// per-shard samples.  Rates (slots/s) come from deltas between two reads
+/// against the pfr_wall_seconds gauge, so the first watch frame shows "-".
+/// The writer uses tmp+rename, so a read never sees a torn exposition.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/prometheus.h"
+#include "util/cli.h"
+
+namespace {
+
+using pfr::obs::parse_prometheus;
+using pfr::obs::PrometheusSample;
+
+/// One parsed exposition, reorganized for table rendering: metric name ->
+/// shard -> value (shard -1 holds the unlabeled cross-shard sample).
+struct Frame {
+  std::map<std::string, std::map<int, double>> values;
+  double wall_seconds{0};
+  int shards{0};
+
+  [[nodiscard]] std::optional<double> get(const std::string& name,
+                                          int shard) const {
+    const auto it = values.find(name);
+    if (it == values.end()) return std::nullopt;
+    const auto jt = it->second.find(shard);
+    if (jt == it->second.end()) return std::nullopt;
+    return jt->second;
+  }
+};
+
+std::optional<Frame> load_frame(const std::string& path, std::string* error) {
+  std::ifstream in{path};
+  if (!in) {
+    *error = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const auto samples = parse_prometheus(buf.str(), error);
+  if (!samples) return std::nullopt;
+
+  Frame frame;
+  for (const PrometheusSample& s : *samples) {
+    // Histogram series carry an `le` label per bucket; the table only needs
+    // the scalar families, so skip buckets (sum/count pass through).
+    if (s.labels.count("le") > 0) continue;
+    int shard = -1;
+    const auto it = s.labels.find("shard");
+    if (it != s.labels.end()) {
+      try {
+        shard = std::stoi(it->second);
+      } catch (...) {
+        continue;
+      }
+      if (shard + 1 > frame.shards) frame.shards = shard + 1;
+    }
+    frame.values[s.name][shard] = s.value;
+  }
+  if (const auto wall = frame.get("pfr_wall_seconds", -1)) {
+    frame.wall_seconds = *wall;
+  }
+  return frame;
+}
+
+std::string fmt(double v, int precision = 1) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+std::string fmt_opt(const std::optional<double>& v, int precision = 1) {
+  return v ? fmt(*v, precision) : "-";
+}
+
+std::string fmt_count(const std::optional<double>& v) {
+  if (!v) return "-";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(*v));
+  return buf;
+}
+
+const char* slo_name(const std::optional<double>& state) {
+  if (!state) return "-";
+  switch (static_cast<int>(*state)) {
+    case 0: return "ok";
+    case 1: return "WARN";
+    case 2: return "BREACH";
+    default: return "?";
+  }
+}
+
+/// Renders one table: shard rows (plus a TOTAL row) with slot counts,
+/// slots/s from the previous frame's deltas, queue depth, drift, SLO.
+std::string render(const Frame& frame, const Frame* prev) {
+  std::ostringstream os;
+  os << "pfair-top  wall=" << fmt(frame.wall_seconds, 1) << "s  shards="
+     << (frame.shards > 0 ? frame.shards : 1) << "\n\n";
+
+  const auto row = [&](const std::string& label, int shard) {
+    const auto slots = frame.get("pfr_slots_total", shard);
+    std::string rate = "-";
+    if (prev != nullptr) {
+      const auto prev_slots = prev->get("pfr_slots_total", shard);
+      const double dt = frame.wall_seconds - prev->wall_seconds;
+      if (slots && prev_slots && dt > 0) {
+        rate = fmt((*slots - *prev_slots) / dt, 0);
+      }
+    }
+    os << "  " << label;
+    for (std::size_t i = label.size(); i < 8; ++i) os << ' ';
+    const auto cell = [&os](const std::string& text, std::size_t width) {
+      for (std::size_t i = text.size(); i < width; ++i) os << ' ';
+      os << text << "  ";
+    };
+    cell(fmt_count(slots), 10);
+    cell(rate, 9);
+    cell(fmt_opt(frame.get("pfr_queue_depth", shard), 0), 5);
+    cell(fmt_opt(frame.get("pfr_tasks", shard), 0), 5);
+    cell(fmt_opt(frame.get("pfr_drift_abs", shard), 3), 7);
+    cell(fmt_count(frame.get("pfr_deadline_misses_total", shard)), 6);
+    cell(fmt_opt(frame.get("pfr_slo_p99_latency_slots", shard), 0), 5);
+    cell(fmt_opt(frame.get("pfr_slo_shed_rate", shard), 3), 6);
+    os << slo_name(frame.get("pfr_slo_status", shard)) << '\n';
+  };
+
+  os << "  shard      slots    slots/s  queue  tasks    drift  misses"
+        "    p99    shed  slo\n";
+  for (int k = 0; k < frame.shards; ++k) {
+    row(std::to_string(k), k);
+  }
+  row("TOTAL", -1);
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace pfr;
+
+  const CliArgs cli{argc, argv};
+  const std::string file = cli.get_string("file", "");
+  const bool watch = cli.has("watch");
+  std::int64_t interval_ms = cli.get_int("watch", 1000);
+  if (interval_ms <= 0) interval_ms = 1000;
+  const std::int64_t iterations = cli.get_int("iterations", 0);
+  const bool once = cli.get_bool("once");
+  if (cli.error()) {
+    std::cerr << "argument error: " << *cli.error() << "\n";
+    return 2;
+  }
+  if (!cli.unknown_flags().empty()) {
+    std::cerr << "unknown flag: --" << cli.unknown_flags().front() << "\n";
+    return 2;
+  }
+  if (file.empty()) {
+    std::cerr << "usage: pfair-top --file=telemetry.prom [--watch[=MS]] "
+                 "[--iterations=N] [--once]\n";
+    return 2;
+  }
+
+  std::optional<Frame> prev;
+  std::int64_t frames = 0;
+  while (true) {
+    std::string error;
+    const auto frame = load_frame(file, &error);
+    if (!frame) {
+      std::cerr << "pfair-top: " << error << "\n";
+      return 1;
+    }
+    if (watch && !once && frames > 0) {
+      std::cout << "\x1b[H\x1b[2J";  // clear for the next live table
+    }
+    std::cout << render(*frame, prev ? &*prev : nullptr) << std::flush;
+    prev = frame;
+    ++frames;
+    if (once || !watch) break;
+    if (iterations > 0 && frames >= iterations) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+  return 0;
+}

@@ -1,6 +1,7 @@
 #include "pfair/engine.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
 #include <stdexcept>
 
@@ -111,6 +112,7 @@ void Engine::export_metrics(obs::MetricsRegistry& registry) const {
   registry.counter("engine.initiations").add(stats_.initiations);
   registry.counter("engine.enactments").add(stats_.enactments);
   registry.counter("engine.halts").add(stats_.halts);
+  registry.counter("engine.disruptions").add(stats_.disruptions);
   registry.counter("engine.oi_events").add(stats_.oi_events);
   registry.counter("engine.lj_events").add(stats_.lj_events);
   registry.counter("engine.clamped_requests").add(stats_.clamped_requests);
@@ -137,6 +139,7 @@ void Engine::export_metrics(obs::MetricsRegistry& registry) const {
 void Engine::step() {
   const Slot t = now_;
   oi_budget_used_this_slot_ = 0;
+  const int enactments_before = stats_.enactments;
   {
     obs::ScopedTimer timer{phase_timers_[kPhaseFaults]};
     process_faults(t);
@@ -166,6 +169,7 @@ void Engine::step() {
     obs::ScopedTimer timer{phase_timers_[kPhaseDispatch]};
     dispatch(t);
   }
+  count_disruptions(enactments_before);
   if (cfg_.validate) validate_slot(t);
   ++now_;
   ++stats_.slots;
@@ -173,6 +177,70 @@ void Engine::step() {
     obs::ScopedTimer timer{phase_timers_[kPhaseMissDetect]};
     detect_misses(now_);
   }
+  if (telemetry_ != nullptr) publish_telemetry();
+}
+
+void Engine::count_disruptions(int enactments_before) {
+  // The disruption a reweight causes is the set of tasks whose slot
+  // allocation flipped relative to the previous slot, measured exactly on
+  // slots where an enactment fired (other slots churn for unrelated
+  // reasons: releases completing, windows closing).
+  std::sort(last_scheduled_.begin(), last_scheduled_.end());
+  if (stats_.enactments > enactments_before) {
+    std::size_t i = 0;
+    std::size_t j = 0;
+    std::int64_t flipped = 0;
+    while (i < prev_scheduled_.size() && j < last_scheduled_.size()) {
+      if (prev_scheduled_[i] < last_scheduled_[j]) {
+        ++flipped;
+        ++i;
+      } else if (last_scheduled_[j] < prev_scheduled_[i]) {
+        ++flipped;
+        ++j;
+      } else {
+        ++i;
+        ++j;
+      }
+    }
+    flipped += static_cast<std::int64_t>(prev_scheduled_.size() - i);
+    flipped += static_cast<std::int64_t>(last_scheduled_.size() - j);
+    stats_.disruptions += flipped;
+  }
+  std::swap(prev_scheduled_, last_scheduled_);
+}
+
+void Engine::publish_telemetry() {
+  using obs::TelCounter;
+  using obs::TelGauge;
+  obs::TelemetryShard& shard = *telemetry_;
+  const auto misses_now = static_cast<std::int64_t>(misses_.size());
+  const auto faults = [](const EngineStats& s) {
+    return static_cast<std::int64_t>(s.proc_crashes) + s.proc_recoveries +
+           s.overruns + s.dropped_requests + s.delayed_requests;
+  };
+  // kLoad is an O(N) rational scan; refresh it on a coarse cadence instead
+  // of every slot (the gauge is a trend line, not an invariant).
+  if ((stats_.slots & 63) == 1 || tel_prev_.slots == 0) {
+    tel_load_cache_ = total_scheduling_weight().to_double();
+  }
+  shard.begin_slot();
+  shard.add(TelCounter::kSlots, stats_.slots - tel_prev_.slots);
+  shard.add(TelCounter::kDispatched, stats_.dispatched - tel_prev_.dispatched);
+  shard.add(TelCounter::kHalts, stats_.halts - tel_prev_.halts);
+  shard.add(TelCounter::kInitiations,
+            stats_.initiations - tel_prev_.initiations);
+  shard.add(TelCounter::kEnactments, stats_.enactments - tel_prev_.enactments);
+  shard.add(TelCounter::kMisses, misses_now - tel_prev_misses_);
+  shard.add(TelCounter::kDisruptions,
+            stats_.disruptions - tel_prev_.disruptions);
+  shard.add(TelCounter::kFaults, faults(stats_) - faults(tel_prev_));
+  shard.set(TelGauge::kTasks, static_cast<double>(tasks_.size()));
+  shard.set(TelGauge::kCapacity, static_cast<double>(alive_processors()));
+  shard.set(TelGauge::kLoad, tel_load_cache_);
+  shard.set(TelGauge::kDriftAbs, mean_abs_drift());
+  shard.end_slot();
+  tel_prev_ = stats_;
+  tel_prev_misses_ = misses_now;
 }
 
 void Engine::process_joins(Slot t) {
@@ -318,6 +386,15 @@ Rational Engine::total_scheduling_weight() const {
 void Engine::sample_drift(TaskState& task, Slot u) {
   const Rational d = task.cum_ips - task.cum_icsw;
   task.drift = d;
+  // Keep mean_abs_drift() O(1): replace this task's contribution to the
+  // running |drift| sum with the fresh sample.
+  if (drift_abs_last_.size() < tasks_.size()) {
+    drift_abs_last_.resize(tasks_.size(), 0.0);
+  }
+  const double abs_d = std::abs(d.to_double());
+  double& last = drift_abs_last_[static_cast<std::size_t>(task.id)];
+  drift_abs_sum_ += abs_d - last;
+  last = abs_d;
   task.drift_history.push_back(
       TaskState::DriftPoint{u, d, task.initiations_since_enactment});
   if (tracer_.enabled()) {

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/telemetry.h"
 #include "obs/tracer.h"
 #include "pfair/fault.h"
 #include "pfair/indexed_ready_queue.h"
@@ -102,6 +103,12 @@ struct EngineStats {
   int initiations{0};
   int enactments{0};
   int halts{0};
+  /// Tasks whose slot allocation flipped (in or out of the scheduled set)
+  /// on a slot where a reweight enactment fired: the per-reweight
+  /// disruption the SLO layer tracks.  Symmetric difference of the
+  /// previous and current scheduled TaskId sets, counted only on
+  /// enactment slots.
+  std::int64_t disruptions{0};
   int oi_events{0};      ///< initiations handled by rules O/I
   int lj_events{0};      ///< initiations handled by leave/join
   int clamped_requests{0};
@@ -222,6 +229,29 @@ class Engine {
   /// into "engine.*" counters of `registry`.  Adds to existing values, so
   /// use a fresh registry per run (or per engine when merging).
   void export_metrics(obs::MetricsRegistry& registry) const;
+
+  /// Attaches a live telemetry shard (nullptr detaches).  From the next
+  /// step() on, the engine publishes its per-slot stat deltas and gauges
+  /// into `shard` inside a begin_slot()/end_slot() section, so any thread
+  /// can snapshot consistent counters while the run is in flight.  Pure
+  /// observer: schedules and digests are bit-identical with telemetry on
+  /// or off.  Caller keeps ownership.
+  void set_telemetry(obs::TelemetryShard* shard) noexcept {
+    telemetry_ = shard;
+    tel_prev_ = stats_;
+    tel_prev_misses_ = static_cast<std::int64_t>(misses_.size());
+  }
+  [[nodiscard]] obs::TelemetryShard* telemetry() const noexcept {
+    return telemetry_;
+  }
+
+  /// Mean |drift vs I_PS| (Eqn. (5)) per admitted task, maintained
+  /// incrementally as drift samples land (no O(N) rational scan).
+  [[nodiscard]] double mean_abs_drift() const noexcept {
+    return tasks_.empty() ? 0.0
+                          : drift_abs_sum_ /
+                                static_cast<double>(tasks_.size());
+  }
 
   // ----- queries -----
 
@@ -358,6 +388,10 @@ class Engine {
   [[nodiscard]] Rational police(const TaskState& task, Rational target);
   void sample_drift(TaskState& task, Slot u);
 
+  // engine.cc (telemetry)
+  void count_disruptions(int enactments_before);
+  void publish_telemetry();
+
   EngineConfig cfg_;
   Slot now_{0};
   std::vector<TaskState> tasks_;
@@ -368,6 +402,24 @@ class Engine {
   // --- observability (pure observers; never consulted for scheduling) ---
   obs::Tracer tracer_;
   obs::MetricsRegistry* metrics_{nullptr};
+  obs::TelemetryShard* telemetry_{nullptr};
+  /// Stats as of the last telemetry publish; publish_telemetry() emits the
+  /// per-slot deltas against this copy.
+  EngineStats tel_prev_;
+  std::int64_t tel_prev_misses_{0};
+  /// Cached total_scheduling_weight() for the kLoad gauge, refreshed every
+  /// 64 slots (the exact sum is an O(N) rational scan, too hot for every
+  /// slot).
+  double tel_load_cache_{0};
+  /// Incremental state behind mean_abs_drift(): per-task last |drift|
+  /// sample (as double) and their running sum.
+  std::vector<double> drift_abs_last_;
+  double drift_abs_sum_{0};
+  /// Scheduled TaskId sets (sorted) of the previous and current slot, kept
+  /// for the disruption count.  Maintained unconditionally: the copy+sort
+  /// of <= M ids per slot is noise next to dispatch itself.
+  std::vector<TaskId> prev_scheduled_;
+  std::vector<TaskId> last_scheduled_;
   /// The per-slot pipeline phases, in step() order (timer indices).  The
   /// dispatch phase is additionally split into selection (candidate pick,
   /// the part the fast path accelerates) and commit (bookkeeping + trace

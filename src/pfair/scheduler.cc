@@ -262,6 +262,7 @@ void Engine::dispatch(Slot t) {
   rec.capacity = slot_capacity_;
   rec.holes = slot_capacity_ - static_cast<int>(candidates_.size());
   stats_.holes += rec.holes;
+  last_scheduled_ = rec.scheduled;  // disruption count (see step())
   if (cfg_.record_slot_trace) trace_.push_back(std::move(rec));
 }
 

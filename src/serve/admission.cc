@@ -50,6 +50,20 @@ Response reject(Response out, std::string why) {
 Response AdmissionController::decide(
     const Request& r, const std::map<std::string, TaskId>& ids, Slot now,
     int oi_used_hint) const {
+  Response out = decide_impl(r, ids, now, oi_used_hint);
+  switch (out.decision) {
+    case Decision::kAccepted: ++tally_.admitted; break;
+    case Decision::kClamped: ++tally_.clamped; break;
+    case Decision::kRejected: ++tally_.rejected; break;
+    case Decision::kDeferred: ++tally_.deferred; break;
+    case Decision::kShed: break;  // shedding is a service-level verdict
+  }
+  return out;
+}
+
+Response AdmissionController::decide_impl(
+    const Request& r, const std::map<std::string, TaskId>& ids, Slot now,
+    int oi_used_hint) const {
   Response out;
   out.id = r.id;
   out.kind = r.kind;

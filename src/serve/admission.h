@@ -14,6 +14,7 @@
 /// service applies accepted decisions and owns the deferral queue.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <string>
 
@@ -45,7 +46,23 @@ class AdmissionController {
 
   [[nodiscard]] const AdmissionConfig& config() const noexcept { return cfg_; }
 
+  /// Running count of decisions rendered (not terminal outcomes: a request
+  /// deferred three times counts three deferrals, and a deferral the
+  /// service later converts to a reject is counted as rendered).  Pure
+  /// bookkeeping for the telemetry layer -- per-shard shed/admit rates
+  /// without threading shard ids through the response path.
+  struct DecisionTally {
+    std::int64_t admitted{0};  ///< kAccepted decisions
+    std::int64_t clamped{0};
+    std::int64_t rejected{0};
+    std::int64_t deferred{0};
+  };
+  [[nodiscard]] const DecisionTally& tally() const noexcept { return tally_; }
+
  private:
+  [[nodiscard]] Response decide_impl(
+      const Request& r, const std::map<std::string, pfair::TaskId>& ids,
+      pfair::Slot now, int oi_used_hint) const;
   [[nodiscard]] Response decide_join(const Request& r, Response out,
                                      pfair::Slot now) const;
   [[nodiscard]] Response decide_reweight(const Request& r, Response out,
@@ -58,6 +75,9 @@ class AdmissionController {
 
   const pfair::Engine& engine_;
   AdmissionConfig cfg_;
+  /// Observability only: never consulted by a decision (decide() stays
+  /// pure with respect to the engine and its own verdicts).
+  mutable DecisionTally tally_;
 };
 
 }  // namespace pfr::serve

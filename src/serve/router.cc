@@ -64,6 +64,41 @@ void ShardedService::set_metrics(obs::MetricsRegistry* registry) {
           : nullptr;
 }
 
+void ShardedService::set_telemetry(obs::Telemetry* telemetry) {
+  cluster_.set_telemetry(telemetry);
+  telemetry_ = telemetry;
+  tel_prev_tally_.assign(admissions_.size(), {});
+  for (std::size_t k = 0; k < admissions_.size(); ++k) {
+    tel_prev_tally_[k] = admissions_[k].tally();
+  }
+  tel_prev_shed_ = stats_.shed;
+}
+
+void ShardedService::publish_telemetry() {
+  using obs::TelCounter;
+  using obs::TelGauge;
+  for (std::size_t k = 0; k < admissions_.size(); ++k) {
+    obs::TelemetryShard& shard = telemetry_->shard(static_cast<int>(k));
+    const auto& cur = admissions_[k].tally();
+    const auto& prev = tel_prev_tally_[k];
+    shard.begin_slot();
+    shard.add(TelCounter::kAdmitted, cur.admitted - prev.admitted);
+    shard.add(TelCounter::kClamped, cur.clamped - prev.clamped);
+    shard.add(TelCounter::kRejected, cur.rejected - prev.rejected);
+    shard.add(TelCounter::kDeferred, cur.deferred - prev.deferred);
+    if (k == 0) {
+      // Queue-level state has no owning shard; by convention it lands on
+      // shard 0 (and in the unlabeled totals either way).
+      shard.add(TelCounter::kShed,
+                static_cast<std::int64_t>(stats_.shed - tel_prev_shed_));
+      shard.set(TelGauge::kQueueDepth, static_cast<double>(queue_.depth()));
+    }
+    shard.end_slot();
+    tel_prev_tally_[k] = cur;
+  }
+  tel_prev_shed_ = stats_.shed;
+}
+
 void ShardedService::record_response(const Response& resp) {
   switch (resp.decision) {
     case Decision::kAccepted: ++stats_.admitted; break;
@@ -71,6 +106,15 @@ void ShardedService::record_response(const Response& resp) {
     case Decision::kRejected: ++stats_.rejected; break;
     case Decision::kDeferred: ++stats_.deferred; break;
     case Decision::kShed: ++stats_.shed; break;
+  }
+  if (slo_ != nullptr) {
+    switch (resp.decision) {
+      case Decision::kAccepted:
+      case Decision::kClamped: slo_->on_admitted(); break;
+      case Decision::kRejected: slo_->on_rejected(); break;
+      case Decision::kShed: slo_->on_shed(); break;
+      case Decision::kDeferred: break;  // not terminal
+    }
   }
   responses_.push_back(resp);
 }
@@ -273,6 +317,11 @@ void ShardedService::resolve_enactments(Slot t) {
       if (latency_hist_ != nullptr) {
         latency_hist_->observe(static_cast<double>(t - resp.due));
       }
+      if (telemetry_ != nullptr) {
+        telemetry_->shard(it->shard).observe(
+            obs::TelHist::kEnactLatency, static_cast<double>(t - resp.due));
+      }
+      if (slo_ != nullptr) slo_->observe_latency(resp.due, t);
     } else {
       *keep++ = *it;
     }
@@ -282,6 +331,7 @@ void ShardedService::resolve_enactments(Slot t) {
 
 bool ShardedService::run_slot() {
   const Slot t = cluster_.now();
+  if (slo_ != nullptr) slo_->advance(t);
   RequestQueue::Batch batch = queue_.drain_slot(t);
   ++stats_.batches;
 
@@ -330,6 +380,15 @@ bool ShardedService::run_slot() {
   cluster_.step();
   resolve_enactments(t);
 
+  if (telemetry_ != nullptr) publish_telemetry();
+  if (slo_ != nullptr) {
+    double drift = 0;
+    for (int k = 0; k < cluster_.shard_count(); ++k) {
+      drift += cluster_.shard(k).mean_abs_drift();
+    }
+    slo_->set_drift(drift / static_cast<double>(cluster_.shard_count()));
+  }
+
   if (metrics_ != nullptr) {
     metrics_->set_gauge("serve.queue.depth",
                         static_cast<double>(queue_.depth()));
@@ -344,8 +403,10 @@ void ShardedService::run_to_completion(Slot grace) {
   }
   for (Slot g = 0; g < grace && !unresolved_.empty(); ++g) {
     const Slot t = cluster_.now();
+    if (slo_ != nullptr) slo_->advance(t);
     cluster_.step();
     resolve_enactments(t);
+    if (telemetry_ != nullptr) publish_telemetry();
   }
   if (metrics_ != nullptr) {
     metrics_->counter("serve.responses.admitted")

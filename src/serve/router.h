@@ -31,6 +31,8 @@
 
 #include "cluster/cluster.h"
 #include "obs/metrics.h"
+#include "obs/slo.h"
+#include "obs/telemetry.h"
 #include "obs/tracer.h"
 #include "serve/admission.h"
 #include "serve/request.h"
@@ -68,6 +70,19 @@ class ShardedService {
   }
   void set_metrics(obs::MetricsRegistry* registry);
 
+  /// Attaches live telemetry (nullptr detaches): shard engines publish
+  /// their per-slot deltas into telemetry->shard(k) (via the cluster), the
+  /// router adds per-shard admission counters from each shard's
+  /// AdmissionController tally, and enactment latency lands in the owning
+  /// shard's histogram.  Queue-level state (shed requests, queue depth) has
+  /// no shard, so it is attributed to shard 0.  Caller keeps ownership.
+  void set_telemetry(obs::Telemetry* telemetry);
+
+  /// Attaches one system-wide SLO tracker (nullptr detaches): advanced per
+  /// slot, fed every terminal decision and resolved enactment, and given
+  /// the mean |drift| across shards.  Caller keeps ownership.
+  void set_slo(obs::SloTracker* slo) noexcept { slo_ = slo; }
+
   /// Drains and serves one slot batch, then steps the whole cluster one
   /// slot.  Returns false once the queue closes and deferrals settle.
   bool run_slot();
@@ -100,6 +115,7 @@ class ShardedService {
   bool serve_one(const Request& r, pfair::Slot t, std::vector<int>& oi_used);
   void record_response(const Response& resp);
   void resolve_enactments(pfair::Slot t);
+  void publish_telemetry();
   /// Placement choice for a join: the policy's pick, or the least-loaded
   /// shard (normalized) as fallback when nothing fits.
   int pick_shard(const Rational& weight);
@@ -112,6 +128,12 @@ class ShardedService {
   obs::Tracer tracer_;
   obs::MetricsRegistry* metrics_{nullptr};
   obs::Histogram* latency_hist_{nullptr};
+  obs::Telemetry* telemetry_{nullptr};
+  obs::SloTracker* slo_{nullptr};
+  /// Per-shard admission tallies and the router-level shed count as of the
+  /// last telemetry publish (per-slot deltas).
+  std::vector<AdmissionController::DecisionTally> tel_prev_tally_;
+  std::uint64_t tel_prev_shed_{0};
 
   std::vector<Response> responses_;
   std::vector<Request> deferred_;

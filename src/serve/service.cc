@@ -69,6 +69,15 @@ void ReweightService::record_response(const Response& resp) {
     case Decision::kDeferred: ++stats_.deferred; break;
     case Decision::kShed: ++stats_.shed; break;
   }
+  if (slo_ != nullptr) {
+    switch (resp.decision) {
+      case Decision::kAccepted:
+      case Decision::kClamped: slo_->on_admitted(); break;
+      case Decision::kRejected: slo_->on_rejected(); break;
+      case Decision::kShed: slo_->on_shed(); break;
+      case Decision::kDeferred: break;  // not terminal
+    }
+  }
   responses_.push_back(resp);
 }
 
@@ -194,6 +203,11 @@ void ReweightService::resolve_enactments(Slot t) {
       if (latency_hist_ != nullptr) {
         latency_hist_->observe(static_cast<double>(t - resp.due));
       }
+      if (telemetry_ != nullptr) {
+        telemetry_->observe(obs::TelHist::kEnactLatency,
+                            static_cast<double>(t - resp.due));
+      }
+      if (slo_ != nullptr) slo_->observe_latency(resp.due, t);
     } else {
       *keep++ = *it;
     }
@@ -203,6 +217,7 @@ void ReweightService::resolve_enactments(Slot t) {
 
 bool ReweightService::run_slot() {
   const Slot t = engine_.now();
+  if (slo_ != nullptr) slo_->advance(t);
   RequestQueue::Batch batch = queue_.drain_slot(t);
   ++stats_.batches;
 
@@ -249,6 +264,9 @@ bool ReweightService::run_slot() {
   engine_.step();
   resolve_enactments(t);
 
+  if (telemetry_ != nullptr) publish_telemetry();
+  if (slo_ != nullptr) slo_->set_drift(engine_.mean_abs_drift());
+
   if (metrics_ != nullptr) {
     metrics_->set_gauge("serve.queue.depth",
                         static_cast<double>(queue_.depth()));
@@ -258,13 +276,37 @@ bool ReweightService::run_slot() {
   return batch.open || !deferred_.empty();
 }
 
+void ReweightService::publish_telemetry() {
+  using obs::TelCounter;
+  using obs::TelGauge;
+  obs::TelemetryShard& shard = *telemetry_;
+  const ServiceStats& cur = stats_;
+  const ServiceStats& prev = tel_prev_stats_;
+  const auto delta = [](std::uint64_t now, std::uint64_t before) {
+    return static_cast<std::int64_t>(now - before);
+  };
+  // The engine already ran its own begin/end section inside step(); this
+  // second short section publishes the serve-side deltas for the same slot.
+  shard.begin_slot();
+  shard.add(TelCounter::kAdmitted, delta(cur.admitted, prev.admitted));
+  shard.add(TelCounter::kClamped, delta(cur.clamped, prev.clamped));
+  shard.add(TelCounter::kRejected, delta(cur.rejected, prev.rejected));
+  shard.add(TelCounter::kShed, delta(cur.shed, prev.shed));
+  shard.add(TelCounter::kDeferred, delta(cur.deferred, prev.deferred));
+  shard.set(TelGauge::kQueueDepth, static_cast<double>(queue_.depth()));
+  shard.end_slot();
+  tel_prev_stats_ = stats_;
+}
+
 void ReweightService::run_to_completion(Slot grace) {
   while (run_slot()) {
   }
   for (Slot g = 0; g < grace && !unresolved_.empty(); ++g) {
     const Slot t = engine_.now();
+    if (slo_ != nullptr) slo_->advance(t);
     engine_.step();
     resolve_enactments(t);
+    if (telemetry_ != nullptr) publish_telemetry();
   }
   if (metrics_ != nullptr) {
     metrics_->counter("serve.responses.admitted")

@@ -31,6 +31,8 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/slo.h"
+#include "obs/telemetry.h"
 #include "obs/tracer.h"
 #include "pfair/engine.h"
 #include "serve/admission.h"
@@ -71,6 +73,23 @@ class ReweightService {
   /// Attaches a registry for service metrics (serve.* counters, queue-depth
   /// gauge, latency histogram) plus the engine's phase timers.
   void set_metrics(obs::MetricsRegistry* registry);
+
+  /// Attaches a live telemetry shard (nullptr detaches): the engine
+  /// publishes its per-slot deltas into it, and the service adds the
+  /// serve-side counters (admitted/clamped/rejected/shed/deferred), the
+  /// queue-depth gauge, and the enactment-latency histogram.  Caller keeps
+  /// ownership.  Pure observer: response digests are identical on or off.
+  void set_telemetry(obs::TelemetryShard* shard) noexcept {
+    telemetry_ = shard;
+    tel_prev_stats_ = stats_;
+    engine_.set_telemetry(shard);
+  }
+
+  /// Attaches an online SLO tracker (nullptr detaches): advanced once per
+  /// run_slot(), fed every terminal decision and resolved enactment, and
+  /// given the engine's mean |drift| each slot.  Caller keeps ownership
+  /// and reads it via SloTracker::read().
+  void set_slo(obs::SloTracker* slo) noexcept { slo_ = slo; }
 
   /// Drains and serves one slot batch, then advances the engine one slot.
   /// Returns false once the queue reports no further work (all producers
@@ -116,6 +135,7 @@ class ReweightService {
   bool serve_one(const Request& r, pfair::Slot t, int& oi_used);
   void record_response(const Response& resp);
   void resolve_enactments(pfair::Slot t);
+  void publish_telemetry();
 
   ServiceConfig cfg_;
   pfair::Engine engine_;
@@ -124,6 +144,10 @@ class ReweightService {
   obs::Tracer tracer_;
   obs::MetricsRegistry* metrics_{nullptr};
   obs::Histogram* latency_hist_{nullptr};
+  obs::TelemetryShard* telemetry_{nullptr};
+  obs::SloTracker* slo_{nullptr};
+  /// Stats as of the last telemetry publish (per-slot deltas).
+  ServiceStats tel_prev_stats_;
 
   std::map<std::string, pfair::TaskId> ids_;
   std::vector<Response> responses_;

@@ -1,0 +1,612 @@
+/// Live telemetry layer: sharded atomic counters and seqlock snapshots,
+/// the flight-recorder ring (wraparound, trigger dumps, golden-trace
+/// agreement), the SLO tracker, Prometheus exposition round-trips, engine /
+/// cluster wiring (including the pure-observer digest guarantee), and the
+/// MetricsRegistry merge/edge-case satellites.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "obs/flight_recorder.h"
+#include "obs/jsonl_sink.h"
+#include "obs/metrics.h"
+#include "obs/prometheus.h"
+#include "obs/slo.h"
+#include "obs/telemetry.h"
+#include "pfair/pfair.h"
+
+namespace pfr {
+namespace {
+
+using obs::TelCounter;
+using obs::TelGauge;
+using obs::TelHist;
+using pfair::Engine;
+using pfair::EngineConfig;
+using pfair::EngineStats;
+using pfair::FaultPlan;
+using pfair::Slot;
+using pfair::TaskId;
+
+// --- TelemetryShard / Telemetry ---
+
+TEST(TelemetryShard, CountersGaugesHistogramsRoundTrip) {
+  obs::TelemetryShard s;
+  s.begin_slot();
+  s.add(TelCounter::kSlots, 3);
+  s.add(TelCounter::kDispatched, 7);
+  s.set(TelGauge::kTasks, 5.0);
+  s.observe(TelHist::kEnactLatency, 3.0);
+  s.observe(TelHist::kEnactLatency, 1000.0);  // overflow bucket
+  s.end_slot();
+
+  EXPECT_EQ(s.counter(TelCounter::kSlots), 3);
+  EXPECT_EQ(s.counter(TelCounter::kDispatched), 7);
+  EXPECT_DOUBLE_EQ(s.gauge(TelGauge::kTasks), 5.0);
+  EXPECT_EQ(s.version() % 2, 0U);  // even outside a write section
+
+  const auto h = s.hist(TelHist::kEnactLatency);
+  EXPECT_EQ(h.total, 2);
+  EXPECT_DOUBLE_EQ(h.sum, 1003.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 4.0);  // 3.0 lands in the le=4 bucket
+  EXPECT_TRUE(std::isinf(h.quantile(1.0)));
+}
+
+TEST(Telemetry, SnapshotMergesShardsAndAveragesDrift) {
+  obs::Telemetry tel{2};
+  for (int k = 0; k < 2; ++k) {
+    obs::TelemetryShard& s = tel.shard(k);
+    s.begin_slot();
+    s.add(TelCounter::kSlots, 10);
+    s.set(TelGauge::kTasks, 4.0);
+    s.set(TelGauge::kDriftAbs, k == 0 ? 1.0 : 3.0);
+    s.observe(TelHist::kEnactLatency, 2.0);
+    s.end_slot();
+  }
+  const obs::TelemetrySnapshot snap = tel.snapshot();
+  ASSERT_EQ(snap.shards.size(), 2U);
+  EXPECT_EQ(snap.torn, 0);
+  EXPECT_EQ(snap.total.counter(TelCounter::kSlots), 20);
+  EXPECT_DOUBLE_EQ(snap.total.gauge(TelGauge::kTasks), 8.0);  // extensive: sum
+  // kDriftAbs is intensive: the cross-shard value is the mean.
+  EXPECT_DOUBLE_EQ(snap.total.gauge(TelGauge::kDriftAbs), 2.0);
+  EXPECT_EQ(snap.total.hist(TelHist::kEnactLatency).total, 2);
+  EXPECT_GE(snap.wall_seconds, 0.0);
+}
+
+TEST(Telemetry, SnapshotCountsATornShardInsteadOfSpinning) {
+  obs::Telemetry tel{1};
+  tel.shard(0).add(TelCounter::kSlots, 5);
+  tel.shard(0).begin_slot();  // writer parked mid-publish: version stays odd
+  const obs::TelemetrySnapshot snap = tel.snapshot(/*retries=*/2);
+  EXPECT_EQ(snap.torn, 1);
+  // The torn read is still the shard's real (atomic) counters, not garbage.
+  EXPECT_EQ(snap.total.counter(TelCounter::kSlots), 5);
+  tel.shard(0).end_slot();
+  EXPECT_EQ(tel.snapshot().torn, 0);
+}
+
+// The TSan acceptance case: writers hammer their shards while a reader
+// snapshots concurrently.  Correctness here is "no data race, no garbage";
+// the final quiesced snapshot must account for every write.
+TEST(Telemetry, ConcurrentSnapshotVersusWriteIsClean) {
+  constexpr int kIters = 20000;
+  obs::Telemetry tel{2};
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> writers;
+  for (int k = 0; k < 2; ++k) {
+    writers.emplace_back([&tel, k] {
+      obs::TelemetryShard& s = tel.shard(k);
+      for (int i = 0; i < kIters; ++i) {
+        s.begin_slot();
+        s.add(TelCounter::kSlots, 1);
+        s.add(TelCounter::kDispatched, 2);
+        s.set(TelGauge::kTasks, static_cast<double>(i));
+        s.observe(TelHist::kEnactLatency, static_cast<double>(i % 40));
+        s.end_slot();
+      }
+    });
+  }
+  std::thread reader{[&tel, &stop] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const obs::TelemetrySnapshot snap = tel.snapshot();
+      // Monotone counters can never exceed the writers' totals.
+      EXPECT_GE(snap.total.counter(TelCounter::kSlots), 0);
+      EXPECT_LE(snap.total.counter(TelCounter::kSlots), 2 * kIters);
+    }
+  }};
+  for (std::thread& w : writers) w.join();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  const obs::TelemetrySnapshot final_snap = tel.snapshot();
+  EXPECT_EQ(final_snap.torn, 0);
+  EXPECT_EQ(final_snap.total.counter(TelCounter::kSlots), 2 * kIters);
+  EXPECT_EQ(final_snap.total.counter(TelCounter::kDispatched), 4 * kIters);
+  EXPECT_EQ(final_snap.total.hist(TelHist::kEnactLatency).total, 2 * kIters);
+}
+
+// --- flight recorder ---
+
+obs::TraceEvent make_event(obs::EventKind kind, Slot slot, int shard = -1) {
+  obs::TraceEvent e;
+  e.kind = kind;
+  e.slot = slot;
+  e.shard = shard;
+  return e;
+}
+
+TEST(FlightRecorder, RingRetainsNewestEventsAfterWraparound) {
+  obs::FlightRecorderConfig cfg;
+  cfg.capacity = 4;
+  cfg.max_dumps = 0;  // record only
+  obs::FlightRecorder rec{cfg, /*shards=*/1};
+  for (Slot t = 0; t < 10; ++t) {
+    rec.on_event(make_event(obs::EventKind::kDispatch, t));
+  }
+  EXPECT_EQ(rec.events_seen(), 10);
+  const std::vector<std::string> lines = rec.lines(0);
+  ASSERT_EQ(lines.size(), 4U);  // wrapped: only the newest 4 retained
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NE(lines[static_cast<std::size_t>(i)].find(
+                  "\"slot\":" + std::to_string(6 + i)),
+              std::string::npos)
+        << "oldest-first order broken at " << i;
+  }
+}
+
+TEST(FlightRecorder, RoutesByShardAndDumpsEveryRing) {
+  obs::FlightRecorderConfig cfg;
+  cfg.capacity = 8;
+  cfg.max_dumps = 0;
+  obs::FlightRecorder rec{cfg, /*shards=*/2};
+  rec.on_event(make_event(obs::EventKind::kDispatch, 1, 0));
+  rec.on_event(make_event(obs::EventKind::kDispatch, 2, 1));
+  rec.on_event(make_event(obs::EventKind::kDispatch, 3, -1));  // -> ring 0
+  EXPECT_EQ(rec.lines(0).size(), 2U);
+  EXPECT_EQ(rec.lines(1).size(), 1U);
+  std::ostringstream os;
+  EXPECT_EQ(rec.dump(os), 3U);  // shard order, oldest first
+}
+
+TEST(FlightRecorder, TriggerDumpsOnceThenFreezes) {
+  const std::string path =
+      (std::filesystem::path{::testing::TempDir()} / "flight_trigger.jsonl")
+          .string();
+  obs::FlightRecorderConfig cfg;
+  cfg.capacity = 16;
+  cfg.dump_path = path;
+  cfg.max_dumps = 1;
+  obs::FlightRecorder rec{cfg, 1};
+  for (Slot t = 0; t < 5; ++t) {
+    rec.on_event(make_event(obs::EventKind::kDispatch, t));
+  }
+  EXPECT_EQ(rec.dumps_triggered(), 0);
+  rec.on_event(make_event(obs::EventKind::kDeadlineMiss, 5));
+  EXPECT_EQ(rec.dumps_triggered(), 1);
+  EXPECT_TRUE(rec.frozen());
+  const std::size_t at_dump = rec.lines(0).size();
+  // Frozen: later events (trigger or not) neither record nor re-dump.
+  rec.on_event(make_event(obs::EventKind::kDispatch, 6));
+  rec.on_event(make_event(obs::EventKind::kDeadlineMiss, 7));
+  EXPECT_EQ(rec.dumps_triggered(), 1);
+  EXPECT_EQ(rec.lines(0).size(), at_dump);
+
+  std::ifstream in{path};
+  ASSERT_TRUE(in.good());
+  std::size_t file_lines = 0;
+  for (std::string line; std::getline(in, line);) ++file_lines;
+  EXPECT_EQ(file_lines, at_dump);
+}
+
+/// The golden acceptance check: run a faulted engine with a JSONL sink and
+/// a flight recorder teed off the same event stream.  The auto-dump fired
+/// at the crash must equal the tail of the full trace up to and including
+/// the trigger event, byte for byte.
+TEST(FlightRecorder, CrashDumpMatchesFullTraceTail) {
+  constexpr std::size_t kCapacity = 32;
+  const std::string path =
+      (std::filesystem::path{::testing::TempDir()} / "flight_crash.jsonl")
+          .string();
+
+  EngineConfig cfg;
+  cfg.processors = 2;
+  cfg.degradation = pfair::DegradationMode::kCompress;
+  Engine eng{cfg};
+  eng.add_task(rat(1, 2), 0, "A");
+  eng.add_task(rat(1, 2), 0, "B");
+  eng.add_task(rat(1, 2), 0, "C");
+  eng.add_task(rat(1, 2), 0, "D");
+  FaultPlan plan;
+  plan.crash(1, 8).recover(1, 40);
+  eng.set_fault_plan(plan);
+
+  std::ostringstream full;
+  obs::JsonlSink jsonl{full};
+  obs::FlightRecorderConfig rcfg;
+  rcfg.capacity = kCapacity;
+  rcfg.dump_path = path;
+  rcfg.max_dumps = 1;
+  obs::FlightRecorder rec{rcfg, 1};
+  obs::TeeSink tee;
+  tee.attach(&jsonl);
+  tee.attach(&rec);
+  eng.set_event_sink(&tee);
+  eng.run_until(64);
+  tee.flush();
+
+  std::vector<std::string> full_lines;
+  {
+    std::istringstream is{full.str()};
+    for (std::string line; std::getline(is, line);) {
+      full_lines.push_back(line);
+    }
+  }
+  std::vector<std::string> dump_lines;
+  {
+    std::ifstream in{path};
+    ASSERT_TRUE(in.good()) << "no auto-dump at " << path;
+    for (std::string line; std::getline(in, line);) {
+      dump_lines.push_back(line);
+    }
+  }
+  ASSERT_EQ(rec.dumps_triggered(), 1);
+
+  // Locate the trigger (the crash) in the full trace; the dump must be the
+  // window of trace lines ending exactly there.
+  std::size_t trigger = full_lines.size();
+  for (std::size_t i = 0; i < full_lines.size(); ++i) {
+    if (full_lines[i].find("\"kind\":\"proc_down\"") != std::string::npos) {
+      trigger = i;
+      break;
+    }
+  }
+  ASSERT_LT(trigger, full_lines.size()) << "crash event never traced";
+  const std::size_t want = std::min(kCapacity, trigger + 1);
+  ASSERT_EQ(dump_lines.size(), want);
+  const std::size_t start = trigger + 1 - want;
+  for (std::size_t i = 0; i < want; ++i) {
+    EXPECT_EQ(dump_lines[i], full_lines[start + i]) << "dump line " << i;
+  }
+}
+
+// --- engine / cluster wiring ---
+
+Engine make_storm_engine(obs::TelemetryShard* shard) {
+  EngineConfig cfg;
+  cfg.processors = 2;
+  cfg.record_slot_trace = true;
+  Engine eng{cfg};
+  eng.add_task(rat(1, 2), 0, "A");
+  eng.add_task(rat(1, 2), 0, "B");
+  eng.add_task(rat(1, 4), 0, "C");
+  eng.add_task(rat(1, 4), 0, "D");
+  eng.request_weight_change(0, rat(1, 4), 8);
+  eng.request_weight_change(2, rat(1, 8), 12);
+  eng.request_weight_change(0, rat(1, 2), 24);
+  if (shard != nullptr) eng.set_telemetry(shard);
+  return eng;
+}
+
+TEST(EngineTelemetry, PublishedCountersMatchEngineStats) {
+  obs::TelemetryShard shard;
+  Engine eng = make_storm_engine(&shard);
+  eng.run_until(48);
+
+  const EngineStats& st = eng.stats();
+  EXPECT_EQ(shard.counter(TelCounter::kSlots), st.slots);
+  EXPECT_EQ(shard.counter(TelCounter::kDispatched), st.dispatched);
+  EXPECT_EQ(shard.counter(TelCounter::kHalts), st.halts);
+  EXPECT_EQ(shard.counter(TelCounter::kInitiations), st.initiations);
+  EXPECT_EQ(shard.counter(TelCounter::kEnactments), st.enactments);
+  EXPECT_EQ(shard.counter(TelCounter::kDisruptions), st.disruptions);
+  EXPECT_EQ(shard.counter(TelCounter::kMisses),
+            static_cast<std::int64_t>(eng.misses().size()));
+  EXPECT_DOUBLE_EQ(shard.gauge(TelGauge::kTasks), 4.0);
+  EXPECT_DOUBLE_EQ(shard.gauge(TelGauge::kCapacity), 2.0);
+  EXPECT_GE(st.enactments, 3);
+  // A reweight that changes who holds a slot is a disruption; the storm
+  // flips allocations, so the counter moved.
+  EXPECT_GT(st.disruptions, 0);
+}
+
+TEST(EngineTelemetry, AttachedShardIsAPureObserver) {
+  obs::TelemetryShard shard;
+  Engine with = make_storm_engine(&shard);
+  Engine without = make_storm_engine(nullptr);
+  with.run_until(48);
+  without.run_until(48);
+
+  ASSERT_EQ(with.trace().size(), without.trace().size());
+  for (std::size_t t = 0; t < with.trace().size(); ++t) {
+    EXPECT_EQ(with.trace()[t].scheduled, without.trace()[t].scheduled)
+        << "slot " << t;
+  }
+  EXPECT_EQ(with.stats().disruptions, without.stats().disruptions);
+  EXPECT_EQ(with.stats().halts, without.stats().halts);
+}
+
+cluster::ClusterConfig make_cluster_config(int shards) {
+  cluster::ClusterConfig cfg;
+  for (int k = 0; k < shards; ++k) {
+    pfair::EngineConfig ec;
+    ec.processors = 2;
+    ec.record_slot_trace = true;
+    cfg.shards.push_back(ec);
+  }
+  return cfg;
+}
+
+TEST(ClusterTelemetry, RequiresEnoughShardsAndCountsMigrations) {
+  cluster::Cluster cl{make_cluster_config(2)};
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_GE(cl.admit("t" + std::to_string(i), rat(1, 2)).shard, 0);
+  }
+  obs::Telemetry small{1};
+  EXPECT_THROW(cl.set_telemetry(&small), std::invalid_argument);
+
+  obs::Telemetry tel{2};
+  cl.set_telemetry(&tel);
+  const auto ref = cl.find("t0");
+  ASSERT_TRUE(ref.has_value());
+  ASSERT_TRUE(cl.request_migrate("t0", (ref->shard + 1) % 2));
+  for (Slot t = 0; t < 64; ++t) cl.step();
+
+  const obs::TelemetrySnapshot snap = tel.snapshot();
+  EXPECT_EQ(snap.total.counter(TelCounter::kSlots), 2 * 64);
+  EXPECT_EQ(cl.stats().migrations_completed, 1);
+  EXPECT_EQ(snap.total.counter(TelCounter::kMigrationsOut), 1);
+  EXPECT_EQ(snap.total.counter(TelCounter::kMigrationsIn), 1);
+  // Source and target shards attribute their own side of the move.
+  EXPECT_EQ(snap.shards[static_cast<std::size_t>(ref->shard)].counter(
+                TelCounter::kMigrationsOut),
+            1);
+}
+
+TEST(ClusterTelemetry, DigestIdenticalWithTelemetryOnOrOff) {
+  const auto run = [](obs::Telemetry* tel) {
+    cluster::Cluster cl{make_cluster_config(2)};
+    for (int i = 0; i < 4; ++i) {
+      cl.admit("t" + std::to_string(i), rat(1, 2));
+    }
+    if (tel != nullptr) cl.set_telemetry(tel);
+    for (Slot t = 0; t < 48; ++t) {
+      if (t % 8 == 0) {
+        cl.request_weight_change("t0", t % 16 == 0 ? rat(1, 4) : rat(1, 2),
+                                 t);
+      }
+      cl.step();
+    }
+    return cl.schedule_digest();
+  };
+  obs::Telemetry tel{2};
+  EXPECT_EQ(run(nullptr), run(&tel));
+}
+
+// --- SLO tracker ---
+
+TEST(SloTracker, RollingWindowQuantilesAgeOut) {
+  obs::SloConfig cfg;
+  cfg.window = 64;
+  cfg.p99_target_slots = 8;
+  obs::SloTracker slo{cfg};
+  slo.advance(0);
+  for (int i = 0; i < 100; ++i) slo.observe_latency(0, 2);
+  obs::SloTracker::Readout r = slo.read();
+  EXPECT_EQ(r.window_enactments, 100);
+  EXPECT_DOUBLE_EQ(r.p50_latency_slots, 2.0);
+  EXPECT_EQ(r.latency, obs::SloState::kOk);
+
+  for (int i = 0; i < 100; ++i) slo.observe_latency(0, 100);
+  r = slo.read();
+  EXPECT_GT(r.p99_latency_slots, cfg.p99_target_slots);
+  EXPECT_EQ(r.latency, obs::SloState::kBreach);
+
+  // Rolling: once the window passes, old observations age out entirely.
+  for (Slot t = 1; t <= 2 * cfg.window; ++t) slo.advance(t);
+  r = slo.read();
+  EXPECT_EQ(r.window_enactments, 0);
+  EXPECT_DOUBLE_EQ(r.p99_latency_slots, 0.0);
+  EXPECT_EQ(r.latency, obs::SloState::kOk);
+}
+
+TEST(SloTracker, ShedRateAndDriftScoreAgainstTargets) {
+  obs::SloConfig cfg;
+  cfg.shed_rate_target = 0.10;
+  cfg.drift_target = 1.0;
+  cfg.warn_fraction = 0.5;
+  obs::SloTracker slo{cfg};
+  slo.advance(0);
+  for (int i = 0; i < 90; ++i) slo.on_admitted();
+  for (int i = 0; i < 10; ++i) slo.on_shed();
+  obs::SloTracker::Readout r = slo.read();
+  EXPECT_EQ(r.window_offered, 100);
+  EXPECT_NEAR(r.shed_rate, 0.10, 1e-12);
+  EXPECT_EQ(r.shed, obs::SloState::kWarn);  // at target, above warn line
+
+  slo.set_drift(0.4);
+  EXPECT_EQ(slo.read().drift, obs::SloState::kOk);
+  slo.set_drift(0.7);
+  EXPECT_EQ(slo.read().drift, obs::SloState::kWarn);
+  slo.set_drift(1.5);
+  r = slo.read();
+  EXPECT_EQ(r.drift, obs::SloState::kBreach);
+  EXPECT_EQ(r.overall(), obs::SloState::kBreach);
+}
+
+// --- Prometheus exposition ---
+
+TEST(Prometheus, RenderValidateParseRoundTrip) {
+  obs::Telemetry tel{2};
+  for (int k = 0; k < 2; ++k) {
+    obs::TelemetryShard& s = tel.shard(k);
+    s.add(TelCounter::kSlots, 100 * (k + 1));
+    s.set(TelGauge::kTasks, 3.0);
+    s.observe(TelHist::kEnactLatency, 3.0);
+  }
+  obs::SloTracker slo;
+  slo.advance(0);
+  slo.observe_latency(0, 2);
+  slo.on_admitted();
+
+  const std::string text =
+      obs::dump_prometheus(tel, {slo.read()});
+  std::string error;
+  ASSERT_TRUE(obs::prometheus_text_valid(text, &error)) << error;
+  const auto samples = obs::parse_prometheus(text, &error);
+  ASSERT_TRUE(samples.has_value()) << error;
+
+  double shard0 = -1, shard1 = -1, total = -1;
+  double bucket_inf = -1, count = -1;
+  bool saw_p99 = false;
+  for (const obs::PrometheusSample& s : *samples) {
+    if (s.name == "pfr_slots_total") {
+      const auto it = s.labels.find("shard");
+      if (it == s.labels.end()) {
+        total = s.value;
+      } else if (it->second == "0") {
+        shard0 = s.value;
+      } else if (it->second == "1") {
+        shard1 = s.value;
+      }
+    }
+    if (s.name == "pfr_enact_latency_slots_bucket" &&
+        s.labels.count("shard") == 0 && s.labels.at("le") == "+Inf") {
+      bucket_inf = s.value;
+    }
+    if (s.name == "pfr_enact_latency_slots_count" &&
+        s.labels.count("shard") == 0) {
+      count = s.value;
+    }
+    if (s.name == "pfr_slo_p99_latency_slots") saw_p99 = true;
+  }
+  EXPECT_DOUBLE_EQ(shard0, 100.0);
+  EXPECT_DOUBLE_EQ(shard1, 200.0);
+  EXPECT_DOUBLE_EQ(total, 300.0);  // unlabeled cross-shard total
+  EXPECT_DOUBLE_EQ(bucket_inf, 2.0);  // cumulative: +Inf sees everything
+  EXPECT_DOUBLE_EQ(count, 2.0);
+  EXPECT_TRUE(saw_p99);
+}
+
+TEST(Prometheus, ExtraLabelsStampEverySample) {
+  obs::Telemetry tel{1};
+  tel.shard(0).add(TelCounter::kSlots, 7);
+  obs::PrometheusOptions opts;
+  opts.labels = {{"policy", "PD2-OI"}};
+  const auto samples =
+      obs::parse_prometheus(obs::render_prometheus(tel.snapshot(), {}, opts));
+  ASSERT_TRUE(samples.has_value());
+  ASSERT_FALSE(samples->empty());
+  for (const obs::PrometheusSample& s : *samples) {
+    ASSERT_EQ(s.labels.count("policy"), 1U) << s.name;
+    EXPECT_EQ(s.labels.at("policy"), "PD2-OI");
+  }
+}
+
+TEST(Prometheus, ValidatorRejectsMalformedPayloads) {
+  EXPECT_FALSE(obs::prometheus_text_valid("what is this"));
+  EXPECT_FALSE(obs::prometheus_text_valid("bad-name 1\n"));
+  EXPECT_FALSE(obs::prometheus_text_valid("x 12.3.4\n"));
+  EXPECT_FALSE(obs::prometheus_text_valid("x{le=\"unterminated} 1\n"));
+  std::string error;
+  EXPECT_FALSE(obs::prometheus_text_valid(
+      "# TYPE x histogram\nx_bucket 1\n", &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_TRUE(obs::prometheus_text_valid("# a comment\nx 1\ny{a=\"b\"} 2\n"));
+}
+
+TEST(Prometheus, WriteFileIsAtomicAndReadable) {
+  const std::string path =
+      (std::filesystem::path{::testing::TempDir()} / "tel.prom").string();
+  obs::Telemetry tel{1};
+  tel.shard(0).add(TelCounter::kSlots, 1);
+  const std::string text = obs::dump_prometheus(tel);
+  ASSERT_TRUE(obs::write_prometheus_file(path, text));
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));  // renamed away
+  std::ifstream in{path};
+  std::stringstream got;
+  got << in.rdbuf();
+  EXPECT_EQ(got.str(), text);
+}
+
+// --- MetricsRegistry satellites ---
+
+TEST(MetricsRegistry, MergeCombinesEveryFamily) {
+  obs::MetricsRegistry a;
+  a.counter("c").add(3);
+  a.timer("t").record(10);
+  a.set_gauge("g", 1.0);
+  a.histogram("h", {1.0, 2.0}).observe(0.5);
+
+  obs::MetricsRegistry b;
+  b.counter("c").add(4);
+  b.counter("only_b").add(1);
+  b.timer("t").record(2);
+  b.set_gauge("g", 9.0);
+  b.histogram("h", {1.0, 2.0}).observe(1.5);
+
+  a.merge(b);
+  EXPECT_EQ(a.counters().at("c").value, 7);
+  EXPECT_EQ(a.counters().at("only_b").value, 1);
+  const obs::Timer& t = a.timers().at("t");
+  EXPECT_EQ(t.count, 2);
+  EXPECT_EQ(t.total_ns, 12);
+  EXPECT_EQ(t.min_ns, 2);
+  EXPECT_EQ(t.max_ns, 10);
+  EXPECT_DOUBLE_EQ(a.gauges().at("g"), 9.0);  // last writer wins
+  EXPECT_EQ(a.histograms().at("h").total(), 2);
+}
+
+TEST(MetricsRegistry, HistogramMergeRejectsMismatchedBounds) {
+  obs::Histogram a{{1.0, 2.0}};
+  obs::Histogram b{{1.0, 4.0}};
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(Timer, NegativeSpansClampInsteadOfPoisoningMin) {
+  obs::Timer t;
+  t.record(10);
+  t.record(-5);  // non-monotone clock: treated as 0, not -5
+  EXPECT_EQ(t.count, 2);
+  EXPECT_EQ(t.min_ns, 0);
+  EXPECT_EQ(t.max_ns, 10);
+  EXPECT_EQ(t.total_ns, 10);
+
+  obs::Timer empty_then_neg;
+  empty_then_neg.record(-7);
+  EXPECT_EQ(empty_then_neg.min_ns, 0);
+  EXPECT_EQ(empty_then_neg.total_ns, 0);
+
+  obs::Timer combined;
+  combined.combine(t);  // into empty: copies
+  EXPECT_EQ(combined.count, 2);
+  combined.combine(obs::Timer{});  // empty other: no-op
+  EXPECT_EQ(combined.count, 2);
+  EXPECT_EQ(combined.max_ns, 10);
+}
+
+TEST(Percentile, EmptyAndNanInputsAreDefined) {
+  const std::vector<int> empty;
+  EXPECT_EQ(obs::percentile(empty, 0.5), 0);
+  const std::vector<int> v{1, 2, 3};
+  EXPECT_EQ(obs::percentile(v, std::nan("")), 1);  // NaN q -> rank 1
+  EXPECT_EQ(obs::percentile(v, -1.0), 1);
+  EXPECT_EQ(obs::percentile(v, 2.0), 3);
+
+  obs::Histogram h{{1.0, 2.0}};
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);  // empty histogram
+  h.observe(1.5);
+  EXPECT_DOUBLE_EQ(h.quantile(std::nan("")), 2.0);  // NaN q -> rank 1
+}
+
+}  // namespace
+}  // namespace pfr
