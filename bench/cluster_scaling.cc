@@ -24,6 +24,9 @@
 ///   --reweights=N        reweight requests per slot (default 48)
 ///   --migrate-every=N    storm period in slots (default 32)
 ///   --migrate-batch=N    tasks moved per storm firing (default 8)
+///   --seed=N             workload seed (default 2005); draws the per-task
+///                        weights, so different seeds exercise different
+///                        placements while a given seed replays exactly
 ///   --json=PATH          machine-readable results (default
 ///                        results/BENCH_cluster_scaling.json; empty
 ///                        disables)
@@ -53,6 +56,7 @@
 #include "obs/telemetry.h"
 #include "pfair/verify.h"
 #include "util/cli.h"
+#include "util/rng.h"
 
 namespace {
 
@@ -67,6 +71,7 @@ struct Args {
   int reweights{48};
   pfr::pfair::Slot migrate_every{32};
   int migrate_batch{8};
+  std::uint64_t seed{2005};
   std::string json{"results/BENCH_cluster_scaling.json"};
   std::string telemetry_out;
   std::string flight_dump;
@@ -86,6 +91,8 @@ Args parse(int argc, char** argv) {
   a.migrate_every = cli.get_int("migrate-every", a.migrate_every);
   a.migrate_batch = static_cast<int>(
       cli.get_int("migrate-batch", a.migrate_batch));
+  a.seed = static_cast<std::uint64_t>(
+      cli.get_int("seed", static_cast<std::int64_t>(a.seed)));
   a.json = cli.get_string("json", a.json);
   a.telemetry_out = cli.get_string("telemetry-out", "");
   a.flight_dump = cli.get_string("flight-dump", "");
@@ -109,9 +116,13 @@ std::string task_name(int i) {
 
 /// Deterministic task weights: numerator 1..5 over the total processor
 /// count, so 1024 tasks average 3/64 each -- 75% utilization on M=64 with
-/// headroom for the +1/M reweight swings.
-Rational base_weight(int i, int processors) {
-  return Rational{1 + (i % 5), processors};
+/// headroom for the +1/M reweight swings.  The numerator is drawn from the
+/// per-task stream of `seed`, so --seed varies the weight mix (and thus
+/// placement) while every (seed, i) pair replays identically across runs
+/// and shard counts.
+Rational base_weight(int i, int processors, std::uint64_t seed) {
+  auto rng = pfr::Xoshiro256::for_stream(seed, static_cast<std::uint64_t>(i));
+  return Rational{rng.uniform_int(1, 5), processors};
 }
 
 std::unique_ptr<Cluster> make_cluster(const Args& a, int shards,
@@ -131,7 +142,7 @@ std::unique_ptr<Cluster> make_cluster(const Args& a, int shards,
   auto cluster = std::make_unique<Cluster>(std::move(cfg));
   for (int i = 0; i < a.tasks; ++i) {
     const Cluster::AdmitResult res =
-        cluster->admit(task_name(i), base_weight(i, a.processors));
+        cluster->admit(task_name(i), base_weight(i, a.processors, a.seed));
     if (res.shard < 0) {
       std::cerr << "placement rejected task " << i << " at K=" << shards
                 << "; lower --tasks or raise --processors\n";
@@ -169,7 +180,7 @@ RunResult run_workload(const Args& a, int shards, std::size_t threads,
     for (int j = 0; j < a.reweights; ++j) {
       const int i = static_cast<int>(
           (t * a.reweights + j) % a.tasks);
-      const Rational base = base_weight(i, a.processors);
+      const Rational base = base_weight(i, a.processors, a.seed);
       const Rational target =
           (t + i) % 2 == 0 ? base + Rational{1, a.processors} : base;
       if (cluster->request_weight_change(task_name(i), target, t)) {
@@ -303,7 +314,8 @@ void write_json(const Args& a, const std::vector<KResult>& results,
       .add("slots", a.slots)
       .add("reweights_per_slot", a.reweights)
       .add("migrate_every", a.migrate_every)
-      .add("migrate_batch", a.migrate_batch);
+      .add("migrate_batch", a.migrate_batch)
+      .add("seed", static_cast<std::int64_t>(a.seed));
   header.write_open(out);
   out << "  \"results\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {

@@ -9,6 +9,9 @@
 ///     model is calibrated against.
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "obs/sink.h"
@@ -21,6 +24,11 @@ namespace {
 
 using namespace pfr;
 using namespace pfr::pfair;
+
+/// Base seed for every RNG in this bench, settable with --seed=N (the
+/// repo-wide bench convention).  Each benchmark derives its own stream via
+/// Xoshiro256::for_stream, so runs stay independent but replayable.
+std::uint64_t g_seed = 2005;
 
 /// Publishes the reweighting-related EngineStats next to the timings, so a
 /// report shows *what* each run did (how many expensive OI events vs cheap
@@ -75,7 +83,7 @@ BENCHMARK(BM_SlotDecision)->Arg(12)->Arg(32)->Arg(128)->Arg(512)->Iterations(200
 void BM_ReweightOnce(benchmark::State& state) {
   const int n = static_cast<int>(state.range(0));
   const auto policy = static_cast<ReweightPolicy>(state.range(1));
-  Xoshiro256 rng{7};
+  Xoshiro256 rng = Xoshiro256::for_stream(g_seed, 7);
   Engine eng = make_system(n, 4, policy);
   eng.run_until(16);
   Slot t = 16;
@@ -162,7 +170,7 @@ void BM_ReadyQueuePushPop(benchmark::State& state) {
   // O(log N) queue operations backing the paper's complexity claims:
   // a slot's worth of work = M pops + M re-pushes on an N-deep queue.
   const int n = static_cast<int>(state.range(0));
-  Xoshiro256 rng{11};
+  Xoshiro256 rng = Xoshiro256::for_stream(g_seed, 11);
   ReadyQueue<int> q;
   std::vector<std::pair<Pd2Priority, int>> initial;
   initial.reserve(static_cast<std::size_t>(n));
@@ -197,7 +205,7 @@ void BM_CorrelationKernel(benchmark::State& state) {
   // weight ranges; `shifts` models the search window at a given distance.
   const std::int64_t shifts = state.range(0);
   const whisper::CostModelConfig cfg;
-  Xoshiro256 rng{3};
+  Xoshiro256 rng = Xoshiro256::for_stream(g_seed, 3);
   std::vector<float> ref(static_cast<std::size_t>(cfg.corr_taps));
   for (auto& v : ref) v = static_cast<float>(rng.uniform(-1.0, 1.0));
   std::vector<float> sig(ref.size() + static_cast<std::size_t>(shifts));
@@ -211,4 +219,22 @@ BENCHMARK(BM_CorrelationKernel)->Arg(72)->Arg(284)->Arg(1136);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Custom main instead of BENCHMARK_MAIN(): peel off --seed=N (google
+// benchmark rejects flags it does not know) before handing the rest over.
+int main(int argc, char** argv) {
+  int kept = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--seed=", 0) == 0) {
+      g_seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+    } else {
+      argv[kept++] = argv[i];
+    }
+  }
+  argc = kept;
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

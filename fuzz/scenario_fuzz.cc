@@ -10,6 +10,13 @@
 /// deliberate invariant violations under `violations throw`); anything else
 /// -- crash, sanitizer report, hang -- is a finding.
 ///
+/// A leading 0xA5 byte switches to *structured* mode: the next 16 bytes
+/// seed the chaos harness's ScenarioGen (seed, index little-endian), the
+/// generated valid-by-construction scenario runs through the full
+/// PropertyRunner, and any property failure aborts -- so the fuzzer also
+/// explores the generator's scenario space instead of only what survives
+/// the tokenizer.
+///
 /// Built by `-DPFR_BUILD_FUZZERS=ON`.  With clang this is a real libFuzzer
 /// binary; with other compilers it degrades to a standalone driver that
 /// replays corpus files given as argv (so the regression corpus stays
@@ -17,10 +24,15 @@
 #include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <exception>
 #include <stdexcept>
 #include <string>
 
+#include "harness/property_runner.h"
+#include "harness/scenario_gen.h"
 #include "pfair/scenario_io.h"
 #include "pfair/verify.h"
 
@@ -53,10 +65,47 @@ void run_one(const std::string& text) {
   }
 }
 
+/// Structured mode: fuzz bytes pick a (seed, index) generator stream.  The
+/// scenario is valid by construction, so here -- unlike the raw-text path
+/// -- *no* exception and no property failure is acceptable.
+constexpr std::uint8_t kStructuredTag = 0xA5;
+
+void run_structured(const std::uint8_t* data, std::size_t size) {
+  std::uint64_t seed = 0;
+  std::uint64_t index = 0;
+  if (size >= 8) std::memcpy(&seed, data, 8);
+  if (size >= 16) std::memcpy(&index, data + 8, 8);
+  // Keep per-input cost bounded; the generator's envelope is already small.
+  pfr::harness::GenConfig gen_cfg;
+  gen_cfg.max_horizon = 96;
+  gen_cfg.max_tasks = 12;
+  const pfr::harness::GeneratedScenario gen =
+      pfr::harness::generate_scenario(seed, index, gen_cfg);
+  pfr::harness::RunnerConfig cfg;
+  cfg.thread_counts = {1, 2};  // cheap cross-thread digest check per input
+  const pfr::harness::RunReport report =
+      pfr::harness::run_scenario(gen.spec, cfg);
+  if (!report.ok()) {
+    std::fprintf(stderr,
+                 "structured scenario seed=%llu index=%llu failed:\n",
+                 static_cast<unsigned long long>(seed),
+                 static_cast<unsigned long long>(index));
+    for (const std::string& f : report.failures) {
+      std::fprintf(stderr, "  %s\n", f.c_str());
+    }
+    std::fputs(gen.text.c_str(), stderr);
+    std::abort();
+  }
+}
+
 }  // namespace
 
 extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
                                       std::size_t size) {
+  if (size > 0 && data[0] == kStructuredTag) {
+    run_structured(data + 1, size - 1);
+    return 0;
+  }
   run_one(std::string{reinterpret_cast<const char*>(data), size});
   return 0;
 }

@@ -10,11 +10,21 @@ BuiltClusterScenario build_cluster_scenario(const pfair::ScenarioSpec& spec,
     throw std::invalid_argument(
         "build_cluster_scenario: scenario declares no shards");
   }
-  if (!spec.faults.empty()) {
-    throw std::invalid_argument(
-        "build_cluster_scenario: fault directives are not supported in "
-        "cluster scenarios; install per-shard FaultPlans via "
-        "Cluster::shard(k).set_fault_plan");
+  const auto shard_count = static_cast<int>(spec.shard_processors.size());
+  for (const pfair::ScenarioSpec::FaultSpec& f : spec.faults) {
+    const bool proc_fault = f.kind == pfair::FaultKind::kProcCrash ||
+                            f.kind == pfair::FaultKind::kProcRecover ||
+                            f.kind == pfair::FaultKind::kOverrun;
+    if (proc_fault && f.shard < 0) {
+      throw std::invalid_argument(
+          "build_cluster_scenario: processor fault needs 'shard=<k>' (a "
+          "bare cpu index is ambiguous across shards)");
+    }
+    if (f.shard >= shard_count) {
+      throw std::invalid_argument(
+          "build_cluster_scenario: fault targets undeclared shard " +
+          std::to_string(f.shard));
+    }
   }
 
   ClusterConfig cfg;
@@ -75,6 +85,47 @@ BuiltClusterScenario build_cluster_scenario(const pfair::ScenarioSpec& spec,
       throw std::invalid_argument(
           "build_cluster_scenario: cannot schedule migration of '" +
           mig.task + "' to shard " + std::to_string(mig.to_shard));
+    }
+  }
+  if (!spec.faults.empty()) {
+    // Processor faults go to their declared shard; drop/delay faults follow
+    // the task to wherever placement put it (a later migration does not
+    // chase the fault -- the plan is fixed at build time).
+    std::vector<pfair::FaultPlan> plans(spec.shard_processors.size());
+    for (const pfair::ScenarioSpec::FaultSpec& f : spec.faults) {
+      switch (f.kind) {
+        case pfair::FaultKind::kProcCrash:
+          plans[static_cast<std::size_t>(f.shard)].crash(f.processor, f.at);
+          break;
+        case pfair::FaultKind::kProcRecover:
+          plans[static_cast<std::size_t>(f.shard)].recover(f.processor, f.at);
+          break;
+        case pfair::FaultKind::kOverrun:
+          plans[static_cast<std::size_t>(f.shard)].overrun(f.processor, f.at);
+          break;
+        case pfair::FaultKind::kDropRequest:
+        case pfair::FaultKind::kDelayRequest: {
+          const auto ref = out.cluster->find(f.task);
+          if (!ref) {
+            throw std::invalid_argument(
+                "build_cluster_scenario: fault names unknown task '" +
+                f.task + "'");
+          }
+          auto& plan = plans[static_cast<std::size_t>(ref->shard)];
+          if (f.kind == pfair::FaultKind::kDropRequest) {
+            plan.drop_request(ref->local, f.at);
+          } else {
+            plan.delay_request(ref->local, f.at, f.delay);
+          }
+          break;
+        }
+      }
+    }
+    for (std::size_t k = 0; k < plans.size(); ++k) {
+      if (!plans[k].empty()) {
+        out.cluster->shard(static_cast<int>(k))
+            .set_fault_plan(std::move(plans[k]));
+      }
     }
   }
   return out;

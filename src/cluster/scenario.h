@@ -23,10 +23,11 @@ struct BuiltClusterScenario {
 };
 
 /// Interprets a spec's cluster directives.  Requires at least one `shard`
-/// line; throws std::invalid_argument otherwise, on placement rejects at
-/// build time, or if the spec carries `fault` directives (per-shard fault
-/// plans must be installed directly via Cluster::shard, since the
-/// scenario's processor indices are ambiguous across shards).
+/// line; throws std::invalid_argument otherwise or on placement rejects at
+/// build time.  Fault directives are installed as per-shard FaultPlans:
+/// processor faults must carry `shard=<k>` (a bare cpu index is ambiguous
+/// across shards); drop/delay faults are installed on whichever shard
+/// placement chose for the named task at build time.
 [[nodiscard]] BuiltClusterScenario build_cluster_scenario(
     const pfair::ScenarioSpec& spec, std::size_t threads = 1);
 

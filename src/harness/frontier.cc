@@ -1,0 +1,225 @@
+#include "harness/frontier.h"
+
+#include <algorithm>
+#include <cmath>
+#include <exception>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "pfair/engine.h"
+#include "pfair/fault.h"
+#include "util/rng.h"
+
+namespace pfr::harness {
+namespace {
+
+using pfair::DegradationMode;
+using pfair::EngineConfig;
+using pfair::ReweightPolicy;
+using pfair::Slot;
+
+/// Base weights live on the 1/120 grid; scaling rounds on that grid and
+/// clamps at the light-task ceiling 1/2 (num <= 60).
+constexpr std::int64_t kDen = 120;
+constexpr std::int64_t kMaxNum = kDen / 2;
+
+std::vector<std::int64_t> base_numerators(const FrontierConfig& cfg) {
+  Xoshiro256 rng = Xoshiro256::for_stream(cfg.seed, 0);
+  std::vector<std::int64_t> nums;
+  nums.reserve(static_cast<std::size_t>(cfg.tasks));
+  for (int i = 0; i < cfg.tasks; ++i) {
+    nums.push_back(rng.uniform_int(6, 30));  // weights in [0.05, 0.25]
+  }
+  return nums;
+}
+
+std::int64_t scaled_num(std::int64_t base, double scale) {
+  const auto n = static_cast<std::int64_t>(std::llround(
+      static_cast<double>(base) * scale));
+  return std::clamp<std::int64_t>(n, 1, kMaxNum);
+}
+
+struct Cell {
+  ReweightPolicy policy;
+  double hybrid_threshold{2.0};
+  int hybrid_budget{1};
+  DegradationMode degradation;
+  int shards;
+  bool faults;
+};
+
+EngineConfig cell_engine_config(const Cell& cell, int processors) {
+  EngineConfig ec;
+  ec.processors = processors;
+  ec.policy = cell.policy;
+  ec.hybrid_magnitude_threshold = cell.hybrid_threshold;
+  ec.hybrid_budget_per_slot = cell.hybrid_budget;
+  // Deliberate overload: the admission clamp must not rescue the cell, and
+  // a (W) violation is the expected state, not a bug to throw on.
+  ec.policing = pfair::PolicingMode::kOff;
+  ec.validate = false;
+  ec.degradation = cell.degradation;
+  ec.record_slot_trace = false;
+  return ec;
+}
+
+pfair::FaultPlan cell_fault_plan(int shard_procs, Slot horizon) {
+  pfair::FaultPlan plan;
+  if (shard_procs >= 2) {
+    // Lose the top processor for the middle half of the run.
+    plan.crash(shard_procs - 1, horizon / 4)
+        .recover(shard_procs - 1, (3 * horizon) / 4);
+  } else {
+    // A single-processor shard cannot crash without dying entirely; steal
+    // three quanta instead.
+    plan.overrun(0, horizon / 4)
+        .overrun(0, horizon / 4 + 1)
+        .overrun(0, horizon / 4 + 2);
+  }
+  return plan;
+}
+
+/// One trial: does the cell, at this weight scale, finish the horizon with
+/// zero misses?  A throw counts as broken.
+bool trial_misses(const FrontierConfig& cfg, const Cell& cell,
+                  const std::vector<std::int64_t>& base, double scale) {
+  const int per_shard = cfg.total_processors / cell.shards;
+  try {
+    if (cell.shards == 1) {
+      pfair::Engine eng{cell_engine_config(cell, per_shard)};
+      for (std::size_t i = 0; i < base.size(); ++i) {
+        eng.add_task(Rational{scaled_num(base[i], scale), kDen}, 0,
+                     "f" + std::to_string(i));
+      }
+      if (cell.faults) eng.set_fault_plan(cell_fault_plan(per_shard, cfg.horizon));
+      eng.run_until(cfg.horizon);
+      return !eng.misses().empty();
+    }
+    cluster::ClusterConfig ccfg;
+    for (int k = 0; k < cell.shards; ++k) {
+      ccfg.shards.push_back(cell_engine_config(cell, per_shard));
+    }
+    cluster::Cluster cl{std::move(ccfg)};
+    for (std::size_t i = 0; i < base.size(); ++i) {
+      // Round-robin forced placement: placement policies reject overloaded
+      // shards, but overload is the state under study.
+      cl.admit("f" + std::to_string(i),
+               Rational{scaled_num(base[i], scale), kDen}, 0,
+               static_cast<int>(i) % cell.shards, 0);
+    }
+    if (cell.faults) {
+      cl.shard(0).set_fault_plan(cell_fault_plan(per_shard, cfg.horizon));
+    }
+    cl.run_until(cfg.horizon);
+    for (int k = 0; k < cell.shards; ++k) {
+      if (!cl.shard(k).misses().empty()) return true;
+    }
+    return false;
+  } catch (const std::exception&) {
+    return true;
+  }
+}
+
+double utilization_at(const FrontierConfig& cfg,
+                      const std::vector<std::int64_t>& base, double scale) {
+  std::int64_t total = 0;
+  for (const std::int64_t b : base) total += scaled_num(b, scale);
+  return static_cast<double>(total) /
+         (static_cast<double>(kDen) * cfg.total_processors);
+}
+
+}  // namespace
+
+FrontierResult explore_frontier(
+    const FrontierConfig& cfg,
+    const std::function<void(const FrontierCell&)>& progress) {
+  const std::vector<std::int64_t> base = base_numerators(cfg);
+  const Cell policies[] = {
+      {ReweightPolicy::kOmissionIdeal, 2.0, 1, DegradationMode::kNone, 1,
+       false},
+      {ReweightPolicy::kLeaveJoin, 2.0, 1, DegradationMode::kNone, 1, false},
+      {ReweightPolicy::kHybridMagnitude, 2.0, 1, DegradationMode::kNone, 1,
+       false},
+      {ReweightPolicy::kHybridBudget, 2.0, 1, DegradationMode::kNone, 1,
+       false},
+  };
+  constexpr DegradationMode kDegradations[] = {
+      DegradationMode::kNone, DegradationMode::kCompress,
+      DegradationMode::kShed, DegradationMode::kFreeze};
+
+  FrontierResult result;
+  result.config = cfg;
+  for (const Cell& base_cell : policies) {
+    for (const DegradationMode degradation : kDegradations) {
+      for (const int shards : cfg.cluster_sizes) {
+        for (const bool faults : {false, true}) {
+          if (faults && !cfg.include_faults) continue;
+          Cell cell = base_cell;
+          cell.degradation = degradation;
+          cell.shards = shards;
+          cell.faults = faults;
+
+          FrontierCell out;
+          out.policy = pfair::to_string(cell.policy);
+          out.degradation = pfair::to_string(degradation);
+          out.shards = shards;
+          out.faults = faults;
+
+          double lo = cfg.scale_lo;
+          double hi = cfg.scale_hi;
+          std::int64_t trials = 0;
+          const auto broken = [&](double s) {
+            ++trials;
+            return trial_misses(cfg, cell, base, s);
+          };
+          if (broken(lo)) {
+            out.breakdown_scale = 0;  // even the floor misses
+          } else if (!broken(hi)) {
+            out.breakdown_scale = hi;  // never misses inside the bracket
+          } else {
+            for (int i = 0; i < cfg.search_iters; ++i) {
+              const double mid = (lo + hi) / 2;
+              (broken(mid) ? hi : lo) = mid;
+            }
+            out.breakdown_scale = lo;
+          }
+          if (out.breakdown_scale > 0) {
+            out.breakdown_utilization =
+                utilization_at(cfg, base, out.breakdown_scale);
+          }
+          out.trials = trials;
+          if (progress) progress(out);
+          result.cells.push_back(std::move(out));
+        }
+      }
+    }
+  }
+  return result;
+}
+
+void write_frontier_json(const FrontierResult& result, std::ostream& out) {
+  const FrontierConfig& cfg = result.config;
+  out << "{\n"
+      << "  \"total_processors\": " << cfg.total_processors << ",\n"
+      << "  \"tasks\": " << cfg.tasks << ",\n"
+      << "  \"horizon\": " << cfg.horizon << ",\n"
+      << "  \"seed\": " << cfg.seed << ",\n"
+      << "  \"scale_lo\": " << cfg.scale_lo << ",\n"
+      << "  \"scale_hi\": " << cfg.scale_hi << ",\n"
+      << "  \"cells\": [\n";
+  for (std::size_t i = 0; i < result.cells.size(); ++i) {
+    const FrontierCell& c = result.cells[i];
+    out << "    {\"policy\": \"" << c.policy << "\", \"degradation\": \""
+        << c.degradation << "\", \"shards\": " << c.shards
+        << ", \"faults\": " << (c.faults ? "true" : "false")
+        << ", \"breakdown_scale\": " << c.breakdown_scale
+        << ", \"breakdown_utilization\": " << c.breakdown_utilization
+        << ", \"trials\": " << c.trials << "}"
+        << (i + 1 < result.cells.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+}  // namespace pfr::harness

@@ -1,0 +1,75 @@
+/// \file frontier.h
+/// \brief Breakdown-frontier explorer: per-configuration binary search for
+/// the weight scale at which a cell first misses.
+///
+/// Classic breakdown-utilization methodology (cf. the real-time-simulator
+/// exemplar): fix a task set shape, scale every weight by a factor s, and
+/// binary-search the largest s the configuration still schedules without a
+/// deadline miss.  Here a *cell* is the cross product
+///
+///     policy (OI / LJ / hybrid-mag / hybrid-budget)
+///   x degradation (none / compress / shed / freeze)
+///   x cluster size K (platform fixed at 8 processors total: 1x8, 4x2, 8x1)
+///   x fault plan (clean, or a mid-run capacity fault)
+///
+/// run with policing *off* -- deliberate overload is the whole point, so
+/// the admission clamp must not rescue the cell.  Each cell reports its
+/// breakdown scale and the corresponding utilization of the 8-processor
+/// platform; write_frontier_json() serializes the sweep for EXPERIMENTS.md
+/// and CI artifacts.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "pfair/types.h"
+
+namespace pfr::harness {
+
+struct FrontierConfig {
+  int tasks{24};
+  pfair::Slot horizon{96};
+  /// Binary-search refinement steps after bracketing.
+  int search_iters{10};
+  /// Seeds the base weight draw (shared by every cell, so cells are
+  /// comparable).
+  std::uint64_t seed{2005};
+  /// Cluster sizes to sweep; each must divide total_processors.
+  std::vector<int> cluster_sizes{1, 4, 8};
+  int total_processors{8};
+  bool include_faults{true};
+  double scale_lo{0.5};
+  double scale_hi{4.0};
+};
+
+struct FrontierCell {
+  std::string policy;       ///< to_string(ReweightPolicy)
+  std::string degradation;  ///< to_string(DegradationMode)
+  int shards{1};
+  bool faults{false};
+  /// Largest weight scale that completed with zero misses (0 when even
+  /// scale_lo misses).
+  double breakdown_scale{0};
+  /// Total task weight at the breakdown scale over platform capacity.
+  double breakdown_utilization{0};
+  std::int64_t trials{0};  ///< runs spent bracketing + refining
+};
+
+struct FrontierResult {
+  FrontierConfig config;
+  std::vector<FrontierCell> cells;
+};
+
+/// Sweeps every cell.  `progress` (optional) is called once per finished
+/// cell -- the CLI uses it for a live line.
+[[nodiscard]] FrontierResult explore_frontier(
+    const FrontierConfig& cfg = {},
+    const std::function<void(const FrontierCell&)>& progress = {});
+
+/// Serializes a sweep as JSON (stable key order, deterministic output).
+void write_frontier_json(const FrontierResult& result, std::ostream& out);
+
+}  // namespace pfr::harness

@@ -1,0 +1,236 @@
+/// \file hunt_tool.cc
+/// \brief pfair-hunt: the chaos-harness CLI.
+///
+///   pfair-hunt --seed=7 --count=2000              # randomized hunt
+///   pfair-hunt --seed=7 --count=2000 --artifacts=hunt-out
+///   pfair-hunt --replay=fail.scn                  # re-run one scenario
+///   pfair-hunt --shrink=fail.scn                  # minimize a failing .scn
+///   pfair-hunt --frontier=results/breakdown_frontier.json [--quick]
+///
+/// Hunt mode generates `count` seeded scenarios, runs each through the
+/// fault-aware PropertyRunner, and for every failure writes a
+/// self-contained repro directory under --artifacts:
+///
+///   fail-<seed>-<index>/scenario.scn   the generated scenario
+///   fail-<seed>-<index>/min.scn        auto-shrunk minimal reproduction
+///   fail-<seed>-<index>/flight.jsonl   flight-recorder ring at the failure
+///   fail-<seed>-<index>/repro.txt      the failure list + replay command
+///
+/// Exit status: 0 all scenarios passed, 1 failures found (artifacts
+/// written), 2 usage error.
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "harness/frontier.h"
+#include "harness/property_runner.h"
+#include "harness/scenario_gen.h"
+#include "harness/shrink.h"
+#include "util/cli.h"
+
+namespace {
+
+using pfr::harness::RunnerConfig;
+using pfr::harness::RunReport;
+
+/// Coarse failure class used to keep the shrinker minimizing *the same*
+/// failure (a candidate that fails differently -- e.g. stops building --
+/// is rejected, not adopted).
+std::string classify(const RunReport& report) {
+  if (report.ok()) return "";
+  const std::string& first = report.failures.front();
+  if (first.rfind("build failed", 0) == 0) return "build";
+  if (first.find("threw") != std::string::npos) return "throw";
+  if (first.find("verify:") != std::string::npos) return "verify";
+  if (first.find("validate-mode violations") != std::string::npos) {
+    return "violations";
+  }
+  if (first.find("drift bound") != std::string::npos) return "drift";
+  if (first.find("telemetry mismatch") != std::string::npos) {
+    return "telemetry";
+  }
+  if (first.find("digest mismatch") != std::string::npos) return "digest";
+  return "other";
+}
+
+int replay(const std::string& path) {
+  std::ifstream in{path};
+  if (!in) {
+    std::cerr << "cannot open " << path << "\n";
+    return 2;
+  }
+  const pfr::pfair::ScenarioSpec spec = pfr::pfair::parse_scenario(in, path);
+  const RunReport report = pfr::harness::run_scenario(spec);
+  std::cout << path << ": " << (report.cluster ? "cluster" : "engine")
+            << " slots=" << report.slots << " misses=" << report.misses
+            << " faults=" << report.faults
+            << " migrations=" << report.migrations << " digest=0x" << std::hex
+            << report.digest << std::dec << "\n";
+  for (const std::string& f : report.failures) {
+    std::cout << "  FAIL " << f << "\n";
+  }
+  if (report.ok()) std::cout << "  all properties held\n";
+  return report.ok() ? 0 : 1;
+}
+
+int shrink_file(const std::string& path, int max_probes) {
+  std::ifstream in{path};
+  if (!in) {
+    std::cerr << "cannot open " << path << "\n";
+    return 2;
+  }
+  const pfr::pfair::ScenarioSpec spec = pfr::pfair::parse_scenario(in, path);
+  const RunnerConfig probe_cfg;
+  const RunReport original = pfr::harness::run_scenario(spec, probe_cfg);
+  if (original.ok()) {
+    std::cerr << path << ": scenario passes; nothing to shrink\n";
+    return 2;
+  }
+  const std::string category = classify(original);
+  const auto fails = [&](const pfr::pfair::ScenarioSpec& candidate) {
+    return classify(pfr::harness::run_scenario(candidate, probe_cfg)) ==
+           category;
+  };
+  const pfr::harness::ShrinkResult result =
+      pfr::harness::shrink_scenario(spec, fails, max_probes);
+  std::cerr << "shrunk to " << result.spec.tasks.size() << " tasks, "
+            << result.spec.events.size() << " events, "
+            << result.spec.faults.size() << " faults, horizon "
+            << result.spec.horizon << " (" << result.probes << " probes, "
+            << result.rounds << " rounds)\n";
+  std::cout << result.text;
+  return 0;
+}
+
+int frontier(const std::string& path, bool quick) {
+  pfr::harness::FrontierConfig cfg;
+  if (quick) {
+    cfg.cluster_sizes = {1, 4};
+    cfg.search_iters = 5;
+    cfg.horizon = 64;
+  }
+  const pfr::harness::FrontierResult result = pfr::harness::explore_frontier(
+      cfg, [](const pfr::harness::FrontierCell& cell) {
+        std::cerr << cell.policy << " x " << cell.degradation << " x K="
+                  << cell.shards << (cell.faults ? " +faults" : "")
+                  << ": breakdown scale " << cell.breakdown_scale << " (util "
+                  << cell.breakdown_utilization << ", " << cell.trials
+                  << " trials)\n";
+      });
+  std::ofstream out{path};
+  if (!out) {
+    std::cerr << "cannot write " << path << "\n";
+    return 2;
+  }
+  pfr::harness::write_frontier_json(result, out);
+  std::cerr << result.cells.size() << " cells -> " << path << "\n";
+  return 0;
+}
+
+int hunt(std::uint64_t seed, std::int64_t count, const std::string& artifacts,
+         bool do_shrink, int max_probes) {
+  namespace fs = std::filesystem;
+  std::cerr << "hunting " << count << " scenarios from seed " << seed
+            << " (replay any failure with --seed=" << seed << ")\n";
+  std::int64_t failures = 0;
+  std::int64_t cluster_runs = 0;
+  for (std::int64_t i = 0; i < count; ++i) {
+    const pfr::harness::GeneratedScenario gen =
+        pfr::harness::generate_scenario(seed, static_cast<std::uint64_t>(i));
+    RunnerConfig cfg;
+    const RunReport report = pfr::harness::run_scenario(gen.spec, cfg);
+    if (report.cluster) ++cluster_runs;
+    if (report.ok()) {
+      if ((i + 1) % 250 == 0) {
+        std::cerr << "  " << (i + 1) << "/" << count << " ok (" << cluster_runs
+                  << " cluster)\n";
+      }
+      continue;
+    }
+    ++failures;
+    const fs::path dir =
+        fs::path{artifacts} /
+        ("fail-" + std::to_string(seed) + "-" + std::to_string(i));
+    fs::create_directories(dir);
+    std::ofstream{dir / "scenario.scn"} << gen.text;
+
+    const std::string category = classify(report);
+    std::cerr << "FAIL seed=" << seed << " index=" << i << " [" << category
+              << "] -> " << dir.string() << "\n";
+    for (const std::string& f : report.failures) {
+      std::cerr << "  " << f << "\n";
+    }
+
+    // Flight-recorder dump of the failing run.
+    RunnerConfig dump_cfg;
+    dump_cfg.flight_dump_path = (dir / "flight.jsonl").string();
+    (void)pfr::harness::run_scenario(gen.spec, dump_cfg);
+
+    std::string min_text = gen.text;
+    if (do_shrink) {
+      const auto fails = [&](const pfr::pfair::ScenarioSpec& candidate) {
+        return classify(pfr::harness::run_scenario(candidate, cfg)) ==
+               category;
+      };
+      try {
+        const pfr::harness::ShrinkResult min =
+            pfr::harness::shrink_scenario(gen.spec, fails, max_probes);
+        min_text = min.text;
+        std::cerr << "  shrunk to " << min.spec.tasks.size() << " tasks / "
+                  << min.spec.events.size() << " events / "
+                  << min.spec.faults.size() << " faults, horizon "
+                  << min.spec.horizon << "\n";
+      } catch (const std::exception& e) {
+        std::cerr << "  shrink failed: " << e.what() << "\n";
+      }
+    }
+    std::ofstream{dir / "min.scn"} << min_text;
+
+    std::ostringstream repro;
+    repro << "# pfair-hunt failure seed=" << seed << " index=" << i << " ["
+          << category << "]\n";
+    for (const std::string& f : report.failures) repro << "# " << f << "\n";
+    repro << "pfair-hunt --replay=" << (dir / "min.scn").string() << "\n";
+    std::ofstream{dir / "repro.txt"} << repro.str();
+  }
+  std::cerr << count << " scenarios, " << failures << " failures ("
+            << cluster_runs << " cluster runs)\n";
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const pfr::CliArgs cli{argc, argv};
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  const std::int64_t count = cli.get_int("count", 100);
+  const std::string artifacts = cli.get_string("artifacts", "hunt-artifacts");
+  const std::string replay_file = cli.get_string("replay", "");
+  const std::string shrink_target = cli.get_string("shrink", "");
+  const std::string frontier_path = cli.get_string("frontier", "");
+  const bool quick = cli.get_bool("quick");
+  const bool no_shrink = cli.get_bool("no-shrink");
+  const int max_probes = static_cast<int>(cli.get_int("max-probes", 4000));
+  if (cli.error()) {
+    std::cerr << "argument error: " << *cli.error() << "\n";
+    return 2;
+  }
+  if (!cli.unknown_flags().empty()) {
+    std::cerr << "unknown flag: --" << cli.unknown_flags().front() << "\n";
+    return 2;
+  }
+
+  try {
+    if (!replay_file.empty()) return replay(replay_file);
+    if (!shrink_target.empty()) return shrink_file(shrink_target, max_probes);
+    if (!frontier_path.empty()) return frontier(frontier_path, quick);
+    return hunt(seed, count, artifacts, !no_shrink, max_probes);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
+  }
+}

@@ -1,0 +1,253 @@
+#include "harness/property_runner.h"
+
+#include <exception>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "cluster/scenario.h"
+#include "obs/flight_recorder.h"
+#include "obs/telemetry.h"
+#include "pfair/verify.h"
+
+namespace pfr::harness {
+namespace {
+
+using pfair::Engine;
+using pfair::EngineStats;
+using pfair::ReweightPolicy;
+using pfair::ScenarioSpec;
+using pfair::Slot;
+using pfair::TaskId;
+using pfair::TaskState;
+using obs::TelCounter;
+
+std::int64_t fault_total(const EngineStats& s) {
+  return static_cast<std::int64_t>(s.proc_crashes) + s.proc_recoveries +
+         s.overruns + s.dropped_requests + s.delayed_requests;
+}
+
+/// Thm. 5 on a finished engine: each generation boundary may add at most
+/// 2 of |drift| per folded initiation under PD2-OI.  Tasks with IS
+/// separations are excused: I_PS keeps accruing wt through a separation
+/// gap while I_CSW follows the delayed releases, so the drift sample picks
+/// up wt x delay of displacement the theorem does not attribute to the
+/// reweighting event (the hunt found this scoping the hard way).
+void check_drift_bound(const ScenarioSpec& spec, const Engine& eng,
+                       std::vector<std::string>& out) {
+  std::unordered_set<std::string> separated;
+  for (const ScenarioSpec::TaskSpec& t : spec.tasks) {
+    if (!t.separations.empty()) separated.insert(t.name);
+  }
+  for (std::size_t i = 0; i < eng.task_count(); ++i) {
+    const TaskState& task = eng.task(static_cast<TaskId>(i));
+    if (separated.count(task.name) > 0) continue;
+    Rational prev;
+    for (const auto& point : task.drift_history) {
+      const Rational delta = (point.value - prev).abs();
+      const int folded = point.events_folded == 0 ? 1 : point.events_folded;
+      if (delta > Rational{2 * folded}) {
+        out.push_back("Thm-5 drift bound: task '" + task.name + "' at slot " +
+                      std::to_string(point.at) + " jumped " +
+                      delta.to_string() + " > 2*" + std::to_string(folded));
+      }
+      prev = point.value;
+    }
+  }
+}
+
+void check_engine_telemetry(const Engine& eng, const obs::TelemetryShard& tel,
+                            std::vector<std::string>& out) {
+  const EngineStats& s = eng.stats();
+  const auto expect = [&out](const char* what, std::int64_t engine_side,
+                             std::int64_t tel_side) {
+    if (engine_side != tel_side) {
+      out.push_back(std::string("telemetry mismatch: ") + what + " engine=" +
+                    std::to_string(engine_side) +
+                    " telemetry=" + std::to_string(tel_side));
+    }
+  };
+  expect("slots", s.slots, tel.counter(TelCounter::kSlots));
+  expect("dispatched", s.dispatched, tel.counter(TelCounter::kDispatched));
+  expect("halts", s.halts, tel.counter(TelCounter::kHalts));
+  expect("initiations", s.initiations, tel.counter(TelCounter::kInitiations));
+  expect("enactments", s.enactments, tel.counter(TelCounter::kEnactments));
+  expect("misses", static_cast<std::int64_t>(eng.misses().size()),
+         tel.counter(TelCounter::kMisses));
+  expect("disruptions", s.disruptions,
+         tel.counter(TelCounter::kDisruptions));
+  expect("faults", fault_total(s), tel.counter(TelCounter::kFaults));
+}
+
+/// Re-runs a failing scenario with a record-only FlightRecorder attached
+/// and dumps the ring.  Best effort: a repro run that cannot be built (or
+/// throws mid-flight) still dumps whatever the ring caught.
+bool dump_flight(const ScenarioSpec& spec, const RunnerConfig& cfg) {
+  obs::FlightRecorderConfig fr_cfg;
+  fr_cfg.capacity = cfg.flight_capacity;
+  fr_cfg.max_dumps = 0;  // record-only; we dump manually below
+  const bool is_cluster = !spec.shard_processors.empty();
+  obs::FlightRecorder recorder{
+      fr_cfg, is_cluster ? static_cast<int>(spec.shard_processors.size()) : 1};
+  try {
+    if (is_cluster) {
+      auto built = cluster::build_cluster_scenario(spec);
+      built.cluster->set_event_sink(&recorder);
+      built.cluster->run_until(built.horizon);
+    } else {
+      auto built = pfair::build_scenario(spec);
+      built.engine->set_event_sink(&recorder);
+      built.engine->run_until(built.horizon);
+    }
+  } catch (const std::exception&) {
+    // The ring holds the events up to the throw -- exactly what we want.
+  }
+  return recorder.dump_to_file(cfg.flight_dump_path);
+}
+
+RunReport run_single(const ScenarioSpec& spec, const RunnerConfig& cfg) {
+  RunReport report;
+  obs::TelemetryShard tel;
+  pfair::BuiltScenario built;
+  try {
+    built = pfair::build_scenario(spec);
+  } catch (const std::exception& e) {
+    report.failures.push_back(std::string("build failed: ") + e.what());
+    return report;
+  }
+  Engine& eng = *built.engine;
+  if (cfg.check_telemetry) eng.set_telemetry(&tel);
+  try {
+    eng.run_until(built.horizon);
+  } catch (const std::exception& e) {
+    report.failures.push_back(std::string("engine threw at slot ") +
+                              std::to_string(eng.now()) + ": " + e.what());
+  }
+  report.slots = eng.now();
+  report.misses = static_cast<std::int64_t>(eng.misses().size());
+  report.violations = eng.stats().violations;
+  report.faults = fault_total(eng.stats());
+  report.digest = pfair::schedule_digest(eng);
+
+  for (const pfair::Violation& v : pfair::verify_schedule(eng)) {
+    report.failures.push_back("verify: " + v.what);
+  }
+  // A validate-mode check that failed under the trace/quarantine policies
+  // is as much a finding as a throw -- the engine broke an invariant and
+  // elected to keep running.
+  if (report.violations > 0) {
+    report.failures.push_back("validate-mode violations recorded: " +
+                              std::to_string(report.violations));
+  }
+  if (cfg.check_drift_bound &&
+      spec.config.policy == ReweightPolicy::kOmissionIdeal) {
+    check_drift_bound(spec, eng, report.failures);
+  }
+  if (cfg.check_telemetry) check_engine_telemetry(eng, tel, report.failures);
+
+  if (cfg.check_cross_mode_digest && report.failures.empty()) {
+    // The incremental ready queue must be bit-identical to the reference
+    // scan; a divergence is a dispatch fast-path bug.
+    ScenarioSpec alt = spec;
+    alt.config.dispatch_mode = pfair::DispatchMode::kScan;
+    try {
+      auto ref = pfair::build_scenario(alt);
+      ref.engine->run_until(ref.horizon);
+      const std::uint64_t ref_digest = pfair::schedule_digest(*ref.engine);
+      if (ref_digest != report.digest) {
+        report.failures.push_back(
+            "dispatch-mode digest mismatch: incremental=" +
+            std::to_string(report.digest) +
+            " scan=" + std::to_string(ref_digest));
+      }
+    } catch (const std::exception& e) {
+      report.failures.push_back(
+          std::string("scan-mode reference run threw: ") + e.what());
+    }
+  }
+  return report;
+}
+
+RunReport run_cluster(const ScenarioSpec& spec, const RunnerConfig& cfg) {
+  RunReport report;
+  report.cluster = true;
+  const int shards = static_cast<int>(spec.shard_processors.size());
+  std::vector<std::size_t> threads = cfg.thread_counts;
+  if (threads.empty()) threads.push_back(1);
+
+  bool first = true;
+  for (const std::size_t t : threads) {
+    obs::Telemetry tel{shards};
+    cluster::BuiltClusterScenario built;
+    try {
+      built = cluster::build_cluster_scenario(spec, t);
+    } catch (const std::exception& e) {
+      report.failures.push_back(std::string("build failed (threads=") +
+                                std::to_string(t) + "): " + e.what());
+      return report;
+    }
+    cluster::Cluster& cl = *built.cluster;
+    if (cfg.check_telemetry) cl.set_telemetry(&tel);
+    try {
+      cl.run_until(built.horizon);
+    } catch (const std::exception& e) {
+      report.failures.push_back(std::string("cluster threw at slot ") +
+                                std::to_string(cl.now()) + " (threads=" +
+                                std::to_string(t) + "): " + e.what());
+      return report;
+    }
+    const std::uint64_t digest = cl.schedule_digest();
+    if (first) {
+      report.digest = digest;
+      report.slots = cl.now();
+      report.migrations = cl.stats().migrations_completed;
+      for (int k = 0; k < shards; ++k) {
+        const Engine& eng = cl.shard(k);
+        report.misses += static_cast<std::int64_t>(eng.misses().size());
+        report.violations += eng.stats().violations;
+        report.faults += fault_total(eng.stats());
+      }
+      for (const pfair::Violation& v : cl.verify()) {
+        report.failures.push_back("verify: " + v.what);
+      }
+      if (report.violations > 0) {
+        report.failures.push_back("validate-mode violations recorded: " +
+                                  std::to_string(report.violations));
+      }
+      if (cfg.check_telemetry) {
+        // Shard k's engine publishes into telemetry shard k; each pair
+        // must agree exactly (the seqlock is quiescent after run_until).
+        for (int k = 0; k < shards; ++k) {
+          std::vector<std::string> mismatches;
+          check_engine_telemetry(cl.shard(k), tel.shard(k), mismatches);
+          for (std::string& m : mismatches) {
+            report.failures.push_back("shard" + std::to_string(k) + ": " +
+                                      std::move(m));
+          }
+        }
+      }
+    } else if (digest != report.digest) {
+      report.failures.push_back(
+          "thread-count digest mismatch: threads=" +
+          std::to_string(threads.front()) + " -> " +
+          std::to_string(report.digest) + ", threads=" + std::to_string(t) +
+          " -> " + std::to_string(digest));
+    }
+    first = false;
+    if (!report.failures.empty()) break;
+  }
+  return report;
+}
+
+}  // namespace
+
+RunReport run_scenario(const ScenarioSpec& spec, const RunnerConfig& cfg) {
+  RunReport report = spec.shard_processors.empty() ? run_single(spec, cfg)
+                                                   : run_cluster(spec, cfg);
+  if (!report.ok() && !cfg.flight_dump_path.empty()) {
+    report.flight_dumped = dump_flight(spec, cfg);
+  }
+  return report;
+}
+
+}  // namespace pfr::harness

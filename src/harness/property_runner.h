@@ -1,0 +1,70 @@
+/// \file property_runner.h
+/// \brief Executes one scenario through the Engine/Cluster and checks the
+/// fault-aware correctness properties the chaos harness hunts with.
+///
+/// The runner is deliberately oracle-first: it trusts the independent
+/// post-hoc verifier (pfair/verify.h), which already knows when a property
+/// is suspended (Theorem 2 only binds policed PD2-OI runs with no capacity
+/// fault), and layers on the checks the verifier cannot see:
+///
+///   * per-theorem drift bounds -- Thm. 5's per-event |drift| <= 2 (scaled
+///     by folded initiations) on pure single-engine PD2-OI runs, excusing
+///     tasks with IS separations (their drift samples fold in separation
+///     displacement the theorem does not cover);
+///   * digest determinism -- single engine: DispatchMode::kScan vs the
+///     incremental fast path must be bit-identical; cluster: the schedule
+///     digest must agree across worker-thread counts (default 1/2/8);
+///   * telemetry-counter consistency -- the live TelemetryShard counters
+///     must equal the engine's own EngineStats at end of run;
+///   * liveness of the run itself -- an engine that throws (validate-mode
+///     invariant, reweighting a heavy task, ...) is a finding, not a crash
+///     of the harness.
+///
+/// On any failure the runner can re-execute the scenario with a
+/// FlightRecorder attached and dump the last-N-events ring as JSONL next to
+/// the failing `.scn`, so every hunt artifact is a self-contained repro.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "pfair/scenario_io.h"
+
+namespace pfr::harness {
+
+struct RunnerConfig {
+  /// Single engine: also run under DispatchMode::kScan and compare digests.
+  bool check_cross_mode_digest{true};
+  /// Cluster: worker-thread counts whose digests must all agree.
+  std::vector<std::size_t> thread_counts{1, 2, 8};
+  bool check_telemetry{true};
+  bool check_drift_bound{true};
+  /// When non-empty and the run fails, re-run with a FlightRecorder and
+  /// dump the ring here (JSONL, pfair-trace compatible).
+  std::string flight_dump_path;
+  /// Ring capacity for the failure dump.
+  std::size_t flight_capacity{512};
+};
+
+/// Outcome of one scenario execution.
+struct RunReport {
+  std::vector<std::string> failures;  ///< empty = all properties held
+  std::uint64_t digest{0};            ///< schedule digest of the primary run
+  pfair::Slot slots{0};
+  std::int64_t misses{0};
+  int violations{0};
+  std::int64_t faults{0};             ///< injected faults applied
+  std::int64_t migrations{0};         ///< cluster: completed migrations
+  bool cluster{false};
+  bool flight_dumped{false};
+  [[nodiscard]] bool ok() const noexcept { return failures.empty(); }
+};
+
+/// Runs `spec` (single engine or cluster, decided by its `shard` lines)
+/// and checks every applicable property.  Never throws on a *scenario*
+/// failure -- those land in RunReport::failures.
+[[nodiscard]] RunReport run_scenario(const pfair::ScenarioSpec& spec,
+                                     const RunnerConfig& cfg = {});
+
+}  // namespace pfr::harness

@@ -1,0 +1,289 @@
+#include "harness/scenario_gen.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "cluster/scenario.h"
+#include "pfair/weight.h"
+#include "util/rng.h"
+
+namespace pfr::harness {
+namespace {
+
+using pfair::DegradationMode;
+using pfair::PolicingMode;
+using pfair::ReweightPolicy;
+using pfair::ScenarioSpec;
+using pfair::Slot;
+using pfair::ViolationPolicy;
+
+/// Weight-grid denominators the generator draws from; mixing them stresses
+/// the rational window math with non-trivial gcd structure.
+constexpr std::int64_t kGridDens[] = {12, 20, 24, 60, 120};
+
+void pick_policy(Xoshiro256& rng, pfair::EngineConfig& cfg) {
+  switch (rng.uniform_int(0, 9)) {
+    case 0:
+    case 1:
+    case 2:
+    case 3:
+      cfg.policy = ReweightPolicy::kOmissionIdeal;
+      break;
+    case 4:
+    case 5:
+      cfg.policy = ReweightPolicy::kLeaveJoin;
+      break;
+    case 6:
+    case 7: {
+      cfg.policy = ReweightPolicy::kHybridMagnitude;
+      constexpr double kRatios[] = {1.5, 2.0, 3.0};
+      cfg.hybrid_magnitude_threshold =
+          kRatios[rng.uniform_int(0, 2)];
+      break;
+    }
+    default:
+      cfg.policy = ReweightPolicy::kHybridBudget;
+      cfg.hybrid_budget_per_slot = static_cast<int>(rng.uniform_int(0, 3));
+      break;
+  }
+}
+
+/// Draws a light weight on the 1/den grid, capped by `budget`; zero
+/// numerator means the budget is exhausted.
+Rational draw_light_weight(Xoshiro256& rng, std::int64_t den,
+                           const Rational& budget) {
+  Rational w{rng.uniform_int(1, den / 2), den};
+  if (w > budget) {
+    // Largest grid weight still within budget.
+    const std::int64_t num = (budget.num() * den) / budget.den();
+    if (num < 1) return Rational{0};
+    w = Rational{std::min(num, den / 2), den};
+  }
+  return w;
+}
+
+}  // namespace
+
+GeneratedScenario generate_scenario(std::uint64_t seed, std::uint64_t index,
+                                    const GenConfig& cfg) {
+  Xoshiro256 rng = Xoshiro256::for_stream(seed, index);
+  ScenarioSpec spec;
+
+  const bool cluster = cfg.allow_cluster && rng.bernoulli(0.45);
+  const int shards =
+      cluster ? static_cast<int>(rng.uniform_int(2, 4)) : 1;
+  std::vector<int> procs;
+  int total_procs = 0;
+  for (int k = 0; k < shards; ++k) {
+    procs.push_back(
+        static_cast<int>(rng.uniform_int(1, cfg.max_processors)));
+    total_procs += procs.back();
+  }
+  if (cluster) {
+    spec.shard_processors = procs;
+    constexpr const char* kPlacements[] = {"first-fit", "worst-fit", "wwta"};
+    spec.placement = kPlacements[rng.uniform_int(0, 2)];
+    if (rng.bernoulli(0.35)) {
+      spec.rebalance.enabled = true;
+      constexpr Slot kPeriods[] = {16, 32, 64};
+      spec.rebalance.period = kPeriods[rng.uniform_int(0, 2)];
+      spec.rebalance.threshold =
+          rng.bernoulli(0.5) ? Rational{1, 4} : Rational{1, 8};
+      spec.rebalance.max_moves = static_cast<int>(rng.uniform_int(1, 4));
+    }
+  } else {
+    spec.config.processors = procs[0];
+  }
+
+  pick_policy(rng, spec.config);
+  spec.config.policing =
+      rng.bernoulli(0.6) ? PolicingMode::kClamp : PolicingMode::kReject;
+  switch (rng.uniform_int(0, 19)) {
+    case 0:
+    case 1:
+    case 2:
+      spec.config.violations = ViolationPolicy::kQuarantine;
+      break;
+    case 3:
+    case 4:
+    case 5:
+    case 6:
+    case 7:
+    case 8:
+    case 9:
+      spec.config.violations = ViolationPolicy::kTrace;
+      break;
+    default:
+      spec.config.violations = ViolationPolicy::kThrow;
+      break;
+  }
+  constexpr DegradationMode kModes[] = {
+      DegradationMode::kNone, DegradationMode::kCompress,
+      DegradationMode::kShed, DegradationMode::kFreeze};
+  spec.config.degradation = kModes[rng.uniform_int(0, 3)];
+  spec.config.validate = true;
+  spec.horizon = rng.uniform_int(cfg.min_horizon, cfg.max_horizon);
+
+  // ----- tasks -----
+  // Single engine: fit within ~0.9 M.  Cluster: stay under the pigeonhole
+  // bound sum(M_k) - K/2, below which no placement policy can reject a
+  // light task, so generated scenarios always build.
+  const std::int64_t den = kGridDens[rng.uniform_int(
+      0, static_cast<std::int64_t>(std::size(kGridDens)) - 1)];
+  Rational budget =
+      cluster ? (Rational{total_procs} - Rational{shards, 2}) * rat(9, 10)
+              : Rational{total_procs} * rat(9, 10);
+  const bool heavy = cfg.allow_heavy && !cluster && rng.bernoulli(0.15);
+  spec.config.allow_heavy = heavy;
+  const int want_tasks =
+      static_cast<int>(rng.uniform_int(cfg.min_tasks, cfg.max_tasks));
+  std::vector<bool> is_heavy;
+  std::vector<bool> leaves;
+  for (int i = 0; i < want_tasks; ++i) {
+    ScenarioSpec::TaskSpec t;
+    t.name = "t" + std::to_string(i);
+    bool this_heavy = false;
+    if (heavy && i == 0 && budget > Rational{1}) {
+      // One static heavy task; never reweighted, migrated, or left.
+      t.weight = Rational{rng.uniform_int(den / 2 + 1, den), den};
+      this_heavy = true;
+    } else {
+      t.weight = draw_light_weight(rng, den, budget);
+      if (t.weight.is_zero()) break;  // budget exhausted
+    }
+    budget -= t.weight;
+    if (rng.bernoulli(0.3) && spec.horizon > 4) {
+      t.join = rng.uniform_int(1, spec.horizon / 2);
+    }
+    if (rng.bernoulli(0.4)) t.rank = static_cast<int>(rng.uniform_int(0, 3));
+    if (rng.bernoulli(0.1)) {
+      t.separations.emplace_back(rng.uniform_int(1, 4),
+                                 rng.uniform_int(1, 8));
+    }
+    if (rng.bernoulli(0.08)) {
+      t.absences.push_back(rng.uniform_int(1, 6));
+    }
+    spec.tasks.push_back(std::move(t));
+    is_heavy.push_back(this_heavy);
+    leaves.push_back(false);
+  }
+
+  const auto n = static_cast<std::int64_t>(spec.tasks.size());
+  const Slot h = spec.horizon;
+
+  // ----- reweight storm + leaves (admission pressure) -----
+  const bool storm = rng.bernoulli(0.25);
+  for (std::int64_t i = 0; i < n; ++i) {
+    const ScenarioSpec::TaskSpec& t = spec.tasks[static_cast<std::size_t>(i)];
+    if (is_heavy[static_cast<std::size_t>(i)] || h <= t.join + 2) continue;
+    std::int64_t events = rng.uniform_int(0, 3);
+    if (storm) events *= 3;
+    for (std::int64_t e = 0; e < events; ++e) {
+      ScenarioSpec::EventSpec ev;
+      ev.task = t.name;
+      ev.weight = Rational{rng.uniform_int(1, den / 2), den};
+      ev.at = rng.uniform_int(t.join + 1, h - 1);
+      spec.events.push_back(std::move(ev));
+    }
+    if (rng.bernoulli(0.12)) {
+      ScenarioSpec::EventSpec ev;
+      ev.task = t.name;
+      ev.is_leave = true;
+      ev.at = rng.uniform_int(std::max<Slot>(t.join + 1, h / 2), h - 1);
+      spec.events.push_back(std::move(ev));
+      leaves[static_cast<std::size_t>(i)] = true;
+    }
+  }
+
+  // ----- fault plan -----
+  if (cfg.allow_faults && rng.bernoulli(0.6) && h > 8) {
+    for (int k = 0; k < shards; ++k) {
+      const int m = procs[static_cast<std::size_t>(k)];
+      // Crash/recover pairs on distinct high cpus; cpu 0 never crashes, so
+      // every shard keeps at least one processor alive.
+      const std::int64_t pairs = rng.uniform_int(0, std::min(2, m - 1));
+      for (std::int64_t p = 0; p < pairs; ++p) {
+        const Slot at = rng.uniform_int(1, h - 2);
+        ScenarioSpec::FaultSpec crash;
+        crash.kind = pfair::FaultKind::kProcCrash;
+        crash.processor = m - 1 - static_cast<int>(p);
+        crash.at = at;
+        crash.shard = cluster ? k : -1;
+        spec.faults.push_back(crash);
+        ScenarioSpec::FaultSpec rec = crash;
+        rec.kind = pfair::FaultKind::kProcRecover;
+        rec.at = at + rng.uniform_int(4, 48);  // may land past the horizon
+        spec.faults.push_back(rec);
+      }
+      const std::int64_t overruns = rng.uniform_int(0, 2);
+      for (std::int64_t o = 0; o < overruns; ++o) {
+        ScenarioSpec::FaultSpec f;
+        f.kind = pfair::FaultKind::kOverrun;
+        // Prefer a cpu no crash pair touches (overrunning a down processor
+        // is legal but teaches nothing).
+        f.processor = static_cast<int>(
+            rng.uniform_int(0, std::max<std::int64_t>(0, m - 1 - pairs)));
+        f.at = rng.uniform_int(1, h - 1);
+        f.shard = cluster ? k : -1;
+        spec.faults.push_back(f);
+      }
+    }
+    // A lossy control plane: drop or delay some task's requests.
+    const std::int64_t request_faults = rng.uniform_int(0, 2);
+    for (std::int64_t i = 0; i < request_faults && n > 0; ++i) {
+      const auto victim =
+          static_cast<std::size_t>(rng.uniform_int(0, n - 1));
+      if (is_heavy[victim]) continue;
+      ScenarioSpec::FaultSpec f;
+      f.task = spec.tasks[victim].name;
+      f.at = rng.uniform_int(1, h - 1);
+      if (rng.bernoulli(0.5)) {
+        f.kind = pfair::FaultKind::kDropRequest;
+      } else {
+        f.kind = pfair::FaultKind::kDelayRequest;
+        f.delay = rng.uniform_int(1, 8);
+      }
+      spec.faults.push_back(std::move(f));
+    }
+  }
+
+  // ----- scripted migrations (cluster only) -----
+  if (cluster && n > 1 && h > 8) {
+    // Placement must be probed to pick a *different* target shard:
+    // build the cluster exactly as build_cluster_scenario will (same admit
+    // order and parameters decide the same shards) and read it back.
+    const std::int64_t moves = rng.uniform_int(0, n / 4);
+    if (moves > 0) {
+      const cluster::BuiltClusterScenario probe =
+          cluster::build_cluster_scenario(spec);
+      std::vector<bool> migrated(static_cast<std::size_t>(n), false);
+      for (std::int64_t mv = 0; mv < moves; ++mv) {
+        const auto i = static_cast<std::size_t>(rng.uniform_int(0, n - 1));
+        if (migrated[i] || leaves[i]) continue;
+        const ScenarioSpec::TaskSpec& t = spec.tasks[i];
+        const auto ref = probe.cluster->find(t.name);
+        if (!ref) continue;
+        ScenarioSpec::MigrateSpec mig;
+        mig.task = t.name;
+        mig.to_shard = static_cast<int>(rng.uniform_int(0, shards - 1));
+        if (mig.to_shard == ref->shard) {
+          mig.to_shard = (mig.to_shard + 1) % shards;
+        }
+        mig.at = rng.uniform_int(t.join + 1, h - 1);
+        spec.migrations.push_back(std::move(mig));
+        migrated[i] = true;
+      }
+    }
+  }
+
+  GeneratedScenario out;
+  out.seed = seed;
+  out.index = index;
+  out.text = pfair::render_scenario(spec);
+  out.spec = pfair::parse_scenario_string(
+      out.text, "gen-" + std::to_string(seed) + "-" + std::to_string(index));
+  return out;
+}
+
+}  // namespace pfr::harness

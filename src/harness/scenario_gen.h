@@ -1,0 +1,68 @@
+/// \file scenario_gen.h
+/// \brief Seeded generation of valid-by-construction randomized cluster
+/// scenarios.
+///
+/// ScenarioGen is the front half of the chaos harness: from a (seed, index)
+/// pair it derives an independent xoshiro256++ stream and emits one
+/// scenario sweeping the whole feature cross-product -- reweighting policy
+/// (OI / LJ / both hybrids), policing, fault plans (crash/recover pairs,
+/// quantum overruns, dropped and delayed requests), degradation modes
+/// (compress / shed / freeze), admission pressure (late joins, reweight
+/// storms near capacity), and, for cluster scenarios, shards, placement,
+/// scripted migrations, and the rebalancer.
+///
+/// Every scenario is produced *as grammar text* (render_scenario over a
+/// constructed ScenarioSpec) and then re-parsed, so each artifact is a
+/// replayable `.scn` file and generator validity is structural: whatever
+/// comes out of generate_scenario() parses cleanly and round-trips through
+/// the scenario grammar.
+///
+/// Validity by construction (the generator's contract with PropertyRunner):
+///   * total nominal weight fits the platform (single engine: <= ~0.9 M;
+///     cluster: below the pigeonhole bound sum(M_k) - K/2, so placement can
+///     never reject a light task);
+///   * heavy tasks appear only in single-engine scenarios and never receive
+///     reweight / leave / migrate events (the paper defers heavy
+///     reweighting);
+///   * crash faults never take a shard's last processor down concurrently,
+///     and every crash gets a matching recover attempt (possibly past the
+///     horizon);
+///   * policing is always clamp or reject -- `policing off` is reserved for
+///     deliberate-overload experiments (the breakdown frontier).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "pfair/scenario_io.h"
+
+namespace pfr::harness {
+
+/// Knobs for the scenario space; the defaults are the chaos-hunt envelope.
+struct GenConfig {
+  int min_tasks{2};
+  int max_tasks{24};
+  pfair::Slot min_horizon{32};
+  pfair::Slot max_horizon{192};
+  /// Per-engine (or per-shard) processor cap.
+  int max_processors{8};
+  bool allow_cluster{true};
+  bool allow_faults{true};
+  bool allow_heavy{true};
+};
+
+/// One generated scenario: the replayable text artifact and its parse.
+struct GeneratedScenario {
+  std::string text;           ///< canonical `.scn` text (render_scenario)
+  pfair::ScenarioSpec spec;   ///< parse of `text`
+  std::uint64_t seed{0};
+  std::uint64_t index{0};
+};
+
+/// Generates scenario `index` of stream `seed`.  Deterministic: the same
+/// (seed, index, cfg) yields byte-identical text on every machine.
+[[nodiscard]] GeneratedScenario generate_scenario(std::uint64_t seed,
+                                                  std::uint64_t index,
+                                                  const GenConfig& cfg = {});
+
+}  // namespace pfr::harness

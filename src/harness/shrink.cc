@@ -1,0 +1,200 @@
+#include "harness/shrink.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+namespace pfr::harness {
+namespace {
+
+using pfair::ScenarioSpec;
+using pfair::Slot;
+
+/// Shared probe state: the budget and the current best (still-failing)
+/// spec every pass mutates.
+struct Shrinker {
+  ScenarioSpec best;
+  const FailPredicate& fails;
+  int max_probes;
+  int probes{0};
+
+  /// Tests a candidate; on still-failing, adopts it as the new best.
+  bool accept(ScenarioSpec candidate) {
+    if (probes >= max_probes) return false;
+    ++probes;
+    bool failing = false;
+    try {
+      failing = fails(candidate);
+    } catch (const std::exception&) {
+      // A predicate that throws on a malformed candidate just rejects it.
+      failing = false;
+    }
+    if (failing) best = std::move(candidate);
+    return failing;
+  }
+
+  [[nodiscard]] bool exhausted() const { return probes >= max_probes; }
+
+  /// ddmin-style chunked removal over best.*member: halves first, then
+  /// singles.  Returns true if anything was removed.
+  template <typename T>
+  bool reduce(std::vector<T> ScenarioSpec::* member) {
+    bool any = false;
+    for (std::size_t chunk = std::max<std::size_t>(
+             (best.*member).size() / 2, 1);
+         ; chunk /= 2) {
+      std::size_t i = 0;
+      while (i < (best.*member).size() && !exhausted()) {
+        ScenarioSpec candidate = best;
+        auto& vec = candidate.*member;
+        const std::size_t end = std::min(i + chunk, vec.size());
+        vec.erase(vec.begin() + static_cast<std::ptrdiff_t>(i),
+                  vec.begin() + static_cast<std::ptrdiff_t>(end));
+        if (accept(std::move(candidate))) {
+          any = true;  // same i now names the next chunk
+        } else {
+          i += chunk;
+        }
+      }
+      if (chunk == 1) break;
+    }
+    return any;
+  }
+};
+
+/// Removes the named tasks and every directive referencing them.
+ScenarioSpec without_tasks(const ScenarioSpec& spec,
+                           const std::unordered_set<std::string>& names) {
+  ScenarioSpec out = spec;
+  std::erase_if(out.tasks, [&](const ScenarioSpec::TaskSpec& t) {
+    return names.count(t.name) > 0;
+  });
+  std::erase_if(out.events, [&](const ScenarioSpec::EventSpec& e) {
+    return names.count(e.task) > 0;
+  });
+  std::erase_if(out.faults, [&](const ScenarioSpec::FaultSpec& f) {
+    return !f.task.empty() && names.count(f.task) > 0;
+  });
+  std::erase_if(out.migrations, [&](const ScenarioSpec::MigrateSpec& m) {
+    return names.count(m.task) > 0;
+  });
+  return out;
+}
+
+bool reduce_tasks(Shrinker& sh) {
+  bool any = false;
+  for (std::size_t chunk =
+           std::max<std::size_t>(sh.best.tasks.size() / 2, 1);
+       ; chunk /= 2) {
+    std::size_t i = 0;
+    while (i < sh.best.tasks.size() && !sh.exhausted()) {
+      std::unordered_set<std::string> names;
+      const std::size_t end = std::min(i + chunk, sh.best.tasks.size());
+      for (std::size_t j = i; j < end; ++j) {
+        names.insert(sh.best.tasks[j].name);
+      }
+      if (sh.accept(without_tasks(sh.best, names))) {
+        any = true;
+      } else {
+        i += chunk;
+      }
+    }
+    if (chunk == 1) break;
+  }
+  return any;
+}
+
+/// Clears per-task decoration (separations, absences, rank, late join)
+/// one field at a time; each removal must preserve the failure.
+bool simplify_tasks(Shrinker& sh) {
+  bool any = false;
+  for (std::size_t i = 0; i < sh.best.tasks.size() && !sh.exhausted(); ++i) {
+    const auto try_edit = [&](auto edit) {
+      ScenarioSpec candidate = sh.best;
+      edit(candidate.tasks[i]);
+      if (sh.accept(std::move(candidate))) any = true;
+    };
+    if (!sh.best.tasks[i].separations.empty()) {
+      try_edit([](ScenarioSpec::TaskSpec& t) { t.separations.clear(); });
+    }
+    if (!sh.best.tasks[i].absences.empty()) {
+      try_edit([](ScenarioSpec::TaskSpec& t) { t.absences.clear(); });
+    }
+    if (sh.best.tasks[i].rank != 0) {
+      try_edit([](ScenarioSpec::TaskSpec& t) { t.rank = 0; });
+    }
+    if (sh.best.tasks[i].join != 0) {
+      try_edit([](ScenarioSpec::TaskSpec& t) { t.join = 0; });
+    }
+  }
+  return any;
+}
+
+bool simplify_config(Shrinker& sh) {
+  bool any = false;
+  if (sh.best.rebalance.enabled) {
+    ScenarioSpec candidate = sh.best;
+    candidate.rebalance = ScenarioSpec::RebalanceSpec{};
+    if (sh.accept(std::move(candidate))) any = true;
+  }
+  if (!sh.best.placement.empty()) {
+    ScenarioSpec candidate = sh.best;
+    candidate.placement.clear();
+    if (sh.accept(std::move(candidate))) any = true;
+  }
+  return any;
+}
+
+/// Binary search for the earliest still-failing horizon.  Best effort: a
+/// failure need not be monotone in the horizon, but in practice the first
+/// bad slot is, and a non-monotone miss just leaves the horizon larger.
+bool shrink_horizon(Shrinker& sh) {
+  Slot lo = 1;
+  Slot hi = sh.best.horizon;
+  bool any = false;
+  while (lo < hi && !sh.exhausted()) {
+    const Slot mid = lo + (hi - lo) / 2;
+    ScenarioSpec candidate = sh.best;
+    candidate.horizon = mid;
+    if (sh.accept(std::move(candidate))) {
+      hi = mid;
+      any = true;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return any;
+}
+
+}  // namespace
+
+ShrinkResult shrink_scenario(ScenarioSpec spec, const FailPredicate& fails,
+                             int max_probes) {
+  if (!fails(spec)) {
+    throw std::invalid_argument(
+        "shrink_scenario: the input scenario does not fail the predicate");
+  }
+  Shrinker sh{std::move(spec), fails, max_probes};
+
+  ShrinkResult result;
+  for (;;) {
+    bool progressed = false;
+    progressed |= sh.reduce(&ScenarioSpec::events);
+    progressed |= sh.reduce(&ScenarioSpec::faults);
+    progressed |= sh.reduce(&ScenarioSpec::migrations);
+    progressed |= reduce_tasks(sh);
+    progressed |= simplify_tasks(sh);
+    progressed |= simplify_config(sh);
+    progressed |= shrink_horizon(sh);
+    ++result.rounds;
+    if (!progressed || sh.exhausted()) break;
+  }
+  result.spec = std::move(sh.best);
+  result.text = pfair::render_scenario(result.spec);
+  result.probes = sh.probes;
+  return result;
+}
+
+}  // namespace pfr::harness

@@ -1,0 +1,45 @@
+/// \file shrink.h
+/// \brief Delta-debugging minimizer for failing scenarios.
+///
+/// Given a scenario and a predicate "does this still fail?", the shrinker
+/// greedily removes structure while the predicate keeps holding: events,
+/// faults, migrations, whole tasks (with every directive that references
+/// them), per-task decorations (separations, absences, ranks, late joins),
+/// the rebalancer, and finally the horizon (binary search for the earliest
+/// failing slot).  Chunked removal first (ddmin-style halves), then
+/// singles, looped to a fixed point, so the result cannot be shrunk
+/// further by any single pass.
+///
+/// Determinism: the pass order is fixed and the predicate is assumed pure,
+/// so the same (spec, predicate) always minimizes to the same scenario,
+/// and re-shrinking a minimized scenario returns it unchanged (idempotence
+/// -- both are tested).  The probe budget caps predicate invocations; on
+/// exhaustion the best spec so far is returned.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "pfair/scenario_io.h"
+
+namespace pfr::harness {
+
+/// True iff the candidate scenario still exhibits the failure being
+/// minimized.  Must be pure (same spec -> same verdict).
+using FailPredicate = std::function<bool(const pfair::ScenarioSpec&)>;
+
+struct ShrinkResult {
+  pfair::ScenarioSpec spec;  ///< smallest failing scenario found
+  std::string text;          ///< canonical render of `spec`
+  int rounds{0};             ///< fixed-point iterations
+  int probes{0};             ///< predicate invocations spent
+};
+
+/// Minimizes `spec` under `fails`.  Requires fails(spec) == true (throws
+/// std::invalid_argument otherwise -- minimizing a passing scenario is a
+/// caller bug).  `max_probes` bounds predicate calls.
+[[nodiscard]] ShrinkResult shrink_scenario(pfair::ScenarioSpec spec,
+                                           const FailPredicate& fails,
+                                           int max_probes = 4000);
+
+}  // namespace pfr::harness

@@ -6,17 +6,73 @@
 ///   pfair-trace --file=out.jsonl --kind=halt --print   # dump matching lines
 ///   pfair-trace --file=out.jsonl --from=100 --to=200 --print
 ///   pfair-trace --file=out.jsonl --shard=2       # one cluster shard only
+///   pfair-trace --repro=hunt-artifacts/fail-7-42 # pfair-hunt failure dir
 ///
 /// The summary reports per-task event counts, inter-enactment gaps, and the
 /// halt -> enactment latency distribution; cluster traces additionally get
 /// a per-shard event breakdown and the migrate_out -> migrate_in latency
 /// distribution.  See trace_analysis.h.
+///
+/// --repro reads a pfair-hunt failure directory: it prints the failure
+/// notes (repro.txt), the minimized scenario (min.scn, falling back to
+/// scenario.scn), and the flight-recorder dump's summary side by side, so
+/// one command turns a CI artifact into a readable incident report.
 #include <fstream>
 #include <iostream>
+#include <sstream>
+#include <string>
 #include <vector>
 
 #include "obs/trace_analysis.h"
 #include "util/cli.h"
+
+namespace {
+
+/// Renders a pfair-hunt failure directory.  Returns an exit status.
+int show_repro(const std::string& dir) {
+  using namespace pfr::obs;
+  const auto slurp = [](const std::string& path, std::string* out) {
+    std::ifstream in{path};
+    if (!in) return false;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    *out = buf.str();
+    return true;
+  };
+
+  std::string notes;
+  if (slurp(dir + "/repro.txt", &notes)) {
+    std::cout << "--- failure (" << dir << "/repro.txt) ---\n" << notes;
+  }
+
+  std::string scenario;
+  if (slurp(dir + "/min.scn", &scenario)) {
+    std::cout << "\n--- minimized scenario (" << dir << "/min.scn) ---\n"
+              << scenario;
+  } else if (slurp(dir + "/scenario.scn", &scenario)) {
+    std::cout << "\n--- scenario (" << dir << "/scenario.scn) ---\n"
+              << scenario;
+  } else {
+    std::cerr << dir << ": no min.scn or scenario.scn found\n";
+    return 1;
+  }
+
+  std::ifstream flight{dir + "/flight.jsonl"};
+  if (flight) {
+    std::string error;
+    const std::vector<ParsedEvent> events = read_jsonl_trace(flight, &error);
+    if (!error.empty()) {
+      std::cerr << dir << "/flight.jsonl: " << error << "\n";
+      return 1;
+    }
+    std::cout << "\n--- flight recorder (" << dir << "/flight.jsonl, "
+              << events.size() << " events) ---\n"
+              << render_trace_summary(summarize_trace(events));
+  }
+  return 0;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   using namespace pfr;
@@ -24,6 +80,7 @@ int main(int argc, char** argv) {
 
   const CliArgs cli{argc, argv};
   const std::string file = cli.get_string("file", "");
+  const std::string repro = cli.get_string("repro", "");
   const std::string task = cli.get_string("task", "");
   const std::string kind = cli.get_string("kind", "");
   const std::int64_t from = cli.get_int("from", 0);
@@ -38,10 +95,11 @@ int main(int argc, char** argv) {
     std::cerr << "unknown flag: --" << cli.unknown_flags().front() << "\n";
     return 2;
   }
+  if (!repro.empty()) return show_repro(repro);
   if (file.empty()) {
     std::cerr << "usage: pfair-trace --file=trace.jsonl [--task=NAME] "
                  "[--kind=KIND] [--from=SLOT] [--to=SLOT] [--shard=K] "
-                 "[--print]\n";
+                 "[--print] | pfair-trace --repro=FAIL_DIR\n";
     return 2;
   }
 

@@ -281,7 +281,12 @@ void Engine::degrade_compress(const Rational& capacity,
     degrade_factor_ = Rational{};
     return;
   }
-  degrade_factor_ = min(Rational{1}, budget / light);
+  // Round the compression factor down onto the weight grid: the compressed
+  // total stays <= capacity, and the factor's denominator stays bounded
+  // instead of compounding across crash/compress rounds until Rational
+  // overflows.
+  degrade_factor_ = quantize_weight_down(min(Rational{1}, budget / light));
+  if (degrade_factor_.is_zero()) return;  // budget below one grid quantum
   for (TaskState& task : tasks_) {
     if (!task.active_member(t) || task.leave_requested_at <= t) continue;
     if (task.nominal_wt > kMaxWeight) continue;  // not reweightable

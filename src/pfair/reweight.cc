@@ -460,6 +460,9 @@ Rational Engine::police(const TaskState& task, Rational target) {
   ++stats_.clamped_requests;
   Rational clamped = min(target, avail);
   clamped = min(clamped, kMaxWeight);
+  // avail is a capacity quotient; keep its denominator on the bounded grid
+  // (rounding down never grants more than the exact clamp would).
+  clamped = quantize_weight_down(clamped);
   if (clamped <= 0) {
     ++stats_.rejected_requests;
     trace_policing(obs::EventKind::kPolicingReject, target, Rational{});

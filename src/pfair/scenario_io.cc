@@ -356,7 +356,7 @@ class Parser {
     const std::string& kind = tok_[1].text;
     ScenarioSpec::FaultSpec f;
     if (kind == "crash" || kind == "recover" || kind == "overrun") {
-      expect_tokens(4, 4, "fault " + kind + " <cpu> at=<t>");
+      expect_tokens(4, 5, "fault " + kind + " <cpu> at=<t> [shard=<k>]");
       f.kind = kind == "crash"     ? FaultKind::kProcCrash
                : kind == "recover" ? FaultKind::kProcRecover
                                    : FaultKind::kOverrun;
@@ -365,6 +365,16 @@ class Parser {
       f.processor = static_cast<int>(cpu);
       f.at = parse_kv(tok_[3], "at");
       if (f.at < 0) fail(tok_[3], "fault time must be >= 0");
+      if (tok_.size() == 5) {
+        const std::int64_t shard = parse_kv(tok_[4], "shard");
+        if (shard < 0) fail(tok_[4], "shard index must be >= 0");
+        if (shard >= static_cast<std::int64_t>(spec_.shard_processors.size())) {
+          fail(tok_[4], "fault targets undeclared shard " +
+                            std::to_string(shard) +
+                            "; add 'shard <M>' lines first");
+        }
+        f.shard = static_cast<int>(shard);
+      }
     } else if (kind == "drop") {
       expect_tokens(4, 4, "fault drop <name> at=<t>");
       find_task(tok_[2]);
@@ -416,6 +426,95 @@ ScenarioSpec parse_scenario_string(const std::string& text,
   return parse_scenario(in, std::move(filename));
 }
 
+std::string render_scenario(const ScenarioSpec& spec) {
+  std::ostringstream out;
+  const EngineConfig& c = spec.config;
+  if (spec.shard_processors.empty()) {
+    out << "processors " << c.processors << "\n";
+  }
+  out << "policy ";
+  switch (c.policy) {
+    case ReweightPolicy::kOmissionIdeal:
+      out << "oi";
+      break;
+    case ReweightPolicy::kLeaveJoin:
+      out << "lj";
+      break;
+    case ReweightPolicy::kHybridMagnitude: {
+      // Canonical threshold formatting: shortest round-trip decimal.
+      std::ostringstream ratio;
+      ratio << c.hybrid_magnitude_threshold;
+      out << "hybrid-mag:" << ratio.str();
+      break;
+    }
+    case ReweightPolicy::kHybridBudget:
+      out << "hybrid-budget:" << c.hybrid_budget_per_slot;
+      break;
+  }
+  out << "\n";
+  out << "policing "
+      << (c.policing == PolicingMode::kClamp    ? "clamp"
+          : c.policing == PolicingMode::kReject ? "reject"
+                                                : "off")
+      << "\n";
+  out << "heavy " << (c.allow_heavy ? "on" : "off") << "\n";
+  out << "validate " << (c.validate ? "on" : "off") << "\n";
+  out << "violations " << to_string(c.violations) << "\n";
+  out << "degradation " << to_string(c.degradation) << "\n";
+  for (const int m : spec.shard_processors) out << "shard " << m << "\n";
+  if (!spec.placement.empty()) out << "placement " << spec.placement << "\n";
+  if (spec.rebalance.enabled) {
+    out << "rebalance period=" << spec.rebalance.period
+        << " threshold=" << spec.rebalance.threshold.to_string()
+        << " max-moves=" << spec.rebalance.max_moves << "\n";
+  }
+  for (const auto& t : spec.tasks) {
+    out << "task " << t.name << " " << t.weight.to_string();
+    if (t.join != 0) out << " join=" << t.join;
+    if (t.rank != 0) out << " rank=" << t.rank;
+    out << "\n";
+    for (const auto& [index, delay] : t.separations) {
+      out << "separation " << t.name << " " << index << " " << delay << "\n";
+    }
+    for (const SubtaskIndex index : t.absences) {
+      out << "absent " << t.name << " " << index << "\n";
+    }
+  }
+  for (const auto& ev : spec.events) {
+    if (ev.is_leave) {
+      out << "leave " << ev.task << " at=" << ev.at << "\n";
+    } else {
+      out << "reweight " << ev.task << " " << ev.weight.to_string()
+          << " at=" << ev.at << "\n";
+    }
+  }
+  for (const auto& f : spec.faults) {
+    switch (f.kind) {
+      case FaultKind::kProcCrash:
+      case FaultKind::kProcRecover:
+      case FaultKind::kOverrun:
+        out << "fault " << to_string(f.kind) << " " << f.processor
+            << " at=" << f.at;
+        if (f.shard >= 0) out << " shard=" << f.shard;
+        out << "\n";
+        break;
+      case FaultKind::kDropRequest:
+        out << "fault drop " << f.task << " at=" << f.at << "\n";
+        break;
+      case FaultKind::kDelayRequest:
+        out << "fault delay " << f.task << " at=" << f.at << " by=" << f.delay
+            << "\n";
+        break;
+    }
+  }
+  for (const auto& mig : spec.migrations) {
+    out << "migrate " << mig.task << " " << mig.to_shard << " at=" << mig.at
+        << "\n";
+  }
+  out << "horizon " << spec.horizon << "\n";
+  return out.str();
+}
+
 BuiltScenario build_scenario(const ScenarioSpec& spec) {
   BuiltScenario out;
   out.engine = std::make_unique<Engine>(spec.config);
@@ -445,6 +544,12 @@ BuiltScenario build_scenario(const ScenarioSpec& spec) {
   if (!spec.faults.empty()) {
     FaultPlan plan;
     for (const auto& f : spec.faults) {
+      if (f.shard > 0) {
+        throw std::invalid_argument(
+            "build_scenario: fault targets shard " + std::to_string(f.shard) +
+            " but the scenario is built as a single engine; use "
+            "build_cluster_scenario");
+      }
       switch (f.kind) {
         case FaultKind::kProcCrash:
           plan.crash(f.processor, f.at);

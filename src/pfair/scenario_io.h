@@ -17,9 +17,9 @@
 ///   absent <name> <subtask-index>
 ///   reweight <name> <num>/<den> at=<t>
 ///   leave <name> at=<t>
-///   fault crash <cpu> at=<t>
-///   fault recover <cpu> at=<t>
-///   fault overrun <cpu> at=<t>
+///   fault crash <cpu> at=<t> [shard=<k>]
+///   fault recover <cpu> at=<t> [shard=<k>]
+///   fault overrun <cpu> at=<t> [shard=<k>]
 ///   fault drop <name> at=<t>
 ///   fault delay <name> at=<t> by=<slots>
 ///   horizon <slots>
@@ -32,7 +32,10 @@
 /// sharded cluster (src/cluster).  They parse into plain ScenarioSpec
 /// fields here -- pfair does not depend on the cluster layer -- and
 /// cluster::build_cluster_scenario() turns the spec into a running
-/// Cluster.  build_scenario() (single engine) ignores them.
+/// Cluster.  build_scenario() (single engine) ignores them.  In a sharded
+/// scenario every processor fault must carry `shard=<k>` (a bare cpu index
+/// is ambiguous across shards); drop/delay faults name a task and are
+/// installed on whichever shard placement chose for it.
 ///
 /// Malformed directives throw ParseError, which carries the file name, the
 /// 1-based line and column, and the offending token; what() renders them as
@@ -126,6 +129,10 @@ struct ScenarioSpec {
     int processor{-1};  ///< crash/recover/overrun
     std::string task;   ///< drop/delay
     Slot delay{0};      ///< delay only
+    /// Target shard for processor faults in a sharded scenario (-1 = the
+    /// single engine).  build_cluster_scenario requires it; build_scenario
+    /// accepts -1 or 0 and rejects anything else.
+    int shard{-1};
   };
   // --- sharded cluster extensions (consumed by src/cluster/scenario.h;
   //     ignored by build_scenario) ---
@@ -163,6 +170,16 @@ struct ScenarioSpec {
                                           std::string filename = "<scenario>");
 [[nodiscard]] ScenarioSpec parse_scenario_string(
     const std::string& text, std::string filename = "<scenario>");
+
+/// Serializes a spec back to canonical scenario text: every grammar
+/// directive the spec carries, one per line, in a fixed order (config,
+/// shards, tasks, events, faults, migrations, horizon).  The output
+/// re-parses to an equivalent spec, and render(parse(render(s))) ==
+/// render(s) -- the canonical form is a fixed point, which the chaos
+/// harness relies on for replayable `.scn` artifacts and shrinker
+/// idempotence.  Config fields outside the grammar (dispatch mode, the
+/// priority oracle) are intentionally not represented.
+[[nodiscard]] std::string render_scenario(const ScenarioSpec& spec);
 
 /// Builds an engine from a spec (tasks added, events queued, fault plan
 /// installed).  The returned map resolves scenario task names to engine ids.

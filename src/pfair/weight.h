@@ -36,4 +36,26 @@ inline void check_weight(const Rational& w) {
   if (!is_valid_weight(w)) throw InvalidWeight{w};
 }
 
+/// Grid for weights produced by *capacity division* -- policing clamps
+/// (grant = alive capacity minus everyone else) and degradation compression
+/// factors (capacity / nominal load).  Left exact, those quotients compound
+/// their denominators across crash/clamp/compress rounds until the
+/// canonical int64 Rational overflows mid-run (the chaos harness finds this
+/// within a few hundred random scenarios).  Rounding such a weight *down*
+/// onto this grid preserves feasibility -- the grant never exceeds what the
+/// exact quotient allowed -- and caps every derived denominator at
+/// kWeightGridDen^2, far inside the int64 range.  720720 = lcm(1..16), so
+/// every hand-written scenario weight (and the generator's 1/120 grids)
+/// passes through exactly.
+inline constexpr std::int64_t kWeightGridDen = 720720;
+
+/// Rounds w down to the kWeightGridDen grid; exact (returned unchanged)
+/// whenever den(w) divides the grid.
+[[nodiscard]] inline Rational quantize_weight_down(const Rational& w) {
+  if (kWeightGridDen % w.den() == 0) return w;
+  const auto scaled = static_cast<std::int64_t>(
+      (static_cast<detail::Int128>(w.num()) * kWeightGridDen) / w.den());
+  return Rational{scaled, kWeightGridDen};
+}
+
 }  // namespace pfr::pfair

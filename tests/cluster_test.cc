@@ -447,7 +447,9 @@ reweight b 1/2 at=12
   EXPECT_TRUE(built.cluster->verify().empty());
 }
 
-TEST(ClusterScenario, RejectsFaultDirectives) {
+TEST(ClusterScenario, RejectsShardlessProcessorFaults) {
+  // A bare cpu index is ambiguous across shards; processor faults in a
+  // sharded scenario must say which shard they hit.
   const std::string text = R"(
 shard 2
 horizon 16
@@ -457,6 +459,42 @@ fault crash 0 at=4
   const pfair::ScenarioSpec spec =
       pfair::parse_scenario_string(text, "bad.scn");
   EXPECT_THROW(build_cluster_scenario(spec), std::invalid_argument);
+}
+
+TEST(ClusterScenario, InstallsShardScopedFaultPlans) {
+  const std::string text = R"(
+shard 2
+shard 2
+degradation compress
+horizon 48
+task a 1/2
+task b 1/2
+task c 1/2
+task d 1/2
+fault crash 1 at=8 shard=1
+fault recover 1 at=32 shard=1
+fault drop a at=10
+reweight a 1/4 at=10
+)";
+  const pfair::ScenarioSpec spec =
+      pfair::parse_scenario_string(text, "sharded_faults.scn");
+  BuiltClusterScenario built = build_cluster_scenario(spec);
+  built.cluster->run_until(built.horizon);
+  // The crash/recover pair landed on shard 1 only.
+  int crashes = 0;
+  for (int k = 0; k < built.cluster->shard_count(); ++k) {
+    crashes += built.cluster->shard(k).stats().proc_crashes;
+  }
+  EXPECT_EQ(crashes, 1);
+  EXPECT_EQ(built.cluster->shard(1).stats().proc_crashes, 1);
+  EXPECT_EQ(built.cluster->shard(1).stats().proc_recoveries, 1);
+  // The drop fault followed task `a` to its placed shard.
+  int drops = 0;
+  for (int k = 0; k < built.cluster->shard_count(); ++k) {
+    drops += built.cluster->shard(k).stats().dropped_requests;
+  }
+  EXPECT_EQ(drops, 1);
+  EXPECT_TRUE(built.cluster->verify().empty());
 }
 
 TEST(ClusterScenario, RejectsUnplaceableTask) {

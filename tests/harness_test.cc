@@ -1,0 +1,250 @@
+/// Chaos-harness tests: generator validity (parse + canonical round-trip),
+/// property-runner invariants on known-good and known-bad scenarios,
+/// shrinker determinism / idempotence / minimization quality, and the
+/// breakdown-frontier explorer's cell sweep.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "harness/frontier.h"
+#include "harness/property_runner.h"
+#include "harness/scenario_gen.h"
+#include "harness/shrink.h"
+#include "pfair/scenario_io.h"
+
+namespace {
+
+using namespace pfr;
+using namespace pfr::harness;
+
+// ---------------------------------------------------------------------------
+// ScenarioGen
+
+TEST(ScenarioGen, IsDeterministic) {
+  const GeneratedScenario a = generate_scenario(11, 3);
+  const GeneratedScenario b = generate_scenario(11, 3);
+  EXPECT_EQ(a.text, b.text);
+  const GeneratedScenario c = generate_scenario(11, 4);
+  EXPECT_NE(a.text, c.text);
+}
+
+TEST(ScenarioGen, EveryScenarioParsesAndRoundTrips) {
+  // Validity is structural: the generator renders a constructed spec and
+  // re-parses it.  The canonical form must be a fixed point of
+  // render(parse(.)), or hunt artifacts would not replay bit-identically.
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    const GeneratedScenario gen = generate_scenario(2005, i);
+    ASSERT_FALSE(gen.text.empty());
+    const pfair::ScenarioSpec reparsed =
+        pfair::parse_scenario_string(gen.text, "round-trip");
+    EXPECT_TRUE(reparsed.warnings.empty());
+    EXPECT_EQ(pfair::render_scenario(reparsed), gen.text) << gen.text;
+  }
+}
+
+TEST(ScenarioGen, SweepsTheFeatureCrossProduct) {
+  // One seed's first few hundred scenarios should cover every policy,
+  // degradation mode, cluster and single-engine shapes, faults, and
+  // migrations -- the whole point of the harness.
+  std::set<pfair::ReweightPolicy> policies;
+  std::set<pfair::DegradationMode> degradations;
+  int clusters = 0;
+  int with_faults = 0;
+  int with_migrations = 0;
+  for (std::uint64_t i = 0; i < 300; ++i) {
+    const GeneratedScenario gen = generate_scenario(7, i);
+    policies.insert(gen.spec.config.policy);
+    degradations.insert(gen.spec.config.degradation);
+    if (!gen.spec.shard_processors.empty()) ++clusters;
+    if (!gen.spec.faults.empty()) ++with_faults;
+    if (!gen.spec.migrations.empty()) ++with_migrations;
+  }
+  EXPECT_EQ(policies.size(), 4U);
+  EXPECT_EQ(degradations.size(), 4U);
+  EXPECT_GT(clusters, 60);
+  EXPECT_LT(clusters, 240);
+  EXPECT_GT(with_faults, 60);
+  EXPECT_GT(with_migrations, 10);
+}
+
+TEST(ScenarioGen, RespectsConfigEnvelope) {
+  GenConfig cfg;
+  cfg.allow_cluster = false;
+  cfg.allow_faults = false;
+  cfg.max_tasks = 6;
+  cfg.max_horizon = 64;
+  for (std::uint64_t i = 0; i < 50; ++i) {
+    const GeneratedScenario gen = generate_scenario(3, i, cfg);
+    EXPECT_TRUE(gen.spec.shard_processors.empty());
+    EXPECT_TRUE(gen.spec.faults.empty());
+    EXPECT_LE(gen.spec.tasks.size(), 6U);
+    EXPECT_LE(gen.spec.horizon, 64);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// PropertyRunner
+
+TEST(PropertyRunner, GeneratedScenariosHoldAllProperties) {
+  for (std::uint64_t i = 0; i < 60; ++i) {
+    const GeneratedScenario gen = generate_scenario(42, i);
+    const RunReport report = run_scenario(gen.spec);
+    EXPECT_TRUE(report.ok())
+        << "seed=42 index=" << i << ": " << report.failures.front() << "\n"
+        << gen.text;
+    EXPECT_GT(report.slots, 0);
+  }
+}
+
+/// An unpoliced-at-admission overload: add_task is not policed, so three
+/// half-weight tasks on one processor is grammatically fine but must be
+/// flagged by the Theorem-2 oracle.
+const char* kKnownBad = R"(processors 1
+policy oi
+policing clamp
+validate off
+task a 1/2
+task b 1/2
+task c 1/2
+task d 1/8 join=4
+reweight d 1/4 at=9
+leave a at=40
+fault drop d at=6
+horizon 48
+)";
+
+TEST(PropertyRunner, CatchesKnownBadScenario) {
+  const pfair::ScenarioSpec spec =
+      pfair::parse_scenario_string(kKnownBad, "known-bad");
+  const RunReport report = run_scenario(spec);
+  ASSERT_FALSE(report.ok());
+  EXPECT_NE(report.failures.front().find("Theorem 2"), std::string::npos);
+  EXPECT_GT(report.misses, 0);
+}
+
+TEST(PropertyRunner, ReportsClusterRunsAndDigests) {
+  // Find a cluster scenario and check the report shape.
+  for (std::uint64_t i = 0; i < 40; ++i) {
+    const GeneratedScenario gen = generate_scenario(9, i);
+    if (gen.spec.shard_processors.empty()) continue;
+    const RunReport report = run_scenario(gen.spec);
+    EXPECT_TRUE(report.cluster);
+    EXPECT_NE(report.digest, 0U);
+    return;
+  }
+  FAIL() << "no cluster scenario in the first 40 of seed 9";
+}
+
+// ---------------------------------------------------------------------------
+// Shrinker
+
+FailPredicate theorem2_fails() {
+  return [](const pfair::ScenarioSpec& candidate) {
+    const RunReport r = run_scenario(candidate);
+    return !r.ok() &&
+           r.failures.front().find("Theorem 2") != std::string::npos;
+  };
+}
+
+TEST(Shrinker, MinimizesKnownBadToCore) {
+  const pfair::ScenarioSpec spec =
+      pfair::parse_scenario_string(kKnownBad, "known-bad");
+  const ShrinkResult result = shrink_scenario(spec, theorem2_fails());
+  // The overload needs 3 half-ish tasks on 1 processor; every decoration
+  // (reweight, leave, drop fault, late join) must be stripped.
+  EXPECT_LE(result.spec.tasks.size(), 3U);
+  EXPECT_EQ(result.spec.events.size(), 0U);
+  EXPECT_EQ(result.spec.faults.size(), 0U);
+  EXPECT_LE(result.spec.horizon, 16);
+  // Still failing, by construction.
+  EXPECT_TRUE(theorem2_fails()(result.spec));
+}
+
+TEST(Shrinker, IsDeterministicAndIdempotent) {
+  const pfair::ScenarioSpec spec =
+      pfair::parse_scenario_string(kKnownBad, "known-bad");
+  const ShrinkResult a = shrink_scenario(spec, theorem2_fails());
+  const ShrinkResult b = shrink_scenario(spec, theorem2_fails());
+  EXPECT_EQ(a.text, b.text);  // determinism
+  const ShrinkResult again = shrink_scenario(a.spec, theorem2_fails());
+  EXPECT_EQ(again.text, a.text);  // idempotence: a fixed point stays fixed
+}
+
+TEST(Shrinker, RejectsPassingScenario) {
+  pfair::ScenarioSpec spec;
+  spec.config.processors = 2;
+  spec.horizon = 10;
+  pfair::ScenarioSpec::TaskSpec t;
+  t.name = "a";
+  t.weight = Rational{1, 4};
+  spec.tasks.push_back(t);
+  EXPECT_THROW(
+      (void)shrink_scenario(
+          spec, [](const pfair::ScenarioSpec&) { return false; }),
+      std::invalid_argument);
+}
+
+TEST(Shrinker, HonorsProbeBudget) {
+  const pfair::ScenarioSpec spec =
+      pfair::parse_scenario_string(kKnownBad, "known-bad");
+  const ShrinkResult result = shrink_scenario(spec, theorem2_fails(), 5);
+  EXPECT_LE(result.probes, 5);
+  EXPECT_TRUE(theorem2_fails()(result.spec));  // best-so-far still fails
+}
+
+// ---------------------------------------------------------------------------
+// BreakdownExplorer
+
+TEST(Frontier, SweepsCellsAndOrdersSanely) {
+  FrontierConfig cfg;
+  cfg.cluster_sizes = {1, 4};
+  cfg.tasks = 12;
+  cfg.horizon = 48;
+  cfg.search_iters = 4;
+  cfg.include_faults = false;
+  const FrontierResult result = explore_frontier(cfg);
+  // 4 policies x 4 degradations x 2 cluster sizes, clean runs only.
+  ASSERT_EQ(result.cells.size(), 32U);
+  for (const FrontierCell& cell : result.cells) {
+    EXPECT_GE(cell.breakdown_scale, 0.0);
+    EXPECT_LE(cell.breakdown_scale, cfg.scale_hi);
+    EXPECT_GT(cell.trials, 0);
+    if (cell.breakdown_scale > 0) {
+      EXPECT_GT(cell.breakdown_utilization, 0.0);
+    }
+  }
+  // Compression sheds load gracefully: its breakdown scale can never be
+  // below plain "none" for the same policy/platform (it only ever reduces
+  // weights when overloaded).
+  for (std::size_t i = 0; i < result.cells.size(); ++i) {
+    const FrontierCell& none = result.cells[i];
+    if (none.degradation != "none") continue;
+    for (const FrontierCell& other : result.cells) {
+      if (other.degradation == "compress" && other.policy == none.policy &&
+          other.shards == none.shards && other.faults == none.faults) {
+        EXPECT_GE(other.breakdown_scale, none.breakdown_scale)
+            << none.policy << " K=" << none.shards;
+      }
+    }
+  }
+}
+
+TEST(Frontier, JsonIsWellFormedAndDeterministic) {
+  FrontierConfig cfg;
+  cfg.cluster_sizes = {1};
+  cfg.tasks = 8;
+  cfg.horizon = 32;
+  cfg.search_iters = 3;
+  cfg.include_faults = false;
+  const FrontierResult result = explore_frontier(cfg);
+  std::ostringstream a, b;
+  write_frontier_json(result, a);
+  write_frontier_json(explore_frontier(cfg), b);
+  EXPECT_EQ(a.str(), b.str());
+  EXPECT_NE(a.str().find("\"cells\": ["), std::string::npos);
+  EXPECT_NE(a.str().find("\"breakdown_scale\""), std::string::npos);
+}
+
+}  // namespace
