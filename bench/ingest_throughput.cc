@@ -1,0 +1,544 @@
+/// \file ingest_throughput.cc
+/// \brief Multi-process front-door harness: real producer processes feeding
+/// the reweighting service through shared-memory rings and TCP.
+///
+/// Three phases, one deterministic load (load_gen, round-robin partitioned
+/// across producers so P processes jointly replay the single-producer log):
+///
+///   1. Admission throughput: for each producer count in the sweep, fork P
+///      child processes that stream their slice into per-producer shm rings
+///      (lossless mode); the parent runs the IngestMux into a slot-batched
+///      RequestQueue and drains it without the engine.  Reports sustained
+///      admission req/s and asserts zero lost or duplicated requests.
+///   2. Overload: tiny rings, spin-then-shed producers, and a throttled
+///      consumer.  Asserts the documented degradation mode: sheds engage at
+///      the ring (shed counter advances), the queue stays bounded, nothing
+///      crashes or wedges.
+///   3. End-to-end identity + latency: a capped load served by the full
+///      ReweightService three ways -- in-process producer threads, shm
+///      rings from forked processes, TCP via the epoll listener -- and the
+///      response digests must be bit-identical across all three paths.
+///      Reports p50/p99 request-to-enactment latency for the ring path.
+///
+///   --requests=N     log length (default 1000000; --quick: 20000)
+///   --producers=P    max producers in the sweep {1,2,4,..,P} (default 8)
+///   --ring-cap=N     ring capacity in frames, throughput phase (def 4096)
+///   --queue-depth=N  admission-queue capacity (default 4096)
+///   --feed-bin=PATH  exec this pfair-feed binary per producer instead of
+///                    forked library children (file-backed rings under
+///                    --ring-dir; the CI smoke runs this mode).  Exec'd
+///                    feeds regenerate the load themselves, so phase-1
+///                    req/s includes their generation time -- the headline
+///                    numbers come from the default fork mode.
+///   --ring-dir=DIR   where file-backed rings live (default /dev/shm)
+///   --json=PATH      artifact (default BENCH_ingest_throughput.json)
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_json.h"
+#include "net/feed.h"
+#include "net/ingest.h"
+#include "net/spsc_ring.h"
+#include "obs/metrics.h"
+#include "serve/load_gen.h"
+#include "serve/service.h"
+#include "util/cli.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using pfr::net::FeedConfig;
+using pfr::net::IngestMux;
+using pfr::net::ShmRing;
+using pfr::serve::Decision;
+using pfr::serve::GeneratedLoad;
+using pfr::serve::Request;
+using pfr::serve::Response;
+using pfr::serve::ReweightService;
+
+struct Args {
+  std::uint64_t requests{1000000};
+  int producers{8};
+  std::size_t ring_cap{4096};
+  std::size_t queue_depth{4096};
+  int tasks{32};
+  int processors{8};
+  int mean_batch{64};
+  std::uint64_t seed{2005};
+  std::string feed_bin;
+  std::string ring_dir{"/dev/shm"};
+  std::string json{"BENCH_ingest_throughput.json"};
+};
+
+Args parse(int argc, char** argv) {
+  const pfr::CliArgs cli{argc, argv};
+  Args a;
+  if (cli.get_bool("quick")) a.requests = 20000;
+  a.requests = static_cast<std::uint64_t>(
+      cli.get_int("requests", static_cast<std::int64_t>(a.requests)));
+  a.producers = static_cast<int>(cli.get_int("producers", a.producers));
+  a.ring_cap = static_cast<std::size_t>(
+      cli.get_int("ring-cap", static_cast<std::int64_t>(a.ring_cap)));
+  a.queue_depth = static_cast<std::size_t>(
+      cli.get_int("queue-depth", static_cast<std::int64_t>(a.queue_depth)));
+  a.tasks = static_cast<int>(cli.get_int("tasks", a.tasks));
+  a.processors = static_cast<int>(cli.get_int("processors", a.processors));
+  a.mean_batch = static_cast<int>(cli.get_int("mean-batch", a.mean_batch));
+  a.seed = static_cast<std::uint64_t>(
+      cli.get_int("seed", static_cast<std::int64_t>(a.seed)));
+  a.feed_bin = cli.get_string("feed-bin", "");
+  a.ring_dir = cli.get_string("ring-dir", a.ring_dir);
+  a.json = cli.get_string("json", a.json);
+  if (cli.error()) {
+    std::cerr << "argument error: " << *cli.error() << "\n";
+    std::exit(2);
+  }
+  const auto unknown = cli.unknown_flags();
+  if (!unknown.empty()) {
+    std::cerr << "unknown flag: --" << unknown.front() << "\n";
+    std::exit(2);
+  }
+  if (a.producers < 1) a.producers = 1;
+  return a;
+}
+
+/// Forks one producer process per ring.  In library mode the child feeds
+/// its (already generated, fork-inherited) slice directly; in exec mode it
+/// becomes the real pfair-feed binary and regenerates the load from the
+/// seed.  Children are forked before any parent thread starts, so the
+/// usual fork+threads hazards never arise.
+std::vector<pid_t> spawn_producers(const Args& a, const GeneratedLoad& load,
+                                   std::vector<ShmRing>& rings, int producers,
+                                   bool blocking, int spin_limit) {
+  std::vector<pid_t> pids;
+  for (int p = 0; p < producers; ++p) {
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      std::perror("fork");
+      std::exit(1);
+    }
+    if (pid != 0) {
+      pids.push_back(pid);
+      continue;
+    }
+    // Child.
+    if (a.feed_bin.empty()) {
+      FeedConfig cfg;
+      cfg.producer_tag = static_cast<std::uint64_t>(p);
+      cfg.blocking = blocking;
+      cfg.spin_limit = spin_limit;
+      const std::vector<Request> slice =
+          pfr::net::partition_requests(load.requests, p, producers);
+      pfr::net::feed_ring(rings[static_cast<std::size_t>(p)], slice, cfg);
+      ::_exit(0);
+    }
+    std::vector<std::string> argv_s{
+        a.feed_bin,
+        "--ring=" + rings[static_cast<std::size_t>(p)].path(),
+        "--producers=" + std::to_string(producers),
+        "--index=" + std::to_string(p),
+        "--requests=" + std::to_string(load.requests.size()),
+        "--seed=" + std::to_string(a.seed),
+        "--tasks=" + std::to_string(a.tasks),
+        "--processors=" + std::to_string(a.processors),
+        "--mean-batch=" + std::to_string(a.mean_batch),
+        "--spin-limit=" + std::to_string(spin_limit)};
+    if (blocking) argv_s.push_back("--blocking");
+    std::vector<char*> argv_c;
+    argv_c.reserve(argv_s.size() + 1);
+    for (auto& s : argv_s) argv_c.push_back(s.data());
+    argv_c.push_back(nullptr);
+    ::execv(a.feed_bin.c_str(), argv_c.data());
+    std::perror("execv");
+    ::_exit(127);
+  }
+  return pids;
+}
+
+/// Waits for every child and returns true if all exited cleanly.
+bool reap(const std::vector<pid_t>& pids) {
+  bool ok = true;
+  for (const pid_t pid : pids) {
+    int status = 0;
+    if (::waitpid(pid, &status, 0) != pid ||
+        !WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+std::vector<ShmRing> make_rings(const Args& a, int producers,
+                                std::size_t capacity) {
+  std::vector<ShmRing> rings;
+  rings.reserve(static_cast<std::size_t>(producers));
+  for (int p = 0; p < producers; ++p) {
+    if (a.feed_bin.empty()) {
+      rings.push_back(ShmRing::create_anonymous(capacity));
+    } else {
+      const std::string path = a.ring_dir + "/pfr_ingest_" +
+                               std::to_string(::getpid()) + "_" +
+                               std::to_string(p) + ".ring";
+      rings.push_back(ShmRing::create(path, capacity));
+    }
+  }
+  return rings;
+}
+
+void destroy_rings(std::vector<ShmRing>& rings) {
+  for (ShmRing& r : rings) ShmRing::unlink(r.path());
+  rings.clear();
+}
+
+struct ThroughputResult {
+  int producers{0};
+  double wall_s{0};
+  double req_per_s{0};
+  std::uint64_t delivered{0};
+  std::uint64_t malformed{0};
+  bool lossless{false};
+};
+
+/// Phase 1: rings -> mux -> queue -> drain loop, no engine.  Clock covers
+/// fork-to-drained, i.e. the full multi-process pipeline.
+ThroughputResult run_throughput(const Args& a, const GeneratedLoad& load,
+                                int producers) {
+  ThroughputResult out;
+  out.producers = producers;
+  std::vector<ShmRing> rings = make_rings(a, producers, a.ring_cap);
+  pfr::serve::RequestQueue queue{a.queue_depth};
+  IngestMux mux{queue};
+  for (ShmRing& r : rings) mux.add_ring(r);
+
+  const auto start = std::chrono::steady_clock::now();
+  const std::vector<pid_t> pids = spawn_producers(
+      a, load, rings, producers, /*blocking=*/true, pfr::net::kDefaultSpinLimit);
+  std::thread mux_thread{[&mux] { mux.run(); }};
+
+  std::uint64_t delivered = 0;
+  for (pfr::pfair::Slot t = 0;; ++t) {
+    const auto batch = queue.drain_slot(t);
+    delivered += batch.admit.size() + batch.shed_deadline.size() +
+                 batch.shed_overflow.size();
+    if (!batch.open) break;
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  mux_thread.join();
+
+  out.wall_s = std::chrono::duration<double>(stop - start).count();
+  out.delivered = delivered;
+  out.req_per_s =
+      out.wall_s > 0 ? static_cast<double>(delivered) / out.wall_s : 0.0;
+  out.malformed = mux.stats().malformed;
+  out.lossless = reap(pids) && delivered == load.requests.size() &&
+                 mux.stats().requests == load.requests.size();
+  destroy_rings(rings);
+  return out;
+}
+
+struct OverloadResult {
+  std::uint64_t offered{0};
+  std::uint64_t delivered{0};
+  std::uint64_t shed{0};
+  double shed_rate{0};
+  std::size_t queue_high_watermark{0};
+  bool bounded{false};
+};
+
+/// Phase 2: tiny rings, shedding producers, throttled consumer.  The
+/// documented overflow policy must engage: sheds happen at the ring, the
+/// queue never exceeds its bound, and the pipeline still completes.
+OverloadResult run_overload(const Args& a, const GeneratedLoad& load) {
+  OverloadResult out;
+  const int producers = std::min(a.producers, 4);
+  GeneratedLoad capped = load;
+  constexpr std::size_t kOverloadCap = 200000;
+  if (capped.requests.size() > kOverloadCap) {
+    capped.requests.resize(kOverloadCap);
+  }
+  std::vector<ShmRing> rings = make_rings(a, producers, /*capacity=*/64);
+  pfr::serve::RequestQueue queue{a.queue_depth};
+  IngestMux mux{queue};
+  for (ShmRing& r : rings) mux.add_ring(r);
+
+  const std::vector<pid_t> pids =
+      spawn_producers(a, capped, rings, producers, /*blocking=*/false,
+                      /*spin_limit=*/64);
+  std::thread mux_thread{[&mux] { mux.run(); }};
+
+  std::uint64_t delivered = 0;
+  for (pfr::pfair::Slot t = 0;; ++t) {
+    const auto batch = queue.drain_slot(t);
+    delivered += batch.admit.size() + batch.shed_deadline.size() +
+                 batch.shed_overflow.size();
+    if (!batch.open) break;
+    // The throttle that turns a fast consumer into an overloaded one.
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+  mux_thread.join();
+  const bool children_ok = reap(pids);
+
+  out.offered = capped.requests.size();
+  out.delivered = delivered;
+  out.shed = mux.stats().ring_shed;
+  out.shed_rate = out.offered > 0
+                      ? static_cast<double>(out.shed) /
+                            static_cast<double>(out.offered)
+                      : 0.0;
+  out.queue_high_watermark = queue.high_watermark();
+  out.bounded = children_ok && delivered + out.shed == out.offered &&
+                out.queue_high_watermark <= queue.capacity();
+  destroy_rings(rings);
+  return out;
+}
+
+struct E2EResult {
+  std::uint64_t digest_inproc{0};
+  std::uint64_t digest_ring{0};
+  std::uint64_t digest_tcp{0};
+  std::int64_t p50_slots{0};
+  std::int64_t p99_slots{0};
+  std::uint64_t enacted{0};
+  double ring_wall_s{0};
+  bool identical{false};
+};
+
+pfr::serve::ServiceConfig make_service_config(const Args& a) {
+  pfr::serve::ServiceConfig cfg;
+  cfg.engine.processors = a.processors;
+  cfg.engine.policy = pfr::pfair::ReweightPolicy::kOmissionIdeal;
+  cfg.engine.policing = pfr::pfair::PolicingMode::kClamp;
+  cfg.engine.record_slot_trace = false;
+  cfg.engine.use_ready_queue = true;
+  cfg.queue_capacity = a.queue_depth;
+  return cfg;
+}
+
+void seed_tasks(ReweightService& svc, const GeneratedLoad& load) {
+  for (const auto& t : load.tasks) svc.seed_task(t.name, t.weight, t.rank);
+}
+
+void fill_latencies(E2EResult& out, const std::vector<Response>& responses) {
+  std::vector<std::int64_t> latencies;
+  for (const Response& r : responses) {
+    const bool applied = r.decision == Decision::kAccepted ||
+                         r.decision == Decision::kClamped;
+    if (applied && r.enact_slot != pfr::pfair::kNever) {
+      latencies.push_back(r.enact_slot - r.due);
+    }
+  }
+  out.enacted = latencies.size();
+  if (!latencies.empty()) {
+    std::sort(latencies.begin(), latencies.end());
+    out.p50_slots = pfr::obs::percentile(latencies, 0.50);
+    out.p99_slots = pfr::obs::percentile(latencies, 0.99);
+  }
+}
+
+/// Phase 3: the digest must not care how requests reached the queue.
+E2EResult run_e2e(const Args& a, const GeneratedLoad& load) {
+  E2EResult out;
+  const int producers = std::min(a.producers, 4);
+  GeneratedLoad capped = load;
+  constexpr std::size_t kE2ECap = 100000;
+  if (capped.requests.size() > kE2ECap) capped.requests.resize(kE2ECap);
+
+  {  // In-process baseline: producer threads straight into the queue.
+    ReweightService svc{make_service_config(a)};
+    seed_tasks(svc, capped);
+    std::vector<int> handles;
+    for (int p = 0; p < producers; ++p) {
+      handles.push_back(svc.queue().add_producer());
+    }
+    pfr::ThreadPool pool{static_cast<std::size_t>(producers)};
+    for (int p = 0; p < producers; ++p) {
+      pool.submit([&svc, &capped, producers, p, handle = handles[
+                       static_cast<std::size_t>(p)]] {
+        for (std::size_t i = static_cast<std::size_t>(p);
+             i < capped.requests.size();
+             i += static_cast<std::size_t>(producers)) {
+          if (!svc.queue().push(handle, capped.requests[i])) break;
+        }
+        svc.queue().producer_done(handle);
+      });
+    }
+    svc.run_to_completion();
+    pool.wait_idle();
+    out.digest_inproc = svc.response_digest();
+  }
+
+  {  // Shm rings from forked producer processes.
+    ReweightService svc{make_service_config(a)};
+    seed_tasks(svc, capped);
+    std::vector<ShmRing> rings = make_rings(a, producers, a.ring_cap);
+    IngestMux mux{svc.queue()};
+    for (ShmRing& r : rings) mux.add_ring(r);
+    const auto start = std::chrono::steady_clock::now();
+    const std::vector<pid_t> pids =
+        spawn_producers(a, capped, rings, producers, /*blocking=*/true,
+                        pfr::net::kDefaultSpinLimit);
+    std::thread mux_thread{[&mux] { mux.run(); }};
+    svc.run_to_completion();
+    mux_thread.join();
+    const auto stop = std::chrono::steady_clock::now();
+    if (!reap(pids)) {
+      std::cerr << "FAIL: ring-path producer process exited non-zero\n";
+      std::exit(1);
+    }
+    out.ring_wall_s = std::chrono::duration<double>(stop - start).count();
+    out.digest_ring = svc.response_digest();
+    fill_latencies(out, svc.responses());
+    destroy_rings(rings);
+  }
+
+  {  // TCP through the epoll listener.
+    ReweightService svc{make_service_config(a)};
+    seed_tasks(svc, capped);
+    IngestMux mux{svc.queue()};
+    mux.enable_tcp(0);
+    const std::uint16_t port = mux.tcp_port();
+    std::thread mux_thread{[&mux] { mux.run(); }};
+    pfr::ThreadPool pool{static_cast<std::size_t>(producers)};
+    for (int p = 0; p < producers; ++p) {
+      pool.submit([&capped, producers, p, port] {
+        FeedConfig cfg;
+        cfg.producer_tag = static_cast<std::uint64_t>(p);
+        pfr::net::feed_tcp(
+            port, pfr::net::partition_requests(capped.requests, p, producers),
+            cfg);
+      });
+    }
+    // Hold the consumer until every producer is registered: a connection
+    // that arrives after slot batches start finalizing could land its
+    // early-due requests in later batches and legitimately change the
+    // digest.  Registration-before-draining restores path independence.
+    while (mux.connections_opened() < static_cast<std::uint64_t>(producers)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    svc.run_to_completion();
+    pool.wait_idle();
+    mux.stop();
+    mux_thread.join();
+    out.digest_tcp = svc.response_digest();
+  }
+
+  out.identical = out.digest_inproc == out.digest_ring &&
+                  out.digest_ring == out.digest_tcp;
+  return out;
+}
+
+void write_json(const Args& a, const std::vector<ThroughputResult>& sweep,
+                const OverloadResult& over, const E2EResult& e2e) {
+  if (a.json.empty()) return;
+  std::ofstream out{a.json};
+  if (!out) {
+    std::cerr << "failed to write " << a.json << "\n";
+    std::exit(1);
+  }
+  pfr::bench::BenchJsonHeader header{"ingest_throughput", "producer-sweep",
+                                     static_cast<std::size_t>(a.producers)};
+  header.add("requests", a.requests)
+      .add("ring_cap", a.ring_cap)
+      .add("queue_depth", a.queue_depth)
+      .add("tasks", a.tasks)
+      .add("processors", a.processors)
+      .add("mean_batch", a.mean_batch)
+      .add("seed", a.seed)
+      .add("feed_mode", a.feed_bin.empty() ? "fork-library" : "exec-pfair-feed");
+  header.write_open(out);
+  out << "  \"results\": [\n";
+  for (std::size_t i = 0; i < sweep.size(); ++i) {
+    const ThroughputResult& r = sweep[i];
+    out << "    {\"producers\": " << r.producers << ", \"wall_s\": " << r.wall_s
+        << ", \"admission_req_per_s\": " << r.req_per_s
+        << ", \"delivered\": " << r.delivered
+        << ", \"malformed\": " << r.malformed
+        << ", \"lossless\": " << (r.lossless ? "true" : "false") << "}"
+        << (i + 1 < sweep.size() ? "," : "") << "\n";
+  }
+  out << "  ],\n  \"overload\": {\"offered\": " << over.offered
+      << ", \"delivered\": " << over.delivered << ", \"shed\": " << over.shed
+      << ", \"shed_rate\": " << over.shed_rate
+      << ", \"queue_high_watermark\": " << over.queue_high_watermark
+      << ", \"bounded\": " << (over.bounded ? "true" : "false")
+      << "},\n  \"end_to_end\": {\"digest_inproc\": \"" << std::hex
+      << e2e.digest_inproc << "\", \"digest_ring\": \"" << e2e.digest_ring
+      << "\", \"digest_tcp\": \"" << e2e.digest_tcp << std::dec
+      << "\", \"p50_latency_slots\": " << e2e.p50_slots
+      << ", \"p99_latency_slots\": " << e2e.p99_slots
+      << ", \"enacted\": " << e2e.enacted
+      << ", \"ring_wall_s\": " << e2e.ring_wall_s
+      << ", \"identical\": " << (e2e.identical ? "true" : "false") << "}\n}\n";
+  std::cout << "json written to " << a.json << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args a = parse(argc, argv);
+
+  pfr::serve::LoadGenConfig gen;
+  gen.processors = a.processors;
+  gen.tasks = a.tasks;
+  gen.requests = a.requests;
+  gen.seed = a.seed;
+  gen.mean_batch = a.mean_batch;
+  const GeneratedLoad load = pfr::serve::generate_load(gen);
+
+  std::cout << "# ingest_throughput: " << load.requests.size()
+            << " requests, up to " << a.producers
+            << " producer processes, ring cap " << a.ring_cap
+            << ", queue depth " << a.queue_depth << ", mode "
+            << (a.feed_bin.empty() ? "fork-library" : "exec-pfair-feed")
+            << "\n\n";
+
+  bool ok = true;
+  std::vector<ThroughputResult> sweep;
+  for (int p = 1; p <= a.producers; p *= 2) {
+    ThroughputResult r = run_throughput(a, load, p);
+    std::cout << "producers=" << r.producers << ": "
+              << static_cast<std::uint64_t>(r.req_per_s) << " req/s admission ("
+              << r.wall_s << " s), delivered=" << r.delivered
+              << (r.lossless ? " lossless" : " LOSSY") << "\n";
+    ok = ok && r.lossless;
+    sweep.push_back(r);
+  }
+
+  const OverloadResult over = run_overload(a, load);
+  std::cout << "\noverload: offered=" << over.offered
+            << " delivered=" << over.delivered << " shed=" << over.shed
+            << " (rate " << over.shed_rate << "), queue high watermark "
+            << over.queue_high_watermark
+            << (over.bounded ? " [bounded]" : " [UNBOUNDED]") << "\n";
+  ok = ok && over.bounded;
+  if (over.shed == 0) {
+    std::cout << "note: overload phase engaged no sheds (consumer kept up)\n";
+  }
+
+  const E2EResult e2e = run_e2e(a, load);
+  std::cout << "\nend-to-end: digest inproc=" << std::hex << e2e.digest_inproc
+            << " ring=" << e2e.digest_ring << " tcp=" << e2e.digest_tcp
+            << std::dec << (e2e.identical ? " [identical]" : " [MISMATCH]")
+            << ", ring-path latency p50=" << e2e.p50_slots
+            << " p99=" << e2e.p99_slots << " slots over " << e2e.enacted
+            << " enactments\n";
+  ok = ok && e2e.identical;
+
+  write_json(a, sweep, over, e2e);
+  if (!ok) {
+    std::cerr << "\nFAIL: ingest pipeline violated an invariant (see above)\n";
+    return 1;
+  }
+  return 0;
+}

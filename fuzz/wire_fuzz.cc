@@ -1,0 +1,134 @@
+/// \file wire_fuzz.cc
+/// \brief libFuzzer target for the ingest wire protocol (net/wire) and the
+/// binary request-log reader (serve/request_log).
+///
+/// Three surfaces, selected by the input bytes themselves:
+///
+///   * decode_frame over the raw input (every length, not just 80 bytes):
+///     must return a typed WireError, never crash, and on kOk the decoded
+///     frame must survive encode -> decode with identical semantics (the
+///     encoding is not byte-canonical -- ignored fields and unnormalized
+///     weights are tolerated under a valid CRC -- but the *meaning* must be
+///     a fixed point);
+///   * FrameAssembler fed the input in size patterns derived from the
+///     input: reassembled frame count must equal size / kFrameBytes
+///     regardless of chunking, with the remainder left pending;
+///   * a leading 'P' (the magic's first byte, so the corpus self-selects):
+///     the bytes go through read_binary_request_log, which must either
+///     return or throw std::runtime_error -- the reader's hostile-input
+///     contract (no allocation on unproven counts, no crash).
+///
+/// Built by `-DPFR_BUILD_FUZZERS=ON`; degrades to a standalone corpus
+/// replayer without clang, like scenario_fuzz.
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "net/wire.h"
+#include "serve/request_log.h"
+
+namespace {
+
+using pfr::net::DecodedFrame;
+using pfr::net::FrameAssembler;
+using pfr::net::FrameKind;
+using pfr::net::kFrameBytes;
+using pfr::net::WireError;
+
+void fuzz_decode(const std::uint8_t* data, std::size_t size) {
+  const DecodedFrame d = pfr::net::decode_frame(data, size);
+  (void)pfr::net::describe(d.error);
+  (void)pfr::net::to_string(d.error);
+  if (!d.ok()) return;
+
+  // Semantic round trip: re-encode the decoded meaning and decode again;
+  // the result must be ok and identical.  (Byte identity would be too
+  // strict -- ignored fields and unnormalized weights pass under a valid
+  // CRC -- but the meaning must be a fixed point.)
+  std::uint8_t again[kFrameBytes];
+  switch (d.kind) {
+    case FrameKind::kHello:
+      pfr::net::encode_hello(d.producer_tag, again);
+      break;
+    case FrameKind::kWatermark:
+      pfr::net::encode_watermark(d.watermark, again);
+      break;
+    case FrameKind::kBye:
+      pfr::net::encode_bye(again);
+      break;
+    default:
+      pfr::net::encode_request(d.request, again);
+      break;
+  }
+  const DecodedFrame d2 = pfr::net::decode_frame(again, kFrameBytes);
+  if (!d2.ok() || d2.kind != d.kind || d2.producer_tag != d.producer_tag ||
+      d2.watermark != d.watermark || !(d2.request == d.request)) {
+    std::abort();  // decoded meaning is not an encode/decode fixed point
+  }
+}
+
+void fuzz_assembler(const std::uint8_t* data, std::size_t size) {
+  FrameAssembler assembler;
+  std::size_t frames = 0;
+  std::size_t off = 0;
+  // Chunk sizes are themselves fuzz-driven: walk the input, taking
+  // (byte % 97) + 1 bytes per feed, so boundaries land everywhere.
+  while (off < size) {
+    std::size_t chunk = (data[off] % 97) + 1;
+    if (chunk > size - off) chunk = size - off;
+    assembler.feed(data + off, chunk,
+                   [&frames](const std::uint8_t*) { ++frames; });
+    off += chunk;
+  }
+  if (frames != size / kFrameBytes ||
+      assembler.pending() != size % kFrameBytes) {
+    std::abort();  // lost or invented bytes across chunk boundaries
+  }
+}
+
+void fuzz_request_log(const std::uint8_t* data, std::size_t size) {
+  std::istringstream in{
+      std::string{reinterpret_cast<const char*>(data), size}};
+  try {
+    (void)pfr::serve::read_binary_request_log(in);
+  } catch (const std::runtime_error&) {
+    // Typed rejection: the hostile-input contract.
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  fuzz_decode(data, size);
+  fuzz_assembler(data, size);
+  if (size > 0 && data[0] == 'P') fuzz_request_log(data, size);
+  return 0;
+}
+
+#ifdef PFR_FUZZ_STANDALONE
+// Non-clang fallback: replay corpus files passed on the command line.
+#include <fstream>
+#include <iostream>
+
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::ifstream in{argv[i], std::ios::binary};
+    if (!in) {
+      std::cerr << "cannot open " << argv[i] << "\n";
+      return 1;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string bytes = buf.str();
+    LLVMFuzzerTestOneInput(
+        reinterpret_cast<const std::uint8_t*>(bytes.data()), bytes.size());
+    std::cout << argv[i] << ": ok\n";
+  }
+  return 0;
+}
+#endif

@@ -48,6 +48,7 @@ std::string classify(const RunReport& report) {
   if (first.find("validate-mode violations") != std::string::npos) {
     return "violations";
   }
+  if (first.rfind("ingest:", 0) == 0) return "ingest";
   if (first.find("drift bound") != std::string::npos) return "drift";
   if (first.find("telemetry mismatch") != std::string::npos) {
     return "telemetry";
@@ -131,16 +132,19 @@ int frontier(const std::string& path, bool quick) {
 }
 
 int hunt(std::uint64_t seed, std::int64_t count, const std::string& artifacts,
-         bool do_shrink, int max_probes) {
+         bool do_shrink, int max_probes, bool no_ingest) {
   namespace fs = std::filesystem;
   std::cerr << "hunting " << count << " scenarios from seed " << seed
             << " (replay any failure with --seed=" << seed << ")\n";
   std::int64_t failures = 0;
   std::int64_t cluster_runs = 0;
+  std::int64_t ingest_runs = 0;
   for (std::int64_t i = 0; i < count; ++i) {
     const pfr::harness::GeneratedScenario gen =
         pfr::harness::generate_scenario(seed, static_cast<std::uint64_t>(i));
     RunnerConfig cfg;
+    if (!no_ingest) cfg.ingest = gen.ingest;
+    if (cfg.ingest.enabled) ++ingest_runs;
     const RunReport report = pfr::harness::run_scenario(gen.spec, cfg);
     if (report.cluster) ++cluster_runs;
     if (report.ok()) {
@@ -170,9 +174,12 @@ int hunt(std::uint64_t seed, std::int64_t count, const std::string& artifacts,
     (void)pfr::harness::run_scenario(gen.spec, dump_cfg);
 
     std::string min_text = gen.text;
-    if (do_shrink) {
+    // An ingest failure is a property of the (seed, index) plan, not of the
+    // scenario text -- shrinking the .scn cannot minimize it.
+    if (do_shrink && category != "ingest") {
+      const RunnerConfig probe_cfg;  // spec-only probes: no ingest replay
       const auto fails = [&](const pfr::pfair::ScenarioSpec& candidate) {
-        return classify(pfr::harness::run_scenario(candidate, cfg)) ==
+        return classify(pfr::harness::run_scenario(candidate, probe_cfg)) ==
                category;
       };
       try {
@@ -197,7 +204,8 @@ int hunt(std::uint64_t seed, std::int64_t count, const std::string& artifacts,
     std::ofstream{dir / "repro.txt"} << repro.str();
   }
   std::cerr << count << " scenarios, " << failures << " failures ("
-            << cluster_runs << " cluster runs)\n";
+            << cluster_runs << " cluster runs, " << ingest_runs
+            << " ingest-checked)\n";
   return failures == 0 ? 0 : 1;
 }
 
@@ -214,6 +222,7 @@ int main(int argc, char** argv) {
   const std::string frontier_path = cli.get_string("frontier", "");
   const bool quick = cli.get_bool("quick");
   const bool no_shrink = cli.get_bool("no-shrink");
+  const bool no_ingest = cli.get_bool("no-ingest");
   const int max_probes = static_cast<int>(cli.get_int("max-probes", 4000));
   if (cli.error()) {
     std::cerr << "argument error: " << *cli.error() << "\n";
@@ -228,7 +237,7 @@ int main(int argc, char** argv) {
     if (!replay_file.empty()) return replay(replay_file);
     if (!shrink_target.empty()) return shrink_file(shrink_target, max_probes);
     if (!frontier_path.empty()) return frontier(frontier_path, quick);
-    return hunt(seed, count, artifacts, !no_shrink, max_probes);
+    return hunt(seed, count, artifacts, !no_shrink, max_probes, no_ingest);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 2;

@@ -2,13 +2,19 @@
 
 #include <exception>
 #include <string>
+#include <thread>
 #include <unordered_set>
 #include <vector>
 
 #include "cluster/scenario.h"
+#include "net/feed.h"
+#include "net/ingest.h"
+#include "net/spsc_ring.h"
 #include "obs/flight_recorder.h"
 #include "obs/telemetry.h"
 #include "pfair/verify.h"
+#include "serve/load_gen.h"
+#include "serve/service.h"
 
 namespace pfr::harness {
 namespace {
@@ -239,11 +245,123 @@ RunReport run_cluster(const ScenarioSpec& spec, const RunnerConfig& cfg) {
   return report;
 }
 
+serve::ServiceConfig ingest_service_config(const IngestPlan& plan) {
+  serve::ServiceConfig cfg;
+  cfg.engine.processors = plan.processors;
+  cfg.engine.policy = ReweightPolicy::kOmissionIdeal;
+  cfg.engine.policing = pfair::PolicingMode::kClamp;
+  cfg.engine.record_slot_trace = false;
+  cfg.engine.use_ready_queue = true;
+  cfg.queue_capacity = 1024;
+  return cfg;
+}
+
+/// Ingest-path identity: the same derived request load, served in-process
+/// and through `plan.producers` shm ingest rings (lossless feeds with
+/// malformed-frame injection at plan.malformed_rate), must produce
+/// bit-identical response digests; every injected frame must be diagnosed;
+/// nothing may be lost.  Injection adds *extra* corrupt frames between the
+/// real ones, so the valid request set -- and hence the digest -- is
+/// unchanged by construction; a divergence is a mux/wire bug.
+void check_ingest(const IngestPlan& plan, std::vector<std::string>& out) {
+  serve::LoadGenConfig load_cfg;
+  load_cfg.processors = plan.processors;
+  load_cfg.tasks = plan.tasks;
+  load_cfg.requests = plan.requests;
+  load_cfg.seed = plan.load_seed;
+  const serve::GeneratedLoad load = serve::generate_load(load_cfg);
+
+  std::uint64_t digest_inproc = 0;
+  {
+    serve::ReweightService svc{ingest_service_config(plan)};
+    for (const auto& t : load.tasks) svc.seed_task(t.name, t.weight, t.rank);
+    const int handle = svc.queue().add_producer();
+    std::thread producer{[&svc, &load, handle] {
+      for (const serve::Request& r : load.requests) {
+        if (!svc.queue().push(handle, r)) break;
+      }
+      svc.queue().producer_done(handle);
+    }};
+    svc.run_to_completion();
+    producer.join();
+    digest_inproc = svc.response_digest();
+  }
+
+  serve::ReweightService svc{ingest_service_config(plan)};
+  for (const auto& t : load.tasks) svc.seed_task(t.name, t.weight, t.rank);
+  std::vector<net::ShmRing> rings;
+  rings.reserve(static_cast<std::size_t>(plan.producers));
+  for (int p = 0; p < plan.producers; ++p) {
+    rings.push_back(net::ShmRing::create_anonymous(plan.ring_capacity));
+  }
+  net::IngestMux mux{svc.queue()};
+  for (net::ShmRing& r : rings) mux.add_ring(r);
+  std::vector<net::FeedStats> feed_stats(
+      static_cast<std::size_t>(plan.producers));
+  std::vector<std::thread> feeds;
+  feeds.reserve(static_cast<std::size_t>(plan.producers));
+  for (int p = 0; p < plan.producers; ++p) {
+    feeds.emplace_back([&rings, &feed_stats, &load, &plan, p] {
+      net::FeedConfig fc;
+      fc.producer_tag = static_cast<std::uint64_t>(p);
+      fc.blocking = true;  // identity check runs lossless
+      fc.malformed_rate = plan.malformed_rate;
+      fc.malformed_seed = plan.load_seed + static_cast<std::uint64_t>(p) + 1;
+      feed_stats[static_cast<std::size_t>(p)] = net::feed_ring(
+          rings[static_cast<std::size_t>(p)],
+          net::partition_requests(load.requests, p, plan.producers), fc);
+    });
+  }
+  std::thread mux_thread{[&mux] { mux.run(); }};
+  svc.run_to_completion();
+  for (std::thread& t : feeds) t.join();
+  mux_thread.join();
+
+  const net::IngestMux::Stats ms = mux.stats();
+  std::uint64_t injected = 0;
+  for (const net::FeedStats& s : feed_stats) injected += s.injected;
+  if (svc.response_digest() != digest_inproc) {
+    out.push_back("ingest: ring-path digest mismatch: in-process=" +
+                  std::to_string(digest_inproc) + " rings=" +
+                  std::to_string(svc.response_digest()) + " (producers=" +
+                  std::to_string(plan.producers) + ", ring_capacity=" +
+                  std::to_string(plan.ring_capacity) + ")");
+  }
+  // Lossless feeds count injections only when the corrupt frame actually
+  // entered the ring, so the mux must diagnose each one, exactly.
+  if (ms.malformed != injected) {
+    out.push_back("ingest: malformed-frame accounting: injected " +
+                  std::to_string(injected) + ", mux diagnosed " +
+                  std::to_string(ms.malformed));
+  }
+  if (ms.requests != load.requests.size()) {
+    out.push_back("ingest: lost requests: fed " +
+                  std::to_string(load.requests.size()) + ", admitted " +
+                  std::to_string(ms.requests));
+  }
+  // Data frames block for space in lossless mode; only injected garbage may
+  // shed at the ring (it is best-effort by definition and uncounted when it
+  // does), so the ring-level shed counter is allowed to be nonzero here.
+  std::uint64_t data_shed = 0;
+  for (const net::FeedStats& s : feed_stats) data_shed += s.shed;
+  if (data_shed != 0) {
+    out.push_back("ingest: lossless feed shed " + std::to_string(data_shed) +
+                  " data frames");
+  }
+}
+
 }  // namespace
 
 RunReport run_scenario(const ScenarioSpec& spec, const RunnerConfig& cfg) {
   RunReport report = spec.shard_processors.empty() ? run_single(spec, cfg)
                                                    : run_cluster(spec, cfg);
+  if (cfg.ingest.enabled && report.ok()) {
+    try {
+      check_ingest(cfg.ingest, report.failures);
+    } catch (const std::exception& e) {
+      report.failures.push_back(std::string("ingest: threw: ") + e.what());
+    }
+  }
   if (!report.ok() && !cfg.flight_dump_path.empty()) {
     report.flight_dumped = dump_flight(spec, cfg);
   }

@@ -29,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "harness/scenario_gen.h"
 #include "pfair/scenario_io.h"
 
 namespace pfr::harness {
@@ -45,6 +46,13 @@ struct RunnerConfig {
   std::string flight_dump_path;
   /// Ring capacity for the failure dump.
   std::size_t flight_capacity{512};
+  /// Ingest-path property (disabled by default): replay a deterministic
+  /// request load in-process and through shm ingest rings -- with
+  /// malformed-frame injection at plan.malformed_rate -- and require (a)
+  /// bit-identical response digests, (b) every injected frame detected,
+  /// (c) zero lost requests.  The hunt copies each scenario's generated
+  /// plan in here.
+  IngestPlan ingest;
 };
 
 /// Outcome of one scenario execution.

@@ -283,6 +283,30 @@ GeneratedScenario generate_scenario(std::uint64_t seed, std::uint64_t index,
   out.text = pfair::render_scenario(spec);
   out.spec = pfair::parse_scenario_string(
       out.text, "gen-" + std::to_string(seed) + "-" + std::to_string(index));
+
+  // The ingest plan draws from its own stream (salted seed) so that the
+  // scenario text above stays byte-identical to pre-ingest hunts: replaying
+  // an old (seed, index) still reproduces the old `.scn` exactly.
+  Xoshiro256 irng = Xoshiro256::for_stream(seed ^ 0x494E4745535452ULL, index);
+  if (cfg.ingest_fraction > 0.0 && irng.bernoulli(cfg.ingest_fraction)) {
+    out.ingest.enabled = true;
+    out.ingest.producers = static_cast<int>(
+        irng.uniform_int(1, std::max(1, cfg.max_ingest_producers)));
+    const auto min_ring =
+        static_cast<std::int64_t>(std::max<std::size_t>(cfg.min_ingest_ring, 8));
+    const auto max_ring = std::max(
+        min_ring, static_cast<std::int64_t>(cfg.max_ingest_ring));
+    out.ingest.ring_capacity =
+        static_cast<std::size_t>(irng.uniform_int(min_ring, max_ring));
+    out.ingest.malformed_rate =
+        irng.bernoulli(0.5) ? 0.0
+                            : irng.uniform(0.0, cfg.max_ingest_malformed_rate);
+    out.ingest.load_seed = irng();
+    out.ingest.requests = static_cast<std::uint64_t>(
+        irng.uniform_int(128, 1024));
+    out.ingest.tasks = static_cast<int>(irng.uniform_int(4, 16));
+    out.ingest.processors = static_cast<int>(irng.uniform_int(2, 8));
+  }
   return out;
 }
 

@@ -49,6 +49,33 @@ struct GenConfig {
   bool allow_cluster{true};
   bool allow_faults{true};
   bool allow_heavy{true};
+
+  /// Ingest-path chaos (the net/ front door): this fraction of scenarios
+  /// also replays a derived request load through shm ingest rings --
+  /// in-process versus ringed delivery must produce bit-identical response
+  /// digests, and every injected malformed frame must be detected.  The
+  /// remaining knobs are the envelope the per-scenario plan is drawn from.
+  double ingest_fraction{0.25};
+  int max_ingest_producers{4};
+  std::size_t min_ingest_ring{16};
+  std::size_t max_ingest_ring{128};
+  double max_ingest_malformed_rate{0.15};
+};
+
+/// Per-scenario ingest plan (see GenConfig::ingest_fraction).  Drawn from
+/// an RNG stream independent of the scenario draw, so enabling ingest
+/// chaos never perturbs previously hunted scenario text.  The plan is not
+/// part of the `.scn` artifact: it is reproducible from (seed, index, cfg)
+/// alone.
+struct IngestPlan {
+  bool enabled{false};
+  int producers{2};
+  std::size_t ring_capacity{64};
+  double malformed_rate{0.0};
+  std::uint64_t load_seed{1};
+  std::uint64_t requests{512};
+  int tasks{8};
+  int processors{4};
 };
 
 /// One generated scenario: the replayable text artifact and its parse.
@@ -57,6 +84,7 @@ struct GeneratedScenario {
   pfair::ScenarioSpec spec;   ///< parse of `text`
   std::uint64_t seed{0};
   std::uint64_t index{0};
+  IngestPlan ingest;          ///< net/-path plan (often disabled)
 };
 
 /// Generates scenario `index` of stream `seed`.  Deterministic: the same

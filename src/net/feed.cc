@@ -1,0 +1,143 @@
+#include "net/feed.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <system_error>
+
+#include "net/wire.h"
+#include "util/crc32.h"
+#include "util/rng.h"
+
+namespace pfr::net {
+
+namespace {
+
+/// Corruption menu for injected frames: each entry starts from a valid bye
+/// frame and breaks exactly one decode check.
+void make_malformed(Xoshiro256& rng, std::uint8_t* out) {
+  encode_bye(out);
+  switch (rng.uniform_int(0, 3)) {
+    case 0: out[0] ^= 0xFF; break;                   // bad magic
+    case 1: out[4] = kWireVersion + 1; break;        // version skew
+    case 2: out[kCrcOffset] ^= 0x01; break;          // bad CRC
+    default: {                                       // bad kind (CRC resealed)
+      out[5] = 0x7F;
+      const std::uint32_t crc = crc32(out, kCrcOffset);
+      out[kCrcOffset + 0] = static_cast<std::uint8_t>(crc);
+      out[kCrcOffset + 1] = static_cast<std::uint8_t>(crc >> 8);
+      out[kCrcOffset + 2] = static_cast<std::uint8_t>(crc >> 16);
+      out[kCrcOffset + 3] = static_cast<std::uint8_t>(crc >> 24);
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<serve::Request> partition_requests(
+    const std::vector<serve::Request>& requests, int producer_index,
+    int producer_count) {
+  std::vector<serve::Request> out;
+  if (producer_count <= 0) return out;
+  out.reserve(requests.size() / static_cast<std::size_t>(producer_count) + 1);
+  for (std::size_t i = static_cast<std::size_t>(producer_index);
+       i < requests.size(); i += static_cast<std::size_t>(producer_count)) {
+    out.push_back(requests[i]);
+  }
+  return out;
+}
+
+FeedStats feed_ring(ShmRing& ring, const std::vector<serve::Request>& requests,
+                    const FeedConfig& cfg) {
+  FeedStats stats;
+  Xoshiro256 rng{cfg.malformed_seed};
+  std::uint8_t frame[kFrameBytes];
+  encode_hello(cfg.producer_tag, frame);
+  ring.push_blocking(frame);
+  for (const serve::Request& r : requests) {
+    if (cfg.malformed_rate > 0 && rng.bernoulli(cfg.malformed_rate)) {
+      std::uint8_t bad[kFrameBytes];
+      make_malformed(rng, bad);
+      // Injected garbage is best-effort by definition; never block on it.
+      if (ring.push_or_shed(bad, cfg.spin_limit)) ++stats.injected;
+    }
+    encode_request(r, frame);
+    if (cfg.blocking) {
+      if (!ring.push_blocking(frame)) break;  // ring closed under us
+      ++stats.sent;
+    } else if (ring.push_or_shed(frame, cfg.spin_limit)) {
+      ++stats.sent;
+    } else {
+      ++stats.shed;
+    }
+  }
+  encode_bye(frame);
+  ring.push_blocking(frame);
+  return stats;
+}
+
+namespace {
+
+void write_all(int fd, const std::uint8_t* data, std::size_t size) {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::system_error(errno, std::generic_category(), "feed_tcp write");
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+FeedStats feed_tcp(std::uint16_t port,
+                   const std::vector<serve::Request>& requests,
+                   const FeedConfig& cfg) {
+  FeedStats stats;
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    throw std::system_error(errno, std::generic_category(), "feed_tcp socket");
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+      0) {
+    const int err = errno;
+    ::close(fd);
+    throw std::system_error(err, std::generic_category(), "feed_tcp connect");
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+
+  try {
+    Xoshiro256 rng{cfg.malformed_seed};
+    std::uint8_t frame[kFrameBytes];
+    encode_hello(cfg.producer_tag, frame);
+    write_all(fd, frame, kFrameBytes);
+    for (const serve::Request& r : requests) {
+      // No injection over TCP: one bad frame closes the whole stream (the
+      // listener cannot resync), which would lose the real requests too.
+      encode_request(r, frame);
+      write_all(fd, frame, kFrameBytes);
+      ++stats.sent;
+    }
+    encode_bye(frame);
+    write_all(fd, frame, kFrameBytes);
+  } catch (...) {
+    ::close(fd);
+    throw;
+  }
+  ::close(fd);
+  return stats;
+}
+
+}  // namespace pfr::net

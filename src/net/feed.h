@@ -1,0 +1,70 @@
+/// \file feed.h
+/// \brief pfair-feed: the producer-process half of the front door.
+///
+/// A feed takes a deterministic request sequence (generate_load partitioned
+/// round-robin across producers, so P feeds with the same seed jointly
+/// reproduce the single-producer log) and streams it as wire frames over
+/// one transport: a shared-memory ring (feed_ring) or a TCP connection
+/// (feed_tcp).  Both open with hello, end with bye, and emit nothing out of
+/// due order, so the mux-side watermark bookkeeping holds by construction.
+///
+/// Loss accounting is explicit: in shed mode (`blocking == false`) a full
+/// ring sheds data frames after the spin budget (FeedStats::shed counts
+/// them); in lossless mode every frame waits for space.  The digest-identity
+/// checks run lossless; the overload benches run shedding.
+///
+/// Malformed injection (`malformed_rate > 0`) emits *extra* corrupt frames
+/// between the real ones -- the valid request set, and therefore the
+/// engine-side digest, is unchanged.  This is the chaos harness's hook for
+/// proving the error taxonomy holds under fire.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/spsc_ring.h"
+#include "serve/load_gen.h"
+#include "serve/request.h"
+
+namespace pfr::net {
+
+struct FeedConfig {
+  std::uint64_t producer_tag{0};
+  /// Lossless mode: block for ring space instead of spin-then-shed.
+  bool blocking{false};
+  int spin_limit{kDefaultSpinLimit};
+  /// Probability of injecting one extra malformed frame before a real one.
+  double malformed_rate{0.0};
+  std::uint64_t malformed_seed{1};
+};
+
+struct FeedStats {
+  std::uint64_t sent{0};      ///< data frames delivered
+  std::uint64_t shed{0};      ///< data frames shed at ring overflow
+  std::uint64_t injected{0};  ///< malformed frames injected
+};
+
+/// Round-robin partition: request at log position i belongs to producer
+/// `i % producer_count`.  Any subsequence of a non-decreasing-due log is
+/// itself non-decreasing, so each slice is a valid producer timeline; ids
+/// are globally unique, so the union replayed through P producers admits
+/// the same set as the whole log through one.
+[[nodiscard]] std::vector<serve::Request> partition_requests(
+    const std::vector<serve::Request>& requests, int producer_index,
+    int producer_count);
+
+/// Streams `requests` into the ring: hello, data frames, bye.  Control
+/// frames always block (they must not be lost); data frames obey
+/// cfg.blocking.  Returns what was sent/shed.
+FeedStats feed_ring(ShmRing& ring, const std::vector<serve::Request>& requests,
+                    const FeedConfig& cfg);
+
+/// Dials 127.0.0.1:`port` and streams `requests` over TCP (blocking
+/// socket, handles partial writes), then closes.  Throws std::system_error
+/// if the dial or a write fails.
+FeedStats feed_tcp(std::uint16_t port,
+                   const std::vector<serve::Request>& requests,
+                   const FeedConfig& cfg);
+
+}  // namespace pfr::net

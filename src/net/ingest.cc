@@ -1,0 +1,323 @@
+#include "net/ingest.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+namespace pfr::net {
+
+using pfair::Slot;
+
+IngestMux::IngestMux(serve::RequestQueue& queue, IngestMuxConfig cfg)
+    : queue_(queue), cfg_(cfg) {
+  if (cfg_.low_watermark > cfg_.high_watermark) {
+    cfg_.low_watermark = cfg_.high_watermark;
+  }
+}
+
+IngestMux::~IngestMux() = default;
+
+int IngestMux::add_ring(ShmRing& ring) {
+  Source src;
+  src.kind = Source::Kind::kRing;
+  src.ring = &ring;
+  src.queue_producer = queue_.add_producer();
+  rings_.push_back(std::move(src));
+  return static_cast<int>(rings_.size()) - 1;
+}
+
+void IngestMux::enable_tcp(std::uint16_t port) {
+  EpollListener::Callbacks cb;
+  cb.on_open = [this](int conn) {
+    Source src;
+    src.kind = Source::Kind::kTcp;
+    // Registering here means the new connection gates drains immediately:
+    // the queue cannot finalize a batch this producer might still feed.
+    // Producers are expected to hello+watermark right after connecting so
+    // an idle dial never stalls the engine for long.
+    src.queue_producer = queue_.add_producer();
+    const int source_id = src.queue_producer;
+    tcp_.insert_or_assign(conn, std::move(src));
+    conns_opened_.fetch_add(1, std::memory_order_release);
+    emit_event(obs::EventKind::kNetConnOpen, source_id, 0, "tcp");
+  };
+  cb.on_close = [this](int conn) {
+    const auto it = tcp_.find(conn);
+    if (it == tcp_.end()) return;
+    ++stats_.conns_closed;
+    // EOF without bye still releases the producer: a vanished peer must
+    // not wedge drain_slot's watermark wait forever.  Frames that arrived
+    // before the close are still valid, so with a non-empty deque the
+    // release waits until drain_pending empties it.
+    if (it->second.pending.empty()) {
+      finish_source(it->second);
+    } else {
+      it->second.closing = true;
+    }
+  };
+  cb.on_frame = [this](int conn, const std::uint8_t* frame) -> bool {
+    const auto it = tcp_.find(conn);
+    if (it == tcp_.end() || it->second.done) return true;
+    Source& src = it->second;
+    // The listener's probe already rejected undecodable frames, so this
+    // decode cannot fail; any trouble from here on is a per-source
+    // protocol violation.
+    const DecodedFrame decoded = decode_frame(frame, kFrameBytes);
+    if (!src.pending.empty()) {
+      // Already stalled; preserve arrival order behind the parked frames.
+      src.pending.push_back(decoded);
+      return false;
+    }
+    switch (apply_frame(src, decoded)) {
+      case Apply::kOk:
+        return true;
+      case Apply::kRefused:
+        src.pending.push_back(decoded);
+        return false;  // stall until the queue takes it
+      case Apply::kViolation:
+        break;
+    }
+    ++stats_.malformed;
+    emit_event(obs::EventKind::kNetMalformedFrame, src.queue_producer,
+               src.last_due, "frame: protocol violation (due regression)");
+    finish_source(src);
+    pending_close_.push_back(conn);
+    return false;
+  };
+  cb.on_error = [this](int /*conn*/, WireError error) {
+    // The listener closes the connection itself; on_close releases the
+    // producer.  We only account the malformed frame.
+    ++stats_.malformed;
+    emit_event(obs::EventKind::kNetMalformedFrame, -1, 0, describe(error));
+  };
+  listener_.emplace(port, std::move(cb));
+}
+
+std::uint16_t IngestMux::tcp_port() const {
+  return listener_ ? listener_->port() : 0;
+}
+
+IngestMux::Apply IngestMux::apply_frame(Source& src,
+                                        const DecodedFrame& frame) {
+  switch (frame.kind) {
+    case FrameKind::kHello:
+      src.producer_tag = frame.producer_tag;
+      ++stats_.hellos;
+      ++stats_.frames;
+      return Apply::kOk;
+    case FrameKind::kWatermark:
+      // Guard monotonicity here so hostile input surfaces as a protocol
+      // error, not an exception escaping the queue's invariant check.
+      if (frame.watermark < src.last_due) return Apply::kViolation;
+      src.last_due = frame.watermark;
+      queue_.advance_watermark(src.queue_producer, frame.watermark);
+      ++stats_.watermarks;
+      ++stats_.frames;
+      return Apply::kOk;
+    case FrameKind::kBye:
+      ++stats_.byes;
+      ++stats_.frames;
+      finish_source(src);
+      return Apply::kOk;
+    case FrameKind::kJoin:
+    case FrameKind::kReweight:
+    case FrameKind::kLeave:
+    case FrameKind::kQuery: {
+      if (frame.request.due < src.last_due) return Apply::kViolation;
+      // offer() advances the watermark to the request's due even when it
+      // refuses, so a parked request never stalls the consumer's drains;
+      // the retry's equal-due note passes the non-decreasing check.  The
+      // soft bound throttles admission at the high watermark, and stays
+      // low until the queue drains back (hysteresis).
+      const std::size_t soft =
+          congested_ ? cfg_.low_watermark : cfg_.high_watermark;
+      if (!queue_.offer(src.queue_producer, frame.request, soft)) {
+        congested_ = true;
+        return Apply::kRefused;
+      }
+      congested_ = false;
+      src.last_due = frame.request.due;
+      ++stats_.requests;
+      ++stats_.frames;
+      return Apply::kOk;
+    }
+  }
+  return Apply::kViolation;
+}
+
+void IngestMux::finish_source(Source& src) {
+  if (src.done) return;
+  src.done = true;
+  queue_.producer_done(src.queue_producer);
+  emit_event(obs::EventKind::kNetConnClose, src.queue_producer, src.last_due,
+             src.kind == Source::Kind::kRing ? "ring" : "tcp");
+}
+
+void IngestMux::emit_event(obs::EventKind kind, int source_id,
+                           pfair::Slot when, const char* detail) {
+  if (sink_ == nullptr) return;
+  obs::TraceEvent e;
+  e.kind = kind;
+  e.slot = when < 0 ? 0 : when;
+  e.when = when;
+  e.folded = source_id;
+  e.detail = detail;
+  sink_->on_event(e);
+}
+
+bool IngestMux::drain_pending(int conn, Source& src) {
+  bool moved = false;
+  while (!src.done && !src.pending.empty()) {
+    const Apply res = apply_frame(src, src.pending.front());
+    if (res == Apply::kRefused) break;
+    if (res == Apply::kViolation) {
+      ++stats_.malformed;
+      emit_event(obs::EventKind::kNetMalformedFrame, src.queue_producer,
+                 src.last_due, "frame: protocol violation (due regression)");
+      finish_source(src);
+      if (!src.closing) pending_close_.push_back(conn);
+      break;
+    }
+    src.pending.pop_front();
+    moved = true;
+  }
+  if (src.done) {
+    // bye (or a violation) inside the deque; anything behind it is
+    // protocol garbage.
+    src.pending.clear();
+  } else if (src.pending.empty()) {
+    if (src.closing) {
+      finish_source(src);
+    } else if (listener_) {
+      listener_->resume_connection(conn);
+    }
+  }
+  return moved;
+}
+
+bool IngestMux::pump_once() {
+  bool moved = false;
+  // Parked TCP frames first: they are the oldest admitted-but-undelivered
+  // work, and draining them un-stalls their connections.
+  for (auto& [conn, src] : tcp_) {
+    if (!src.pending.empty()) moved = drain_pending(conn, src) || moved;
+  }
+  for (Source& src : rings_) {
+    if (src.done) continue;
+    // Bounded burst per ring per pump so one firehose ring cannot starve
+    // the others or the TCP front.
+    for (int burst = 0; burst < kRingBurst && !src.done; ++burst) {
+      const std::uint8_t* slot = src.ring->front();
+      if (slot == nullptr) break;
+      const DecodedFrame decoded = decode_frame(slot, kFrameBytes);
+      // A ring's fixed-size slots cannot desync, so a bad frame (or a due
+      // regression) is counted and dropped; the stream continues.
+      if (!decoded.ok()) {
+        ++stats_.malformed;
+        emit_event(obs::EventKind::kNetMalformedFrame, src.queue_producer,
+                   src.last_due, describe(decoded.error));
+        src.ring->pop_front();
+        moved = true;
+        continue;
+      }
+      const Apply res = apply_frame(src, decoded);
+      if (res == Apply::kRefused) break;  // leave the frame in the ring
+      if (res == Apply::kViolation) {
+        ++stats_.malformed;
+        emit_event(obs::EventKind::kNetMalformedFrame, src.queue_producer,
+                   src.last_due, "frame: protocol violation (due regression)");
+      }
+      src.ring->pop_front();
+      moved = true;
+    }
+  }
+  if (listener_) {
+    const int frames = listener_->poll(moved ? 0 : cfg_.poll_timeout_ms);
+    moved = moved || frames > 0;
+    for (const int conn : pending_close_) listener_->close_connection(conn);
+    pending_close_.clear();
+  }
+  publish_telemetry();
+  return moved;
+}
+
+bool IngestMux::all_sources_done() const noexcept {
+  for (const Source& src : rings_) {
+    if (!src.done) return false;
+  }
+  for (const auto& [conn, src] : tcp_) {
+    if (!src.done) return false;
+  }
+  return true;
+}
+
+void IngestMux::run() {
+  for (;;) {
+    const bool moved = pump_once();
+    if (moved) continue;
+    // Natural completion: every registered source said bye/closed.  With a
+    // TCP front the mux keeps serving new dials until stop() -- an empty
+    // conn table just means nobody has connected yet.
+    const bool stopping = stop_.load(std::memory_order_acquire);
+    if (stopping || (!listener_ && all_sources_done())) {
+      // One confirming quiescent pass: a ring push racing the empty check
+      // above would otherwise be stranded.
+      if (!pump_once()) break;
+      continue;
+    }
+    // Nothing moved but sources are live: either the rings are idle or a
+    // frame is parked behind a full queue.  The listener's poll provides
+    // the idle wait when TCP is on; without it, nap briefly instead of
+    // spinning against the consumer's drain loop.
+    if (!listener_) {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+  // Last chance for parked TCP frames (the queue may have space now), then
+  // release whatever is still registered so the consumer's drain loop can
+  // terminate; a stopped mux will never pump these sources again.
+  for (auto& [conn, src] : tcp_) {
+    if (!src.pending.empty()) drain_pending(conn, src);
+  }
+  for (Source& src : rings_) finish_source(src);
+  for (auto& [conn, src] : tcp_) finish_source(src);
+  if (listener_) listener_->close_all();
+  publish_telemetry();
+}
+
+IngestMux::Stats IngestMux::stats() const {
+  Stats out = stats_;
+  out.conns_opened = connections_opened();
+  for (const Source& src : rings_) out.ring_shed += src.ring->shed_count();
+  if (listener_) out.tcp_bytes = listener_->bytes_read();
+  return out;
+}
+
+void IngestMux::publish_telemetry() {
+  if (telemetry_ == nullptr) return;
+  std::uint64_t ring_shed = 0;
+  std::uint64_t ring_depth = 0;
+  for (const Source& src : rings_) {
+    ring_shed += src.ring->shed_count();
+    ring_depth += src.ring->depth();
+  }
+  telemetry_->begin_slot();
+  telemetry_->add(obs::TelCounter::kNetFrames,
+                  static_cast<std::int64_t>(stats_.frames - tel_prev_frames_));
+  telemetry_->add(
+      obs::TelCounter::kNetMalformed,
+      static_cast<std::int64_t>(stats_.malformed - tel_prev_malformed_));
+  telemetry_->add(obs::TelCounter::kNetRingShed,
+                  static_cast<std::int64_t>(ring_shed - tel_prev_shed_));
+  telemetry_->set(obs::TelGauge::kNetConnections,
+                  listener_ ? static_cast<double>(listener_->connection_count())
+                            : 0.0);
+  telemetry_->set(obs::TelGauge::kNetRingDepth,
+                  static_cast<double>(ring_depth));
+  telemetry_->end_slot();
+  tel_prev_frames_ = stats_.frames;
+  tel_prev_malformed_ = stats_.malformed;
+  tel_prev_shed_ = ring_shed;
+}
+
+}  // namespace pfr::net

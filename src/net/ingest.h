@@ -1,0 +1,215 @@
+/// \file ingest.h
+/// \brief IngestMux: drains shared-memory rings and TCP connections into
+/// the slot-batched RequestQueue, preserving determinism at the slot-batch
+/// boundary.
+///
+/// The mux is the single consumer of every ring and the single reader of
+/// every TCP connection; each source (one ring, one connection) is
+/// registered as its own RequestQueue producer.  Because a producer's wire
+/// stream is a timeline (non-decreasing due slots, enforced here) and the
+/// queue's watermark gate already makes batches independent of push
+/// interleaving, the engine-side digest for a given admitted request
+/// sequence is bit-identical whether the requests arrived in-process, via
+/// rings, or via TCP -- the bench and the chaos harness both assert this.
+///
+/// The mux thread NEVER blocks.  A blocking push would be a head-of-line
+/// deadlock with two or more sources: the mux stuck waiting for queue
+/// space on source A's frame while source B's watermark gates the drain
+/// the consumer needs to free that space.  Instead every admission is a
+/// non-blocking RequestQueue::offer; a refused request is parked where it
+/// already lives:
+///   * ring frame -> left in the ring (front()/pop_front() peek-consume
+///     split; the ring IS the pending buffer, and its producer keeps
+///     shedding/spinning at the ring exactly as the overflow policy says);
+///   * TCP frame -> appended to a small per-connection pending deque and
+///     the connection is stalled (reads off) until the deque drains.
+/// A refused offer still advances the source's queue watermark to the
+/// refused due -- a valid promise -- so drains keep completing and space
+/// keeps freeing.
+///
+/// Frame semantics per source, in strict arrival order:
+///   * request frame -> RequestQueue::offer (parked at capacity, above);
+///   * watermark frame -> RequestQueue::advance_watermark;
+///   * bye frame -> RequestQueue::producer_done (the source is finished);
+///   * hello frame -> recorded (producer tag, diagnostics only);
+///   * malformed frame -> counted; a ring skips the slot (fixed-size slots
+///     cannot desync), a TCP stream is closed (it can);
+///   * due regression (protocol violation, not decodable locally) ->
+///     treated like a malformed frame.
+/// Parked TCP frames keep their order: watermark and bye frames behind a
+/// parked request wait in the same deque, because applying them early
+/// would let a drain finalize a batch the parked request belongs to.
+///
+/// Backpressure: admission throttles at `high_watermark` queue entries --
+/// offers pass a soft capacity, so requests start parking (and TCP
+/// connections start stalling, i.e. reads stop) before the queue's hard
+/// bound -- and, once congested, stays throttled until the depth drains
+/// back to `low_watermark` (hysteresis).  Note this is deliberately NOT a
+/// global pause_reads: pausing every connection would also silence the one
+/// whose watermark gates the current drain, deadlocking the consumer.
+/// Per-source parking is safe precisely because a refused offer still
+/// advances that source's watermark.  Rings need nothing extra -- their
+/// producers already spin-then-shed at the ring.
+///
+/// Threading: run() is the mux loop, meant for a dedicated thread; the
+/// consumer calls service.run_slot()/drain_slot from its own thread as
+/// usual.  All counters are plain fields read via stats() after stop() (or
+/// published live through an optional TelemetryShard owned exclusively by
+/// the mux thread).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/listener.h"
+#include "net/spsc_ring.h"
+#include "net/wire.h"
+#include "obs/sink.h"
+#include "obs/telemetry.h"
+#include "serve/request_queue.h"
+
+namespace pfr::net {
+
+struct IngestMuxConfig {
+  /// Start parking/stalling when the queue depth reaches this many
+  /// entries ...
+  std::size_t high_watermark{3072};
+  /// ... and keep throttling until it has drained back below this.
+  std::size_t low_watermark{1024};
+  /// epoll wait per pump when the rings were idle, in milliseconds.
+  int poll_timeout_ms{1};
+};
+
+class IngestMux {
+ public:
+  explicit IngestMux(serve::RequestQueue& queue, IngestMuxConfig cfg = {});
+  IngestMux(const IngestMux&) = delete;
+  IngestMux& operator=(const IngestMux&) = delete;
+  ~IngestMux();
+
+  /// Registers a ring as one producer source.  The caller keeps ownership
+  /// of the ring and must not pop from it afterwards.  Call before run().
+  int add_ring(ShmRing& ring);
+
+  /// Opens the TCP front (loopback; port 0 = ephemeral).  Call before
+  /// run(); tcp_port() returns the bound port for producers to dial.
+  void enable_tcp(std::uint16_t port);
+  [[nodiscard]] std::uint16_t tcp_port() const;
+
+  /// Attaches a live telemetry shard the mux thread publishes net.*
+  /// counters/gauges into (nullptr detaches).  The shard must be dedicated
+  /// to the mux (one seqlock writer per shard).
+  void set_telemetry(obs::TelemetryShard* shard) noexcept {
+    telemetry_ = shard;
+  }
+
+  /// Attaches a trace sink for the net_* EventKinds (connection open/close,
+  /// malformed frames).  Called from the mux thread only -- share a sink
+  /// with an engine only through something thread-safe (e.g. the sharded
+  /// FlightRecorder).  nullptr detaches.
+  void set_event_sink(obs::EventSink* sink) noexcept { sink_ = sink; }
+
+  /// One pump pass: deliver parked TCP frames, drain every ring, poll the
+  /// TCP front once, apply backpressure.  Returns true if any frame moved.
+  bool pump_once();
+
+  /// Pumps until stop() is called AND every registered source has said
+  /// bye (so a stop() never strands queued frames).
+  void run();
+
+  /// Asks run() to finish.  Safe from any thread.
+  void stop() noexcept { stop_.store(true, std::memory_order_release); }
+
+  /// True once every registered source (rings + TCP conns seen so far) has
+  /// completed with a bye frame / close.
+  [[nodiscard]] bool all_sources_done() const noexcept;
+
+  /// TCP connections registered so far.  Unlike stats(), safe to poll from
+  /// any thread while run() is live -- consumers use it to hold their drain
+  /// loop until every expected producer has dialed in (registration before
+  /// draining preserves path-independent batches).
+  [[nodiscard]] std::uint64_t connections_opened() const noexcept {
+    return conns_opened_.load(std::memory_order_acquire);
+  }
+
+  struct Stats {
+    std::uint64_t frames{0};        ///< decoded frames of any kind
+    std::uint64_t requests{0};      ///< request frames pushed to the queue
+    std::uint64_t watermarks{0};
+    std::uint64_t hellos{0};
+    std::uint64_t byes{0};
+    std::uint64_t malformed{0};     ///< typed decode errors + due regressions
+    std::uint64_t ring_shed{0};     ///< producer-side ring overflow sheds
+    std::uint64_t tcp_bytes{0};
+    std::uint64_t conns_opened{0};  ///< backed by the atomic accessor above
+    std::uint64_t conns_closed{0};
+  };
+  /// Consistent only after run() returned (or between pump_once calls).
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  struct Source {
+    enum class Kind : std::uint8_t { kRing, kTcp } kind{Kind::kRing};
+    int queue_producer{-1};
+    ShmRing* ring{nullptr};  ///< null for TCP sources
+    pfair::Slot last_due{-1};
+    std::uint64_t producer_tag{0};
+    bool done{false};
+    /// TCP only: frames received while the queue refused admission, in
+    /// arrival order.  Bounded by the listener's chunk size per stall (the
+    /// connection is stalled while non-empty).
+    std::deque<DecodedFrame> pending;
+    /// TCP only: connection closed (EOF/error) with frames still pending;
+    /// producer_done is deferred until the deque drains.
+    bool closing{false};
+  };
+
+  /// Outcome of applying one frame to its source.
+  enum class Apply : std::uint8_t {
+    kOk,         ///< frame fully applied
+    kRefused,    ///< request refused by a full queue; retry the SAME frame
+    kViolation,  ///< per-source protocol violation (e.g. due regression)
+  };
+
+  /// Applies one decoded frame to `src` in protocol order.  Never blocks.
+  Apply apply_frame(Source& src, const DecodedFrame& frame);
+  /// Emits one net_* trace event (no-op without a sink).
+  void emit_event(obs::EventKind kind, int source_id, pfair::Slot when,
+                  const char* detail);
+  /// Delivers parked TCP frames; settles closing sources; resumes the
+  /// connection once the deque drains.  Returns true if anything moved.
+  bool drain_pending(int conn, Source& src);
+  void finish_source(Source& src);
+  void publish_telemetry();
+
+  /// Frames drained per ring per pump before moving on, so one firehose
+  /// ring cannot starve its siblings or the TCP front.
+  static constexpr int kRingBurst = 1024;
+
+  serve::RequestQueue& queue_;
+  IngestMuxConfig cfg_;
+  std::vector<Source> rings_;
+  std::map<int, Source> tcp_;  ///< keyed by conn id (fd)
+  std::vector<int> pending_close_;  ///< conns to close after poll() returns
+  std::optional<EpollListener> listener_;
+  /// Backpressure hysteresis: once an offer is refused, later offers use
+  /// low_watermark as the soft bound until one is accepted again.
+  bool congested_{false};
+  std::atomic<bool> stop_{false};
+  /// Mux-thread written, any-thread read (the registration wait above).
+  std::atomic<std::uint64_t> conns_opened_{0};
+  obs::TelemetryShard* telemetry_{nullptr};
+  obs::EventSink* sink_{nullptr};
+  Stats stats_;
+  std::uint64_t tel_prev_frames_{0};
+  std::uint64_t tel_prev_malformed_{0};
+  std::uint64_t tel_prev_shed_{0};
+};
+
+}  // namespace pfr::net

@@ -1,0 +1,213 @@
+#include "net/listener.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <system_error>
+#include <utility>
+#include <vector>
+
+namespace pfr::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+}  // namespace
+
+EpollListener::EpollListener(std::uint16_t port, Callbacks callbacks)
+    : cb_(std::move(callbacks)) {
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) throw_errno("EpollListener socket");
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) != 0) {
+    ::close(listen_fd_);
+    throw_errno("EpollListener bind");
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) !=
+      0) {
+    ::close(listen_fd_);
+    throw_errno("EpollListener getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+  if (::listen(listen_fd_, 64) != 0) {
+    ::close(listen_fd_);
+    throw_errno("EpollListener listen");
+  }
+
+  epoll_fd_ = ::epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) {
+    ::close(listen_fd_);
+    throw_errno("EpollListener epoll_create1");
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) != 0) {
+    ::close(epoll_fd_);
+    ::close(listen_fd_);
+    throw_errno("EpollListener epoll_ctl(listen)");
+  }
+}
+
+EpollListener::~EpollListener() {
+  close_all();
+  if (epoll_fd_ >= 0) ::close(epoll_fd_);
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+}
+
+void EpollListener::set_read_interest(int fd, bool on) {
+  epoll_event ev{};
+  ev.events = on ? (EPOLLIN | EPOLLRDHUP) : EPOLLRDHUP;
+  ev.data.fd = fd;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev);
+}
+
+void EpollListener::accept_ready() {
+  for (;;) {
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) return;  // EAGAIN (or a transient error): nothing more now
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    epoll_event ev{};
+    // A paused listener keeps accepting but starts the conn with reads off;
+    // resume_reads() will arm it with everything else.
+    ev.events = paused_ ? EPOLLRDHUP : (EPOLLIN | EPOLLRDHUP);
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) != 0) {
+      ::close(fd);
+      continue;
+    }
+    conns_.emplace(fd, Conn{});
+    ++conns_opened_;
+    if (cb_.on_open) cb_.on_open(fd);
+  }
+}
+
+int EpollListener::read_ready(int fd, bool ignore_stall) {
+  const auto it = conns_.find(fd);
+  if (it == conns_.end()) return 0;
+  int frames = 0;
+  std::uint8_t buf[16 * kFrameBytes];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n > 0) {
+      bytes_read_ += static_cast<std::uint64_t>(n);
+      bool fatal = false;
+      bool stall = false;
+      it->second.assembler.feed(
+          buf, static_cast<std::size_t>(n),
+          [this, fd, &frames, &fatal, &stall](const std::uint8_t* frame) {
+            if (fatal) return;  // already desynced; drop the rest
+            // Cheap sanity here so a desynced stream dies at the first bad
+            // frame instead of flooding the callback; full decode happens
+            // in the mux.
+            const DecodedFrame probe = decode_frame(frame, kFrameBytes);
+            if (!probe.ok()) {
+              fatal = true;
+              if (cb_.on_error) cb_.on_error(fd, probe.error);
+              return;
+            }
+            ++frames;
+            // The rest of this chunk is still delivered even after a stall
+            // request -- the caller buffers it (bounded by the chunk size).
+            if (cb_.on_frame && !cb_.on_frame(fd, frame)) stall = true;
+          });
+      if (fatal) {
+        close_conn(fd);
+        return frames;
+      }
+      if (stall && !ignore_stall) {
+        it->second.stalled = true;
+        set_read_interest(fd, false);
+        return frames;
+      }
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return frames;
+    if (n < 0 && errno == EINTR) continue;
+    // EOF or hard error: a clean peer sent bye first; either way close.
+    close_conn(fd);
+    return frames;
+  }
+}
+
+void EpollListener::close_conn(int fd) {
+  const auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  ::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr);
+  ::close(fd);
+  conns_.erase(it);
+  if (cb_.on_close) cb_.on_close(fd);
+}
+
+int EpollListener::poll(int timeout_ms) {
+  epoll_event events[64];
+  const int n = ::epoll_wait(epoll_fd_, events, 64, timeout_ms);
+  int frames = 0;
+  for (int i = 0; i < n; ++i) {
+    const int fd = events[i].data.fd;
+    if (fd == listen_fd_) {
+      accept_ready();
+      continue;
+    }
+    if ((events[i].events & (EPOLLIN)) != 0) {
+      frames += read_ready(fd);
+    }
+    if ((events[i].events & (EPOLLRDHUP | EPOLLHUP | EPOLLERR)) != 0 &&
+        conns_.count(fd) != 0) {
+      // Drain whatever arrived before the hangup, then close.  Stalls are
+      // overridden: losing the tail of a finished stream would silently
+      // drop requests the peer believes were delivered.
+      frames += read_ready(fd, /*ignore_stall=*/true);
+      close_conn(fd);
+    }
+  }
+  return frames;
+}
+
+void EpollListener::pause_reads() {
+  if (paused_) return;
+  paused_ = true;
+  for (const auto& [fd, conn] : conns_) set_read_interest(fd, false);
+}
+
+void EpollListener::resume_reads() {
+  if (!paused_) return;
+  paused_ = false;
+  for (const auto& [fd, conn] : conns_) {
+    if (!conn.stalled) set_read_interest(fd, true);
+  }
+}
+
+void EpollListener::resume_connection(int conn) {
+  const auto it = conns_.find(conn);
+  if (it == conns_.end() || !it->second.stalled) return;
+  it->second.stalled = false;
+  if (!paused_) set_read_interest(conn, true);
+}
+
+void EpollListener::close_all() {
+  std::vector<int> fds;
+  fds.reserve(conns_.size());
+  for (const auto& [fd, conn] : conns_) fds.push_back(fd);
+  for (const int fd : fds) close_conn(fd);
+}
+
+}  // namespace pfr::net

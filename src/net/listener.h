@@ -1,0 +1,123 @@
+/// \file listener.h
+/// \brief Nonblocking epoll TCP listener for remote ingest producers.
+///
+/// One EpollListener owns a listening socket (loopback by default; port 0
+/// picks an ephemeral port, readable via port()) and an epoll instance.
+/// poll() processes whatever is ready -- accepts new connections, reads
+/// available bytes, reassembles kFrameBytes frames (FrameAssembler, so a
+/// request split across TCP segments is a byte count, not a special case)
+/// -- and hands each completed frame to the caller's on_frame callback.
+///
+/// Error policy: a TCP stream that yields one malformed frame has lost
+/// framing for good (there is no resync marker by design -- frames are
+/// fixed-size, so a desynced stream would misparse forever).  The listener
+/// reports the typed WireError through on_error and closes the connection.
+///
+/// Backpressure, two grains:
+///  - Global: pause_reads() drops EPOLLIN interest on every established
+///    connection (new ones are still accepted, but start paused);
+///    resume_reads() restores it.  The IngestMux flips these around the
+///    admission queue's high/low watermarks.
+///  - Per-connection: on_frame returns false to *stall* that connection --
+///    the rest of the already-read chunk is still delivered (the caller
+///    must buffer it; at most 16 frames), then EPOLLIN is dropped for just
+///    that fd until resume_connection().  The mux stalls a connection
+///    whose frames it cannot admit yet, so one gated source cannot force
+///    the mux to block or buffer unboundedly.
+/// Either way a slow consumer turns into TCP backpressure on the
+/// producers: each connection holds at most one partial frame, a small
+/// caller-side pending buffer, and the kernel socket buffer.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "net/wire.h"
+
+namespace pfr::net {
+
+class EpollListener {
+ public:
+  struct Callbacks {
+    /// New connection established; `conn` is its stable id.
+    std::function<void(int conn)> on_open;
+    /// Connection closed (peer EOF, error, or malformed frame).
+    std::function<void(int conn)> on_close;
+    /// One complete frame (exactly kFrameBytes, not yet decoded).  Return
+    /// false to stall this connection after the current chunk (see file
+    /// comment); true to keep reading.
+    std::function<bool(int conn, const std::uint8_t* frame)> on_frame;
+    /// Fatal per-connection protocol error; on_close follows.
+    std::function<void(int conn, WireError error)> on_error;
+  };
+
+  /// Binds 127.0.0.1:`port` (0 = ephemeral) and starts listening.  Throws
+  /// std::system_error on any syscall failure.
+  EpollListener(std::uint16_t port, Callbacks callbacks);
+  EpollListener(const EpollListener&) = delete;
+  EpollListener& operator=(const EpollListener&) = delete;
+  ~EpollListener();
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Processes ready events, waiting at most `timeout_ms` (0 = poll).
+  /// Returns the number of frames delivered to on_frame.
+  int poll(int timeout_ms);
+
+  /// Global backpressure (see file comment).
+  void pause_reads();
+  void resume_reads();
+  [[nodiscard]] bool paused() const noexcept { return paused_; }
+
+  /// Clears a per-connection stall set by on_frame returning false.  Reads
+  /// re-arm immediately unless the listener is globally paused (then they
+  /// re-arm on resume_reads()).
+  void resume_connection(int conn);
+
+  [[nodiscard]] std::size_t connection_count() const noexcept {
+    return conns_.size();
+  }
+  [[nodiscard]] std::uint64_t bytes_read() const noexcept {
+    return bytes_read_;
+  }
+  [[nodiscard]] std::uint64_t connections_opened() const noexcept {
+    return conns_opened_;
+  }
+
+  /// Closes one connection (it gets on_close).  For protocol violations
+  /// the frame probe cannot see (e.g. a due regression, which only the mux
+  /// tracking per-source state can detect).  Do not call from inside an
+  /// on_frame callback -- defer to after poll() returns.
+  void close_connection(int conn) { close_conn(conn); }
+
+  /// Closes every connection (each gets on_close) and stops accepting.
+  void close_all();
+
+ private:
+  struct Conn {
+    FrameAssembler assembler;
+    bool stalled{false};  ///< on_frame said stop; EPOLLIN off until resumed
+  };
+
+  void accept_ready();
+  /// Reads until EAGAIN; returns frames delivered.  Closes on EOF/error.
+  /// `ignore_stall` is the hangup drain: the peer is gone, so a stall
+  /// request must not strand its already-sent frames in the kernel buffer
+  /// -- everything is delivered (the callback keeps parking them).
+  int read_ready(int fd, bool ignore_stall = false);
+  void close_conn(int fd);
+  void set_read_interest(int fd, bool on);
+
+  Callbacks cb_;
+  int listen_fd_{-1};
+  int epoll_fd_{-1};
+  std::uint16_t port_{0};
+  bool paused_{false};
+  std::map<int, Conn> conns_;  ///< keyed by fd (doubles as the conn id)
+  std::uint64_t bytes_read_{0};
+  std::uint64_t conns_opened_{0};
+};
+
+}  // namespace pfr::net

@@ -1,0 +1,265 @@
+#include "net/spsc_ring.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+#include <new>
+#include <stdexcept>
+#include <system_error>
+#include <thread>
+#include <utility>
+
+namespace pfr::net {
+
+namespace {
+
+constexpr std::uint32_t kRingMagic = 0x52474E49u;  // "INGR"
+constexpr std::uint32_t kRingVersion = 1;
+constexpr std::size_t kControlBytes = 4096;
+constexpr std::size_t kMinCapacity = 8;
+constexpr std::size_t kCacheLine = 64;
+
+#if defined(__x86_64__) || defined(__i386__)
+inline void cpu_relax() noexcept { __builtin_ia32_pause(); }
+#else
+inline void cpu_relax() noexcept { std::this_thread::yield(); }
+#endif
+
+std::size_t round_up_pow2(std::size_t v) {
+  std::size_t p = kMinCapacity;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+}  // namespace
+
+/// The shared control block.  Producer-owned fields and consumer-owned
+/// fields sit on separate cache lines; std::atomic on this platform is
+/// lock-free (and therefore address-free, i.e. process-shared) for every
+/// type used here.
+struct ShmRing::Control {
+  /// Init seqlock: odd while the creator writes the header, even+nonzero
+  /// once the ring is usable.
+  std::atomic<std::uint64_t> init_seq{0};
+  std::uint32_t magic{0};
+  std::uint32_t version{0};
+  std::uint64_t capacity{0};     ///< frames; power of two
+  std::uint64_t frame_bytes{0};  ///< kFrameBytes, pinned for skew detection
+
+  /// Producer line: unwrapped write sequence plus producer-side accounting.
+  alignas(kCacheLine) std::atomic<std::uint64_t> tail{0};
+  std::atomic<std::uint64_t> pushed{0};
+  std::atomic<std::uint64_t> shed{0};
+
+  /// Consumer line: unwrapped read sequence plus the close flag.
+  alignas(kCacheLine) std::atomic<std::uint64_t> head{0};
+  std::atomic<std::uint64_t> popped{0};
+  std::atomic<std::uint32_t> closed{0};
+};
+
+ShmRing::ShmRing(Control* ctrl, std::uint8_t* slots, std::size_t mapped_bytes,
+                 std::string path) noexcept
+    : ctrl_(ctrl),
+      slots_(slots),
+      mapped_bytes_(mapped_bytes),
+      path_(std::move(path)) {}
+
+ShmRing::ShmRing(ShmRing&& other) noexcept
+    : ctrl_(std::exchange(other.ctrl_, nullptr)),
+      slots_(std::exchange(other.slots_, nullptr)),
+      mapped_bytes_(std::exchange(other.mapped_bytes_, 0)),
+      path_(std::move(other.path_)) {}
+
+ShmRing& ShmRing::operator=(ShmRing&& other) noexcept {
+  if (this != &other) {
+    if (ctrl_ != nullptr) ::munmap(ctrl_, mapped_bytes_);
+    ctrl_ = std::exchange(other.ctrl_, nullptr);
+    slots_ = std::exchange(other.slots_, nullptr);
+    mapped_bytes_ = std::exchange(other.mapped_bytes_, 0);
+    path_ = std::move(other.path_);
+  }
+  return *this;
+}
+
+ShmRing::~ShmRing() {
+  if (ctrl_ != nullptr) ::munmap(ctrl_, mapped_bytes_);
+}
+
+/// Placement-constructs and seals the control block in fresh mapped memory.
+/// Seqlock write section: attach() spins until init_seq is even+nonzero.
+void ShmRing::init_control(void* mem, std::size_t capacity) noexcept {
+  static_assert(sizeof(Control) <= kControlBytes,
+                "control block must fit its reserved page");
+  auto* ctrl = new (mem) Control{};
+  ctrl->init_seq.store(1, std::memory_order_release);
+  ctrl->magic = kRingMagic;
+  ctrl->version = kRingVersion;
+  ctrl->capacity = capacity;
+  ctrl->frame_bytes = kFrameBytes;
+  ctrl->init_seq.store(2, std::memory_order_release);
+}
+
+ShmRing ShmRing::create(const std::string& path, std::size_t capacity_frames) {
+  const std::size_t capacity = round_up_pow2(capacity_frames);
+  const std::size_t bytes = kControlBytes + capacity * kFrameBytes;
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0600);
+  if (fd < 0) throw_errno("ShmRing::create open");
+  if (::ftruncate(fd, static_cast<off_t>(bytes)) != 0) {
+    ::close(fd);
+    throw_errno("ShmRing::create ftruncate");
+  }
+  void* mem = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  ::close(fd);  // the mapping keeps the file alive
+  if (mem == MAP_FAILED) throw_errno("ShmRing::create mmap");
+  init_control(mem, capacity);
+  return ShmRing{static_cast<Control*>(mem),
+                 static_cast<std::uint8_t*>(mem) + kControlBytes, bytes, path};
+}
+
+ShmRing ShmRing::attach(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDWR);
+  if (fd < 0) throw_errno("ShmRing::attach open");
+  const off_t end = ::lseek(fd, 0, SEEK_END);
+  if (end < static_cast<off_t>(kControlBytes)) {
+    ::close(fd);
+    throw std::runtime_error("ShmRing::attach: " + path +
+                             " is too small to hold a ring");
+  }
+  const auto bytes = static_cast<std::size_t>(end);
+  void* mem = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  ::close(fd);
+  if (mem == MAP_FAILED) throw_errno("ShmRing::attach mmap");
+  auto* ctrl = static_cast<Control*>(mem);
+  // Wait out a creator mid-initialization (seqlock odd), then validate.
+  std::uint64_t seq = ctrl->init_seq.load(std::memory_order_acquire);
+  for (int i = 0; i < 1 << 20 && (seq == 0 || (seq & 1) != 0); ++i) {
+    cpu_relax();
+    seq = ctrl->init_seq.load(std::memory_order_acquire);
+  }
+  const auto reject = [&](const std::string& why) {
+    ::munmap(mem, bytes);
+    throw std::runtime_error("ShmRing::attach: " + path + ": " + why);
+  };
+  if (seq == 0 || (seq & 1) != 0) reject("ring never finished initializing");
+  if (ctrl->magic != kRingMagic) reject("bad magic");
+  if (ctrl->version != kRingVersion) reject("ring version skew");
+  if (ctrl->frame_bytes != kFrameBytes) reject("frame size skew");
+  if (ctrl->capacity < kMinCapacity ||
+      (ctrl->capacity & (ctrl->capacity - 1)) != 0 ||
+      bytes < kControlBytes + ctrl->capacity * kFrameBytes) {
+    reject("implausible capacity");
+  }
+  return ShmRing{ctrl, static_cast<std::uint8_t*>(mem) + kControlBytes, bytes,
+                 path};
+}
+
+ShmRing ShmRing::create_anonymous(std::size_t capacity_frames) {
+  const std::size_t capacity = round_up_pow2(capacity_frames);
+  const std::size_t bytes = kControlBytes + capacity * kFrameBytes;
+  void* mem = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                     MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  if (mem == MAP_FAILED) throw_errno("ShmRing::create_anonymous mmap");
+  init_control(mem, capacity);
+  return ShmRing{static_cast<Control*>(mem),
+                 static_cast<std::uint8_t*>(mem) + kControlBytes, bytes, {}};
+}
+
+bool ShmRing::try_push(const std::uint8_t* frame) noexcept {
+  const std::uint64_t tail = ctrl_->tail.load(std::memory_order_relaxed);
+  const std::uint64_t head = ctrl_->head.load(std::memory_order_acquire);
+  if (tail - head >= ctrl_->capacity) return false;
+  std::memcpy(slots_ + (tail & (ctrl_->capacity - 1)) * kFrameBytes, frame,
+              kFrameBytes);
+  ctrl_->tail.store(tail + 1, std::memory_order_release);
+  ctrl_->pushed.store(ctrl_->pushed.load(std::memory_order_relaxed) + 1,
+                      std::memory_order_relaxed);
+  return true;
+}
+
+bool ShmRing::push_or_shed(const std::uint8_t* frame, int spin_limit) noexcept {
+  for (int i = 0; i <= spin_limit; ++i) {
+    if (try_push(frame)) return true;
+    cpu_relax();
+  }
+  ctrl_->shed.store(ctrl_->shed.load(std::memory_order_relaxed) + 1,
+                    std::memory_order_relaxed);
+  return false;
+}
+
+bool ShmRing::push_blocking(const std::uint8_t* frame) noexcept {
+  for (std::uint64_t i = 0; !try_push(frame); ++i) {
+    if (ctrl_->closed.load(std::memory_order_acquire) != 0) return false;
+    if (i < 1024) {
+      cpu_relax();
+    } else {
+      std::this_thread::yield();
+    }
+  }
+  return true;
+}
+
+bool ShmRing::pop(std::uint8_t* frame_out) noexcept {
+  const std::uint8_t* slot = front();
+  if (slot == nullptr) return false;
+  std::memcpy(frame_out, slot, kFrameBytes);
+  pop_front();
+  return true;
+}
+
+const std::uint8_t* ShmRing::front() const noexcept {
+  const std::uint64_t head = ctrl_->head.load(std::memory_order_relaxed);
+  const std::uint64_t tail = ctrl_->tail.load(std::memory_order_acquire);
+  if (head == tail) return nullptr;
+  return slots_ + (head & (ctrl_->capacity - 1)) * kFrameBytes;
+}
+
+void ShmRing::pop_front() noexcept {
+  const std::uint64_t head = ctrl_->head.load(std::memory_order_relaxed);
+  ctrl_->head.store(head + 1, std::memory_order_release);
+  ctrl_->popped.store(ctrl_->popped.load(std::memory_order_relaxed) + 1,
+                      std::memory_order_relaxed);
+}
+
+void ShmRing::close() noexcept {
+  ctrl_->closed.store(1, std::memory_order_release);
+}
+
+std::size_t ShmRing::capacity() const noexcept {
+  return static_cast<std::size_t>(ctrl_->capacity);
+}
+
+std::size_t ShmRing::depth() const noexcept {
+  const std::uint64_t tail = ctrl_->tail.load(std::memory_order_acquire);
+  const std::uint64_t head = ctrl_->head.load(std::memory_order_acquire);
+  return static_cast<std::size_t>(tail - head);
+}
+
+std::uint64_t ShmRing::pushed_count() const noexcept {
+  return ctrl_->pushed.load(std::memory_order_relaxed);
+}
+
+std::uint64_t ShmRing::popped_count() const noexcept {
+  return ctrl_->popped.load(std::memory_order_relaxed);
+}
+
+std::uint64_t ShmRing::shed_count() const noexcept {
+  return ctrl_->shed.load(std::memory_order_relaxed);
+}
+
+bool ShmRing::closed() const noexcept {
+  return ctrl_->closed.load(std::memory_order_acquire) != 0;
+}
+
+void ShmRing::unlink(const std::string& path) noexcept {
+  if (!path.empty()) ::unlink(path.c_str());
+}
+
+}  // namespace pfr::net

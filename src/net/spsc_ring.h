@@ -1,0 +1,130 @@
+/// \file spsc_ring.h
+/// \brief Lock-free single-producer/single-consumer shared-memory frame
+/// ring: the co-located-process half of the ingest front door.
+///
+/// One ring connects exactly one producer process to the consumer (the
+/// IngestMux).  The backing memory is either a mmap'd file -- any path the
+/// two processes share; /dev/shm keeps it off disk -- or an anonymous
+/// MAP_SHARED mapping inherited across fork().  Layout:
+///
+///   [ 0, 4096)                   control block (RingControl, seqlock'd)
+///   [4096, 4096 + cap * 80)      frame slots, kFrameBytes each
+///
+/// The control block's init fields (magic, version, capacity, frame size)
+/// are sealed by the creator under a seqlock: attach() spins until the
+/// version is even and nonzero, then validates, so a producer can never
+/// observe a half-initialized ring.  Head and tail live on their own cache
+/// lines (the consumer's head writes never bounce the producer's tail line)
+/// and index an unwrapped u64 sequence; capacity is forced to a power of
+/// two so wrapping is a mask.
+///
+/// Overflow policy (documented contract, tests pin it): the producer first
+/// spins -- `spin_limit` empty-check retries, a PAUSE each -- betting the
+/// consumer is mid-drain; if the ring is still full it *sheds the frame*,
+/// bumping the `shed` counter the consumer reads through shed_count().
+/// Data frames shed; control frames (watermark/bye) must not disappear, so
+/// push_blocking() keeps spinning with a short yield instead.  Shedding at
+/// the producer keeps an overloaded front door from ever blocking the
+/// producer's own request loop -- the paper's graceful-degradation story
+/// (rules O/I absorb what *is* admitted; the shed counter feeds the SLO
+/// tracker's shed rate).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "net/wire.h"
+
+namespace pfr::net {
+
+/// Default producer-side spin budget before a frame is shed.
+inline constexpr int kDefaultSpinLimit = 4096;
+
+class ShmRing {
+ public:
+  /// Creates a file-backed ring at `path` (consumer side; truncates any
+  /// existing file).  `capacity_frames` is rounded up to a power of two,
+  /// minimum 8.  Throws std::system_error on any syscall failure.
+  [[nodiscard]] static ShmRing create(const std::string& path,
+                                      std::size_t capacity_frames);
+
+  /// Maps an existing ring created by create() (producer side).  Validates
+  /// magic/version/frame size under the init seqlock; throws
+  /// std::runtime_error on a mismatch.
+  [[nodiscard]] static ShmRing attach(const std::string& path);
+
+  /// Creates an anonymous MAP_SHARED ring: visible to this process and any
+  /// child forked afterwards (the bench and the in-process tests use this;
+  /// exec'd producers need the file-backed form).
+  [[nodiscard]] static ShmRing create_anonymous(std::size_t capacity_frames);
+
+  ShmRing(ShmRing&& other) noexcept;
+  ShmRing& operator=(ShmRing&& other) noexcept;
+  ShmRing(const ShmRing&) = delete;
+  ShmRing& operator=(const ShmRing&) = delete;
+  ~ShmRing();
+
+  // ----- producer side (one process/thread) -----
+
+  /// Copies one frame in if there is space.  Returns false when full.
+  bool try_push(const std::uint8_t* frame) noexcept;
+
+  /// Spin-then-shed (see file comment).  Returns true if the frame landed,
+  /// false if it was shed (shed_count() advanced).
+  bool push_or_shed(const std::uint8_t* frame,
+                    int spin_limit = kDefaultSpinLimit) noexcept;
+
+  /// Spins (with yields) until space frees; for control frames that must
+  /// not be lost.  Only returns false if the consumer marked the ring
+  /// closed while we waited.
+  bool push_blocking(const std::uint8_t* frame) noexcept;
+
+  // ----- consumer side (one process/thread) -----
+
+  /// Copies the oldest frame out.  Returns false when empty.
+  bool pop(std::uint8_t* frame_out) noexcept;
+
+  /// Zero-copy peek at the oldest frame (nullptr when empty).  The pointer
+  /// stays valid until pop_front(); the producer cannot overwrite an
+  /// unconsumed slot.  Lets the consumer leave a frame *in the ring* when
+  /// it cannot take it yet -- the ring doubles as the per-source pending
+  /// buffer, so the mux never needs to copy-and-hold.
+  [[nodiscard]] const std::uint8_t* front() const noexcept;
+
+  /// Consumes the frame front() exposed.  Precondition: ring non-empty.
+  void pop_front() noexcept;
+
+  /// Marks the ring closed; a blocked producer unsticks and gives up.
+  void close() noexcept;
+
+  // ----- either side -----
+
+  [[nodiscard]] std::size_t capacity() const noexcept;
+  [[nodiscard]] std::size_t depth() const noexcept;  ///< frames queued now
+  [[nodiscard]] std::uint64_t pushed_count() const noexcept;
+  [[nodiscard]] std::uint64_t popped_count() const noexcept;
+  /// Frames the producer dropped at overflow; consumer-readable, the
+  /// ingest layer folds it into the net.* shed telemetry.
+  [[nodiscard]] std::uint64_t shed_count() const noexcept;
+  [[nodiscard]] bool closed() const noexcept;
+  /// Backing file path; empty for anonymous rings.
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+  /// Removes the backing file (consumer-side cleanup after the run).
+  static void unlink(const std::string& path) noexcept;
+
+ private:
+  struct Control;
+  ShmRing(Control* ctrl, std::uint8_t* slots, std::size_t mapped_bytes,
+          std::string path) noexcept;
+  static void init_control(void* mem, std::size_t capacity) noexcept;
+
+  Control* ctrl_{nullptr};
+  std::uint8_t* slots_{nullptr};
+  std::size_t mapped_bytes_{0};
+  std::string path_;
+};
+
+}  // namespace pfr::net

@@ -1,0 +1,174 @@
+#include "net/wire.h"
+
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+
+#include "util/crc32.h"
+
+namespace pfr::net {
+
+namespace {
+
+void put_u32(std::uint8_t* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+void put_u64(std::uint8_t* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+void put_i64(std::uint8_t* p, std::int64_t v) {
+  put_u64(p, static_cast<std::uint64_t>(v));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+std::int64_t get_i64(const std::uint8_t* p) {
+  return static_cast<std::int64_t>(get_u64(p));
+}
+
+/// Lays down header + CRC around the caller-filled body fields.
+void seal(std::uint8_t* out, FrameKind kind, std::size_t name_len) {
+  put_u32(out, kWireMagic);
+  out[4] = kWireVersion;
+  out[5] = static_cast<std::uint8_t>(kind);
+  out[6] = static_cast<std::uint8_t>(name_len);
+  out[7] = 0;
+  put_u32(out + kCrcOffset, crc32(out, kCrcOffset));
+}
+
+void zero_body(std::uint8_t* out) { std::memset(out, 0, kFrameBytes); }
+
+}  // namespace
+
+const char* describe(WireError e) noexcept {
+  switch (e) {
+    case WireError::kOk: return "frame: ok";
+    case WireError::kTruncated:
+      return "frame: truncated (shorter than one 80-byte frame)";
+    case WireError::kBadMagic: return "frame: bad magic (expected \"PFWR\")";
+    case WireError::kVersionSkew:
+      return "frame: version skew (peer speaks a different wire version)";
+    case WireError::kBadCrc: return "frame: bad CRC (corrupt or torn frame)";
+    case WireError::kBadKind: return "frame: unknown frame kind";
+    case WireError::kOversizedName:
+      return "frame: oversized task name (limit 24 bytes)";
+    case WireError::kDirtyPadding:
+      return "frame: nonzero bytes in the name padding";
+    case WireError::kBadReserved: return "frame: nonzero reserved byte";
+    case WireError::kBadWeight:
+      return "frame: zero weight denominator on a join/reweight";
+    case WireError::kBadSlot:
+      return "frame: negative due slot or deadline before due";
+  }
+  return "frame: ?";
+}
+
+void encode_request(const serve::Request& r, std::uint8_t* out) {
+  if (r.task.size() > kMaxNameBytes) {
+    throw std::invalid_argument("encode_request: task name '" + r.task +
+                                "' exceeds " + std::to_string(kMaxNameBytes) +
+                                " bytes");
+  }
+  zero_body(out);
+  put_u64(out + 8, r.id);
+  put_i64(out + 16, r.due);
+  put_i64(out + 24, r.deadline);
+  put_i64(out + 32, r.weight.num());
+  put_i64(out + 40, r.weight.den());
+  put_u32(out + 48, static_cast<std::uint32_t>(static_cast<std::int32_t>(r.rank)));
+  std::memcpy(out + 52, r.task.data(), r.task.size());
+  seal(out, static_cast<FrameKind>(r.kind), r.task.size());
+}
+
+void encode_hello(std::uint64_t producer_tag, std::uint8_t* out) {
+  zero_body(out);
+  put_u64(out + 8, producer_tag);
+  seal(out, FrameKind::kHello, 0);
+}
+
+void encode_watermark(pfair::Slot due, std::uint8_t* out) {
+  zero_body(out);
+  put_i64(out + 16, due);
+  seal(out, FrameKind::kWatermark, 0);
+}
+
+void encode_bye(std::uint8_t* out) {
+  zero_body(out);
+  seal(out, FrameKind::kBye, 0);
+}
+
+DecodedFrame decode_frame(const std::uint8_t* data, std::size_t size) {
+  DecodedFrame out;
+  const auto fail = [&out](WireError e) {
+    out.error = e;
+    return out;
+  };
+  if (size < kFrameBytes) return fail(WireError::kTruncated);
+  if (get_u32(data) != kWireMagic) return fail(WireError::kBadMagic);
+  if (data[4] != kWireVersion) return fail(WireError::kVersionSkew);
+  if (get_u32(data + kCrcOffset) != crc32(data, kCrcOffset)) {
+    return fail(WireError::kBadCrc);
+  }
+  const std::uint8_t kind = data[5];
+  const bool request_kind = kind <= static_cast<std::uint8_t>(FrameKind::kQuery);
+  const bool control_kind =
+      kind >= static_cast<std::uint8_t>(FrameKind::kHello) &&
+      kind <= static_cast<std::uint8_t>(FrameKind::kBye);
+  if (!request_kind && !control_kind) return fail(WireError::kBadKind);
+  out.kind = static_cast<FrameKind>(kind);
+  const std::size_t name_len = data[6];
+  if (name_len > kMaxNameBytes) return fail(WireError::kOversizedName);
+  for (std::size_t i = name_len; i < kMaxNameBytes; ++i) {
+    if (data[52 + i] != 0) return fail(WireError::kDirtyPadding);
+  }
+  if (data[7] != 0) return fail(WireError::kBadReserved);
+
+  if (out.kind == FrameKind::kHello) {
+    out.producer_tag = get_u64(data + 8);
+    return out;
+  }
+  if (out.kind == FrameKind::kWatermark) {
+    out.watermark = get_i64(data + 16);
+    if (out.watermark < 0) return fail(WireError::kBadSlot);
+    return out;
+  }
+  if (out.kind == FrameKind::kBye) return out;
+
+  serve::Request& r = out.request;
+  r.id = get_u64(data + 8);
+  r.kind = static_cast<serve::RequestKind>(kind);
+  r.due = get_i64(data + 16);
+  r.deadline = get_i64(data + 24);
+  const std::int64_t num = get_i64(data + 32);
+  const std::int64_t den = get_i64(data + 40);
+  r.rank = static_cast<int>(static_cast<std::int32_t>(get_u32(data + 48)));
+  r.task.assign(reinterpret_cast<const char*>(data + 52), name_len);
+  if (r.due < 0 || r.deadline < r.due) return fail(WireError::kBadSlot);
+  const bool carries_weight = out.kind == FrameKind::kJoin ||
+                              out.kind == FrameKind::kReweight;
+  if (carries_weight) {
+    // INT64_MIN cannot be negated during normalization; reject it alongside
+    // zero so Rational's constructor can never throw (or overflow) on wire
+    // input.
+    if (den == 0 || den == std::numeric_limits<std::int64_t>::min() ||
+        num == std::numeric_limits<std::int64_t>::min()) {
+      return fail(WireError::kBadWeight);
+    }
+    r.weight = Rational{num, den};
+  }
+  return out;
+}
+
+}  // namespace pfr::net

@@ -1,0 +1,183 @@
+/// \file wire.h
+/// \brief The ingest wire protocol: versioned fixed-size binary frames for
+/// reweight/join/leave/query requests plus the control frames (hello,
+/// watermark, bye) the multi-process front door runs on.
+///
+/// One frame is exactly kFrameBytes (80) little-endian bytes:
+///
+///   offset size field
+///        0    4 magic       0x52574650 ("PFWR" as bytes)
+///        4    1 version     kWireVersion (1)
+///        5    1 kind        FrameKind
+///        6    1 name_len    0..kMaxNameBytes
+///        7    1 reserved    must be 0
+///        8    8 id          request id (u64)
+///       16    8 due         earliest slot to apply (i64)
+///       24    8 deadline    shed-after slot (i64; kNever = none)
+///       32    8 weight_num  join/reweight target numerator (i64)
+///       40    8 weight_den  join/reweight target denominator (i64)
+///       48    4 rank        join tie-rank (i32)
+///       52   24 name        task name, zero-padded to kMaxNameBytes
+///       76    4 crc         CRC-32 (util/crc32) over bytes [0, 76)
+///
+/// Fixed-size frames keep the shared-memory rings index-addressable (slot k
+/// lives at k * kFrameBytes, no length prefix to corrupt) and make TCP
+/// reassembly a byte-count, not a parse.  Every field is explicitly
+/// little-endian regardless of host order; the CRC seals everything before
+/// it, so a flipped bit anywhere is a typed decode error.
+///
+/// Control frames reuse the same layout: a watermark frame's `due` is the
+/// producer's promise that nothing with an earlier due slot will follow
+/// (what lets the slot-batched queue finalize a batch while a producer is
+/// idle); a bye frame ends the stream; a hello frame opens it and carries
+/// the producer's self-chosen tag in `id` (diagnostics only).
+///
+/// decode_frame never throws: malformed input comes back as a WireError
+/// mirroring the scenario grammar's ParseError discipline -- one exact
+/// diagnostic per failure class (tests pin the full table).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "pfair/types.h"
+#include "serve/request.h"
+
+namespace pfr::net {
+
+inline constexpr std::uint32_t kWireMagic = 0x52574650u;  // "PFWR"
+inline constexpr std::uint8_t kWireVersion = 1;
+inline constexpr std::size_t kFrameBytes = 80;
+inline constexpr std::size_t kMaxNameBytes = 24;
+/// Offset of the trailing CRC-32; everything before it is sealed.
+inline constexpr std::size_t kCrcOffset = kFrameBytes - 4;
+
+/// Frame discriminator.  Request kinds mirror serve::RequestKind; control
+/// kinds start at 16 so an added request kind can never collide.
+enum class FrameKind : std::uint8_t {
+  kJoin = 0,
+  kReweight = 1,
+  kLeave = 2,
+  kQuery = 3,
+  kHello = 16,      ///< stream start; `id` carries the producer tag
+  kWatermark = 17,  ///< nothing with due < `due` will follow
+  kBye = 18,        ///< stream end; the producer is done
+};
+
+[[nodiscard]] constexpr const char* to_string(FrameKind k) noexcept {
+  switch (k) {
+    case FrameKind::kJoin: return "join";
+    case FrameKind::kReweight: return "reweight";
+    case FrameKind::kLeave: return "leave";
+    case FrameKind::kQuery: return "query";
+    case FrameKind::kHello: return "hello";
+    case FrameKind::kWatermark: return "watermark";
+    case FrameKind::kBye: return "bye";
+  }
+  return "?";
+}
+
+/// Malformed-frame taxonomy.  Each value names the *first* check that
+/// failed; decode_frame checks in this order: length, magic, version, CRC,
+/// kind, name length, padding, reserved byte, then field semantics.
+enum class WireError : std::uint8_t {
+  kOk = 0,
+  kTruncated,      ///< fewer than kFrameBytes bytes
+  kBadMagic,       ///< first four bytes are not "PFWR"
+  kVersionSkew,    ///< version byte != kWireVersion
+  kBadCrc,         ///< CRC-32 over [0, 76) does not match the trailer
+  kBadKind,        ///< kind byte names no FrameKind
+  kOversizedName,  ///< name_len > kMaxNameBytes
+  kDirtyPadding,   ///< name bytes past name_len are not zero
+  kBadReserved,    ///< reserved byte != 0
+  kBadWeight,      ///< join/reweight with a zero denominator
+  kBadSlot,        ///< due < 0, or deadline < due
+};
+
+[[nodiscard]] constexpr const char* to_string(WireError e) noexcept {
+  switch (e) {
+    case WireError::kOk: return "ok";
+    case WireError::kTruncated: return "truncated";
+    case WireError::kBadMagic: return "bad_magic";
+    case WireError::kVersionSkew: return "version_skew";
+    case WireError::kBadCrc: return "bad_crc";
+    case WireError::kBadKind: return "bad_kind";
+    case WireError::kOversizedName: return "oversized_name";
+    case WireError::kDirtyPadding: return "dirty_padding";
+    case WireError::kBadReserved: return "bad_reserved";
+    case WireError::kBadWeight: return "bad_weight";
+    case WireError::kBadSlot: return "bad_slot";
+  }
+  return "?";
+}
+
+/// One-line human diagnostic ("frame: bad CRC (corrupt or torn frame)").
+[[nodiscard]] const char* describe(WireError e) noexcept;
+
+/// Result of decoding one frame.  `error == kOk` makes the rest valid:
+/// request frames fill `request`, a watermark frame fills `watermark`, a
+/// hello frame fills `producer_tag`.
+struct DecodedFrame {
+  WireError error{WireError::kOk};
+  FrameKind kind{FrameKind::kBye};
+  serve::Request request;
+  pfair::Slot watermark{0};
+  std::uint64_t producer_tag{0};
+
+  [[nodiscard]] bool ok() const noexcept { return error == WireError::kOk; }
+};
+
+/// Encodes a request into `out[kFrameBytes]`.  Throws std::invalid_argument
+/// if the task name exceeds kMaxNameBytes (the caller's bug, not a wire
+/// condition).
+void encode_request(const serve::Request& r, std::uint8_t* out);
+
+/// Control-frame encoders.
+void encode_hello(std::uint64_t producer_tag, std::uint8_t* out);
+void encode_watermark(pfair::Slot due, std::uint8_t* out);
+void encode_bye(std::uint8_t* out);
+
+/// Decodes `size` bytes (only the first kFrameBytes are read).  Never
+/// throws; all failures are typed.
+[[nodiscard]] DecodedFrame decode_frame(const std::uint8_t* data,
+                                        std::size_t size);
+
+/// Reassembles a TCP byte stream into whole frames.  feed() appends bytes
+/// and invokes `sink(frame_bytes)` once per completed kFrameBytes chunk;
+/// partial frames (< kFrameBytes) wait for more input.  The assembler never
+/// decodes -- the caller owns the error policy (a stream that produced one
+/// malformed frame has lost sync and should be closed).
+class FrameAssembler {
+ public:
+  template <typename Sink>
+  void feed(const std::uint8_t* data, std::size_t size, Sink&& sink) {
+    while (size > 0) {
+      if (fill_ == 0 && size >= kFrameBytes) {
+        sink(data);  // whole frame straight from the input, no copy
+        data += kFrameBytes;
+        size -= kFrameBytes;
+        continue;
+      }
+      const std::size_t want = kFrameBytes - fill_;
+      const std::size_t take = size < want ? size : want;
+      for (std::size_t i = 0; i < take; ++i) buf_[fill_ + i] = data[i];
+      fill_ += take;
+      data += take;
+      size -= take;
+      if (fill_ == kFrameBytes) {
+        fill_ = 0;
+        sink(buf_);
+      }
+    }
+  }
+
+  /// Bytes of the unfinished frame currently buffered.
+  [[nodiscard]] std::size_t pending() const noexcept { return fill_; }
+
+ private:
+  std::uint8_t buf_[kFrameBytes]{};
+  std::size_t fill_{0};
+};
+
+}  // namespace pfr::net

@@ -203,6 +203,22 @@ void ChromeTraceSink::on_event(const TraceEvent& e) {
                       rational_arg("spread", e.value) + ",\"trigger\":\"" +
                       json_escape(e.detail) + '"'));
       break;
+    case EventKind::kNetConnOpen:
+      add(instant(e, "conn open #" + std::to_string(e.folded),
+                  "\"conn\":" + std::to_string(e.folded) +
+                      ",\"transport\":\"" + json_escape(e.detail) + '"'));
+      break;
+    case EventKind::kNetConnClose:
+      add(instant(e, "conn close #" + std::to_string(e.folded),
+                  "\"conn\":" + std::to_string(e.folded) +
+                      ",\"watermark\":" + std::to_string(e.when) +
+                      ",\"transport\":\"" + json_escape(e.detail) + '"'));
+      break;
+    case EventKind::kNetMalformedFrame:
+      add(instant(e, "MALFORMED frame",
+                  "\"source\":" + std::to_string(e.folded) +
+                      ",\"error\":\"" + json_escape(e.detail) + '"'));
+      break;
   }
 }
 

@@ -55,9 +55,13 @@ enum class EventKind : std::uint8_t {
   kMigrateOut,  ///< rule L initiated on the source shard for a migration
   kMigrateIn,   ///< the task's join completed on the target shard
   kRebalance,   ///< the rebalancer fired and queued a move set
+  // --- multi-process front door (src/net) ---
+  kNetConnOpen,        ///< a TCP ingest connection registered with the mux
+  kNetConnClose,       ///< an ingest source finished (bye / close)
+  kNetMalformedFrame,  ///< a wire frame failed to decode (or broke protocol)
 };
 
-inline constexpr int kEventKindCount = 28;
+inline constexpr int kEventKindCount = 31;
 
 [[nodiscard]] constexpr const char* to_string(EventKind k) noexcept {
   switch (k) {
@@ -89,6 +93,9 @@ inline constexpr int kEventKindCount = 28;
     case EventKind::kMigrateOut: return "migrate_out";
     case EventKind::kMigrateIn: return "migrate_in";
     case EventKind::kRebalance: return "rebalance";
+    case EventKind::kNetConnOpen: return "net_conn_open";
+    case EventKind::kNetConnClose: return "net_conn_close";
+    case EventKind::kNetMalformedFrame: return "net_malformed_frame";
   }
   return "?";
 }
@@ -127,6 +134,12 @@ inline constexpr int kEventKindCount = 28;
 ///                     folded (source shard)
 ///   rebalance:        folded (moves queued), value (normalized-load
 ///                     spread), detail (trigger: "imbalance"/"overload")
+///   net_conn_open:    folded (the source's queue-producer id), detail
+///                     ("tcp")
+///   net_conn_close:   folded (queue-producer id), when (the source's
+///                     final watermark), detail ("tcp"/"ring")
+///   net_malformed_frame: folded (queue-producer id; -1 pre-registration),
+///                     detail (the typed wire diagnostic, net::describe)
 struct TraceEvent {
   EventKind kind{EventKind::kTaskJoin};
   pfair::Slot slot{0};              ///< engine time of the observation

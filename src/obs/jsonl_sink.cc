@@ -135,6 +135,18 @@ std::string to_jsonl(const TraceEvent& e) {
       append_rational(os, "spread", e.value);
       os << ",\"trigger\":\"" << json_escape(e.detail) << '"';
       break;
+    case EventKind::kNetConnOpen:
+      os << ",\"conn\":" << e.folded << ",\"transport\":\""
+         << json_escape(e.detail) << '"';
+      break;
+    case EventKind::kNetConnClose:
+      os << ",\"conn\":" << e.folded << ",\"watermark\":" << e.when
+         << ",\"transport\":\"" << json_escape(e.detail) << '"';
+      break;
+    case EventKind::kNetMalformedFrame:
+      os << ",\"source\":" << e.folded << ",\"error\":\""
+         << json_escape(e.detail) << '"';
+      break;
   }
   os << '}';
   return os.str();

@@ -32,6 +32,11 @@ const char* counter_help(TelCounter c) {
     case TelCounter::kDeferred: return "Deferred responses issued.";
     case TelCounter::kMigrationsOut: return "Migrations started (source).";
     case TelCounter::kMigrationsIn: return "Migrations completed (target).";
+    case TelCounter::kNetFrames: return "Ingest wire frames decoded.";
+    case TelCounter::kNetMalformed:
+      return "Malformed ingest frames / protocol violations.";
+    case TelCounter::kNetRingShed:
+      return "Frames shed producer-side at ingest ring overflow.";
     case TelCounter::kCount_: break;
   }
   return "";
@@ -45,6 +50,9 @@ const char* gauge_help(TelGauge g) {
     case TelGauge::kCapacity: return "Alive processors.";
     case TelGauge::kDriftAbs:
       return "Mean absolute drift vs I_PS per active task.";
+    case TelGauge::kNetConnections: return "Live TCP ingest connections.";
+    case TelGauge::kNetRingDepth:
+      return "Frames queued across all ingest rings.";
     case TelGauge::kCount_: break;
   }
   return "";

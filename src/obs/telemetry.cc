@@ -22,6 +22,9 @@ const char* to_string(TelCounter c) noexcept {
     case TelCounter::kDeferred: return "requests_deferred";
     case TelCounter::kMigrationsOut: return "migrations_out";
     case TelCounter::kMigrationsIn: return "migrations_in";
+    case TelCounter::kNetFrames: return "net_frames";
+    case TelCounter::kNetMalformed: return "net_malformed";
+    case TelCounter::kNetRingShed: return "net_ring_shed";
     case TelCounter::kCount_: break;
   }
   return "?";
@@ -34,6 +37,8 @@ const char* to_string(TelGauge g) noexcept {
     case TelGauge::kLoad: return "load";
     case TelGauge::kCapacity: return "capacity";
     case TelGauge::kDriftAbs: return "drift_abs";
+    case TelGauge::kNetConnections: return "net_connections";
+    case TelGauge::kNetRingDepth: return "net_ring_depth";
     case TelGauge::kCount_: break;
   }
   return "?";

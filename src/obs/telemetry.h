@@ -64,6 +64,9 @@ enum class TelCounter : std::size_t {
   kDeferred,         ///< serve: deferred responses issued
   kMigrationsOut,    ///< cluster: migrations started from this shard
   kMigrationsIn,     ///< cluster: migrations completed into this shard
+  kNetFrames,        ///< net: wire frames decoded (rings + TCP)
+  kNetMalformed,     ///< net: malformed frames / protocol violations
+  kNetRingShed,      ///< net: frames shed producer-side at ring overflow
   kCount_,           ///< sentinel
 };
 inline constexpr std::size_t kTelCounterCount =
@@ -76,6 +79,8 @@ enum class TelGauge : std::size_t {
   kLoad,         ///< reserved weight (policing view), as a double
   kCapacity,     ///< alive processors
   kDriftAbs,     ///< mean |drift vs I_PS| per active task (Eqn. (5))
+  kNetConnections,  ///< net: live TCP ingest connections
+  kNetRingDepth,    ///< net: frames queued across all ingest rings
   kCount_,
 };
 inline constexpr std::size_t kTelGaugeCount =

@@ -148,6 +148,23 @@ std::string render(const Frame& frame, const Frame* prev) {
     row(std::to_string(k), k);
   }
   row("TOTAL", -1);
+
+  // Front door: one cross-shard net.* line, shown once a run with an
+  // IngestMux publishes ingest telemetry into the exposition.
+  if (const auto net_frames = frame.get("pfr_net_frames_total", -1)) {
+    std::string rate = "-";
+    if (prev != nullptr) {
+      const auto p = prev->get("pfr_net_frames_total", -1);
+      const double dt = frame.wall_seconds - prev->wall_seconds;
+      if (p && dt > 0) rate = fmt((*net_frames - *p) / dt, 0);
+    }
+    os << "\n  net     frames=" << fmt_count(net_frames) << "  frames/s="
+       << rate << "  conns="
+       << fmt_opt(frame.get("pfr_net_connections", -1), 0) << "  ring_depth="
+       << fmt_opt(frame.get("pfr_net_ring_depth", -1), 0) << "  malformed="
+       << fmt_count(frame.get("pfr_net_malformed_total", -1)) << "  ring_shed="
+       << fmt_count(frame.get("pfr_net_ring_shed_total", -1)) << '\n';
+  }
   return os.str();
 }
 

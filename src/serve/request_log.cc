@@ -1,9 +1,11 @@
 #include "serve/request_log.h"
 
+#include <algorithm>
 #include <cctype>
 #include <charconv>
 #include <cstring>
 #include <istream>
+#include <limits>
 #include <ostream>
 #include <sstream>
 #include <stdexcept>
@@ -11,6 +13,7 @@
 
 #include "pfair/scenario_io.h"
 #include "pfair/weight.h"
+#include "util/crc32.h"
 
 namespace pfr::serve {
 namespace {
@@ -18,7 +21,17 @@ namespace {
 using pfair::ParseError;
 using pfair::Slot;
 
-constexpr char kMagic[8] = {'P', 'F', 'R', 'Q', 'L', 'O', 'G', '1'};
+constexpr char kMagicV1[8] = {'P', 'F', 'R', 'Q', 'L', 'O', 'G', '1'};
+constexpr char kMagicV2[8] = {'P', 'F', 'R', 'Q', 'L', 'O', 'G', '2'};
+
+/// Task names have no inherent bound in the text grammar, but an
+/// attacker-controlled binary stream must not make the reader allocate on
+/// faith.  This is far beyond any legitimate task name.
+constexpr std::size_t kMaxTaskNameBytes = 4096;
+/// Vector growth is pre-reserved at most this far on the untrusted record
+/// count; larger (legitimate) logs just grow normally while the stream
+/// keeps proving it has records.
+constexpr std::size_t kMaxReserveRecords = 1 << 16;
 
 // ----- text reader (same tokenizer discipline as scenario_io) -----
 
@@ -192,33 +205,51 @@ class Parser {
 };
 
 // ----- binary framing -----
+//
+// Both directions run every byte after the magic through the shared
+// CRC-32 (util/crc32, the same polynomial the net/ wire frames use); v2
+// streams carry the digest as a trailing little-endian u32.
 
-void put_u64(std::ostream& out, std::uint64_t v) {
-  char buf[8];
-  for (int i = 0; i < 8; ++i) {
-    buf[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+struct CrcWriter {
+  std::ostream& out;
+  std::uint32_t crc{crc32_init()};
+
+  void write(const char* data, std::size_t size) {
+    crc = crc32_update(crc, data, size);
+    out.write(data, static_cast<std::streamsize>(size));
   }
-  out.write(buf, 8);
-}
-
-void put_i64(std::ostream& out, std::int64_t v) {
-  put_u64(out, static_cast<std::uint64_t>(v));
-}
-
-std::uint64_t get_u64(std::istream& in) {
-  char buf[8];
-  if (!in.read(buf, 8)) throw std::runtime_error("request log: truncated");
-  std::uint64_t v = 0;
-  for (int i = 0; i < 8; ++i) {
-    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(buf[i]))
-         << (8 * i);
+  void put_u64(std::uint64_t v) {
+    char buf[8];
+    for (int i = 0; i < 8; ++i) {
+      buf[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+    }
+    write(buf, 8);
   }
-  return v;
-}
+  void put_i64(std::int64_t v) { put_u64(static_cast<std::uint64_t>(v)); }
+};
 
-std::int64_t get_i64(std::istream& in) {
-  return static_cast<std::int64_t>(get_u64(in));
-}
+struct CrcReader {
+  std::istream& in;
+  std::uint32_t crc{crc32_init()};
+
+  void read(char* data, std::size_t size) {
+    if (!in.read(data, static_cast<std::streamsize>(size))) {
+      throw std::runtime_error("request log: truncated");
+    }
+    crc = crc32_update(crc, data, size);
+  }
+  std::uint64_t get_u64() {
+    char buf[8];
+    read(buf, 8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(static_cast<unsigned char>(buf[i]))
+           << (8 * i);
+    }
+    return v;
+  }
+  std::int64_t get_i64() { return static_cast<std::int64_t>(get_u64()); }
+};
 
 }  // namespace
 
@@ -248,56 +279,94 @@ void write_request_log(std::ostream& out, const std::vector<Request>& log) {
 
 void write_binary_request_log(std::ostream& out,
                               const std::vector<Request>& log) {
-  out.write(kMagic, sizeof kMagic);
-  put_u64(out, log.size());
+  out.write(kMagicV2, sizeof kMagicV2);
+  CrcWriter w{out};
+  w.put_u64(log.size());
   for (const Request& r : log) {
-    put_u64(out, (static_cast<std::uint64_t>(r.kind) & 0xFF) |
-                     (static_cast<std::uint64_t>(r.task.size()) << 8) |
-                     (static_cast<std::uint64_t>(static_cast<std::uint32_t>(
-                          r.rank))
-                      << 32));
-    put_u64(out, r.id);
-    put_i64(out, r.due);
-    put_i64(out, r.deadline);
-    put_i64(out, r.weight.num());
-    put_i64(out, r.weight.den());
-    out.write(r.task.data(), static_cast<std::streamsize>(r.task.size()));
+    if (r.task.size() > kMaxTaskNameBytes) {
+      throw std::invalid_argument("request log: task name too long for the "
+                                  "binary encoding");
+    }
+    w.put_u64((static_cast<std::uint64_t>(r.kind) & 0xFF) |
+              (static_cast<std::uint64_t>(r.task.size()) << 8) |
+              (static_cast<std::uint64_t>(static_cast<std::uint32_t>(r.rank))
+               << 32));
+    w.put_u64(r.id);
+    w.put_i64(r.due);
+    w.put_i64(r.deadline);
+    w.put_i64(r.weight.num());
+    w.put_i64(r.weight.den());
+    w.write(r.task.data(), r.task.size());
   }
+  const std::uint32_t crc = crc32_final(w.crc);
+  char buf[4];
+  for (int i = 0; i < 4; ++i) {
+    buf[i] = static_cast<char>((crc >> (8 * i)) & 0xFF);
+  }
+  out.write(buf, 4);
 }
 
 std::vector<Request> read_binary_request_log(std::istream& in) {
-  char magic[sizeof kMagic];
-  if (!in.read(magic, sizeof magic) ||
-      std::memcmp(magic, kMagic, sizeof kMagic) != 0) {
+  char magic[sizeof kMagicV1];
+  if (!in.read(magic, sizeof magic)) {
     throw std::runtime_error("request log: bad magic");
   }
-  const std::uint64_t count = get_u64(in);
+  const bool v2 = std::memcmp(magic, kMagicV2, sizeof kMagicV2) == 0;
+  if (!v2 && std::memcmp(magic, kMagicV1, sizeof kMagicV1) != 0) {
+    throw std::runtime_error("request log: bad magic");
+  }
+  CrcReader rd{in};
+  const std::uint64_t count = rd.get_u64();
   std::vector<Request> log;
-  log.reserve(count);
+  // An untrusted count must not drive the allocator: reserve only what a
+  // small stream could plausibly contain; real records grow the vector as
+  // they are proven to exist.
+  log.reserve(static_cast<std::size_t>(
+      std::min<std::uint64_t>(count, kMaxReserveRecords)));
   for (std::uint64_t i = 0; i < count; ++i) {
     Request r;
-    const std::uint64_t packed = get_u64(in);
+    const std::uint64_t packed = rd.get_u64();
     const auto kind = static_cast<std::uint8_t>(packed & 0xFF);
     if (kind > static_cast<std::uint8_t>(RequestKind::kQuery)) {
       throw std::runtime_error("request log: unknown request kind");
     }
     r.kind = static_cast<RequestKind>(kind);
     const auto name_len = static_cast<std::size_t>((packed >> 8) & 0xFFFFFF);
+    if (name_len > kMaxTaskNameBytes) {
+      throw std::runtime_error("request log: oversized task name");
+    }
     r.rank = static_cast<int>(static_cast<std::int32_t>(
         static_cast<std::uint32_t>(packed >> 32)));
-    r.id = get_u64(in);
-    r.due = get_i64(in);
-    r.deadline = get_i64(in);
-    const std::int64_t num = get_i64(in);
-    const std::int64_t den = get_i64(in);
-    if (den == 0) throw std::runtime_error("request log: zero denominator");
+    r.id = rd.get_u64();
+    r.due = rd.get_i64();
+    r.deadline = rd.get_i64();
+    const std::int64_t num = rd.get_i64();
+    const std::int64_t den = rd.get_i64();
+    // The INT64_MIN guards keep Rational's normalization (which negates)
+    // away from signed overflow on hostile input, mirroring net/wire.
+    if (den == 0 || den == std::numeric_limits<std::int64_t>::min() ||
+        num == std::numeric_limits<std::int64_t>::min()) {
+      throw std::runtime_error("request log: invalid weight");
+    }
     r.weight = Rational{num, den};
     r.task.resize(name_len);
-    if (name_len > 0 &&
-        !in.read(r.task.data(), static_cast<std::streamsize>(name_len))) {
+    if (name_len > 0) rd.read(r.task.data(), name_len);
+    log.push_back(std::move(r));
+  }
+  if (v2) {
+    const std::uint32_t want = crc32_final(rd.crc);
+    char buf[4];
+    if (!in.read(buf, 4)) {
       throw std::runtime_error("request log: truncated");
     }
-    log.push_back(std::move(r));
+    std::uint32_t got = 0;
+    for (int i = 0; i < 4; ++i) {
+      got |= static_cast<std::uint32_t>(static_cast<unsigned char>(buf[i]))
+             << (8 * i);
+    }
+    if (got != want) {
+      throw std::runtime_error("request log: CRC mismatch");
+    }
   }
   return log;
 }
@@ -305,11 +374,12 @@ std::vector<Request> read_binary_request_log(std::istream& in) {
 std::vector<Request> read_request_log(std::istream& in,
                                       std::string filename) {
   // Sniff the magic without consuming text input.
-  char magic[sizeof kMagic];
+  char magic[sizeof kMagicV1];
   in.read(magic, sizeof magic);
   const auto got = in.gcount();
   if (got == static_cast<std::streamsize>(sizeof magic) &&
-      std::memcmp(magic, kMagic, sizeof magic) == 0) {
+      (std::memcmp(magic, kMagicV1, sizeof kMagicV1) == 0 ||
+       std::memcmp(magic, kMagicV2, sizeof kMagicV2) == 0)) {
     in.clear();
     in.seekg(0);
     return read_binary_request_log(in);

@@ -16,10 +16,14 @@
 /// ...) in file order, so the same log always replays to the same ids.
 /// Malformed lines throw pfair::ParseError with file:line:column + token.
 ///
-/// The binary encoding ("PFRQLOG1" magic, little-endian fixed-width fields,
-/// name length-prefixed) carries exactly the same records; it exists so a
-/// million-request load file parses at I/O speed.  read_request_log sniffs
-/// the magic and accepts either encoding.
+/// The binary encoding ("PFRQLOG2" magic, little-endian fixed-width fields,
+/// name length-prefixed, trailing CRC-32 over everything after the magic --
+/// the same shared util/crc32 the net/ wire frames seal with) carries
+/// exactly the same records; it exists so a million-request load file
+/// parses at I/O speed.  The reader still accepts legacy "PFRQLOG1"
+/// streams (same layout, no CRC), validates every length and count before
+/// allocating, and rejects corrupt weights/kinds/names with typed errors.
+/// read_request_log sniffs the magic and accepts binary or text.
 #pragma once
 
 #include <iosfwd>
@@ -40,10 +44,14 @@ namespace pfr::serve {
 /// Writes the text form (round-trips through parse_request_log).
 void write_request_log(std::ostream& out, const std::vector<Request>& log);
 
-/// Binary framing: magic + record count + fixed-width little-endian records.
+/// Binary framing: magic + record count + fixed-width little-endian records
+/// + CRC-32 trailer (v2).  Throws std::invalid_argument on a task name too
+/// long for the length-prefixed encoding.
 void write_binary_request_log(std::ostream& out,
                               const std::vector<Request>& log);
-/// Throws std::runtime_error on bad magic or a truncated/overlong stream.
+/// Throws std::runtime_error on bad magic, a truncated/overlong stream, an
+/// implausible count/name length (checked BEFORE allocating), an invalid
+/// weight, or (v2) a CRC mismatch.
 [[nodiscard]] std::vector<Request> read_binary_request_log(std::istream& in);
 
 /// Reads either encoding: binary when the stream starts with the magic,

@@ -121,6 +121,42 @@ RequestQueue::PushResult RequestQueue::try_push(int producer, Request r) {
   return out;
 }
 
+bool RequestQueue::offer(int producer, Request r, std::size_t soft_capacity) {
+  const std::size_t bound = std::min(soft_capacity, capacity_);
+  bool accepted = true;
+  {
+    const std::lock_guard lock{mu_};
+    note_watermark_locked(producer, r.due);
+    if (!closed_) {
+      if (items_.size() >= bound && r.due > draining_) {
+        // Refused: the caller keeps r and re-offers it later (the equal-due
+        // watermark note then passes the non-decreasing check).  The offer
+        // is not counted until it is accepted, keeping
+        // offered == pushed + shed intact.
+        accepted = false;
+      } else {
+        ++total_offered_;
+        items_.push_back(std::move(r));
+        high_watermark_ = std::max(high_watermark_, items_.size());
+        ++total_pushed_;
+      }
+    }
+  }
+  // Even a refusal advanced the watermark, and that alone can complete an
+  // in-progress drain.
+  cv_data_.notify_all();
+  return accepted;
+}
+
+void RequestQueue::advance_watermark(int producer, Slot due) {
+  {
+    const std::lock_guard lock{mu_};
+    note_watermark_locked(producer, due);
+  }
+  // The advance may be exactly what an in-progress drain is waiting for.
+  cv_data_.notify_all();
+}
+
 RequestQueue::Batch RequestQueue::drain_slot(Slot t) {
   Batch batch;
   std::unique_lock lock{mu_};

@@ -57,6 +57,31 @@ class RequestQueue {
   /// Shed requests surface in Batch::shed_overflow of a later drain.
   PushResult try_push(int producer, Request r);
 
+  /// Non-blocking, non-shedding push for a caller that can park the
+  /// request itself (net/ingest: the frame stays in its shm ring or a
+  /// per-connection buffer).  Enqueues when there is space or the
+  /// due-<=-draining bypass applies, returning true; at capacity it
+  /// returns false and the caller retries the SAME request later.  Either
+  /// way the producer's watermark advances to r.due first -- a refused
+  /// request's due is still a valid promise that nothing earlier follows,
+  /// so an in-progress drain keeps making progress while the request
+  /// waits.  Returns true (dropping r) once the queue is closed, so the
+  /// caller never retries forever.
+  ///
+  /// `soft_capacity` (clamped to the real capacity) lets the caller refuse
+  /// earlier than the hard bound -- net/ingest throttles admission at its
+  /// high watermark this way.  The due-<=-draining bypass ignores the soft
+  /// bound too: the in-progress batch must always be completable.
+  bool offer(int producer, Request r,
+             std::size_t soft_capacity = static_cast<std::size_t>(-1));
+
+  /// Advances a producer's watermark without pushing anything: the
+  /// producer promises that nothing with due < `due` will follow.  Remote
+  /// producers (net/ingest) announce progress this way while idle, so a
+  /// quiet connection never stalls drain_slot's watermark wait.  Throws
+  /// std::invalid_argument on a regression, like push.
+  void advance_watermark(int producer, pfair::Slot due);
+
   struct Batch {
     std::vector<Request> admit;          ///< due <= t, deadline >= t; by id
     std::vector<Request> shed_deadline;  ///< due <= t but deadline < t; by id

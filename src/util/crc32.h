@@ -1,0 +1,32 @@
+/// \file crc32.h
+/// \brief CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320).
+///
+/// One checksum shared by every on-disk / on-wire framing in the repo: the
+/// binary request log (serve/request_log) and the ingest wire protocol
+/// (net/wire) both seal their payloads with it, so a corrupted byte is a
+/// typed decode error instead of a silently wrong request.  The
+/// implementation is the standard 256-entry table variant; the table is
+/// built once at first use.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace pfr {
+
+/// CRC-32 of `size` bytes starting at `data`.
+[[nodiscard]] std::uint32_t crc32(const void* data, std::size_t size) noexcept;
+
+/// Incremental form: feed `crc32_update` the running value (start from
+/// crc32_init(), finish with crc32_final()).  crc32(p, n) ==
+/// crc32_final(crc32_update(crc32_init(), p, n)).
+[[nodiscard]] constexpr std::uint32_t crc32_init() noexcept {
+  return 0xFFFFFFFFu;
+}
+[[nodiscard]] std::uint32_t crc32_update(std::uint32_t state, const void* data,
+                                         std::size_t size) noexcept;
+[[nodiscard]] constexpr std::uint32_t crc32_final(std::uint32_t state) noexcept {
+  return state ^ 0xFFFFFFFFu;
+}
+
+}  // namespace pfr

@@ -1,0 +1,590 @@
+/// The multi-process front door (src/net): wire-frame round-trips, the
+/// exact malformed-frame diagnostic table, SPSC ring wraparound / overflow
+/// / peek-consume semantics, RequestQueue::offer's never-block contract,
+/// and IngestMux digest identity across the in-process, ring, and TCP
+/// delivery paths (including admission throttling and malformed-frame
+/// accounting under injection).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "net/feed.h"
+#include "net/ingest.h"
+#include "net/spsc_ring.h"
+#include "net/wire.h"
+#include "obs/event.h"
+#include "obs/sink.h"
+#include "serve/load_gen.h"
+#include "serve/request_queue.h"
+#include "util/crc32.h"
+#include "util/rng.h"
+
+namespace pfr::net {
+namespace {
+
+using pfair::Slot;
+using serve::Request;
+using serve::RequestId;
+using serve::RequestKind;
+using serve::RequestQueue;
+
+Request make_request(RequestId id, RequestKind kind, Slot due,
+                     std::string task, Rational weight = Rational{1, 4},
+                     Slot deadline = pfair::kNever, int rank = 0) {
+  Request r;
+  r.id = id;
+  r.kind = kind;
+  r.due = due;
+  r.deadline = deadline;
+  r.task = std::move(task);
+  r.weight = weight;
+  r.rank = rank;
+  return r;
+}
+
+/// Recomputes the trailing CRC after a deliberate field edit, so the edit
+/// (not the seal) is what decode_frame diagnoses.
+void reseal(std::uint8_t* frame) {
+  const std::uint32_t crc = crc32(frame, kCrcOffset);
+  frame[kCrcOffset + 0] = static_cast<std::uint8_t>(crc);
+  frame[kCrcOffset + 1] = static_cast<std::uint8_t>(crc >> 8);
+  frame[kCrcOffset + 2] = static_cast<std::uint8_t>(crc >> 16);
+  frame[kCrcOffset + 3] = static_cast<std::uint8_t>(crc >> 24);
+}
+
+// ---------------------------------------------------------------- wire ---
+
+TEST(Wire, RequestRoundTripProperty) {
+  Xoshiro256 rng{20260807};
+  constexpr RequestKind kKinds[] = {RequestKind::kJoin, RequestKind::kReweight,
+                                    RequestKind::kLeave, RequestKind::kQuery};
+  for (int trial = 0; trial < 2000; ++trial) {
+    Request r;
+    r.id = rng();
+    r.kind = kKinds[rng.uniform_int(0, 3)];
+    r.due = rng.uniform_int(0, 1 << 20);
+    r.deadline = rng.bernoulli(0.5)
+                     ? pfair::kNever
+                     : r.due + rng.uniform_int(0, 1 << 10);
+    const std::int64_t len = rng.uniform_int(1, kMaxNameBytes);
+    for (std::int64_t i = 0; i < len; ++i) {
+      r.task.push_back(static_cast<char>('a' + rng.uniform_int(0, 25)));
+    }
+    if (r.kind == RequestKind::kJoin || r.kind == RequestKind::kReweight) {
+      r.weight = Rational{rng.uniform_int(1, 63), 64};
+      r.rank = static_cast<int>(rng.uniform_int(0, 1000));
+    }
+    std::uint8_t frame[kFrameBytes];
+    encode_request(r, frame);
+    const DecodedFrame d = decode_frame(frame, kFrameBytes);
+    ASSERT_TRUE(d.ok()) << describe(d.error) << " (trial " << trial << ")";
+    ASSERT_EQ(static_cast<int>(d.kind), static_cast<int>(r.kind));
+    ASSERT_EQ(d.request, r) << "trial " << trial;
+  }
+}
+
+TEST(Wire, ControlFrameRoundTrip) {
+  std::uint8_t frame[kFrameBytes];
+
+  encode_hello(0xDEADBEEFCAFEF00DULL, frame);
+  DecodedFrame d = decode_frame(frame, kFrameBytes);
+  ASSERT_TRUE(d.ok()) << describe(d.error);
+  EXPECT_EQ(d.kind, FrameKind::kHello);
+  EXPECT_EQ(d.producer_tag, 0xDEADBEEFCAFEF00DULL);
+
+  encode_watermark(12345, frame);
+  d = decode_frame(frame, kFrameBytes);
+  ASSERT_TRUE(d.ok()) << describe(d.error);
+  EXPECT_EQ(d.kind, FrameKind::kWatermark);
+  EXPECT_EQ(d.watermark, 12345);
+
+  encode_bye(frame);
+  d = decode_frame(frame, kFrameBytes);
+  ASSERT_TRUE(d.ok()) << describe(d.error);
+  EXPECT_EQ(d.kind, FrameKind::kBye);
+}
+
+TEST(Wire, EncodeRejectsOversizedName) {
+  const Request r = make_request(1, RequestKind::kQuery, 0,
+                                 std::string(kMaxNameBytes + 1, 'x'));
+  std::uint8_t frame[kFrameBytes];
+  EXPECT_THROW(encode_request(r, frame), std::invalid_argument);
+}
+
+/// One row per WireError: the exact first-failing-check diagnosis and its
+/// pinned human-readable description.  Checks run in the documented order
+/// (length, magic, version, CRC, kind, name length, padding, reserved,
+/// field semantics), so each row corrupts only its own field and reseals
+/// the CRC -- except the CRC row itself.
+TEST(Wire, MalformedFrameDiagnosticTable) {
+  std::uint8_t base[kFrameBytes];
+  encode_request(make_request(7, RequestKind::kReweight, 10, "tau",
+                              Rational{1, 2}, 20),
+                 base);
+
+  struct Row {
+    WireError expect;
+    const char* description;
+    std::size_t size{kFrameBytes};
+    void (*corrupt)(std::uint8_t*);
+  };
+  const Row rows[] = {
+      {WireError::kTruncated,
+       "frame: truncated (shorter than one 80-byte frame)", kFrameBytes - 1,
+       +[](std::uint8_t*) {}},
+      {WireError::kBadMagic, "frame: bad magic (expected \"PFWR\")",
+       kFrameBytes,
+       +[](std::uint8_t* f) {
+         f[0] ^= 0xFF;
+         reseal(f);
+       }},
+      {WireError::kVersionSkew,
+       "frame: version skew (peer speaks a different wire version)",
+       kFrameBytes,
+       +[](std::uint8_t* f) {
+         f[4] = kWireVersion + 1;
+         reseal(f);
+       }},
+      {WireError::kBadCrc, "frame: bad CRC (corrupt or torn frame)",
+       kFrameBytes,
+       +[](std::uint8_t* f) { f[16] ^= 0x01; }},  // torn due, stale seal
+      {WireError::kBadKind, "frame: unknown frame kind", kFrameBytes,
+       +[](std::uint8_t* f) {
+         f[5] = 9;
+         reseal(f);
+       }},
+      {WireError::kOversizedName, "frame: oversized task name (limit 24 bytes)",
+       kFrameBytes,
+       +[](std::uint8_t* f) {
+         f[6] = kMaxNameBytes + 1;
+         reseal(f);
+       }},
+      {WireError::kDirtyPadding, "frame: nonzero bytes in the name padding",
+       kFrameBytes,
+       +[](std::uint8_t* f) {
+         f[52 + kMaxNameBytes - 1] = 0x5A;  // name is 3 bytes; tail is padding
+         reseal(f);
+       }},
+      {WireError::kBadReserved, "frame: nonzero reserved byte", kFrameBytes,
+       +[](std::uint8_t* f) {
+         f[7] = 1;
+         reseal(f);
+       }},
+      {WireError::kBadWeight,
+       "frame: zero weight denominator on a join/reweight", kFrameBytes,
+       +[](std::uint8_t* f) {
+         std::memset(f + 40, 0, 8);  // weight_den = 0
+         reseal(f);
+       }},
+      {WireError::kBadSlot, "frame: negative due slot or deadline before due",
+       kFrameBytes,
+       +[](std::uint8_t* f) {
+         std::memset(f + 16, 0xFF, 8);  // due = -1
+         reseal(f);
+       }},
+  };
+
+  for (const Row& row : rows) {
+    std::uint8_t frame[kFrameBytes];
+    std::memcpy(frame, base, kFrameBytes);
+    row.corrupt(frame);
+    const DecodedFrame d = decode_frame(frame, row.size);
+    EXPECT_EQ(static_cast<int>(d.error), static_cast<int>(row.expect))
+        << "got " << to_string(d.error) << ", want " << to_string(row.expect);
+    EXPECT_STREQ(describe(row.expect), row.description);
+  }
+  // And the clean frame still decodes: the table's edits are the failures.
+  EXPECT_TRUE(decode_frame(base, kFrameBytes).ok());
+}
+
+TEST(Wire, FrameAssemblerReassemblesArbitraryChunks) {
+  // Three frames streamed in chunk sizes that straddle every boundary.
+  std::vector<std::uint8_t> stream;
+  for (int i = 0; i < 3; ++i) {
+    std::uint8_t frame[kFrameBytes];
+    encode_request(
+        make_request(static_cast<RequestId>(i + 1), RequestKind::kQuery,
+                     i, "t" + std::to_string(i)),
+        frame);
+    stream.insert(stream.end(), frame, frame + kFrameBytes);
+  }
+  for (const std::size_t chunk : {1UL, 7UL, 79UL, 80UL, 81UL, 240UL}) {
+    FrameAssembler assembler;
+    std::vector<RequestId> ids;
+    std::size_t off = 0;
+    while (off < stream.size()) {
+      const std::size_t n = std::min(chunk, stream.size() - off);
+      assembler.feed(stream.data() + off, n, [&](const std::uint8_t* f) {
+        const DecodedFrame d = decode_frame(f, kFrameBytes);
+        ASSERT_TRUE(d.ok());
+        ids.push_back(d.request.id);
+      });
+      off += n;
+    }
+    EXPECT_EQ(ids, (std::vector<RequestId>{1, 2, 3})) << "chunk " << chunk;
+    EXPECT_EQ(assembler.pending(), 0u);
+  }
+}
+
+// ---------------------------------------------------------------- ring ---
+
+TEST(ShmRingTest, WrapsAroundManyTimes) {
+  ShmRing ring = ShmRing::create_anonymous(8);
+  ASSERT_EQ(ring.capacity(), 8u);
+  std::uint8_t in[kFrameBytes];
+  std::uint8_t out[kFrameBytes];
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    encode_watermark(static_cast<Slot>(i), in);
+    ASSERT_TRUE(ring.try_push(in));
+    ASSERT_TRUE(ring.pop(out));
+    const DecodedFrame d = decode_frame(out, kFrameBytes);
+    ASSERT_TRUE(d.ok());
+    ASSERT_EQ(d.watermark, static_cast<Slot>(i));
+  }
+  EXPECT_EQ(ring.pushed_count(), 100u);
+  EXPECT_EQ(ring.popped_count(), 100u);
+  EXPECT_EQ(ring.depth(), 0u);
+  EXPECT_FALSE(ring.pop(out));
+}
+
+TEST(ShmRingTest, OverflowShedsAndCounts) {
+  ShmRing ring = ShmRing::create_anonymous(8);
+  std::uint8_t frame[kFrameBytes];
+  encode_bye(frame);
+  for (int i = 0; i < 8; ++i) ASSERT_TRUE(ring.try_push(frame));
+  EXPECT_FALSE(ring.try_push(frame));
+  EXPECT_FALSE(ring.push_or_shed(frame, /*spin_limit=*/4));
+  EXPECT_FALSE(ring.push_or_shed(frame, /*spin_limit=*/4));
+  EXPECT_EQ(ring.shed_count(), 2u);
+  EXPECT_EQ(ring.pushed_count(), 8u);
+  EXPECT_EQ(ring.depth(), 8u);
+}
+
+TEST(ShmRingTest, FrontPeeksWithoutConsuming) {
+  ShmRing ring = ShmRing::create_anonymous(8);
+  EXPECT_EQ(ring.front(), nullptr);
+  std::uint8_t frame[kFrameBytes];
+  encode_watermark(41, frame);
+  ASSERT_TRUE(ring.try_push(frame));
+  encode_watermark(42, frame);
+  ASSERT_TRUE(ring.try_push(frame));
+
+  // Peeking is idempotent: the frame stays parked in the ring.
+  for (int i = 0; i < 3; ++i) {
+    const std::uint8_t* head = ring.front();
+    ASSERT_NE(head, nullptr);
+    EXPECT_EQ(decode_frame(head, kFrameBytes).watermark, 41);
+    EXPECT_EQ(ring.depth(), 2u);
+  }
+  ring.pop_front();
+  EXPECT_EQ(decode_frame(ring.front(), kFrameBytes).watermark, 42);
+  ring.pop_front();
+  EXPECT_EQ(ring.front(), nullptr);
+  EXPECT_EQ(ring.popped_count(), 2u);
+}
+
+TEST(ShmRingTest, CloseUnsticksBlockedProducer) {
+  ShmRing ring = ShmRing::create_anonymous(8);
+  std::uint8_t frame[kFrameBytes];
+  encode_bye(frame);
+  for (int i = 0; i < 8; ++i) ASSERT_TRUE(ring.try_push(frame));
+  bool result = true;
+  std::thread producer{[&] { result = ring.push_blocking(frame); }};
+  ring.close();
+  producer.join();
+  EXPECT_FALSE(result);
+  EXPECT_TRUE(ring.closed());
+}
+
+// --------------------------------------------------------------- offer ---
+
+TEST(RequestQueueOffer, RefusesAtCapacityButAdvancesWatermark) {
+  RequestQueue q{2};
+  const int p = q.add_producer();
+  EXPECT_TRUE(q.offer(p, make_request(1, RequestKind::kQuery, 0, "a")));
+  EXPECT_TRUE(q.offer(p, make_request(2, RequestKind::kQuery, 0, "b")));
+  // Full.  The refusal must still promise "nothing earlier than 5 follows":
+  // drain_slot(0) would deadlock otherwise.
+  EXPECT_FALSE(q.offer(p, make_request(3, RequestKind::kQuery, 5, "c")));
+
+  RequestQueue::Batch b = q.drain_slot(0);
+  ASSERT_EQ(b.admit.size(), 2u);
+  EXPECT_EQ(b.admit[0].id, 1u);
+  EXPECT_EQ(b.admit[1].id, 2u);
+
+  // Space freed; the SAME request re-offers (equal due passes the monotone
+  // check) and lands.
+  EXPECT_TRUE(q.offer(p, make_request(3, RequestKind::kQuery, 5, "c")));
+  q.producer_done(p);
+  b = q.drain_slot(5);
+  ASSERT_EQ(b.admit.size(), 1u);
+  EXPECT_EQ(b.admit[0].id, 3u);
+}
+
+TEST(RequestQueueOffer, SoftCapacityThrottlesBeforeHardBound) {
+  RequestQueue q{64};
+  const int p = q.add_producer();
+  EXPECT_TRUE(q.offer(p, make_request(1, RequestKind::kQuery, 0, "a"), 2));
+  EXPECT_TRUE(q.offer(p, make_request(2, RequestKind::kQuery, 1, "b"), 2));
+  EXPECT_FALSE(q.offer(p, make_request(3, RequestKind::kQuery, 2, "c"), 2));
+  // The hard bound is far away: an unthrottled offer still lands.
+  EXPECT_TRUE(q.offer(p, make_request(3, RequestKind::kQuery, 2, "c")));
+  EXPECT_EQ(q.depth(), 3u);
+}
+
+TEST(RequestQueueOffer, AcceptsAfterCloseSoCallersStopRetrying) {
+  RequestQueue q{2};
+  const int p = q.add_producer();
+  q.close();
+  EXPECT_TRUE(q.offer(p, make_request(1, RequestKind::kQuery, 0, "a")));
+  EXPECT_EQ(q.depth(), 0u);
+}
+
+// ----------------------------------------------------------------- mux ---
+
+/// Drains the queue slot by slot until it reports closed, returning the
+/// admitted ids in batch order -- the determinism currency all three
+/// delivery paths must agree on.
+std::vector<RequestId> drain_all(RequestQueue& q) {
+  std::vector<RequestId> ids;
+  for (Slot t = 0;; ++t) {
+    const RequestQueue::Batch b = q.drain_slot(t);
+    for (const Request& r : b.admit) ids.push_back(r.id);
+    if (!b.open) break;
+  }
+  return ids;
+}
+
+serve::GeneratedLoad small_load() {
+  serve::LoadGenConfig cfg;
+  cfg.processors = 4;
+  cfg.tasks = 8;
+  cfg.requests = 600;
+  cfg.seed = 99;
+  return serve::generate_load(cfg);
+}
+
+std::vector<RequestId> run_inproc(const serve::GeneratedLoad& load,
+                                  int producers) {
+  RequestQueue q{256};
+  std::vector<int> handles;
+  for (int p = 0; p < producers; ++p) handles.push_back(q.add_producer());
+  std::vector<std::thread> threads;
+  for (int p = 0; p < producers; ++p) {
+    threads.emplace_back([&q, &load, producers, p, h = handles[
+                              static_cast<std::size_t>(p)]] {
+      for (const Request& r :
+           partition_requests(load.requests, p, producers)) {
+        if (!q.push(h, r)) break;
+      }
+      q.producer_done(h);
+    });
+  }
+  const std::vector<RequestId> ids = drain_all(q);
+  for (std::thread& t : threads) t.join();
+  return ids;
+}
+
+TEST(IngestMuxTest, RingPathMatchesInProcessBatches) {
+  const serve::GeneratedLoad load = small_load();
+  const std::vector<RequestId> baseline = run_inproc(load, 3);
+  ASSERT_EQ(baseline.size(), load.requests.size());
+
+  RequestQueue q{256};
+  std::vector<ShmRing> rings;
+  for (int p = 0; p < 3; ++p) rings.push_back(ShmRing::create_anonymous(32));
+  IngestMux mux{q};
+  for (ShmRing& r : rings) mux.add_ring(r);
+  std::vector<std::thread> feeds;
+  for (int p = 0; p < 3; ++p) {
+    feeds.emplace_back([&rings, &load, p] {
+      FeedConfig fc;
+      fc.producer_tag = static_cast<std::uint64_t>(p);
+      fc.blocking = true;
+      feed_ring(rings[static_cast<std::size_t>(p)],
+                partition_requests(load.requests, p, 3), fc);
+    });
+  }
+  std::thread mux_thread{[&mux] { mux.run(); }};
+  const std::vector<RequestId> ringed = drain_all(q);
+  mux_thread.join();
+  for (std::thread& t : feeds) t.join();
+
+  EXPECT_EQ(ringed, baseline);
+  const IngestMux::Stats s = mux.stats();
+  EXPECT_EQ(s.requests, load.requests.size());
+  EXPECT_EQ(s.hellos, 3u);
+  EXPECT_EQ(s.byes, 3u);
+  EXPECT_EQ(s.malformed, 0u);
+}
+
+TEST(IngestMuxTest, TinyRingsAndThrottledQueueStayLosslessAndIdentical) {
+  // Capacity-8 rings and a 2-entry admission window force constant parking
+  // (ring frames left in place, watermark-on-refusal) -- the never-block
+  // machinery -- yet blocking feeds must stay lossless and order-identical.
+  const serve::GeneratedLoad load = small_load();
+  const std::vector<RequestId> baseline = run_inproc(load, 2);
+
+  RequestQueue q{256};
+  IngestMuxConfig cfg;
+  cfg.high_watermark = 2;
+  cfg.low_watermark = 1;
+  std::vector<ShmRing> rings;
+  for (int p = 0; p < 2; ++p) rings.push_back(ShmRing::create_anonymous(8));
+  IngestMux mux{q, cfg};
+  for (ShmRing& r : rings) mux.add_ring(r);
+  std::vector<std::thread> feeds;
+  for (int p = 0; p < 2; ++p) {
+    feeds.emplace_back([&rings, &load, p] {
+      FeedConfig fc;
+      fc.blocking = true;
+      feed_ring(rings[static_cast<std::size_t>(p)],
+                partition_requests(load.requests, p, 2), fc);
+    });
+  }
+  std::thread mux_thread{[&mux] { mux.run(); }};
+  const std::vector<RequestId> ringed = drain_all(q);
+  mux_thread.join();
+  for (std::thread& t : feeds) t.join();
+
+  EXPECT_EQ(ringed, baseline);
+  EXPECT_EQ(mux.stats().requests, load.requests.size());
+}
+
+TEST(IngestMuxTest, TcpPathMatchesInProcessBatches) {
+  const serve::GeneratedLoad load = small_load();
+  const std::vector<RequestId> baseline = run_inproc(load, 2);
+
+  RequestQueue q{256};
+  IngestMuxConfig cfg;
+  cfg.high_watermark = 8;  // exercise TCP parking + stall/resume too
+  cfg.low_watermark = 4;
+  IngestMux mux{q, cfg};
+  mux.enable_tcp(0);
+  const std::uint16_t port = mux.tcp_port();
+  std::thread mux_thread{[&mux] { mux.run(); }};
+  std::vector<std::thread> feeds;
+  for (int p = 0; p < 2; ++p) {
+    feeds.emplace_back([&load, port, p] {
+      FeedConfig fc;
+      fc.producer_tag = static_cast<std::uint64_t>(p);
+      feed_tcp(port, partition_requests(load.requests, p, 2), fc);
+    });
+  }
+  // Registration-before-draining: see bench/ingest_throughput.cc.
+  while (mux.connections_opened() < 2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const std::vector<RequestId> tcp_ids = drain_all(q);
+  for (std::thread& t : feeds) t.join();
+  mux.stop();
+  mux_thread.join();
+
+  EXPECT_EQ(tcp_ids, baseline);
+  const IngestMux::Stats s = mux.stats();
+  EXPECT_EQ(s.requests, load.requests.size());
+  EXPECT_EQ(s.conns_opened, 2u);
+  EXPECT_EQ(s.conns_closed, 2u);
+}
+
+TEST(IngestMuxTest, DiagnosesEveryInjectedMalformedFrame) {
+  const serve::GeneratedLoad load = small_load();
+  const std::vector<RequestId> baseline = run_inproc(load, 2);
+
+  RequestQueue q{256};
+  std::vector<ShmRing> rings;
+  for (int p = 0; p < 2; ++p) rings.push_back(ShmRing::create_anonymous(64));
+  IngestMux mux{q};
+  for (ShmRing& r : rings) mux.add_ring(r);
+  std::vector<FeedStats> stats(2);
+  std::vector<std::thread> feeds;
+  for (int p = 0; p < 2; ++p) {
+    feeds.emplace_back([&rings, &stats, &load, p] {
+      FeedConfig fc;
+      fc.blocking = true;
+      fc.malformed_rate = 0.2;
+      fc.malformed_seed = 7000 + static_cast<std::uint64_t>(p);
+      stats[static_cast<std::size_t>(p)] =
+          feed_ring(rings[static_cast<std::size_t>(p)],
+                    partition_requests(load.requests, p, 2), fc);
+    });
+  }
+  std::thread mux_thread{[&mux] { mux.run(); }};
+  const std::vector<RequestId> ringed = drain_all(q);
+  mux_thread.join();
+  for (std::thread& t : feeds) t.join();
+
+  // Injection adds extra garbage between real frames: the admitted
+  // sequence is untouched and every injected frame is diagnosed, exactly.
+  EXPECT_EQ(ringed, baseline);
+  const std::uint64_t injected = stats[0].injected + stats[1].injected;
+  EXPECT_GT(injected, 0u);
+  EXPECT_EQ(mux.stats().malformed, injected);
+}
+
+TEST(IngestMuxTest, EmitsNetTraceEvents) {
+  // The mux reports its lifecycle through the net_* EventKinds: one
+  // net_conn_close per finished source, one net_malformed_frame per
+  // diagnosed frame, tagged with the source's queue-producer id.
+  struct RecordingSink : obs::EventSink {
+    std::vector<obs::TraceEvent> events;  // detail views copied eagerly
+    std::vector<std::string> details;
+    void on_event(const obs::TraceEvent& e) override {
+      events.push_back(e);
+      details.emplace_back(e.detail);
+    }
+  };
+  const serve::GeneratedLoad load = small_load();
+  RequestQueue q{256};
+  std::vector<ShmRing> rings;
+  for (int p = 0; p < 2; ++p) rings.push_back(ShmRing::create_anonymous(64));
+  IngestMux mux{q};
+  for (ShmRing& r : rings) mux.add_ring(r);
+  RecordingSink sink;
+  mux.set_event_sink(&sink);
+  std::vector<FeedStats> stats(2);
+  std::vector<std::thread> feeds;
+  for (int p = 0; p < 2; ++p) {
+    feeds.emplace_back([&rings, &stats, &load, p] {
+      FeedConfig fc;
+      fc.blocking = true;
+      fc.malformed_rate = 0.25;
+      fc.malformed_seed = 4100 + static_cast<std::uint64_t>(p);
+      stats[static_cast<std::size_t>(p)] =
+          feed_ring(rings[static_cast<std::size_t>(p)],
+                    partition_requests(load.requests, p, 2), fc);
+    });
+  }
+  std::thread mux_thread{[&mux] { mux.run(); }};
+  drain_all(q);
+  mux_thread.join();
+  for (std::thread& t : feeds) t.join();
+
+  std::uint64_t closes = 0;
+  std::uint64_t malformed = 0;
+  for (std::size_t i = 0; i < sink.events.size(); ++i) {
+    const obs::TraceEvent& e = sink.events[i];
+    if (e.kind == obs::EventKind::kNetConnClose) {
+      ++closes;
+      EXPECT_EQ(sink.details[i], "ring");
+      EXPECT_GE(e.folded, 0);
+    } else if (e.kind == obs::EventKind::kNetMalformedFrame) {
+      ++malformed;
+      EXPECT_FALSE(sink.details[i].empty());
+    } else {
+      ADD_FAILURE() << "unexpected event kind "
+                    << obs::to_string(e.kind);
+    }
+  }
+  EXPECT_EQ(closes, 2u);
+  EXPECT_EQ(malformed, stats[0].injected + stats[1].injected);
+  EXPECT_EQ(malformed, mux.stats().malformed);
+}
+
+}  // namespace
+}  // namespace pfr::net

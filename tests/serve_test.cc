@@ -5,9 +5,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "obs/json.h"
@@ -83,6 +86,132 @@ TEST(RequestLog, BinaryRoundTripIsExact) {
   std::stringstream bin;
   write_binary_request_log(bin, parsed);
   EXPECT_EQ(read_binary_request_log(bin), parsed);
+}
+
+/// Expects `fn` to throw std::runtime_error whose message contains `needle`.
+template <typename Fn>
+void expect_log_error(Fn&& fn, const std::string& needle) {
+  try {
+    (void)fn();
+    FAIL() << "expected runtime_error containing '" << needle << "'";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string{e.what()}.find(needle), std::string::npos)
+        << "got: " << e.what();
+  }
+}
+
+/// A valid v2 stream downgraded to the legacy v1 framing: same layout,
+/// '1' magic, no CRC trailer.
+std::string as_legacy_v1(const std::string& v2) {
+  std::string v1 = v2.substr(0, v2.size() - 4);
+  v1[7] = '1';
+  return v1;
+}
+
+TEST(RequestLog, BinaryReaderStillAcceptsLegacyV1) {
+  const std::vector<Request> parsed = parse_request_log_string(kSampleLog);
+  std::ostringstream bin;
+  write_binary_request_log(bin, parsed);
+  std::istringstream v1{as_legacy_v1(bin.str())};
+  EXPECT_EQ(read_binary_request_log(v1), parsed);
+}
+
+TEST(RequestLog, BinaryRejectsCorruptPayload) {
+  const std::vector<Request> parsed = parse_request_log_string(kSampleLog);
+  std::ostringstream bin;
+  write_binary_request_log(bin, parsed);
+  std::string bytes = bin.str();
+  // Flip one byte of the first task name ("video" starts after the 8-byte
+  // magic, 8-byte count, and 6 u64 fields): no typed field check fires, so
+  // only the CRC trailer can convict the corruption.
+  bytes[8 + 8 + 48] ^= 0x01;
+  expect_log_error(
+      [&] {
+        std::istringstream in{bytes};
+        return read_binary_request_log(in);
+      },
+      "CRC mismatch");
+  // The same corruption under the legacy v1 framing sails through -- the
+  // CRC trailer is exactly what v2 adds.
+  std::istringstream v1{as_legacy_v1(bytes)};
+  EXPECT_NE(read_binary_request_log(v1), parsed);
+}
+
+TEST(RequestLog, BinaryRejectsHostileLengthsBeforeAllocating) {
+  const auto put_u64 = [](std::string& s, std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      s.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+    }
+  };
+  // An absurd record count backed by zero bytes of records: the reader
+  // must report truncation without reserving count-many Requests first.
+  std::string huge{"PFRQLOG2"};
+  put_u64(huge, 0xFFFFFFFFFFFFFFFFULL);
+  expect_log_error(
+      [&] {
+        std::istringstream in{huge};
+        return read_binary_request_log(in);
+      },
+      "truncated");
+
+  // A name length beyond the documented 4096-byte cap is rejected from the
+  // packed header alone, before any resize.
+  std::string overlong{"PFRQLOG2"};
+  put_u64(overlong, 1);  // one record
+  put_u64(overlong, (static_cast<std::uint64_t>(RequestKind::kQuery) & 0xFF) |
+                        (static_cast<std::uint64_t>(4097) << 8));
+  expect_log_error(
+      [&] {
+        std::istringstream in{overlong};
+        return read_binary_request_log(in);
+      },
+      "oversized task name");
+}
+
+TEST(RequestLog, BinaryRejectsInvalidWeightAndKind) {
+  const auto record = [](std::uint8_t kind, std::int64_t num,
+                         std::int64_t den) {
+    std::string s{"PFRQLOG2"};
+    const auto put_u64 = [&s](std::uint64_t v) {
+      for (int i = 0; i < 8; ++i) {
+        s.push_back(static_cast<char>((v >> (8 * i)) & 0xFF));
+      }
+    };
+    put_u64(1);                                   // count
+    put_u64(static_cast<std::uint64_t>(kind));    // packed: kind, empty name
+    put_u64(1);                                   // id
+    put_u64(0);                                   // due
+    put_u64(static_cast<std::uint64_t>(-1));      // deadline (kNever)
+    put_u64(static_cast<std::uint64_t>(num));
+    put_u64(static_cast<std::uint64_t>(den));
+    return s;
+  };
+  const std::int64_t int_min = std::numeric_limits<std::int64_t>::min();
+  for (const auto& [num, den] : std::vector<std::pair<std::int64_t,
+                                                      std::int64_t>>{
+           {1, 0}, {1, int_min}, {int_min, 4}}) {
+    expect_log_error(
+        [&, n = num, d = den] {
+          std::istringstream in{record(0 /* kJoin */, n, d)};
+          return read_binary_request_log(in);
+        },
+        "invalid weight");
+  }
+  expect_log_error(
+      [&] {
+        std::istringstream in{record(9, 1, 4)};
+        return read_binary_request_log(in);
+      },
+      "unknown request kind");
+}
+
+TEST(RequestLog, BinaryWriterRefusesUnencodableName) {
+  Request r;
+  r.id = 1;
+  r.kind = RequestKind::kQuery;
+  r.task = std::string(4097, 'x');
+  std::ostringstream bin;
+  EXPECT_THROW(write_binary_request_log(bin, {r}), std::invalid_argument);
 }
 
 TEST(RequestLog, ReaderSniffsBothEncodings) {
