@@ -108,11 +108,13 @@ Scenario make_scenario(int tasks, const std::string& dist, Slot slots,
   return sc;
 }
 
-Engine build_engine(const Scenario& sc, DispatchMode mode, bool trace) {
+Engine build_engine(const Scenario& sc, DispatchMode mode, bool trace,
+                    bool legacy_accrual) {
   EngineConfig cfg;
   cfg.processors = sc.processors;
   cfg.dispatch_mode = mode;
   cfg.record_slot_trace = trace;
+  cfg.legacy_accrual = legacy_accrual;
   Engine engine{cfg};
   for (std::size_t i = 0; i < sc.specs.size(); ++i) {
     const TaskId id = engine.add_task(sc.specs[i].weight);
@@ -143,30 +145,44 @@ struct ModeResult {
   double dispatch_ns_per_slot{0.0};
   double select_ns_per_slot{0.0};
   double run_ms{0.0};
+  double slots_per_s{0.0};
   std::uint64_t digest{0};
   std::int64_t misses{0};
+  std::int64_t fast_entries{0};
+  /// Every engine.phase.* timer mean (ns/slot), for the JSON breakdown.
+  std::vector<std::pair<std::string, double>> phase_ns;
 };
 
-ModeResult run_mode(const Scenario& sc, DispatchMode mode, Slot slots) {
+ModeResult run_mode(const Scenario& sc, DispatchMode mode, Slot slots,
+                    bool legacy_accrual = false) {
   ModeResult out;
   {  // Timed run: untraced, so the dispatch timers measure pure scheduling.
-    Engine engine = build_engine(sc, mode, /*trace=*/false);
+    Engine engine = build_engine(sc, mode, /*trace=*/false, legacy_accrual);
     pfr::obs::MetricsRegistry metrics;
     engine.set_metrics(&metrics);
     const auto t0 = std::chrono::steady_clock::now();
     engine.run_until(slots);
     const auto t1 = std::chrono::steady_clock::now();
     out.run_ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    out.slots_per_s = out.run_ms > 0.0
+                          ? static_cast<double>(slots) / (out.run_ms / 1000.0)
+                          : 0.0;
     const pfr::obs::Timer& dispatch =
         metrics.timers().at("engine.phase.dispatch");
     const pfr::obs::Timer& select =
         metrics.timers().at("engine.phase.dispatch.select");
     out.dispatch_ns_per_slot = dispatch.mean_ns();
     out.select_ns_per_slot = select.mean_ns();
+    for (const auto& [name, timer] : metrics.timers()) {
+      if (name.rfind("engine.phase.", 0) == 0) {
+        out.phase_ns.emplace_back(name.substr(13), timer.mean_ns());
+      }
+    }
     out.misses = static_cast<std::int64_t>(engine.misses().size());
+    out.fast_entries = engine.stats().accrual_fast_entries;
   }
   {  // Identity run: traced, digested.
-    Engine engine = build_engine(sc, mode, /*trace=*/true);
+    Engine engine = build_engine(sc, mode, /*trace=*/true, legacy_accrual);
     engine.run_until(slots);
     out.digest = schedule_digest(engine.trace());
   }
@@ -269,9 +285,19 @@ int main(int argc, char** argv) {
       const Scenario sc = make_scenario(tasks, dist, slots, seed);
       ModeResult res[3];
       for (int i = 0; i < 3; ++i) res[i] = run_mode(sc, kModes[i], slots);
+      // Pre-SoA scalar accrual (PR 9 baseline): same dispatch fast path,
+      // legacy per-subtask ideal recursion.  Must be digest-identical.
+      const ModeResult legacy =
+          run_mode(sc, DispatchMode::kIncremental, slots,
+                   /*legacy_accrual=*/true);
       const bool match = res[0].digest == res[1].digest &&
-                         res[0].digest == res[2].digest;
+                         res[0].digest == res[2].digest &&
+                         res[0].digest == legacy.digest;
       all_match = all_match && match;
+      const double accrual_speedup =
+          legacy.run_ms > 0.0 && res[2].run_ms > 0.0
+              ? legacy.run_ms / res[2].run_ms
+              : 0.0;
       const double speedup =
           res[2].dispatch_ns_per_slot > 0.0
               ? res[0].dispatch_ns_per_slot / res[2].dispatch_ns_per_slot
@@ -290,7 +316,9 @@ int main(int argc, char** argv) {
           << res[1].dispatch_ns_per_slot << "  "
           << res[2].dispatch_ns_per_slot << "  ";
       row.precision(2);
-      row << speedup << "x" << (match ? "" : "  DIGEST MISMATCH");
+      row << speedup << "x  accrual " << accrual_speedup << "x ("
+          << static_cast<std::int64_t>(res[2].slots_per_s) << " slots/s)"
+          << (match ? "" : "  DIGEST MISMATCH");
       std::cout << row.str() << "\n";
 
       json << (first ? "" : ",") << "{\"name\":\"" << sc.name
@@ -302,10 +330,22 @@ int main(int argc, char** argv) {
              << "\":{\"dispatch_ns_per_slot\":" << res[i].dispatch_ns_per_slot
              << ",\"select_ns_per_slot\":" << res[i].select_ns_per_slot
              << ",\"run_ms\":" << res[i].run_ms
+             << ",\"slots_per_s\":" << res[i].slots_per_s
              << ",\"misses\":" << res[i].misses << ",\"digest\":\""
-             << std::hex << res[i].digest << std::dec << "\"}";
+             << std::hex << res[i].digest << std::dec << "\",\"phase_ns\":{";
+        bool pfirst = true;
+        for (const auto& [pname, mean] : res[i].phase_ns) {
+          json << (pfirst ? "" : ",") << '"' << pname << "\":" << mean;
+          pfirst = false;
+        }
+        json << "}}";
       }
-      json << "},\"digests_match\":" << (match ? "true" : "false")
+      json << "},\"legacy_accrual\":{\"run_ms\":" << legacy.run_ms
+           << ",\"slots_per_s\":" << legacy.slots_per_s << ",\"digest\":\""
+           << std::hex << legacy.digest << std::dec << "\"}"
+           << ",\"accrual_speedup\":" << accrual_speedup
+           << ",\"fast_entries\":" << res[2].fast_entries
+           << ",\"digests_match\":" << (match ? "true" : "false")
            << ",\"speedup_dispatch\":" << speedup
            << ",\"speedup_select\":" << select_speedup << "}";
       first = false;

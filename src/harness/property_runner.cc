@@ -35,29 +35,32 @@ std::int64_t fault_total(const EngineStats& s) {
 
 /// Thm. 5 on a finished engine: each generation boundary may add at most
 /// 2 of |drift| per folded initiation under PD2-OI.  Tasks with IS
-/// separations are excused: I_PS keeps accruing wt through a separation
-/// gap while I_CSW follows the delayed releases, so the drift sample picks
-/// up wt x delay of displacement the theorem does not attribute to the
-/// reweighting event (the hunt found this scoping the hard way).
+/// separations are NOT excused: I_PS keeps accruing wt through a separation
+/// gap while I_CSW follows the delayed releases, so the raw drift sample
+/// picks up wt x delay of displacement the theorem does not attribute to
+/// the reweighting event -- but the engine ledgers that displacement
+/// separately (DriftPoint::displacement), and subtracting it restores the
+/// theorem's scope for separated tasks too.  An earlier revision skipped
+/// separated tasks wholesale, which silently exempted their genuine
+/// reweighting drift from the bound.
 void check_drift_bound(const ScenarioSpec& spec, const Engine& eng,
                        std::vector<std::string>& out) {
-  std::unordered_set<std::string> separated;
-  for (const ScenarioSpec::TaskSpec& t : spec.tasks) {
-    if (!t.separations.empty()) separated.insert(t.name);
-  }
+  (void)spec;
   for (std::size_t i = 0; i < eng.task_count(); ++i) {
     const TaskState& task = eng.task(static_cast<TaskId>(i));
-    if (separated.count(task.name) > 0) continue;
     Rational prev;
     for (const auto& point : task.drift_history) {
-      const Rational delta = (point.value - prev).abs();
+      const Rational charged = point.value - point.displacement;
+      const Rational delta = (charged - prev).abs();
       const int folded = point.events_folded == 0 ? 1 : point.events_folded;
       if (delta > Rational{2 * folded}) {
         out.push_back("Thm-5 drift bound: task '" + task.name + "' at slot " +
                       std::to_string(point.at) + " jumped " +
-                      delta.to_string() + " > 2*" + std::to_string(folded));
+                      delta.to_string() + " > 2*" + std::to_string(folded) +
+                      " (raw " + point.value.to_string() + ", displacement " +
+                      point.displacement.to_string() + ")");
       }
-      prev = point.value;
+      prev = charged;
     }
   }
 }
@@ -169,6 +172,65 @@ RunReport run_single(const ScenarioSpec& spec, const RunnerConfig& cfg) {
     } catch (const std::exception& e) {
       report.failures.push_back(
           std::string("scan-mode reference run threw: ") + e.what());
+    }
+  }
+
+  if (cfg.check_accrual_digest && report.failures.empty()) {
+    // The primary (validate-mode) run keeps the SoA fast-accrual path
+    // dormant, so arm it explicitly: one run with the batched fast path
+    // and the rational dispatch oracle cross-checking every slot, one run
+    // forced onto the pre-SoA per-subtask recursion.  Both must reproduce
+    // the primary digest, and their ideal-schedule totals must agree
+    // exactly, task by task.
+    ScenarioSpec fast = spec;
+    fast.config.validate = false;
+    fast.config.verify_priorities = true;
+    ScenarioSpec legacy = fast;
+    legacy.config.legacy_accrual = true;
+    try {
+      auto f = pfair::build_scenario(fast);
+      f.engine->run_until(f.horizon);
+      auto l = pfair::build_scenario(legacy);
+      l.engine->run_until(l.horizon);
+      const std::uint64_t df = pfair::schedule_digest(*f.engine);
+      const std::uint64_t dl = pfair::schedule_digest(*l.engine);
+      if (df != report.digest || dl != report.digest) {
+        report.failures.push_back(
+            "accrual-mode digest mismatch: primary=" +
+            std::to_string(report.digest) + " soa-fast=" +
+            std::to_string(df) + " legacy=" + std::to_string(dl));
+      }
+      for (std::size_t i = 0; i < f.engine->task_count(); ++i) {
+        const TaskState& a = f.engine->task(static_cast<TaskId>(i));
+        const TaskState& b = l.engine->task(static_cast<TaskId>(i));
+        if (a.cum_isw != b.cum_isw || a.cum_icsw != b.cum_icsw ||
+            a.cum_ips != b.cum_ips ||
+            a.drift_history.size() != b.drift_history.size()) {
+          report.failures.push_back(
+              "accrual-mode ideal totals diverge for task '" + a.name +
+              "': fast (isw " + a.cum_isw.to_string() + ", icsw " +
+              a.cum_icsw.to_string() + ", ips " + a.cum_ips.to_string() +
+              ") legacy (isw " + b.cum_isw.to_string() + ", icsw " +
+              b.cum_icsw.to_string() + ", ips " + b.cum_ips.to_string() +
+              ")");
+          break;
+        }
+        bool drift_ok = true;
+        for (std::size_t k = 0; drift_ok && k < a.drift_history.size(); ++k) {
+          drift_ok = a.drift_history[k].value == b.drift_history[k].value &&
+                     a.drift_history[k].displacement ==
+                         b.drift_history[k].displacement;
+        }
+        if (!drift_ok) {
+          report.failures.push_back(
+              "accrual-mode drift history diverges for task '" + a.name +
+              "'");
+          break;
+        }
+      }
+    } catch (const std::exception& e) {
+      report.failures.push_back(
+          std::string("accrual-mode reference run threw: ") + e.what());
     }
   }
   return report;

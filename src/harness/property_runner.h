@@ -8,9 +8,11 @@
 /// fault), and layers on the checks the verifier cannot see:
 ///
 ///   * per-theorem drift bounds -- Thm. 5's per-event |drift| <= 2 (scaled
-///     by folded initiations) on pure single-engine PD2-OI runs, excusing
-///     tasks with IS separations (their drift samples fold in separation
-///     displacement the theorem does not cover);
+///     by folded initiations) on pure single-engine PD2-OI runs.  Tasks
+///     with IS separations are checked too: the engine ledgers the
+///     separation displacement (I_PS accruing wt through the gap, which the
+///     theorem does not charge to the reweighting event) in each drift
+///     sample, and the check subtracts it before applying the bound;
 ///   * digest determinism -- single engine: DispatchMode::kScan vs the
 ///     incremental fast path must be bit-identical; cluster: the schedule
 ///     digest must agree across worker-thread counts (default 1/2/8);
@@ -41,6 +43,11 @@ struct RunnerConfig {
   std::vector<std::size_t> thread_counts{1, 2, 8};
   bool check_telemetry{true};
   bool check_drift_bound{true};
+  /// Single engine: re-run with the SoA fast-accrual path armed (validate
+  /// off, rational dispatch oracle on) and with the pre-SoA per-subtask
+  /// recursion (legacy_accrual), requiring bit-identical digests and exact
+  /// ideal-schedule totals across all three.
+  bool check_accrual_digest{true};
   /// When non-empty and the run fails, re-run with a FlightRecorder and
   /// dump the ring here (JSONL, pfair-trace compatible).
   std::string flight_dump_path;

@@ -146,7 +146,15 @@ GeneratedScenario generate_scenario(std::uint64_t seed, std::uint64_t index,
     bool this_heavy = false;
     if (heavy && i == 0 && budget > Rational{1}) {
       // One static heavy task; never reweighted, migrated, or left.
-      t.weight = Rational{rng.uniform_int(den / 2 + 1, den), den};
+      // (Short-circuit before the bernoulli so the default knob value
+      // consumes no RNG draws and historical streams stay byte-identical.)
+      if (cfg.saturation_fraction > 0 &&
+          rng.bernoulli(cfg.saturation_fraction)) {
+        constexpr std::int64_t kSatDen = std::int64_t{1} << 31;
+        t.weight = Rational{kSatDen - rng.uniform_int(1, 8), kSatDen};
+      } else {
+        t.weight = Rational{rng.uniform_int(den / 2 + 1, den), den};
+      }
       this_heavy = true;
     } else {
       t.weight = draw_light_weight(rng, den, budget);
@@ -157,7 +165,7 @@ GeneratedScenario generate_scenario(std::uint64_t seed, std::uint64_t index,
       t.join = rng.uniform_int(1, spec.horizon / 2);
     }
     if (rng.bernoulli(0.4)) t.rank = static_cast<int>(rng.uniform_int(0, 3));
-    if (rng.bernoulli(0.1)) {
+    if (rng.bernoulli(cfg.separation_fraction)) {
       t.separations.emplace_back(rng.uniform_int(1, 4),
                                  rng.uniform_int(1, 8));
     }

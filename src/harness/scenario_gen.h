@@ -50,6 +50,17 @@ struct GenConfig {
   bool allow_faults{true};
   bool allow_heavy{true};
 
+  /// Probability each task carries an IS separation (delayed release gap).
+  /// The default matches the historical hunt envelope; raise it to stress
+  /// the Thm-5 displacement ledger.
+  double separation_fraction{0.1};
+  /// When positive, this fraction of heavy draws puts the heavy task's
+  /// weight a hair under 1 on a 2^31 grid, so the group-deadline cascade
+  /// overflows 64-bit window math within a few subtasks and exercises the
+  /// saturate-and-degrade path instead of aborting.  Zero (the default)
+  /// leaves the historical scenario streams byte-identical.
+  double saturation_fraction{0.0};
+
   /// Ingest-path chaos (the net/ front door): this fraction of scenarios
   /// also replays a derived request load through shm ingest rings --
   /// in-process versus ringed delivery must produce bit-identical response

@@ -195,12 +195,21 @@ class IngestMux {
   serve::RequestQueue& queue_;
   IngestMuxConfig cfg_;
   std::vector<Source> rings_;
+  /// Scratch for the batched ring pump: the run of request frames gathered
+  /// from one ring head, admitted via one offer_batch call.
+  std::vector<serve::Request> ring_batch_;
   std::map<int, Source> tcp_;  ///< keyed by conn id (fd)
   std::vector<int> pending_close_;  ///< conns to close after poll() returns
   std::optional<EpollListener> listener_;
   /// Backpressure hysteresis: once an offer is refused, later offers use
   /// low_watermark as the soft bound until one is accepted again.
   bool congested_{false};
+  /// Adaptive gather size for the batched ring pump.  A refused batch
+  /// collapses it to 1 (a parked queue would otherwise pay a full run of
+  /// decodes per retry, quadratic while the consumer rendezvous holds the
+  /// queue at its watermark); each fully accepted full-size gather doubles
+  /// it back toward kRingBurst.
+  int gather_limit_{kRingBurst};
   std::atomic<bool> stop_{false};
   /// Mux-thread written, any-thread read (the registration wait above).
   std::atomic<std::uint64_t> conns_opened_{0};

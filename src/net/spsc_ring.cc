@@ -221,10 +221,19 @@ const std::uint8_t* ShmRing::front() const noexcept {
   return slots_ + (head & (ctrl_->capacity - 1)) * kFrameBytes;
 }
 
-void ShmRing::pop_front() noexcept {
+void ShmRing::pop_front() noexcept { pop_front_n(1); }
+
+const std::uint8_t* ShmRing::peek(std::size_t k) const noexcept {
   const std::uint64_t head = ctrl_->head.load(std::memory_order_relaxed);
-  ctrl_->head.store(head + 1, std::memory_order_release);
-  ctrl_->popped.store(ctrl_->popped.load(std::memory_order_relaxed) + 1,
+  const std::uint64_t tail = ctrl_->tail.load(std::memory_order_acquire);
+  if (tail - head <= k) return nullptr;
+  return slots_ + ((head + k) & (ctrl_->capacity - 1)) * kFrameBytes;
+}
+
+void ShmRing::pop_front_n(std::size_t n) noexcept {
+  const std::uint64_t head = ctrl_->head.load(std::memory_order_relaxed);
+  ctrl_->head.store(head + n, std::memory_order_release);
+  ctrl_->popped.store(ctrl_->popped.load(std::memory_order_relaxed) + n,
                       std::memory_order_relaxed);
 }
 

@@ -96,6 +96,18 @@ class ShmRing {
   /// Consumes the frame front() exposed.  Precondition: ring non-empty.
   void pop_front() noexcept;
 
+  /// Zero-copy peek at the k-th oldest frame (nullptr when fewer than k+1
+  /// frames are queued).  peek(0) == front().  SPSC-safe for the same
+  /// reason front() is: the producer cannot overwrite any unconsumed slot,
+  /// so every pointer stays valid until the frame is popped.  Lets the
+  /// consumer gather a multi-frame run and consume it with one head
+  /// publication (pop_front_n) instead of a release store per frame.
+  [[nodiscard]] const std::uint8_t* peek(std::size_t k) const noexcept;
+
+  /// Consumes the n oldest frames in one head publication.
+  /// Precondition: depth() >= n.
+  void pop_front_n(std::size_t n) noexcept;
+
   /// Marks the ring closed; a blocked producer unsticks and gives up.
   void close() noexcept;
 

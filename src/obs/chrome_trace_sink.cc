@@ -219,6 +219,12 @@ void ChromeTraceSink::on_event(const TraceEvent& e) {
                   "\"source\":" + std::to_string(e.folded) +
                       ",\"error\":\"" + json_escape(e.detail) + '"'));
       break;
+    case EventKind::kPrioritySaturated:
+      add(instant(e, "SATURATED T_" + std::to_string(e.subtask),
+                  "\"subtask\":" + std::to_string(e.subtask) +
+                      ",\"deadline\":" + std::to_string(e.deadline) +
+                      ",\"field\":\"" + json_escape(e.detail) + '"'));
+      break;
   }
 }
 

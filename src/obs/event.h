@@ -59,9 +59,11 @@ enum class EventKind : std::uint8_t {
   kNetConnOpen,        ///< a TCP ingest connection registered with the mux
   kNetConnClose,       ///< an ingest source finished (bye / close)
   kNetMalformedFrame,  ///< a wire frame failed to decode (or broke protocol)
+  // --- window saturation (pfair/windows.h, PR 9) ---
+  kPrioritySaturated,  ///< a released window clamped at kSlotSaturated
 };
 
-inline constexpr int kEventKindCount = 31;
+inline constexpr int kEventKindCount = 32;
 
 [[nodiscard]] constexpr const char* to_string(EventKind k) noexcept {
   switch (k) {
@@ -96,6 +98,7 @@ inline constexpr int kEventKindCount = 31;
     case EventKind::kNetConnOpen: return "net_conn_open";
     case EventKind::kNetConnClose: return "net_conn_close";
     case EventKind::kNetMalformedFrame: return "net_malformed_frame";
+    case EventKind::kPrioritySaturated: return "priority_saturated";
   }
   return "?";
 }
@@ -140,6 +143,8 @@ inline constexpr int kEventKindCount = 31;
 ///                     final watermark), detail ("tcp"/"ring")
 ///   net_malformed_frame: folded (queue-producer id; -1 pre-registration),
 ///                     detail (the typed wire diagnostic, net::describe)
+///   priority_saturated: subtask, deadline (clamped), b (exact),
+///                     detail ("window"/"group_deadline")
 struct TraceEvent {
   EventKind kind{EventKind::kTaskJoin};
   pfair::Slot slot{0};              ///< engine time of the observation

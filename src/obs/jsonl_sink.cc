@@ -147,6 +147,11 @@ std::string to_jsonl(const TraceEvent& e) {
       os << ",\"source\":" << e.folded << ",\"error\":\""
          << json_escape(e.detail) << '"';
       break;
+    case EventKind::kPrioritySaturated:
+      os << ",\"subtask\":" << e.subtask << ",\"deadline\":" << e.deadline
+         << ",\"b\":" << e.b << ",\"field\":\"" << json_escape(e.detail)
+         << '"';
+      break;
   }
   os << '}';
   return os.str();

@@ -19,8 +19,15 @@ Engine::Engine(EngineConfig cfg) : cfg_(cfg) {
       env != nullptr && env[0] != '\0' && env[0] != '0') {
     cfg_.verify_priorities = true;
   }
+  // PFR_LEGACY_ACCRUAL=1 pins every task to the exact per-slot Rational
+  // recursion (A/B digest runs against the SoA fast path).
+  if (const char* env = std::getenv("PFR_LEGACY_ACCRUAL");
+      env != nullptr && env[0] != '\0' && env[0] != '0') {
+    cfg_.legacy_accrual = true;
+  }
   proc_down_.assign(static_cast<std::size_t>(cfg_.processors), false);
   slot_capacity_ = cfg_.processors;
+  miss_ring_.assign(static_cast<std::size_t>(kMissRing), 0);
 }
 
 TaskId Engine::add_task(Rational weight, Slot join_time, std::string name) {
@@ -42,7 +49,20 @@ TaskId Engine::add_task(Rational weight, Slot join_time, std::string name) {
   t.swt_history.emplace_back(join_time, weight);
   t.next_release = join_time;
   tasks_.push_back(std::move(t));
-  return tasks_.back().id;
+  TaskState& added = tasks_.back();
+  hot_.resize(tasks_.size());
+  // The join-slot release is legitimate (joins process earlier in the same
+  // slot), so the lane is armed immediately.
+  soa_sync_release_lane(added);
+  join_queue_.emplace_back(added.join_time, added.id);
+  // add_task calls normally arrive in join-time order (harness setup) or
+  // strictly at now_ (cluster migration); anything else marks the suffix
+  // for a lazy re-sort.
+  if (join_queue_.size() > next_join_ + 1 &&
+      join_queue_[join_queue_.size() - 2].first > added.join_time) {
+    joins_dirty_ = true;
+  }
+  return added.id;
 }
 
 void Engine::set_tie_rank(TaskId id, int rank) {
@@ -60,6 +80,9 @@ void Engine::add_separation(TaskId id, SubtaskIndex j, Slot delay) {
   }
   if (delay < 0) throw std::invalid_argument("add_separation: negative delay");
   t.separations[j] = delay;
+  // Separations break the dense fluid tiling the fast accrual relies on;
+  // the task runs the exact legacy recursion from here on.
+  soa_demote(t);
 }
 
 void Engine::mark_absent(TaskId id, SubtaskIndex j) {
@@ -68,6 +91,9 @@ void Engine::mark_absent(TaskId id, SubtaskIndex j) {
     throw std::invalid_argument("mark_absent: T_j already released");
   }
   t.absent_indices.insert(j);
+  // Absences zero individual subtask allocations, which the task-level
+  // fast accumulator cannot express.
+  soa_demote(t);
 }
 
 void Engine::request_weight_change(TaskId id, Rational new_weight, Slot at) {
@@ -130,6 +156,9 @@ void Engine::export_metrics(obs::MetricsRegistry& registry) const {
   registry.counter("dispatch.fastpath.pops").add(stats_.fastpath_pops);
   registry.counter("dispatch.fastpath.erases").add(stats_.fastpath_erases);
   registry.counter("dispatch.fastpath.oracle_checks").add(stats_.oracle_checks);
+  registry.counter("dispatch.fastpath.saturations")
+      .add(stats_.fastpath_saturations);
+  registry.counter("accrual.fast_entries").add(stats_.accrual_fast_entries);
   registry.counter("engine.misses")
       .add(static_cast<std::int64_t>(misses_.size()));
   registry.counter("engine.tasks")
@@ -184,9 +213,17 @@ void Engine::count_disruptions(int enactments_before) {
   // The disruption a reweight causes is the set of tasks whose slot
   // allocation flipped relative to the previous slot, measured exactly on
   // slots where an enactment fired (other slots churn for unrelated
-  // reasons: releases completing, windows closing).
-  std::sort(last_scheduled_.begin(), last_scheduled_.end());
+  // reasons: releases completing, windows closing).  The sets are only
+  // compared on enactment slots, so sorting is deferred until then.
   if (stats_.enactments > enactments_before) {
+    if (!prev_scheduled_sorted_) {
+      std::sort(prev_scheduled_.begin(), prev_scheduled_.end());
+      prev_scheduled_sorted_ = true;
+    }
+    if (!last_scheduled_sorted_) {
+      std::sort(last_scheduled_.begin(), last_scheduled_.end());
+      last_scheduled_sorted_ = true;
+    }
     std::size_t i = 0;
     std::size_t j = 0;
     std::int64_t flipped = 0;
@@ -207,6 +244,7 @@ void Engine::count_disruptions(int enactments_before) {
     stats_.disruptions += flipped;
   }
   std::swap(prev_scheduled_, last_scheduled_);
+  std::swap(prev_scheduled_sorted_, last_scheduled_sorted_);
 }
 
 void Engine::publish_telemetry() {
@@ -244,49 +282,76 @@ void Engine::publish_telemetry() {
 }
 
 void Engine::process_joins(Slot t) {
-  for (TaskState& task : tasks_) {
-    if (!task.joined && task.join_time == t) {
-      task.joined = true;
-      weight_event_this_slot_ = true;
-      if (tracer_.enabled()) {
-        obs::TraceEvent e;
-        e.kind = obs::EventKind::kTaskJoin;
-        e.slot = t;
-        e.task = task.id;
-        e.task_name = task.name;
-        e.weight_to = task.swt;
-        tracer_.emit(e);
-      }
+  if (joins_dirty_) {
+    std::stable_sort(join_queue_.begin() +
+                         static_cast<std::ptrdiff_t>(next_join_),
+                     join_queue_.end());
+    joins_dirty_ = false;
+  }
+  while (next_join_ < join_queue_.size() && join_queue_[next_join_].first <= t) {
+    TaskState& task =
+        tasks_[static_cast<std::size_t>(join_queue_[next_join_].second)];
+    ++next_join_;
+    if (task.joined || task.join_time != t) continue;
+    task.joined = true;
+    // Joined tasks accrue I_PS (and once released, I_SW) from this slot on;
+    // slow until the first release proves fast-mode eligibility.
+    if (hot_.mode()[static_cast<std::size_t>(task.id)] ==
+        soa::AccrualMode::kIdle) {
+      hot_.mode()[static_cast<std::size_t>(task.id)] = soa::AccrualMode::kSlow;
+    }
+    weight_event_this_slot_ = true;
+    if (tracer_.enabled()) {
+      obs::TraceEvent e;
+      e.kind = obs::EventKind::kTaskJoin;
+      e.slot = t;
+      e.task = task.id;
+      e.task_name = task.name;
+      e.weight_to = task.swt;
+      tracer_.emit(e);
     }
   }
 }
 
 void Engine::process_due_releases(Slot t) {
-  for (TaskState& task : tasks_) {
+  soa::scan_due_releases(hot_, t, due_scratch_);
+  if (due_scratch_.empty()) return;
+  // Filter through the exact legacy gates (the lane mirror is kept in sync,
+  // but a stale hit must never release where the legacy scan would not) and
+  // gather the window jobs.  scan_due_releases emits ascending lane indices
+  // == ascending TaskId, matching the legacy scan's trace order.
+  window_jobs_.clear();
+  std::size_t kept = 0;
+  for (const std::int32_t lane : due_scratch_) {
+    TaskState& task = tasks_[static_cast<std::size_t>(lane)];
     if (!task.joined || task.chain_frozen || task.quarantined()) continue;
     if (task.leave_requested_at <= t) continue;
-    if (task.next_release == t) release_subtask(task, t);
+    if (task.next_release != t) continue;
+    due_scratch_[kept++] = lane;
+    window_jobs_.push_back(soa::WindowJob{task.next_index - task.gen_base,
+                                          task.swt.num(), task.swt.den()});
+  }
+  due_scratch_.resize(kept);
+  if (window_outs_.size() < kept) window_outs_.resize(kept);
+  soa::batch_subtask_windows(window_jobs_.data(), window_outs_.data(), kept);
+  // Releases are processed strictly after the whole batch is evaluated;
+  // this is safe because a release never changes another task's due time,
+  // and the released task's own next due slot is always > t.
+  for (std::size_t k = 0; k < kept; ++k) {
+    finish_release(tasks_[static_cast<std::size_t>(due_scratch_[k])], t,
+                   window_outs_[k]);
   }
 }
 
 void Engine::release_subtask(TaskState& task, Slot at) {
+  const SubtaskIndex q = task.next_index - task.gen_base;
+  const SubtaskWindows w = subtask_windows(q, task.swt.num(), task.swt.den());
+  finish_release(task, at, w);
+}
+
+void Engine::finish_release(TaskState& task, Slot at, const SubtaskWindows& w) {
   const SubtaskIndex j = task.next_index;
   const SubtaskIndex q = j - task.gen_base;
-  Subtask s;
-  s.index = j;
-  s.gen_base = task.gen_base;
-  s.release = at;
-  s.deadline = deadline_from_release(at, q, task.swt);
-  s.b = b_bit(q, task.swt);
-  if (task.swt > kMaxWeight) {
-    // Heavy task: the third PD2 tie-break.  Offsets are relative to the
-    // generation's start, recovered from this subtask's own release offset.
-    const Slot gen_start = at - release_offset(q, task.swt);
-    s.group_deadline = gen_start + group_deadline_offset(q, task.swt);
-  }
-  s.swt_at_release = task.swt;
-  s.present = task.absent_indices.count(j) == 0;
-
   if (cfg_.validate && !task.subtasks.empty()) {
     // Property (V): if the new window starts before d(T_i) - b(T_i) of the
     // predecessor, the predecessor must already be complete in both I_CSW
@@ -300,9 +365,48 @@ void Engine::release_subtask(TaskState& task, Slot at) {
       }
     }
   }
+  // Filled in place: SubtaskLog addresses are stable, so the record can be
+  // built directly in its final slot instead of copied in.
+  Subtask& s = task.subtasks.emplace_back();
+  s.index = j;
+  s.gen_base = task.gen_base;
+  s.release = at;
+  bool saturated = w.saturated;
+  if (saturated) {
+    s.deadline = kSlotSaturated;
+  } else {
+    s.deadline = at + (w.deadline_offset - w.release_offset);
+    if (s.deadline >= kSlotSaturated) {
+      s.deadline = kSlotSaturated;
+      saturated = true;
+    }
+  }
+  s.b = w.b;
+  if (task.swt > kMaxWeight) {
+    // Heavy task: the third PD2 tie-break.  Offsets are relative to the
+    // generation's start, recovered from this subtask's own release offset.
+    bool gd_saturated = false;
+    const Slot gd_off = group_deadline_offset_saturating(
+        q, task.swt.num(), task.swt.den(), &gd_saturated);
+    if (gd_saturated || w.saturated) {
+      s.group_deadline = kSlotSaturated;
+      saturated = true;
+    } else {
+      s.group_deadline = (at - w.release_offset) + gd_off;
+      if (s.group_deadline >= kSlotSaturated) {
+        s.group_deadline = kSlotSaturated;
+        saturated = true;
+      }
+    }
+  }
+  s.swt_at_release = task.swt;
+  s.present =
+      task.absent_indices.empty() || task.absent_indices.count(j) == 0;
+  s.degraded = saturated;
+  s.first_alloc_num = saturated ? -1 : w.first_alloc_num;
 
-  task.subtasks.push_back(s);
   task.next_index = j + 1;
+  if (s.present) miss_note_release(s.deadline);
   if (tracer_.enabled()) {
     obs::TraceEvent e;
     e.kind = obs::EventKind::kSubtaskRelease;
@@ -314,8 +418,27 @@ void Engine::release_subtask(TaskState& task, Slot at) {
     e.b = s.b;
     tracer_.emit(e);
   }
-  if (TaskState::gen_first(task.subtasks.back())) sample_drift(task, at);
+  if (saturated) {
+    // Degrade instead of aborting: the window keeps a deterministic
+    // sentinel priority (it loses to every live deadline) and the run
+    // continues; the oracle verifies the saturation verdict itself.
+    ++stats_.fastpath_saturations;
+    if (tracer_.enabled()) {
+      obs::TraceEvent e;
+      e.kind = obs::EventKind::kPrioritySaturated;
+      e.slot = at;
+      e.task = task.id;
+      e.task_name = task.name;
+      e.subtask = j;
+      e.deadline = s.deadline;
+      e.b = s.b;
+      e.detail = w.saturated ? "window" : "group_deadline";
+      tracer_.emit(e);
+    }
+  }
+  if (TaskState::gen_first(s)) sample_drift(task, at);
   schedule_next_normal_release(task);
+  soa_after_release(task, s);
   // The new subtask may be the task's front candidate (it always is when the
   // predecessor is already scheduled or halted).
   sync_ready_candidate(task);
@@ -324,12 +447,47 @@ void Engine::release_subtask(TaskState& task, Slot at) {
 void Engine::schedule_next_normal_release(TaskState& task) {
   const Subtask& last = task.subtasks.back();
   Slot sep = 0;
-  const auto it = task.separations.find(task.next_index);
-  if (it != task.separations.end()) sep = it->second;
+  if (!task.separations.empty()) {
+    const auto it = task.separations.find(task.next_index);
+    if (it != task.separations.end()) sep = it->second;
+  }
   task.next_release = last.deadline - last.b + sep;  // Eqn. (4)
+  task.next_release_sep = sep;
+}
+
+void Engine::miss_note_release(Slot deadline) {
+  if (miss_ring_overflow_) return;
+  if (deadline - now_ >= kMissRing) {
+    // A deadline beyond the ring horizon (pathological weight or saturated
+    // window): give up on ring tracking and scan every boundary instead.
+    miss_ring_overflow_ = true;
+    return;
+  }
+  ++miss_ring_[static_cast<std::size_t>(deadline & (kMissRing - 1))];
+}
+
+void Engine::miss_note_settled(Slot deadline) {
+  if (miss_ring_overflow_) return;
+  // Deadlines at or before now_ had their bucket consumed by an earlier
+  // boundary check (late scheduling under overload); only live buckets are
+  // balanced.
+  if (deadline <= now_) return;
+  --miss_ring_[static_cast<std::size_t>(deadline & (kMissRing - 1))];
 }
 
 void Engine::detect_misses(Slot boundary) {
+  if (!miss_ring_overflow_) {
+    std::int32_t& bucket =
+        miss_ring_[static_cast<std::size_t>(boundary & (kMissRing - 1))];
+    if (bucket == 0) return;  // every deadline here was scheduled or halted
+    bucket = 0;
+    // At-risk boundary: fall through to the exact scan (quarantined tasks
+    // may leave stranded counts; the scan is the source of truth).
+  }
+  detect_misses_scan(boundary);
+}
+
+void Engine::detect_misses_scan(Slot boundary) {
   for (TaskState& task : tasks_) {
     // A quarantined task is excused from the schedule; its stranded
     // subtasks are not counted as misses.
@@ -368,6 +526,9 @@ void Engine::validate_slot(Slot t) {
 }
 
 Rational Engine::total_lag_icsw() const {
+  // Logically const: folds pending fast-mode accumulators into the totals
+  // they already represent.
+  const_cast<Engine*>(this)->flush_all_accrual();
   Rational sum;
   for (const TaskState& t : tasks_) {
     sum += t.cum_icsw - Rational{t.scheduled_count};
@@ -384,6 +545,7 @@ Rational Engine::total_scheduling_weight() const {
 }
 
 void Engine::sample_drift(TaskState& task, Slot u) {
+  flush_task_accrual(task);  // exact Rational totals before the sample
   const Rational d = task.cum_ips - task.cum_icsw;
   task.drift = d;
   // Keep mean_abs_drift() O(1): replace this task's contribution to the
@@ -395,8 +557,8 @@ void Engine::sample_drift(TaskState& task, Slot u) {
   double& last = drift_abs_last_[static_cast<std::size_t>(task.id)];
   drift_abs_sum_ += abs_d - last;
   last = abs_d;
-  task.drift_history.push_back(
-      TaskState::DriftPoint{u, d, task.initiations_since_enactment});
+  task.drift_history.push_back(TaskState::DriftPoint{
+      u, d, task.initiations_since_enactment, task.sep_displacement});
   if (tracer_.enabled()) {
     obs::TraceEvent e;
     e.kind = obs::EventKind::kDriftSample;
@@ -408,6 +570,99 @@ void Engine::sample_drift(TaskState& task, Slot u) {
     tracer_.emit(e);
   }
   task.initiations_since_enactment = 0;
+}
+
+// ---------------------------------------------------------------------------
+// SoA hot-state maintenance (PR 9)
+// ---------------------------------------------------------------------------
+
+namespace {
+/// Largest scheduling/true-weight numerator or denominator the int64 fast
+/// accumulators accept: pending sums are bounded by kFlushPeriod * num,
+/// and the materialization products stay within (den + num) < 2^48.
+constexpr std::int64_t kFastMagnitudeLimit = std::int64_t{1} << 47;
+
+[[nodiscard]] bool fast_weight(const Rational& w) noexcept {
+  return w.num() < kFastMagnitudeLimit && w.den() < kFastMagnitudeLimit;
+}
+}  // namespace
+
+void Engine::soa_sync_release_lane(const TaskState& task) {
+  // Mirrors the legacy release-scan gates.  !joined is deliberately NOT a
+  // gate: the join-slot release is legitimate (process_joins runs earlier
+  // in the same slot), and earlier slots cannot match a future due time.
+  const bool gated = task.chain_frozen || task.quarantined() ||
+                     task.leave_requested_at != kNever;
+  hot_.next_release()[static_cast<std::size_t>(task.id)] =
+      gated ? kNever : task.next_release;
+}
+
+void Engine::soa_after_release(TaskState& task, const Subtask& front) {
+  soa_sync_release_lane(task);
+  const auto i = static_cast<std::size_t>(task.id);
+  soa::AccrualMode& mode = hot_.mode()[i];
+  // Fast-mode eligibility: the dense fluid tiling must hold for the whole
+  // generation (no separations/absences/pending boundary), the int64
+  // accumulators must fit, and validate mode wants the legacy recursion's
+  // per-slot checks.
+  const bool eligible = !cfg_.validate && !cfg_.legacy_accrual &&
+                        !front.degraded && !task.pending &&
+                        task.separations.empty() &&
+                        task.absent_indices.empty() &&
+                        fast_weight(task.swt) && fast_weight(task.wt);
+  if (mode == soa::AccrualMode::kFast) {
+    if (eligible) {
+      // Staying fast: the new window extends the covered range (b=1
+      // overlap or seamless b=0 handoff both tile to one quantum/slot).
+      hot_.cover_end()[i] = front.deadline;
+    } else {
+      soa_demote(task);
+    }
+    return;
+  }
+  // Entry only at generation firsts: mid-generation history would need the
+  // legacy recursion to materialize correctly.  The accrual-cursor check
+  // additionally requires every prior-generation subtask to be closed
+  // (windows straddling the enactment keep the task slow one more gen).
+  if (mode != soa::AccrualMode::kSlow || !TaskState::gen_first(front)) return;
+  if (!eligible) return;
+  // Advance past closed prior-generation subtasks the ideal phase has not
+  // yet skipped (closure is stamped one pass before the cursor moves); this
+  // replicates the legacy loop's own contiguous advance, just earlier.
+  while (task.accrual_cursor + 1 < task.subtasks.size()) {
+    const Subtask& s = task.subtasks[task.accrual_cursor];
+    if (s.nominal_complete_at == kNever && !s.halted()) break;
+    ++task.accrual_cursor;
+  }
+  if (task.accrual_cursor != task.subtasks.size() - 1) return;
+  mode = soa::AccrualMode::kFast;
+  ++stats_.accrual_fast_entries;
+  hot_.acc_num()[i] = task.swt.num();
+  hot_.acc_den()[i] = task.swt.den();
+  hot_.cover_end()[i] = front.deadline;
+  hot_.wt_num()[i] = task.wt.num();
+  hot_.wt_den()[i] = task.wt.den();
+  hot_.ips_end()[i] = task.left_at;  // kNever unless already leaving
+  hot_.acc_pend()[i] = 0;
+  hot_.ips_pend()[i] = 0;
+}
+
+void Engine::soa_demote(TaskState& task) {
+  const auto i = static_cast<std::size_t>(task.id);
+  if (hot_.mode()[i] != soa::AccrualMode::kFast) return;
+  flush_task_accrual(task);
+  hot_.mode()[i] = soa::AccrualMode::kSlow;
+  hot_.cover_end()[i] = soa::kLaneInert;
+  hot_.ips_end()[i] = soa::kLaneInert;
+}
+
+void Engine::soa_park_idle(TaskState& task) {
+  const auto i = static_cast<std::size_t>(task.id);
+  if (hot_.mode()[i] == soa::AccrualMode::kFast) flush_task_accrual(task);
+  hot_.mode()[i] = soa::AccrualMode::kIdle;
+  hot_.cover_end()[i] = soa::kLaneInert;
+  hot_.ips_end()[i] = soa::kLaneInert;
+  hot_.next_release()[i] = kNever;
 }
 
 }  // namespace pfr::pfair

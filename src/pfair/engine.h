@@ -31,9 +31,12 @@
 #include "pfair/fault.h"
 #include "pfair/indexed_ready_queue.h"
 #include "pfair/priority.h"
+#include "pfair/soa/batch_windows.h"
+#include "pfair/soa/hot_state.h"
 #include "pfair/task.h"
 #include "pfair/types.h"
 #include "pfair/weight.h"
+#include "pfair/windows.h"
 #include "rational/rational.h"
 
 namespace pfr::pfair {
@@ -83,6 +86,12 @@ struct EngineConfig {
   /// (checked once at Engine construction), which is how CI runs the whole
   /// test suite under the oracle.  Pure observer: never changes a schedule.
   bool verify_priorities{false};
+  /// Disable the SoA fast-mode ideal accrual: every task runs the exact
+  /// legacy Rational recursion each slot.  The schedules and every Rational
+  /// total are bit-identical either way (the hunt asserts this); the toggle
+  /// exists for A/B digest runs and bisection.  Also honored via the
+  /// environment variable PFR_LEGACY_ACCRUAL=1 (checked at construction).
+  bool legacy_accrual{false};
 };
 
 /// Per-slot record of which tasks ran.
@@ -128,6 +137,12 @@ struct EngineStats {
   std::int64_t fastpath_pops{0};     ///< candidates dispatched off the queue
   std::int64_t fastpath_erases{0};   ///< candidates invalidated (halt etc.)
   std::int64_t oracle_checks{0};     ///< verify_priorities slot cross-checks
+  /// Released windows whose deadline or group deadline clamped at
+  /// kSlotSaturated instead of aborting the run (degraded subtasks).
+  std::int64_t fastpath_saturations{0};
+  /// Times a task's ideal accrual entered the SoA int64 fast mode (PR 9);
+  /// zero under validate / legacy_accrual or when no task is eligible.
+  std::int64_t accrual_fast_entries{0};
 };
 
 class Engine {
@@ -283,7 +298,15 @@ class Engine {
   [[nodiscard]] const EngineConfig& config() const noexcept { return cfg_; }
   [[nodiscard]] std::size_t task_count() const noexcept { return tasks_.size(); }
   [[nodiscard]] const TaskState& task(TaskId id) const {
-    return tasks_.at(static_cast<std::size_t>(id));
+    TaskState& t =
+        const_cast<Engine*>(this)->tasks_.at(static_cast<std::size_t>(id));
+    // Lazily materialize fast-mode accrual so external readers always see
+    // exact Rational totals.  Logically const: the flush only folds pending
+    // accumulators into the totals they already represent.
+    if (hot_.mode()[static_cast<std::size_t>(id)] == soa::AccrualMode::kFast) {
+      const_cast<Engine*>(this)->flush_task_accrual(t);
+    }
+    return t;
   }
   [[nodiscard]] const std::vector<MissRecord>& misses() const noexcept {
     return misses_;
@@ -313,9 +336,41 @@ class Engine {
   void process_joins(Slot t);
   void process_due_releases(Slot t);
   void release_subtask(TaskState& task, Slot at);
+  /// Installs a released subtask from its precomputed windows: freezes the
+  /// priority fields (clamping saturated ones), emits the trace, samples
+  /// drift on generation firsts, schedules the next release, and refreshes
+  /// the task's SoA lanes.  Both the batch release path and the scalar
+  /// enactment path funnel through here.
+  void finish_release(TaskState& task, Slot at, const SubtaskWindows& w);
   void schedule_next_normal_release(TaskState& task);
   void detect_misses(Slot boundary);
+  /// Exact legacy miss scan over every task; run only on boundaries the
+  /// deadline ring flags as at-risk (or every slot when the ring overflowed).
+  void detect_misses_scan(Slot boundary);
   void validate_slot(Slot t);
+
+  // engine.cc (SoA hot-state maintenance)
+  /// Mirrors task.next_release into the SoA lane (kNever when the chain is
+  /// gated: not joined, frozen, leaving, quarantined).
+  void soa_sync_release_lane(const TaskState& task);
+  /// Re-evaluates fast-mode eligibility after `front` released; enters or
+  /// stays in fast mode with refreshed lanes, or demotes to slow.
+  void soa_after_release(TaskState& task, const Subtask& front);
+  /// Flushes pending fast-mode accrual and parks the task in slow mode
+  /// (exact legacy accrual from the next slot on).  No-op when not fast.
+  void soa_demote(TaskState& task);
+  /// Quarantine/leave-completion: flush, then stop accruing entirely.
+  void soa_park_idle(TaskState& task);
+  /// Folds a fast task's pending int64 accumulators into the Rational
+  /// cum_isw/cum_icsw/cum_ips totals and materializes nominal_cum /
+  /// nominal_complete_at on its open subtasks through slot now_ - 1.
+  /// Idempotent; no-op unless the task is in fast mode.
+  void flush_task_accrual(TaskState& task);
+  void flush_all_accrual();
+  /// Deadline-miss ring bookkeeping: note a present subtask's frozen
+  /// deadline at release / settle it at dispatch or halt.
+  void miss_note_release(Slot deadline);
+  void miss_note_settled(Slot deadline);
 
   // fault.cc (engine side)
   void process_faults(Slot t);
@@ -335,6 +390,10 @@ class Engine {
   // ideal.cc
   void accrue_ideal(Slot t);
   void accrue_task_ideal(TaskState& task, Slot t);
+  /// Satellite of accrue_ideal: I_PS allocation accrued while slot t lies
+  /// inside a declared IS separation gap (release displacement, Thm. 5
+  /// scope accounting).  Slow path only -- separated tasks never run fast.
+  void accrue_sep_displacement(TaskState& task, Slot t);
 
   // scheduler.cc
   void dispatch(Slot t);
@@ -415,9 +474,10 @@ class Engine {
   /// sample (as double) and their running sum.
   std::vector<double> drift_abs_last_;
   double drift_abs_sum_{0};
-  /// Scheduled TaskId sets (sorted) of the previous and current slot, kept
-  /// for the disruption count.  Maintained unconditionally: the copy+sort
-  /// of <= M ids per slot is noise next to dispatch itself.
+  /// Scheduled TaskId sets of the previous and current slot, kept for the
+  /// disruption count.  Filled in dispatch lane order; sorted lazily (see
+  /// *_scheduled_sorted_ below) since the symmetric difference is only
+  /// evaluated on enactment slots.
   std::vector<TaskId> prev_scheduled_;
   std::vector<TaskId> last_scheduled_;
   /// The per-slot pipeline phases, in step() order (timer indices).  The
@@ -482,6 +542,41 @@ class Engine {
   IndexedReadyQueue ready_;
   /// Scratch for the oracle's reference candidate set.
   std::vector<Candidate> oracle_scratch_;
+
+  // --- SoA hot state & allocation-free slot-loop scratch (PR 9) ---
+  /// Dense per-task lanes for the per-slot kernels (arena-backed).
+  soa::HotState hot_;
+  /// Lane indices due to release this slot (scan_due_releases output).
+  std::vector<std::int32_t> due_scratch_;
+  /// Window jobs/outputs for the batch release kernel.
+  std::vector<soa::WindowJob> window_jobs_;
+  std::vector<SubtaskWindows> window_outs_;
+  /// Joins sorted by (join_time, id); next_join_ is the consumed prefix,
+  /// joins_dirty_ marks an unsorted suffix after mid-run add_task.
+  std::vector<std::pair<Slot, TaskId>> join_queue_;
+  std::size_t next_join_{0};
+  bool joins_dirty_{false};
+  /// Tasks that may hold a gated PendingReweight (duplicates allowed;
+  /// sorted+deduped+compacted each enactment pass).
+  std::vector<TaskId> pending_ids_;
+  std::vector<TaskId> pending_scratch_;
+  /// Deadline-miss ring: bucket counts of unsettled present subtasks per
+  /// deadline slot, indexed deadline & (kMissRing-1) and valid for
+  /// deadlines within kMissRing of the current boundary.  A release whose
+  /// deadline lies beyond the window flips miss_ring_overflow_, after
+  /// which detect_misses falls back to the exact per-slot scan for the
+  /// rest of the run (far deadlines only arise from pathological weights
+  /// or saturated windows).
+  static constexpr Slot kMissRing = 32768;
+  std::vector<std::int32_t> miss_ring_;
+  bool miss_ring_overflow_{false};
+  /// Slots since the last flush-all; bounds the int64 pending accumulators
+  /// (flushed every kFlushPeriod slots).
+  static constexpr Slot kFlushPeriod = 4096;
+  /// Sortedness of prev/last_scheduled_ (disruptions are only counted on
+  /// enactment slots, so the sort is deferred until needed).
+  bool prev_scheduled_sorted_{true};
+  bool last_scheduled_sorted_{true};
 };
 
 }  // namespace pfr::pfair

@@ -343,6 +343,9 @@ void Engine::quarantine_task(TaskState& task, Slot t,
   task.quarantined_at = t;
   task.chain_frozen = true;
   task.pending.reset();
+  // Flush any fast accumulators and retire the task from the SoA scans --
+  // quarantined tasks neither release nor accrue from here on.
+  soa_park_idle(task);
   ++stats_.quarantines;
   // Quarantined tasks are excused from the schedule: evict any queued
   // candidate so the incremental dispatch path never selects one.

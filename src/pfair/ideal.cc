@@ -11,6 +11,7 @@
 ///   * I_CSW ("clairvoyant") zeroes halted subtasks in *all* slots -- on a
 ///     halt the subtask's accrued-so-far contribution is retroactively
 ///     removed from the task's cumulative I_CSW total (reweight.cc).
+#include <algorithm>
 #include <stdexcept>
 
 #include "pfair/engine.h"
@@ -18,10 +19,97 @@
 namespace pfr::pfair {
 
 void Engine::accrue_ideal(Slot t) {
+  // Fast-mode tasks: one branch-light SoA kernel accrues the whole slot
+  // (I_SW == I_CSW advance by swt while inside the covered windows, I_PS by
+  // wt while an active member) into int64 pending accumulators.  The dense
+  // fluid tiling of an uninterrupted generation makes the per-subtask
+  // Fig. 5 recursion collapse to exactly that (one quantum of swt per slot
+  // until the front window's deadline); flush_task_accrual reconstructs the
+  // per-subtask nominal values on demand.
+  soa::accrue_slot(hot_, t);
+  const soa::AccrualMode* mode = hot_.mode();
   for (TaskState& task : tasks_) {
+    if (mode[static_cast<std::size_t>(task.id)] != soa::AccrualMode::kSlow) {
+      continue;  // fast: kernel above; idle: accrues nothing
+    }
     if (task.quarantined()) continue;  // excused: no further ideal accrual
     if (task.active_member(t)) task.cum_ips += task.wt;
+    accrue_sep_displacement(task, t);
     accrue_task_ideal(task, t);
+  }
+  // Periodic flush bounds the pending int64 accumulators (kFlushPeriod *
+  // num stays far below 2^63 given kFastMagnitudeLimit).
+  if ((t & (kFlushPeriod - 1)) == kFlushPeriod - 1) flush_all_accrual();
+}
+
+void Engine::accrue_sep_displacement(TaskState& task, Slot t) {
+  // Slots inside a declared IS separation gap: the release chain idles at
+  // the task's own request while I_PS keeps allocating wt.  That allocation
+  // is pure displacement -- drift growth Theorem 5 does not charge to
+  // reweighting events -- so it is ledgered separately and subtracted
+  // before the per-event drift bound is applied (harness PropertyRunner).
+  if (task.next_release_sep <= 0) return;
+  if (task.chain_frozen || !task.active_member(t)) return;
+  if (t >= task.next_release - task.next_release_sep && t < task.next_release) {
+    task.sep_displacement += task.wt;
+  }
+}
+
+void Engine::flush_task_accrual(TaskState& task) {
+  const auto i = static_cast<std::size_t>(task.id);
+  if (hot_.mode()[i] != soa::AccrualMode::kFast) return;
+  std::int64_t& acc_pend = hot_.acc_pend()[i];
+  std::int64_t& ips_pend = hot_.ips_pend()[i];
+  if (acc_pend != 0) {
+    // A fast generation is never halted or absent, so I_SW == I_CSW.
+    const Rational a{acc_pend, hot_.acc_den()[i]};
+    task.cum_isw += a;
+    task.cum_icsw += a;
+    acc_pend = 0;
+  }
+  if (ips_pend != 0) {
+    task.cum_ips += Rational{ips_pend, hot_.wt_den()[i]};
+    ips_pend = 0;
+  }
+  // Materialize the nominal Fig. 5 fields of subtasks the kernel has
+  // covered.  Slots [0, now_) are fully accrued at every legal call site
+  // (all flush points run before the current slot's ideal phase, or after
+  // now_ was already advanced past it).
+  const Slot through = now_;
+  while (task.accrual_cursor < task.subtasks.size()) {
+    Subtask& s = task.subtasks[task.accrual_cursor];
+    if (s.release >= through) break;  // untouched so far
+    const std::int64_t n = s.swt_at_release.num();
+    const std::int64_t den = s.swt_at_release.den();
+    // Covered slots are [release, min(through, deadline)); the allocation
+    // is first_alloc in the release slot and one numerator per slot after.
+    const Slot last = std::min(through, s.deadline) - 1;
+    const std::int64_t cum = s.first_alloc_num + (last - s.release) * n;
+    if (cum >= den) {
+      // Completed: the final slot tstar tops the subtask up to one quantum.
+      const Slot tstar = s.release + (den - s.first_alloc_num + n - 1) / n;
+      s.nominal_complete_at = tstar + 1;
+      s.nominal_last_slot_alloc =
+          Rational{den - (s.first_alloc_num + (tstar - 1 - s.release) * n),
+                   den};
+      s.nominal_cum = Rational{1};
+      ++task.accrual_cursor;
+      continue;
+    }
+    s.nominal_cum = Rational{cum, den};
+    // At most one subtask is open at a time: a b=1 overlap closes the
+    // predecessor in the very slot the successor releases, so the loop
+    // above advanced past every closed one and this is the single front.
+    break;
+  }
+}
+
+void Engine::flush_all_accrual() {
+  const soa::AccrualMode* mode = hot_.mode();
+  for (TaskState& task : tasks_) {
+    if (mode[static_cast<std::size_t>(task.id)] == soa::AccrualMode::kFast) {
+      flush_task_accrual(task);
+    }
   }
 }
 

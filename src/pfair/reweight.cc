@@ -99,11 +99,22 @@ void Engine::process_due_events(Slot t) {
 }
 
 void Engine::process_pending_enactments(Slot t) {
-  for (TaskState& task : tasks_) {
-    if (!task.pending) continue;
+  // Only tasks registered at initiation can hold a gated pending; visiting
+  // them in sorted id order reproduces the legacy full-scan's enactment
+  // (and trace) order exactly.
+  if (pending_ids_.empty()) return;
+  std::sort(pending_ids_.begin(), pending_ids_.end());
+  pending_ids_.erase(std::unique(pending_ids_.begin(), pending_ids_.end()),
+                     pending_ids_.end());
+  pending_scratch_.clear();
+  for (const TaskId id : pending_ids_) {
+    TaskState& task = tasks_[static_cast<std::size_t>(id)];
+    if (!task.pending) continue;  // enacted immediately, superseded, or left
     const Slot te = gate_time(task, *task.pending);
     if (te <= t) enact(task, task.pending->target, t);
+    if (task.pending) pending_scratch_.push_back(id);  // still gated
   }
+  std::swap(pending_ids_, pending_scratch_);
 }
 
 void Engine::initiate_weight_change(TaskState& task, Rational target, Slot t,
@@ -167,6 +178,11 @@ void Engine::initiate_weight_change(TaskState& task, Rational target, Slot t,
     return;  // true no-op
   }
 
+  // The fast accumulators carry the pre-initiation weights; flush them and
+  // run the exact recursion across the reweighting boundary (the next
+  // generation's first release re-evaluates fast eligibility).
+  soa_demote(task);
+
   task.wt = target;  // the *actual* weight (I_PS) changes at initiation
   ++task.initiation_count;
   ++task.initiations_since_enactment;
@@ -186,6 +202,8 @@ void Engine::initiate_weight_change(TaskState& task, Rational target, Slot t,
     trace_initiation(tracer_, task, p.rule, task.swt, target, t);
     task.pending = p;
     task.chain_frozen = true;
+    pending_ids_.push_back(task.id);
+    soa_sync_release_lane(task);
     if (p.fixed_time <= t) enact(task, target, t);
     return;
   }
@@ -212,7 +230,9 @@ void Engine::apply_rule_oi(TaskState& task, Rational target, Slot t) {
     // Rule O: halt T_j; enact at max(t_c, D(I_SW, T_{j-1}) + b(T_{j-1})),
     // or immediately when T_j is the task's first subtask.
     p.rule = RuleApplied::kRuleO;
+    const bool settles_miss_entry = tj.present && !tj.halted();
     halt_subtask(task, tj, t, stats_, tracer_);
+    if (settles_miss_entry) miss_note_settled(tj.deadline);
     // The halted subtask was the task's front candidate; drop or replace
     // its ready-queue entry before this slot's dispatch runs.
     sync_ready_candidate(task);
@@ -244,6 +264,8 @@ void Engine::apply_rule_oi(TaskState& task, Rational target, Slot t) {
   task.rule_counts[static_cast<int>(p.rule)]++;
   task.pending = p;
   task.chain_frozen = true;
+  pending_ids_.push_back(task.id);
+  soa_sync_release_lane(task);
   const Slot te = gate_time(task, *task.pending);
   if (te != kNever && te <= t) enact(task, target, t);
 }
@@ -263,6 +285,8 @@ void Engine::apply_rule_lj(TaskState& task, Rational target, Slot t) {
   task.rule_counts[static_cast<int>(p.rule)]++;
   task.pending = p;
   task.chain_frozen = true;
+  pending_ids_.push_back(task.id);
+  soa_sync_release_lane(task);
   if (p.fixed_time <= t) enact(task, target, t);
 }
 
@@ -310,6 +334,12 @@ void Engine::initiate_leave(TaskState& task, Slot t) {
   // Rule L: the leave takes effect at d(T_j) + b(T_j) of the last released
   // subtask (which is scheduled by then), or immediately if none.
   task.left_at = tj == nullptr ? t : std::max(t, tj->deadline + tj->b);
+  // SoA: the chain ends here, so no successor release-slot allocation will
+  // ever pair with the final window's completion top-up.  The kernel's
+  // swt-per-covered-slot tiling is only exact *inside* an unbroken chain;
+  // hand the window tail back to the exact Fig. 5 recursion.
+  soa_demote(task);
+  soa_sync_release_lane(task);
   if (tracer_.enabled()) {
     obs::TraceEvent e;
     e.kind = obs::EventKind::kLeaveRequest;
@@ -363,7 +393,11 @@ Rational Engine::preview_admission(TaskId id, Rational target) const {
 Engine::EnactmentForecast Engine::predict_enactment(TaskId id,
                                                     const Rational& target,
                                                     int oi_used_hint) const {
-  const TaskState& task = tasks_.at(static_cast<std::size_t>(id));
+  TaskState& task =
+      const_cast<Engine*>(this)->tasks_.at(static_cast<std::size_t>(id));
+  // The forecast reads I_SW completion gates; materialize fast-mode state
+  // first (logically const, see Engine::task).
+  const_cast<Engine*>(this)->flush_task_accrual(task);
   EnactmentForecast f;
   if (!task.joined || task.subtasks.empty()) {
     // Nothing released yet: initiate_weight_change enacts immediately.

@@ -114,15 +114,49 @@ void Engine::verify_dispatch_oracle(Slot t, std::size_t m) {
     oracle_scratch_.push_back(Candidate{task.id, c});
     const SubtaskIndex q = c->index - c->gen_base;
     const Rational& w = c->swt_at_release;
-    const Slot want_deadline = c->release + oracle::window_length(q, w);
-    const int want_b = oracle::b_bit(q, w);
+    Slot want_deadline = 0;
+    int want_b = 0;
     Slot want_gd = 0;
-    if (w > kMaxWeight) {
-      const Slot gen_start = c->release - oracle::release_offset(q, w);
-      want_gd = gen_start + oracle::group_deadline_offset(q, w);
+    try {
+      want_deadline = c->release + oracle::window_length(q, w);
+      want_b = oracle::b_bit(q, w);
+      if (w > kMaxWeight) {
+        const Slot gen_start = c->release - oracle::release_offset(q, w);
+        if (c->group_deadline == kSlotSaturated) {
+          // Exact confirmation would walk the rational cascade to the
+          // 2^21-step cap; the bounded refutation pass keeps the oracle
+          // affordable on degraded tasks while still cross-checking the
+          // cascade arithmetic step for step.
+          if (oracle::group_deadline_saturation_refuted(q, w, gen_start)) {
+            throw std::logic_error(
+                "verify_priorities: saturated group deadline refuted by the "
+                "rational cascade for " +
+                task.name + "_" + std::to_string(c->index) + " at slot " +
+                std::to_string(t));
+          }
+          want_gd = kSlotSaturated;
+        } else {
+          want_gd = gen_start + oracle::group_deadline_offset(q, w);
+        }
+      }
+    } catch (const RationalOverflow&) {
+      // The reference formulas themselves leave the 64-bit range: for a
+      // degraded subtask that *confirms* the saturation verdict (the
+      // clamped sentinel is the only representable answer).
+      if (!c->degraded) throw;
+      continue;
     }
-    if (c->deadline != want_deadline || c->b != want_b ||
-        c->group_deadline != want_gd) {
+    // A degraded subtask stores kSlotSaturated in the clamped fields; the
+    // oracle then only has to agree the true value is at least the clamp.
+    // Unclamped fields (always b, and any field below the sentinel) must
+    // still match exactly.
+    const bool deadline_ok = c->deadline == kSlotSaturated
+                                 ? want_deadline >= kSlotSaturated
+                                 : c->deadline == want_deadline;
+    const bool gd_ok = c->group_deadline == kSlotSaturated
+                           ? want_gd >= kSlotSaturated
+                           : c->group_deadline == want_gd;
+    if (!deadline_ok || c->b != want_b || !gd_ok) {
       throw std::logic_error(
           "verify_priorities: cached window fields diverge from the "
           "rational reference for " +
@@ -229,8 +263,10 @@ void Engine::dispatch(Slot t) {
   if (cfg_.verify_priorities) verify_dispatch_oracle(t, m);
 
   obs::ScopedTimer commit{phase_timers_[kPhaseDispatchCommit]};
-  SlotRecord rec;
-  rec.scheduled.reserve(candidates_.size());
+  // The commit loop is allocation-free on the hot path: last_scheduled_ is
+  // reused across slots and a SlotRecord is only materialized when the
+  // caller asked for the full slot trace.
+  last_scheduled_.clear();
   for (std::size_t lane = 0; lane < candidates_.size(); ++lane) {
     const Candidate& c = candidates_[lane];
     TaskState& task = tasks_[static_cast<std::size_t>(c.task)];
@@ -238,7 +274,8 @@ void Engine::dispatch(Slot t) {
     s.scheduled_at = t;
     ++task.scheduled_count;
     ++stats_.dispatched;
-    rec.scheduled.push_back(c.task);
+    last_scheduled_.push_back(c.task);
+    miss_note_settled(s.deadline);
     if (tracer_.enabled()) {
       // The lane index is the priority order within the slot -- the lane a
       // partitioned-by-priority M-processor system would run the subtask on.
@@ -259,11 +296,18 @@ void Engine::dispatch(Slot t) {
     // can never be popped in the same slot as its predecessor.
     sync_ready_candidate(task);
   }
-  rec.capacity = slot_capacity_;
-  rec.holes = slot_capacity_ - static_cast<int>(candidates_.size());
-  stats_.holes += rec.holes;
-  last_scheduled_ = rec.scheduled;  // disruption count (see step())
-  if (cfg_.record_slot_trace) trace_.push_back(std::move(rec));
+  const int holes = slot_capacity_ - static_cast<int>(candidates_.size());
+  stats_.holes += holes;
+  // Lane order is priority order, not id order; the disruption counter sorts
+  // lazily (and only on enactment slots -- see count_disruptions).
+  last_scheduled_sorted_ = last_scheduled_.size() <= 1;
+  if (cfg_.record_slot_trace) {
+    SlotRecord rec;
+    rec.scheduled.assign(last_scheduled_.begin(), last_scheduled_.end());
+    rec.capacity = slot_capacity_;
+    rec.holes = holes;
+    trace_.push_back(std::move(rec));
+  }
 }
 
 }  // namespace pfr::pfair

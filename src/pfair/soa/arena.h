@@ -1,0 +1,76 @@
+/// \file arena.h
+/// \brief Cache-line-aligned bump arena backing the engine's hot SoA state.
+///
+/// The per-task structure-of-arrays state (soa/hot_state.h) lives in ONE
+/// contiguous allocation so the per-slot kernels stream over dense,
+/// 64-byte-aligned int64 lanes instead of chasing TaskState objects.  The
+/// arena is a plain bump allocator: carve() hands out aligned spans, reset()
+/// rewinds to empty (nothing is destroyed -- only trivially-copyable lanes
+/// are stored here), and grow is handled by the owner allocating a larger
+/// arena and copying the live prefix of each lane.  No per-slot allocation
+/// ever happens: the slot loop only reads and writes inside spans carved at
+/// (re)size time.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+
+namespace pfr::pfair::soa {
+
+/// One cache line; every carved span starts on this boundary so adjacent
+/// lanes never false-share and SIMD loads are aligned.
+inline constexpr std::size_t kArenaAlign = 64;
+
+class Arena {
+ public:
+  Arena() = default;
+  explicit Arena(std::size_t bytes) { reserve(bytes); }
+
+  Arena(Arena&&) noexcept = default;
+  Arena& operator=(Arena&&) noexcept = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Discards everything and guarantees `bytes` of capacity.
+  void reserve(std::size_t bytes) {
+    capacity_ = (bytes + kArenaAlign - 1) / kArenaAlign * kArenaAlign;
+    block_.reset(static_cast<std::byte*>(
+        ::operator new(capacity_, std::align_val_t{kArenaAlign})));
+    used_ = 0;
+  }
+
+  /// Rewinds the bump pointer; previously carved spans become invalid.
+  void reset() noexcept { used_ = 0; }
+
+  /// Carves an aligned span of `count` Ts.  Returns nullptr only when the
+  /// arena is out of capacity -- the owner then grows and re-carves; the
+  /// slot loop itself never calls this.
+  template <typename T>
+  [[nodiscard]] T* carve(std::size_t count) noexcept {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "arena lanes must be trivially copyable");
+    const std::size_t bytes =
+        (count * sizeof(T) + kArenaAlign - 1) / kArenaAlign * kArenaAlign;
+    if (used_ + bytes > capacity_) return nullptr;
+    T* out = reinterpret_cast<T*>(block_.get() + used_);
+    used_ += bytes;
+    return out;
+  }
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] std::size_t used() const noexcept { return used_; }
+
+ private:
+  struct Deleter {
+    void operator()(std::byte* p) const noexcept {
+      ::operator delete(p, std::align_val_t{kArenaAlign});
+    }
+  };
+  std::unique_ptr<std::byte, Deleter> block_;
+  std::size_t capacity_{0};
+  std::size_t used_{0};
+};
+
+}  // namespace pfr::pfair::soa

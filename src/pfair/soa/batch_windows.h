@@ -1,0 +1,165 @@
+/// \file batch_windows.h
+/// \brief Batch evaluation of subtask windows for all releases of a slot.
+///
+/// The engine gathers every subtask releasing in the current slot into one
+/// job array and evaluates release/deadline/b-bit/first-alloc for all of
+/// them here.  The formulas are the exact integer expressions frozen in
+/// PR 4 (floor((q-1)*den/num), ceil(q*den/num)); this kernel only changes
+/// *how* they are evaluated:
+///
+///  - Scalar path: one saturating 128-bit division chain per job
+///    (pfair::subtask_windows).
+///  - SIMD path (-DPFR_SIMD, AVX2): 4 jobs at a time through an all-double
+///    pipeline -- q*den, the two quotients, the remainders and the
+///    first-alloc difference all stay below 2^52, where every intermediate
+///    double is exact and a +/-1 correction step pins the quotient to the
+///    true floor.  Lanes whose products could leave the exact-double range
+///    (q*den >= 2^51) fall back to the scalar path, as do saturating jobs.
+///
+/// Both paths therefore compute the *same* integers for every input, which
+/// is what makes SIMD and scalar builds digest-identical by construction.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "pfair/types.h"
+#include "pfair/windows.h"
+
+#if defined(PFR_SIMD) && defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace pfr::pfair::soa {
+
+/// One releasing subtask: local index q within its generation and the
+/// scheduling weight num/den frozen at the release.
+struct WindowJob {
+  SubtaskIndex q;
+  std::int64_t num;
+  std::int64_t den;
+};
+
+using WindowOut = SubtaskWindows;
+
+/// Largest q*den the SIMD double pipeline accepts; below this every
+/// intermediate (product, quotient*divisor, first-alloc difference) is an
+/// exactly-representable double.
+inline constexpr std::int64_t kSimdExactLimit = std::int64_t{1} << 51;
+
+namespace detail {
+
+inline void scalar_window(const WindowJob& job, WindowOut& out) {
+  out = subtask_windows(job.q, job.num, job.den);
+}
+
+#if defined(PFR_SIMD) && defined(__AVX2__)
+
+/// floor(n / d) for exact-double lanes: divide, truncate, then correct the
+/// result by +/-1 so it satisfies 0 <= n - est*d < d (the floor
+/// definition).  All values stay < 2^52, so every step is exact and the
+/// correction makes the result equal to the scalar 128-bit quotient.
+inline __m256d floor_div_pd(__m256d n, __m256d d, __m256d* rem) {
+  __m256d est = _mm256_floor_pd(_mm256_div_pd(n, d));
+  __m256d r = _mm256_sub_pd(n, _mm256_mul_pd(est, d));
+  const __m256d zero = _mm256_setzero_pd();
+  const __m256d one = _mm256_set1_pd(1.0);
+  // r < 0  -> est too high by one.
+  __m256d low = _mm256_cmp_pd(r, zero, _CMP_LT_OQ);
+  est = _mm256_sub_pd(est, _mm256_and_pd(low, one));
+  r = _mm256_add_pd(r, _mm256_and_pd(low, d));
+  // r >= d -> est too low by one.
+  __m256d high = _mm256_cmp_pd(r, d, _CMP_GE_OQ);
+  est = _mm256_add_pd(est, _mm256_and_pd(high, one));
+  r = _mm256_sub_pd(r, _mm256_and_pd(high, d));
+  *rem = r;
+  return est;
+}
+
+/// Evaluates 4 jobs whose q*den products are all < kSimdExactLimit.
+inline void simd_window4(const WindowJob* jobs, WindowOut* outs) {
+  alignas(32) double qd[4];
+  alignas(32) double dd[4];
+  alignas(32) double nd[4];
+  for (int i = 0; i < 4; ++i) {
+    qd[i] = static_cast<double>(jobs[i].q);
+    dd[i] = static_cast<double>(jobs[i].den);
+    nd[i] = static_cast<double>(jobs[i].num);
+  }
+  const __m256d q = _mm256_load_pd(qd);
+  const __m256d den = _mm256_load_pd(dd);
+  const __m256d num = _mm256_load_pd(nd);
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d ra = _mm256_mul_pd(_mm256_sub_pd(q, one), den);  // (q-1)*den
+  const __m256d rb = _mm256_mul_pd(q, den);                      // q*den
+  __m256d rem_a;
+  __m256d rem_b;
+  const __m256d fa = floor_div_pd(ra, num, &rem_a);
+  const __m256d fb = floor_div_pd(rb, num, &rem_b);
+  // ceil = floor + (rem != 0)
+  const __m256d has_rem =
+      _mm256_cmp_pd(rem_b, _mm256_setzero_pd(), _CMP_NEQ_OQ);
+  const __m256d cb = _mm256_add_pd(fb, _mm256_and_pd(has_rem, one));
+  // first_alloc = (fa+1)*num - (q-1)*den, in (0, num].
+  const __m256d first =
+      _mm256_sub_pd(_mm256_mul_pd(_mm256_add_pd(fa, one), num), ra);
+  alignas(32) double fa_out[4];
+  alignas(32) double fb_out[4];
+  alignas(32) double cb_out[4];
+  alignas(32) double first_out[4];
+  _mm256_store_pd(fa_out, fa);
+  _mm256_store_pd(fb_out, fb);
+  _mm256_store_pd(cb_out, cb);
+  _mm256_store_pd(first_out, first);
+  for (int i = 0; i < 4; ++i) {
+    WindowOut& o = outs[i];
+    o.release_offset = static_cast<Slot>(fa_out[i]);
+    o.deadline_offset = static_cast<Slot>(cb_out[i]);
+    o.b = static_cast<int>(cb_out[i] - fb_out[i]);
+    o.first_alloc_num = static_cast<std::int64_t>(first_out[i]);
+    o.saturated = false;  // q*den < 2^51 keeps every offset < 2^51 << 2^59
+  }
+}
+
+#endif  // PFR_SIMD && __AVX2__
+
+}  // namespace detail
+
+/// Evaluates windows for `count` jobs into `outs`.
+inline void batch_subtask_windows(const WindowJob* jobs, WindowOut* outs,
+                                  std::size_t count) {
+#if defined(PFR_SIMD) && defined(__AVX2__)
+  std::size_t i = 0;
+  while (i + 4 <= count) {
+    bool exact = true;
+    for (int k = 0; k < 4; ++k) {
+      const WindowJob& j = jobs[i + static_cast<std::size_t>(k)];
+      // q and den are each < 2^59 here (saturating inputs are pre-screened
+      // by the caller's slow path), so the 128-bit product check is cheap
+      // and exact.
+      const auto prod = static_cast<__uint128_t>(j.q) *
+                        static_cast<__uint128_t>(j.den);
+      if (prod >= static_cast<__uint128_t>(kSimdExactLimit)) {
+        exact = false;
+        break;
+      }
+    }
+    if (exact) {
+      detail::simd_window4(jobs + i, outs + i);
+    } else {
+      for (int k = 0; k < 4; ++k) {
+        detail::scalar_window(jobs[i + static_cast<std::size_t>(k)],
+                              outs[i + static_cast<std::size_t>(k)]);
+      }
+    }
+    i += 4;
+  }
+  for (; i < count; ++i) detail::scalar_window(jobs[i], outs[i]);
+#else
+  for (std::size_t i = 0; i < count; ++i) {
+    detail::scalar_window(jobs[i], outs[i]);
+  }
+#endif
+}
+
+}  // namespace pfr::pfair::soa

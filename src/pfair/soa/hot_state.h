@@ -1,0 +1,246 @@
+/// \file hot_state.h
+/// \brief Arena-backed structure-of-arrays mirror of the hot per-task state.
+///
+/// The per-slot engine loop only needs a handful of integers per task:
+/// when its next subtask releases, how far its current fast-mode ideal
+/// accrual window extends, the scheduling-weight numerator/denominator it
+/// accrues at, and two pending accumulators.  Keeping those in dense
+/// 64-byte-aligned lanes (one arena allocation, one lane per field) turns
+/// the former pointer-chasing scans over std::vector<TaskState> into
+/// branch-light streaming kernels:
+///
+///  - accrue_slot: for every task, add the scheduling-weight numerator to
+///    the pending I_SW/I_CSW accumulator while the slot is inside the
+///    task's covered window, and the true-weight numerator to the pending
+///    I_PS accumulator while the task is an active member.  4 tasks per
+///    AVX2 iteration; the scalar fallback performs the identical int64
+///    adds.
+///  - scan_due_releases: collect the lanes whose mirrored next_release
+///    equals the current slot (kNever when the task is gated: frozen,
+///    quarantined, leaving, not joined).
+///
+/// Tasks whose state the int64 fast path cannot represent (heavy weights,
+/// IS separations, pending reweights, absences, validate mode, saturated
+/// windows) are parked in kSlow: their lanes are inert sentinels and the
+/// engine runs the exact legacy Rational accrual for them.  Lane index ==
+/// TaskId == index into the engine's task vector.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "pfair/soa/arena.h"
+#include "pfair/types.h"
+
+#if defined(PFR_SIMD) && defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace pfr::pfair::soa {
+
+/// How a task's ideal accrual is evaluated this slot.
+enum class AccrualMode : std::uint8_t {
+  kIdle = 0,  ///< not joined yet (or quarantined/left): accrues nothing
+  kFast,      ///< int64 SoA kernel
+  kSlow,      ///< exact legacy Rational loop in ideal.cc
+};
+
+/// Sentinel for cover_end/ips_end lanes of non-fast tasks: compares below
+/// every reachable slot so the kernel's `t < end` test is branch-free.
+inline constexpr Slot kLaneInert = INT64_MIN;
+
+class HotState {
+ public:
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+
+  /// Grows to hold `n` lanes, preserving existing values; new lanes are
+  /// idle/inert.  Amortized doubling, so mid-run joins (cluster migration)
+  /// stay cheap.
+  void resize(std::size_t n) {
+    if (n <= size_) return;
+    if (n > capacity_) grow(n);
+    for (std::size_t i = size_; i < n; ++i) {
+      next_release_[i] = kNever;
+      cover_end_[i] = kLaneInert;
+      ips_end_[i] = kLaneInert;
+      acc_num_[i] = 0;
+      acc_den_[i] = 1;
+      acc_pend_[i] = 0;
+      wt_num_[i] = 0;
+      wt_den_[i] = 1;
+      ips_pend_[i] = 0;
+      mode_[i] = AccrualMode::kIdle;
+    }
+    size_ = n;
+  }
+
+  // Lane accessors.  next_release is kNever unless the task is joined,
+  // unfrozen, unquarantined, not leaving, and has a scheduled release.
+  [[nodiscard]] Slot* next_release() noexcept { return next_release_; }
+  [[nodiscard]] Slot* cover_end() noexcept { return cover_end_; }
+  [[nodiscard]] Slot* ips_end() noexcept { return ips_end_; }
+  [[nodiscard]] std::int64_t* acc_num() noexcept { return acc_num_; }
+  [[nodiscard]] std::int64_t* acc_den() noexcept { return acc_den_; }
+  [[nodiscard]] std::int64_t* acc_pend() noexcept { return acc_pend_; }
+  [[nodiscard]] std::int64_t* wt_num() noexcept { return wt_num_; }
+  [[nodiscard]] std::int64_t* wt_den() noexcept { return wt_den_; }
+  [[nodiscard]] std::int64_t* ips_pend() noexcept { return ips_pend_; }
+  [[nodiscard]] AccrualMode* mode() noexcept { return mode_; }
+
+  [[nodiscard]] const Slot* next_release() const noexcept {
+    return next_release_;
+  }
+  [[nodiscard]] const Slot* cover_end() const noexcept { return cover_end_; }
+  [[nodiscard]] const Slot* ips_end() const noexcept { return ips_end_; }
+  [[nodiscard]] const std::int64_t* acc_num() const noexcept {
+    return acc_num_;
+  }
+  [[nodiscard]] const std::int64_t* acc_den() const noexcept {
+    return acc_den_;
+  }
+  [[nodiscard]] const std::int64_t* acc_pend() const noexcept {
+    return acc_pend_;
+  }
+  [[nodiscard]] const std::int64_t* wt_num() const noexcept {
+    return wt_num_;
+  }
+  [[nodiscard]] const std::int64_t* wt_den() const noexcept {
+    return wt_den_;
+  }
+  [[nodiscard]] const std::int64_t* ips_pend() const noexcept {
+    return ips_pend_;
+  }
+  [[nodiscard]] const AccrualMode* mode() const noexcept { return mode_; }
+
+ private:
+  void grow(std::size_t need) {
+    std::size_t cap = capacity_ == 0 ? 64 : capacity_;
+    while (cap < need) cap *= 2;
+    Arena next(cap * (9 * sizeof(std::int64_t) + sizeof(AccrualMode)) +
+               16 * kArenaAlign);
+    auto* nr = next.carve<Slot>(cap);
+    auto* ce = next.carve<Slot>(cap);
+    auto* ie = next.carve<Slot>(cap);
+    auto* an = next.carve<std::int64_t>(cap);
+    auto* ad = next.carve<std::int64_t>(cap);
+    auto* ap = next.carve<std::int64_t>(cap);
+    auto* wn = next.carve<std::int64_t>(cap);
+    auto* wd = next.carve<std::int64_t>(cap);
+    auto* ip = next.carve<std::int64_t>(cap);
+    auto* md = next.carve<AccrualMode>(cap);
+    for (std::size_t i = 0; i < size_; ++i) {
+      nr[i] = next_release_[i];
+      ce[i] = cover_end_[i];
+      ie[i] = ips_end_[i];
+      an[i] = acc_num_[i];
+      ad[i] = acc_den_[i];
+      ap[i] = acc_pend_[i];
+      wn[i] = wt_num_[i];
+      wd[i] = wt_den_[i];
+      ip[i] = ips_pend_[i];
+      md[i] = mode_[i];
+    }
+    arena_ = std::move(next);
+    next_release_ = nr;
+    cover_end_ = ce;
+    ips_end_ = ie;
+    acc_num_ = an;
+    acc_den_ = ad;
+    acc_pend_ = ap;
+    wt_num_ = wn;
+    wt_den_ = wd;
+    ips_pend_ = ip;
+    mode_ = md;
+    capacity_ = cap;
+  }
+
+  Arena arena_;
+  std::size_t size_{0};
+  std::size_t capacity_{0};
+  Slot* next_release_{nullptr};
+  Slot* cover_end_{nullptr};
+  Slot* ips_end_{nullptr};
+  std::int64_t* acc_num_{nullptr};
+  std::int64_t* acc_den_{nullptr};
+  std::int64_t* acc_pend_{nullptr};
+  std::int64_t* wt_num_{nullptr};
+  std::int64_t* wt_den_{nullptr};
+  std::int64_t* ips_pend_{nullptr};
+  AccrualMode* mode_{nullptr};
+};
+
+/// Accrues slot `t` into the pending accumulators of every fast-mode task:
+///   cover_end[i] > t  ->  acc_pend[i] += acc_num[i]   (I_SW == I_CSW)
+///   ips_end[i]   > t  ->  ips_pend[i] += wt_num[i]    (I_PS)
+/// Inert lanes (slow/idle) hold cover_end = ips_end = INT64_MIN, so the
+/// same compare excludes them.  SIMD and scalar paths perform the identical
+/// int64 additions.
+inline void accrue_slot(HotState& hs, Slot t) {
+  const std::size_t n = hs.size();
+  const Slot* cover = hs.cover_end();
+  const Slot* ipse = hs.ips_end();
+  const std::int64_t* num = hs.acc_num();
+  const std::int64_t* wnum = hs.wt_num();
+  std::int64_t* acc = hs.acc_pend();
+  std::int64_t* ips = hs.ips_pend();
+  std::size_t i = 0;
+#if defined(PFR_SIMD) && defined(__AVX2__)
+  const __m256i vt = _mm256_set1_epi64x(t);
+  for (; i + 4 <= n; i += 4) {
+    const __m256i vc = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(cover + i));
+    const __m256i covered = _mm256_cmpgt_epi64(vc, vt);
+    const __m256i vn = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(num + i));
+    __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<__m256i*>(acc + i));
+    va = _mm256_add_epi64(va, _mm256_and_si256(covered, vn));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + i), va);
+
+    const __m256i ve = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(ipse + i));
+    const __m256i active = _mm256_cmpgt_epi64(ve, vt);
+    const __m256i vw = _mm256_loadu_si256(
+        reinterpret_cast<const __m256i*>(wnum + i));
+    __m256i vi =
+        _mm256_loadu_si256(reinterpret_cast<__m256i*>(ips + i));
+    vi = _mm256_add_epi64(vi, _mm256_and_si256(active, vw));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(ips + i), vi);
+  }
+#endif
+  for (; i < n; ++i) {
+    if (t < cover[i]) acc[i] += num[i];
+    if (t < ipse[i]) ips[i] += wnum[i];
+  }
+}
+
+/// Appends (ascending) every lane index whose next_release equals `t` to
+/// `out`.  `out` is caller-owned scratch: cleared here, never shrunk, so
+/// the slot loop does not allocate once warmed up.
+inline void scan_due_releases(const HotState& hs, Slot t,
+                              std::vector<std::int32_t>& out) {
+  out.clear();
+  const std::size_t n = hs.size();
+  const Slot* nr = hs.next_release();
+  std::size_t i = 0;
+#if defined(PFR_SIMD) && defined(__AVX2__)
+  const __m256i vt = _mm256_set1_epi64x(t);
+  for (; i + 4 <= n; i += 4) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(nr + i));
+    const __m256i eq = _mm256_cmpeq_epi64(v, vt);
+    int mask = _mm256_movemask_pd(_mm256_castsi256_pd(eq));
+    while (mask != 0) {
+      const int bit = __builtin_ctz(static_cast<unsigned>(mask));
+      out.push_back(static_cast<std::int32_t>(i) + bit);
+      mask &= mask - 1;
+    }
+  }
+#endif
+  for (; i < n; ++i) {
+    if (nr[i] == t) out.push_back(static_cast<std::int32_t>(i));
+  }
+}
+
+}  // namespace pfr::pfair::soa

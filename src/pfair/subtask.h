@@ -2,6 +2,12 @@
 /// \brief Per-subtask record: frozen window parameters plus live bookkeeping.
 #pragma once
 
+#include <bit>
+#include <cstddef>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
 #include "pfair/types.h"
 #include "rational/rational.h"
 
@@ -26,6 +32,20 @@ struct Subtask {
   bool present{true};        ///< AGIS: absent subtasks are never scheduled
   Slot halted_at{kNever};    ///< H(T_j); kNever if never halted
   Slot scheduled_at{kNever}; ///< slot where PD2 ran it; kNever if not yet
+
+  /// Window saturation (PR 9): a window field's true value reached
+  /// kSlotSaturated, so deadline/group_deadline hold the clamped sentinel
+  /// instead of the exact slot.  The subtask still orders deterministically
+  /// (a saturated deadline loses to every live one); the dispatch oracle
+  /// verifies the saturation verdict instead of exact field equality.
+  bool degraded{false};
+
+  /// Fast-mode accrual (PR 9): numerator, over swt_at_release.den(), of the
+  /// nominal I_SW allocation received in the release slot -- stamped by the
+  /// batch window kernel so lazy materialization can reconstruct
+  /// nominal_cum/complete_at without replaying the Fig. 5 recursion.  -1
+  /// when the subtask is accrued by the legacy exact loop.
+  std::int64_t first_alloc_num{-1};
 
   // --- nominal I_SW accrual (Fig. 5 recursion, halting/absence ignored) ---
   Rational nominal_cum;            ///< cumulative nominal allocation so far
@@ -57,6 +77,114 @@ struct Subtask {
     if (scheduled_at != kNever && scheduled_at < t) return true;
     return halted_at != kNever && halted_at <= t;
   }
+};
+
+/// Chunked, stable-address append-only store for a task's released subtasks.
+///
+/// A task releases one subtask every ~1/w slots, so on long horizons the
+/// history grows without bound; with std::vector every capacity doubling
+/// re-copied the task's whole past (the dominant cost of the release phase
+/// in dispatch_micro at 1024 tasks).  SubtaskLog keeps geometrically growing
+/// chunks -- 16, 32, 64, ... records -- so append never relocates an
+/// existing Subtask (engine code holds references across releases) and the
+/// first chunk stays small enough that thousand-task scenarios do not pay
+/// megabytes up front.
+///
+/// Chunk c covers indices [16*(2^c - 1), 16*(2^(c+1) - 1)); locating index
+/// i is two shifts and a bit_width, no division.
+class SubtaskLog {
+  static constexpr std::size_t kBase = 16;  // first chunk's record count
+
+ public:
+  SubtaskLog() = default;
+  SubtaskLog(SubtaskLog&&) noexcept = default;
+  SubtaskLog& operator=(SubtaskLog&&) noexcept = default;
+  SubtaskLog(const SubtaskLog& o) { *this = o; }
+  SubtaskLog& operator=(const SubtaskLog& o) {
+    if (this == &o) return *this;
+    chunks_.clear();
+    chunks_.reserve(o.chunks_.size());
+    for (std::size_t c = 0; c < o.chunks_.size(); ++c) {
+      const std::size_t len = kBase << c;
+      chunks_.push_back(std::make_unique<Subtask[]>(len));
+      for (std::size_t k = 0; k < len; ++k) chunks_[c][k] = o.chunks_[c][k];
+    }
+    size_ = o.size_;
+    return *this;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+  [[nodiscard]] Subtask& operator[](std::size_t i) noexcept {
+    const std::size_t u = (i / kBase) + 1;
+    const auto c = static_cast<std::size_t>(std::bit_width(u) - 1);
+    return chunks_[c][i - ((kBase << c) - kBase)];
+  }
+  [[nodiscard]] const Subtask& operator[](std::size_t i) const noexcept {
+    return (*const_cast<SubtaskLog*>(this))[i];
+  }
+  [[nodiscard]] Subtask& at(std::size_t i) {
+    if (i >= size_) throw std::out_of_range("SubtaskLog::at");
+    return (*this)[i];
+  }
+  [[nodiscard]] const Subtask& at(std::size_t i) const {
+    if (i >= size_) throw std::out_of_range("SubtaskLog::at");
+    return (*this)[i];
+  }
+  [[nodiscard]] Subtask& back() noexcept { return (*this)[size_ - 1]; }
+  [[nodiscard]] const Subtask& back() const noexcept {
+    return (*this)[size_ - 1];
+  }
+
+  Subtask& push_back(const Subtask& s) {
+    Subtask& slot = grow();
+    slot = s;
+    return slot;
+  }
+
+  /// Appends a value-initialized record and returns it (fill in place --
+  /// cheaper than building a 136-byte temporary and copying it in).  Chunks
+  /// arrive value-initialized from make_unique and records are append-only,
+  /// so the fresh slot needs no re-initialization.
+  Subtask& emplace_back() { return grow(); }
+
+  /// Forward const iteration (cold paths: trace rendering, verification).
+  class const_iterator {
+   public:
+    const_iterator(const SubtaskLog* log, std::size_t i) : log_(log), i_(i) {}
+    const Subtask& operator*() const noexcept { return (*log_)[i_]; }
+    const Subtask* operator->() const noexcept { return &(*log_)[i_]; }
+    const_iterator& operator++() noexcept {
+      ++i_;
+      return *this;
+    }
+    bool operator!=(const const_iterator& o) const noexcept {
+      return i_ != o.i_;
+    }
+    bool operator==(const const_iterator& o) const noexcept {
+      return i_ == o.i_;
+    }
+
+   private:
+    const SubtaskLog* log_;
+    std::size_t i_;
+  };
+  [[nodiscard]] const_iterator begin() const noexcept { return {this, 0}; }
+  [[nodiscard]] const_iterator end() const noexcept { return {this, size_}; }
+
+ private:
+  Subtask& grow() {
+    const std::size_t u = (size_ / kBase) + 1;
+    const auto c = static_cast<std::size_t>(std::bit_width(u) - 1);
+    if (c == chunks_.size()) {
+      chunks_.push_back(std::make_unique<Subtask[]>(kBase << c));
+    }
+    return (*this)[size_++];
+  }
+
+  std::vector<std::unique_ptr<Subtask[]>> chunks_;
+  std::size_t size_{0};
 };
 
 }  // namespace pfr::pfair

@@ -65,10 +65,14 @@ struct TaskState {
   std::vector<std::pair<Slot, Rational>> swt_history;
 
   // --- subtask stream ---
-  std::vector<Subtask> subtasks;     ///< subtasks[j-1] is T_j
+  SubtaskLog subtasks;               ///< subtasks[j-1] is T_j
   SubtaskIndex gen_base{0};          ///< z for the next released subtask
   SubtaskIndex next_index{1};        ///< j of the next subtask to release
   Slot next_release{kNever};         ///< due time of the next normal release
+  /// IS separation folded into next_release (0 when none): the release was
+  /// displaced to d - b + sep, so slots [next_release - sep, next_release)
+  /// are the declared sparse gap.  Drives sep_displacement accrual.
+  Slot next_release_sep{0};
   bool chain_frozen{false};          ///< releases suspended by pending event
   std::map<SubtaskIndex, Slot> separations;  ///< IS delays before T_j
   std::set<SubtaskIndex> absent_indices;     ///< AGIS: pre-declared absences
@@ -89,11 +93,21 @@ struct TaskState {
 
   // --- drift (Eqn. (5)) ---
   Rational drift;  ///< value at the last generation start u <= now
+  /// Cumulative I_PS allocation accrued during declared IS separation gaps
+  /// (sep * wt per separation): the component of drift that is release
+  /// *displacement*, not reweighting error.  Theorem 5 bounds drift per
+  /// reweighting event only, so the harness subtracts this before applying
+  /// the per-event bound (PR 9 closes the scope hole that made separated
+  /// tasks unverifiable).
+  Rational sep_displacement;
   /// (u, drift(u), initiations folded into this enactment) per generation.
   struct DriftPoint {
     Slot at;
     Rational value;
     int events_folded;
+    /// sep_displacement at the sample time; the displacement-corrected
+    /// drift is value - displacement.
+    Rational displacement;
   };
   std::vector<DriftPoint> drift_history;
   int initiations_since_enactment{0};

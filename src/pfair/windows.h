@@ -11,10 +11,29 @@
 /// task.h.
 #pragma once
 
+#include <cstdint>
+
 #include "pfair/types.h"
 #include "rational/rational.h"
 
 namespace pfr::pfair {
+
+/// Saturation horizon for window arithmetic.  A window offset whose true
+/// value is >= this is clamped to exactly this sentinel and the subtask is
+/// flagged `degraded`: its frozen priority still orders deterministically
+/// (a saturated deadline loses to every live one, ties fall through b /
+/// group deadline / tie rank), but the exact slot is no longer represented.
+/// 2^59 is ~5.8e17 slots -- far beyond any simulable horizon -- while
+/// staying clear of kNever (2^61 - 1) and leaving headroom so
+/// release + clamped-length never overflows int64.
+inline constexpr Slot kSlotSaturated = Slot{1} << 59;
+
+/// Iteration cap for the heavy-task group-deadline cascade.  The cascade
+/// provably terminates within `den` steps, so any weight on a sane grid
+/// (lcm(1..16) = 720720) finishes long before this; weights with larger
+/// denominators saturate instead of spinning.  Shared verbatim with the
+/// oracle twins so fast path and oracle reach the same verdict.
+inline constexpr SubtaskIndex kGroupCascadeCap = SubtaskIndex{1} << 21;
 
 /// floor((q-1)/w): release offset of the q-th subtask (q >= 1) of a stream
 /// of weight w, relative to the stream's start.
@@ -65,6 +84,81 @@ namespace pfr::pfair {
   return release + window_length(q, w);
 }
 
+/// All window quantities of one subtask, evaluated together with saturating
+/// 128-bit arithmetic.  This is the release-path entry point since PR 9:
+/// unlike floor_div/ceil_div above (which throw RationalOverflow when a
+/// result leaves int64, killing the run mid-slot), every field here clamps
+/// at kSlotSaturated and sets `saturated` instead, so the engine can keep
+/// scheduling with a deterministic sentinel priority.
+struct SubtaskWindows {
+  Slot release_offset{0};   ///< floor((q-1)/w), clamped
+  Slot deadline_offset{0};  ///< ceil(q/w), clamped
+  int b{0};                 ///< exact even when offsets saturate
+  /// Numerator (over w.den()) of the nominal I_SW allocation the subtask
+  /// receives in its release slot: (release_offset+1)*num - (q-1)*den.
+  /// Derived from the fluid schedule, so it equals `num` for generation
+  /// firsts and after a b=0 predecessor.  Meaningless when saturated.
+  std::int64_t first_alloc_num{0};
+  bool saturated{false};
+};
+
+/// Evaluates release/deadline/b/first-alloc for subtask q of weight num/den
+/// (0 < num <= den).  Pure integer math on the same frozen formulas as the
+/// fast-path helpers above; group deadlines are separate (heavy tasks only,
+/// see group_deadline_offset_saturating).
+[[nodiscard]] inline SubtaskWindows subtask_windows(SubtaskIndex q,
+                                                    std::int64_t num,
+                                                    std::int64_t den) {
+  using U128 = __uint128_t;
+  SubtaskWindows out;
+  const U128 un = static_cast<U128>(num);
+  const U128 ra = static_cast<U128>(q - 1) * static_cast<U128>(den);
+  const U128 rb = static_cast<U128>(q) * static_cast<U128>(den);
+  const U128 fa = ra / un;            // floor((q-1)*den / num)
+  const U128 fb = rb / un;            // floor(q*den / num)
+  const U128 cb = fb + (rb % un != 0 ? 1 : 0);  // ceil(q*den / num)
+  out.b = static_cast<int>(cb - fb);
+  const U128 sat = static_cast<U128>(kSlotSaturated);
+  out.saturated = fa >= sat || cb >= sat;
+  out.release_offset =
+      fa >= sat ? kSlotSaturated : static_cast<Slot>(fa);
+  out.deadline_offset =
+      cb >= sat ? kSlotSaturated : static_cast<Slot>(cb);
+  if (!out.saturated) {
+    // (fa+1)*num - (q-1)*den is in (0, num] by the floor definition, so the
+    // narrowing below cannot lose bits.
+    out.first_alloc_num =
+        static_cast<std::int64_t>((fa + 1) * un - ra);
+  }
+  return out;
+}
+
+/// Saturating twin of group_deadline_offset: same cascade, but each
+/// deadline is evaluated with 128-bit clamping and the loop is capped at
+/// kGroupCascadeCap steps.  Returns kSlotSaturated (and sets *saturated)
+/// when the cascade runs past the cap or into the horizon.
+[[nodiscard]] inline Slot group_deadline_offset_saturating(SubtaskIndex q,
+                                                           std::int64_t num,
+                                                           std::int64_t den,
+                                                           bool* saturated) {
+  if (num <= den - num) return 0;  // light (w <= 1/2): no cascade
+  using U128 = __uint128_t;
+  const U128 un = static_cast<U128>(num);
+  const U128 sat = static_cast<U128>(kSlotSaturated);
+  U128 prev_fa = static_cast<U128>(q - 1) * static_cast<U128>(den) / un;
+  for (SubtaskIndex j = q; j - q < kGroupCascadeCap; ++j) {
+    const U128 rb = static_cast<U128>(j) * static_cast<U128>(den);
+    const U128 fb = rb / un;
+    const U128 cb = fb + (rb % un != 0 ? 1 : 0);
+    if (cb >= sat) break;
+    if (j > q && cb - prev_fa >= 3) return static_cast<Slot>(cb) - 1;
+    if (cb == fb) return static_cast<Slot>(cb);
+    prev_fa = fb;
+  }
+  if (saturated != nullptr) *saturated = true;
+  return kSlotSaturated;
+}
+
 /// Rational reference implementations of the window formulas above.
 ///
 /// The primary functions run on the integer fast path (floor_div/ceil_div
@@ -96,10 +190,41 @@ namespace oracle {
 [[nodiscard]] inline Slot group_deadline_offset(SubtaskIndex q,
                                                 const Rational& w) {
   if (w <= Rational{1, 2}) return 0;
-  for (SubtaskIndex j = q;; ++j) {
+  // Same cascade cap as the fast path (kGroupCascadeCap) so both sides
+  // reach the saturation verdict on the same step; the arithmetic inside
+  // remains the independent Rational path.
+  for (SubtaskIndex j = q; j - q < kGroupCascadeCap; ++j) {
     if (j > q && window_length(j, w) >= 3) return deadline_offset(j, w) - 1;
     if (b_bit(j, w) == 0) return deadline_offset(j, w);
   }
+  return kSlotSaturated;
+}
+
+/// Bounded refutation pass for a *saturated* group-deadline verdict.
+/// Confirming saturation exactly means walking the rational cascade all the
+/// way to kGroupCascadeCap (2^21 Rational steps -- seconds per call), which
+/// would make verify_priorities unusable on degraded heavy tasks.  Instead
+/// this runs the same independent cascade for at most `budget` steps:
+///   * cascade terminates within the budget at a value below the clamp ->
+///     the verdict is REFUTED (returns true; the caller throws);
+///   * cascade still alive (or already past the clamp) -> the verdict
+///     stands (returns false).
+/// Any arithmetic divergence between the integer cascade and this rational
+/// one shows within the first few steps, so the budget trades none of the
+/// cross-check's bug-finding power for a ~1000x cheaper verdict.
+[[nodiscard]] inline bool group_deadline_saturation_refuted(
+    SubtaskIndex q, const Rational& w, Slot gen_start,
+    SubtaskIndex budget = 1024) {
+  if (w <= Rational{1, 2}) return true;  // light tasks never cascade
+  for (SubtaskIndex j = q; j - q < budget; ++j) {
+    if (j > q && window_length(j, w) >= 3) {
+      return gen_start + deadline_offset(j, w) - 1 < kSlotSaturated;
+    }
+    if (b_bit(j, w) == 0) {
+      return gen_start + deadline_offset(j, w) < kSlotSaturated;
+    }
+  }
+  return false;  // cascade alive after `budget` length-2 windows
 }
 
 }  // namespace oracle

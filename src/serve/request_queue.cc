@@ -148,6 +148,36 @@ bool RequestQueue::offer(int producer, Request r, std::size_t soft_capacity) {
   return accepted;
 }
 
+std::size_t RequestQueue::offer_batch(int producer, const Request* items,
+                                      std::size_t n,
+                                      std::size_t soft_capacity) {
+  const std::size_t bound = std::min(soft_capacity, capacity_);
+  std::size_t accepted = 0;
+  {
+    const std::lock_guard lock{mu_};
+    while (accepted < n) {
+      const Request& r = items[accepted];
+      note_watermark_locked(producer, r.due);
+      if (closed_) {
+        // offer() accepts-and-drops on a closed queue so callers never
+        // retry forever; the batched form drops the whole remainder.
+        accepted = n;
+        break;
+      }
+      if (items_.size() >= bound && r.due > draining_) break;
+      ++total_offered_;
+      items_.push_back(r);
+      high_watermark_ = std::max(high_watermark_, items_.size());
+      ++total_pushed_;
+      ++accepted;
+    }
+  }
+  // One wakeup for the whole prefix; even an all-refused batch advanced
+  // the watermark, and that alone can complete an in-progress drain.
+  cv_data_.notify_all();
+  return accepted;
+}
+
 void RequestQueue::advance_watermark(int producer, Slot due) {
   {
     const std::lock_guard lock{mu_};

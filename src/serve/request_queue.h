@@ -75,6 +75,19 @@ class RequestQueue {
   bool offer(int producer, Request r,
              std::size_t soft_capacity = static_cast<std::size_t>(-1));
 
+  /// Batched offer(): admits the longest acceptable prefix of `items`
+  /// (non-decreasing due, same single producer) under ONE lock acquisition
+  /// and ONE consumer wakeup, and returns its length.  Equivalent to
+  /// calling offer() per item and stopping at the first refusal -- the
+  /// watermark still advances through the first refused item's due (a
+  /// refusal is a valid promise that nothing earlier follows), and a closed
+  /// queue accepts-and-drops the whole remainder.  This is what keeps N
+  /// forked ring producers from serializing on the queue mutex one frame
+  /// at a time.
+  std::size_t offer_batch(int producer, const Request* items, std::size_t n,
+                          std::size_t soft_capacity
+                          = static_cast<std::size_t>(-1));
+
   /// Advances a producer's watermark without pushing anything: the
   /// producer promises that nothing with due < `due` will follow.  Remote
   /// producers (net/ingest) announce progress this way while idle, so a

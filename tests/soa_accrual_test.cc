@@ -1,0 +1,375 @@
+/// SoA fast-accrual path (PR 9): bit-identity of the batched int64 kernel
+/// against the legacy per-subtask Fig. 5 recursion, window saturation at
+/// the 64-bit overflow boundary (degrade instead of abort), and the IS
+/// separation displacement ledger that restores Thm. 5's scope for
+/// separated tasks.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "harness/property_runner.h"
+#include "harness/scenario_gen.h"
+#include "obs/metrics.h"
+#include "obs/sink.h"
+#include "pfair/pfair.h"
+#include "pfair/windows.h"
+#include "util/rng.h"
+
+namespace pfr {
+namespace {
+
+using pfair::Engine;
+using pfair::EngineConfig;
+using pfair::kSlotSaturated;
+using pfair::Slot;
+using pfair::SubtaskIndex;
+using pfair::TaskId;
+using pfair::TaskState;
+
+/// Buffers every trace event's kind (the name views are not retained).
+struct KindCollector final : obs::EventSink {
+  std::vector<obs::EventKind> kinds;
+  void on_event(const obs::TraceEvent& e) override { kinds.push_back(e.kind); }
+};
+
+/// Chaos-style single-engine storm, identical across accrual modes: mixed
+/// joins, IS separations (those tasks stay on the slow path), AGIS
+/// absences, a reweight storm, a leave, and a crash/recover pair.
+Engine run_storm(bool legacy, std::uint64_t seed, Slot horizon) {
+  Xoshiro256 rng{seed};
+  EngineConfig cfg;
+  cfg.processors = 4;
+  cfg.legacy_accrual = legacy;
+  Engine eng{cfg};
+  std::vector<TaskId> ids;
+  for (int i = 0; i < 14; ++i) {
+    const Slot join = rng.uniform_int(0, 40);
+    const TaskId id = eng.add_task(Rational{rng.uniform_int(1, 6), 24}, join);
+    eng.set_tie_rank(id, static_cast<int>(rng.uniform_int(0, 3)));
+    if (rng.bernoulli(0.3)) {
+      eng.add_separation(id, rng.uniform_int(2, 6), rng.uniform_int(1, 4));
+    }
+    if (rng.bernoulli(0.25)) eng.mark_absent(id, rng.uniform_int(2, 8));
+    ids.push_back(id);
+  }
+  for (Slot t = 1; t < horizon; ++t) {
+    for (const TaskId id : ids) {
+      if (rng.bernoulli(0.02)) {
+        eng.request_weight_change(id, Rational{rng.uniform_int(1, 8), 24}, t);
+      }
+    }
+  }
+  eng.request_leave(ids[3], horizon / 2);
+  pfair::FaultPlan plan;
+  plan.crash(1, horizon / 4).recover(1, horizon / 2);
+  eng.set_fault_plan(std::move(plan));
+  eng.run_until(horizon);
+  return eng;
+}
+
+/// Full-strength equality: schedule (lane order), misses, ideal-schedule
+/// totals, drift samples, and the displacement ledger.
+void expect_same_schedule_and_ideal(const Engine& a, const Engine& b) {
+  ASSERT_EQ(a.trace().size(), b.trace().size());
+  for (std::size_t t = 0; t < a.trace().size(); ++t) {
+    ASSERT_EQ(a.trace()[t].scheduled, b.trace()[t].scheduled) << "slot " << t;
+    ASSERT_EQ(a.trace()[t].holes, b.trace()[t].holes) << "slot " << t;
+  }
+  ASSERT_EQ(a.misses().size(), b.misses().size());
+  ASSERT_EQ(a.task_count(), b.task_count());
+  for (std::size_t i = 0; i < a.task_count(); ++i) {
+    const TaskState& x = a.task(static_cast<TaskId>(i));
+    const TaskState& y = b.task(static_cast<TaskId>(i));
+    EXPECT_EQ(x.cum_isw, y.cum_isw) << x.name;
+    EXPECT_EQ(x.cum_icsw, y.cum_icsw) << x.name;
+    EXPECT_EQ(x.cum_ips, y.cum_ips) << x.name;
+    EXPECT_EQ(x.sep_displacement, y.sep_displacement) << x.name;
+    ASSERT_EQ(x.drift_history.size(), y.drift_history.size()) << x.name;
+    for (std::size_t k = 0; k < x.drift_history.size(); ++k) {
+      EXPECT_EQ(x.drift_history[k].value, y.drift_history[k].value) << x.name;
+      EXPECT_EQ(x.drift_history[k].displacement,
+                y.drift_history[k].displacement)
+          << x.name;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SoA fast path vs the legacy recursion
+// ---------------------------------------------------------------------------
+
+TEST(SoaAccrual, FastPathMatchesLegacyOnRandomizedStorms) {
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    const Engine fast = run_storm(/*legacy=*/false, seed, 300);
+    const Engine legacy = run_storm(/*legacy=*/true, seed, 300);
+    EXPECT_GT(fast.stats().accrual_fast_entries, 0) << "seed " << seed;
+    EXPECT_EQ(legacy.stats().accrual_fast_entries, 0) << "seed " << seed;
+    expect_same_schedule_and_ideal(fast, legacy);
+  }
+}
+
+TEST(SoaAccrual, LeaveHandsTheWindowTailBackToTheExactRecursion) {
+  // Regression (found by the hunt's accrual cross-check): a leave freezes
+  // the release chain, so no successor release-slot allocation ever pairs
+  // with the final window's completion top-up.  The fast kernel used to
+  // keep paying swt through the open window's end, over-accruing cum_isw /
+  // cum_icsw by exactly (swt - topup); a leave must demote to the exact
+  // Fig. 5 recursion instead.
+  const auto run = [](bool legacy) {
+    EngineConfig cfg;
+    cfg.processors = 8;
+    cfg.policy = pfair::ReweightPolicy::kOmissionIdeal;
+    cfg.legacy_accrual = legacy;
+    Engine eng{cfg};
+    // 17/60: window lengths vary, so the final top-up is a proper fraction.
+    eng.add_task(rat(17, 60));
+    eng.request_leave(TaskId{0}, 51);
+    eng.run_until(53);
+    return eng;
+  };
+  const Engine fast = run(false);
+  const Engine legacy = run(true);
+  EXPECT_GT(fast.stats().accrual_fast_entries, 0);
+  expect_same_schedule_and_ideal(fast, legacy);
+  // The chain completes whole subtasks only: the totals are integral.
+  EXPECT_EQ(fast.task(TaskId{0}).cum_isw.den(), 1);
+}
+
+TEST(SoaAccrual, StaticTaskSetEntersFastModeOncePerTask) {
+  const auto run = [](bool legacy) {
+    EngineConfig cfg;
+    cfg.processors = 3;
+    cfg.legacy_accrual = legacy;
+    Engine eng{cfg};
+    for (int i = 0; i < 8; ++i) eng.add_task(Rational{i % 3 + 1, 12});
+    // Past one kFlushPeriod boundary, so the periodic flush is exercised.
+    eng.run_until(5000);
+    return eng;
+  };
+  const Engine fast = run(false);
+  const Engine legacy = run(true);
+  // Static eligible tasks enter fast mode at their first release and are
+  // never demoted.
+  EXPECT_EQ(fast.stats().accrual_fast_entries, 8);
+  expect_same_schedule_and_ideal(fast, legacy);
+}
+
+TEST(SoaAccrual, ValidateModeKeepsTheLegacyRecursion) {
+  EngineConfig cfg;
+  cfg.validate = true;
+  Engine eng{cfg};
+  eng.add_task(rat(1, 4));
+  eng.run_until(100);
+  EXPECT_EQ(eng.stats().accrual_fast_entries, 0);
+}
+
+TEST(SoaAccrual, RationalOracleAcceptsFastRuns) {
+  // verify_priorities cross-checks every dispatch against the rational
+  // reference while the SoA kernel carries the ideal schedule.
+  Xoshiro256 rng{11};
+  EngineConfig cfg;
+  cfg.processors = 3;
+  cfg.verify_priorities = true;
+  Engine eng{cfg};
+  std::vector<TaskId> ids;
+  for (int i = 0; i < 10; ++i) ids.push_back(eng.add_task(rat(1, 5)));
+  for (Slot t = 1; t < 200; ++t) {
+    for (const TaskId id : ids) {
+      if (rng.bernoulli(0.03)) {
+        eng.request_weight_change(id, Rational{rng.uniform_int(1, 10), 30}, t);
+      }
+    }
+  }
+  EXPECT_NO_THROW(eng.run_until(200));
+  EXPECT_EQ(eng.stats().oracle_checks, 200);
+  EXPECT_GT(eng.stats().accrual_fast_entries, 0);
+}
+
+TEST(SoaAccrual, MidRunReadsSeeFlushedTotalsEverySlot) {
+  // The lazy flush in Engine::task() must materialize the pending int64
+  // accumulators on every read without perturbing the run.
+  EngineConfig cfg;
+  cfg.processors = 2;
+  EngineConfig legacy_cfg = cfg;
+  legacy_cfg.legacy_accrual = true;
+  Engine fast{cfg};
+  Engine legacy{legacy_cfg};
+  std::vector<TaskId> ids;
+  for (int i = 0; i < 5; ++i) {
+    const Rational w{i + 1, 16};
+    ids.push_back(fast.add_task(w));
+    legacy.add_task(w);
+  }
+  fast.request_weight_change(ids[1], rat(1, 8), 50);
+  legacy.request_weight_change(ids[1], rat(1, 8), 50);
+  for (Slot t = 0; t < 300; ++t) {
+    fast.step();
+    legacy.step();
+    for (const TaskId id : ids) {
+      ASSERT_EQ(fast.task(id).cum_isw, legacy.task(id).cum_isw)
+          << "task " << id << " slot " << t;
+      ASSERT_EQ(fast.task(id).cum_ips, legacy.task(id).cum_ips)
+          << "task " << id << " slot " << t;
+    }
+  }
+  expect_same_schedule_and_ideal(fast, legacy);
+}
+
+// ---------------------------------------------------------------------------
+// Window saturation at the overflow boundary (degrade, don't abort)
+// ---------------------------------------------------------------------------
+
+TEST(Saturation, WindowHelpersClampAndAgreeWithTheOracleVerdict) {
+  // Deadline saturation: q * den >= 2^59 while the b-bit stays exact.
+  const SubtaskIndex q = SubtaskIndex{1} << 20;
+  const std::int64_t den = std::int64_t{1} << 40;
+  const auto w = pfair::subtask_windows(q, 1, den);
+  EXPECT_TRUE(w.saturated);
+  EXPECT_EQ(w.deadline_offset, kSlotSaturated);
+  EXPECT_EQ(w.b, 0);  // q/w is exact: ceil == floor
+  // The rational oracle's true value confirms the verdict (>= the clamp).
+  EXPECT_GE(pfair::oracle::deadline_offset(q, Rational{1, den}),
+            kSlotSaturated);
+
+  // Group-deadline saturation: weight a hair under 1 cascades ~2^30 length-2
+  // windows, far past kGroupCascadeCap.
+  const std::int64_t huge = std::int64_t{1} << 31;
+  bool saturated = false;
+  const Slot gd =
+      pfair::group_deadline_offset_saturating(1, huge - 1, huge, &saturated);
+  EXPECT_TRUE(saturated);
+  EXPECT_EQ(gd, kSlotSaturated);
+  // The bounded rational refutation pass must NOT refute this verdict...
+  EXPECT_FALSE(pfair::oracle::group_deadline_saturation_refuted(
+      1, Rational{huge - 1, huge}, 0));
+  // ... and must refute a bogus one on a sane grid weight.
+  EXPECT_TRUE(pfair::oracle::group_deadline_saturation_refuted(
+      1, rat(3, 4), 0));
+}
+
+TEST(Saturation, GroupCascadePastCapDegradesInsteadOfThrowing) {
+  EngineConfig cfg;
+  cfg.processors = 2;
+  cfg.allow_heavy = true;
+  cfg.verify_priorities = true;  // the oracle confirms every verdict
+  Engine eng{cfg};
+  KindCollector sink;
+  eng.set_event_sink(&sink);
+  constexpr std::int64_t kDen = std::int64_t{1} << 31;
+  const TaskId hog = eng.add_task(Rational{kDen - 1, kDen});
+  eng.add_task(rat(1, 4));
+  eng.add_task(rat(1, 3));
+  ASSERT_NO_THROW(eng.run_until(48));
+  EXPECT_EQ(eng.stats().slots, 48);
+  EXPECT_GT(eng.stats().fastpath_saturations, 0);
+  EXPECT_EQ(eng.stats().oracle_checks, 48);
+  // Every released window of the near-1 task carries the clamped group
+  // deadline and the degraded flag.
+  const TaskState& t = eng.task(hog);
+  ASSERT_FALSE(t.subtasks.empty());
+  EXPECT_TRUE(t.subtasks.back().degraded);
+  EXPECT_EQ(t.subtasks.back().group_deadline, kSlotSaturated);
+  // Counted in the dispatch.fastpath.* metric family and traced.
+  obs::MetricsRegistry reg;
+  eng.export_metrics(reg);
+  EXPECT_EQ(reg.counter("dispatch.fastpath.saturations").value,
+            eng.stats().fastpath_saturations);
+  bool traced = false;
+  for (const obs::EventKind k : sink.kinds) {
+    traced = traced || k == obs::EventKind::kPrioritySaturated;
+  }
+  EXPECT_TRUE(traced);
+}
+
+TEST(Saturation, HuntKnobScenariosPassEveryProperty) {
+  harness::GenConfig gcfg;
+  gcfg.allow_cluster = false;
+  gcfg.allow_faults = false;
+  gcfg.allow_heavy = true;
+  gcfg.saturation_fraction = 1.0;  // every heavy draw sits at the boundary
+  gcfg.max_horizon = 96;
+  int saturating = 0;
+  for (std::uint64_t i = 0; i < 24; ++i) {
+    const harness::GeneratedScenario gen =
+        harness::generate_scenario(404, i, gcfg);
+    bool boundary = false;
+    for (const auto& task : gen.spec.tasks) {
+      boundary = boundary || task.weight.den() >= (std::int64_t{1} << 28);
+    }
+    const harness::RunReport report = harness::run_scenario(gen.spec);
+    std::string why;
+    for (const std::string& f : report.failures) why += f + "; ";
+    EXPECT_TRUE(report.ok()) << "scenario " << i << ": " << why;
+    if (boundary) ++saturating;
+  }
+  // The heavy draw fires ~15% of the time; the stream must produce at
+  // least one boundary scenario or the knob is not wired through.
+  EXPECT_GT(saturating, 0);
+}
+
+// ---------------------------------------------------------------------------
+// IS separation displacement (Thm. 5 scope for separated tasks)
+// ---------------------------------------------------------------------------
+
+TEST(SeparationDisplacement, LedgerEqualsWeightTimesDelay) {
+  EngineConfig cfg;
+  cfg.processors = 1;
+  Engine eng{cfg};
+  const TaskId id = eng.add_task(rat(1, 4));
+  eng.add_separation(id, 2, 3);  // 3-slot gap before T_2's release
+  eng.run_until(40);
+  // I_PS accrues wt through each gap slot: displacement = 3 * 1/4.
+  EXPECT_EQ(eng.task(id).sep_displacement, rat(3, 4));
+}
+
+TEST(SeparationDisplacement, DriftSamplesCarryTheDisplacement) {
+  EngineConfig cfg;
+  cfg.processors = 1;
+  cfg.policy = pfair::ReweightPolicy::kOmissionIdeal;
+  Engine eng{cfg};
+  const TaskId id = eng.add_task(rat(1, 4));
+  eng.add_separation(id, 2, 3);
+  eng.request_weight_change(id, rat(1, 3), 20);  // gap completes well before
+  eng.run_until(60);
+  const TaskState& t = eng.task(id);
+  EXPECT_EQ(t.sep_displacement, rat(3, 4));
+  ASSERT_FALSE(t.drift_history.empty());
+  int after_gap = 0;
+  for (const auto& point : t.drift_history) {
+    // Every sample after the gap (which closes by slot 7) ledgers the full
+    // displacement; earlier samples carry whatever had accrued so far.  The
+    // displacement-corrected drift honours the per-event Thm. 5 bound.
+    if (point.at > 10) {
+      EXPECT_EQ(point.displacement, rat(3, 4)) << "slot " << point.at;
+      ++after_gap;
+    }
+    const int folded = point.events_folded == 0 ? 1 : point.events_folded;
+    EXPECT_LE((point.value - point.displacement).abs(), Rational{2 * folded})
+        << "slot " << point.at;
+  }
+  EXPECT_GT(after_gap, 0);
+}
+
+TEST(SeparationDisplacement, SeparationHeavyHuntPassesTheDriftBound) {
+  // Regression for the Thm-5 scope hole: separated tasks used to be skipped
+  // by the drift check wholesale.  A separation-heavy hunt stream must now
+  // pass with the displacement subtracted.
+  harness::GenConfig gcfg;
+  gcfg.allow_cluster = false;
+  gcfg.allow_faults = false;
+  gcfg.allow_heavy = false;
+  gcfg.separation_fraction = 0.9;
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    const harness::GeneratedScenario gen =
+        harness::generate_scenario(505, i, gcfg);
+    const harness::RunReport report = harness::run_scenario(gen.spec);
+    std::string why;
+    for (const std::string& f : report.failures) why += f + "; ";
+    EXPECT_TRUE(report.ok()) << "scenario " << i << ": " << why;
+  }
+}
+
+}  // namespace
+}  // namespace pfr
