@@ -1,8 +1,10 @@
 #include "cluster/cluster.h"
 
+#include <algorithm>
 #include <stdexcept>
 #include <utility>
 
+#include "cluster/elastic/controller.h"
 #include "pfair/task.h"
 
 namespace pfr::cluster {
@@ -50,6 +52,16 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(std::move(cfg)) {
   if (cfg_.shards.empty()) {
     throw std::invalid_argument("Cluster: at least one shard required");
   }
+  if (!cfg_.shard_speeds.empty() &&
+      cfg_.shard_speeds.size() != cfg_.shards.size()) {
+    throw std::invalid_argument(
+        "Cluster: shard_speeds must be empty or one per shard");
+  }
+  for (const int s : cfg_.shard_speeds) {
+    if (s < 1) {
+      throw std::invalid_argument("Cluster: shard speed must be >= 1");
+    }
+  }
   engines_.reserve(cfg_.shards.size());
   for (const pfair::EngineConfig& ec : cfg_.shards) {
     engines_.push_back(std::make_unique<pfair::Engine>(ec));
@@ -57,8 +69,19 @@ Cluster::Cluster(ClusterConfig cfg) : cfg_(std::move(cfg)) {
   ids_.resize(cfg_.shards.size());
   buffers_ = std::vector<ShardEventBuffer>(cfg_.shards.size());
   dispatched_before_.assign(cfg_.shards.size(), 0);
+  if (cfg_.elastic.enabled) {
+    std::vector<int> units;
+    units.reserve(engines_.size());
+    for (const std::unique_ptr<pfair::Engine>& e : engines_) {
+      units.push_back(e->processors());
+    }
+    elastic_ =
+        std::make_unique<ElasticController>(cfg_.elastic, std::move(units));
+  }
   if (cfg_.threads > 1) pool_ = std::make_unique<ThreadPool>(cfg_.threads);
 }
+
+Cluster::~Cluster() = default;
 
 Rational Cluster::shard_load(int k) const {
   // Mirrors Engine::police()'s reservation sum: active members plus
@@ -189,6 +212,103 @@ void Cluster::start_migration(const std::string& name, int to_shard, Slot t) {
   }
 }
 
+void Cluster::maybe_elastic(Slot t) {
+  if (elastic_ == nullptr || !elastic_->due(t)) return;
+  // Observe.  Everything here is state the cluster already tracks; the
+  // serial coordinator phase reads it race-free.
+  std::vector<ShardObservation> obs;
+  obs.reserve(engines_.size());
+  for (int k = 0; k < shard_count(); ++k) {
+    const pfair::Engine& engine = shard(k);
+    ShardObservation o;
+    o.physical = engine.processors();
+    o.alive = engine.alive_processors();
+    o.down = std::max(
+        0, engine.processors() + engine.elastic_delta() - o.alive);
+    o.reserved = shard_load(k);
+    o.active_tasks =
+        static_cast<std::int64_t>(ids_[static_cast<std::size_t>(k)].size());
+    o.misses_total = static_cast<std::int64_t>(engine.misses().size());
+    for (const auto& [name, local] : ids_[static_cast<std::size_t>(k)]) {
+      const TaskState& task = engine.task(local);
+      if (task.quarantined()) continue;
+      if (task.leave_requested_at != pfair::kNever || task.left_at <= t) {
+        continue;
+      }
+      if (migrator_.migrating(name)) continue;
+      ++o.movable;
+    }
+    obs.push_back(std::move(o));
+  }
+
+  // Decide (lend / recall / return / migrate) and apply the new deltas.
+  const ElasticController::TickReport report = elastic_->control(t, obs);
+  for (int k = 0; k < shard_count(); ++k) {
+    shard(k).set_elastic_delta(elastic_->delta(k));
+  }
+  elastic_->ledger().check_conservation();
+
+  // Enact migration orders: heaviest movable tasks first (name ties
+  // ascending), while the target keeps exact-rational room.
+  for (const ElasticController::MigrationOrder& order : report.migrations) {
+    std::vector<std::pair<Rational, std::string>> candidates;
+    for (const auto& [name, local] :
+         ids_[static_cast<std::size_t>(order.from)]) {
+      const TaskState& task = shard(order.from).task(local);
+      if (task.quarantined()) continue;
+      if (task.leave_requested_at != pfair::kNever || task.left_at <= t) {
+        continue;
+      }
+      if (migrator_.migrating(name)) continue;
+      candidates.emplace_back(task.reserved_weight(), name);
+    }
+    std::stable_sort(candidates.begin(), candidates.end(),
+                     [](const auto& a, const auto& b) {
+                       if (a.first != b.first) return b.first < a.first;
+                       return a.second < b.second;
+                     });
+    Rational room =
+        Rational{shard(order.to).alive_processors()} - shard_load(order.to);
+    int moved = 0;
+    for (const auto& [weight, name] : candidates) {
+      if (moved >= order.count) break;
+      if (weight > room) continue;
+      bool queued = false;
+      for (const PendingMigration& p : pending_migrations_) {
+        queued = queued || p.name == name;
+      }
+      if (queued) continue;
+      pending_migrations_.push_back(PendingMigration{name, order.to, t});
+      ++stats_.migrations_requested;
+      room -= weight;
+      ++moved;
+    }
+  }
+
+  // Telemetry attribution (serial phase: shard writers are quiescent).
+  if (telemetry_ != nullptr) {
+    for (const std::size_t i : report.granted) {
+      const CapacityLoan& loan = elastic_->ledger().loans()[i];
+      telemetry_->shard(loan.to).add(obs::TelCounter::kElasticLoans, 1);
+    }
+    for (const std::size_t i : report.returned) {
+      const CapacityLoan& loan = elastic_->ledger().loans()[i];
+      telemetry_->shard(loan.to).add(obs::TelCounter::kElasticRecalls, 1);
+    }
+    for (const int h : report.avoided) {
+      telemetry_->shard(h).add(obs::TelCounter::kElasticMigrationsAvoided, 1);
+    }
+    for (int k = 0; k < shard_count(); ++k) {
+      telemetry_->shard(k).set(
+          obs::TelGauge::kLentOut,
+          static_cast<double>(elastic_->ledger().lent_out(k)));
+      telemetry_->shard(k).set(
+          obs::TelGauge::kBorrowed,
+          static_cast<double>(elastic_->ledger().borrowed(k)));
+    }
+  }
+}
+
 void Cluster::maybe_rebalance(Slot t) {
   const RebalanceConfig& rb = cfg_.rebalance;
   if (!rb.enabled || t == 0 || t % rb.period != 0) return;
@@ -230,6 +350,9 @@ void Cluster::maybe_rebalance(Slot t) {
 }
 
 void Cluster::coordinator_phase(Slot t) {
+  // Elastic first: lending may raise a hot shard's capacity and clear the
+  // rebalancer's trigger before it fires (counted as migrations avoided).
+  maybe_elastic(t);
   maybe_rebalance(t);
   std::vector<PendingMigration> all = std::move(pending_migrations_);
   pending_migrations_.clear();
@@ -359,6 +482,23 @@ void Cluster::export_metrics(obs::MetricsRegistry& registry) const {
   registry.set_gauge("cluster.migration.drift",
                      stats_.migration_drift.to_double());
   registry.set_gauge("cluster.shards", static_cast<double>(shard_count()));
+  if (elastic_ != nullptr) {
+    const ElasticStats& es = elastic_->stats();
+    registry.counter("cluster.elastic.ticks").add(es.ticks);
+    registry.counter("cluster.elastic.loans").add(es.loans);
+    registry.counter("cluster.elastic.units_lent").add(es.units_lent);
+    registry.counter("cluster.elastic.renewals").add(es.renewals);
+    registry.counter("cluster.elastic.expiries").add(es.expiries);
+    registry.counter("cluster.elastic.recalls").add(es.recalls);
+    registry.counter("cluster.elastic.returns").add(es.returns);
+    registry.counter("cluster.elastic.migrations_requested")
+        .add(es.migrations_requested);
+    registry.counter("cluster.elastic.migrations_avoided")
+        .add(es.migrations_avoided);
+    registry.set_gauge(
+        "cluster.elastic.active_loans",
+        static_cast<double>(elastic_->ledger().active_loans()));
+  }
   for (int k = 0; k < shard_count(); ++k) {
     registry.set_gauge("cluster.shard" + std::to_string(k) + ".load",
                        shard_load(k).to_double());
@@ -384,6 +524,24 @@ std::uint64_t Cluster::schedule_digest() const {
   }
   fnv_mix(h, static_cast<std::uint64_t>(stats_.migrations_rejected));
   fnv_mix(h, static_cast<std::uint64_t>(stats_.rebalances));
+  if (elastic_ != nullptr) {
+    // Loan records are part of the schedule: the same workload with a
+    // different lending history is a different schedule.  A disabled
+    // controller contributes nothing, so fixed-capacity digests match.
+    for (const CapacityLoan& loan : elastic_->ledger().loans()) {
+      fnv_mix(h, static_cast<std::uint64_t>(loan.from));
+      fnv_mix(h, static_cast<std::uint64_t>(loan.to));
+      fnv_mix(h, static_cast<std::uint64_t>(loan.units));
+      fnv_mix(h, static_cast<std::uint64_t>(loan.granted_at));
+      fnv_mix(h, static_cast<std::uint64_t>(loan.expires_at));
+      fnv_mix(h, loan.returned ? 1u : 0u);
+      fnv_mix(h, static_cast<std::uint64_t>(loan.returned_at));
+    }
+    const ElasticStats& es = elastic_->stats();
+    fnv_mix(h, static_cast<std::uint64_t>(es.ticks));
+    fnv_mix(h, static_cast<std::uint64_t>(es.migrations_requested));
+    fnv_mix(h, static_cast<std::uint64_t>(es.migrations_avoided));
+  }
   return h;
 }
 

@@ -31,6 +31,7 @@
 #include <string>
 #include <vector>
 
+#include "cluster/elastic/config.h"
 #include "cluster/migrate.h"
 #include "cluster/placement.h"
 #include "cluster/rebalance.h"
@@ -44,14 +45,28 @@
 
 namespace pfr::cluster {
 
+class ElasticController;
+
 struct ClusterConfig {
   /// One EngineConfig per shard (shard k gets shards[k]; M_k may differ).
+  /// Heterogeneous speed factors are pre-folded: a shard declared with M
+  /// processors at speed S carries processors = M * S capacity units, so
+  /// placement, policing, the verify oracle, and the capacity ledger all
+  /// reason in one currency.
   std::vector<pfair::EngineConfig> shards;
+  /// Integer speed factor per shard, parallel to `shards` (empty = all 1).
+  /// Informational: the units are already folded into shards[k].processors;
+  /// this records the factor for reporting and scenario round-trips.
+  std::vector<int> shard_speeds;
   PlacementPolicy placement{PlacementPolicy::kWeightedWorkload};
   /// Worker threads for the parallel slot loop; <= 1 steps shards serially
   /// on the caller's thread (identical results either way).
   std::size_t threads{1};
   RebalanceConfig rebalance;
+  /// Elastic control plane (capacity lending + WWTA controller); disabled
+  /// by default, in which case the cluster is bit-identical to a
+  /// fixed-capacity build.
+  ElasticConfig elastic;
 };
 
 struct ClusterStats {
@@ -69,6 +84,7 @@ struct ClusterStats {
 class Cluster {
  public:
   explicit Cluster(ClusterConfig cfg);
+  ~Cluster();  ///< out-of-line: ElasticController is forward-declared
 
   // ----- membership -----
 
@@ -168,6 +184,17 @@ class Cluster {
   [[nodiscard]] const ClusterStats& stats() const noexcept { return stats_; }
   [[nodiscard]] const Migrator& migrator() const noexcept { return migrator_; }
   [[nodiscard]] const ClusterConfig& config() const noexcept { return cfg_; }
+  /// Shard k's integer speed factor (1 when the cluster is homogeneous).
+  [[nodiscard]] int shard_speed(int k) const {
+    return cfg_.shard_speeds.empty()
+               ? 1
+               : cfg_.shard_speeds.at(static_cast<std::size_t>(k));
+  }
+  /// The elastic control plane, or nullptr when cfg.elastic.enabled is
+  /// false (fixed-capacity cluster).
+  [[nodiscard]] const ElasticController* elastic() const noexcept {
+    return elastic_.get();
+  }
 
   /// Order-sensitive digest over every shard's schedule history (shard
   /// order 0..K-1) plus the migration ledger: the cross-thread-count
@@ -199,6 +226,7 @@ class Cluster {
 
   void coordinator_phase(pfair::Slot t);
   void start_migration(const std::string& name, int to_shard, pfair::Slot t);
+  void maybe_elastic(pfair::Slot t);
   void maybe_rebalance(pfair::Slot t);
   void merge_phase(pfair::Slot t);
   void emit(const obs::TraceEvent& e) {
@@ -217,6 +245,8 @@ class Cluster {
     pfair::Slot at;  ///< earliest slot the move may start
   };
   std::vector<PendingMigration> pending_migrations_;
+  /// Elastic control plane; null unless cfg_.elastic.enabled.
+  std::unique_ptr<ElasticController> elastic_;
 
   obs::EventSink* sink_{nullptr};
   obs::MetricsRegistry* metrics_{nullptr};

@@ -1,0 +1,52 @@
+/// \file config.h
+/// \brief Tuning knobs for the elastic control plane.
+///
+/// Kept dependency-light (Rational only) so ClusterConfig and ScenarioSpec
+/// consumers can hold an ElasticConfig by value without pulling in the
+/// controller.  `enabled` gates the whole subsystem: a default-constructed
+/// cluster runs bit-identically to the pre-elastic build (no ledger, no
+/// capacity deltas, no extra digest input).
+#pragma once
+
+#include "rational/rational.h"
+
+namespace pfr::cluster {
+
+struct ElasticConfig {
+  bool enabled{false};
+  /// Control period in slots: the controller observes shard state and
+  /// emits decisions every `period` slots, inside the serial coordinator
+  /// phase (so every decision is deterministic and thread-count agnostic).
+  int period{16};
+  /// Loan lease length in slots.  A lease expiring between control ticks
+  /// settles at the next tick; a recipient still under pressure gets the
+  /// loan re-granted in the same tick (renewal = expiry + fresh loan).
+  int lease{64};
+  /// EWMA smoothing factor for the per-shard steady-state load estimates
+  /// (Dai & Xu-style WWTA inputs); 1.0 = no smoothing.
+  double alpha{0.35};
+  /// A shard whose blended pressure exceeds this asks for capacity.
+  double borrow_threshold{0.80};
+  /// A shard may lend only while its own pressure stays below this; a
+  /// recipient whose pressure falls back below it returns its loans early
+  /// (the return-on-recovery path).
+  double lend_threshold{0.60};
+  /// Post-borrow utilization target: lend until reserved/alive <= target.
+  /// Exact-rational, so the lend amount never depends on float rounding.
+  Rational target_util{3, 4};
+  /// Per-tick cap on processors lent (keeps any one tick's capacity steps
+  /// small; recalls and expiries are never capped -- capacity must be able
+  /// to come home).
+  int max_units_per_tick{8};
+  /// Fall back to migration (Thm.-3 drift) when lending cannot cover the
+  /// need, e.g. the pressure is task-count-bound rather than weight-bound.
+  bool allow_migration{true};
+  /// Per-tick cap on controller-initiated migrations.
+  int max_migrations_per_tick{4};
+  /// Blend weights for the pressure signal: pressure = util_ewma +
+  /// depth_weight * tasks_per_unit_ewma + miss_weight * miss_rate_ewma.
+  double depth_weight{0.02};
+  double miss_weight{1.0};
+};
+
+}  // namespace pfr::cluster

@@ -1,0 +1,176 @@
+#include "cluster/elastic/controller.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace pfr::cluster {
+
+namespace {
+
+/// ceil(reserved) in whole units; the capacity a shard must keep to honor
+/// its policing reservation.
+int keep_units(const Rational& reserved) {
+  if (reserved.num() <= 0) return 0;
+  return static_cast<int>((reserved.num() + reserved.den() - 1) /
+                          reserved.den());
+}
+
+}  // namespace
+
+ElasticController::ElasticController(ElasticConfig cfg,
+                                     std::vector<int> physical_units)
+    : cfg_(cfg),
+      ledger_(std::move(physical_units)),
+      estimator_(ledger_.shard_count(), cfg.alpha),
+      last_misses_(static_cast<std::size_t>(ledger_.shard_count()), 0) {
+  if (cfg_.period < 1) {
+    throw std::invalid_argument("ElasticController: period must be >= 1");
+  }
+  if (cfg_.lease < 1) {
+    throw std::invalid_argument("ElasticController: lease must be >= 1");
+  }
+  if (cfg_.target_util <= Rational{0} || cfg_.target_util > Rational{1}) {
+    throw std::invalid_argument(
+        "ElasticController: target_util must satisfy 0 < t <= 1");
+  }
+}
+
+ElasticController::TickReport ElasticController::control(
+    pfair::Slot t, const std::vector<ShardObservation>& obs) {
+  const int K = ledger_.shard_count();
+  if (static_cast<int>(obs.size()) != K) {
+    throw std::invalid_argument(
+        "ElasticController::control: one observation per shard");
+  }
+  TickReport report;
+  ++stats_.ticks;
+
+  // 1. Fold this period's observations into the steady-state estimates.
+  for (int k = 0; k < K; ++k) {
+    const ShardObservation& o = obs[static_cast<std::size_t>(k)];
+    ShardSample s;
+    const double units = o.alive > 0 ? static_cast<double>(o.alive) : 1.0;
+    s.utilization = o.reserved.to_double() / units;
+    s.tasks_per_unit = static_cast<double>(o.active_tasks) / units;
+    s.misses = static_cast<double>(
+        o.misses_total - last_misses_[static_cast<std::size_t>(k)]);
+    last_misses_[static_cast<std::size_t>(k)] = o.misses_total;
+    estimator_.observe(k, s);
+  }
+  const auto pressure = [this](int k) {
+    return estimator_.pressure(k, cfg_.depth_weight, cfg_.miss_weight);
+  };
+
+  // Working per-shard alive counts that ledger mutations keep current.
+  std::vector<int> alive(static_cast<std::size_t>(K));
+  for (int k = 0; k < K; ++k) {
+    alive[static_cast<std::size_t>(k)] =
+        std::max(0, obs[static_cast<std::size_t>(k)].physical -
+                        obs[static_cast<std::size_t>(k)].down +
+                        ledger_.delta(k));
+  }
+  const auto mark_returned = [&](const std::vector<std::size_t>& idxs) {
+    for (const std::size_t i : idxs) {
+      const CapacityLoan& loan = ledger_.loans()[i];
+      alive[static_cast<std::size_t>(loan.from)] += loan.units;
+      alive[static_cast<std::size_t>(loan.to)] =
+          std::max(0, alive[static_cast<std::size_t>(loan.to)] - loan.units);
+      report.returned.push_back(i);
+    }
+  };
+
+  // 2. Settle or renew due leases, in grant order.  A lease is renewed
+  //    (not settled) when returning it would drop the recipient below its
+  //    exact policing reservation -- capacity that admitted weight depends
+  //    on never silently evaporates at expiry.
+  for (std::size_t i = 0; i < ledger_.loans().size(); ++i) {
+    const CapacityLoan& loan = ledger_.loans()[i];
+    if (loan.returned || loan.expires_at > t) continue;
+    const int to = loan.to;
+    const int after = alive[static_cast<std::size_t>(to)] - loan.units;
+    if (after >= keep_units(obs[static_cast<std::size_t>(to)].reserved)) {
+      ledger_.give_back(i, t);
+      mark_returned({i});
+      ++stats_.expiries;
+    } else {
+      ledger_.extend(i, t + cfg_.lease);
+      ++stats_.renewals;
+    }
+  }
+
+  // 3. Donor-distress recalls: a shard that lent capacity and is now hot
+  //    or faulted takes its loans back -- but only loan by loan, and only
+  //    while the recipient keeps enough units for its exact policing
+  //    reservation.  Admitted weight never gets stranded above capacity by
+  //    a recall: on fault-free runs every shard keeps Theorem 2, and a
+  //    crashed donor that cannot reclaim enough is excused by its own
+  //    capacity fault (exactly like any other crash).
+  for (int k = 0; k < K; ++k) {
+    if (ledger_.lent_out(k) == 0) continue;
+    if (obs[static_cast<std::size_t>(k)].down == 0 &&
+        pressure(k) <= cfg_.lend_threshold) {
+      continue;
+    }
+    for (std::size_t i = 0; i < ledger_.loans().size(); ++i) {
+      const CapacityLoan& loan = ledger_.loans()[i];
+      if (loan.returned || loan.from != k) continue;
+      const int to = loan.to;
+      const int after = alive[static_cast<std::size_t>(to)] - loan.units;
+      if (after < keep_units(obs[static_cast<std::size_t>(to)].reserved)) {
+        continue;  // the recipient's reservation still depends on it
+      }
+      ledger_.give_back(i, t);
+      ++stats_.recalls;
+      mark_returned({i});
+    }
+  }
+
+  // 4. Return-on-recovery: a recipient whose pressure subsided returns its
+  //    loans early, provided its reservation still fits afterwards.
+  for (int k = 0; k < K; ++k) {
+    if (ledger_.borrowed(k) == 0) continue;
+    if (pressure(k) >= cfg_.lend_threshold) continue;
+    const int after = alive[static_cast<std::size_t>(k)] - ledger_.borrowed(k);
+    if (after < keep_units(obs[static_cast<std::size_t>(k)].reserved)) {
+      continue;
+    }
+    const auto idxs = ledger_.return_to(k, t);
+    stats_.returns += static_cast<std::int64_t>(idxs.size());
+    mark_returned(idxs);
+  }
+
+  // 5. Fresh capacity flow: the pure policy plans lends and migration
+  //    fallbacks over the post-settlement views.
+  std::vector<ElasticShardView> views(static_cast<std::size_t>(K));
+  for (int k = 0; k < K; ++k) {
+    const auto i = static_cast<std::size_t>(k);
+    views[i].physical = obs[i].physical;
+    views[i].alive = alive[i];
+    views[i].lent = ledger_.lent_out(k);
+    views[i].borrowed = ledger_.borrowed(k);
+    views[i].reserved = obs[i].reserved;
+    views[i].pressure = pressure(k);
+    views[i].movable = obs[i].movable;
+    views[i].faulted = obs[i].down > 0;
+  }
+  const ElasticPlan plan = plan_elastic(views, cfg_);
+  for (const ElasticDecision& d : plan.decisions) {
+    if (d.kind == ElasticDecision::Kind::kLend) {
+      report.granted.push_back(
+          ledger_.lend(d.from, d.to, d.units, t, cfg_.lease));
+      ++stats_.loans;
+      stats_.units_lent += d.units;
+    } else {
+      report.migrations.push_back(MigrationOrder{d.from, d.to, d.units});
+      stats_.migrations_requested += d.units;
+    }
+  }
+  report.avoided = plan.avoided;
+  stats_.migrations_avoided += static_cast<std::int64_t>(plan.avoided.size());
+
+  ledger_.check_conservation();
+  return report;
+}
+
+}  // namespace pfr::cluster

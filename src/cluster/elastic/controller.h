@@ -1,0 +1,103 @@
+/// \file controller.h
+/// \brief ElasticController: the closed-loop WWTA control plane.
+///
+/// Each control period (inside the cluster's serial coordinator phase) the
+/// controller folds per-shard observations into its EWMA load estimates,
+/// settles or renews due leases, recalls loans from distressed donors,
+/// takes early returns from recovered recipients, and asks the pure policy
+/// where fresh capacity should flow -- preferring processor lending (zero
+/// drift, expressed through the engines' per-slot effective-capacity path)
+/// over task migration (a Theorem-3 drift charge).  Every mutation goes
+/// through the CapacityLedger, whose conservation invariant is re-checked
+/// after each tick.
+///
+/// Determinism: the controller runs serially, consumes only deterministic
+/// inputs, and iterates shards and loans in index/grant order, so clusters
+/// produce bit-identical digests across worker-thread counts, and a
+/// disabled controller leaves the cluster bit-identical to a fixed-capacity
+/// build.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/elastic/config.h"
+#include "cluster/elastic/estimator.h"
+#include "cluster/elastic/ledger.h"
+#include "cluster/elastic/policy.h"
+#include "pfair/types.h"
+#include "rational/rational.h"
+
+namespace pfr::cluster {
+
+/// Raw per-shard input for one control tick, assembled by the cluster
+/// from state it already tracks (no new hot-path instrumentation).
+struct ShardObservation {
+  int physical{0};                ///< configured capacity units
+  int alive{0};                   ///< engine alive_processors() (incl. delta)
+  int down{0};                    ///< processors currently crashed
+  Rational reserved;              ///< policing reservation (shard_load)
+  std::int64_t active_tasks{0};   ///< current member count
+  std::int64_t misses_total{0};   ///< cumulative deadline misses
+  int movable{0};                 ///< migration-eligible members
+};
+
+struct ElasticStats {
+  std::int64_t ticks{0};
+  std::int64_t loans{0};          ///< grants (fresh loans)
+  std::int64_t units_lent{0};     ///< units across all grants
+  std::int64_t renewals{0};       ///< leases extended at expiry
+  std::int64_t expiries{0};       ///< leases that ran out and returned
+  std::int64_t recalls{0};        ///< donor-distress recalls
+  std::int64_t returns{0};        ///< return-on-recovery early returns
+  std::int64_t migrations_requested{0};
+  std::int64_t migrations_avoided{0};
+};
+
+class ElasticController {
+ public:
+  ElasticController(ElasticConfig cfg, std::vector<int> physical_units);
+
+  /// True when slot t is a control tick (enabled, t > 0, period divides t).
+  [[nodiscard]] bool due(pfair::Slot t) const noexcept {
+    return cfg_.enabled && t > 0 && t % cfg_.period == 0;
+  }
+
+  struct MigrationOrder {
+    int from{-1};
+    int to{-1};
+    int count{0};  ///< move up to this many tasks
+  };
+
+  /// What one tick did, for telemetry attribution and the event stream.
+  struct TickReport {
+    std::vector<std::size_t> granted;   ///< loan indices granted this tick
+    std::vector<std::size_t> returned;  ///< loans that came home this tick
+    std::vector<int> avoided;           ///< shards spared a migration
+    std::vector<MigrationOrder> migrations;
+  };
+
+  /// Runs one control tick.  `obs[k]` describes shard k; afterwards
+  /// delta(k) carries the new per-shard capacity deltas for the cluster to
+  /// push into Engine::set_elastic_delta().
+  TickReport control(pfair::Slot t, const std::vector<ShardObservation>& obs);
+
+  [[nodiscard]] int delta(int k) const { return ledger_.delta(k); }
+  [[nodiscard]] const CapacityLedger& ledger() const noexcept {
+    return ledger_;
+  }
+  [[nodiscard]] const LoadEstimator& estimator() const noexcept {
+    return estimator_;
+  }
+  [[nodiscard]] const ElasticStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] const ElasticConfig& config() const noexcept { return cfg_; }
+
+ private:
+  ElasticConfig cfg_;
+  CapacityLedger ledger_;
+  LoadEstimator estimator_;
+  std::vector<std::int64_t> last_misses_;
+  ElasticStats stats_;
+};
+
+}  // namespace pfr::cluster

@@ -1,0 +1,31 @@
+#include "cluster/elastic/estimator.h"
+
+#include <stdexcept>
+
+namespace pfr::cluster {
+
+LoadEstimator::LoadEstimator(int shards, double alpha) : alpha_(alpha) {
+  if (shards < 1) {
+    throw std::invalid_argument("LoadEstimator: at least one shard");
+  }
+  if (!(alpha > 0.0) || alpha > 1.0) {
+    throw std::invalid_argument("LoadEstimator: alpha must be in (0, 1]");
+  }
+  state_.resize(static_cast<std::size_t>(shards));
+}
+
+void LoadEstimator::observe(int k, const ShardSample& s) {
+  State& st = state_.at(static_cast<std::size_t>(k));
+  if (!st.primed) {
+    st.util = s.utilization;
+    st.depth = s.tasks_per_unit;
+    st.miss = s.misses;
+    st.primed = true;
+    return;
+  }
+  st.util += alpha_ * (s.utilization - st.util);
+  st.depth += alpha_ * (s.tasks_per_unit - st.depth);
+  st.miss += alpha_ * (s.misses - st.miss);
+}
+
+}  // namespace pfr::cluster

@@ -1,0 +1,73 @@
+/// \file estimator.h
+/// \brief Per-shard EWMA steady-state load estimates.
+///
+/// The controller's view of "how loaded is shard k, really" -- the WWTA
+/// steady-state quantities from Dai & Xu's heterogeneous-server analysis,
+/// approximated online: an exponentially weighted moving average of the
+/// shard's admitted-weight utilization, its ready-task depth per capacity
+/// unit, and its deadline-miss rate.  All inputs come from state the
+/// cluster already maintains (policing reservations, member counts, miss
+/// records); the estimator adds no new instrumentation to the hot path.
+///
+/// Doubles are fine here: estimates only *rank and trigger* decisions, and
+/// every decision runs in the serial coordinator phase from deterministic
+/// inputs, so the same floats appear for every worker-thread count.  The
+/// exact-rational safety checks (never lend below a donor's reserved
+/// weight) live in the policy, not here.
+#pragma once
+
+#include <vector>
+
+namespace pfr::cluster {
+
+/// One control tick's raw observation of a shard.
+struct ShardSample {
+  double utilization{0};    ///< reserved weight / alive capacity units
+  double tasks_per_unit{0}; ///< active members / alive capacity units
+  double misses{0};         ///< new deadline misses since the last tick
+};
+
+class LoadEstimator {
+ public:
+  /// `alpha` in (0, 1]: EWMA smoothing factor (1 = no smoothing).
+  LoadEstimator(int shards, double alpha);
+
+  /// Folds one observation into shard k's estimates.  The first
+  /// observation primes the state directly (no slow ramp from zero).
+  void observe(int k, const ShardSample& s);
+
+  /// Smoothed utilization estimate for shard k.
+  [[nodiscard]] double utilization(int k) const {
+    return state_.at(static_cast<std::size_t>(k)).util;
+  }
+  /// Smoothed ready-depth estimate (tasks per capacity unit).
+  [[nodiscard]] double depth(int k) const {
+    return state_.at(static_cast<std::size_t>(k)).depth;
+  }
+  /// Smoothed miss rate (misses per control period).
+  [[nodiscard]] double miss_rate(int k) const {
+    return state_.at(static_cast<std::size_t>(k)).miss;
+  }
+  /// Blended pressure signal: util + depth_weight * depth +
+  /// miss_weight * miss_rate.  The controller's single ranking key.
+  [[nodiscard]] double pressure(int k, double depth_weight,
+                                double miss_weight) const {
+    const State& s = state_.at(static_cast<std::size_t>(k));
+    return s.util + depth_weight * s.depth + miss_weight * s.miss;
+  }
+  [[nodiscard]] int shard_count() const {
+    return static_cast<int>(state_.size());
+  }
+
+ private:
+  struct State {
+    double util{0};
+    double depth{0};
+    double miss{0};
+    bool primed{false};
+  };
+  double alpha_;
+  std::vector<State> state_;
+};
+
+}  // namespace pfr::cluster

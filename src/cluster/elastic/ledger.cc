@@ -1,0 +1,125 @@
+#include "cluster/elastic/ledger.h"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace pfr::cluster {
+
+CapacityLedger::CapacityLedger(std::vector<int> physical_units)
+    : physical_(std::move(physical_units)),
+      lent_(physical_.size(), 0),
+      borrowed_(physical_.size(), 0) {
+  if (physical_.empty()) {
+    throw std::invalid_argument("CapacityLedger: at least one shard");
+  }
+  for (const int m : physical_) {
+    if (m < 0) {
+      throw std::invalid_argument("CapacityLedger: negative physical units");
+    }
+  }
+}
+
+std::size_t CapacityLedger::lend(int from, int to, int units, pfair::Slot now,
+                                 pfair::Slot lease) {
+  const auto f = static_cast<std::size_t>(from);
+  const auto t = static_cast<std::size_t>(to);
+  if (from < 0 || from >= shard_count() || to < 0 || to >= shard_count()) {
+    throw std::invalid_argument("CapacityLedger::lend: shard out of range");
+  }
+  if (from == to) {
+    throw std::invalid_argument("CapacityLedger::lend: self-loan");
+  }
+  if (units < 1) {
+    throw std::invalid_argument("CapacityLedger::lend: units must be >= 1");
+  }
+  if (lease < 1) {
+    throw std::invalid_argument("CapacityLedger::lend: lease must be >= 1");
+  }
+  // A donor may not lend units it does not effectively hold (physical
+  // minus what it already lent, plus what it borrowed).
+  if (physical_[f] - lent_[f] + borrowed_[f] - units < 0) {
+    throw std::invalid_argument(
+        "CapacityLedger::lend: donor shard " + std::to_string(from) +
+        " has no " + std::to_string(units) + " units to lend");
+  }
+  lent_[f] += units;
+  borrowed_[t] += units;
+  CapacityLoan loan;
+  loan.from = from;
+  loan.to = to;
+  loan.units = units;
+  loan.granted_at = now;
+  loan.expires_at = now + lease;
+  loans_.push_back(loan);
+  ++active_;
+  return loans_.size() - 1;
+}
+
+void CapacityLedger::give_back(std::size_t i, pfair::Slot now) {
+  CapacityLoan& loan = loans_.at(i);
+  if (loan.returned) return;
+  loan.returned = true;
+  loan.returned_at = now;
+  lent_[static_cast<std::size_t>(loan.from)] -= loan.units;
+  borrowed_[static_cast<std::size_t>(loan.to)] -= loan.units;
+  --active_;
+}
+
+void CapacityLedger::extend(std::size_t i, pfair::Slot new_expiry) {
+  CapacityLoan& loan = loans_.at(i);
+  if (loan.returned) return;
+  if (new_expiry > loan.expires_at) loan.expires_at = new_expiry;
+}
+
+std::vector<std::size_t> CapacityLedger::settle(pfair::Slot now) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < loans_.size(); ++i) {
+    if (!loans_[i].returned && loans_[i].expires_at <= now) {
+      give_back(i, now);
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+std::vector<std::size_t> CapacityLedger::recall_from(int donor,
+                                                     pfair::Slot now) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < loans_.size(); ++i) {
+    if (!loans_[i].returned && loans_[i].from == donor) {
+      give_back(i, now);
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+std::vector<std::size_t> CapacityLedger::return_to(int recipient,
+                                                   pfair::Slot now) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < loans_.size(); ++i) {
+    if (!loans_[i].returned && loans_[i].to == recipient) {
+      give_back(i, now);
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+void CapacityLedger::check_conservation() const {
+  long long lent_sum = 0, borrowed_sum = 0, delta_sum = 0;
+  for (int k = 0; k < shard_count(); ++k) {
+    lent_sum += lent_[static_cast<std::size_t>(k)];
+    borrowed_sum += borrowed_[static_cast<std::size_t>(k)];
+    delta_sum += delta(k);
+  }
+  if (delta_sum != 0 || lent_sum != borrowed_sum) {
+    throw std::logic_error(
+        "CapacityLedger: conservation violated (delta sum " +
+        std::to_string(delta_sum) + ", lent " + std::to_string(lent_sum) +
+        " vs borrowed " + std::to_string(borrowed_sum) + ")");
+  }
+}
+
+}  // namespace pfr::cluster

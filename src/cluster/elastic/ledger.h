@@ -1,0 +1,110 @@
+/// \file ledger.h
+/// \brief CapacityLedger: whole-processor loans between shards.
+///
+/// The ledger is pure bookkeeping: it records who lent how many capacity
+/// units to whom and when each loan comes home, and exposes the per-shard
+/// net delta the cluster feeds into Engine::set_elastic_delta().  It never
+/// touches an engine itself, which keeps it trivially deterministic: loans
+/// are granted, settled, and recalled in record order from the serial
+/// coordinator phase only.
+///
+/// Conservation is structural: every mutation moves `units` out of one
+/// shard's column and into another's, and check_conservation() asserts the
+/// deltas still sum to zero -- the cluster calls it after every apply, so a
+/// bookkeeping bug aborts the run instead of silently minting capacity.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "pfair/types.h"
+
+namespace pfr::cluster {
+
+/// One whole-processor loan, from grant through return.
+struct CapacityLoan {
+  int from{-1};                  ///< donor shard
+  int to{-1};                    ///< recipient shard
+  int units{0};                  ///< capacity units moved (>= 1)
+  pfair::Slot granted_at{0};
+  pfair::Slot expires_at{0};     ///< granted_at + lease
+  bool returned{false};
+  pfair::Slot returned_at{-1};   ///< valid once returned
+};
+
+class CapacityLedger {
+ public:
+  /// `physical_units[k]` = shard k's configured capacity (engine
+  /// processors, speed already folded in).
+  explicit CapacityLedger(std::vector<int> physical_units);
+
+  /// Grants a loan of `units` processors from `from` to `to` with the
+  /// given lease; returns its record index.  Throws std::invalid_argument
+  /// on structural misuse (self-loan, out-of-range shard, units < 1, or a
+  /// donor that would go below zero units outstanding).  The *semantic*
+  /// safety check -- the donor keeps enough capacity for its reserved
+  /// weight -- is the policy's job, not the ledger's.
+  std::size_t lend(int from, int to, int units, pfair::Slot now,
+                   pfair::Slot lease);
+
+  /// Returns loan `i` now (early recall or lease expiry).  No-op if it
+  /// already came home.
+  void give_back(std::size_t i, pfair::Slot now);
+
+  /// Returns every active loan with expires_at <= now, in grant order
+  /// (the deterministic tie-break).  Returns the settled indices.
+  std::vector<std::size_t> settle(pfair::Slot now);
+
+  /// Extends loan i's lease to `new_expiry` (renewal at expiry while the
+  /// recipient still needs the capacity).  No-op on returned loans.
+  void extend(std::size_t i, pfair::Slot new_expiry);
+
+  /// Recalls every active loan donated *by* `donor` (donor distress:
+  /// overload or a processor crash on the donor).  Grant order.
+  std::vector<std::size_t> recall_from(int donor, pfair::Slot now);
+
+  /// Returns every active loan held *by* `recipient` (return-on-recovery:
+  /// the borrower's pressure subsided).  Grant order.
+  std::vector<std::size_t> return_to(int recipient, pfair::Slot now);
+
+  /// Net capacity delta for shard k: borrowed - lent (what the engine's
+  /// set_elastic_delta receives).
+  [[nodiscard]] int delta(int k) const {
+    return borrowed_.at(static_cast<std::size_t>(k)) -
+           lent_.at(static_cast<std::size_t>(k));
+  }
+  /// Units shard k currently has out on loan to others.
+  [[nodiscard]] int lent_out(int k) const {
+    return lent_.at(static_cast<std::size_t>(k));
+  }
+  /// Units shard k currently holds from others.
+  [[nodiscard]] int borrowed(int k) const {
+    return borrowed_.at(static_cast<std::size_t>(k));
+  }
+  [[nodiscard]] int shard_count() const {
+    return static_cast<int>(physical_.size());
+  }
+  [[nodiscard]] int physical(int k) const {
+    return physical_.at(static_cast<std::size_t>(k));
+  }
+  /// Count of loans not yet returned.
+  [[nodiscard]] int active_loans() const noexcept { return active_; }
+  /// Full loan history, grant order (mixed into the cluster digest).
+  [[nodiscard]] const std::vector<CapacityLoan>& loans() const noexcept {
+    return loans_;
+  }
+
+  /// Conservation invariant: sum of per-shard deltas == 0, i.e. the sum of
+  /// effective capacities equals the sum of physical capacities.  Throws
+  /// std::logic_error on violation (an internal bookkeeping bug).
+  void check_conservation() const;
+
+ private:
+  std::vector<int> physical_;
+  std::vector<int> lent_;      ///< per shard: units currently lent out
+  std::vector<int> borrowed_;  ///< per shard: units currently borrowed
+  std::vector<CapacityLoan> loans_;
+  int active_{0};
+};
+
+}  // namespace pfr::cluster

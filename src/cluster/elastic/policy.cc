@@ -1,0 +1,133 @@
+#include "cluster/elastic/policy.h"
+
+#include <algorithm>
+
+namespace pfr::cluster {
+
+namespace {
+
+/// ceil(a / b) for a >= 0, b > 0.
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+/// ceil(reserved), i.e. the fewest whole units that cover the reservation.
+int ceil_units(const Rational& reserved) {
+  if (reserved.num() <= 0) return 0;
+  return static_cast<int>(ceil_div(reserved.num(), reserved.den()));
+}
+
+/// Indices of `views` ordered by (pressure, index); ascending or
+/// descending pressure.
+std::vector<int> rank_by_pressure(const std::vector<ElasticShardView>& views,
+                                  bool hottest_first) {
+  std::vector<int> order(views.size());
+  for (std::size_t i = 0; i < views.size(); ++i) {
+    order[i] = static_cast<int>(i);
+  }
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    const double pa = views[static_cast<std::size_t>(a)].pressure;
+    const double pb = views[static_cast<std::size_t>(b)].pressure;
+    if (pa != pb) return hottest_first ? pa > pb : pa < pb;
+    return a < b;
+  });
+  return order;
+}
+
+}  // namespace
+
+int units_needed(const Rational& reserved, int alive, const Rational& target) {
+  // Smallest n with target * (alive + n) >= reserved:
+  //   n >= reserved/target - alive  =>  n = ceil(r_n * t_d / (r_d * t_n)) -
+  //   alive.  Weights sit on the lcm(1..16) grid, so the products stay far
+  //   from int64 overflow.
+  if (reserved.num() <= 0) return 0;
+  const std::int64_t covered = ceil_div(reserved.num() * target.den(),
+                                        reserved.den() * target.num());
+  const std::int64_t n = covered - alive;
+  return n > 0 ? static_cast<int>(n) : 0;
+}
+
+int units_spare(const Rational& reserved, int alive) {
+  const int keep = std::max(1, ceil_units(reserved));
+  return alive > keep ? alive - keep : 0;
+}
+
+ElasticPlan plan_elastic(const std::vector<ElasticShardView>& views,
+                         const ElasticConfig& cfg) {
+  ElasticPlan plan;
+  if (views.size() < 2) return plan;
+
+  // Working copies the grants mutate as they are planned.
+  std::vector<int> alive(views.size());
+  std::vector<int> spare(views.size());
+  for (std::size_t i = 0; i < views.size(); ++i) {
+    alive[i] = views[i].alive;
+    spare[i] = units_spare(views[i].reserved, views[i].alive);
+  }
+
+  const std::vector<int> hot = rank_by_pressure(views, /*hottest_first=*/true);
+  const std::vector<int> cold =
+      rank_by_pressure(views, /*hottest_first=*/false);
+
+  int lend_budget = cfg.max_units_per_tick;
+  int migrate_budget = cfg.max_migrations_per_tick;
+
+  for (const int h : hot) {
+    const ElasticShardView& v = views[static_cast<std::size_t>(h)];
+    if (v.pressure <= cfg.borrow_threshold) break;  // sorted: rest are colder
+    int need = units_needed(v.reserved, alive[static_cast<std::size_t>(h)],
+                            cfg.target_util);
+    const bool weight_bound = need > 0;
+
+    // Lending first: zero drift.  Coldest donors give first.
+    for (const int d : cold) {
+      if (need == 0 || lend_budget == 0) break;
+      if (d == h) continue;
+      const ElasticShardView& dv = views[static_cast<std::size_t>(d)];
+      if (dv.faulted || dv.pressure >= cfg.lend_threshold) continue;
+      const int give = std::min({need, lend_budget,
+                                 spare[static_cast<std::size_t>(d)]});
+      if (give <= 0) continue;
+      plan.decisions.push_back(
+          ElasticDecision{ElasticDecision::Kind::kLend, d, h, give});
+      spare[static_cast<std::size_t>(d)] -= give;
+      alive[static_cast<std::size_t>(d)] -= give;
+      alive[static_cast<std::size_t>(h)] += give;
+      lend_budget -= give;
+      need -= give;
+    }
+
+    if (weight_bound && need == 0) {
+      // Lending alone covered the shortfall; a Thm.-3 migration would
+      // otherwise have been the only way out.
+      if (cfg.allow_migration && v.movable > 0) plan.avoided.push_back(h);
+      continue;
+    }
+
+    // Migration fallback: unmet weight need, or a task-count-bound hot
+    // shard (pressure high with no capacity shortfall lending could fix).
+    if (!cfg.allow_migration || migrate_budget == 0 || v.movable == 0) {
+      continue;
+    }
+    int to = -1;
+    for (const int d : cold) {
+      if (d == h) continue;
+      const ElasticShardView& dv = views[static_cast<std::size_t>(d)];
+      if (dv.faulted || dv.pressure >= cfg.lend_threshold) continue;
+      if (units_spare(dv.reserved, alive[static_cast<std::size_t>(d)]) < 1) {
+        continue;  // no weight room for incoming tasks
+      }
+      to = d;
+      break;
+    }
+    if (to < 0) continue;
+    const int count = std::min(migrate_budget, v.movable);
+    plan.decisions.push_back(
+        ElasticDecision{ElasticDecision::Kind::kMigrate, h, to, count});
+    migrate_budget -= count;
+  }
+  return plan;
+}
+
+}  // namespace pfr::cluster

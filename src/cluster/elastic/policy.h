@@ -1,0 +1,73 @@
+/// \file policy.h
+/// \brief Pure lend/migrate planning over per-shard views.
+///
+/// plan_elastic() is a pure function from (views, config) to a decision
+/// list, like placement's choose_shard and the rebalancer's plan_rebalance:
+/// no engine access, no hidden state, deterministic tie-breaks (pressure
+/// rank, then lowest shard index), so it is unit-testable in isolation and
+/// trivially thread-count agnostic.
+///
+/// The controller runs recalls, returns, and lease expiries *before*
+/// calling this (they only move existing loans home), rebuilds the views,
+/// and then asks the policy where fresh capacity should flow.
+///
+/// Safety is exact-rational: a donor is never planned below
+/// max(1, ceil(reserved weight)) alive units, so property (W) keeps
+/// holding per shard and the Theorem-2 zero-miss guarantee survives every
+/// loan the policy emits.  Doubles (the EWMA pressure) only rank shards.
+#pragma once
+
+#include <vector>
+
+#include "cluster/elastic/config.h"
+#include "rational/rational.h"
+
+namespace pfr::cluster {
+
+/// One shard as the policy sees it, post-settlement.
+struct ElasticShardView {
+  int physical{0};    ///< configured capacity units
+  int alive{0};       ///< physical - down + ledger delta, clamped >= 0
+  int lent{0};        ///< units currently out on loan
+  int borrowed{0};    ///< units currently held from others
+  Rational reserved;  ///< policing reservation (admitted weight)
+  double pressure{0}; ///< blended EWMA pressure (LoadEstimator)
+  int movable{0};     ///< members eligible for migration
+  bool faulted{false};///< has processors down right now
+};
+
+struct ElasticDecision {
+  enum class Kind {
+    kLend,    ///< move `units` processors from -> to (zero drift)
+    kMigrate, ///< move up to `units` tasks from -> to (Thm.-3 drift)
+  };
+  Kind kind{Kind::kLend};
+  int from{-1};
+  int to{-1};
+  int units{0};
+};
+
+struct ElasticPlan {
+  std::vector<ElasticDecision> decisions;
+  /// Hot shards whose capacity need was fully covered by lending while a
+  /// migration fallback was available -- the `migrations_avoided` counter.
+  std::vector<int> avoided;
+};
+
+/// Smallest n >= 0 with reserved <= target * (alive + n): the units a
+/// shard must borrow to reach the post-borrow utilization target.
+[[nodiscard]] int units_needed(const Rational& reserved, int alive,
+                               const Rational& target);
+
+/// Units a donor can part with while keeping alive >= max(1,
+/// ceil(reserved)): its exact-rational lending headroom.
+[[nodiscard]] int units_spare(const Rational& reserved, int alive);
+
+/// Plans this tick's lends and migration fallbacks.  Recipients are
+/// visited hottest-first, donors coldest-first; ties break to the lowest
+/// shard index.  Never plans more than cfg.max_units_per_tick lent units
+/// or cfg.max_migrations_per_tick migrations in total.
+[[nodiscard]] ElasticPlan plan_elastic(
+    const std::vector<ElasticShardView>& views, const ElasticConfig& cfg);
+
+}  // namespace pfr::cluster

@@ -30,10 +30,30 @@ BuiltClusterScenario build_cluster_scenario(const pfair::ScenarioSpec& spec,
   ClusterConfig cfg;
   cfg.threads = threads;
   cfg.shards.reserve(spec.shard_processors.size());
-  for (const int m : spec.shard_processors) {
+  for (std::size_t k = 0; k < spec.shard_processors.size(); ++k) {
+    const int speed =
+        k < spec.shard_speeds.size() ? spec.shard_speeds[k] : 1;
+    if (speed < 1) {
+      throw std::invalid_argument(
+          "build_cluster_scenario: shard speed must be >= 1");
+    }
     pfair::EngineConfig ec = spec.config;
-    ec.processors = m;
+    // A shard with M processors at speed S is modeled as M*S unit-speed
+    // capacity units: placement, policing, the verify oracle, and the
+    // capacity ledger all reason in one currency.
+    ec.processors = spec.shard_processors[k] * speed;
     cfg.shards.push_back(ec);
+  }
+  if (!spec.shard_speeds.empty()) {
+    cfg.shard_speeds = spec.shard_speeds;
+    cfg.shard_speeds.resize(spec.shard_processors.size(), 1);
+  }
+  if (spec.elastic.enabled) {
+    cfg.elastic.enabled = true;
+    cfg.elastic.period = static_cast<int>(spec.elastic.period);
+    cfg.elastic.lease = static_cast<int>(spec.elastic.lease);
+    cfg.elastic.max_units_per_tick = spec.elastic.max_units;
+    cfg.elastic.allow_migration = spec.elastic.allow_migration;
   }
   if (!spec.placement.empty()) {
     const auto policy = parse_placement_policy(spec.placement);

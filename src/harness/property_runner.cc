@@ -6,6 +6,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "cluster/elastic/controller.h"
 #include "cluster/scenario.h"
 #include "net/feed.h"
 #include "net/ingest.h"
@@ -281,6 +282,35 @@ RunReport run_cluster(const ScenarioSpec& spec, const RunnerConfig& cfg) {
       if (report.violations > 0) {
         report.failures.push_back("validate-mode violations recorded: " +
                                   std::to_string(report.violations));
+      }
+      if (spec.elastic.enabled && cl.elastic() != nullptr) {
+        // Lending conservation: the ledger's deltas must sum to zero, and
+        // -- on fault-free runs -- the recorded per-slot capacities must
+        // sum to the cluster's physical capacity at every slot (a loan
+        // moves units, never mints them).
+        try {
+          cl.elastic()->ledger().check_conservation();
+        } catch (const std::exception& e) {
+          report.failures.push_back(std::string("elastic: ") + e.what());
+        }
+        if (spec.faults.empty() && spec.config.record_slot_trace) {
+          std::int64_t physical = 0;
+          for (int k = 0; k < shards; ++k) physical += cl.shard(k).processors();
+          const std::size_t slots = cl.shard(0).trace().size();
+          for (std::size_t s = 0; s < slots; ++s) {
+            std::int64_t sum = 0;
+            for (int k = 0; k < shards; ++k) {
+              sum += cl.shard(k).trace()[s].capacity;
+            }
+            if (sum != physical) {
+              report.failures.push_back(
+                  "elastic: capacity conservation broke at slot " +
+                  std::to_string(s) + ": sum " + std::to_string(sum) +
+                  " != physical " + std::to_string(physical));
+              break;
+            }
+          }
+        }
       }
       if (cfg.check_telemetry) {
         // Shard k's engine publishes into telemetry shard k; each pair

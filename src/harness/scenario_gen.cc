@@ -285,6 +285,73 @@ GeneratedScenario generate_scenario(std::uint64_t seed, std::uint64_t index,
     }
   }
 
+  // ----- elastic control plane (cluster only) -----
+  // Drawn from a salted stream taken after every base draw, so enabling
+  // (or retuning) elastic chaos never perturbs the base scenario stream a
+  // historical (seed, index) maps to.
+  Xoshiro256 erng = Xoshiro256::for_stream(seed ^ 0x454C415354494CULL, index);
+  if (cluster && cfg.elastic_fraction > 0.0 &&
+      erng.bernoulli(cfg.elastic_fraction)) {
+    spec.shard_speeds.assign(static_cast<std::size_t>(shards), 1);
+    if (cfg.max_shard_speed > 1 && erng.bernoulli(0.6)) {
+      for (int k = 0; k < shards; ++k) {
+        spec.shard_speeds[static_cast<std::size_t>(k)] =
+            static_cast<int>(erng.uniform_int(1, cfg.max_shard_speed));
+      }
+    }
+    spec.elastic.enabled = true;
+    spec.elastic.period = erng.uniform_int(
+        std::max(1, cfg.min_control_period),
+        std::max(cfg.min_control_period, cfg.max_control_period));
+    spec.elastic.lease = spec.elastic.period * erng.uniform_int(2, 6);
+    spec.elastic.max_units = static_cast<int>(erng.uniform_int(2, 8));
+    spec.elastic.allow_migration = erng.bernoulli(0.7);
+
+    // Heterogeneous speeds re-place every task, which can strand a scripted
+    // migration on its own target shard (the cluster rejects no-op moves).
+    // Re-probe placement under the final spec and steer those aside.
+    if (!spec.migrations.empty()) {
+      // Probe without the migrations themselves: a now-stranded move would
+      // make this very build throw.
+      ScenarioSpec probe_spec = spec;
+      probe_spec.migrations.clear();
+      const cluster::BuiltClusterScenario probe =
+          cluster::build_cluster_scenario(probe_spec);
+      for (ScenarioSpec::MigrateSpec& mig : spec.migrations) {
+        const auto ref = probe.cluster->find(mig.task);
+        if (ref && mig.to_shard == ref->shard) {
+          mig.to_shard = (mig.to_shard + 1) % shards;
+        }
+      }
+    }
+
+    // Load-skew burst: reweight every light task placement put on one hot
+    // shard up to the grid maximum at nearly the same slot.  Policing
+    // clamps whatever no longer fits, and the controller gets a skewed
+    // steady state to lend against.
+    if (cfg.elastic_skew > 0.0 && erng.bernoulli(cfg.elastic_skew) &&
+        n > 0 && h > 8) {
+      const cluster::BuiltClusterScenario probe =
+          cluster::build_cluster_scenario(spec);
+      const int hot = static_cast<int>(erng.uniform_int(0, shards - 1));
+      const Slot burst = erng.uniform_int(2, h - 2);
+      for (std::int64_t i = 0; i < n; ++i) {
+        const auto ix = static_cast<std::size_t>(i);
+        if (is_heavy[ix] || leaves[ix]) continue;
+        const ScenarioSpec::TaskSpec& t = spec.tasks[ix];
+        const auto ref = probe.cluster->find(t.name);
+        if (!ref || ref->shard != hot) continue;
+        const Slot at = std::max<Slot>(t.join + 1, burst);
+        if (at >= h) continue;
+        ScenarioSpec::EventSpec ev;
+        ev.task = t.name;
+        ev.weight = Rational{den / 2, den};
+        ev.at = at;
+        spec.events.push_back(std::move(ev));
+      }
+    }
+  }
+
   GeneratedScenario out;
   out.seed = seed;
   out.index = index;

@@ -61,6 +61,23 @@ struct GenConfig {
   /// leaves the historical scenario streams byte-identical.
   double saturation_fraction{0.0};
 
+  /// Elastic-cluster chaos (src/cluster/elastic): this fraction of
+  /// *cluster* scenarios is made elastic -- heterogeneous shard speed
+  /// factors, the `elastic` capacity-lending directive, and (per
+  /// elastic_skew) a mid-run reweight burst that concentrates load on one
+  /// placed shard so the controller has something to correct.  All elastic
+  /// draws come from a salted RNG stream taken *after* the base scenario,
+  /// so the base draws for a (seed, index) match pre-elastic hunts.
+  double elastic_fraction{0.30};
+  /// Largest heterogeneous speed factor a shard may draw (1 disables
+  /// heterogeneity; speeds multiply the shard's capacity units).
+  int max_shard_speed{3};
+  /// Probability an elastic scenario also gets a load-skew burst.
+  double elastic_skew{0.5};
+  /// Control-period envelope for the `elastic` directive.
+  int min_control_period{8};
+  int max_control_period{32};
+
   /// Ingest-path chaos (the net/ front door): this fraction of scenarios
   /// also replays a derived request load through shm ingest rings --
   /// in-process versus ringed delivery must produce bit-identical response

@@ -37,6 +37,12 @@ const char* counter_help(TelCounter c) {
       return "Malformed ingest frames / protocol violations.";
     case TelCounter::kNetRingShed:
       return "Frames shed producer-side at ingest ring overflow.";
+    case TelCounter::kElasticLoans:
+      return "Capacity loans granted to this shard.";
+    case TelCounter::kElasticRecalls:
+      return "Capacity loans this shard returned (expiry/recall/recovery).";
+    case TelCounter::kElasticMigrationsAvoided:
+      return "Migrations made unnecessary by capacity lending.";
     case TelCounter::kCount_: break;
   }
   return "";
@@ -53,6 +59,10 @@ const char* gauge_help(TelGauge g) {
     case TelGauge::kNetConnections: return "Live TCP ingest connections.";
     case TelGauge::kNetRingDepth:
       return "Frames queued across all ingest rings.";
+    case TelGauge::kLentOut:
+      return "Capacity units this shard has out on loan.";
+    case TelGauge::kBorrowed:
+      return "Capacity units this shard holds from other shards.";
     case TelGauge::kCount_: break;
   }
   return "";

@@ -25,6 +25,10 @@ const char* to_string(TelCounter c) noexcept {
     case TelCounter::kNetFrames: return "net_frames";
     case TelCounter::kNetMalformed: return "net_malformed";
     case TelCounter::kNetRingShed: return "net_ring_shed";
+    case TelCounter::kElasticLoans: return "elastic_loans";
+    case TelCounter::kElasticRecalls: return "elastic_recalls";
+    case TelCounter::kElasticMigrationsAvoided:
+      return "elastic_migrations_avoided";
     case TelCounter::kCount_: break;
   }
   return "?";
@@ -39,6 +43,8 @@ const char* to_string(TelGauge g) noexcept {
     case TelGauge::kDriftAbs: return "drift_abs";
     case TelGauge::kNetConnections: return "net_connections";
     case TelGauge::kNetRingDepth: return "net_ring_depth";
+    case TelGauge::kLentOut: return "elastic_lent_out";
+    case TelGauge::kBorrowed: return "elastic_borrowed";
     case TelGauge::kCount_: break;
   }
   return "?";

@@ -67,6 +67,9 @@ enum class TelCounter : std::size_t {
   kNetFrames,        ///< net: wire frames decoded (rings + TCP)
   kNetMalformed,     ///< net: malformed frames / protocol violations
   kNetRingShed,      ///< net: frames shed producer-side at ring overflow
+  kElasticLoans,     ///< cluster: capacity loans granted to this shard
+  kElasticRecalls,   ///< cluster: loans this shard returned (any cause)
+  kElasticMigrationsAvoided,  ///< cluster: migrations lending made unnecessary
   kCount_,           ///< sentinel
 };
 inline constexpr std::size_t kTelCounterCount =
@@ -81,6 +84,8 @@ enum class TelGauge : std::size_t {
   kDriftAbs,     ///< mean |drift vs I_PS| per active task (Eqn. (5))
   kNetConnections,  ///< net: live TCP ingest connections
   kNetRingDepth,    ///< net: frames queued across all ingest rings
+  kLentOut,         ///< cluster: capacity units this shard has out on loan
+  kBorrowed,        ///< cluster: capacity units this shard holds from others
   kCount_,
 };
 inline constexpr std::size_t kTelGaugeCount =

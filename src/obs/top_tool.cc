@@ -45,6 +45,18 @@ struct Frame {
     if (jt == it->second.end()) return std::nullopt;
     return jt->second;
   }
+
+  /// Sum of a per-shard family across every labeled shard (nullopt when
+  /// the family is absent from the exposition entirely).
+  [[nodiscard]] std::optional<double> sum(const std::string& name) const {
+    const auto it = values.find(name);
+    if (it == values.end()) return std::nullopt;
+    double total = 0;
+    for (const auto& [shard, v] : it->second) {
+      if (shard >= 0) total += v;
+    }
+    return total;
+  }
 };
 
 std::optional<Frame> load_frame(const std::string& path, std::string* error) {
@@ -164,6 +176,28 @@ std::string render(const Frame& frame, const Frame* prev) {
        << fmt_opt(frame.get("pfr_net_ring_depth", -1), 0) << "  malformed="
        << fmt_count(frame.get("pfr_net_malformed_total", -1)) << "  ring_shed="
        << fmt_count(frame.get("pfr_net_ring_shed_total", -1)) << '\n';
+  }
+
+  // Elastic control plane: one cross-shard line, shown once a cluster with
+  // lending enabled publishes loan telemetry.  `delta` is per-shard
+  // borrowed - lent, so +n marks a borrower and -n a donor; the deltas
+  // always sum to zero (the ledger's conservation invariant).
+  if (const auto loans = frame.sum("pfr_elastic_loans_total")) {
+    os << "\n  elastic loans=" << fmt_count(loans) << "  recalls="
+       << fmt_count(frame.sum("pfr_elastic_recalls_total"))
+       << "  mig_avoided="
+       << fmt_count(frame.sum("pfr_elastic_migrations_avoided_total"))
+       << "  delta=";
+    for (int k = 0; k < frame.shards; ++k) {
+      const double lent = frame.get("pfr_elastic_lent_out", k).value_or(0);
+      const double borrowed =
+          frame.get("pfr_elastic_borrowed", k).value_or(0);
+      const auto d = static_cast<long long>(borrowed - lent);
+      if (k > 0) os << ',';
+      if (d > 0) os << '+';
+      os << d;
+    }
+    os << '\n';
   }
   return os.str();
 }

@@ -514,12 +514,14 @@ void Engine::detect_misses_scan(Slot boundary) {
 }
 
 void Engine::validate_slot(Slot t) {
-  // Property (W): total scheduling weight never exceeds M, unless policing
-  // is deliberately off (overload experiments).  Checked against the static
-  // M, not the degraded capacity: a crash legitimately leaves sum swt above
-  // the alive capacity until degradation (if any) compresses it.
+  // Property (W): total scheduling weight never exceeds the capacity
+  // policing could have admitted against, unless policing is deliberately
+  // off (overload experiments).  Checked against M plus the largest
+  // elastic delta ever borrowed, not the live capacity: a crash (or a
+  // loan coming home) legitimately leaves sum swt above the alive
+  // capacity until degradation (if any) compresses it.
   if (cfg_.policing != PolicingMode::kOff) {
-    if (total_scheduling_weight() > Rational{cfg_.processors}) {
+    if (total_scheduling_weight() > Rational{cfg_.processors + borrow_peak_}) {
       handle_violation("property (W) violated: sum swt > M", nullptr, t);
     }
   }

@@ -22,6 +22,7 @@
 #pragma once
 
 #include <functional>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -271,12 +272,38 @@ class Engine {
   // ----- queries -----
 
   [[nodiscard]] int processors() const noexcept { return cfg_.processors; }
-  /// Processors currently alive (M minus crashed ones).  Policing admits
-  /// against this capacity, and degradation engages when the total task
-  /// weight exceeds it.
+  /// Processors currently alive (M minus crashed ones, plus/minus any
+  /// elastic lending delta).  Policing admits against this capacity, and
+  /// degradation engages when the total task weight exceeds it.
   [[nodiscard]] int alive_processors() const noexcept {
-    return cfg_.processors - down_count_;
+    const int alive = cfg_.processors - down_count_ + elastic_delta_;
+    return alive < 0 ? 0 : alive;
   }
+
+  // ----- elastic capacity (cluster lending) -----
+
+  /// Sets the elastic capacity delta: processors borrowed from (> 0) or
+  /// lent to (< 0) other shards by the cluster's capacity ledger.  Must be
+  /// called between steps (the cluster's serial coordinator phase); takes
+  /// effect at the next slot through the same per-slot effective-capacity
+  /// path faults use, so dispatch, the verify oracle, and the Thm. 2-5
+  /// drift accounting apply unchanged.  A change marks the slot as a
+  /// capacity event so degradation re-evaluates against the new capacity.
+  void set_elastic_delta(int delta) {
+    if (cfg_.processors + delta < 0) {
+      throw std::invalid_argument{
+          "elastic delta would drive capacity below zero"};
+    }
+    if (delta == elastic_delta_) return;
+    elastic_delta_ = delta;
+    capacity_event_this_slot_ = true;
+    if (delta > borrow_peak_) borrow_peak_ = delta;
+  }
+  /// Current lending delta (> 0 borrowed, < 0 lent out, 0 neutral).
+  [[nodiscard]] int elastic_delta() const noexcept { return elastic_delta_; }
+  /// Largest delta ever borrowed; verify_schedule() admits per-slot
+  /// capacities up to processors() + borrow_peak().
+  [[nodiscard]] int borrow_peak() const noexcept { return borrow_peak_; }
   [[nodiscard]] bool processor_down(int p) const {
     return proc_down_.at(static_cast<std::size_t>(p));
   }
@@ -521,6 +548,8 @@ class Engine {
   int down_count_{0};
   int overruns_this_slot_{0};
   int slot_capacity_{0};           ///< dispatch capacity of the current slot
+  int elastic_delta_{0};           ///< processors borrowed (+) / lent (-)
+  int borrow_peak_{0};             ///< max elastic_delta_ ever applied
   bool degraded_{false};
   bool admissions_frozen_{false};
   Rational degrade_factor_{1};

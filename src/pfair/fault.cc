@@ -126,7 +126,8 @@ void Engine::process_faults(Slot t) {
       e.kind = kind;
       e.slot = t;
       e.cpu = f.processor;
-      e.folded = cfg_.processors - down_count_ - overruns_this_slot_;
+      e.folded =
+          cfg_.processors - down_count_ - overruns_this_slot_ + elastic_delta_;
       tracer_.emit(e);
     };
     switch (f.kind) {
@@ -168,8 +169,8 @@ void Engine::process_faults(Slot t) {
         break;
     }
   }
-  slot_capacity_ =
-      std::max(0, cfg_.processors - down_count_ - overruns_this_slot_);
+  slot_capacity_ = std::max(
+      0, cfg_.processors - down_count_ - overruns_this_slot_ + elastic_delta_);
 }
 
 void Engine::drop_queued_requests(TaskId task, Slot t) {

@@ -227,10 +227,7 @@ class Parser {
     } else if (head == "fault") {
       parse_fault();
     } else if (head == "shard") {
-      expect_tokens(2, 2, "shard <processors>");
-      const std::int64_t m = parse_int(tok_[1]);
-      if (m < 1) fail(tok_[1], "shard processors must be >= 1");
-      spec_.shard_processors.push_back(static_cast<int>(m));
+      parse_shard();
     } else if (head == "placement") {
       expect_tokens(2, 2, "placement first-fit | worst-fit | wwta");
       const std::string& p = tok_[1].text;
@@ -258,6 +255,8 @@ class Parser {
       spec_.migrations.push_back(std::move(mig));
     } else if (head == "rebalance") {
       parse_rebalance();
+    } else if (head == "elastic") {
+      parse_elastic();
     } else if (head == "horizon") {
       expect_tokens(2, 2, "horizon <slots>");
       const std::int64_t h = parse_int(tok_[1]);
@@ -320,6 +319,70 @@ class Parser {
       }
     }
     spec_.tasks.push_back(std::move(t));
+  }
+
+  void parse_shard() {
+    // Legacy homogeneous form: `shard <M>` (speed 1).  Heterogeneous form:
+    // `shard <k> procs <M> speed <S>`, where <k> must name the next
+    // undeclared shard -- the index is redundant on purpose, so reordered
+    // or dropped lines surface as a parse error instead of silently
+    // renumbering the cluster.
+    if (tok_.size() == 2) {
+      const std::int64_t m = parse_int(tok_[1]);
+      if (m < 1) fail(tok_[1], "shard processors must be >= 1");
+      spec_.shard_processors.push_back(static_cast<int>(m));
+      spec_.shard_speeds.push_back(1);
+      return;
+    }
+    expect_tokens(6, 6, "shard <k> procs <M> speed <S>");
+    const std::int64_t k = parse_int(tok_[1]);
+    const auto next = static_cast<std::int64_t>(spec_.shard_processors.size());
+    if (k != next) {
+      fail(tok_[1], "shard index must be " + std::to_string(next) +
+                        " (shards declare in order)");
+    }
+    if (tok_[2].text != "procs") {
+      fail(tok_[2], "expected 'procs', got '" + tok_[2].text + "'");
+    }
+    const std::int64_t m = parse_int(tok_[3]);
+    if (m < 1) fail(tok_[3], "shard processors must be >= 1");
+    if (tok_[4].text != "speed") {
+      fail(tok_[4], "expected 'speed', got '" + tok_[4].text + "'");
+    }
+    const std::int64_t s = parse_int(tok_[5]);
+    if (s < 1) fail(tok_[5], "shard speed must be >= 1");
+    spec_.shard_processors.push_back(static_cast<int>(m));
+    spec_.shard_speeds.push_back(static_cast<int>(s));
+  }
+
+  void parse_elastic() {
+    expect_tokens(
+        3, 5, "elastic period=<n> lease=<n> [max-units=<n>] [migrate=on|off]");
+    ScenarioSpec::ElasticSpec el;
+    el.enabled = true;
+    el.period = parse_kv(tok_[1], "period");
+    if (el.period < 1) fail(tok_[1], "period must be >= 1");
+    el.lease = parse_kv(tok_[2], "lease");
+    if (el.lease < 1) fail(tok_[2], "lease must be >= 1");
+    for (std::size_t k = 3; k < tok_.size(); ++k) {
+      if (tok_[k].text.rfind("max-units=", 0) == 0) {
+        const std::int64_t units = parse_kv(tok_[k], "max-units");
+        if (units < 1) fail(tok_[k], "max-units must be >= 1");
+        el.max_units = static_cast<int>(units);
+      } else if (tok_[k].text.rfind("migrate=", 0) == 0) {
+        const std::string value = tok_[k].text.substr(8);
+        if (value == "on") {
+          el.allow_migration = true;
+        } else if (value == "off") {
+          el.allow_migration = false;
+        } else {
+          fail(tok_[k], "migrate must be 'on' or 'off'");
+        }
+      } else {
+        fail(tok_[k], "unknown elastic attribute '" + tok_[k].text + "'");
+      }
+    }
+    spec_.elastic = el;
   }
 
   void parse_rebalance() {
@@ -461,12 +524,30 @@ std::string render_scenario(const ScenarioSpec& spec) {
   out << "validate " << (c.validate ? "on" : "off") << "\n";
   out << "violations " << to_string(c.violations) << "\n";
   out << "degradation " << to_string(c.degradation) << "\n";
-  for (const int m : spec.shard_processors) out << "shard " << m << "\n";
+  for (std::size_t k = 0; k < spec.shard_processors.size(); ++k) {
+    const int speed =
+        k < spec.shard_speeds.size() ? spec.shard_speeds[k] : 1;
+    if (speed == 1) {
+      // Canonical form for a speed-1 shard is the legacy directive, so
+      // pre-heterogeneity scenario text is already canonical.
+      out << "shard " << spec.shard_processors[k] << "\n";
+    } else {
+      out << "shard " << k << " procs " << spec.shard_processors[k]
+          << " speed " << speed << "\n";
+    }
+  }
   if (!spec.placement.empty()) out << "placement " << spec.placement << "\n";
   if (spec.rebalance.enabled) {
     out << "rebalance period=" << spec.rebalance.period
         << " threshold=" << spec.rebalance.threshold.to_string()
         << " max-moves=" << spec.rebalance.max_moves << "\n";
+  }
+  if (spec.elastic.enabled) {
+    out << "elastic period=" << spec.elastic.period
+        << " lease=" << spec.elastic.lease
+        << " max-units=" << spec.elastic.max_units
+        << " migrate=" << (spec.elastic.allow_migration ? "on" : "off")
+        << "\n";
   }
   for (const auto& t : spec.tasks) {
     out << "task " << t.name << " " << t.weight.to_string();

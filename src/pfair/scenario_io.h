@@ -24,12 +24,19 @@
 ///   fault delay <name> at=<t> by=<slots>
 ///   horizon <slots>
 ///   shard <processors>                # repeatable; k-th line = shard k
+///   shard <k> procs <M> speed <S>     # heterogeneous form; k = next index
 ///   placement first-fit | worst-fit | wwta
 ///   migrate <name> <to-shard> at=<t>
 ///   rebalance period=<n> threshold=<num>/<den> [max-moves=<n>]
+///   elastic period=<n> lease=<n> [max-units=<n>] [migrate=on|off]
 ///
-/// The `shard`/`placement`/`migrate`/`rebalance` directives describe a
-/// sharded cluster (src/cluster).  They parse into plain ScenarioSpec
+/// The `shard`/`placement`/`migrate`/`rebalance`/`elastic` directives
+/// describe a sharded cluster (src/cluster).  The extended shard form
+/// declares a heterogeneous shard: M processors each running at integer
+/// speed factor S, i.e. M*S capacity units; its `<k>` must name the next
+/// undeclared shard index, which keeps scenario text self-checking.  The
+/// `elastic` directive enables the capacity-lending control plane
+/// (src/cluster/elastic) with the given control period and loan lease.  They parse into plain ScenarioSpec
 /// fields here -- pfair does not depend on the cluster layer -- and
 /// cluster::build_cluster_scenario() turns the spec into a running
 /// Cluster.  build_scenario() (single engine) ignores them.  In a sharded
@@ -139,6 +146,10 @@ struct ScenarioSpec {
   /// One entry per `shard` directive: shard k's processor count.  Empty
   /// means the scenario is a plain single-engine one.
   std::vector<int> shard_processors;
+  /// Integer speed factor per shard, parallel to `shard_processors`
+  /// (empty = every shard at speed 1).  A shard with M processors at
+  /// speed S contributes M*S capacity units.
+  std::vector<int> shard_speeds;
   /// The `placement` keyword verbatim ("" = the cluster default).
   std::string placement;
   struct MigrateSpec {
@@ -154,6 +165,18 @@ struct ScenarioSpec {
     int max_moves{4};
   };
   RebalanceSpec rebalance;
+  /// One `elastic` directive: the capacity-lending control plane.  Kept
+  /// as plain fields here (like RebalanceSpec) so pfair stays independent
+  /// of the cluster layer; build_cluster_scenario maps it onto
+  /// cluster::ElasticConfig.
+  struct ElasticSpec {
+    bool enabled{false};
+    Slot period{16};
+    Slot lease{64};
+    int max_units{8};
+    bool allow_migration{true};
+  };
+  ElasticSpec elastic;
 
   std::vector<TaskSpec> tasks;
   std::vector<EventSpec> events;

@@ -33,9 +33,13 @@ std::vector<Violation> verify_schedule(
   // capacity M_alive(t) (== M on fault-free runs).
   for (std::size_t t = 0; t < trace.size(); ++t) {
     const SlotRecord& rec = trace[t];
-    if (rec.capacity < 0 || rec.capacity > engine.processors()) {
+    // Elastic lending may raise a slot's effective capacity above the
+    // shard's own M, but never above M + the largest delta ever borrowed.
+    const int ceiling = engine.processors() + engine.borrow_peak();
+    if (rec.capacity < 0 || rec.capacity > ceiling) {
       report(out, "slot " + std::to_string(t) + " records capacity " +
-                      std::to_string(rec.capacity) + " outside [0, M]");
+                      std::to_string(rec.capacity) + " outside [0, " +
+                      (engine.borrow_peak() > 0 ? "M + borrowed]" : "M]"));
     }
     if (t < expected_capacity.size() &&
         rec.capacity != expected_capacity[t]) {

@@ -150,7 +150,10 @@ int ShardedService::pick_shard(const Rational& weight) {
   capacities.reserve(static_cast<std::size_t>(n));
   for (int k = 0; k < n; ++k) {
     loads.push_back(cluster_.shard_load(k));
-    capacities.push_back(cluster_.shard(k).processors());
+    // Effective capacity, not the configured M: a heterogeneous (or
+    // lending) cluster over-admits on its slow shards if every shard is
+    // weighed as if capacity were equal.
+    capacities.push_back(cluster_.shard(k).alive_processors());
   }
   const int k = cluster::choose_shard(cluster_.config().placement, loads,
                                       capacities, weight);

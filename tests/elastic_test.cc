@@ -1,0 +1,546 @@
+/// The elastic control plane (src/cluster/elastic): CapacityLedger
+/// bookkeeping and its conservation invariant, the pure lend/migrate
+/// policy, the EWMA load estimator, the controller's lease lifecycle
+/// (grant / renew / expire / graceful recall / return-on-recovery),
+/// heterogeneous shard speeds through the scenario grammar and the
+/// capacity oracle, and the lending-storm determinism goldens.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "cluster/elastic/controller.h"
+#include "cluster/scenario.h"
+#include "pfair/scenario_io.h"
+#include "pfair/verify.h"
+
+namespace pfr::cluster {
+namespace {
+
+using pfair::Slot;
+
+// ------------------------------------------------------------------ ledger
+
+TEST(CapacityLedger, LendMovesUnitsBetweenColumns) {
+  CapacityLedger ledger{{4, 4}};
+  const std::size_t i = ledger.lend(0, 1, 2, /*now=*/0, /*lease=*/8);
+  EXPECT_EQ(i, 0u);
+  EXPECT_EQ(ledger.delta(0), -2);
+  EXPECT_EQ(ledger.delta(1), 2);
+  EXPECT_EQ(ledger.lent_out(0), 2);
+  EXPECT_EQ(ledger.borrowed(1), 2);
+  EXPECT_EQ(ledger.active_loans(), 1);
+  EXPECT_EQ(ledger.loans()[0].expires_at, 8);
+  ledger.check_conservation();
+}
+
+TEST(CapacityLedger, SettleReturnsExpiredLoansInGrantOrder) {
+  CapacityLedger ledger{{4, 4, 4}};
+  ledger.lend(0, 1, 1, 0, 8);   // expires at 8
+  ledger.lend(2, 1, 1, 2, 4);   // expires at 6
+  ledger.lend(0, 2, 1, 4, 16);  // expires at 20
+  const std::vector<std::size_t> settled = ledger.settle(8);
+  // Both due loans, in grant order -- not expiry order.
+  ASSERT_EQ(settled, (std::vector<std::size_t>{0, 1}));
+  EXPECT_TRUE(ledger.loans()[0].returned);
+  EXPECT_EQ(ledger.loans()[0].returned_at, 8);
+  EXPECT_FALSE(ledger.loans()[2].returned);
+  EXPECT_EQ(ledger.active_loans(), 1);
+  EXPECT_EQ(ledger.delta(1), 0);
+  ledger.check_conservation();
+}
+
+TEST(CapacityLedger, RecallFromReturnsEveryDonorLoan) {
+  CapacityLedger ledger{{4, 4, 4}};
+  ledger.lend(0, 1, 1, 0, 100);
+  ledger.lend(0, 2, 2, 1, 100);
+  ledger.lend(1, 2, 1, 2, 100);
+  const std::vector<std::size_t> recalled = ledger.recall_from(0, 10);
+  ASSERT_EQ(recalled, (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(ledger.lent_out(0), 0);
+  EXPECT_EQ(ledger.delta(0), 0);
+  // The unrelated 1 -> 2 loan is untouched.
+  EXPECT_EQ(ledger.borrowed(2), 1);
+  EXPECT_EQ(ledger.active_loans(), 1);
+  ledger.check_conservation();
+}
+
+TEST(CapacityLedger, ReturnToBringsRecipientLoansHome) {
+  CapacityLedger ledger{{4, 4, 4}};
+  ledger.lend(0, 2, 1, 0, 100);
+  ledger.lend(1, 2, 2, 1, 100);
+  const std::vector<std::size_t> returned = ledger.return_to(2, 5);
+  ASSERT_EQ(returned, (std::vector<std::size_t>{0, 1}));
+  EXPECT_EQ(ledger.borrowed(2), 0);
+  EXPECT_EQ(ledger.delta(0), 0);
+  EXPECT_EQ(ledger.delta(1), 0);
+  ledger.check_conservation();
+}
+
+TEST(CapacityLedger, GiveBackIsIdempotent) {
+  CapacityLedger ledger{{2, 2}};
+  ledger.lend(0, 1, 1, 0, 8);
+  ledger.give_back(0, 3);
+  EXPECT_EQ(ledger.loans()[0].returned_at, 3);
+  ledger.give_back(0, 7);  // no-op: already home
+  EXPECT_EQ(ledger.loans()[0].returned_at, 3);
+  EXPECT_EQ(ledger.active_loans(), 0);
+  ledger.check_conservation();
+}
+
+TEST(CapacityLedger, RejectsStructuralMisuse) {
+  CapacityLedger ledger{{4, 4}};
+  EXPECT_THROW(ledger.lend(0, 0, 1, 0, 8), std::invalid_argument);  // self
+  EXPECT_THROW(ledger.lend(0, 1, 0, 0, 8), std::invalid_argument);  // units
+  EXPECT_THROW(ledger.lend(0, 2, 1, 0, 8), std::invalid_argument);  // range
+  EXPECT_THROW(ledger.lend(-1, 1, 1, 0, 8), std::invalid_argument);
+  // A donor can never have more units out than it physically owns.
+  EXPECT_THROW(ledger.lend(0, 1, 5, 0, 8), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------ policy
+
+TEST(ElasticPolicy, UnitsNeededReachesTargetUtilization) {
+  // reserved 4 on 4 alive at target 3/4: ceil(16/3) = 6 covered units.
+  EXPECT_EQ(units_needed(Rational{4}, 4, Rational{3, 4}), 2);
+  EXPECT_EQ(units_needed(Rational{1, 2}, 4, Rational{3, 4}), 0);
+  EXPECT_EQ(units_needed(Rational{0}, 0, Rational{3, 4}), 0);
+  // Exactly at target: nothing needed.
+  EXPECT_EQ(units_needed(Rational{3}, 4, Rational{3, 4}), 0);
+}
+
+TEST(ElasticPolicy, UnitsSpareKeepsExactReservation) {
+  EXPECT_EQ(units_spare(Rational{1}, 4), 3);
+  EXPECT_EQ(units_spare(Rational{7, 2}, 4), 0);  // ceil(3.5) = 4: all kept
+  EXPECT_EQ(units_spare(Rational{0}, 4), 3);     // keeps at least one unit
+  EXPECT_EQ(units_spare(Rational{5}, 4), 0);     // over-reserved: nothing
+}
+
+ElasticShardView view(int alive, Rational reserved, double pressure,
+                      int movable = 0, bool faulted = false) {
+  ElasticShardView v;
+  v.physical = alive;
+  v.alive = alive;
+  v.reserved = reserved;
+  v.pressure = pressure;
+  v.movable = movable;
+  v.faulted = faulted;
+  return v;
+}
+
+TEST(ElasticPolicy, LendsColdestDonorToHottestShard) {
+  ElasticConfig cfg;
+  const std::vector<ElasticShardView> views{
+      view(4, Rational{4}, 1.0),       // hot: needs 2 units for 3/4 target
+      view(4, Rational{1}, 0.25),      // coldest donor, spare 3
+      view(4, Rational{2}, 0.5),       // warmer donor
+  };
+  const ElasticPlan plan = plan_elastic(views, cfg);
+  ASSERT_EQ(plan.decisions.size(), 1u);
+  EXPECT_EQ(plan.decisions[0].kind, ElasticDecision::Kind::kLend);
+  EXPECT_EQ(plan.decisions[0].from, 1);  // coldest gives first
+  EXPECT_EQ(plan.decisions[0].to, 0);
+  EXPECT_EQ(plan.decisions[0].units, 2);
+  EXPECT_TRUE(plan.avoided.empty());  // no movable tasks: nothing avoided
+}
+
+TEST(ElasticPolicy, RecordsAvoidedMigrationWhenLendingCovers) {
+  ElasticConfig cfg;
+  const std::vector<ElasticShardView> views{
+      view(4, Rational{4}, 1.0, /*movable=*/2),
+      view(4, Rational{1}, 0.25),
+  };
+  const ElasticPlan plan = plan_elastic(views, cfg);
+  ASSERT_EQ(plan.decisions.size(), 1u);
+  EXPECT_EQ(plan.decisions[0].kind, ElasticDecision::Kind::kLend);
+  ASSERT_EQ(plan.avoided.size(), 1u);
+  EXPECT_EQ(plan.avoided[0], 0);
+}
+
+TEST(ElasticPolicy, HonorsMaxUnitsPerTick) {
+  ElasticConfig cfg;
+  cfg.max_units_per_tick = 1;
+  const std::vector<ElasticShardView> views{
+      view(4, Rational{4}, 1.0),
+      view(4, Rational{1}, 0.25),
+  };
+  const ElasticPlan plan = plan_elastic(views, cfg);
+  ASSERT_EQ(plan.decisions.size(), 1u);
+  EXPECT_EQ(plan.decisions[0].units, 1);
+}
+
+TEST(ElasticPolicy, TiesBreakToLowestShardIndex) {
+  ElasticConfig cfg;
+  const std::vector<ElasticShardView> views{
+      view(4, Rational{4}, 1.0),
+      view(4, Rational{1}, 0.25),  // same pressure as shard 2
+      view(4, Rational{1}, 0.25),
+  };
+  const ElasticPlan plan = plan_elastic(views, cfg);
+  ASSERT_FALSE(plan.decisions.empty());
+  EXPECT_EQ(plan.decisions[0].from, 1);
+}
+
+TEST(ElasticPolicy, SkipsFaultedDonors) {
+  ElasticConfig cfg;
+  const std::vector<ElasticShardView> views{
+      view(4, Rational{4}, 1.0),
+      view(4, Rational{1}, 0.25, 0, /*faulted=*/true),
+      view(4, Rational{1}, 0.3),
+  };
+  const ElasticPlan plan = plan_elastic(views, cfg);
+  ASSERT_FALSE(plan.decisions.empty());
+  EXPECT_EQ(plan.decisions[0].from, 2);
+}
+
+TEST(ElasticPolicy, MigratesTaskCountBoundShard) {
+  // Pressure far above the borrow threshold (e.g. a miss streak) with no
+  // capacity shortfall lending could fix: the fallback is a migration to
+  // the coldest shard with weight room.
+  ElasticConfig cfg;
+  const std::vector<ElasticShardView> views{
+      view(4, Rational{1}, 2.0, /*movable=*/3),
+      view(4, Rational{1}, 0.25),
+  };
+  const ElasticPlan plan = plan_elastic(views, cfg);
+  ASSERT_EQ(plan.decisions.size(), 1u);
+  EXPECT_EQ(plan.decisions[0].kind, ElasticDecision::Kind::kMigrate);
+  EXPECT_EQ(plan.decisions[0].from, 0);
+  EXPECT_EQ(plan.decisions[0].to, 1);
+  EXPECT_EQ(plan.decisions[0].units,
+            3);  // min(movable, max_migrations_per_tick)
+}
+
+TEST(ElasticPolicy, MigrationDisabledMeansNoMigrations) {
+  ElasticConfig cfg;
+  cfg.allow_migration = false;
+  const std::vector<ElasticShardView> views{
+      view(4, Rational{1}, 2.0, /*movable=*/3),
+      view(4, Rational{1}, 0.25),
+  };
+  const ElasticPlan plan = plan_elastic(views, cfg);
+  EXPECT_TRUE(plan.decisions.empty());
+  EXPECT_TRUE(plan.avoided.empty());
+}
+
+// --------------------------------------------------------------- estimator
+
+TEST(LoadEstimator, FirstObservationPrimesDirectly) {
+  LoadEstimator est{2, /*alpha=*/0.25};
+  est.observe(0, ShardSample{0.5, 2.0, 1.0});
+  EXPECT_DOUBLE_EQ(est.utilization(0), 0.5);
+  EXPECT_DOUBLE_EQ(est.depth(0), 2.0);
+  EXPECT_DOUBLE_EQ(est.miss_rate(0), 1.0);
+  EXPECT_DOUBLE_EQ(est.utilization(1), 0.0);  // untouched shard
+}
+
+TEST(LoadEstimator, EwmaBlendsTowardNewSamples) {
+  LoadEstimator est{1, /*alpha=*/0.5};
+  est.observe(0, ShardSample{0.5, 0.0, 0.0});
+  est.observe(0, ShardSample{1.0, 0.0, 0.0});
+  EXPECT_DOUBLE_EQ(est.utilization(0), 0.75);
+}
+
+TEST(LoadEstimator, PressureBlendsThreeSignals) {
+  LoadEstimator est{1, 1.0};
+  est.observe(0, ShardSample{0.5, 4.0, 2.0});
+  EXPECT_DOUBLE_EQ(est.pressure(0, 0.02, 1.0), 0.5 + 0.08 + 2.0);
+}
+
+// -------------------------------------------------------------- controller
+
+ElasticConfig controller_config() {
+  ElasticConfig cfg;
+  cfg.enabled = true;
+  cfg.period = 1;
+  cfg.lease = 8;
+  cfg.alpha = 1.0;  // no smoothing: observations act immediately
+  return cfg;
+}
+
+ShardObservation observe(int physical, int alive, Rational reserved,
+                         std::int64_t tasks) {
+  ShardObservation o;
+  o.physical = physical;
+  o.alive = alive;
+  o.reserved = reserved;
+  o.active_tasks = tasks;
+  return o;
+}
+
+TEST(ElasticController, DueRespectsPeriodAndEnable) {
+  ElasticConfig cfg = controller_config();
+  cfg.period = 4;
+  const ElasticController on{cfg, {4, 4}};
+  EXPECT_FALSE(on.due(0));
+  EXPECT_FALSE(on.due(3));
+  EXPECT_TRUE(on.due(4));
+  EXPECT_TRUE(on.due(8));
+  cfg.enabled = false;
+  const ElasticController off{cfg, {4, 4}};
+  EXPECT_FALSE(off.due(4));
+}
+
+TEST(ElasticController, RejectsBadConfigAndInputs) {
+  ElasticConfig cfg = controller_config();
+  cfg.period = 0;
+  EXPECT_THROW((ElasticController{cfg, {4, 4}}), std::invalid_argument);
+  cfg = controller_config();
+  cfg.lease = 0;
+  EXPECT_THROW((ElasticController{cfg, {4, 4}}), std::invalid_argument);
+  cfg = controller_config();
+  cfg.target_util = Rational{3, 2};
+  EXPECT_THROW((ElasticController{cfg, {4, 4}}), std::invalid_argument);
+
+  ElasticController ctl{controller_config(), {4, 4}};
+  EXPECT_THROW(ctl.control(1, {}), std::invalid_argument);
+}
+
+TEST(ElasticController, GrantsLoanToHotShard) {
+  ElasticController ctl{controller_config(), {4, 4}};
+  const ElasticController::TickReport report = ctl.control(
+      1, {observe(4, 4, Rational{4}, 4), observe(4, 4, Rational{1}, 1)});
+  ASSERT_EQ(report.granted.size(), 1u);
+  EXPECT_EQ(ctl.delta(0), 2);  // units_needed(4, 4, 3/4) = 2
+  EXPECT_EQ(ctl.delta(1), -2);
+  EXPECT_EQ(ctl.stats().loans, 1);
+  EXPECT_EQ(ctl.stats().units_lent, 2);
+  ctl.ledger().check_conservation();
+}
+
+TEST(ElasticController, GracefulRecallWaitsForRecipientReservation) {
+  // Regression for the hunt-caught property (W) violation: a distressed
+  // donor must never strand a recipient's admitted weight above its
+  // post-recall capacity.  The recall waits until the recipient's exact
+  // reservation fits without the loan.
+  ElasticController ctl{controller_config(), {4, 4}};
+  ctl.control(1, {observe(4, 4, Rational{4}, 4), observe(4, 4, Rational{1}, 1)});
+  ASSERT_EQ(ctl.delta(0), 2);
+
+  // Donor now hot (util 1.0 on its remaining 2 units) but the recipient
+  // still reserves 5 of its 6 alive units: 6 - 2 < 5, so no recall.
+  ctl.control(2, {observe(4, 6, Rational{5}, 4), observe(4, 2, Rational{2}, 2)});
+  EXPECT_EQ(ctl.stats().recalls, 0);
+  EXPECT_EQ(ctl.delta(0), 2);
+
+  // Recipient recovered (reserved 2): the same distressed donor reclaims.
+  ctl.control(3, {observe(4, 6, Rational{2}, 4), observe(4, 2, Rational{2}, 2)});
+  EXPECT_EQ(ctl.stats().recalls, 1);
+  EXPECT_EQ(ctl.delta(0), 0);
+  ctl.ledger().check_conservation();
+}
+
+TEST(ElasticController, ReturnsLoanOnRecipientRecovery) {
+  ElasticController ctl{controller_config(), {4, 4}};
+  ctl.control(1, {observe(4, 4, Rational{4}, 4), observe(4, 4, Rational{1}, 1)});
+  ASSERT_EQ(ctl.delta(0), 2);
+
+  // Recipient pressure subsided and its reservation fits without the
+  // loan; the calm donor (util 0.5 < lend threshold) never recalls --
+  // this is the voluntary return path.
+  ctl.control(2, {observe(4, 6, Rational{1}, 4), observe(4, 2, Rational{1}, 1)});
+  EXPECT_EQ(ctl.stats().returns, 1);
+  EXPECT_EQ(ctl.stats().recalls, 0);
+  EXPECT_EQ(ctl.delta(0), 0);
+  ctl.ledger().check_conservation();
+}
+
+TEST(ElasticController, RenewsLeaseWhileRecipientStillLoaded) {
+  ElasticConfig cfg = controller_config();
+  cfg.lease = 2;
+  ElasticController ctl{cfg, {4, 4}};
+  ctl.control(1, {observe(4, 4, Rational{4}, 4), observe(4, 4, Rational{1}, 1)});
+  ASSERT_EQ(ctl.delta(0), 2);
+  EXPECT_EQ(ctl.ledger().loans()[0].expires_at, 3);
+
+  // At expiry the recipient still depends on the units (reserved 5 of 6):
+  // the lease renews instead of settling.  The donor has no spare left
+  // (reserved 2 of 2), so no fresh loan muddies the assertion.
+  ctl.control(3, {observe(4, 6, Rational{5}, 4), observe(4, 2, Rational{2}, 2)});
+  EXPECT_EQ(ctl.stats().renewals, 1);
+  EXPECT_EQ(ctl.stats().expiries, 0);
+  EXPECT_EQ(ctl.ledger().loans()[0].expires_at, 5);
+  EXPECT_EQ(ctl.delta(0), 2);
+
+  // At the renewed expiry the recipient has recovered: the lease settles.
+  ctl.control(5, {observe(4, 6, Rational{1}, 4), observe(4, 2, Rational{2}, 2)});
+  EXPECT_EQ(ctl.stats().expiries, 1);
+  EXPECT_EQ(ctl.delta(0), 0);
+  ctl.ledger().check_conservation();
+}
+
+TEST(ElasticController, MissPressureTriggersMigrationOrder) {
+  ElasticController ctl{controller_config(), {4, 4}};
+  ShardObservation hot = observe(4, 4, Rational{1}, 4);
+  hot.misses_total = 5;  // miss_weight 1.0 pushes pressure over threshold
+  hot.movable = 3;
+  const ElasticController::TickReport report =
+      ctl.control(1, {hot, observe(4, 4, Rational{1}, 1)});
+  ASSERT_EQ(report.migrations.size(), 1u);
+  EXPECT_EQ(report.migrations[0].from, 0);
+  EXPECT_EQ(report.migrations[0].to, 1);
+  EXPECT_EQ(report.migrations[0].count, 3);
+  EXPECT_EQ(ctl.stats().migrations_requested, 3);
+  EXPECT_EQ(ctl.stats().loans, 0);  // no capacity shortfall: nothing lent
+}
+
+// ----------------------------------------- heterogeneous shards + grammar
+
+TEST(HeteroShards, SpeedFoldsIntoEngineCapacity) {
+  const std::string text = R"(
+shard 0 procs 2 speed 2
+shard 1 procs 4 speed 1
+placement first-fit
+horizon 32
+task a 1/2
+task b 1/2
+task c 1/2
+)";
+  const pfair::ScenarioSpec spec = pfair::parse_scenario_string(text);
+  ASSERT_EQ(spec.shard_processors, (std::vector<int>{2, 4}));
+  ASSERT_EQ(spec.shard_speeds, (std::vector<int>{2, 1}));
+  BuiltClusterScenario built = build_cluster_scenario(spec);
+  // 2 processors at speed 2 = 4 capacity units.
+  EXPECT_EQ(built.cluster->shard(0).processors(), 4);
+  EXPECT_EQ(built.cluster->shard(1).processors(), 4);
+  EXPECT_EQ(built.cluster->shard_speed(0), 2);
+  EXPECT_EQ(built.cluster->shard_speed(1), 1);
+  // First-fit sees the folded capacity: all three 1/2 tasks fit shard 0.
+  EXPECT_EQ(built.cluster->find("c")->shard, 0);
+  built.cluster->run_until(built.horizon);
+  EXPECT_TRUE(built.cluster->verify().empty());
+}
+
+TEST(HeteroShards, GrammarRoundTripsToFixedPoint) {
+  const std::string text = R"(
+shard 0 procs 2 speed 3
+shard 4
+elastic period=8 lease=32 max-units=4 migrate=off
+horizon 16
+task a 1/4
+)";
+  const pfair::ScenarioSpec spec = pfair::parse_scenario_string(text);
+  EXPECT_TRUE(spec.warnings.empty());
+  EXPECT_TRUE(spec.elastic.enabled);
+  EXPECT_EQ(spec.elastic.period, 8);
+  EXPECT_EQ(spec.elastic.lease, 32);
+  EXPECT_EQ(spec.elastic.max_units, 4);
+  EXPECT_FALSE(spec.elastic.allow_migration);
+  const std::string r1 = pfair::render_scenario(spec);
+  const std::string r2 =
+      pfair::render_scenario(pfair::parse_scenario_string(r1));
+  EXPECT_EQ(r1, r2);
+  // The heterogeneous shard renders in the explicit form, the speed-1
+  // shard in the legacy form (pre-heterogeneity text stays canonical).
+  EXPECT_NE(r1.find("shard 0 procs 2 speed 3"), std::string::npos);
+  EXPECT_NE(r1.find("shard 4\n"), std::string::npos);
+  EXPECT_NE(r1.find("elastic period=8 lease=32 max-units=4 migrate=off"),
+            std::string::npos);
+}
+
+// --------------------------------------------------- lending-storm golden
+
+/// Three 2-processor shards at 50% background load; the four tasks WWTA
+/// placed on shard 0 all double to 1/2 mid-run, then drop to 1/8.  Shard 0
+/// over-subscribes, borrows, and gives the units back after the drop.
+constexpr const char* kLendingStorm = R"(
+shard 0 procs 2 speed 1
+shard 1 procs 2 speed 1
+shard 2 procs 2 speed 1
+placement wwta
+elastic period=8 lease=32 max-units=4 migrate=off
+horizon 96
+task a 1/4
+task b 1/4
+task c 1/4
+task d 1/4
+task e 1/4
+task f 1/4
+task g 1/4
+task h 1/4
+task i 1/4
+task j 1/4
+task k 1/4
+task l 1/4
+reweight a 1/2 at=8
+reweight d 1/2 at=9
+reweight g 1/2 at=10
+reweight j 1/2 at=11
+reweight a 1/8 at=60
+reweight d 1/8 at=61
+reweight g 1/8 at=62
+reweight j 1/8 at=63
+)";
+
+std::uint64_t run_lending_storm(std::size_t threads,
+                                ElasticStats* stats = nullptr) {
+  const pfair::ScenarioSpec spec =
+      pfair::parse_scenario_string(kLendingStorm, "storm.scn");
+  BuiltClusterScenario built = build_cluster_scenario(spec, threads);
+  built.cluster->run_until(built.horizon);
+  EXPECT_TRUE(built.cluster->verify().empty());
+  EXPECT_NE(built.cluster->elastic(), nullptr);
+  built.cluster->elastic()->ledger().check_conservation();
+  if (stats != nullptr) *stats = built.cluster->elastic()->stats();
+  return built.cluster->schedule_digest();
+}
+
+TEST(LendingStorm, LendsAndSettlesDeterministically) {
+  ElasticStats stats;
+  const std::uint64_t d1 = run_lending_storm(1, &stats);
+  // The storm actually exercises the ledger: capacity flowed to shard 0
+  // and every loan came home once the load dropped.
+  EXPECT_GE(stats.loans, 1);
+  EXPECT_GE(stats.units_lent, 1);
+  EXPECT_GE(stats.expiries + stats.recalls + stats.returns, stats.loans);
+  // Bit-identical across worker-thread counts: every elastic decision runs
+  // in the serial coordinator phase.
+  EXPECT_EQ(run_lending_storm(2), d1);
+  EXPECT_EQ(run_lending_storm(8), d1);
+}
+
+TEST(LendingStorm, GoldenDigestPinsTheSchedule) {
+  // Golden: any drift in placement, the controller's decision order, or
+  // the digest's loan mixing shows up here before it reaches a consumer.
+  EXPECT_EQ(run_lending_storm(1), 0x9d284aeaabc1d49dULL);
+}
+
+TEST(LendingStorm, DisabledControllerMatchesFixedCapacityCluster) {
+  // Carrying an (un-enabled) elastic config must not perturb the
+  // schedule: build the same cluster with elastic absent and with it
+  // disabled, replay the same workload, and compare digests.
+  const auto run = [](bool carry_disabled_config) {
+    ClusterConfig cfg;
+    cfg.threads = 1;
+    for (int k = 0; k < 2; ++k) {
+      pfair::EngineConfig ec;
+      ec.processors = 2;
+      ec.policy = pfair::ReweightPolicy::kOmissionIdeal;
+      ec.policing = pfair::PolicingMode::kClamp;
+      ec.use_ready_queue = true;
+      cfg.shards.push_back(ec);
+    }
+    if (carry_disabled_config) {
+      cfg.elastic.enabled = false;
+      cfg.elastic.period = 4;
+      cfg.elastic.lease = 8;
+    }
+    Cluster cluster{std::move(cfg)};
+    for (int i = 0; i < 6; ++i) {
+      cluster.admit("t" + std::to_string(i), Rational{1, 4});
+    }
+    for (Slot t = 0; t < 48; ++t) {
+      if (t == 8) cluster.request_weight_change("t0", Rational{1, 2}, t);
+      if (t == 24) cluster.request_weight_change("t0", Rational{1, 4}, t);
+      cluster.step();
+    }
+    EXPECT_EQ(cluster.elastic(), nullptr);
+    return cluster.schedule_digest();
+  };
+  EXPECT_EQ(run(true), run(false));
+}
+
+}  // namespace
+}  // namespace pfr::cluster

@@ -77,9 +77,34 @@ constexpr BadScenario kBadScenarios[] = {
     // --- sharded cluster directives (shard / placement / migrate /
     //     rebalance) ---
     {"MissingShardCount", "shard\n", 1, 1, "shard",
-     "expected: shard <processors>"},
+     "expected: shard <k> procs <M> speed <S>"},
     {"ZeroShardProcessors", "shard 0\n", 1, 7, "0",
      "shard processors must be >= 1"},
+    // --- heterogeneous shard form (shard <k> procs <M> speed <S>) ---
+    {"ShardIndexOutOfOrder", "shard 1 procs 4 speed 2\n", 1, 7, "1",
+     "shard index must be 0 (shards declare in order)"},
+    {"ShardMissingProcsKeyword", "shard 0 cores 4 speed 2\n", 1, 9, "cores",
+     "expected 'procs', got 'cores'"},
+    {"HeteroShardZeroProcessors", "shard 0 procs 0 speed 2\n", 1, 15, "0",
+     "shard processors must be >= 1"},
+    {"ShardMissingSpeedKeyword", "shard 0 procs 4 pace 2\n", 1, 17, "pace",
+     "expected 'speed', got 'pace'"},
+    {"ShardZeroSpeed", "shard 0 procs 4 speed 0\n", 1, 23, "0",
+     "shard speed must be >= 1"},
+    // --- elastic capacity-lending directive ---
+    {"ElasticMissingArgs", "elastic\n", 1, 1, "elastic",
+     "expected: elastic period=<n> lease=<n> [max-units=<n>] "
+     "[migrate=on|off]"},
+    {"ElasticZeroPeriod", "elastic period=0 lease=8\n", 1, 9, "period=0",
+     "period must be >= 1"},
+    {"ElasticZeroLease", "elastic period=4 lease=0\n", 1, 18, "lease=0",
+     "lease must be >= 1"},
+    {"ElasticZeroMaxUnits", "elastic period=4 lease=8 max-units=0\n", 1, 26,
+     "max-units=0", "max-units must be >= 1"},
+    {"ElasticBadMigrate", "elastic period=4 lease=8 migrate=maybe\n", 1, 26,
+     "migrate=maybe", "migrate must be 'on' or 'off'"},
+    {"ElasticUnknownAttribute", "elastic period=4 lease=8 color=red\n", 1, 26,
+     "color=red", "unknown elastic attribute 'color=red'"},
     {"UnknownPlacementPolicy", "placement best-fit\n", 1, 11, "best-fit",
      "unknown placement policy 'best-fit'"},
     {"MigrateUnknownTask", "shard 2\nmigrate X 0 at=3\n", 2, 9, "X",

@@ -497,6 +497,39 @@ TEST(Prometheus, RenderValidateParseRoundTrip) {
   EXPECT_TRUE(saw_p99);
 }
 
+TEST(Prometheus, ElasticFamiliesExposeLoansAndLedgerGauges) {
+  // The lending display (pfair-top's elastic line) keys on these exact
+  // family names; pin them so a rename breaks here before it breaks the
+  // tool.
+  obs::Telemetry tel{2};
+  tel.shard(0).add(TelCounter::kElasticLoans, 3);
+  tel.shard(0).add(TelCounter::kElasticRecalls, 2);
+  tel.shard(0).add(TelCounter::kElasticMigrationsAvoided, 1);
+  tel.shard(0).set(TelGauge::kBorrowed, 2.0);
+  tel.shard(1).set(TelGauge::kLentOut, 2.0);
+
+  const std::string text = obs::dump_prometheus(tel, {});
+  std::string error;
+  ASSERT_TRUE(obs::prometheus_text_valid(text, &error)) << error;
+  const auto samples = obs::parse_prometheus(text, &error);
+  ASSERT_TRUE(samples.has_value()) << error;
+
+  const auto value = [&](const std::string& name, const std::string& shard) {
+    for (const obs::PrometheusSample& s : *samples) {
+      const auto it = s.labels.find("shard");
+      if (s.name == name && it != s.labels.end() && it->second == shard) {
+        return s.value;
+      }
+    }
+    return -1.0;
+  };
+  EXPECT_DOUBLE_EQ(value("pfr_elastic_loans_total", "0"), 3.0);
+  EXPECT_DOUBLE_EQ(value("pfr_elastic_recalls_total", "0"), 2.0);
+  EXPECT_DOUBLE_EQ(value("pfr_elastic_migrations_avoided_total", "0"), 1.0);
+  EXPECT_DOUBLE_EQ(value("pfr_elastic_borrowed", "0"), 2.0);
+  EXPECT_DOUBLE_EQ(value("pfr_elastic_lent_out", "1"), 2.0);
+}
+
 TEST(Prometheus, ExtraLabelsStampEverySample) {
   obs::Telemetry tel{1};
   tel.shard(0).add(TelCounter::kSlots, 7);
